@@ -1,0 +1,102 @@
+//! Benchmarks the analysis pipeline (§5): GCPA under several cost models,
+//! DFL caterpillar construction (plain vs DFL rule — an ablation of the
+//! design choice), and full opportunity analysis. All are expected to scale
+//! linearly in V+E.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dfl_core::analysis::caterpillar::{caterpillar, CaterpillarRule};
+use dfl_core::analysis::cost::CostModel;
+use dfl_core::analysis::critical_path::critical_path;
+use dfl_core::analysis::patterns::{analyze, AnalysisConfig};
+use dfl_core::props::{DataProps, EdgeProps, FlowDir, TaskProps};
+use dfl_core::DflGraph;
+
+/// A layered workflow-shaped DAG: `width` parallel pipelines of `depth`
+/// producer→data→consumer stages, with periodic aggregators creating
+/// fan-in/fan-out.
+fn synth_graph(width: usize, depth: usize) -> DflGraph {
+    let mut g = DflGraph::new();
+    let mut frontier: Vec<_> = (0..width)
+        .map(|w| g.add_task(&format!("src-{w}"), "src", TaskProps { lifetime_ns: 1_000_000, ..Default::default() }))
+        .collect();
+    for d in 0..depth {
+        let mut next = Vec::with_capacity(width);
+        for (w, &t) in frontier.iter().enumerate() {
+            let file = g.add_data(&format!("f-{d}-{w}"), "f", DataProps { size: 1 << 20, ..Default::default() });
+            g.add_edge(t, file, FlowDir::Producer, EdgeProps {
+                volume: (1 + w as u64) << 16,
+                footprint: ((1 + w as u64) << 16) as f64,
+                ops: 4,
+                instances: 1,
+                ..Default::default()
+            });
+            let consumer = g.add_task(&format!("t-{}-{w}", d + 1), "t", TaskProps { lifetime_ns: 1_000_000, ..Default::default() });
+            g.add_edge(file, consumer, FlowDir::Consumer, EdgeProps {
+                volume: (1 + w as u64) << 16,
+                footprint: ((1 + w as u64) << 16) as f64,
+                ops: 4,
+                subset_fraction: 0.8,
+                instances: 1,
+                ..Default::default()
+            });
+            // Every 4th column also feeds an aggregator of the layer.
+            if w % 4 == 0 && w + 1 < width {
+                g.add_edge(file, frontier[w + 1], FlowDir::Consumer, EdgeProps {
+                    volume: 1 << 14,
+                    ops: 1,
+                    instances: 1,
+                    ..Default::default()
+                });
+            }
+            next.push(consumer);
+        }
+        frontier = next;
+    }
+    g
+}
+
+fn bench_gcpa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gcpa_critical_path");
+    for &width in &[10usize, 50, 200] {
+        let g = synth_graph(width, 20);
+        group.throughput(Throughput::Elements((g.vertex_count() + g.edge_count()) as u64));
+        for cost in [CostModel::Volume, CostModel::Time, CostModel::BranchJoin { branch_threshold: 2 }] {
+            group.bench_with_input(
+                BenchmarkId::new(cost.label().replace(['+', ' '], "_"), width),
+                &g,
+                |b, g| b.iter(|| critical_path(std::hint::black_box(g), &cost)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_caterpillar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("caterpillar");
+    let g = synth_graph(100, 20);
+    let cp = critical_path(&g, &CostModel::Volume);
+    // Ablation: plain caterpillar vs the DFL distance-2 rule.
+    group.bench_function("plain_rule", |b| {
+        b.iter(|| caterpillar(std::hint::black_box(&g), &cp, CaterpillarRule::Plain))
+    });
+    group.bench_function("dfl_rule", |b| {
+        b.iter(|| caterpillar(std::hint::black_box(&g), &cp, CaterpillarRule::Dfl))
+    });
+    group.finish();
+}
+
+fn bench_opportunity_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opportunity_analysis");
+    for &width in &[10usize, 50, 200] {
+        let g = synth_graph(width, 20);
+        let cfg = AnalysisConfig { volume_threshold: 1 << 16, ..Default::default() };
+        group.throughput(Throughput::Elements((g.vertex_count() + g.edge_count()) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(width), &g, |b, g| {
+            b.iter(|| analyze(std::hint::black_box(g), &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gcpa, bench_caterpillar, bench_opportunity_analysis);
+criterion_main!(benches);

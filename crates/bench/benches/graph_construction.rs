@@ -1,0 +1,71 @@
+//! Benchmarks DFL graph construction from measurement records (§4.1) —
+//! the step the paper notes is parallelizable and linear in records.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dfl_core::DflGraph;
+use dfl_trace::{IoTiming, MeasurementSet, Monitor, MonitorConfig, OpenMode};
+
+/// Builds a measurement set with `tasks` tasks each touching `files_per`
+/// files (half produced, half consumed).
+fn synth_measurements(tasks: usize, files_per: usize) -> MeasurementSet {
+    let m = Monitor::new(MonitorConfig::default());
+    for t in 0..tasks {
+        let ctx = m.begin_task(&format!("task-{t}"), (t as u64) * 1000);
+        for f in 0..files_per {
+            // Chain files so tasks share data (realistic edge structure).
+            let path = format!("file-{}", (t * files_per / 2 + f) % (tasks * files_per / 2 + 1));
+            if f % 2 == 0 {
+                let fd = ctx.open(&path, OpenMode::Write, None, t as u64 * 1000);
+                ctx.write(fd, 1 << 20, IoTiming::new(t as u64 * 1000, 100)).unwrap();
+                ctx.close(fd, t as u64 * 1000 + 500).unwrap();
+            } else {
+                let fd = ctx.open(&path, OpenMode::Read, Some(1 << 20), t as u64 * 1000);
+                ctx.read(fd, 1 << 20, IoTiming::new(t as u64 * 1000, 100)).unwrap();
+                ctx.close(fd, t as u64 * 1000 + 500).unwrap();
+            }
+        }
+        ctx.finish(t as u64 * 1000 + 900);
+    }
+    m.snapshot()
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dfl_graph_from_measurements");
+    for &tasks in &[100usize, 500, 2000] {
+        let set = synth_measurements(tasks, 8);
+        group.throughput(Throughput::Elements(set.records.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &set, |b, set| {
+            b.iter(|| DflGraph::from_measurements(std::hint::black_box(set)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_template(c: &mut Criterion) {
+    let set = synth_measurements(1000, 8);
+    let g = DflGraph::from_measurements(&set);
+    c.bench_function("dfl_template_aggregation_1000_tasks", |b| {
+        b.iter(|| std::hint::black_box(&g).to_template());
+    });
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor_snapshot");
+    for &tasks in &[100usize, 1000] {
+        let m = Monitor::new(MonitorConfig::default());
+        for t in 0..tasks {
+            let ctx = m.begin_task(&format!("t-{t}"), 0);
+            let fd = ctx.open("shared.dat", OpenMode::Read, Some(1 << 30), 0);
+            ctx.read(fd, 1 << 24, IoTiming::default()).unwrap();
+            ctx.close(fd, 100).unwrap();
+            ctx.finish(100);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &m, |b, m| {
+            b.iter(|| std::hint::black_box(m).snapshot());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_template, bench_snapshot);
+criterion_main!(benches);

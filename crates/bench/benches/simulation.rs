@@ -1,0 +1,72 @@
+//! Benchmarks the execution substrate: discrete-event throughput of the
+//! fair-share flow network, cache access rates, and an end-to-end tiny
+//! workflow simulation — plus an ablation of fair-share contention vs
+//! uncontended flows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dfl_iosim::cache::{CacheConfig, CacheState};
+use dfl_iosim::cluster::ClusterSpec;
+use dfl_iosim::sim::{Action, JobSpec, SimConfig, Simulation};
+use dfl_iosim::storage::{TierKind, TierRef};
+use dfl_workflows::engine::{run, RunConfig};
+use dfl_workflows::genomes::{generate, GenomesConfig};
+
+fn bench_flow_events(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_flow_events");
+    // Ablation: contended (all jobs on one shared tier) vs uncontended
+    // (node-local tiers) — the contended case re-profiles more flows.
+    for (label, local) in [("contended_shared", false), ("uncontended_local", true)] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let mut sim = Simulation::new(ClusterSpec::gpu_cluster(4), SimConfig::default());
+                for i in 0..64 {
+                    let node = i % 4;
+                    let tier = if local {
+                        TierRef::node(TierKind::Ssd, node)
+                    } else {
+                        TierRef::shared(TierKind::Beegfs)
+                    };
+                    sim.fs_mut().create_external(&format!("f{i}"), 8 << 20, tier);
+                    sim.submit(
+                        JobSpec::new(&format!("j-{i}"), node)
+                            .action(Action::read_file(&format!("f{i}")))
+                            .action(Action::compute_ms(1)),
+                    );
+                }
+                sim.run().unwrap();
+                sim.time()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_access");
+    group.throughput(Throughput::Elements(1));
+    for &span in &[1u64 << 20, 8 << 20] {
+        let mut cache = CacheState::new(CacheConfig::tazer_table4());
+        let mut off = 0u64;
+        group.bench_function(BenchmarkId::new("read", format!("{}MiB", span >> 20)), |b| {
+            b.iter(|| {
+                let r = cache.access(0, 0, 0, off % (64 << 30), span);
+                off += span;
+                r
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end_workflow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    let spec = generate(&GenomesConfig::tiny());
+    group.bench_function("genomes_tiny_simulate_and_measure", |b| {
+        b.iter(|| run(std::hint::black_box(&spec), &RunConfig::default_gpu(2)).unwrap().makespan_s)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow_events, bench_cache_access, bench_end_to_end_workflow);
+criterion_main!(benches);

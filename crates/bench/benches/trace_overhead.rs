@@ -1,0 +1,56 @@
+//! Benchmarks the measurement layer (§3): per-operation monitoring cost and
+//! the effect of spatial sampling rate — an ablation of the paper's
+//! constant-space design (the monitor claims "negligible" overhead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dfl_trace::{IoTiming, Monitor, MonitorConfig, OpenMode};
+
+fn bench_read_recording(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor_read_op");
+    group.throughput(Throughput::Elements(1));
+    // Ablation: full tracking vs 10% and 1% spatial sampling.
+    for (label, pct) in [("sample_100pct", 100u64), ("sample_10pct", 10), ("sample_1pct", 1)] {
+        let cfg = MonitorConfig::default().with_sampling_percent(pct);
+        let m = Monitor::new(cfg);
+        let ctx = m.begin_task("bench-task", 0);
+        let fd = ctx.open("big.dat", OpenMode::Read, Some(1 << 34), 0);
+        let mut offset = 0u64;
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                ctx.read_at(fd, offset % (1 << 34), 1 << 16, IoTiming::new(offset, 10)).unwrap();
+                offset = offset.wrapping_add(1 << 16);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_write_recording(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor_write_op");
+    group.throughput(Throughput::Elements(1));
+    let m = Monitor::new(MonitorConfig::default());
+    let ctx = m.begin_task("bench-task", 0);
+    let fd = ctx.open("out.dat", OpenMode::Write, None, 0);
+    group.bench_function("sequential_append", |b| {
+        b.iter(|| ctx.write(fd, 1 << 16, IoTiming::new(0, 10)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_open_close(c: &mut Criterion) {
+    let m = Monitor::new(MonitorConfig::default());
+    let ctx = m.begin_task("bench-task", 0);
+    c.bench_function("monitor_open_close_cycle", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            // Cycle through a small working set of files (amortized-O(1)
+            // interning after warmup).
+            let fd = ctx.open(&format!("f{}", i % 64), OpenMode::Read, Some(1 << 20), i);
+            ctx.close(fd, i + 1).unwrap();
+            i += 1;
+        })
+    });
+}
+
+criterion_group!(benches, bench_read_recording, bench_write_recording, bench_open_close);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Ablation: the DFL caterpillar's distance-2 producer rule, and the
+//! caterpillar itself, vs plain critical-path narrowing (§5.1).
+//!
+//! For each workflow: how many of the top-ranked opportunities lie on (a)
+//! the bare critical path, (b) the plain caterpillar, (c) the DFL
+//! caterpillar. The paper's argument is that (c) retains the producer/
+//! consumer relations pattern detection needs while staying near-linear in
+//! size.
+//!
+//! Run with: `cargo run --release -p dfl-bench --bin ablation_caterpillar`
+
+use dfl_bench::{banner, render_table};
+use dfl_core::analysis::caterpillar::{caterpillar, CaterpillarRule};
+use dfl_core::analysis::cost::CostModel;
+use dfl_core::analysis::critical_path::critical_path;
+use dfl_core::analysis::patterns::{analyze, AnalysisConfig, Subject};
+use dfl_core::DflGraph;
+use dfl_workflows::engine::{run, RunConfig};
+use dfl_workflows::{ddmd, genomes, seismic};
+
+fn coverage(g: &DflGraph, members: &[bool], top: &[dfl_core::analysis::Opportunity]) -> usize {
+    top.iter()
+        .filter(|o| match &o.subject {
+            Subject::Vertex(v) => members[v.0 as usize],
+            Subject::Edge(e) => {
+                let edge = g.edge(*e);
+                members[edge.src.0 as usize] && members[edge.dst.0 as usize]
+            }
+            Subject::Composite(p, d, c) => {
+                members[p.0 as usize] && members[d.0 as usize] && members[c.0 as usize]
+            }
+        })
+        .count()
+}
+
+fn main() {
+    banner("ablation — critical path vs plain vs DFL caterpillar (§5.1)");
+
+    let graphs: Vec<(&str, DflGraph, CostModel)> = vec![
+        (
+            "1000 Genomes",
+            DflGraph::from_measurements(
+                &run(&genomes::generate(&genomes::GenomesConfig::tiny()), &RunConfig::default_gpu(2))
+                    .unwrap()
+                    .measurements,
+            ),
+            CostModel::BranchJoin { branch_threshold: 2 },
+        ),
+        (
+            "DeepDriveMD",
+            DflGraph::from_measurements(
+                &run(
+                    &ddmd::generate(&ddmd::DdmdConfig::tiny(), ddmd::Pipeline::Original),
+                    &RunConfig::default_gpu(2),
+                )
+                .unwrap()
+                .measurements,
+            ),
+            CostModel::Volume,
+        ),
+        (
+            "Seismic",
+            DflGraph::from_measurements(
+                &run(&seismic::generate(&seismic::SeismicConfig::tiny()), &RunConfig::default_gpu(2))
+                    .unwrap()
+                    .measurements,
+            ),
+            CostModel::TaskFanIn,
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, g, cost) in &graphs {
+        let cfg = AnalysisConfig {
+            volume_threshold: 1 << 20,
+            fan_in_threshold: 3,
+            parallelism_threshold: 3,
+            ..Default::default()
+        };
+        let mut top = analyze(g, &cfg);
+        top.truncate(10);
+
+        let cp = critical_path(g, cost);
+        let plain = caterpillar(g, &cp, CaterpillarRule::Plain);
+        let dfl = caterpillar(g, &cp, CaterpillarRule::Dfl);
+
+        let path_members = cp.membership(g.vertex_count());
+        let plain_members = plain.membership(g.vertex_count());
+        let dfl_members = dfl.membership(g.vertex_count());
+
+        rows.push(vec![
+            (*name).to_owned(),
+            format!("{}/{} v", cp.vertices.len(), g.vertex_count()),
+            format!("{} of 10", coverage(g, &path_members, &top)),
+            format!("{} v, {} of 10", plain.len(), coverage(g, &plain_members, &top)),
+            format!("{} v, {} of 10", dfl.len(), coverage(g, &dfl_members, &top)),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "top-10 opportunity coverage by narrowing strategy",
+            &["workflow", "critical path", "CP covers", "plain caterpillar", "DFL caterpillar"],
+            &rows,
+        )
+    );
+    println!("the DFL rule's extra distance-2 vertices buy producer-relation coverage at");
+    println!("negligible size cost — the paper's justification for extending the caterpillar.");
+}

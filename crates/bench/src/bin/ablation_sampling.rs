@@ -1,0 +1,62 @@
+//! Ablation: spatial sampling rate vs measurement accuracy (§3).
+//!
+//! The paper claims constant-space measurement via deterministic location
+//! sampling; the cost is estimation error on *unique* quantities
+//! (footprints). This sweep measures footprint estimation error and tracked
+//! state size across sampling rates for a scan + hot-spot access mix.
+//!
+//! Run with: `cargo run --release -p dfl-bench --bin ablation_sampling`
+
+use dfl_bench::{banner, render_table};
+use dfl_trace::{IoTiming, Monitor, MonitorConfig, OpenMode};
+
+/// A workload with a known footprint: scans the first 60% of a 1 GiB file
+/// and re-reads a hot 5% region ten times.
+fn run_workload(pct: u64) -> (f64, usize, u64) {
+    let m = Monitor::new(MonitorConfig::default().with_sampling_percent(pct));
+    let gib: u64 = 1 << 30;
+    let ctx = m.begin_task("scan-0", 0);
+    let fd = ctx.open("data.bin", OpenMode::Read, Some(gib), 0);
+    let op = 1 << 20;
+    for i in 0..(gib * 6 / 10 / op) {
+        ctx.read_at(fd, i * op, op, IoTiming::new(i, 100)).unwrap();
+    }
+    for pass in 0..10u64 {
+        for i in 0..(gib / 20 / op) {
+            ctx.read_at(fd, i * op, op, IoTiming::new(1_000_000 + pass, 100)).unwrap();
+        }
+    }
+    ctx.close(fd, 2_000_000).unwrap();
+    ctx.finish(2_000_000);
+
+    let set = m.snapshot();
+    let rec = &set.records[0];
+    (rec.read_footprint(), rec.histogram.tracked_locations(), rec.bytes_read)
+}
+
+fn main() {
+    banner("ablation — spatial sampling rate vs footprint accuracy (§3)");
+    let truth = (1u64 << 30) as f64 * 0.6;
+    let mut rows = Vec::new();
+    for pct in [100u64, 50, 25, 10, 5, 1] {
+        let (est, locations, volume) = run_workload(pct);
+        let err = (est - truth).abs() / truth * 100.0;
+        rows.push(vec![
+            format!("{pct}%"),
+            format!("{:.1} MiB", est / (1 << 20) as f64),
+            format!("{err:.1}%"),
+            locations.to_string(),
+            format!("{:.1} MiB", volume as f64 / (1 << 20) as f64),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "footprint estimate vs sampling rate (true footprint 614.4 MiB)",
+            &["rate", "estimated footprint", "error", "tracked locations", "exact volume"],
+            &rows,
+        )
+    );
+    println!("volumes stay exact at every rate (kept as scalar counters);");
+    println!("unique-byte estimates degrade gracefully while state shrinks with the rate.");
+}

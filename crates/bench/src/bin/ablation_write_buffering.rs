@@ -1,0 +1,53 @@
+//! Ablation: the Table 1 "write buffering" remediation.
+//!
+//! Runs the 1000 Genomes workflow with synchronous vs buffered writes on
+//! shared storage. Buffering takes producer flows off the task critical
+//! path (tasks return at memory speed and the drain proceeds in the
+//! background), which shortens write-heavy stages without any placement
+//! change.
+//!
+//! Run with: `cargo run --release -p dfl-bench --bin ablation_write_buffering`
+
+use dfl_bench::{banner, render_table, secs, speedup};
+use dfl_workflows::engine::run;
+use dfl_workflows::genomes::{generate, Fig6Config, GenomesConfig};
+
+fn main() {
+    banner("ablation — synchronous vs buffered writes (Table 1 remediation)");
+    let cfg = GenomesConfig {
+        chromosomes: 4,
+        indiv_per_chr: 8,
+        populations: 3,
+        ..GenomesConfig::default()
+    };
+    let spec = generate(&cfg);
+
+    let mut rows = Vec::new();
+    let mut baseline = None;
+    for (label, buffered) in [("synchronous writes", false), ("buffered writes", true)] {
+        let mut rc = Fig6Config::N10Bfs.run_config();
+        rc.write_buffering = buffered;
+        let r = run(&spec, &rc).expect("run");
+        baseline.get_or_insert(r.makespan_s);
+        rows.push(vec![
+            label.to_owned(),
+            secs(r.stage_time(2)),
+            secs(r.stage_time(3)),
+            secs(r.stage_time(4)),
+            secs(r.makespan_s),
+            speedup(baseline.unwrap(), r.makespan_s),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "1000 Genomes (4 chromosomes) on shared BeeGFS",
+            &["write mode", "stage2 (indiv)", "stage3 (merge+sift)", "stage4", "total", "speedup"],
+            &rows,
+        )
+    );
+    println!("buffering shortens the write-heavy producer stages (indiv, merge) but the");
+    println!("background drains then contend with downstream reads on the same shared");
+    println!("tier — the zero-sum outcome Table 1 anticipates when the remediation is");
+    println!("applied without also pairing tasks with flow resources.");
+}

@@ -1,0 +1,112 @@
+//! Regenerates **Fig. 3** (and Fig. 1's concepts): a hand-built DFL graph
+//! with its critical path (3a), the DFL caterpillar narrowing (3b), and the
+//! aggregator / compressor-aggregator / splitter relations (3c–e), plus the
+//! opportunity ranking.
+//!
+//! Run with: `cargo run --release -p dfl-bench --bin fig3_concepts`
+
+use dfl_bench::banner;
+use dfl_core::analysis::caterpillar::{caterpillar, CaterpillarRule};
+use dfl_core::analysis::cost::CostModel;
+use dfl_core::analysis::critical_path::critical_path;
+use dfl_core::analysis::patterns::{analyze, report, AnalysisConfig};
+use dfl_core::props::{DataProps, EdgeProps, FlowDir, TaskProps};
+use dfl_core::viz::{render_ascii, to_dot};
+use dfl_core::DflGraph;
+
+/// Builds the Fig. 3a-style graph: a spine t1→d1→t2→d2→t3 with an off-path
+/// producer t7 (fed by d9), an aggregator with data parallelism, and a
+/// splitter.
+fn fig3_graph() -> DflGraph {
+    let mut g = DflGraph::new();
+    let mb = |n: u64| n << 20;
+
+    // Spine.
+    let t1 = g.add_task("t1", "t", TaskProps { lifetime_ns: 2_000_000_000, ..Default::default() });
+    let d1 = g.add_data("d1", "d", DataProps { size: mb(512), ..Default::default() });
+    let t2 = g.add_task("t2", "t", TaskProps { lifetime_ns: 3_000_000_000, ..Default::default() });
+    let d2 = g.add_data("d2", "d", DataProps { size: mb(256), ..Default::default() });
+    let t3 = g.add_task("t3", "t", TaskProps { lifetime_ns: 1_000_000_000, ..Default::default() });
+    g.add_edge(t1, d1, FlowDir::Producer, EdgeProps { volume: mb(512), footprint: mb(512) as f64, ops: 64, ..Default::default() });
+    g.add_edge(d1, t2, FlowDir::Consumer, EdgeProps { volume: mb(512), footprint: mb(512) as f64, ops: 64, blocking_fraction: 0.5, ..Default::default() });
+    g.add_edge(t2, d2, FlowDir::Producer, EdgeProps { volume: mb(256), footprint: mb(256) as f64, ops: 32, ..Default::default() });
+    g.add_edge(d2, t3, FlowDir::Consumer, EdgeProps { volume: mb(256), footprint: mb(256) as f64, ops: 32, ..Default::default() });
+
+    // Off-path producer feeding the spine (the DFL caterpillar rule's case).
+    let d9 = g.add_data("d9", "d", DataProps { size: mb(64), ..Default::default() });
+    let t7 = g.add_task("t7", "t", TaskProps { lifetime_ns: 500_000_000, ..Default::default() });
+    g.add_edge(d9, t7, FlowDir::Consumer, EdgeProps { volume: mb(64), footprint: mb(64) as f64, ops: 8, ..Default::default() });
+    g.add_edge(t7, d1, FlowDir::Producer, EdgeProps { volume: mb(32), footprint: mb(32) as f64, ops: 4, ..Default::default() });
+
+    // Aggregator with data parallelism (Fig. 3c/d): 4 partition readers of
+    // one input file feed a compressing aggregator.
+    let src = g.add_data("src", "d", DataProps { size: mb(400), ..Default::default() });
+    let mut parts = Vec::new();
+    for i in 0..4 {
+        let w = g.add_task(&format!("part-{i}"), "part", TaskProps { lifetime_ns: 1_000_000_000, ..Default::default() });
+        g.add_edge(src, w, FlowDir::Consumer, EdgeProps {
+            volume: mb(100),
+            footprint: mb(100) as f64,
+            subset_fraction: 0.25,
+            ops: 16,
+            ..Default::default()
+        });
+        let o = g.add_data(&format!("part-{i}.out"), "part#.out", DataProps { size: mb(100), ..Default::default() });
+        g.add_edge(w, o, FlowDir::Producer, EdgeProps { volume: mb(100), footprint: mb(100) as f64, ops: 16, ..Default::default() });
+        parts.push(o);
+    }
+    let agg = g.add_task("agg", "agg", TaskProps { lifetime_ns: 2_000_000_000, ..Default::default() });
+    for p in parts {
+        g.add_edge(p, agg, FlowDir::Consumer, EdgeProps { volume: mb(100), footprint: mb(100) as f64, ops: 16, ..Default::default() });
+    }
+    let packed = g.add_data("packed.tar.gz", "packed", DataProps { size: mb(80), ..Default::default() });
+    g.add_edge(agg, packed, FlowDir::Producer, EdgeProps { volume: mb(80), footprint: mb(80) as f64, ops: 8, ..Default::default() });
+
+    // Splitter (Fig. 3e): packed output scattered over 3 consumers.
+    for i in 0..3 {
+        let c = g.add_task(&format!("use-{i}"), "use", TaskProps { lifetime_ns: 700_000_000, ..Default::default() });
+        g.add_edge(packed, c, FlowDir::Consumer, EdgeProps {
+            volume: mb(27),
+            footprint: mb(27) as f64,
+            subset_fraction: 0.33,
+            ops: 4,
+            ..Default::default()
+        });
+    }
+    g
+}
+
+fn main() {
+    banner("Fig. 3 — DFL graph, critical path, caterpillar, opportunities (§5)");
+    let g = fig3_graph();
+
+    let cp = critical_path(&g, &CostModel::Volume);
+    println!("critical path by volume (Fig. 3a, purple):");
+    for (i, v) in cp.vertices.iter().enumerate() {
+        print!("{}{}", if i > 0 { " → " } else { "  " }, g.vertex(*v).name);
+    }
+    println!("   (cost {:.0} bytes)\n", cp.total_cost);
+
+    let cat = caterpillar(&g, &cp, CaterpillarRule::Dfl);
+    println!(
+        "DFL caterpillar (Fig. 3b): spine {} + legs {} + distance-2 extension {}",
+        cat.spine.len(),
+        cat.legs.len(),
+        cat.extended.len()
+    );
+    println!(
+        "  extension preserves the producer relation: {:?}\n",
+        cat.extended.iter().map(|&v| g.vertex(v).name.clone()).collect::<Vec<_>>()
+    );
+
+    println!("{}", render_ascii(&g, Some(&cp)));
+
+    let mut cfg = AnalysisConfig { volume_threshold: 64 << 20, fan_in_threshold: 3, ..Default::default() };
+    cfg.parallelism_threshold = 4;
+    let ops = analyze(&g, &cfg);
+    println!("{}", report(&g, &ops));
+
+    std::fs::create_dir_all("target/fig3").ok();
+    std::fs::write("target/fig3/fig3.dot", to_dot(&g, "fig3", Some(&cp))).expect("write dot");
+    println!("wrote target/fig3/fig3.dot (render with graphviz)");
+}

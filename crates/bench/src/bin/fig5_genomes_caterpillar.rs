@@ -1,0 +1,82 @@
+//! Regenerates **Fig. 5**: the 1000 Genomes chromosome-1 DFL caterpillar
+//! under the data-branch/task-join property, listing the branches (green)
+//! and joins the paper calls out (columns and chr1 fan-out; aggregation on
+//! indiv, merge, sift, mutat).
+//!
+//! Run with: `cargo run --release -p dfl-bench --bin fig5_genomes_caterpillar`
+
+use dfl_bench::{banner, render_table};
+use dfl_core::analysis::caterpillar::{caterpillar, CaterpillarRule};
+use dfl_core::analysis::cost::CostModel;
+use dfl_core::analysis::critical_path::critical_path;
+use dfl_core::DflGraph;
+use dfl_workflows::engine::{run, RunConfig};
+use dfl_workflows::genomes::{generate, GenomesConfig};
+
+fn main() {
+    banner("Fig. 5 — 1000 Genomes chr1 caterpillar by branches & joins (§6.2)");
+    // One chromosome, paper-sized fan-out kept small enough to print.
+    let cfg = GenomesConfig {
+        chromosomes: 1,
+        indiv_per_chr: 6,
+        populations: 3,
+        ..GenomesConfig::tiny()
+    };
+    let result = run(&generate(&cfg), &RunConfig::default_gpu(2)).expect("run");
+    let g = DflGraph::from_measurements(&result.measurements);
+
+    let cost = CostModel::BranchJoin { branch_threshold: 2 };
+    let cp = critical_path(&g, &cost);
+    println!("critical path (most branch/join instances, cost {:.0}):", cp.total_cost);
+    for v in &cp.vertices {
+        let vx = g.vertex(*v);
+        let (ind, outd) = (g.in_degree(*v), g.out_degree(*v));
+        let marks = format!(
+            "{}{}",
+            if vx.is_data() && outd > 2 { " [branch]" } else { "" },
+            if vx.is_task() && ind >= 2 { " [join]" } else { "" },
+        );
+        println!("  {}{marks}", vx.name);
+    }
+
+    let cat = caterpillar(&g, &cp, CaterpillarRule::Dfl);
+    println!(
+        "\ncaterpillar: {} spine + {} legs + {} dist-2 = {} of {} vertices\n",
+        cat.spine.len(),
+        cat.legs.len(),
+        cat.extended.len(),
+        cat.len(),
+        g.vertex_count()
+    );
+
+    // Data branches (green in the paper's figure).
+    let mut rows = Vec::new();
+    for d in g.data_vertices() {
+        if g.out_degree(d) > 2 {
+            rows.push(vec![
+                g.vertex(d).name.clone(),
+                g.out_degree(d).to_string(),
+                g.successors(d)
+                    .take(4)
+                    .map(|t| g.vertex(t).name.clone())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+                    + if g.out_degree(d) > 4 { ", …" } else { "" },
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table("data branches (fan-out > 2)", &["file", "consumers", "e.g."], &rows)
+    );
+
+    let mut rows = Vec::new();
+    for t in g.task_vertices() {
+        if g.in_degree(t) >= 2 {
+            rows.push(vec![g.vertex(t).name.clone(), g.in_degree(t).to_string()]);
+        }
+    }
+    println!("{}", render_table("task joins (fan-in ≥ 2)", &["task", "inputs"], &rows));
+    println!("paper: branches on columns and chr1; joins on indiv, merge, sift, mutat —");
+    println!("       duplicated, congested flow that staging/caching can localize.");
+}

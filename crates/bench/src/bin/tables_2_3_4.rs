@@ -1,0 +1,77 @@
+//! Regenerates **Tables 2–4**: the machine configurations, the Belle II
+//! scenarios, and the TAZeR cache levels, as realized by this reproduction.
+//!
+//! Run with: `cargo run --release -p dfl-bench --bin tables_2_3_4`
+
+use dfl_bench::{banner, render_table};
+use dfl_iosim::cache::CacheConfig;
+use dfl_iosim::ClusterSpec;
+use dfl_workflows::belle2::Scenario;
+
+fn main() {
+    banner("Tables 2–4 — machines, scenarios, cache configurations");
+
+    // Table 2.
+    let mut rows = Vec::new();
+    for c in [
+        ClusterSpec::cpu_cluster(10),
+        ClusterSpec::gpu_cluster(10),
+        ClusterSpec::cpu_cluster_with_data_server(10),
+    ] {
+        rows.push(vec![
+            c.name.clone(),
+            format!("{} × {} cores, {} GB", c.node_count(), c.nodes[0].cores, c.nodes[0].mem_bytes >> 30),
+            c.tiers
+                .iter()
+                .map(|t| {
+                    format!("{} ({:.0} MiB/s)", t.kind.label(), t.read_bw / (1 << 20) as f64)
+                })
+                .collect::<Vec<_>>()
+                .join(", "),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table("Table 2 — machine configurations", &["machine", "compute, memory", "storage options"], &rows)
+    );
+
+    // Table 3.
+    let rows: Vec<Vec<String>> = Scenario::all()
+        .into_iter()
+        .map(|s| {
+            vec![
+                s.label().to_owned(),
+                if s.fragmented() { "real" } else { "regular" }.to_owned(),
+                if s.ensemble() { "4x" } else { "no" }.to_owned(),
+                if s.filter() { "4x" } else { "no" }.to_owned(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table("Table 3 — Belle II scenarios", &["scenario", "pattern", "ensemble", "filter"], &rows)
+    );
+
+    // Table 4.
+    let cache = CacheConfig::tazer_table4();
+    let rows: Vec<Vec<String>> = cache
+        .levels
+        .iter()
+        .map(|l| {
+            vec![
+                l.name.clone(),
+                format!("{:?}", l.scope),
+                if l.capacity >= 1 << 30 {
+                    format!("{} GB", l.capacity >> 30)
+                } else {
+                    format!("{} MB", l.capacity >> 20)
+                },
+                format!("{:.0} MiB/s", l.read_bw / (1 << 20) as f64),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table("Table 4 — TAZeR cache configuration", &["cache", "scope", "size", "service bw"], &rows)
+    );
+}

@@ -1,0 +1,83 @@
+//! Shared helpers for the figure/table regeneration binaries.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin/` that regenerates it (see DESIGN.md's per-experiment index).
+//! These helpers render the small fixed-width report tables those binaries
+//! print.
+
+/// Renders a fixed-width table: header row + rows, columns sized to fit.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    use std::fmt::Write as _;
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, c) in r.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let mut s = String::new();
+    let _ = writeln!(s, "### {title}");
+    for (h, w) in header.iter().zip(&widths) {
+        let _ = write!(s, "{h:<w$}  ");
+    }
+    let _ = writeln!(s);
+    for (h, w) in header.iter().zip(&widths) {
+        let _ = write!(s, "{}  ", "-".repeat((*w).max(h.len())));
+    }
+    let _ = writeln!(s);
+    for r in rows {
+        for (c, w) in r.iter().zip(&widths) {
+            let _ = write!(s, "{c:<w$}  ");
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+/// Formats a speedup like `15.2x`.
+pub fn speedup(baseline: f64, improved: f64) -> String {
+    if improved <= 0.0 {
+        return "∞".to_owned();
+    }
+    format!("{:.1}x", baseline / improved)
+}
+
+/// Formats seconds with two decimals.
+pub fn secs(s: f64) -> String {
+    format!("{s:.2}")
+}
+
+/// A one-line banner tying the output back to the paper artifact.
+pub fn banner(what: &str) {
+    println!("==============================================================");
+    println!("DataLife-rs reproduction — {what}");
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            "demo",
+            &["config", "time"],
+            &[
+                vec!["15/bfs".into(), "100.0".into()],
+                vec!["10/bfs+shm+staging".into(), "6.7".into()],
+            ],
+        );
+        assert!(t.contains("### demo"));
+        assert!(t.contains("15/bfs"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[1].starts_with("config"));
+    }
+
+    #[test]
+    fn speedup_formatting() {
+        assert_eq!(speedup(150.0, 10.0), "15.0x");
+        assert_eq!(speedup(1.0, 0.0), "∞");
+    }
+}

@@ -1,0 +1,311 @@
+//! `datalife` — command-line front end for the DataLife-rs reproduction.
+//!
+//! ```text
+//! datalife run <workflow> [--scale tiny|paper] [--nodes N] [-o out.json]
+//! datalife analyze <measurements.json> [--cost volume|time|branchjoin|fanin]
+//! datalife rank <measurements.json> [--what pc|data|task]
+//! datalife caterpillar <measurements.json> [--cost ...]
+//! datalife sankey <measurements.json> [-o out.json]
+//! datalife html <measurements.json> [-o out.html]
+//! datalife casestudy <genomes|ddmd|belle2>
+//! ```
+//!
+//! `run` simulates one of the five paper workflows under DFL monitoring and
+//! writes the measurement set as JSON; the other commands analyze such a
+//! file, mirroring the original DataLife collector/analyzer split.
+
+use std::process::ExitCode;
+
+use dfl_core::analysis::caterpillar::{caterpillar, CaterpillarRule};
+use dfl_core::analysis::cost::CostModel;
+use dfl_core::analysis::critical_path::critical_path;
+use dfl_core::analysis::patterns::{analyze, report, AnalysisConfig};
+use dfl_core::analysis::ranking::{
+    rank_data_vertices, rank_producer_consumer, rank_task_vertices, DataMetric, TaskMetric,
+};
+use dfl_core::viz::render_ascii;
+use dfl_core::viz::sankey::{SankeyDiagram, SankeyOptions};
+use dfl_core::DflGraph;
+use dfl_trace::MeasurementSet;
+use dfl_workflows::engine::{run as run_workflow, RunConfig};
+use dfl_workflows::{belle2, ddmd, genomes, montage, seismic};
+
+const USAGE: &str = "\
+datalife — data flow lifecycle analysis for distributed workflows
+
+USAGE:
+  datalife run <genomes|ddmd|belle2|montage|seismic> [--scale tiny|paper] [--nodes N] [-o FILE]
+  datalife analyze <measurements.json> [--cost volume|time|branchjoin|fanin]
+  datalife rank <measurements.json> [--what pc|data|task]
+  datalife caterpillar <measurements.json> [--cost volume|time|branchjoin|fanin]
+  datalife sankey <measurements.json> [-o FILE]
+  datalife html <measurements.json> [-o FILE]
+  datalife advise <measurements.json>
+  datalife casestudy <genomes|ddmd|belle2>
+
+`run` simulates the workflow on the paper's Table 2 machines while the DFL
+monitor records lifecycle measurements (written as JSON, default
+measurements.json). The analysis commands consume that JSON.";
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_cost(args: &[String]) -> CostModel {
+    match arg_value(args, "--cost").as_deref() {
+        Some("time") => CostModel::Time,
+        Some("branchjoin") => CostModel::BranchJoin { branch_threshold: 2 },
+        Some("fanin") => CostModel::TaskFanIn,
+        Some("footprint") => CostModel::Footprint,
+        _ => CostModel::Volume,
+    }
+}
+
+fn load(path: &str) -> Result<DflGraph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let set = MeasurementSet::from_json(&text).map_err(|e| format!("bad measurement JSON: {e}"))?;
+    Ok(DflGraph::from_measurements(&set))
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let workflow = args.first().ok_or("missing workflow name")?;
+    let paper_scale = arg_value(args, "--scale").as_deref() == Some("paper");
+    let nodes: usize = arg_value(args, "--nodes").and_then(|v| v.parse().ok()).unwrap_or(2);
+    let out = arg_value(args, "-o").unwrap_or_else(|| "measurements.json".into());
+
+    let (spec, cfg) = match workflow.as_str() {
+        "genomes" => {
+            let c = if paper_scale {
+                genomes::GenomesConfig::default()
+            } else {
+                genomes::GenomesConfig::tiny()
+            };
+            (genomes::generate(&c), RunConfig::default_gpu(nodes))
+        }
+        "ddmd" => {
+            let c = if paper_scale { ddmd::DdmdConfig::default() } else { ddmd::DdmdConfig::tiny() };
+            (ddmd::generate(&c, ddmd::Pipeline::Original), RunConfig::default_gpu(nodes))
+        }
+        "belle2" => {
+            let c = if paper_scale {
+                belle2::Belle2Config::default()
+            } else {
+                belle2::Belle2Config::tiny()
+            };
+            let rc = belle2::run_config(&c, belle2::DataAccess::Cached, nodes);
+            (belle2::generate(&c, belle2::DataAccess::Cached), rc)
+        }
+        "montage" => {
+            let c = if paper_scale {
+                montage::MontageConfig::default()
+            } else {
+                montage::MontageConfig::tiny()
+            };
+            (montage::generate(&c), RunConfig::default_gpu(nodes))
+        }
+        "seismic" => {
+            let c = if paper_scale {
+                seismic::SeismicConfig::default()
+            } else {
+                seismic::SeismicConfig::tiny()
+            };
+            (seismic::generate(&c), RunConfig::default_gpu(nodes))
+        }
+        w => return Err(format!("unknown workflow '{w}'")),
+    };
+
+    let result = run_workflow(&spec, &cfg).map_err(|e| e.to_string())?;
+    println!("{}", result.stage_summary());
+    let json = result.measurements.to_json().map_err(|e| e.to_string())?;
+    std::fs::write(&out, json).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {} tasks, {} files, {} task-file records",
+        result.measurements.tasks.len(),
+        result.measurements.files.len(),
+        result.measurements.records.len()
+    );
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing measurements file")?;
+    let g = load(path)?;
+    let cost = parse_cost(args);
+    println!(
+        "DFL-DAG: {} vertices ({} tasks, {} data), {} edges; acyclic: {}\n",
+        g.vertex_count(),
+        g.task_vertices().count(),
+        g.data_vertices().count(),
+        g.edge_count(),
+        g.is_dag()
+    );
+    print!("{}", dfl_core::analysis::graph_stats(&g));
+    println!();
+    let cfg = AnalysisConfig { cost, ..Default::default() };
+    let ops = analyze(&g, &cfg);
+    print!("{}", report(&g, &ops));
+    Ok(())
+}
+
+fn cmd_html(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing measurements file")?;
+    let g = load(path)?;
+    let cp = critical_path(&g, &CostModel::Volume);
+    let out = arg_value(args, "-o").unwrap_or_else(|| "lifecycle.html".into());
+    std::fs::write(&out, dfl_core::viz::to_html(&g, path, Some(&cp))).map_err(|e| e.to_string())?;
+    println!("wrote {out}; open it in a browser");
+    Ok(())
+}
+
+fn cmd_advise(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing measurements file")?;
+    let g = load(path)?;
+    let ops = analyze(&g, &AnalysisConfig::default());
+    let advice = dfl_core::analysis::advise(&g, &ops);
+    if advice.is_empty() {
+        println!("no mechanically-applicable coordination changes found");
+    }
+    if !advice.stage_inputs.is_empty() {
+        println!("stage these inputs to node-local storage:");
+        for f in &advice.stage_inputs {
+            println!("  {f}");
+        }
+    }
+    if advice.local_intermediates {
+        println!("write intermediates to node-local tiers");
+    }
+    if advice.colocate_consumers {
+        println!("co-schedule consumers of shared files (group-aware placement)");
+    }
+    if !advice.cache_files.is_empty() {
+        println!("cache these re-read files:");
+        for f in &advice.cache_files {
+            println!("  {f}");
+        }
+    }
+    if advice.buffer_writes {
+        println!("enable write buffering for critical producers");
+    }
+    if !advice.rationale.is_empty() {
+        println!("
+rationale:");
+        for r in &advice.rationale {
+            println!("  - {r}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_rank(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing measurements file")?;
+    let g = load(path)?;
+    match arg_value(args, "--what").as_deref() {
+        Some("data") => println!("{}", rank_data_vertices(&g, DataMetric::TotalVolume)),
+        Some("task") => println!("{}", rank_task_vertices(&g, TaskMetric::TotalVolume)),
+        _ => println!("{}", rank_producer_consumer(&g)),
+    }
+    Ok(())
+}
+
+fn cmd_caterpillar(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing measurements file")?;
+    let g = load(path)?;
+    let cost = parse_cost(args);
+    let cp = critical_path(&g, &cost);
+    let cat = caterpillar(&g, &cp, CaterpillarRule::Dfl);
+    println!(
+        "critical path by {} (cost {:.3e}): {} vertices",
+        cost.label(),
+        cp.total_cost,
+        cp.vertices.len()
+    );
+    for v in &cp.vertices {
+        println!("  {}", g.vertex(*v).name);
+    }
+    println!(
+        "caterpillar: +{} legs, +{} distance-2 producers ({} of {} vertices)\n",
+        cat.legs.len(),
+        cat.extended.len(),
+        cat.len(),
+        g.vertex_count()
+    );
+    println!("{}", render_ascii(&g, Some(&cp)));
+    Ok(())
+}
+
+fn cmd_sankey(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing measurements file")?;
+    let g = load(path)?;
+    let cp = critical_path(&g, &CostModel::Volume);
+    let s = SankeyDiagram::from_graph(
+        &g,
+        &SankeyOptions { title: path.clone(), critical_path: Some(cp), ..Default::default() },
+    );
+    let out = arg_value(args, "-o").unwrap_or_else(|| "sankey.json".into());
+    std::fs::write(&out, s.to_json().map_err(|e| e.to_string())?).map_err(|e| e.to_string())?;
+    println!("wrote {out} ({} nodes, {} links)", s.nodes.len(), s.links.len());
+    Ok(())
+}
+
+fn cmd_casestudy(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("genomes") => {
+            let spec = genomes::generate(&genomes::GenomesConfig::default());
+            for v in genomes::Fig6Config::all() {
+                let r = run_workflow(&spec, &v.run_config()).map_err(|e| e.to_string())?;
+                println!("{:<20} {:>8.2}s", v.label(), r.makespan_s);
+            }
+            Ok(())
+        }
+        Some("ddmd") => {
+            for v in ddmd::Fig7Config::all() {
+                let spec = ddmd::generate(&ddmd::DdmdConfig::default(), v.pipeline());
+                let r = run_workflow(&spec, &v.run_config()).map_err(|e| e.to_string())?;
+                println!("{:<20} {:>8.2}s", v.label(), r.makespan_s);
+            }
+            Ok(())
+        }
+        Some("belle2") => {
+            let cfg = belle2::Belle2Config::default();
+            for access in [belle2::DataAccess::FtpCopy, belle2::DataAccess::Cached] {
+                let spec = belle2::generate(&cfg, access);
+                let rc = belle2::run_config(&cfg, access, 10);
+                let r = run_workflow(&spec, &rc).map_err(|e| e.to_string())?;
+                println!("{access:?}: {:.2}s", r.makespan_s);
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown case study {other:?} (genomes|ddmd|belle2)")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "run" => cmd_run(rest),
+        "analyze" => cmd_analyze(rest),
+        "rank" => cmd_rank(rest),
+        "caterpillar" => cmd_caterpillar(rest),
+        "sankey" => cmd_sankey(rest),
+        "html" => cmd_html(rest),
+        "advise" => cmd_advise(rest),
+        "casestudy" => cmd_casestudy(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

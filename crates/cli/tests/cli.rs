@@ -1,0 +1,111 @@
+//! Black-box tests of the `datalife` binary: the collector→analyzer round
+//! trip a user would actually run.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn datalife() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_datalife"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("datalife-cli-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = datalife().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn help_succeeds() {
+    let out = datalife().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("datalife run"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = datalife().arg("bogus").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command 'bogus'"));
+}
+
+#[test]
+fn run_then_analyze_rank_caterpillar_sankey_html() {
+    let dir = tmpdir("roundtrip");
+    let m = dir.join("m.json");
+
+    let out = datalife()
+        .args(["run", "ddmd", "-o", m.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("makespan"));
+    assert!(m.exists());
+
+    let out = datalife().args(["analyze", m.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("acyclic: true"));
+    assert!(text.contains("opportunity report"));
+
+    let out = datalife().args(["rank", m.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("producer-consumer relations"));
+
+    let out = datalife()
+        .args(["caterpillar", m.to_str().unwrap(), "--cost", "volume"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("caterpillar:"));
+
+    let sankey = dir.join("s.json");
+    let out = datalife()
+        .args(["sankey", m.to_str().unwrap(), "-o", sankey.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let parsed: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&sankey).unwrap()).unwrap();
+    assert!(parsed["nodes"].as_array().unwrap().len() > 3);
+
+    let out = datalife().args(["advise", m.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let advice = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        advice.contains("cache these re-read files") || advice.contains("node-local")
+            || advice.contains("no mechanically-applicable"),
+        "{advice}"
+    );
+
+    let html = dir.join("l.html");
+    let out = datalife()
+        .args(["html", m.to_str().unwrap(), "-o", html.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(std::fs::read_to_string(&html).unwrap().starts_with("<!DOCTYPE html>"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_missing_file_fails_cleanly() {
+    let out = datalife().args(["analyze", "/nonexistent/zzz.json"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn run_unknown_workflow_fails() {
+    let out = datalife().args(["run", "fusion"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown workflow"));
+}

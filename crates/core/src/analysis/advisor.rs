@@ -1,0 +1,245 @@
+//! Automated coordination advice — the paper's stated future work ("our
+//! future work includes exploring ways to automate suggestions for improved
+//! scheduling and resource assignment", §8).
+//!
+//! The advisor turns ranked [`Opportunity`]s into a concrete
+//! [`CoordinationAdvice`]: which input files to stage node-locally, whether
+//! intermediates belong on node-local tiers, whether consumers of the same
+//! data should co-locate, and whether caching or write buffering applies.
+//! A workflow engine can apply the advice mechanically (see
+//! `dfl-workflows::engine`).
+
+use std::collections::BTreeSet;
+
+use crate::analysis::patterns::{Opportunity, PatternKind, Subject};
+use crate::graph::{DflGraph, VertexId};
+
+/// Machine-applicable coordination suggestions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CoordinationAdvice {
+    /// Input files (no producer in the graph) worth staging to node-local
+    /// storage before consumers run — from fan-out / splitter / inter-task
+    /// locality patterns.
+    pub stage_inputs: BTreeSet<String>,
+    /// Whether intermediates (produced-and-consumed files) should live on
+    /// node-local tiers — from producer-consumer locality on the caterpillar.
+    pub local_intermediates: bool,
+    /// Whether consumers sharing data should be co-scheduled (group-aware
+    /// placement) — from inter-task locality and splitter patterns.
+    pub colocate_consumers: bool,
+    /// Files whose repeated reads justify caching — from intra/inter-task
+    /// reuse.
+    pub cache_files: BTreeSet<String>,
+    /// Whether producers on the critical path stall in writes long enough
+    /// that write buffering is worth trying.
+    pub buffer_writes: bool,
+    /// Human-readable rationale, one line per decision.
+    pub rationale: Vec<String>,
+}
+
+impl CoordinationAdvice {
+    /// Whether the advisor found anything actionable.
+    pub fn is_empty(&self) -> bool {
+        self.stage_inputs.is_empty()
+            && !self.local_intermediates
+            && !self.colocate_consumers
+            && self.cache_files.is_empty()
+            && !self.buffer_writes
+    }
+}
+
+fn is_input(g: &DflGraph, d: VertexId) -> bool {
+    g.vertex(d).is_data() && g.in_degree(d) == 0
+}
+
+/// Derives coordination advice from an opportunity report.
+///
+/// Only high-confidence, mechanically-applicable remediations are emitted;
+/// "[Must validate]" patterns (pipeline relaxation, parallelism trade-offs)
+/// are surfaced in the rationale but never auto-applied — matching the
+/// paper's requirement for human validation.
+pub fn advise(g: &DflGraph, opportunities: &[Opportunity]) -> CoordinationAdvice {
+    let mut advice = CoordinationAdvice::default();
+
+    for o in opportunities {
+        match o.pattern {
+            PatternKind::InterTaskLocality | PatternKind::Splitter => {
+                if let Subject::Vertex(d) = o.subject {
+                    if g.vertex(d).is_data() {
+                        if is_input(g, d) {
+                            if advice.stage_inputs.insert(g.vertex(d).name.clone()) {
+                                advice.rationale.push(format!(
+                                    "stage '{}' locally: {}",
+                                    g.vertex(d).name, o.evidence
+                                ));
+                            }
+                        } else {
+                            if !advice.local_intermediates {
+                                advice.rationale.push(format!(
+                                    "keep intermediates node-local: '{}' — {}",
+                                    g.vertex(d).name, o.evidence
+                                ));
+                            }
+                            advice.local_intermediates = true;
+                        }
+                        if g.out_degree(d) >= 2 {
+                            if !advice.colocate_consumers {
+                                advice.rationale.push(format!(
+                                    "co-schedule consumers of '{}' ({} readers)",
+                                    g.vertex(d).name,
+                                    g.out_degree(d)
+                                ));
+                            }
+                            advice.colocate_consumers = true;
+                        }
+                    }
+                }
+                if let Subject::Composite(_, d, _) = o.subject {
+                    if !is_input(g, d) {
+                        advice.local_intermediates = true;
+                    }
+                }
+            }
+            PatternKind::IntraTaskLocality => {
+                if let Subject::Edge(e) = o.subject {
+                    let d = g.edge(e).src;
+                    if g.vertex(d).is_data()
+                        && advice.cache_files.insert(g.vertex(d).name.clone())
+                    {
+                        advice.rationale.push(format!(
+                            "cache '{}': {}",
+                            g.vertex(d).name, o.evidence
+                        ));
+                    }
+                }
+            }
+            PatternKind::CriticalDataFlow => {
+                if let Subject::Edge(e) = o.subject {
+                    let edge = g.edge(e);
+                    // A producer flow stalling on the critical path → buffer.
+                    if edge.dir == crate::props::FlowDir::Producer && !advice.buffer_writes {
+                        advice.buffer_writes = true;
+                        advice.rationale.push(format!(
+                            "buffer writes of '{}': {}",
+                            g.vertex(edge.src).name, o.evidence
+                        ));
+                    }
+                }
+            }
+            PatternKind::Aggregator
+            | PatternKind::CompressorAggregator
+            | PatternKind::AggregatorThenRegular
+            | PatternKind::AggregatorThenSplitter => {
+                // Aggregation chains benefit from keeping the gathered data
+                // near its consumers.
+                advice.local_intermediates = true;
+            }
+            _ => {
+                if o.must_validate {
+                    advice.rationale.push(format!(
+                        "[needs validation, not auto-applied] {}: {}",
+                        o.pattern.label(),
+                        o.evidence
+                    ));
+                }
+            }
+        }
+    }
+    advice
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::patterns::{analyze, AnalysisConfig};
+    use crate::props::{DataProps, EdgeProps, FlowDir, TaskProps};
+
+    /// Input file fanned out to 4 partition readers feeding an aggregator
+    /// whose output is re-read by a trainer.
+    fn workloadish() -> DflGraph {
+        let mut g = DflGraph::new();
+        let input = g.add_data("input.dat", "input", DataProps { size: 400 << 20, ..Default::default() });
+        let agg = g.add_task("agg-0", "agg", TaskProps::default());
+        for i in 0..4 {
+            let t = g.add_task(&format!("part-{i}"), "part", TaskProps::default());
+            g.add_edge(input, t, FlowDir::Consumer, EdgeProps {
+                volume: 100 << 20,
+                footprint: (100u64 << 20) as f64,
+                subset_fraction: 0.25,
+                ops: 8,
+                ..Default::default()
+            });
+            let o = g.add_data(&format!("part-{i}.out"), "part#.out", DataProps { size: 50 << 20, ..Default::default() });
+            g.add_edge(t, o, FlowDir::Producer, EdgeProps { volume: 50 << 20, ops: 8, ..Default::default() });
+            g.add_edge(o, agg, FlowDir::Consumer, EdgeProps { volume: 50 << 20, ops: 8, ..Default::default() });
+        }
+        let combined = g.add_data("combined.h5", "combined", DataProps { size: 200 << 20, ..Default::default() });
+        g.add_edge(agg, combined, FlowDir::Producer, EdgeProps { volume: 200 << 20, ops: 8, ..Default::default() });
+        let train = g.add_task("train-0", "train", TaskProps::default());
+        g.add_edge(combined, train, FlowDir::Consumer, EdgeProps {
+            volume: 800 << 20,
+            footprint: (200u64 << 20) as f64,
+            reuse_factor: 4.0,
+            ops: 32,
+            ..Default::default()
+        });
+        g
+    }
+
+    fn advice_for(g: &DflGraph) -> CoordinationAdvice {
+        let cfg = AnalysisConfig {
+            volume_threshold: 64 << 20,
+            fan_in_threshold: 3,
+            ..Default::default()
+        };
+        advise(g, &analyze(g, &cfg))
+    }
+
+    #[test]
+    fn stages_shared_inputs_and_localizes_intermediates() {
+        let g = workloadish();
+        let a = advice_for(&g);
+        assert!(a.stage_inputs.contains("input.dat"), "{a:?}");
+        assert!(a.local_intermediates, "aggregation chain present");
+        assert!(a.colocate_consumers, "input has 4 readers");
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn caches_reused_files() {
+        let g = workloadish();
+        let a = advice_for(&g);
+        assert!(a.cache_files.contains("combined.h5"), "train re-reads 4x: {a:?}");
+    }
+
+    #[test]
+    fn rationale_lines_accompany_decisions() {
+        let g = workloadish();
+        let a = advice_for(&g);
+        assert!(a.rationale.iter().any(|r| r.contains("input.dat")));
+        assert!(a.rationale.iter().any(|r| r.contains("cache 'combined.h5'")));
+    }
+
+    #[test]
+    fn empty_graph_yields_no_advice() {
+        let g = DflGraph::new();
+        let a = advise(&g, &[]);
+        assert!(a.is_empty());
+        assert!(a.rationale.is_empty());
+    }
+
+    #[test]
+    fn must_validate_patterns_not_auto_applied() {
+        // A consumer with a dominant input triggers NonCriticalDataFlow
+        // (must-validate): it should appear only in the rationale.
+        let mut g = DflGraph::new();
+        let d1 = g.add_data("big", "d", DataProps { size: 1000, ..Default::default() });
+        let d2 = g.add_data("small", "d", DataProps { size: 10, ..Default::default() });
+        let t = g.add_task("t-0", "t", TaskProps::default());
+        g.add_edge(d1, t, FlowDir::Consumer, EdgeProps { volume: 900, ..Default::default() });
+        g.add_edge(d2, t, FlowDir::Consumer, EdgeProps { volume: 100, ..Default::default() });
+        let cfg = AnalysisConfig::default();
+        let a = advise(&g, &analyze(&g, &cfg));
+        assert!(a.rationale.iter().any(|r| r.contains("needs validation")));
+    }
+}

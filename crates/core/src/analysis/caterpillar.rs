@@ -1,0 +1,270 @@
+//! DFL caterpillar trees (§5.1).
+//!
+//! A *caterpillar tree* is a tree in which every vertex is within distance
+//! one of a central path — here, the critical path. Caterpillars capture all
+//! distance-one fan-in/fan-out relations of critical vertices, narrowing the
+//! opportunity search while keeping the relations pattern detection needs.
+//!
+//! Because DFL-Gs have two vertex types, a plain caterpillar can sever
+//! producer/consumer relations. The **DFL caterpillar** adds the paper's
+//! rule: when a leg task *produces data on the path* (making data vertices
+//! the roots of caterpillar branches), the data vertices that task consumes
+//! — at distance two — are also included, preserving the producer relation
+//! (`d9`/`d11` feeding `t7`/`t9` in Fig. 3b).
+
+use crate::analysis::critical_path::CriticalPath;
+use crate::graph::{DflGraph, EdgeId, VertexId};
+
+/// Why a vertex belongs to a caterpillar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VertexRole {
+    /// On the central (critical) path.
+    Spine,
+    /// Distance-one neighbor of the spine.
+    Leg,
+    /// Distance-two vertex added by the DFL producer-relation rule.
+    Extended,
+}
+
+/// A DFL caterpillar tree.
+#[derive(Debug, Clone)]
+pub struct Caterpillar {
+    /// Spine vertices, in path order.
+    pub spine: Vec<VertexId>,
+    /// Distance-one members (not on the spine).
+    pub legs: Vec<VertexId>,
+    /// Distance-two members from the DFL rule.
+    pub extended: Vec<VertexId>,
+    /// Edges of the induced caterpillar subgraph.
+    pub edges: Vec<EdgeId>,
+}
+
+impl Caterpillar {
+    /// Role of `v`, or `None` if not a member.
+    pub fn role(&self, v: VertexId) -> Option<VertexRole> {
+        if self.spine.contains(&v) {
+            Some(VertexRole::Spine)
+        } else if self.legs.contains(&v) {
+            Some(VertexRole::Leg)
+        } else if self.extended.contains(&v) {
+            Some(VertexRole::Extended)
+        } else {
+            None
+        }
+    }
+
+    /// All members (spine + legs + extended).
+    pub fn members(&self) -> Vec<VertexId> {
+        let mut v = self.spine.clone();
+        v.extend_from_slice(&self.legs);
+        v.extend_from_slice(&self.extended);
+        v
+    }
+
+    /// Membership mask for a graph with `n` vertices.
+    pub fn membership(&self, n: usize) -> Vec<bool> {
+        let mut m = vec![false; n];
+        for v in self.members() {
+            m[v.0 as usize] = true;
+        }
+        m
+    }
+
+    /// Number of member vertices.
+    pub fn len(&self) -> usize {
+        self.spine.len() + self.legs.len() + self.extended.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spine.is_empty()
+    }
+}
+
+/// Whether to apply the DFL distance-two producer-relation rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaterpillarRule {
+    /// Plain caterpillar: spine + distance-one legs.
+    Plain,
+    /// DFL caterpillar: additionally include, for each leg task that
+    /// produces a spine data vertex, the data vertices that leg consumes.
+    Dfl,
+}
+
+/// Builds the caterpillar tree of `path` in `g`.
+///
+/// Linear in edges and vertices: each edge is inspected a constant number of
+/// times.
+pub fn caterpillar(g: &DflGraph, path: &CriticalPath, rule: CaterpillarRule) -> Caterpillar {
+    let n = g.vertex_count();
+    let on_spine = path.membership(n);
+    let mut member = on_spine.clone();
+
+    let mut legs = Vec::new();
+    let mut edges = Vec::new();
+
+    // Distance-one sweep: every edge incident to the spine joins the
+    // caterpillar; its off-spine endpoint becomes a leg.
+    for (eid, e) in g.edges() {
+        let s_on = on_spine[e.src.0 as usize];
+        let d_on = on_spine[e.dst.0 as usize];
+        if !(s_on || d_on) {
+            continue;
+        }
+        edges.push(eid);
+        for v in [e.src, e.dst] {
+            if !member[v.0 as usize] {
+                member[v.0 as usize] = true;
+                legs.push(v);
+            }
+        }
+    }
+
+    // DFL rule: preserve producer relations of leg tasks feeding the spine.
+    let mut extended = Vec::new();
+    if rule == CaterpillarRule::Dfl {
+        let leg_mask = {
+            let mut m = vec![false; n];
+            for &v in &legs {
+                m[v.0 as usize] = true;
+            }
+            m
+        };
+        for &leg in &legs {
+            if !g.vertex(leg).is_task() {
+                continue;
+            }
+            // Does this leg produce data on the spine?
+            let produces_spine_data = g
+                .out_edges(leg)
+                .iter()
+                .any(|&e| on_spine[g.edge(e).dst.0 as usize]);
+            if !produces_spine_data {
+                continue;
+            }
+            // Include its input data (distance two) and connecting edges.
+            for &e in g.in_edges(leg) {
+                let d = g.edge(e).src;
+                if member[d.0 as usize] {
+                    if !leg_mask[d.0 as usize] {
+                        continue;
+                    }
+                    // Already a member (spine or leg) — edge already added if
+                    // spine-incident; add if it connects two legs.
+                    if !edges.contains(&e) {
+                        edges.push(e);
+                    }
+                    continue;
+                }
+                member[d.0 as usize] = true;
+                extended.push(d);
+                edges.push(e);
+            }
+        }
+    }
+
+    legs.sort_unstable();
+    extended.sort_unstable();
+    Caterpillar { spine: path.vertices.clone(), legs, extended, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::cost::CostModel;
+    use crate::analysis::critical_path::critical_path;
+    use crate::props::{DataProps, EdgeProps, FlowDir, TaskProps};
+
+    /// Fig. 3b-style graph:
+    ///   spine: t1 → d1 → t2 → d2 → t3
+    ///   leg:   t7 (producer of d1), which itself consumes d9 (distance 2)
+    ///   leg:   t8 (extra consumer of d2)
+    fn fig3() -> (DflGraph, [VertexId; 8]) {
+        let mut g = DflGraph::new();
+        let t1 = g.add_task("t1", "t", TaskProps::default());
+        let d1 = g.add_data("d1", "d", DataProps::default());
+        let t2 = g.add_task("t2", "t", TaskProps::default());
+        let d2 = g.add_data("d2", "d", DataProps::default());
+        let t3 = g.add_task("t3", "t", TaskProps::default());
+        g.add_edge(t1, d1, FlowDir::Producer, EdgeProps { volume: 100, ..Default::default() });
+        g.add_edge(d1, t2, FlowDir::Consumer, EdgeProps { volume: 100, ..Default::default() });
+        g.add_edge(t2, d2, FlowDir::Producer, EdgeProps { volume: 100, ..Default::default() });
+        g.add_edge(d2, t3, FlowDir::Consumer, EdgeProps { volume: 100, ..Default::default() });
+
+        let t7 = g.add_task("t7", "t", TaskProps::default());
+        let d9 = g.add_data("d9", "d", DataProps::default());
+        g.add_edge(t7, d1, FlowDir::Producer, EdgeProps { volume: 5, ..Default::default() });
+        g.add_edge(d9, t7, FlowDir::Consumer, EdgeProps { volume: 5, ..Default::default() });
+
+        let t8 = g.add_task("t8", "t", TaskProps::default());
+        g.add_edge(d2, t8, FlowDir::Consumer, EdgeProps { volume: 1, ..Default::default() });
+
+        (g, [t1, d1, t2, d2, t3, t7, d9, t8])
+    }
+
+    #[test]
+    fn plain_caterpillar_has_distance_one_legs_only() {
+        let (g, [_, _, _, _, _, t7, d9, t8]) = fig3();
+        let cp = critical_path(&g, &CostModel::Volume);
+        let cat = caterpillar(&g, &cp, CaterpillarRule::Plain);
+        assert_eq!(cat.spine.len(), 5);
+        assert!(cat.legs.contains(&t7));
+        assert!(cat.legs.contains(&t8));
+        assert!(!cat.legs.contains(&d9), "distance-2 excluded by plain rule");
+        assert!(cat.extended.is_empty());
+    }
+
+    #[test]
+    fn dfl_rule_preserves_producer_relation() {
+        let (g, [_, _, _, _, _, t7, d9, _]) = fig3();
+        let cp = critical_path(&g, &CostModel::Volume);
+        let cat = caterpillar(&g, &cp, CaterpillarRule::Dfl);
+        assert_eq!(cat.role(t7), Some(VertexRole::Leg));
+        assert_eq!(cat.role(d9), Some(VertexRole::Extended));
+        // The d9 → t7 edge is part of the caterpillar.
+        let has_edge = cat
+            .edges
+            .iter()
+            .any(|&e| g.edge(e).src == d9 && g.edge(e).dst == t7);
+        assert!(has_edge);
+    }
+
+    #[test]
+    fn consumer_legs_do_not_trigger_extension() {
+        let (g, [_, _, _, _, _, _, _, t8]) = fig3();
+        let cp = critical_path(&g, &CostModel::Volume);
+        let cat = caterpillar(&g, &cp, CaterpillarRule::Dfl);
+        // t8 only consumes from the spine; nothing upstream of t8 enters.
+        assert_eq!(cat.role(t8), Some(VertexRole::Leg));
+        assert_eq!(cat.extended.len(), 1, "only d9");
+    }
+
+    #[test]
+    fn caterpillar_superset_of_path() {
+        let (g, _) = fig3();
+        let cp = critical_path(&g, &CostModel::Volume);
+        let cat = caterpillar(&g, &cp, CaterpillarRule::Dfl);
+        for v in &cp.vertices {
+            assert_eq!(cat.role(*v), Some(VertexRole::Spine));
+        }
+        assert!(cat.len() >= cp.vertices.len());
+    }
+
+    #[test]
+    fn membership_counts() {
+        let (g, _) = fig3();
+        let cp = critical_path(&g, &CostModel::Volume);
+        let cat = caterpillar(&g, &cp, CaterpillarRule::Dfl);
+        let m = cat.membership(g.vertex_count());
+        assert_eq!(m.iter().filter(|&&b| b).count(), cat.len());
+        assert_eq!(cat.len(), 8, "whole fig3 graph is within the caterpillar");
+    }
+
+    #[test]
+    fn empty_path_empty_caterpillar() {
+        let g = DflGraph::new();
+        let cp = CriticalPath { vertices: vec![], edges: vec![], total_cost: 0.0 };
+        let cat = caterpillar(&g, &cp, CaterpillarRule::Dfl);
+        assert!(cat.is_empty());
+        assert_eq!(cat.len(), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Cost models for generalized critical path analysis (GCPA, §5.1).
+//!
+//! "Our analysis performs CPA with respect to several different properties…
+//! By exploring the properties footprint, volume, and flow rate, the
+//! analysis identifies potential bottlenecks corresponding, respectively, to
+//! storage capacity, transfer volume, and transfer speed."
+
+use crate::graph::{DflGraph, EdgeId, VertexId, VertexProps};
+
+/// A pluggable property under which the critical path is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostModel {
+    /// Flow volume (bytes moved): transfer-volume bottlenecks. Used for the
+    /// DDMD, Belle II, and Montage critical paths in Fig. 2.
+    Volume,
+    /// Unique footprint (bytes touched): storage-capacity bottlenecks.
+    Footprint,
+    /// Transfer time implied by volume/rate (seconds): transfer-speed
+    /// bottlenecks.
+    TransferTime,
+    /// Measured I/O latency on edges plus task lifetimes on vertices:
+    /// classic response-time critical path.
+    Time,
+    /// Instances of data branches (fan-out > `branch_threshold`) and task
+    /// joins (fan-in ≥ 2): the 1000 Genomes critical path of Fig. 2a.
+    BranchJoin {
+        /// Minimum data fan-out that counts as a branch (paper uses > 2).
+        branch_threshold: usize,
+    },
+    /// Instances of task fan-in only: the Seismic critical path of Fig. 2e.
+    TaskFanIn,
+}
+
+impl CostModel {
+    /// Cost contributed by traversing edge `e`.
+    pub fn edge_cost(&self, g: &DflGraph, e: EdgeId) -> f64 {
+        let edge = g.edge(e);
+        match self {
+            CostModel::Volume => edge.props.volume as f64,
+            CostModel::Footprint => edge.props.footprint,
+            CostModel::TransferTime => edge.props.transfer_time_s(),
+            CostModel::Time => edge.props.latency_ns as f64 / 1e9,
+            CostModel::BranchJoin { .. } | CostModel::TaskFanIn => 0.0,
+        }
+    }
+
+    /// Cost contributed by visiting vertex `v`.
+    pub fn vertex_cost(&self, g: &DflGraph, v: VertexId) -> f64 {
+        let vertex = g.vertex(v);
+        match self {
+            CostModel::Volume | CostModel::Footprint | CostModel::TransferTime => 0.0,
+            CostModel::Time => match &vertex.props {
+                VertexProps::Task(t) => t.lifetime_ns as f64 / 1e9,
+                VertexProps::Data(_) => 0.0,
+            },
+            CostModel::BranchJoin { branch_threshold } => {
+                let mut c = 0.0;
+                if vertex.is_data() && g.out_degree(v) > *branch_threshold {
+                    c += 1.0; // a data branch
+                }
+                if vertex.is_task() && g.in_degree(v) >= 2 {
+                    c += 1.0; // a task join
+                }
+                c
+            }
+            CostModel::TaskFanIn => {
+                if vertex.is_task() && g.in_degree(v) >= 2 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Human-readable name for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CostModel::Volume => "volume",
+            CostModel::Footprint => "footprint",
+            CostModel::TransferTime => "transfer-time",
+            CostModel::Time => "time",
+            CostModel::BranchJoin { .. } => "branches+joins",
+            CostModel::TaskFanIn => "task fan-in",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::{DataProps, EdgeProps, FlowDir, TaskProps};
+
+    fn star() -> (DflGraph, VertexId, VertexId) {
+        // d0 fans out to 3 tasks; t_join has fan-in 2 from d1, d2.
+        let mut g = DflGraph::new();
+        let d0 = g.add_data("d0", "d", DataProps::default());
+        for i in 0..3 {
+            let t = g.add_task(&format!("t{i}"), "t", TaskProps { lifetime_ns: 2_000_000_000, ..Default::default() });
+            g.add_edge(d0, t, FlowDir::Consumer, EdgeProps { volume: 100, ..Default::default() });
+        }
+        let d1 = g.add_data("d1", "d", DataProps::default());
+        let d2 = g.add_data("d2", "d", DataProps::default());
+        let tj = g.add_task("tj", "t", TaskProps::default());
+        g.add_edge(d1, tj, FlowDir::Consumer, EdgeProps::default());
+        g.add_edge(d2, tj, FlowDir::Consumer, EdgeProps::default());
+        (g, d0, tj)
+    }
+
+    #[test]
+    fn branch_join_vertex_costs() {
+        let (g, d0, tj) = star();
+        let m = CostModel::BranchJoin { branch_threshold: 2 };
+        assert_eq!(m.vertex_cost(&g, d0), 1.0, "fan-out 3 > 2 is a branch");
+        assert_eq!(m.vertex_cost(&g, tj), 1.0, "fan-in 2 is a join");
+        let m_high = CostModel::BranchJoin { branch_threshold: 3 };
+        assert_eq!(m_high.vertex_cost(&g, d0), 0.0);
+    }
+
+    #[test]
+    fn volume_is_edge_only() {
+        let (g, d0, _) = star();
+        let e = g.out_edges(d0)[0];
+        assert_eq!(CostModel::Volume.edge_cost(&g, e), 100.0);
+        assert_eq!(CostModel::Volume.vertex_cost(&g, d0), 0.0);
+    }
+
+    #[test]
+    fn time_counts_task_lifetimes() {
+        let (g, _, _) = star();
+        let t0 = g.find_vertex("t0").unwrap();
+        assert!((CostModel::Time.vertex_cost(&g, t0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn task_fan_in_ignores_data_branches() {
+        let (g, d0, tj) = star();
+        assert_eq!(CostModel::TaskFanIn.vertex_cost(&g, d0), 0.0);
+        assert_eq!(CostModel::TaskFanIn.vertex_cost(&g, tj), 1.0);
+    }
+}
+
+#[cfg(test)]
+mod transfer_time_tests {
+    use super::*;
+    use crate::props::{DataProps, EdgeProps, FlowDir, TaskProps};
+
+    #[test]
+    fn transfer_time_uses_rate_and_falls_back_to_latency() {
+        let mut g = DflGraph::new();
+        let t = g.add_task("t", "t", TaskProps::default());
+        let d1 = g.add_data("fast", "d", DataProps::default());
+        let d2 = g.add_data("slow", "d", DataProps::default());
+        // 100 bytes at 50 B/s = 2 s.
+        g.add_edge(t, d1, FlowDir::Producer, EdgeProps { volume: 100, data_rate: 50.0, ..Default::default() });
+        // No rate: fall back to 5 s of measured latency.
+        g.add_edge(t, d2, FlowDir::Producer, EdgeProps { volume: 100, latency_ns: 5_000_000_000, ..Default::default() });
+        let m = CostModel::TransferTime;
+        let e0 = g.edges().next().unwrap().0;
+        let e1 = g.edges().nth(1).unwrap().0;
+        assert!((m.edge_cost(&g, e0) - 2.0).abs() < 1e-9);
+        assert!((m.edge_cost(&g, e1) - 5.0).abs() < 1e-9);
+        assert_eq!(m.label(), "transfer-time");
+    }
+}

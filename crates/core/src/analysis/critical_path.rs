@@ -1,0 +1,276 @@
+//! Generalized critical path analysis (GCPA, §5.1).
+//!
+//! The critical path is the maximum-cost source→sink path in the DFL-DAG
+//! under a chosen [`CostModel`]. Computation is a single dynamic-programming
+//! sweep over a topological order — linear in vertices and edges — with a
+//! deterministic tie-break (lowest predecessor id).
+
+use crate::analysis::cost::CostModel;
+use crate::error::GraphError;
+use crate::graph::{DflGraph, EdgeId, VertexId};
+
+/// A critical path: alternating task/data vertices and the edges between
+/// them, plus the accumulated cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// Vertices in flow order (source first).
+    pub vertices: Vec<VertexId>,
+    /// Edges in flow order; `edges.len() == vertices.len() - 1`.
+    pub edges: Vec<EdgeId>,
+    /// Total path cost under the cost model used.
+    pub total_cost: f64,
+}
+
+impl CriticalPath {
+    /// Whether `v` lies on the path. O(len) — paths are short; use
+    /// [`CriticalPath::membership`] for repeated queries.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.vertices.contains(&v)
+    }
+
+    /// A dense membership mask over a graph with `n` vertices.
+    pub fn membership(&self, n: usize) -> Vec<bool> {
+        let mut m = vec![false; n];
+        for v in &self.vertices {
+            m[v.0 as usize] = true;
+        }
+        m
+    }
+}
+
+/// Computes the critical path of `g` under `cost`.
+///
+/// Panics only if `g` is cyclic — call on DFL-DAGs (or check
+/// [`DflGraph::is_dag`] for templates first). Empty graphs yield an empty
+/// path with zero cost.
+pub fn critical_path(g: &DflGraph, cost: &CostModel) -> CriticalPath {
+    try_critical_path(g, cost).expect("critical path requires an acyclic graph")
+}
+
+/// Fallible variant of [`critical_path`], returning
+/// [`GraphError::CycleDetected`] for cyclic graphs.
+pub fn try_critical_path(g: &DflGraph, cost: &CostModel) -> Result<CriticalPath, GraphError> {
+    let order = g.topo_order()?;
+    if order.is_empty() {
+        return Ok(CriticalPath { vertices: vec![], edges: vec![], total_cost: 0.0 });
+    }
+
+    let n = g.vertex_count();
+    // dist[v] = best cost of a path ending at v (inclusive of v's cost).
+    let mut dist = vec![f64::NEG_INFINITY; n];
+    let mut pred: Vec<Option<(VertexId, EdgeId)>> = vec![None; n];
+
+    for &v in &order {
+        let vi = v.0 as usize;
+        let vcost = cost.vertex_cost(g, v);
+        if g.in_degree(v) == 0 {
+            dist[vi] = vcost;
+            continue;
+        }
+        let mut best = f64::NEG_INFINITY;
+        let mut best_pred = None;
+        for &e in g.in_edges(v) {
+            let u = g.edge(e).src;
+            let cand = dist[u.0 as usize] + cost.edge_cost(g, e);
+            // Deterministic tie-break: strictly greater, or equal with a
+            // lower predecessor id.
+            let better = cand > best
+                || (cand == best
+                    && best_pred.is_some_and(|(bu, _): (VertexId, EdgeId)| u < bu));
+            if better {
+                best = cand;
+                best_pred = Some((u, e));
+            }
+        }
+        dist[vi] = best + vcost;
+        pred[vi] = best_pred;
+    }
+
+    // Pick the best endpoint (ties to the lowest id).
+    let mut end = order[0];
+    for &v in &order {
+        if dist[v.0 as usize] > dist[end.0 as usize] {
+            end = v;
+        }
+    }
+
+    // Backtrack.
+    let mut vertices = vec![end];
+    let mut edges = Vec::new();
+    let mut cur = end;
+    while let Some((u, e)) = pred[cur.0 as usize] {
+        vertices.push(u);
+        edges.push(e);
+        cur = u;
+    }
+    vertices.reverse();
+    edges.reverse();
+
+    Ok(CriticalPath { vertices, edges, total_cost: dist[end.0 as usize] })
+}
+
+/// Computes critical paths for each weakly-connected component and returns
+/// them sorted by descending cost — "near-critical" paths for wider
+/// opportunity searches (§5.1).
+pub fn component_critical_paths(g: &DflGraph, cost: &CostModel) -> Vec<CriticalPath> {
+    // Union-find over weak connectivity.
+    let n = g.vertex_count();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], x: u32) -> u32 {
+        let mut root = x;
+        while parent[root as usize] != root {
+            root = parent[root as usize];
+        }
+        let mut cur = x;
+        while parent[cur as usize] != root {
+            let next = parent[cur as usize];
+            parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    for (_, e) in g.edges() {
+        let (a, b) = (find(&mut parent, e.src.0), find(&mut parent, e.dst.0));
+        if a != b {
+            parent[a as usize] = b;
+        }
+    }
+
+    // Build one subgraph per component, remembering the id mapping.
+    use std::collections::HashMap;
+    let mut comp_of: HashMap<u32, Vec<VertexId>> = HashMap::new();
+    for i in 0..n as u32 {
+        comp_of.entry(find(&mut parent, i)).or_default().push(VertexId(i));
+    }
+
+    let mut paths: Vec<CriticalPath> = Vec::new();
+    for members in comp_of.values() {
+        if members.len() < 2 {
+            continue;
+        }
+        let mut sub = DflGraph::new();
+        let mut map: HashMap<VertexId, VertexId> = HashMap::new();
+        let mut back: Vec<VertexId> = Vec::new();
+        for &v in members {
+            let nv = sub.add_vertex(g.vertex(v).clone());
+            map.insert(v, nv);
+            back.push(v);
+        }
+        let mut eback: Vec<EdgeId> = Vec::new();
+        for (eid, e) in g.edges() {
+            if let (Some(&s), Some(&d)) = (map.get(&e.src), map.get(&e.dst)) {
+                sub.add_edge(s, d, e.dir, e.props);
+                eback.push(eid);
+            }
+        }
+        if let Ok(cp) = try_critical_path(&sub, cost) {
+            paths.push(CriticalPath {
+                vertices: cp.vertices.iter().map(|v| back[v.0 as usize]).collect(),
+                edges: cp.edges.iter().map(|e| eback[e.0 as usize]).collect(),
+                total_cost: cp.total_cost,
+            });
+        }
+    }
+    paths.sort_by(|a, b| b.total_cost.partial_cmp(&a.total_cost).unwrap_or(std::cmp::Ordering::Equal));
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::{DataProps, EdgeProps, FlowDir, TaskProps};
+
+    /// t0 → d_small → t1 and t0 → d_big → t1: critical path takes the big
+    /// edge under Volume.
+    fn two_route() -> DflGraph {
+        let mut g = DflGraph::new();
+        let t0 = g.add_task("t0", "t", TaskProps::default());
+        let ds = g.add_data("small", "d", DataProps::default());
+        let db = g.add_data("big", "d", DataProps::default());
+        let t1 = g.add_task("t1", "t", TaskProps::default());
+        g.add_edge(t0, ds, FlowDir::Producer, EdgeProps { volume: 10, ..Default::default() });
+        g.add_edge(t0, db, FlowDir::Producer, EdgeProps { volume: 1000, ..Default::default() });
+        g.add_edge(ds, t1, FlowDir::Consumer, EdgeProps { volume: 10, ..Default::default() });
+        g.add_edge(db, t1, FlowDir::Consumer, EdgeProps { volume: 1000, ..Default::default() });
+        g
+    }
+
+    #[test]
+    fn volume_path_prefers_heavy_route() {
+        let g = two_route();
+        let cp = critical_path(&g, &CostModel::Volume);
+        assert_eq!(cp.total_cost, 2000.0);
+        let names: Vec<&str> = cp.vertices.iter().map(|&v| g.vertex(v).name.as_str()).collect();
+        assert_eq!(names, vec!["t0", "big", "t1"]);
+        assert_eq!(cp.edges.len(), 2);
+    }
+
+    #[test]
+    fn path_is_contiguous() {
+        let g = two_route();
+        let cp = critical_path(&g, &CostModel::Volume);
+        for (i, &e) in cp.edges.iter().enumerate() {
+            assert_eq!(g.edge(e).src, cp.vertices[i]);
+            assert_eq!(g.edge(e).dst, cp.vertices[i + 1]);
+        }
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_path() {
+        let g = DflGraph::new();
+        let cp = critical_path(&g, &CostModel::Volume);
+        assert!(cp.vertices.is_empty());
+        assert_eq!(cp.total_cost, 0.0);
+    }
+
+    #[test]
+    fn singleton_graph() {
+        let mut g = DflGraph::new();
+        g.add_task("only", "t", TaskProps { lifetime_ns: 3_000_000_000, ..Default::default() });
+        let cp = critical_path(&g, &CostModel::Time);
+        assert_eq!(cp.vertices.len(), 1);
+        assert!((cp.total_cost - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        // Two identical routes; the lower vertex id wins.
+        let g = two_route();
+        let cp1 = critical_path(&g, &CostModel::Time);
+        let cp2 = critical_path(&g, &CostModel::Time);
+        assert_eq!(cp1, cp2);
+    }
+
+    #[test]
+    fn cyclic_graph_errors() {
+        let mut g = DflGraph::new();
+        let t = g.add_task("t", "t", TaskProps::default());
+        let d = g.add_data("d", "d", DataProps::default());
+        g.add_edge(t, d, FlowDir::Producer, EdgeProps::default());
+        g.add_edge(d, t, FlowDir::Consumer, EdgeProps::default());
+        assert_eq!(try_critical_path(&g, &CostModel::Volume), Err(GraphError::CycleDetected));
+    }
+
+    #[test]
+    fn component_paths_sorted_by_cost() {
+        // Two disjoint pipelines with different volumes.
+        let mut g = DflGraph::new();
+        for (name, vol) in [("a", 100u64), ("b", 900)] {
+            let t = g.add_task(&format!("t_{name}"), "t", TaskProps::default());
+            let d = g.add_data(&format!("d_{name}"), "d", DataProps::default());
+            g.add_edge(t, d, FlowDir::Producer, EdgeProps { volume: vol, ..Default::default() });
+        }
+        let paths = component_critical_paths(&g, &CostModel::Volume);
+        assert_eq!(paths.len(), 2);
+        assert!(paths[0].total_cost >= paths[1].total_cost);
+        assert_eq!(paths[0].total_cost, 900.0);
+    }
+
+    #[test]
+    fn membership_mask() {
+        let g = two_route();
+        let cp = critical_path(&g, &CostModel::Volume);
+        let m = cp.membership(g.vertex_count());
+        assert_eq!(m.iter().filter(|&&b| b).count(), 3);
+    }
+}

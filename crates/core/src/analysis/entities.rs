@@ -1,0 +1,197 @@
+//! Lifecycle entities and projections (§4.3).
+//!
+//! Entities are graph constructs and relations between them: data/task
+//! vertices, data/task *relations* (a vertex plus its incident edges),
+//! producer/consumer relations (single edges), and producer-consumer
+//! composites (producer task → data → consumer task). Projections extract
+//! one entity type from the DFL-G for ranking.
+
+use crate::graph::{DflGraph, EdgeId, VertexId};
+use crate::props::FlowDir;
+
+/// Shape of a vertex relation, by in/out degree (§5.2, §5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RelationShape {
+    /// One in, one out.
+    Regular,
+    /// Many in, at most one out.
+    FanIn,
+    /// At most one in, many out.
+    FanOut,
+    /// Many in, many out.
+    FanInOut,
+    /// No incoming edges (workflow input / pure producer).
+    Source,
+    /// No outgoing edges (workflow output / pure consumer or data leaf).
+    Sink,
+    /// No edges at all.
+    Isolated,
+}
+
+/// Classifies a relation by its degrees.
+pub fn relation_shape(in_deg: usize, out_deg: usize) -> RelationShape {
+    match (in_deg, out_deg) {
+        (0, 0) => RelationShape::Isolated,
+        (0, _) => RelationShape::Source,
+        (_, 0) => RelationShape::Sink,
+        (1, 1) => RelationShape::Regular,
+        (i, o) if i > 1 && o > 1 => RelationShape::FanInOut,
+        (i, _) if i > 1 => RelationShape::FanIn,
+        _ => RelationShape::FanOut,
+    }
+}
+
+impl DflGraph {
+    /// Shape of vertex `v`'s relation.
+    pub fn shape_of(&self, v: VertexId) -> RelationShape {
+        relation_shape(self.in_degree(v), self.out_degree(v))
+    }
+}
+
+/// A producer-consumer composite relation: producer task → data → consumer
+/// task (§4.3). The Fig. 2f ranking is a projection of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProducerConsumer {
+    pub producer: VertexId,
+    pub data: VertexId,
+    pub consumer: VertexId,
+    pub producer_edge: EdgeId,
+    pub consumer_edge: EdgeId,
+}
+
+impl ProducerConsumer {
+    /// The flow volume delivered through this composite: the consumer edge's
+    /// volume (what the consumer actually moved).
+    pub fn volume(&self, g: &DflGraph) -> u64 {
+        g.edge(self.consumer_edge).props.volume
+    }
+}
+
+/// Projects all producer-consumer composites. Linear in Σ over data vertices
+/// of (in-degree × out-degree) — in practice modest because producer
+/// fan-in per file is small.
+pub fn producer_consumer_relations(g: &DflGraph) -> Vec<ProducerConsumer> {
+    let mut out = Vec::new();
+    for d in g.data_vertices() {
+        for &pe in g.in_edges(d) {
+            for &ce in g.out_edges(d) {
+                out.push(ProducerConsumer {
+                    producer: g.edge(pe).src,
+                    data: d,
+                    consumer: g.edge(ce).dst,
+                    producer_edge: pe,
+                    consumer_edge: ce,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Projects all producer relations (task→data edges).
+pub fn producer_relations(g: &DflGraph) -> Vec<EdgeId> {
+    g.edges()
+        .filter(|(_, e)| e.dir == FlowDir::Producer)
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Projects all consumer relations (data→task edges).
+pub fn consumer_relations(g: &DflGraph) -> Vec<EdgeId> {
+    g.edges()
+        .filter(|(_, e)| e.dir == FlowDir::Consumer)
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Data vertices never read by any consumer — whole-file *data non-use*.
+pub fn data_leaves(g: &DflGraph) -> Vec<VertexId> {
+    g.data_vertices()
+        .filter(|&d| g.out_degree(d) == 0 && g.in_degree(d) > 0)
+        .collect()
+}
+
+/// Task relations with fan-in ≥ `k` data inputs (aggregator candidates).
+pub fn task_fan_ins(g: &DflGraph, k: usize) -> Vec<VertexId> {
+    g.task_vertices().filter(|&t| g.in_degree(t) >= k).collect()
+}
+
+/// Data relations with ≥ `k` distinct consumers (fan-out / shared data).
+pub fn data_fan_outs(g: &DflGraph, k: usize) -> Vec<VertexId> {
+    g.data_vertices().filter(|&d| g.out_degree(d) >= k).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::{DataProps, EdgeProps, TaskProps};
+
+    /// p1, p2 → d → c1, c2, plus an unused output d_leaf from p1.
+    fn composite_graph() -> (DflGraph, VertexId) {
+        let mut g = DflGraph::new();
+        let p1 = g.add_task("p1", "p", TaskProps::default());
+        let p2 = g.add_task("p2", "p", TaskProps::default());
+        let d = g.add_data("d", "d", DataProps::default());
+        let c1 = g.add_task("c1", "c", TaskProps::default());
+        let c2 = g.add_task("c2", "c", TaskProps::default());
+        g.add_edge(p1, d, FlowDir::Producer, EdgeProps { volume: 10, ..Default::default() });
+        g.add_edge(p2, d, FlowDir::Producer, EdgeProps { volume: 20, ..Default::default() });
+        g.add_edge(d, c1, FlowDir::Consumer, EdgeProps { volume: 30, ..Default::default() });
+        g.add_edge(d, c2, FlowDir::Consumer, EdgeProps { volume: 5, ..Default::default() });
+        let leaf = g.add_data("leaf", "d", DataProps::default());
+        g.add_edge(p1, leaf, FlowDir::Producer, EdgeProps { volume: 1, ..Default::default() });
+        (g, d)
+    }
+
+    #[test]
+    fn shapes() {
+        assert_eq!(relation_shape(1, 1), RelationShape::Regular);
+        assert_eq!(relation_shape(3, 1), RelationShape::FanIn);
+        assert_eq!(relation_shape(1, 3), RelationShape::FanOut);
+        assert_eq!(relation_shape(2, 2), RelationShape::FanInOut);
+        assert_eq!(relation_shape(0, 2), RelationShape::Source);
+        assert_eq!(relation_shape(2, 0), RelationShape::Sink);
+        assert_eq!(relation_shape(0, 0), RelationShape::Isolated);
+    }
+
+    #[test]
+    fn composites_are_cross_product_per_data() {
+        let (g, d) = composite_graph();
+        let pcs = producer_consumer_relations(&g);
+        // 2 producers × 2 consumers through d; leaf contributes none.
+        assert_eq!(pcs.iter().filter(|pc| pc.data == d).count(), 4);
+        assert_eq!(pcs.len(), 4);
+        let max_vol = pcs.iter().map(|pc| pc.volume(&g)).max().unwrap();
+        assert_eq!(max_vol, 30);
+    }
+
+    #[test]
+    fn producer_and_consumer_projections() {
+        let (g, _) = composite_graph();
+        assert_eq!(producer_relations(&g).len(), 3);
+        assert_eq!(consumer_relations(&g).len(), 2);
+    }
+
+    #[test]
+    fn leaf_detection() {
+        let (g, _) = composite_graph();
+        let leaves = data_leaves(&g);
+        assert_eq!(leaves.len(), 1);
+        assert_eq!(g.vertex(leaves[0]).name, "leaf");
+    }
+
+    #[test]
+    fn fan_projections() {
+        let (g, d) = composite_graph();
+        assert_eq!(data_fan_outs(&g, 2), vec![d]);
+        assert!(task_fan_ins(&g, 2).is_empty(), "no aggregator in this graph");
+        let c1 = g.find_vertex("c1").unwrap();
+        assert!(task_fan_ins(&g, 1).contains(&c1));
+    }
+
+    #[test]
+    fn shape_of_data_vertex() {
+        let (g, d) = composite_graph();
+        assert_eq!(g.shape_of(d), RelationShape::FanInOut);
+    }
+}

@@ -1,0 +1,20 @@
+//! DFL analysis: generalized critical paths, caterpillar trees, entity
+//! projections/rankings, and opportunity (pattern) detection.
+
+pub mod advisor;
+pub mod caterpillar;
+pub mod cost;
+pub mod critical_path;
+pub mod entities;
+pub mod near_critical;
+pub mod patterns;
+pub mod ranking;
+pub mod stats;
+
+pub use advisor::{advise, CoordinationAdvice};
+pub use caterpillar::{Caterpillar, VertexRole};
+pub use cost::CostModel;
+pub use critical_path::{critical_path, CriticalPath};
+pub use near_critical::k_disjoint_paths;
+pub use patterns::{analyze, AnalysisConfig, Opportunity, PatternKind, Remediation};
+pub use stats::{graph_stats, GraphStats};

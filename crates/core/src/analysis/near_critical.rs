@@ -1,0 +1,137 @@
+//! Near-critical path enumeration (§5.1).
+//!
+//! "We then find opportunities by identifying patterns in the critical and
+//! *near-critical* CTs." Beyond the single critical path, analysts want the
+//! next-most-expensive independent threads of execution. This module
+//! enumerates vertex-disjoint paths greedily: find the critical path, remove
+//! its vertices, repeat — each iteration is one linear GCPA sweep, so k
+//! paths cost O(k·(V+E)).
+
+use std::collections::HashMap;
+
+use crate::analysis::cost::CostModel;
+use crate::analysis::critical_path::{try_critical_path, CriticalPath};
+use crate::graph::{DflGraph, EdgeId, VertexId};
+
+/// Up to `k` vertex-disjoint paths in descending cost order. The first
+/// entry is the critical path; later entries are the near-critical threads
+/// that remain after earlier paths' vertices are removed.
+///
+/// Stops early when the residual graph has no edges or a path's cost drops
+/// to zero (nothing bottleneck-relevant remains).
+pub fn k_disjoint_paths(g: &DflGraph, cost: &CostModel, k: usize) -> Vec<CriticalPath> {
+    let mut removed = vec![false; g.vertex_count()];
+    let mut out = Vec::new();
+
+    for _ in 0..k {
+        // Residual subgraph of non-removed vertices.
+        let mut sub = DflGraph::new();
+        let mut back: Vec<VertexId> = Vec::new();
+        let mut map: HashMap<VertexId, VertexId> = HashMap::new();
+        for (v, vx) in g.vertices() {
+            if !removed[v.0 as usize] {
+                let nv = sub.add_vertex(vx.clone());
+                map.insert(v, nv);
+                back.push(v);
+            }
+        }
+        let mut eback: Vec<EdgeId> = Vec::new();
+        for (eid, e) in g.edges() {
+            if let (Some(&s), Some(&d)) = (map.get(&e.src), map.get(&e.dst)) {
+                sub.add_edge(s, d, e.dir, e.props);
+                eback.push(eid);
+            }
+        }
+        if sub.vertex_count() == 0 {
+            break;
+        }
+        let Ok(cp) = try_critical_path(&sub, cost) else { break };
+        if cp.vertices.is_empty() || (cp.total_cost <= 0.0 && !out.is_empty()) {
+            break;
+        }
+        let mapped = CriticalPath {
+            vertices: cp.vertices.iter().map(|v| back[v.0 as usize]).collect(),
+            edges: cp.edges.iter().map(|e| eback[e.0 as usize]).collect(),
+            total_cost: cp.total_cost,
+        };
+        for &v in &mapped.vertices {
+            removed[v.0 as usize] = true;
+        }
+        let stop = mapped.vertices.len() < 2;
+        out.push(mapped);
+        if stop {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::{DataProps, EdgeProps, FlowDir, TaskProps};
+
+    /// Three disjoint pipelines with volumes 300, 200, 100.
+    fn three_pipelines() -> DflGraph {
+        let mut g = DflGraph::new();
+        for (i, vol) in [(0u32, 300u64), (1, 200), (2, 100)] {
+            let t = g.add_task(&format!("t{i}"), "t", TaskProps::default());
+            let d = g.add_data(&format!("d{i}"), "d", DataProps::default());
+            let c = g.add_task(&format!("c{i}"), "c", TaskProps::default());
+            g.add_edge(t, d, FlowDir::Producer, EdgeProps { volume: vol, ..Default::default() });
+            g.add_edge(d, c, FlowDir::Consumer, EdgeProps { volume: vol, ..Default::default() });
+        }
+        g
+    }
+
+    #[test]
+    fn paths_come_out_in_cost_order_and_disjoint() {
+        let g = three_pipelines();
+        let paths = k_disjoint_paths(&g, &CostModel::Volume, 3);
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[0].total_cost, 600.0);
+        assert_eq!(paths[1].total_cost, 400.0);
+        assert_eq!(paths[2].total_cost, 200.0);
+        // Vertex-disjointness.
+        let mut seen = std::collections::HashSet::new();
+        for p in &paths {
+            for v in &p.vertices {
+                assert!(seen.insert(*v), "vertex reused across paths");
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_available_paths() {
+        let g = three_pipelines();
+        let paths = k_disjoint_paths(&g, &CostModel::Volume, 10);
+        assert!(paths.len() >= 3);
+        assert!(paths.len() <= 4, "at most one degenerate tail");
+    }
+
+    #[test]
+    fn second_path_avoids_first_in_shared_graph() {
+        // Shared source: t0 feeds both d_big and d_small.
+        let mut g = DflGraph::new();
+        let t0 = g.add_task("t0", "t", TaskProps::default());
+        let big = g.add_data("big", "d", DataProps::default());
+        let small = g.add_data("small", "d", DataProps::default());
+        let c1 = g.add_task("c1", "c", TaskProps::default());
+        let c2 = g.add_task("c2", "c", TaskProps::default());
+        g.add_edge(t0, big, FlowDir::Producer, EdgeProps { volume: 500, ..Default::default() });
+        g.add_edge(t0, small, FlowDir::Producer, EdgeProps { volume: 100, ..Default::default() });
+        g.add_edge(big, c1, FlowDir::Consumer, EdgeProps { volume: 500, ..Default::default() });
+        g.add_edge(small, c2, FlowDir::Consumer, EdgeProps { volume: 100, ..Default::default() });
+
+        let paths = k_disjoint_paths(&g, &CostModel::Volume, 2);
+        assert_eq!(paths[0].total_cost, 1000.0, "t0→big→c1");
+        // Second path cannot reuse t0; it is the residual small→c2 edge.
+        assert!(paths[1].vertices.iter().all(|&v| g.vertex(v).name != "t0"));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DflGraph::new();
+        assert!(k_disjoint_paths(&g, &CostModel::Volume, 3).is_empty());
+    }
+}

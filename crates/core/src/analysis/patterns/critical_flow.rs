@@ -1,0 +1,131 @@
+//! Critical / non-critical data flow pattern (Table 1, row 6).
+//!
+//! (1) Flows on the caterpillar that cause stalling (high blocking fraction)
+//! must improve to improve response time. (2) Flows where a consumer could
+//! proceed without all inputs could relax their synchronization — marked
+//! "[Must validate]" per the paper, since only the user knows whether the
+//! consumer is semantically able to start early.
+
+use crate::graph::DflGraph;
+use crate::props::fmt_bytes;
+
+use super::{AnalysisConfig, AnalysisContext, Opportunity, PatternKind, Remediation, Subject};
+
+/// Detects stalling critical flows and relaxable non-critical flows.
+pub fn detect(g: &DflGraph, cfg: &AnalysisConfig, ctx: &AnalysisContext) -> Vec<Opportunity> {
+    let mut out = Vec::new();
+
+    for (eid, e) in g.edges() {
+        let on_path = ctx.edge_on_path(eid);
+        let stalls = e.props.blocking_fraction >= cfg.blocking_threshold;
+        if on_path && stalls {
+            out.push(Opportunity {
+                pattern: PatternKind::CriticalDataFlow,
+                subject: Subject::Edge(eid),
+                severity: e.props.blocking_fraction * e.props.volume as f64,
+                evidence: format!(
+                    "critical-path flow blocks {:.0}% of open-stream time ({})",
+                    e.props.blocking_fraction * 100.0,
+                    fmt_bytes(e.props.volume as f64)
+                ),
+                remediations: vec![
+                    Remediation::BiasResourcesCriticalVsNot,
+                    Remediation::AnticipatoryDataMovement,
+                ],
+                must_validate: false,
+                on_caterpillar: true,
+            });
+        }
+    }
+
+    // Relaxable synchronization: a consumer task with several inputs where
+    // one input dominates — the task might start on the dominant input
+    // before the rest arrive.
+    for t in g.task_vertices() {
+        if g.in_degree(t) < 2 {
+            continue;
+        }
+        let volumes: Vec<u64> = g.in_edges(t).iter().map(|&e| g.edge(e).props.volume).collect();
+        let total: u64 = volumes.iter().sum();
+        let max = volumes.iter().copied().max().unwrap_or(0);
+        if total == 0 {
+            continue;
+        }
+        // One input ≥ 70% of the total: the remaining inputs are candidates
+        // for push/pull pipelining.
+        if (max as f64) / (total as f64) >= 0.7 {
+            out.push(Opportunity {
+                pattern: PatternKind::NonCriticalDataFlow,
+                subject: Subject::Vertex(t),
+                severity: (total - max) as f64,
+                evidence: format!(
+                    "consumer has {} inputs but one carries {:.0}% of volume; others may pipeline",
+                    volumes.len(),
+                    max as f64 / total as f64 * 100.0
+                ),
+                remediations: vec![Remediation::ChangeTaskDataSynchronization],
+                must_validate: true,
+                on_caterpillar: ctx.on_caterpillar(t),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::{DataProps, EdgeProps, FlowDir, TaskProps};
+
+    #[test]
+    fn stalling_critical_flow_detected() {
+        let mut g = DflGraph::new();
+        let p = g.add_task("p", "p", TaskProps::default());
+        let d = g.add_data("d", "d", DataProps::default());
+        let c = g.add_task("c", "c", TaskProps::default());
+        g.add_edge(p, d, FlowDir::Producer, EdgeProps { volume: 1000, blocking_fraction: 0.8, ..Default::default() });
+        g.add_edge(d, c, FlowDir::Consumer, EdgeProps { volume: 1000, blocking_fraction: 0.05, ..Default::default() });
+
+        let cfg = AnalysisConfig::default();
+        let ctx = AnalysisContext::new(&g, &cfg);
+        let ops = detect(&g, &cfg, &ctx);
+        let crit: Vec<_> = ops.iter().filter(|o| o.pattern == PatternKind::CriticalDataFlow).collect();
+        assert_eq!(crit.len(), 1);
+        assert!(crit[0].evidence.contains("80%"));
+        assert!(!crit[0].must_validate);
+    }
+
+    #[test]
+    fn dominant_input_suggests_relaxation() {
+        let mut g = DflGraph::new();
+        let d1 = g.add_data("big", "d", DataProps::default());
+        let d2 = g.add_data("small", "d", DataProps::default());
+        let t = g.add_task("t", "t", TaskProps::default());
+        g.add_edge(d1, t, FlowDir::Consumer, EdgeProps { volume: 900, ..Default::default() });
+        g.add_edge(d2, t, FlowDir::Consumer, EdgeProps { volume: 100, ..Default::default() });
+
+        let cfg = AnalysisConfig::default();
+        let ctx = AnalysisContext::new(&g, &cfg);
+        let ops = detect(&g, &cfg, &ctx);
+        let relax: Vec<_> = ops.iter().filter(|o| o.pattern == PatternKind::NonCriticalDataFlow).collect();
+        assert_eq!(relax.len(), 1);
+        assert!(relax[0].must_validate, "paper marks this [Must validate]");
+        assert_eq!(relax[0].severity, 100.0);
+    }
+
+    #[test]
+    fn balanced_inputs_not_relaxable() {
+        let mut g = DflGraph::new();
+        let d1 = g.add_data("a", "d", DataProps::default());
+        let d2 = g.add_data("b", "d", DataProps::default());
+        let t = g.add_task("t", "t", TaskProps::default());
+        g.add_edge(d1, t, FlowDir::Consumer, EdgeProps { volume: 500, ..Default::default() });
+        g.add_edge(d2, t, FlowDir::Consumer, EdgeProps { volume: 500, ..Default::default() });
+
+        let cfg = AnalysisConfig::default();
+        let ctx = AnalysisContext::new(&g, &cfg);
+        assert!(detect(&g, &cfg, &ctx)
+            .iter()
+            .all(|o| o.pattern != PatternKind::NonCriticalDataFlow));
+    }
+}

@@ -1,0 +1,82 @@
+//! Data volume pattern (Table 1, row 1): tasks read/write large data
+//! volumes — "DFL-G flows with volumes exceeding storage or network ability".
+
+use crate::graph::DflGraph;
+use crate::props::fmt_bytes;
+
+use super::{AnalysisConfig, AnalysisContext, Opportunity, PatternKind, Remediation, Subject};
+
+/// Flags every flow edge whose volume meets the configured threshold.
+pub fn detect(g: &DflGraph, cfg: &AnalysisConfig, ctx: &AnalysisContext) -> Vec<Opportunity> {
+    let mut out = Vec::new();
+    for (eid, e) in g.edges() {
+        if e.props.volume < cfg.volume_threshold {
+            continue;
+        }
+        let on_cat = ctx.on_caterpillar(e.src) && ctx.on_caterpillar(e.dst);
+        out.push(Opportunity {
+            pattern: PatternKind::DataVolume,
+            subject: Subject::Edge(eid),
+            severity: e.props.volume as f64,
+            evidence: format!(
+                "{} flow of {} at {}/s",
+                e.dir.label(),
+                fmt_bytes(e.props.volume as f64),
+                fmt_bytes(e.props.data_rate)
+            ),
+            remediations: vec![
+                Remediation::PairTasksAndStorage,
+                Remediation::WriteBuffering,
+                Remediation::AnticipatoryDataMovement,
+            ],
+            must_validate: false,
+            on_caterpillar: on_cat,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::{DataProps, EdgeProps, FlowDir, TaskProps};
+
+    fn graph_with_volumes(volumes: &[u64]) -> DflGraph {
+        let mut g = DflGraph::new();
+        let t = g.add_task("t", "t", TaskProps::default());
+        for (i, &v) in volumes.iter().enumerate() {
+            let d = g.add_data(&format!("d{i}"), "d", DataProps::default());
+            g.add_edge(t, d, FlowDir::Producer, EdgeProps { volume: v, ..Default::default() });
+        }
+        g
+    }
+
+    #[test]
+    fn only_large_flows_flagged() {
+        let g = graph_with_volumes(&[1 << 20, 1 << 30]);
+        let cfg = AnalysisConfig::default(); // threshold 256 MiB
+        let ctx = AnalysisContext::new(&g, &cfg);
+        let ops = detect(&g, &cfg, &ctx);
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].severity, (1u64 << 30) as f64);
+        assert!(!ops[0].must_validate);
+    }
+
+    #[test]
+    fn threshold_is_configurable() {
+        let g = graph_with_volumes(&[100, 200, 300]);
+        let cfg = AnalysisConfig { volume_threshold: 200, ..Default::default() };
+        let ctx = AnalysisContext::new(&g, &cfg);
+        assert_eq!(detect(&g, &cfg, &ctx).len(), 2);
+    }
+
+    #[test]
+    fn remediations_match_table1() {
+        let g = graph_with_volumes(&[1 << 30]);
+        let cfg = AnalysisConfig::default();
+        let ctx = AnalysisContext::new(&g, &cfg);
+        let ops = detect(&g, &cfg, &ctx);
+        assert!(ops[0].remediations.contains(&Remediation::WriteBuffering));
+        assert!(ops[0].remediations.contains(&Remediation::PairTasksAndStorage));
+    }
+}

@@ -1,0 +1,229 @@
+//! Locality patterns (Table 1, rows 4–5).
+//!
+//! *Intra-task* locality: spatio-temporal access locality within a file —
+//! consecutive access distances below the block size (0 = temporal), or
+//! block reuse (volume > footprint). Remediation: caching and prefetching.
+//!
+//! *Inter-task* locality: the same data used by multiple tasks or instances
+//! — (1) producer and consumer share a file, (2) a logical task re-reads a
+//! file across instances, (3) a file is read by multiple consumers.
+
+use std::collections::HashMap;
+
+use crate::graph::{DflGraph, VertexId};
+use crate::props::{fmt_bytes, FlowDir};
+
+use super::{AnalysisConfig, AnalysisContext, Opportunity, PatternKind, Remediation, Subject};
+
+/// Intra-task locality: consumer edges with high locality fraction or
+/// significant reuse.
+pub fn detect_intra(g: &DflGraph, cfg: &AnalysisConfig, ctx: &AnalysisContext) -> Vec<Opportunity> {
+    let mut out = Vec::new();
+    for (eid, e) in g.edges() {
+        if e.dir != FlowDir::Consumer || e.props.volume == 0 {
+            continue;
+        }
+        let spatial = e.props.locality_fraction >= cfg.locality_threshold && e.props.ops >= 2;
+        let temporal = e.props.reuse_factor >= cfg.reuse_threshold;
+        if !spatial && !temporal {
+            continue;
+        }
+        let mut kinds = Vec::new();
+        if temporal {
+            kinds.push(format!("{:.1}x block reuse", e.props.reuse_factor));
+        }
+        if spatial {
+            kinds.push(format!(
+                "{:.0}% accesses within block distance (mean {})",
+                e.props.locality_fraction * 100.0,
+                fmt_bytes(e.props.mean_distance)
+            ));
+        }
+        out.push(Opportunity {
+            pattern: PatternKind::IntraTaskLocality,
+            subject: Subject::Edge(eid),
+            severity: e.props.volume as f64 * e.props.reuse_factor.max(1.0),
+            evidence: kinds.join("; "),
+            remediations: if temporal {
+                vec![Remediation::Caching, Remediation::BlockPrefetching]
+            } else {
+                vec![Remediation::BlockPrefetching, Remediation::Caching]
+            },
+            must_validate: false,
+            on_caterpillar: ctx.on_caterpillar(e.src) && ctx.on_caterpillar(e.dst),
+        });
+    }
+    out
+}
+
+/// Inter-task locality: shared data across tasks or task instances.
+pub fn detect_inter(g: &DflGraph, cfg: &AnalysisConfig, ctx: &AnalysisContext) -> Vec<Opportunity> {
+    let mut out = Vec::new();
+
+    for d in g.data_vertices() {
+        let consumers: Vec<VertexId> = g.successors(d).collect();
+
+        // (3) multiple distinct consumers read the same data.
+        if consumers.len() >= cfg.fan_out_threshold {
+            let shared: u64 = g.out_volume(d);
+            out.push(Opportunity {
+                pattern: PatternKind::InterTaskLocality,
+                subject: Subject::Vertex(d),
+                severity: shared as f64 * consumers.len() as f64,
+                evidence: format!(
+                    "{} consumers read {} total from one file",
+                    consumers.len(),
+                    fmt_bytes(shared as f64)
+                ),
+                remediations: vec![
+                    Remediation::CoScheduling,
+                    Remediation::DataPlacement,
+                    Remediation::Caching,
+                ],
+                must_validate: false,
+                on_caterpillar: ctx.on_caterpillar(d),
+            });
+        }
+
+        // (1) producer-consumer pairs over the same file (pipeline reuse):
+        // flagged at composite granularity only when the pair is on the
+        // caterpillar, to keep the report focused.
+        if g.in_degree(d) > 0 && !consumers.is_empty() && ctx.on_caterpillar(d) {
+            let p = g.edge(g.in_edges(d)[0]).src;
+            let c = consumers[0];
+            out.push(Opportunity {
+                pattern: PatternKind::InterTaskLocality,
+                subject: Subject::Composite(p, d, c),
+                severity: g.out_volume(d).min(g.in_volume(d)) as f64,
+                evidence: "producer and consumer exchange the same file on the caterpillar".into(),
+                remediations: vec![Remediation::Caching, Remediation::CoScheduling],
+                must_validate: false,
+                on_caterpillar: true,
+            });
+        }
+
+        // (2) a logical task re-reads the same data across instances
+        // (loops): multiple consumers sharing a logical name.
+        let mut by_logical: HashMap<&str, (u32, u64)> = HashMap::new();
+        for &ce in g.out_edges(d) {
+            let e = g.edge(ce);
+            let entry = by_logical.entry(g.vertex(e.dst).logical.as_str()).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += e.props.volume;
+        }
+        for (logical, (n, vol)) in by_logical {
+            if n >= 2 && consumers.len() < cfg.fan_out_threshold {
+                out.push(Opportunity {
+                    pattern: PatternKind::InterTaskLocality,
+                    subject: Subject::Vertex(d),
+                    severity: vol as f64,
+                    evidence: format!("{n} instances of task '{logical}' access the same data"),
+                    remediations: vec![Remediation::DataRetention, Remediation::Caching],
+                    must_validate: false,
+                    on_caterpillar: ctx.on_caterpillar(d),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::{DataProps, EdgeProps, TaskProps};
+
+    #[test]
+    fn temporal_reuse_flagged() {
+        let mut g = DflGraph::new();
+        let d = g.add_data("d", "d", DataProps { size: 100, ..Default::default() });
+        let t = g.add_task("train-0", "train", TaskProps::default());
+        g.add_edge(d, t, FlowDir::Consumer, EdgeProps {
+            volume: 500,
+            footprint: 100.0,
+            reuse_factor: 5.0,
+            ops: 5,
+            ..Default::default()
+        });
+        let cfg = AnalysisConfig::default();
+        let ctx = AnalysisContext::new(&g, &cfg);
+        let ops = detect_intra(&g, &cfg, &ctx);
+        assert_eq!(ops.len(), 1);
+        assert!(ops[0].evidence.contains("5.0x block reuse"));
+        assert_eq!(ops[0].remediations[0], Remediation::Caching);
+    }
+
+    #[test]
+    fn spatial_locality_flagged() {
+        let mut g = DflGraph::new();
+        let d = g.add_data("d", "d", DataProps::default());
+        let t = g.add_task("t", "t", TaskProps::default());
+        g.add_edge(d, t, FlowDir::Consumer, EdgeProps {
+            volume: 500,
+            footprint: 500.0,
+            reuse_factor: 1.0,
+            locality_fraction: 0.9,
+            mean_distance: 128.0,
+            ops: 10,
+            ..Default::default()
+        });
+        let cfg = AnalysisConfig::default();
+        let ctx = AnalysisContext::new(&g, &cfg);
+        let ops = detect_intra(&g, &cfg, &ctx);
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].remediations[0], Remediation::BlockPrefetching);
+    }
+
+    #[test]
+    fn random_single_pass_not_flagged() {
+        let mut g = DflGraph::new();
+        let d = g.add_data("d", "d", DataProps::default());
+        let t = g.add_task("t", "t", TaskProps::default());
+        g.add_edge(d, t, FlowDir::Consumer, EdgeProps {
+            volume: 500,
+            footprint: 500.0,
+            reuse_factor: 1.0,
+            locality_fraction: 0.1,
+            ops: 10,
+            ..Default::default()
+        });
+        let cfg = AnalysisConfig::default();
+        let ctx = AnalysisContext::new(&g, &cfg);
+        assert!(detect_intra(&g, &cfg, &ctx).is_empty());
+    }
+
+    #[test]
+    fn shared_file_many_consumers() {
+        let mut g = DflGraph::new();
+        let d = g.add_data("dataset", "d", DataProps { size: 1000, ..Default::default() });
+        for i in 0..4 {
+            let t = g.add_task(&format!("mc-{i}"), "mc", TaskProps::default());
+            g.add_edge(d, t, FlowDir::Consumer, EdgeProps { volume: 1000, ..Default::default() });
+        }
+        let cfg = AnalysisConfig::default();
+        let ctx = AnalysisContext::new(&g, &cfg);
+        let ops = detect_inter(&g, &cfg, &ctx);
+        let fanout = ops
+            .iter()
+            .find(|o| o.evidence.contains("4 consumers"))
+            .expect("fan-out opportunity");
+        assert_eq!(fanout.severity, 4000.0 * 4.0);
+        assert!(fanout.remediations.contains(&Remediation::CoScheduling));
+    }
+
+    #[test]
+    fn instance_rereads_flagged_as_retention() {
+        // Two instances of the same logical task read the same file (loop).
+        let mut g = DflGraph::new();
+        let d = g.add_data("state", "d", DataProps::default());
+        for i in 0..2 {
+            let t = g.add_task(&format!("iter-{i}"), "iter", TaskProps::default());
+            g.add_edge(d, t, FlowDir::Consumer, EdgeProps { volume: 100, ..Default::default() });
+        }
+        let cfg = AnalysisConfig { fan_out_threshold: 3, ..Default::default() };
+        let ctx = AnalysisContext::new(&g, &cfg);
+        let ops = detect_inter(&g, &cfg, &ctx);
+        let re = ops.iter().find(|o| o.evidence.contains("instances of task 'iter'")).unwrap();
+        assert!(re.remediations.contains(&Remediation::DataRetention));
+    }
+}

@@ -1,0 +1,285 @@
+//! Opportunity analysis (§5, Table 1).
+//!
+//! Every pattern of the paper's Table 1 has a detector here, each linear in
+//! vertices and edges: detection relies only on a vertex, its incident
+//! edges, and precomputed path/caterpillar membership — never on graph
+//! pattern matching (which would be NP-complete in general).
+//!
+//! [`analyze`] runs all detectors, ranks the opportunities by severity, and
+//! returns them for reporting or automated remediation.
+
+pub mod critical_flow;
+pub mod data_volume;
+pub mod locality;
+pub mod non_use;
+pub mod parallelism;
+pub mod rate_mismatch;
+pub mod structural;
+
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::caterpillar::{caterpillar, Caterpillar, CaterpillarRule};
+use crate::analysis::cost::CostModel;
+use crate::analysis::critical_path::{critical_path, CriticalPath};
+use crate::graph::{DflGraph, EdgeId, VertexId};
+
+/// The Table 1 pattern taxonomy (plus the §5.2–§5.4 structural patterns used
+/// to identify them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PatternKind {
+    /// Tasks read/write large data volumes.
+    DataVolume,
+    /// Mismatch between production and consumption rates.
+    MismatchedDataRate,
+    /// Data not used by consumers, in whole or part.
+    DataNonUse,
+    /// Spatio-temporal access locality within a file.
+    IntraTaskLocality,
+    /// Same data used by multiple tasks or instances.
+    InterTaskLocality,
+    /// Flow that must improve (critical) to improve response time.
+    CriticalDataFlow,
+    /// Flow that could relax (non-critical) to free resources.
+    NonCriticalDataFlow,
+    /// Task/data parallelism trade-off via consumer in-degree.
+    ParallelismTradeoff,
+    /// Aggregator task (fan-in) with data parallelism (§5.3).
+    Aggregator,
+    /// Aggregator that also compresses (output ≪ input) (§5.3).
+    CompressorAggregator,
+    /// Splitter: data fan-out with disjoint partitions (§5.2, §5.4).
+    Splitter,
+    /// Composition: aggregator whose output feeds a single regular task.
+    AggregatorThenRegular,
+    /// Composition: aggregator whose output is scattered over consumers.
+    AggregatorThenSplitter,
+}
+
+impl PatternKind {
+    pub fn label(&self) -> &'static str {
+        match self {
+            PatternKind::DataVolume => "data volume",
+            PatternKind::MismatchedDataRate => "mismatched data rate",
+            PatternKind::DataNonUse => "data non-use",
+            PatternKind::IntraTaskLocality => "intra-task data locality",
+            PatternKind::InterTaskLocality => "inter-task data locality",
+            PatternKind::CriticalDataFlow => "critical data flow",
+            PatternKind::NonCriticalDataFlow => "non-critical data flow",
+            PatternKind::ParallelismTradeoff => "task/data parallelism trade-off",
+            PatternKind::Aggregator => "aggregator",
+            PatternKind::CompressorAggregator => "compressor-aggregator",
+            PatternKind::Splitter => "splitter",
+            PatternKind::AggregatorThenRegular => "aggregator → regular task",
+            PatternKind::AggregatorThenSplitter => "aggregator → splitter",
+        }
+    }
+}
+
+/// Remediation strategies from Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Remediation {
+    PairTasksAndStorage,
+    WriteBuffering,
+    AnticipatoryDataMovement,
+    AdjustGenerationRate,
+    DataFilteringCompression,
+    OnDemandCaching,
+    Caching,
+    BlockPrefetching,
+    CoScheduling,
+    DataRetention,
+    DataPlacement,
+    BiasResourcesCriticalVsNot,
+    ChangeTaskDataSynchronization,
+    CoordinateParallelism,
+    PipelineAggregation,
+    SubAggregators,
+}
+
+impl Remediation {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Remediation::PairTasksAndStorage => "pair tasks & storage resources",
+            Remediation::WriteBuffering => "write buffering",
+            Remediation::AnticipatoryDataMovement => "anticipatory data movement",
+            Remediation::AdjustGenerationRate => "adjust data generation rate",
+            Remediation::DataFilteringCompression => "data filtering/compression",
+            Remediation::OnDemandCaching => "selective movement (on-demand caching)",
+            Remediation::Caching => "caching",
+            Remediation::BlockPrefetching => "block prefetching",
+            Remediation::CoScheduling => "co-scheduling",
+            Remediation::DataRetention => "data retention",
+            Remediation::DataPlacement => "data placement",
+            Remediation::BiasResourcesCriticalVsNot => "bias resources critical vs non-critical",
+            Remediation::ChangeTaskDataSynchronization => "change task-data synchronization",
+            Remediation::CoordinateParallelism => "coordinate parallelism & placement",
+            Remediation::PipelineAggregation => "pipeline the aggregation",
+            Remediation::SubAggregators => "add sub-aggregators per locality domain",
+        }
+    }
+}
+
+/// The graph entity an opportunity concerns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Subject {
+    Vertex(VertexId),
+    Edge(EdgeId),
+    /// Producer task, data, consumer task.
+    Composite(VertexId, VertexId, VertexId),
+}
+
+/// One detected opportunity, rankable by severity.
+#[derive(Debug, Clone)]
+pub struct Opportunity {
+    pub pattern: PatternKind,
+    pub subject: Subject,
+    /// Ranking metric; larger is more severe. Units depend on the pattern
+    /// (bytes for volume-type patterns, ratios for rates, counts for
+    /// parallelism) — rankings are within-pattern.
+    pub severity: f64,
+    /// Human-readable evidence ("what the DFL-G shows").
+    pub evidence: String,
+    pub remediations: Vec<Remediation>,
+    /// Whether the paper marks the pattern "[Must validate]".
+    pub must_validate: bool,
+    /// Whether the subject lies on the critical caterpillar.
+    pub on_caterpillar: bool,
+}
+
+/// Thresholds and knobs for the detectors.
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// Cost model for the critical path / caterpillar used to prioritize.
+    pub cost: CostModel,
+    /// Edges with volume ≥ this are "large" (bytes). Default 256 MiB.
+    pub volume_threshold: u64,
+    /// Producer/consumer rate ratio ≥ this is a mismatch. Default 4×.
+    pub rate_mismatch_ratio: f64,
+    /// Subset fraction ≤ this flags partial non-use. Default 0.9.
+    pub non_use_fraction: f64,
+    /// Reuse factor ≥ this flags intra-task temporal reuse. Default 1.5.
+    pub reuse_threshold: f64,
+    /// Locality fraction ≥ this flags spatial locality. Default 0.5.
+    pub locality_threshold: f64,
+    /// Data fan-out ≥ this flags inter-task sharing. Default 2.
+    pub fan_out_threshold: usize,
+    /// Task fan-in ≥ this flags an aggregator. Default 3.
+    pub fan_in_threshold: usize,
+    /// Consumer in-degree ≥ this flags a parallelism trade-off. Default 4.
+    pub parallelism_threshold: usize,
+    /// Output/input ratio ≤ this flags a compressor-aggregator. Default 0.5.
+    pub compression_ratio: f64,
+    /// Blocking fraction ≥ this makes a critical-path flow stall-worthy.
+    pub blocking_threshold: f64,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        Self {
+            cost: CostModel::Volume,
+            volume_threshold: 256 << 20,
+            rate_mismatch_ratio: 4.0,
+            non_use_fraction: 0.9,
+            reuse_threshold: 1.5,
+            locality_threshold: 0.5,
+            fan_out_threshold: 2,
+            fan_in_threshold: 3,
+            parallelism_threshold: 4,
+            compression_ratio: 0.5,
+            blocking_threshold: 0.3,
+        }
+    }
+}
+
+/// Shared context handed to detectors: the critical path and DFL caterpillar
+/// under the configured cost model, plus membership masks.
+pub struct AnalysisContext {
+    pub path: CriticalPath,
+    pub caterpillar: Caterpillar,
+    pub cat_membership: Vec<bool>,
+    pub path_edge_membership: Vec<bool>,
+}
+
+impl AnalysisContext {
+    /// Builds the context for `g` (DAG required).
+    pub fn new(g: &DflGraph, cfg: &AnalysisConfig) -> Self {
+        let path = critical_path(g, &cfg.cost);
+        let cat = caterpillar(g, &path, CaterpillarRule::Dfl);
+        let cat_membership = cat.membership(g.vertex_count());
+        let mut path_edge_membership = vec![false; g.edge_count()];
+        for &e in &path.edges {
+            path_edge_membership[e.0 as usize] = true;
+        }
+        Self { path, caterpillar: cat, cat_membership, path_edge_membership }
+    }
+
+    pub fn on_caterpillar(&self, v: VertexId) -> bool {
+        self.cat_membership[v.0 as usize]
+    }
+
+    pub fn edge_on_path(&self, e: EdgeId) -> bool {
+        self.path_edge_membership[e.0 as usize]
+    }
+}
+
+/// Runs every detector and returns opportunities sorted by
+/// (on-caterpillar first, severity descending).
+pub fn analyze(g: &DflGraph, cfg: &AnalysisConfig) -> Vec<Opportunity> {
+    let ctx = AnalysisContext::new(g, cfg);
+    let mut out = Vec::new();
+    out.extend(data_volume::detect(g, cfg, &ctx));
+    out.extend(rate_mismatch::detect(g, cfg, &ctx));
+    out.extend(non_use::detect(g, cfg, &ctx));
+    out.extend(locality::detect_intra(g, cfg, &ctx));
+    out.extend(locality::detect_inter(g, cfg, &ctx));
+    out.extend(critical_flow::detect(g, cfg, &ctx));
+    out.extend(parallelism::detect(g, cfg, &ctx));
+    out.extend(structural::detect(g, cfg, &ctx));
+    rank_opportunities(&mut out);
+    out
+}
+
+/// Sorts opportunities: caterpillar members first, then by severity.
+pub fn rank_opportunities(ops: &mut [Opportunity]) {
+    ops.sort_by(|a, b| {
+        b.on_caterpillar
+            .cmp(&a.on_caterpillar)
+            .then_with(|| b.severity.partial_cmp(&a.severity).unwrap_or(std::cmp::Ordering::Equal))
+            .then_with(|| a.evidence.cmp(&b.evidence))
+    });
+}
+
+/// Renders opportunities as a report table.
+pub fn report(g: &DflGraph, ops: &[Opportunity]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "== opportunity report: {} candidates ==", ops.len());
+    for (i, o) in ops.iter().enumerate() {
+        let subject = match &o.subject {
+            Subject::Vertex(v) => g.vertex(*v).name.clone(),
+            Subject::Edge(e) => {
+                let edge = g.edge(*e);
+                format!("{} → {}", g.vertex(edge.src).name, g.vertex(edge.dst).name)
+            }
+            Subject::Composite(p, d, c) => format!(
+                "{} → {} → {}",
+                g.vertex(*p).name,
+                g.vertex(*d).name,
+                g.vertex(*c).name
+            ),
+        };
+        let _ = writeln!(
+            s,
+            "{:>3}. [{}{}] {} — {} (severity {:.3e})",
+            i + 1,
+            o.pattern.label(),
+            if o.must_validate { ", must validate" } else { "" },
+            subject,
+            o.evidence,
+            o.severity,
+        );
+        let rems: Vec<&str> = o.remediations.iter().map(|r| r.label()).collect();
+        let _ = writeln!(s, "      remediations: {}", rems.join("; "));
+    }
+    s
+}

@@ -1,0 +1,131 @@
+//! Data non-use pattern (Table 1, row 3): data unused by consumers in whole
+//! (data leaf vertices) or in part (consumed footprint smaller than the
+//! file) — both imply unnecessary data movement.
+
+use crate::analysis::entities::data_leaves;
+use crate::graph::DflGraph;
+use crate::props::{fmt_bytes, FlowDir};
+
+use super::{AnalysisConfig, AnalysisContext, Opportunity, PatternKind, Remediation, Subject};
+
+/// Detects whole-file non-use (leaves) and partial non-use (subset reads).
+pub fn detect(g: &DflGraph, cfg: &AnalysisConfig, ctx: &AnalysisContext) -> Vec<Opportunity> {
+    let mut out = Vec::new();
+
+    // Whole-file: produced but never consumed.
+    for d in data_leaves(g) {
+        let size = g.vertex(d).props.as_data().map_or(0, |p| p.size);
+        let produced = g.in_volume(d);
+        out.push(Opportunity {
+            pattern: PatternKind::DataNonUse,
+            subject: Subject::Vertex(d),
+            severity: produced.max(size) as f64,
+            evidence: format!(
+                "data leaf: {} produced, no consumers",
+                fmt_bytes(produced as f64)
+            ),
+            remediations: vec![Remediation::OnDemandCaching, Remediation::DataFilteringCompression],
+            must_validate: false,
+            on_caterpillar: ctx.on_caterpillar(d),
+        });
+    }
+
+    // Partial: a consumer's unique footprint covers less than the file.
+    for (eid, e) in g.edges() {
+        if e.dir != FlowDir::Consumer {
+            continue;
+        }
+        let size = g.vertex(e.src).props.as_data().map_or(0, |p| p.size);
+        if size == 0 {
+            continue;
+        }
+        let frac = e.props.subset_fraction;
+        if frac <= 0.0 || frac > cfg.non_use_fraction {
+            continue;
+        }
+        let unused = size as f64 * (1.0 - frac);
+        out.push(Opportunity {
+            pattern: PatternKind::DataNonUse,
+            subject: Subject::Edge(eid),
+            severity: unused,
+            evidence: format!(
+                "consumer uses {:.0}% of {} ({} unused)",
+                frac * 100.0,
+                fmt_bytes(size as f64),
+                fmt_bytes(unused)
+            ),
+            remediations: vec![Remediation::OnDemandCaching, Remediation::DataFilteringCompression],
+            must_validate: false,
+            on_caterpillar: ctx.on_caterpillar(e.src) && ctx.on_caterpillar(e.dst),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::{DataProps, EdgeProps, TaskProps};
+
+    #[test]
+    fn leaf_and_subset_detected() {
+        let mut g = DflGraph::new();
+        let p = g.add_task("p", "p", TaskProps::default());
+        let leaf = g.add_data("leaf", "d", DataProps { size: 500, ..Default::default() });
+        g.add_edge(p, leaf, FlowDir::Producer, EdgeProps { volume: 500, ..Default::default() });
+
+        let shared = g.add_data("shared", "d", DataProps { size: 1000, ..Default::default() });
+        let c = g.add_task("c", "c", TaskProps::default());
+        g.add_edge(p, shared, FlowDir::Producer, EdgeProps { volume: 1000, ..Default::default() });
+        g.add_edge(shared, c, FlowDir::Consumer, EdgeProps {
+            volume: 400,
+            footprint: 400.0,
+            subset_fraction: 0.4,
+            ..Default::default()
+        });
+
+        let cfg = AnalysisConfig::default();
+        let ctx = AnalysisContext::new(&g, &cfg);
+        let ops = detect(&g, &cfg, &ctx);
+        assert_eq!(ops.len(), 2);
+        let leaf_op = ops.iter().find(|o| matches!(o.subject, Subject::Vertex(_))).unwrap();
+        assert!(leaf_op.evidence.contains("no consumers"));
+        let subset_op = ops.iter().find(|o| matches!(o.subject, Subject::Edge(_))).unwrap();
+        assert!((subset_op.severity - 600.0).abs() < 1e-6, "60% of 1000 unused");
+    }
+
+    #[test]
+    fn full_use_not_flagged() {
+        let mut g = DflGraph::new();
+        let p = g.add_task("p", "p", TaskProps::default());
+        let d = g.add_data("d", "d", DataProps { size: 1000, ..Default::default() });
+        let c = g.add_task("c", "c", TaskProps::default());
+        g.add_edge(p, d, FlowDir::Producer, EdgeProps { volume: 1000, ..Default::default() });
+        g.add_edge(d, c, FlowDir::Consumer, EdgeProps {
+            volume: 1000,
+            footprint: 1000.0,
+            subset_fraction: 1.0,
+            ..Default::default()
+        });
+        let cfg = AnalysisConfig::default();
+        let ctx = AnalysisContext::new(&g, &cfg);
+        assert!(detect(&g, &cfg, &ctx).is_empty());
+    }
+
+    #[test]
+    fn pure_input_files_are_not_leaves() {
+        // A file only read (no producer) is a workflow input, not non-use.
+        let mut g = DflGraph::new();
+        let d = g.add_data("input", "d", DataProps { size: 100, ..Default::default() });
+        let c = g.add_task("c", "c", TaskProps::default());
+        g.add_edge(d, c, FlowDir::Consumer, EdgeProps {
+            volume: 100,
+            footprint: 100.0,
+            subset_fraction: 1.0,
+            ..Default::default()
+        });
+        let cfg = AnalysisConfig::default();
+        let ctx = AnalysisContext::new(&g, &cfg);
+        assert!(detect(&g, &cfg, &ctx).is_empty());
+    }
+}

@@ -1,0 +1,72 @@
+//! Task/data parallelism trade-off pattern (Table 1, row 7).
+//!
+//! The in-degree of a consumer task — the number of neighboring data
+//! vertices — implicitly specifies how many producer tasks executed
+//! concurrently. High in-degree trades response time (more parallelism
+//! upstream) against overhead (I/O contention from many flows). Marked
+//! "[Must validate]" in the paper.
+
+use crate::graph::DflGraph;
+use crate::props::fmt_bytes;
+
+use super::{AnalysisConfig, AnalysisContext, Opportunity, PatternKind, Remediation, Subject};
+
+/// Flags consumer tasks whose in-degree meets the configured threshold.
+pub fn detect(g: &DflGraph, cfg: &AnalysisConfig, ctx: &AnalysisContext) -> Vec<Opportunity> {
+    let mut out = Vec::new();
+    for t in g.task_vertices() {
+        let indeg = g.in_degree(t);
+        if indeg < cfg.parallelism_threshold {
+            continue;
+        }
+        let volume = g.in_volume(t);
+        out.push(Opportunity {
+            pattern: PatternKind::ParallelismTradeoff,
+            subject: Subject::Vertex(t),
+            severity: indeg as f64,
+            evidence: format!(
+                "consumer in-degree {indeg} (≈{indeg} concurrent producers), {} inflow",
+                fmt_bytes(volume as f64)
+            ),
+            remediations: vec![Remediation::CoordinateParallelism],
+            must_validate: true,
+            on_caterpillar: ctx.on_caterpillar(t),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::{DataProps, EdgeProps, FlowDir, TaskProps};
+
+    fn fan_in(n: usize) -> DflGraph {
+        let mut g = DflGraph::new();
+        let t = g.add_task("merge", "merge", TaskProps::default());
+        for i in 0..n {
+            let d = g.add_data(&format!("in{i}"), "in#", DataProps::default());
+            g.add_edge(d, t, FlowDir::Consumer, EdgeProps { volume: 100, ..Default::default() });
+        }
+        g
+    }
+
+    #[test]
+    fn high_in_degree_flagged_and_must_validate() {
+        let g = fan_in(8);
+        let cfg = AnalysisConfig::default();
+        let ctx = AnalysisContext::new(&g, &cfg);
+        let ops = detect(&g, &cfg, &ctx);
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].severity, 8.0);
+        assert!(ops[0].must_validate);
+    }
+
+    #[test]
+    fn low_in_degree_ignored() {
+        let g = fan_in(2);
+        let cfg = AnalysisConfig::default(); // threshold 4
+        let ctx = AnalysisContext::new(&g, &cfg);
+        assert!(detect(&g, &cfg, &ctx).is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Mismatched data rate pattern (Table 1, row 2): data produced and
+//! consumed at very different rates causes stalls, likely on the critical
+//! path.
+
+use crate::graph::DflGraph;
+use crate::props::fmt_bytes;
+
+use super::{AnalysisConfig, AnalysisContext, Opportunity, PatternKind, Remediation, Subject};
+
+/// For each data vertex with both producers and consumers, compares the
+/// aggregate production rate with each consumer's rate; ratios beyond the
+/// configured threshold are flagged.
+pub fn detect(g: &DflGraph, cfg: &AnalysisConfig, ctx: &AnalysisContext) -> Vec<Opportunity> {
+    let mut out = Vec::new();
+    for d in g.data_vertices() {
+        if g.in_degree(d) == 0 || g.out_degree(d) == 0 {
+            continue;
+        }
+        let prod_rate: f64 = g.in_edges(d).iter().map(|&e| g.edge(e).props.data_rate).sum();
+        if prod_rate <= 0.0 {
+            continue;
+        }
+        for &ce in g.out_edges(d) {
+            let cons = g.edge(ce);
+            if cons.props.data_rate <= 0.0 {
+                continue;
+            }
+            let ratio = if prod_rate > cons.props.data_rate {
+                prod_rate / cons.props.data_rate
+            } else {
+                cons.props.data_rate / prod_rate
+            };
+            if ratio < cfg.rate_mismatch_ratio {
+                continue;
+            }
+            let (p, c) = (g.edge(g.in_edges(d)[0]).src, cons.dst);
+            out.push(Opportunity {
+                pattern: PatternKind::MismatchedDataRate,
+                subject: Subject::Composite(p, d, c),
+                severity: ratio * cons.props.volume as f64,
+                evidence: format!(
+                    "produced at {}/s, consumed at {}/s ({ratio:.1}x mismatch)",
+                    fmt_bytes(prod_rate),
+                    fmt_bytes(cons.props.data_rate)
+                ),
+                remediations: vec![
+                    Remediation::PairTasksAndStorage,
+                    Remediation::AdjustGenerationRate,
+                    Remediation::DataFilteringCompression,
+                ],
+                must_validate: false,
+                on_caterpillar: ctx.on_caterpillar(d),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::{DataProps, EdgeProps, FlowDir, TaskProps};
+
+    fn rates(prod: f64, cons: f64) -> DflGraph {
+        let mut g = DflGraph::new();
+        let p = g.add_task("p", "p", TaskProps::default());
+        let d = g.add_data("d", "d", DataProps::default());
+        let c = g.add_task("c", "c", TaskProps::default());
+        g.add_edge(p, d, FlowDir::Producer, EdgeProps { volume: 1000, data_rate: prod, ..Default::default() });
+        g.add_edge(d, c, FlowDir::Consumer, EdgeProps { volume: 1000, data_rate: cons, ..Default::default() });
+        g
+    }
+
+    #[test]
+    fn mismatch_detected_in_both_directions() {
+        let cfg = AnalysisConfig::default(); // 4x
+        for (p, c) in [(1000.0, 100.0), (100.0, 1000.0)] {
+            let g = rates(p, c);
+            let ctx = AnalysisContext::new(&g, &cfg);
+            let ops = detect(&g, &cfg, &ctx);
+            assert_eq!(ops.len(), 1, "prod {p} cons {c}");
+            assert!(ops[0].evidence.contains("10.0x"));
+        }
+    }
+
+    #[test]
+    fn matched_rates_not_flagged() {
+        let g = rates(500.0, 400.0);
+        let cfg = AnalysisConfig::default();
+        let ctx = AnalysisContext::new(&g, &cfg);
+        assert!(detect(&g, &cfg, &ctx).is_empty());
+    }
+
+    #[test]
+    fn zero_rates_skipped() {
+        let g = rates(0.0, 100.0);
+        let cfg = AnalysisConfig::default();
+        let ctx = AnalysisContext::new(&g, &cfg);
+        assert!(detect(&g, &cfg, &ctx).is_empty());
+    }
+
+    #[test]
+    fn severity_scales_with_volume_and_ratio() {
+        let g = rates(800.0, 100.0);
+        let cfg = AnalysisConfig::default();
+        let ctx = AnalysisContext::new(&g, &cfg);
+        let ops = detect(&g, &cfg, &ctx);
+        assert!((ops[0].severity - 8.0 * 1000.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,239 @@
+//! Structural task/data relation patterns (§5.2–§5.4): aggregators,
+//! compressor-aggregators, splitters, and their compositions.
+//!
+//! These relations are identified with only a vertex and its incident edges,
+//! so detection is linear in vertices and edges.
+
+use crate::graph::{DflGraph, VertexId};
+use crate::props::fmt_bytes;
+
+use super::{AnalysisConfig, AnalysisContext, Opportunity, PatternKind, Remediation, Subject};
+
+/// Whether `t` is an aggregator: a task with ≥ `fan_in_threshold` data
+/// inputs and at most a couple of outputs.
+fn is_aggregator(g: &DflGraph, t: VertexId, cfg: &AnalysisConfig) -> bool {
+    g.vertex(t).is_task() && g.in_degree(t) >= cfg.fan_in_threshold && g.out_degree(t) >= 1
+}
+
+/// Detects aggregator / compressor-aggregator / splitter relations and
+/// their §5.4 compositions.
+pub fn detect(g: &DflGraph, cfg: &AnalysisConfig, ctx: &AnalysisContext) -> Vec<Opportunity> {
+    let mut out = Vec::new();
+
+    for t in g.task_vertices() {
+        // --- Aggregators (task fan-in, §5.3) ---
+        if is_aggregator(g, t, cfg) {
+            let in_vol = g.in_volume(t);
+            let out_vol = g.out_volume(t);
+            let compresses =
+                in_vol > 0 && (out_vol as f64) / (in_vol as f64) <= cfg.compression_ratio;
+            let (pattern, remediations) = if compresses {
+                (
+                    PatternKind::CompressorAggregator,
+                    vec![Remediation::PairTasksAndStorage, Remediation::DataFilteringCompression],
+                )
+            } else {
+                (
+                    PatternKind::Aggregator,
+                    vec![Remediation::PipelineAggregation, Remediation::SubAggregators],
+                )
+            };
+            out.push(Opportunity {
+                pattern,
+                subject: Subject::Vertex(t),
+                severity: in_vol as f64,
+                evidence: format!(
+                    "{} inputs totalling {}, output {}{}",
+                    g.in_degree(t),
+                    fmt_bytes(in_vol as f64),
+                    fmt_bytes(out_vol as f64),
+                    if compresses { " (compressing)" } else { "" }
+                ),
+                remediations,
+                must_validate: false,
+                on_caterpillar: ctx.on_caterpillar(t),
+            });
+
+            // --- Compositions (§5.4) ---
+            // Follow each output file of the aggregator to its consumers.
+            for &pe in g.out_edges(t) {
+                let d = g.edge(pe).dst;
+                let consumers: Vec<VertexId> = g.successors(d).collect();
+                match consumers.len() {
+                    0 => {}
+                    1 => out.push(Opportunity {
+                        pattern: PatternKind::AggregatorThenRegular,
+                        subject: Subject::Composite(t, d, consumers[0]),
+                        severity: g.out_volume(d) as f64,
+                        evidence: format!(
+                            "aggregator output consumed by single task '{}' — coalescing candidate",
+                            g.vertex(consumers[0]).name
+                        ),
+                        remediations: vec![Remediation::CoScheduling, Remediation::PipelineAggregation],
+                        must_validate: false,
+                        on_caterpillar: ctx.on_caterpillar(t) && ctx.on_caterpillar(d),
+                    }),
+                    n => out.push(Opportunity {
+                        pattern: PatternKind::AggregatorThenSplitter,
+                        subject: Subject::Vertex(d),
+                        severity: g.out_volume(d) as f64 * n as f64,
+                        evidence: format!(
+                            "aggregator '{}' gathers then scatters over {n} consumers",
+                            g.vertex(t).name
+                        ),
+                        remediations: vec![
+                            Remediation::SubAggregators,
+                            Remediation::DataPlacement,
+                            Remediation::CoScheduling,
+                        ],
+                        must_validate: false,
+                        on_caterpillar: ctx.on_caterpillar(d),
+                    }),
+                }
+            }
+        }
+    }
+
+    // --- Splitters / data parallelism (§5.2 multiple distinct consumers) ---
+    for d in g.data_vertices() {
+        let consumers: Vec<VertexId> = g.successors(d).collect();
+        if consumers.len() < cfg.fan_out_threshold {
+            continue;
+        }
+        let size = g.vertex(d).props.as_data().map_or(0, |p| p.size);
+        if size == 0 {
+            continue;
+        }
+        // Data-parallel partitioning: every consumer reads a strict subset,
+        // and the subsets together cover roughly the file.
+        let fracs: Vec<f64> = g
+            .out_edges(d)
+            .iter()
+            .map(|&e| g.edge(e).props.subset_fraction)
+            .collect();
+        let all_partial = fracs.iter().all(|&f| f > 0.0 && f < 0.9);
+        let coverage: f64 = fracs.iter().sum();
+        if all_partial && coverage >= 0.5 && coverage <= 1.5 {
+            out.push(Opportunity {
+                pattern: PatternKind::Splitter,
+                subject: Subject::Vertex(d),
+                severity: size as f64,
+                evidence: format!(
+                    "{} consumers each read a disjoint-looking partition (coverage {:.0}%) — data parallelism",
+                    consumers.len(),
+                    coverage * 100.0
+                ),
+                remediations: vec![
+                    Remediation::CoScheduling,
+                    Remediation::PairTasksAndStorage,
+                    Remediation::CoordinateParallelism,
+                ],
+                must_validate: false,
+                on_caterpillar: ctx.on_caterpillar(d),
+            });
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::{DataProps, EdgeProps, FlowDir, TaskProps};
+
+    /// n inputs → aggregator → out file → consumer(s).
+    fn aggregator_graph(n: usize, out_vol: u64, consumers: usize) -> DflGraph {
+        let mut g = DflGraph::new();
+        let agg = g.add_task("agg", "agg", TaskProps::default());
+        for i in 0..n {
+            let d = g.add_data(&format!("in{i}"), "in#", DataProps { size: 100, ..Default::default() });
+            g.add_edge(d, agg, FlowDir::Consumer, EdgeProps { volume: 100, ..Default::default() });
+        }
+        let o = g.add_data("out", "out", DataProps { size: out_vol, ..Default::default() });
+        g.add_edge(agg, o, FlowDir::Producer, EdgeProps { volume: out_vol, ..Default::default() });
+        for i in 0..consumers {
+            let c = g.add_task(&format!("c{i}"), "c", TaskProps::default());
+            g.add_edge(o, c, FlowDir::Consumer, EdgeProps { volume: out_vol, ..Default::default() });
+        }
+        g
+    }
+
+    #[test]
+    fn plain_aggregator_detected() {
+        let g = aggregator_graph(4, 400, 0);
+        let cfg = AnalysisConfig::default();
+        let ctx = AnalysisContext::new(&g, &cfg);
+        let ops = detect(&g, &cfg, &ctx);
+        assert!(ops.iter().any(|o| o.pattern == PatternKind::Aggregator));
+        assert!(ops.iter().all(|o| o.pattern != PatternKind::CompressorAggregator));
+    }
+
+    #[test]
+    fn compressor_aggregator_when_output_shrinks() {
+        // 400 in, 100 out → ratio 0.25 ≤ 0.5.
+        let g = aggregator_graph(4, 100, 0);
+        let cfg = AnalysisConfig::default();
+        let ctx = AnalysisContext::new(&g, &cfg);
+        let ops = detect(&g, &cfg, &ctx);
+        let ca = ops.iter().find(|o| o.pattern == PatternKind::CompressorAggregator).unwrap();
+        assert!(ca.evidence.contains("compressing"));
+    }
+
+    #[test]
+    fn aggregator_then_regular_composition() {
+        let g = aggregator_graph(4, 400, 1);
+        let cfg = AnalysisConfig::default();
+        let ctx = AnalysisContext::new(&g, &cfg);
+        let ops = detect(&g, &cfg, &ctx);
+        assert!(ops.iter().any(|o| o.pattern == PatternKind::AggregatorThenRegular));
+    }
+
+    #[test]
+    fn aggregator_then_splitter_composition() {
+        let g = aggregator_graph(4, 400, 3);
+        let cfg = AnalysisConfig::default();
+        let ctx = AnalysisContext::new(&g, &cfg);
+        let ops = detect(&g, &cfg, &ctx);
+        let s = ops.iter().find(|o| o.pattern == PatternKind::AggregatorThenSplitter).unwrap();
+        assert!(s.evidence.contains("3 consumers"));
+    }
+
+    #[test]
+    fn data_parallel_partitions_detected_as_splitter() {
+        let mut g = DflGraph::new();
+        let d = g.add_data("chr1", "chr#", DataProps { size: 1000, ..Default::default() });
+        for i in 0..4 {
+            let t = g.add_task(&format!("indiv-{i}"), "indiv", TaskProps::default());
+            g.add_edge(d, t, FlowDir::Consumer, EdgeProps {
+                volume: 250,
+                footprint: 250.0,
+                subset_fraction: 0.25,
+                ..Default::default()
+            });
+        }
+        let cfg = AnalysisConfig::default();
+        let ctx = AnalysisContext::new(&g, &cfg);
+        let ops = detect(&g, &cfg, &ctx);
+        let sp = ops.iter().find(|o| o.pattern == PatternKind::Splitter).unwrap();
+        assert!(sp.evidence.contains("coverage 100%"));
+    }
+
+    #[test]
+    fn full_file_readers_are_not_a_splitter() {
+        let mut g = DflGraph::new();
+        let d = g.add_data("whole", "d", DataProps { size: 1000, ..Default::default() });
+        for i in 0..3 {
+            let t = g.add_task(&format!("t{i}"), "t", TaskProps::default());
+            g.add_edge(d, t, FlowDir::Consumer, EdgeProps {
+                volume: 1000,
+                footprint: 1000.0,
+                subset_fraction: 1.0,
+                ..Default::default()
+            });
+        }
+        let cfg = AnalysisConfig::default();
+        let ctx = AnalysisContext::new(&g, &cfg);
+        assert!(detect(&g, &cfg, &ctx).iter().all(|o| o.pattern != PatternKind::Splitter));
+    }
+}

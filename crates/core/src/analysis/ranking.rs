@@ -1,0 +1,297 @@
+//! Entity rankings (§4.3): project an entity type, sort by a property, and
+//! render a report table (the Fig. 2f producer-consumer ranking).
+
+use std::fmt;
+
+use crate::analysis::entities::producer_consumer_relations;
+use crate::graph::{DflGraph, VertexId};
+use crate::props::{fmt_bytes, FlowDir};
+
+/// A sortable report table.
+#[derive(Debug, Clone)]
+pub struct RankTable {
+    pub title: String,
+    pub columns: Vec<String>,
+    /// Rows: label cells plus the numeric sort key (descending).
+    pub rows: Vec<RankRow>,
+}
+
+/// One ranked row.
+#[derive(Debug, Clone)]
+pub struct RankRow {
+    pub cells: Vec<String>,
+    pub key: f64,
+}
+
+impl RankTable {
+    pub fn new(title: &str, columns: &[&str]) -> Self {
+        Self {
+            title: title.to_owned(),
+            columns: columns.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, cells: Vec<String>, key: f64) {
+        self.rows.push(RankRow { cells, key });
+    }
+
+    /// Sorts rows by key, descending, with a stable deterministic tie-break
+    /// on the first cell.
+    pub fn sort(&mut self) {
+        self.rows.sort_by(|a, b| {
+            b.key
+                .partial_cmp(&a.key)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.cells.first().cmp(&b.cells.first()))
+        });
+    }
+
+    /// Keeps only the top `n` rows.
+    pub fn truncate(&mut self, n: usize) {
+        self.rows.truncate(n);
+    }
+}
+
+impl fmt::Display for RankTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Compute column widths over header + cells (+ rank column).
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.cells.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(c.len());
+                }
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        write!(f, "{:>4}  ", "#")?;
+        for (c, w) in self.columns.iter().zip(&widths) {
+            write!(f, "{c:<w$}  ")?;
+        }
+        writeln!(f)?;
+        for (i, row) in self.rows.iter().enumerate() {
+            write!(f, "{:>4}  ", i + 1)?;
+            for (c, w) in row.cells.iter().zip(&widths) {
+                write!(f, "{c:<w$}  ")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Property selecting the ranking key for data vertices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataMetric {
+    /// Bytes flowing out (consumption).
+    OutVolume,
+    /// Bytes flowing in (production).
+    InVolume,
+    /// In + out.
+    TotalVolume,
+    /// File size.
+    Size,
+}
+
+/// Ranks data vertices, e.g. to prioritize files for storage and flow
+/// resources.
+pub fn rank_data_vertices(g: &DflGraph, metric: DataMetric) -> RankTable {
+    let mut t = RankTable::new(
+        &format!("data vertices by {metric:?}"),
+        &["file", "size", "in volume", "out volume", "consumers"],
+    );
+    for d in g.data_vertices() {
+        let v = g.vertex(d);
+        let size = v.props.as_data().map_or(0, |p| p.size);
+        let (iv, ov) = (g.in_volume(d), g.out_volume(d));
+        let key = match metric {
+            DataMetric::OutVolume => ov as f64,
+            DataMetric::InVolume => iv as f64,
+            DataMetric::TotalVolume => (iv + ov) as f64,
+            DataMetric::Size => size as f64,
+        };
+        t.push(
+            vec![
+                v.name.clone(),
+                fmt_bytes(size as f64),
+                fmt_bytes(iv as f64),
+                fmt_bytes(ov as f64),
+                g.out_degree(d).to_string(),
+            ],
+            key,
+        );
+    }
+    t.sort();
+    t
+}
+
+/// Property selecting the ranking key for task vertices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskMetric {
+    Lifetime,
+    ReadVolume,
+    WriteVolume,
+    TotalVolume,
+}
+
+/// Ranks task vertices.
+pub fn rank_task_vertices(g: &DflGraph, metric: TaskMetric) -> RankTable {
+    let mut t = RankTable::new(
+        &format!("task vertices by {metric:?}"),
+        &["task", "lifetime", "read volume", "write volume"],
+    );
+    for tv in g.task_vertices() {
+        let v = g.vertex(tv);
+        let life = v.props.as_task().map_or(0, |p| p.lifetime_ns);
+        let rv = g.in_volume(tv);
+        let wv = g.out_volume(tv);
+        let key = match metric {
+            TaskMetric::Lifetime => life as f64,
+            TaskMetric::ReadVolume => rv as f64,
+            TaskMetric::WriteVolume => wv as f64,
+            TaskMetric::TotalVolume => (rv + wv) as f64,
+        };
+        t.push(
+            vec![
+                v.name.clone(),
+                crate::props::fmt_secs(life),
+                fmt_bytes(rv as f64),
+                fmt_bytes(wv as f64),
+            ],
+            key,
+        );
+    }
+    t.sort();
+    t
+}
+
+/// Ranks producer-consumer composite relations by delivered volume —
+/// the paper's Fig. 2f table for DDMD.
+pub fn rank_producer_consumer(g: &DflGraph) -> RankTable {
+    let mut t = RankTable::new(
+        "producer-consumer relations by volume",
+        &["producer", "data", "consumer", "volume"],
+    );
+    for pc in producer_consumer_relations(g) {
+        let vol = pc.volume(g);
+        t.push(
+            vec![
+                g.vertex(pc.producer).name.clone(),
+                g.vertex(pc.data).name.clone(),
+                g.vertex(pc.consumer).name.clone(),
+                fmt_bytes(vol as f64),
+            ],
+            vol as f64,
+        );
+    }
+    t.sort();
+    t
+}
+
+/// Ranks flow edges of one direction by volume.
+pub fn rank_edges(g: &DflGraph, dir: FlowDir) -> RankTable {
+    let mut t = RankTable::new(
+        &format!("{} relations by volume", dir.label()),
+        &["source", "sink", "volume", "footprint", "rate"],
+    );
+    for (_, e) in g.edges().filter(|(_, e)| e.dir == dir) {
+        t.push(
+            vec![
+                g.vertex(e.src).name.clone(),
+                g.vertex(e.dst).name.clone(),
+                fmt_bytes(e.props.volume as f64),
+                fmt_bytes(e.props.footprint),
+                format!("{}/s", fmt_bytes(e.props.data_rate)),
+            ],
+            e.props.volume as f64,
+        );
+    }
+    t.sort();
+    t
+}
+
+/// Helper for tests and reports: name of the top-ranked vertex in a
+/// projection over vertices.
+pub fn top_vertex_by<F: Fn(VertexId) -> f64>(
+    g: &DflGraph,
+    candidates: impl Iterator<Item = VertexId>,
+    key: F,
+) -> Option<VertexId> {
+    candidates.max_by(|&a, &b| {
+        key(a)
+            .partial_cmp(&key(b))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| b.cmp(&a)) // ties to lower id
+    })
+    .filter(|&v| (v.0 as usize) < g.vertex_count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::{DataProps, EdgeProps, TaskProps};
+
+    fn ddmd_like() -> DflGraph {
+        // aggregate → combined → {train (2.4 GB), lof (0.88 GB)}
+        let mut g = DflGraph::new();
+        let agg = g.add_task("aggregate", "aggregate", TaskProps::default());
+        let comb = g.add_data("combined.h5", "combined.h5", DataProps { size: 1 << 30, ..Default::default() });
+        let train = g.add_task("train", "train", TaskProps::default());
+        let lof = g.add_task("lof", "lof", TaskProps::default());
+        g.add_edge(agg, comb, FlowDir::Producer, EdgeProps { volume: 1_200_000_000, ..Default::default() });
+        g.add_edge(comb, train, FlowDir::Consumer, EdgeProps { volume: 2_400_000_000, ..Default::default() });
+        g.add_edge(comb, lof, FlowDir::Consumer, EdgeProps { volume: 880_000_000, ..Default::default() });
+        g
+    }
+
+    #[test]
+    fn producer_consumer_ranking_orders_by_volume() {
+        let g = ddmd_like();
+        let t = rank_producer_consumer(&g);
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.rows[0].cells[2].contains("train"), "train ranks first: {:?}", t.rows[0]);
+        assert!(t.rows[1].cells[2].contains("lof"));
+        assert!(t.rows[0].key > t.rows[1].key);
+    }
+
+    #[test]
+    fn data_ranking_keys() {
+        let g = ddmd_like();
+        let t = rank_data_vertices(&g, DataMetric::OutVolume);
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.rows[0].key, (2_400_000_000u64 + 880_000_000) as f64);
+    }
+
+    #[test]
+    fn task_ranking_by_read_volume() {
+        let g = ddmd_like();
+        let t = rank_task_vertices(&g, TaskMetric::ReadVolume);
+        assert_eq!(t.rows[0].cells[0], "train");
+    }
+
+    #[test]
+    fn table_display_is_aligned_and_numbered() {
+        let g = ddmd_like();
+        let s = rank_producer_consumer(&g).to_string();
+        assert!(s.contains("== producer-consumer relations by volume =="));
+        assert!(s.contains("   1  "));
+        assert!(s.contains("   2  "));
+    }
+
+    #[test]
+    fn truncate_keeps_top_rows() {
+        let g = ddmd_like();
+        let mut t = rank_producer_consumer(&g);
+        t.truncate(1);
+        assert_eq!(t.rows.len(), 1);
+        assert!(t.rows[0].cells[2].contains("train"));
+    }
+
+    #[test]
+    fn edge_ranking_filters_direction() {
+        let g = ddmd_like();
+        assert_eq!(rank_edges(&g, FlowDir::Producer).rows.len(), 1);
+        assert_eq!(rank_edges(&g, FlowDir::Consumer).rows.len(), 2);
+    }
+}

@@ -1,0 +1,175 @@
+//! Whole-graph summary statistics: the first thing an analyst looks at
+//! before drilling into rankings and patterns.
+
+use std::collections::BTreeMap;
+
+use crate::analysis::entities::RelationShape;
+use crate::graph::{DflGraph, VertexKind};
+use crate::props::{fmt_bytes, FlowDir};
+
+/// Summary of a DFL graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    pub tasks: usize,
+    pub data: usize,
+    pub producer_edges: usize,
+    pub consumer_edges: usize,
+    /// Total bytes written (producer volume).
+    pub write_volume: u64,
+    /// Total bytes read (consumer volume).
+    pub read_volume: u64,
+    /// Total unique bytes read (consumer footprint estimate).
+    pub read_footprint: f64,
+    /// Relation shape histogram per vertex kind.
+    pub task_shapes: BTreeMap<String, usize>,
+    pub data_shapes: BTreeMap<String, usize>,
+    pub max_task_fan_in: usize,
+    pub max_data_fan_out: usize,
+    /// Aggregate read reuse: read volume / read footprint.
+    pub global_reuse: f64,
+}
+
+fn shape_label(s: RelationShape) -> &'static str {
+    match s {
+        RelationShape::Regular => "regular",
+        RelationShape::FanIn => "fan-in",
+        RelationShape::FanOut => "fan-out",
+        RelationShape::FanInOut => "fan-in/out",
+        RelationShape::Source => "source",
+        RelationShape::Sink => "sink",
+        RelationShape::Isolated => "isolated",
+    }
+}
+
+/// Computes summary statistics in one pass over vertices and edges.
+pub fn graph_stats(g: &DflGraph) -> GraphStats {
+    let mut s = GraphStats {
+        tasks: 0,
+        data: 0,
+        producer_edges: 0,
+        consumer_edges: 0,
+        write_volume: 0,
+        read_volume: 0,
+        read_footprint: 0.0,
+        task_shapes: BTreeMap::new(),
+        data_shapes: BTreeMap::new(),
+        max_task_fan_in: 0,
+        max_data_fan_out: 0,
+        global_reuse: 0.0,
+    };
+    for (v, vx) in g.vertices() {
+        let shape = shape_label(g.shape_of(v));
+        match vx.kind {
+            VertexKind::Task => {
+                s.tasks += 1;
+                *s.task_shapes.entry(shape.to_owned()).or_insert(0) += 1;
+                s.max_task_fan_in = s.max_task_fan_in.max(g.in_degree(v));
+            }
+            VertexKind::Data => {
+                s.data += 1;
+                *s.data_shapes.entry(shape.to_owned()).or_insert(0) += 1;
+                s.max_data_fan_out = s.max_data_fan_out.max(g.out_degree(v));
+            }
+        }
+    }
+    for (_, e) in g.edges() {
+        match e.dir {
+            FlowDir::Producer => {
+                s.producer_edges += 1;
+                s.write_volume += e.props.volume;
+            }
+            FlowDir::Consumer => {
+                s.consumer_edges += 1;
+                s.read_volume += e.props.volume;
+                s.read_footprint += e.props.footprint;
+            }
+        }
+    }
+    s.global_reuse = if s.read_footprint > 0.0 {
+        s.read_volume as f64 / s.read_footprint
+    } else {
+        0.0
+    };
+    s
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "vertices: {} tasks + {} data; edges: {} producer + {} consumer",
+            self.tasks, self.data, self.producer_edges, self.consumer_edges
+        )?;
+        writeln!(
+            f,
+            "volume: {} written, {} read ({} unique; global reuse {:.2}x)",
+            fmt_bytes(self.write_volume as f64),
+            fmt_bytes(self.read_volume as f64),
+            fmt_bytes(self.read_footprint),
+            self.global_reuse
+        )?;
+        writeln!(
+            f,
+            "max task fan-in {}, max data fan-out {}",
+            self.max_task_fan_in, self.max_data_fan_out
+        )?;
+        let fmt_shapes = |m: &BTreeMap<String, usize>| {
+            m.iter().map(|(k, v)| format!("{k}: {v}")).collect::<Vec<_>>().join(", ")
+        };
+        writeln!(f, "task relations: {}", fmt_shapes(&self.task_shapes))?;
+        writeln!(f, "data relations: {}", fmt_shapes(&self.data_shapes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::{DataProps, EdgeProps, TaskProps};
+
+    fn sample() -> DflGraph {
+        let mut g = DflGraph::new();
+        let p = g.add_task("p", "p", TaskProps::default());
+        let d = g.add_data("d", "d", DataProps { size: 1000, ..Default::default() });
+        g.add_edge(p, d, FlowDir::Producer, EdgeProps { volume: 1000, footprint: 1000.0, ..Default::default() });
+        for i in 0..3 {
+            let c = g.add_task(&format!("c{i}"), "c", TaskProps::default());
+            g.add_edge(d, c, FlowDir::Consumer, EdgeProps { volume: 1000, footprint: 500.0, ..Default::default() });
+        }
+        g
+    }
+
+    #[test]
+    fn counts_and_volumes() {
+        let s = graph_stats(&sample());
+        assert_eq!(s.tasks, 4);
+        assert_eq!(s.data, 1);
+        assert_eq!(s.producer_edges, 1);
+        assert_eq!(s.consumer_edges, 3);
+        assert_eq!(s.write_volume, 1000);
+        assert_eq!(s.read_volume, 3000);
+        assert!((s.global_reuse - 2.0).abs() < 1e-9, "3000 read over 1500 unique");
+        assert_eq!(s.max_data_fan_out, 3);
+    }
+
+    #[test]
+    fn shape_histograms() {
+        let s = graph_stats(&sample());
+        assert_eq!(s.data_shapes["fan-out"], 1);
+        assert_eq!(s.task_shapes["source"], 1, "producer has no inputs");
+        assert_eq!(s.task_shapes["sink"], 3, "consumers have no outputs");
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let text = graph_stats(&sample()).to_string();
+        assert!(text.contains("4 tasks + 1 data"));
+        assert!(text.contains("reuse 2.00x"));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let s = graph_stats(&DflGraph::new());
+        assert_eq!(s.tasks + s.data, 0);
+        assert_eq!(s.global_reuse, 0.0);
+    }
+}

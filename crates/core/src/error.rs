@@ -1,0 +1,38 @@
+//! Errors for graph construction and analysis.
+
+use std::fmt;
+
+/// Errors surfaced by DFL graph operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An operation requiring a DAG found a cycle (e.g. a DFL template after
+    /// aggregating loop iterations).
+    CycleDetected,
+    /// Operation on an empty graph.
+    EmptyGraph,
+    /// A vertex id out of range for this graph.
+    BadVertex(u32),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::CycleDetected => write!(f, "graph contains a cycle"),
+            GraphError::EmptyGraph => write!(f, "graph is empty"),
+            GraphError::BadVertex(v) => write!(f, "vertex {v} does not exist"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(GraphError::CycleDetected.to_string(), "graph contains a cycle");
+        assert_eq!(GraphError::BadVertex(5).to_string(), "vertex 5 does not exist");
+    }
+}

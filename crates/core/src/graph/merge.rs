@@ -1,0 +1,157 @@
+//! Averaged DFL graphs over several executions (§2).
+//!
+//! "We generalize either DFL-DAGs or DFL-Ts by varying a key input parameter
+//! and forming averaged graphs from several executions." Vertices match by
+//! `(kind, name)`; matched vertex and edge properties average, and each
+//! averaged edge also records a per-run histogram of the chosen property.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{DflGraph, VertexKind, VertexProps};
+use crate::props::FlowDir;
+
+/// An averaged graph plus per-edge distribution of volumes across runs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AveragedGraph {
+    pub graph: DflGraph,
+    /// For each edge of `graph` (by index), the volume observed in each run
+    /// that contained the edge.
+    pub volume_histograms: Vec<Vec<u64>>,
+    /// Number of runs merged.
+    pub runs: u32,
+}
+
+/// Averages several structurally-compatible graphs. Vertices and edges found
+/// in only some runs keep their summed-then-averaged values over the runs
+/// that contain them; the histogram records the observed distribution.
+///
+/// Returns `None` when `graphs` is empty.
+pub fn average_graphs(graphs: &[DflGraph]) -> Option<AveragedGraph> {
+    let first = graphs.first()?;
+    let mut out = DflGraph::new();
+    let mut vkey: HashMap<(VertexKind, String), crate::graph::VertexId> = HashMap::new();
+
+    // Union of vertices across runs.
+    for g in graphs {
+        for (_, v) in g.vertices() {
+            let key = (v.kind, v.name.clone());
+            vkey.entry(key).or_insert_with(|| out.add_vertex(v.clone()));
+        }
+    }
+
+    // Union of edges; collect per-run volumes.
+    let mut ekey: HashMap<(u32, u32, FlowDir), (crate::graph::EdgeId, Vec<u64>, u32)> =
+        HashMap::new();
+    for g in graphs {
+        for (_, e) in g.edges() {
+            let src = vkey[&(g.vertex(e.src).kind, g.vertex(e.src).name.clone())];
+            let dst = vkey[&(g.vertex(e.dst).kind, g.vertex(e.dst).name.clone())];
+            match ekey.entry((src.0, dst.0, e.dir)) {
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    let (eid, hist, n) = o.get_mut();
+                    hist.push(e.props.volume);
+                    *n += 1;
+                    let mut p = out.edge(*eid).props;
+                    p.merge(&e.props);
+                    out.set_edge_props(*eid, p);
+                }
+                std::collections::hash_map::Entry::Vacant(vac) => {
+                    let eid = out.add_edge(src, dst, e.dir, e.props);
+                    vac.insert((eid, vec![e.props.volume], 1));
+                }
+            }
+        }
+    }
+
+    // Convert sums to means over the runs that contained each edge.
+    let mut hist_by_edge = vec![Vec::new(); out.edge_count()];
+    for (_, (eid, hist, n)) in ekey {
+        let mut p = out.edge(eid).props;
+        let n64 = u64::from(n);
+        p.volume /= n64;
+        p.footprint /= n as f64;
+        p.ops /= n64;
+        p.latency_ns /= n64;
+        p.data_rate /= n as f64;
+        p.op_rate /= n as f64;
+        p.instances = n;
+        out.set_edge_props(eid, p);
+        hist_by_edge[eid.0 as usize] = hist;
+    }
+
+    // Average task lifetimes for vertices present in multiple runs: they were
+    // inserted once (first run's values); refine with the mean across runs.
+    let mut life_sum: HashMap<(VertexKind, String), (u64, u32)> = HashMap::new();
+    for g in graphs {
+        for (_, v) in g.vertices() {
+            if let VertexProps::Task(t) = &v.props {
+                let e = life_sum.entry((v.kind, v.name.clone())).or_insert((0, 0));
+                e.0 += t.lifetime_ns;
+                e.1 += 1;
+            }
+        }
+    }
+    for ((kind, name), (sum, n)) in life_sum {
+        let vid = vkey[&(kind, name)];
+        if let VertexProps::Task(t) = &mut out.vertex_mut(vid).props {
+            t.lifetime_ns = sum / u64::from(n);
+        }
+    }
+
+    let _ = first;
+    Some(AveragedGraph {
+        volume_histograms: hist_by_edge,
+        runs: graphs.len() as u32,
+        graph: out,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::{DataProps, EdgeProps, TaskProps};
+
+    fn run(volume: u64, lifetime: u64) -> DflGraph {
+        let mut g = DflGraph::new();
+        let t = g.add_task("t", "t", TaskProps { lifetime_ns: lifetime, instances: 1, ..Default::default() });
+        let d = g.add_data("d", "d", DataProps { size: volume, instances: 1, ..Default::default() });
+        g.add_edge(t, d, FlowDir::Producer, EdgeProps { volume, ops: 1, instances: 1, ..Default::default() });
+        g
+    }
+
+    #[test]
+    fn averages_volumes_and_lifetimes() {
+        let avg = average_graphs(&[run(100, 10), run(300, 30)]).unwrap();
+        assert_eq!(avg.runs, 2);
+        assert_eq!(avg.graph.edge_count(), 1);
+        let e = avg.graph.edge(crate::graph::EdgeId(0));
+        assert_eq!(e.props.volume, 200);
+        assert_eq!(avg.volume_histograms[0], vec![100, 300]);
+        let t = avg.graph.find_vertex("t").unwrap();
+        assert_eq!(avg.graph.vertex(t).props.as_task().unwrap().lifetime_ns, 20);
+    }
+
+    #[test]
+    fn empty_input_returns_none() {
+        assert!(average_graphs(&[]).is_none());
+    }
+
+    #[test]
+    fn edge_present_in_one_run_kept() {
+        let mut g2 = run(100, 10);
+        let extra = g2.add_data("x", "x", DataProps::default());
+        let t = g2.find_vertex("t").unwrap();
+        g2.add_edge(t, extra, FlowDir::Producer, EdgeProps { volume: 50, ops: 1, instances: 1, ..Default::default() });
+
+        let avg = average_graphs(&[run(100, 10), g2]).unwrap();
+        assert_eq!(avg.graph.edge_count(), 2);
+        let xe = avg
+            .graph
+            .edges()
+            .find(|(_, e)| avg.graph.vertex(e.dst).name == "x")
+            .unwrap();
+        assert_eq!(xe.1.props.volume, 50, "single-run edge keeps its value");
+    }
+}

@@ -1,0 +1,319 @@
+//! The DFL property graph (§4.1).
+//!
+//! Vertices are tasks and data files; directed edges are producer
+//! (task→data) and consumer (data→task) flow relations. A graph built from
+//! one execution's measurements is a **DFL-DAG** (acyclic, since each task
+//! instance is a distinct vertex). Aggregating instances yields a **DFL
+//! template** ([`template`]), which may contain cycles.
+
+pub mod build;
+pub mod dag;
+pub mod merge;
+pub mod template;
+
+use serde::{Deserialize, Serialize};
+
+use crate::props::{DataProps, EdgeProps, FlowDir, TaskProps};
+
+/// Dense vertex identifier within one graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VertexId(pub u32);
+
+/// Dense edge identifier within one graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+/// What a vertex represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VertexKind {
+    Task,
+    Data,
+}
+
+/// Per-kind vertex properties.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum VertexProps {
+    Task(TaskProps),
+    Data(DataProps),
+}
+
+impl VertexProps {
+    pub fn as_task(&self) -> Option<&TaskProps> {
+        match self {
+            VertexProps::Task(t) => Some(t),
+            VertexProps::Data(_) => None,
+        }
+    }
+
+    pub fn as_data(&self) -> Option<&DataProps> {
+        match self {
+            VertexProps::Data(d) => Some(d),
+            VertexProps::Task(_) => None,
+        }
+    }
+}
+
+/// A DFL-G vertex.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vertex {
+    pub kind: VertexKind,
+    /// Instance name: task instance (e.g. `indiv-chr1-3`) or file path.
+    pub name: String,
+    /// Logical (template) name, e.g. `indiv` or a path with indices
+    /// abstracted. Used for DFL-T aggregation.
+    pub logical: String,
+    pub props: VertexProps,
+}
+
+impl Vertex {
+    pub fn is_task(&self) -> bool {
+        self.kind == VertexKind::Task
+    }
+
+    pub fn is_data(&self) -> bool {
+        self.kind == VertexKind::Data
+    }
+}
+
+/// A DFL-G directed flow edge.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Edge {
+    pub src: VertexId,
+    pub dst: VertexId,
+    pub dir: FlowDir,
+    pub props: EdgeProps,
+}
+
+/// The DFL property graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DflGraph {
+    vertices: Vec<Vertex>,
+    edges: Vec<Edge>,
+    out_edges: Vec<Vec<EdgeId>>,
+    in_edges: Vec<Vec<EdgeId>>,
+}
+
+impl DflGraph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a task vertex and returns its id.
+    pub fn add_task(&mut self, name: &str, logical: &str, props: TaskProps) -> VertexId {
+        self.add_vertex(Vertex {
+            kind: VertexKind::Task,
+            name: name.to_owned(),
+            logical: logical.to_owned(),
+            props: VertexProps::Task(props),
+        })
+    }
+
+    /// Adds a data vertex and returns its id.
+    pub fn add_data(&mut self, name: &str, logical: &str, props: DataProps) -> VertexId {
+        self.add_vertex(Vertex {
+            kind: VertexKind::Data,
+            name: name.to_owned(),
+            logical: logical.to_owned(),
+            props: VertexProps::Data(props),
+        })
+    }
+
+    pub fn add_vertex(&mut self, v: Vertex) -> VertexId {
+        let id = VertexId(self.vertices.len() as u32);
+        self.vertices.push(v);
+        self.out_edges.push(Vec::new());
+        self.in_edges.push(Vec::new());
+        id
+    }
+
+    /// Adds a flow edge. Producer edges must run task→data and consumer
+    /// edges data→task.
+    ///
+    /// # Panics
+    /// Panics if endpoint kinds do not match the flow direction (a DFL-G is
+    /// bipartite between tasks and data).
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId, dir: FlowDir, props: EdgeProps) -> EdgeId {
+        let (sk, dk) = (self.vertices[src.0 as usize].kind, self.vertices[dst.0 as usize].kind);
+        match dir {
+            FlowDir::Producer => {
+                assert!(sk == VertexKind::Task && dk == VertexKind::Data, "producer edges are task→data")
+            }
+            FlowDir::Consumer => {
+                assert!(sk == VertexKind::Data && dk == VertexKind::Task, "consumer edges are data→task")
+            }
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge { src, dst, dir, props });
+        self.out_edges[src.0 as usize].push(id);
+        self.in_edges[dst.0 as usize].push(id);
+        id
+    }
+
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn vertex(&self, v: VertexId) -> &Vertex {
+        &self.vertices[v.0 as usize]
+    }
+
+    pub fn vertex_mut(&mut self, v: VertexId) -> &mut Vertex {
+        &mut self.vertices[v.0 as usize]
+    }
+
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e.0 as usize]
+    }
+
+    pub fn vertices(&self) -> impl Iterator<Item = (VertexId, &Vertex)> {
+        self.vertices.iter().enumerate().map(|(i, v)| (VertexId(i as u32), v))
+    }
+
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> {
+        self.edges.iter().enumerate().map(|(i, e)| (EdgeId(i as u32), e))
+    }
+
+    pub fn out_edges(&self, v: VertexId) -> &[EdgeId] {
+        &self.out_edges[v.0 as usize]
+    }
+
+    pub fn in_edges(&self, v: VertexId) -> &[EdgeId] {
+        &self.in_edges[v.0 as usize]
+    }
+
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out_edges[v.0 as usize].len()
+    }
+
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.in_edges[v.0 as usize].len()
+    }
+
+    /// Successor vertex ids of `v`.
+    pub fn successors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.out_edges[v.0 as usize].iter().map(|&e| self.edges[e.0 as usize].dst)
+    }
+
+    /// Predecessor vertex ids of `v`.
+    pub fn predecessors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.in_edges[v.0 as usize].iter().map(|&e| self.edges[e.0 as usize].src)
+    }
+
+    /// All task vertex ids.
+    pub fn task_vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.vertices().filter(|(_, v)| v.is_task()).map(|(id, _)| id)
+    }
+
+    /// All data vertex ids.
+    pub fn data_vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.vertices().filter(|(_, v)| v.is_data()).map(|(id, _)| id)
+    }
+
+    /// Finds a vertex by exact name.
+    pub fn find_vertex(&self, name: &str) -> Option<VertexId> {
+        self.vertices()
+            .find(|(_, v)| v.name == name)
+            .map(|(id, _)| id)
+    }
+
+    /// Total volume flowing into `v` (sum of in-edge volumes), bytes.
+    pub fn in_volume(&self, v: VertexId) -> u64 {
+        self.in_edges(v).iter().map(|&e| self.edge(e).props.volume).sum()
+    }
+
+    /// Total volume flowing out of `v`, bytes.
+    pub fn out_volume(&self, v: VertexId) -> u64 {
+        self.out_edges(v).iter().map(|&e| self.edge(e).props.volume).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn diamond() -> (DflGraph, [VertexId; 4]) {
+        // t0 → d0 → {t1, t2}
+        let mut g = DflGraph::new();
+        let t0 = g.add_task("t0", "t", TaskProps { lifetime_ns: 100, ..Default::default() });
+        let d0 = g.add_data("d0", "d", DataProps { size: 1000, ..Default::default() });
+        let t1 = g.add_task("t1", "t", TaskProps::default());
+        let t2 = g.add_task("t2", "t", TaskProps::default());
+        g.add_edge(t0, d0, FlowDir::Producer, EdgeProps { volume: 1000, ..Default::default() });
+        g.add_edge(d0, t1, FlowDir::Consumer, EdgeProps { volume: 600, ..Default::default() });
+        g.add_edge(d0, t2, FlowDir::Consumer, EdgeProps { volume: 400, ..Default::default() });
+        (g, [t0, d0, t1, t2])
+    }
+
+    #[test]
+    fn degrees_and_adjacency() {
+        let (g, [t0, d0, t1, _t2]) = diamond();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.out_degree(t0), 1);
+        assert_eq!(g.out_degree(d0), 2);
+        assert_eq!(g.in_degree(t1), 1);
+        let succ: Vec<_> = g.successors(d0).collect();
+        assert_eq!(succ.len(), 2);
+        let pred: Vec<_> = g.predecessors(d0).collect();
+        assert_eq!(pred, vec![t0]);
+    }
+
+    #[test]
+    fn volumes_flow_through_data_vertex() {
+        let (g, [_, d0, ..]) = diamond();
+        assert_eq!(g.in_volume(d0), 1000);
+        assert_eq!(g.out_volume(d0), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "producer edges are task→data")]
+    fn bipartite_enforced() {
+        let mut g = DflGraph::new();
+        let t0 = g.add_task("t0", "t", TaskProps::default());
+        let t1 = g.add_task("t1", "t", TaskProps::default());
+        g.add_edge(t0, t1, FlowDir::Producer, EdgeProps::default());
+    }
+
+    #[test]
+    fn find_by_name() {
+        let (g, [_, d0, ..]) = diamond();
+        assert_eq!(g.find_vertex("d0"), Some(d0));
+        assert_eq!(g.find_vertex("nope"), None);
+    }
+}
+
+impl DflGraph {
+    /// Serializes the graph (vertices, edges, properties) to JSON — the
+    /// interchange format for saved lifecycle graphs.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a graph from [`DflGraph::to_json`] output.
+    pub fn from_json(s: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod json_tests {
+    use super::tests::diamond;
+    use super::*;
+
+    #[test]
+    fn graph_json_round_trip() {
+        let (g, [_, d0, ..]) = diamond();
+        let json = g.to_json().unwrap();
+        let back = DflGraph::from_json(&json).unwrap();
+        assert_eq!(back.vertex_count(), g.vertex_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        assert_eq!(back.in_volume(d0), g.in_volume(d0));
+        assert_eq!(back.vertex(d0).name, "d0");
+        // Adjacency rebuilt correctly.
+        assert_eq!(back.out_degree(d0), 2);
+    }
+}

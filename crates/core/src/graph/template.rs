@@ -1,0 +1,186 @@
+//! DFL templates (DFL-T): aggregating instances of the same logical vertex
+//! (§4.1).
+//!
+//! A common example is a control loop: parallel (or iterated) instances of
+//! the same task collapse into one template vertex, and their parallel edges
+//! merge with summed volumes and instance counts. The result may contain
+//! cycles (e.g. `sim → data → train → model → sim` across iterations), so
+//! templates are general DFL-Gs rather than DAGs.
+
+use std::collections::HashMap;
+
+use crate::graph::{DflGraph, VertexId, VertexProps};
+use crate::props::{DataProps, TaskProps};
+
+/// Result of template aggregation.
+pub struct Template {
+    /// The aggregated graph.
+    pub graph: DflGraph,
+    /// Mapping from original vertex id to template vertex id.
+    pub mapping: Vec<VertexId>,
+}
+
+impl DflGraph {
+    /// Aggregates vertices by their `logical` name (per kind), producing a
+    /// DFL template. Vertex properties sum lifetimes and instance counts;
+    /// parallel edges merge via [`EdgeProps::merge`](crate::props::EdgeProps::merge).
+    pub fn to_template(&self) -> Template {
+        self.aggregate_by(|g, v| g.vertex(v).logical.clone())
+    }
+
+    /// Aggregates vertices by an arbitrary key function (vertices of
+    /// different kinds never merge even when keys collide).
+    pub fn aggregate_by(&self, key: impl Fn(&DflGraph, VertexId) -> String) -> Template {
+        let mut g = DflGraph::new();
+        let mut by_key: HashMap<(crate::graph::VertexKind, String), VertexId> = HashMap::new();
+        let mut mapping = Vec::with_capacity(self.vertex_count());
+
+        for (vid, v) in self.vertices() {
+            let k = (v.kind, key(self, vid));
+            let tv = *by_key.entry(k.clone()).or_insert_with(|| match &v.props {
+                VertexProps::Task(_) => g.add_task(&k.1, &k.1, TaskProps::default()),
+                VertexProps::Data(_) => g.add_data(&k.1, &k.1, DataProps::default()),
+            });
+            // Fold this instance's properties into the template vertex.
+            match (&mut g.vertex_mut(tv).props, &v.props) {
+                (VertexProps::Task(agg), VertexProps::Task(t)) => {
+                    agg.lifetime_ns += t.lifetime_ns;
+                    agg.start_ns = if agg.instances == 0 {
+                        t.start_ns
+                    } else {
+                        agg.start_ns.min(t.start_ns)
+                    };
+                    agg.end_ns = agg.end_ns.max(t.end_ns);
+                    agg.instances += t.instances.max(1);
+                }
+                (VertexProps::Data(agg), VertexProps::Data(d)) => {
+                    agg.size += d.size;
+                    agg.lifetime_ns = agg.lifetime_ns.max(d.lifetime_ns);
+                    agg.first_open_ns = if agg.instances == 0 {
+                        d.first_open_ns
+                    } else {
+                        agg.first_open_ns.min(d.first_open_ns)
+                    };
+                    agg.last_close_ns = agg.last_close_ns.max(d.last_close_ns);
+                    agg.block_size = agg.block_size.max(d.block_size);
+                    agg.instances += d.instances.max(1);
+                }
+                _ => unreachable!("kinds match by construction"),
+            }
+            mapping.push(tv);
+        }
+
+        // Merge parallel edges between the same template endpoints and
+        // direction.
+        let mut edge_map: HashMap<(VertexId, VertexId, crate::props::FlowDir), crate::graph::EdgeId> =
+            HashMap::new();
+        for (_, e) in self.edges() {
+            let src = mapping[e.src.0 as usize];
+            let dst = mapping[e.dst.0 as usize];
+            match edge_map.entry((src, dst, e.dir)) {
+                std::collections::hash_map::Entry::Occupied(entry) => {
+                    let eid = *entry.get();
+                    let mut merged = g.edge(eid).props;
+                    merged.merge(&e.props);
+                    // Rewrite the stored edge's props.
+                    g.set_edge_props(eid, merged);
+                }
+                std::collections::hash_map::Entry::Vacant(entry) => {
+                    let eid = g.add_edge(src, dst, e.dir, e.props);
+                    entry.insert(eid);
+                }
+            }
+        }
+
+        Template { graph: g, mapping }
+    }
+
+    /// Replaces the properties of an existing edge (template construction).
+    pub(crate) fn set_edge_props(&mut self, e: crate::graph::EdgeId, props: crate::props::EdgeProps) {
+        self.edges[e.0 as usize].props = props;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::{EdgeProps, FlowDir};
+
+    /// 3 instances of task `indiv` each read the same file and write their
+    /// own output file `out#`.
+    fn fan_graph() -> DflGraph {
+        let mut g = DflGraph::new();
+        let d = g.add_data("chr1", "chr#", DataProps { size: 3000, ..Default::default() });
+        for i in 0..3 {
+            let t = g.add_task(&format!("indiv-{i}"), "indiv", TaskProps {
+                lifetime_ns: 100,
+                instances: 1,
+                ..Default::default()
+            });
+            let o = g.add_data(&format!("out{i}"), "out#", DataProps { size: 10, instances: 1, ..Default::default() });
+            g.add_edge(d, t, FlowDir::Consumer, EdgeProps { volume: 1000, ops: 1, instances: 1, ..Default::default() });
+            g.add_edge(t, o, FlowDir::Producer, EdgeProps { volume: 10, ops: 1, instances: 1, ..Default::default() });
+        }
+        g
+    }
+
+    #[test]
+    fn template_merges_instances() {
+        let g = fan_graph();
+        let t = g.to_template();
+        // chr#, indiv, out# → 3 vertices.
+        assert_eq!(t.graph.vertex_count(), 3);
+        assert_eq!(t.graph.edge_count(), 2);
+        let indiv = t.graph.find_vertex("indiv").unwrap();
+        let props = t.graph.vertex(indiv).props.as_task().unwrap();
+        assert_eq!(props.instances, 3);
+        assert_eq!(props.lifetime_ns, 300);
+        // Consumer edge volume summed: 3 × 1000.
+        let e = t.graph.edge(t.graph.in_edges(indiv)[0]);
+        assert_eq!(e.props.volume, 3000);
+        assert_eq!(e.props.instances, 3);
+    }
+
+    #[test]
+    fn mapping_covers_all_vertices() {
+        let g = fan_graph();
+        let t = g.to_template();
+        assert_eq!(t.mapping.len(), g.vertex_count());
+        for &tv in &t.mapping {
+            assert!((tv.0 as usize) < t.graph.vertex_count());
+        }
+    }
+
+    #[test]
+    fn template_of_loop_graph_may_cycle() {
+        // iteration i: sim-i → data-i → train-i, and train-i → model-i → sim-(i+1)
+        let mut g = DflGraph::new();
+        let mut prev_model: Option<VertexId> = None;
+        for i in 0..2 {
+            let sim = g.add_task(&format!("sim-{i}"), "sim", TaskProps::default());
+            if let Some(m) = prev_model {
+                g.add_edge(m, sim, FlowDir::Consumer, EdgeProps::default());
+            }
+            let data = g.add_data(&format!("data-{i}"), "data#", DataProps::default());
+            let train = g.add_task(&format!("train-{i}"), "train", TaskProps::default());
+            let model = g.add_data(&format!("model-{i}"), "model#", DataProps::default());
+            g.add_edge(sim, data, FlowDir::Producer, EdgeProps::default());
+            g.add_edge(data, train, FlowDir::Consumer, EdgeProps::default());
+            g.add_edge(train, model, FlowDir::Producer, EdgeProps::default());
+            prev_model = Some(model);
+        }
+        assert!(g.is_dag());
+        let t = g.to_template();
+        assert!(!t.graph.is_dag(), "aggregated loop should form a cycle");
+    }
+
+    #[test]
+    fn aggregate_by_custom_key() {
+        let g = fan_graph();
+        // Collapse everything to a single task and single data vertex.
+        let t = g.aggregate_by(|g, v| {
+            if g.vertex(v).is_task() { "T".into() } else { "D".into() }
+        });
+        assert_eq!(t.graph.vertex_count(), 2);
+    }
+}

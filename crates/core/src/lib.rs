@@ -1,0 +1,56 @@
+//! # dfl-core — data flow lifecycle graphs and opportunity analysis
+//!
+//! The primary contribution of *"Data Flow Lifecycles for Optimizing
+//! Workflow Coordination"* (SC '23): workflow task DAGs enriched with data
+//! vertices and flow properties, analyzed for optimization opportunities.
+//!
+//! Pipeline (paper §2):
+//!
+//! 1. **Measure** a workflow with [`dfl_trace`] → a
+//!    [`MeasurementSet`](dfl_trace::MeasurementSet).
+//! 2. **Build** a [`graph::DflGraph`] — a property graph whose
+//!    vertices are tasks (red) and data files (blue), and whose directed
+//!    edges are producer (task→data) and consumer (data→task) flow relations
+//!    annotated with volumes, footprints, rates, and locality ([`props`]).
+//! 3. **Analyze**: generalized critical path analysis
+//!    ([`analysis::critical_path()`]) under pluggable cost models
+//!    ([`analysis::cost`]), widened into *DFL caterpillar trees*
+//!    ([`analysis::caterpillar`]); entity projections and rankings
+//!    ([`analysis::entities`], [`analysis::ranking`]); and linear-time
+//!    opportunity detection for every pattern of the paper's Table 1
+//!    ([`analysis::patterns`]).
+//! 4. **Visualize** as Sankey JSON, Graphviz DOT, or ASCII ([`viz`]).
+//!
+//! ```
+//! use dfl_trace::{Monitor, MonitorConfig, OpenMode, IoTiming};
+//! use dfl_core::graph::DflGraph;
+//! use dfl_core::analysis::cost::CostModel;
+//!
+//! // Measure a 2-task pipeline…
+//! let m = Monitor::new(MonitorConfig::default());
+//! let p = m.begin_task("producer", 0);
+//! let fd = p.open("a.dat", OpenMode::Write, None, 0);
+//! p.write(fd, 1 << 20, IoTiming::new(0, 100)).unwrap();
+//! p.close(fd, 200).unwrap();
+//! p.finish(200);
+//! let c = m.begin_task("consumer", 200);
+//! let fd = c.open("a.dat", OpenMode::Read, Some(1 << 20), 200);
+//! c.read(fd, 1 << 20, IoTiming::new(250, 100)).unwrap();
+//! c.close(fd, 400).unwrap();
+//! c.finish(400);
+//!
+//! // …build and analyze the lifecycle graph.
+//! let g = DflGraph::from_measurements(&m.snapshot());
+//! assert_eq!(g.vertex_count(), 3); // producer, a.dat, consumer
+//! let cp = dfl_core::analysis::critical_path::critical_path(&g, &CostModel::Volume);
+//! assert_eq!(cp.vertices.len(), 3);
+//! ```
+
+pub mod analysis;
+pub mod error;
+pub mod graph;
+pub mod props;
+pub mod viz;
+
+pub use error::GraphError;
+pub use graph::{DflGraph, EdgeId, VertexId, VertexKind};

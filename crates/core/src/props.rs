@@ -1,0 +1,237 @@
+//! Lifecycle properties (§4.2) annotating DFL-G vertices and edges.
+//!
+//! Three classes: *base* properties (lifetimes, frequencies, volumes,
+//! footprints, latencies), *ratios* (rates and blocking fractions), and
+//! *access patterns* (consecutive access distance, reuse/subset, use
+//! concurrency). All are derived from the constant-size measurement
+//! histograms of `dfl-trace`.
+
+use serde::{Deserialize, Serialize};
+
+/// Direction of a flow edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlowDir {
+    /// Task → data (writes).
+    Producer,
+    /// Data → task (reads).
+    Consumer,
+}
+
+impl FlowDir {
+    pub fn label(self) -> &'static str {
+        match self {
+            FlowDir::Producer => "producer",
+            FlowDir::Consumer => "consumer",
+        }
+    }
+}
+
+/// Properties of a task vertex.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TaskProps {
+    /// Task lifetime: execution time (ns).
+    pub lifetime_ns: u64,
+    pub start_ns: u64,
+    pub end_ns: u64,
+    /// Number of aggregated instances (1 for DFL-DAG vertices; >1 in a
+    /// DFL template).
+    pub instances: u32,
+}
+
+impl TaskProps {
+    /// Task lifetime in seconds.
+    pub fn lifetime_s(&self) -> f64 {
+        self.lifetime_ns as f64 / 1e9
+    }
+}
+
+/// Properties of a data vertex.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DataProps {
+    /// File size in bytes (maximum observed).
+    pub size: u64,
+    /// File lifetime: first open to last close across all tasks (ns).
+    pub lifetime_ns: u64,
+    pub first_open_ns: u64,
+    pub last_close_ns: u64,
+    /// Access resolution of the measurement histograms.
+    pub block_size: u64,
+    /// Number of aggregated instances (DFL templates).
+    pub instances: u32,
+}
+
+/// Properties of a flow edge (one producer or consumer relation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EdgeProps {
+    /// Total (non-unique) data volume moved, bytes.
+    pub volume: u64,
+    /// Unique bytes touched (sampling-scaled estimate).
+    pub footprint: f64,
+    /// I/O operation count.
+    pub ops: u64,
+    /// Total blocked time inside I/O calls (read or write latency), ns.
+    pub latency_ns: u64,
+    /// Data rate: volume / task lifetime, bytes per second.
+    pub data_rate: f64,
+    /// Operation rate: ops / task lifetime, ops per second.
+    pub op_rate: f64,
+    /// Fraction of open-stream time blocked in this direction's I/O.
+    pub blocking_fraction: f64,
+    /// Mean consecutive access ("seek") distance, bytes.
+    pub mean_distance: f64,
+    /// Fraction of accesses with distance < block size (spatial locality);
+    /// includes zero-distance accesses.
+    pub locality_fraction: f64,
+    /// Fraction of accesses with distance exactly 0 (temporal locality).
+    pub zero_distance_fraction: f64,
+    /// Volume / footprint; > 1 means the same bytes moved repeatedly
+    /// (intra-task reuse).
+    pub reuse_factor: f64,
+    /// Footprint / file size; < 1 means only a subset was used.
+    pub subset_fraction: f64,
+    /// Number of merged parallel edges (1 in a DFL-DAG; ≥ 1 in templates
+    /// and averaged graphs).
+    pub instances: u32,
+}
+
+impl EdgeProps {
+    /// Effective transfer time implied by volume at the observed rate, in
+    /// seconds; falls back to measured latency if no rate is available.
+    pub fn transfer_time_s(&self) -> f64 {
+        if self.data_rate > 0.0 {
+            self.volume as f64 / self.data_rate
+        } else {
+            self.latency_ns as f64 / 1e9
+        }
+    }
+
+    /// Merges a parallel edge (template / averaged-graph construction).
+    /// Volumes and counts add; fractions and distances average weighted by
+    /// operation count.
+    pub fn merge(&mut self, other: &EdgeProps) {
+        let w_self = self.ops.max(1) as f64;
+        let w_other = other.ops.max(1) as f64;
+        let w = w_self + w_other;
+        self.mean_distance = (self.mean_distance * w_self + other.mean_distance * w_other) / w;
+        self.locality_fraction =
+            (self.locality_fraction * w_self + other.locality_fraction * w_other) / w;
+        self.zero_distance_fraction =
+            (self.zero_distance_fraction * w_self + other.zero_distance_fraction * w_other) / w;
+        self.blocking_fraction =
+            (self.blocking_fraction * w_self + other.blocking_fraction * w_other) / w;
+
+        self.volume += other.volume;
+        self.footprint += other.footprint;
+        self.ops += other.ops;
+        self.latency_ns += other.latency_ns;
+        self.data_rate += other.data_rate;
+        self.op_rate += other.op_rate;
+        self.instances += other.instances;
+
+        self.reuse_factor = if self.footprint > 0.0 {
+            self.volume as f64 / self.footprint
+        } else {
+            0.0
+        };
+        // Subset fraction re-derived by callers that know file size; keep a
+        // weighted average as the template-level approximation.
+        self.subset_fraction =
+            (self.subset_fraction * w_self + other.subset_fraction * w_other) / w;
+    }
+}
+
+/// Formats a byte count with binary units, for reports.
+pub fn fmt_bytes(bytes: f64) -> String {
+    const UNITS: [&str; 6] = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"];
+    let mut v = bytes;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{:.0} {}", v, UNITS[u])
+    } else {
+        format!("{:.2} {}", v, UNITS[u])
+    }
+}
+
+/// Formats nanoseconds as seconds with sensible precision.
+pub fn fmt_secs(ns: u64) -> String {
+    let s = ns as f64 / 1e9;
+    if s >= 100.0 {
+        format!("{s:.0} s")
+    } else if s >= 1.0 {
+        format!("{s:.2} s")
+    } else {
+        format!("{:.2} ms", s * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_and_averages() {
+        let mut a = EdgeProps {
+            volume: 100,
+            footprint: 100.0,
+            ops: 10,
+            latency_ns: 5,
+            data_rate: 50.0,
+            op_rate: 1.0,
+            blocking_fraction: 0.2,
+            mean_distance: 10.0,
+            locality_fraction: 1.0,
+            zero_distance_fraction: 0.0,
+            reuse_factor: 1.0,
+            subset_fraction: 1.0,
+            instances: 1,
+        };
+        let b = EdgeProps {
+            volume: 300,
+            footprint: 100.0,
+            ops: 30,
+            latency_ns: 15,
+            data_rate: 150.0,
+            op_rate: 3.0,
+            blocking_fraction: 0.6,
+            mean_distance: 50.0,
+            locality_fraction: 0.0,
+            zero_distance_fraction: 0.4,
+            reuse_factor: 3.0,
+            subset_fraction: 0.5,
+            instances: 1,
+        };
+        a.merge(&b);
+        assert_eq!(a.volume, 400);
+        assert_eq!(a.ops, 40);
+        assert_eq!(a.instances, 2);
+        assert!((a.reuse_factor - 2.0).abs() < 1e-9, "400 volume / 200 footprint");
+        assert!((a.mean_distance - 40.0).abs() < 1e-9, "ops-weighted mean");
+        assert!((a.blocking_fraction - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_time_prefers_rate() {
+        let e = EdgeProps { volume: 100, data_rate: 50.0, latency_ns: 999, ..Default::default() };
+        assert!((e.transfer_time_s() - 2.0).abs() < 1e-9);
+        let e2 = EdgeProps { volume: 100, latency_ns: 2_000_000_000, ..Default::default() };
+        assert!((e2.transfer_time_s() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(512.0), "512 B");
+        assert_eq!(fmt_bytes(2048.0), "2.00 KiB");
+        assert_eq!(fmt_bytes(2.5 * 1024.0 * 1024.0 * 1024.0), "2.50 GiB");
+    }
+
+    #[test]
+    fn secs_formatting() {
+        assert_eq!(fmt_secs(1_500_000), "1.50 ms");
+        assert_eq!(fmt_secs(2_500_000_000), "2.50 s");
+        assert_eq!(fmt_secs(150_000_000_000), "150 s");
+    }
+}

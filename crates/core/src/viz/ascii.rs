@@ -1,0 +1,91 @@
+//! Terminal rendering of a DFL graph: topological layers left-to-right,
+//! tasks in `[brackets]`, data in `(parens)`, flows listed per layer with
+//! volume bars.
+
+use crate::analysis::critical_path::CriticalPath;
+use crate::graph::{DflGraph, VertexKind};
+use crate::props::fmt_bytes;
+
+/// Renders `g` as indented text grouped by topological layer; edges print
+/// under their source vertex with a width bar proportional to volume.
+/// Critical-path members are marked `*`.
+pub fn render_ascii(g: &DflGraph, critical: Option<&CriticalPath>) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+
+    let Ok(layers) = g.layers() else {
+        return "<cyclic graph: no layered rendering>".to_owned();
+    };
+    let on_path = critical
+        .map(|cp| cp.membership(g.vertex_count()))
+        .unwrap_or_else(|| vec![false; g.vertex_count()]);
+
+    let max_layer = layers.iter().copied().max().unwrap_or(0);
+    let max_vol = g.edges().map(|(_, e)| e.props.volume).max().unwrap_or(0).max(1);
+
+    for layer in 0..=max_layer {
+        let members: Vec<_> = g
+            .vertices()
+            .filter(|(id, _)| layers[id.0 as usize] == layer)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let _ = writeln!(s, "layer {layer}:");
+        for (id, v) in members {
+            let mark = if on_path[id.0 as usize] { "*" } else { " " };
+            let decorated = match v.kind {
+                VertexKind::Task => format!("[{}]", v.name),
+                VertexKind::Data => format!("({})", v.name),
+            };
+            let _ = writeln!(s, " {mark} {decorated}");
+            for &e in g.out_edges(id) {
+                let edge = g.edge(e);
+                let bar_len = 1 + (edge.props.volume as f64 / max_vol as f64 * 20.0) as usize;
+                let _ = writeln!(
+                    s,
+                    "      ={}=> {}  {}",
+                    "=".repeat(bar_len.min(21)),
+                    g.vertex(edge.dst).name,
+                    fmt_bytes(edge.props.volume as f64)
+                );
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::cost::CostModel;
+    use crate::analysis::critical_path::critical_path;
+    use crate::props::{DataProps, EdgeProps, FlowDir, TaskProps};
+
+    #[test]
+    fn renders_layers_and_marks_critical() {
+        let mut g = DflGraph::new();
+        let t = g.add_task("gen", "gen", TaskProps::default());
+        let d = g.add_data("out.dat", "out", DataProps::default());
+        let c = g.add_task("use", "use", TaskProps::default());
+        g.add_edge(t, d, FlowDir::Producer, EdgeProps { volume: 2048, ..Default::default() });
+        g.add_edge(d, c, FlowDir::Consumer, EdgeProps { volume: 2048, ..Default::default() });
+
+        let cp = critical_path(&g, &CostModel::Volume);
+        let out = render_ascii(&g, Some(&cp));
+        assert!(out.contains("layer 0:"));
+        assert!(out.contains("* [gen]"));
+        assert!(out.contains("(out.dat)"));
+        assert!(out.contains("2.00 KiB"));
+    }
+
+    #[test]
+    fn cyclic_graph_handled() {
+        let mut g = DflGraph::new();
+        let t = g.add_task("t", "t", TaskProps::default());
+        let d = g.add_data("d", "d", DataProps::default());
+        g.add_edge(t, d, FlowDir::Producer, EdgeProps::default());
+        g.add_edge(d, t, FlowDir::Consumer, EdgeProps::default());
+        assert!(render_ascii(&g, None).contains("cyclic"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Graphviz DOT export: tasks as red ellipses, data as blue boxes, edge pen
+//! width scaled by volume, critical-path edges purple.
+
+use crate::analysis::critical_path::CriticalPath;
+use crate::graph::{DflGraph, VertexKind};
+
+/// Renders `g` as a DOT digraph. `critical` edges draw purple and bold.
+pub fn to_dot(g: &DflGraph, title: &str, critical: Option<&CriticalPath>) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", escape(title));
+    let _ = writeln!(s, "  rankdir=LR;");
+    let _ = writeln!(s, "  label=\"{}\";", escape(title));
+
+    for (id, v) in g.vertices() {
+        let (shape, color) = match v.kind {
+            VertexKind::Task => ("ellipse", "red"),
+            VertexKind::Data => ("box", "blue"),
+        };
+        let _ = writeln!(
+            s,
+            "  v{} [label=\"{}\", shape={shape}, color={color}];",
+            id.0,
+            escape(&v.name)
+        );
+    }
+
+    let max_vol = g
+        .edges()
+        .map(|(_, e)| e.props.volume)
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let on_path: Vec<bool> = {
+        let mut m = vec![false; g.edge_count()];
+        if let Some(cp) = critical {
+            for &e in &cp.edges {
+                m[e.0 as usize] = true;
+            }
+        }
+        m
+    };
+
+    for (eid, e) in g.edges() {
+        let width = 1.0 + 4.0 * (e.props.volume as f64 / max_vol as f64);
+        let color = if on_path[eid.0 as usize] { "purple" } else { "gray40" };
+        let _ = writeln!(
+            s,
+            "  v{} -> v{} [penwidth={width:.2}, color={color}, label=\"{}\"];",
+            e.src.0,
+            e.dst.0,
+            crate::props::fmt_bytes(e.props.volume as f64)
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::cost::CostModel;
+    use crate::analysis::critical_path::critical_path;
+    use crate::props::{DataProps, EdgeProps, FlowDir, TaskProps};
+
+    #[test]
+    fn dot_structure() {
+        let mut g = DflGraph::new();
+        let t = g.add_task("task \"x\"", "t", TaskProps::default());
+        let d = g.add_data("d", "d", DataProps::default());
+        g.add_edge(t, d, FlowDir::Producer, EdgeProps { volume: 1024, ..Default::default() });
+
+        let cp = critical_path(&g, &CostModel::Volume);
+        let dot = to_dot(&g, "demo", Some(&cp));
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("shape=ellipse, color=red"));
+        assert!(dot.contains("shape=box, color=blue"));
+        assert!(dot.contains("color=purple"));
+        assert!(dot.contains("task \\\"x\\\""), "quotes escaped");
+        assert!(dot.contains("1.00 KiB"));
+    }
+
+    #[test]
+    fn empty_graph_is_valid_dot() {
+        let g = DflGraph::new();
+        let dot = to_dot(&g, "empty", None);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

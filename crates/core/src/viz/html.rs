@@ -1,0 +1,170 @@
+//! Self-contained HTML visualization: a static SVG Sankey-style layout with
+//! no external dependencies — open the file in any browser.
+//!
+//! Layout: topological layers left-to-right (as in the paper's diagrams),
+//! vertices as rounded rectangles (tasks red, data blue), flows as cubic
+//! Bézier ribbons whose stroke width scales with the chosen property, and
+//! critical-path flows in purple.
+
+use crate::analysis::critical_path::CriticalPath;
+use crate::graph::{DflGraph, VertexKind};
+use crate::props::fmt_bytes;
+
+const LAYER_W: f64 = 220.0;
+const NODE_H: f64 = 26.0;
+const NODE_W: f64 = 150.0;
+const V_GAP: f64 = 14.0;
+const MARGIN: f64 = 30.0;
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+/// Renders `g` as a standalone HTML document.
+pub fn to_html(g: &DflGraph, title: &str, critical: Option<&CriticalPath>) -> String {
+    use std::fmt::Write as _;
+
+    let Ok(layers) = g.layers() else {
+        return format!(
+            "<!DOCTYPE html><html><body><p>{} is cyclic; no layered rendering.</p></body></html>",
+            esc(title)
+        );
+    };
+
+    // Position vertices: x by layer, y by slot within layer.
+    let max_layer = layers.iter().copied().max().unwrap_or(0) as usize;
+    let mut slot_count = vec![0usize; max_layer + 1];
+    let mut pos = vec![(0.0f64, 0.0f64); g.vertex_count()];
+    for (v, _) in g.vertices() {
+        let l = layers[v.0 as usize] as usize;
+        let slot = slot_count[l];
+        slot_count[l] += 1;
+        pos[v.0 as usize] = (
+            MARGIN + l as f64 * LAYER_W,
+            MARGIN + slot as f64 * (NODE_H + V_GAP),
+        );
+    }
+    let height = MARGIN * 2.0
+        + slot_count.iter().copied().max().unwrap_or(1) as f64 * (NODE_H + V_GAP);
+    let width = MARGIN * 2.0 + (max_layer as f64 + 1.0) * LAYER_W;
+
+    let on_path = {
+        let mut m = vec![false; g.edge_count()];
+        if let Some(cp) = critical {
+            for &e in &cp.edges {
+                m[e.0 as usize] = true;
+            }
+        }
+        m
+    };
+    let max_vol = g.edges().map(|(_, e)| e.props.volume).max().unwrap_or(1).max(1);
+
+    let mut svg = String::new();
+    // Edges under nodes.
+    for (eid, e) in g.edges() {
+        let (x1, y1) = pos[e.src.0 as usize];
+        let (x2, y2) = pos[e.dst.0 as usize];
+        let (sx, sy) = (x1 + NODE_W, y1 + NODE_H / 2.0);
+        let (tx, ty) = (x2, y2 + NODE_H / 2.0);
+        let mid = (sx + tx) / 2.0;
+        let w = 1.0 + 9.0 * e.props.volume as f64 / max_vol as f64;
+        let color = if on_path[eid.0 as usize] { "#7b2d8b" } else { "#9aa0a6" };
+        let _ = writeln!(
+            svg,
+            r##"<path d="M {sx:.0} {sy:.0} C {mid:.0} {sy:.0}, {mid:.0} {ty:.0}, {tx:.0} {ty:.0}" stroke="{color}" stroke-width="{w:.1}" fill="none" opacity="0.65"><title>{}</title></path>"##,
+            esc(&format!(
+                "{} → {}: {}",
+                g.vertex(e.src).name,
+                g.vertex(e.dst).name,
+                fmt_bytes(e.props.volume as f64)
+            ))
+        );
+    }
+    // Nodes.
+    for (v, vx) in g.vertices() {
+        let (x, y) = pos[v.0 as usize];
+        let fill = match vx.kind {
+            VertexKind::Task => "#d7453d",
+            VertexKind::Data => "#2f6fd6",
+        };
+        let _ = writeln!(
+            svg,
+            r##"<g><rect x="{x:.0}" y="{y:.0}" rx="5" width="{NODE_W}" height="{NODE_H}" fill="{fill}" opacity="0.9"/><text x="{:.0}" y="{:.0}" font-size="11" fill="white" text-anchor="middle" dominant-baseline="middle">{}</text><title>{}</title></g>"##,
+            x + NODE_W / 2.0,
+            y + NODE_H / 2.0,
+            esc(&truncate(&vx.name, 22)),
+            esc(&vx.name),
+        );
+    }
+
+    format!(
+        r##"<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{t}</title>
+<style>body{{font-family:sans-serif;background:#fafafa;margin:1em}}</style></head>
+<body><h2>{t}</h2>
+<p>tasks <span style="color:#d7453d">&#9632;</span> &nbsp; data <span style="color:#2f6fd6">&#9632;</span> &nbsp; critical path <span style="color:#7b2d8b">&#9632;</span>; edge width &#8733; volume</p>
+<svg width="{width:.0}" height="{height:.0}" xmlns="http://www.w3.org/2000/svg">
+{svg}</svg></body></html>
+"##,
+        t = esc(title),
+    )
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_owned()
+    } else {
+        let cut: String = s.chars().take(n - 1).collect();
+        format!("{cut}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::cost::CostModel;
+    use crate::analysis::critical_path::critical_path;
+    use crate::props::{DataProps, EdgeProps, FlowDir, TaskProps};
+
+    fn g3() -> DflGraph {
+        let mut g = DflGraph::new();
+        let t = g.add_task("producer <&>", "p", TaskProps::default());
+        let d = g.add_data("a-very-long-file-name-that-needs-truncation.dat", "d", DataProps::default());
+        let c = g.add_task("consumer", "c", TaskProps::default());
+        g.add_edge(t, d, FlowDir::Producer, EdgeProps { volume: 1 << 20, ..Default::default() });
+        g.add_edge(d, c, FlowDir::Consumer, EdgeProps { volume: 1 << 19, ..Default::default() });
+        g
+    }
+
+    #[test]
+    fn produces_valid_looking_html() {
+        let g = g3();
+        let cp = critical_path(&g, &CostModel::Volume);
+        let html = to_html(&g, "demo <title>", Some(&cp));
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<svg"));
+        assert!(html.contains("#7b2d8b"), "critical path colored");
+        assert!(html.contains("demo &lt;title&gt;"), "title escaped");
+        assert!(html.contains("producer &lt;&amp;&gt;"), "names escaped");
+        assert_eq!(html.matches("<rect").count(), 3);
+        assert_eq!(html.matches("<path").count(), 2);
+    }
+
+    #[test]
+    fn long_names_truncated_in_label_but_full_in_tooltip() {
+        let g = g3();
+        let html = to_html(&g, "t", None);
+        assert!(html.contains("…"));
+        assert!(html.contains("a-very-long-file-name-that-needs-truncation.dat"));
+    }
+
+    #[test]
+    fn cyclic_graph_falls_back() {
+        let mut g = DflGraph::new();
+        let t = g.add_task("t", "t", TaskProps::default());
+        let d = g.add_data("d", "d", DataProps::default());
+        g.add_edge(t, d, FlowDir::Producer, EdgeProps::default());
+        g.add_edge(d, t, FlowDir::Consumer, EdgeProps::default());
+        assert!(to_html(&g, "x", None).contains("cyclic"));
+    }
+}

@@ -1,0 +1,12 @@
+//! Lifecycle visualization (§4.4): Sankey diagrams (the paper's Fig. 2
+//! rendering), Graphviz DOT, and a terminal-friendly ASCII view.
+
+pub mod ascii;
+pub mod dot;
+pub mod html;
+pub mod sankey;
+
+pub use ascii::render_ascii;
+pub use dot::to_dot;
+pub use html::to_html;
+pub use sankey::{SankeyDiagram, SankeyOptions};

@@ -1,0 +1,197 @@
+//! Sankey diagram export (§4.4).
+//!
+//! Produces the node/link JSON shape consumed by Plotly-style Sankey
+//! renderers (the paper's artifact uses Plotly): task nodes are red, data
+//! nodes blue, flow edges scale with a chosen property, and critical-path
+//! edges are purple.
+
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::critical_path::CriticalPath;
+use crate::graph::{DflGraph, VertexKind};
+
+/// One Sankey node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SankeyNode {
+    pub name: String,
+    /// `task` or `file` (matching the artifact's `ntype`).
+    pub ntype: String,
+    pub color: String,
+}
+
+/// One Sankey link.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SankeyLink {
+    /// Index into `nodes`.
+    pub source: usize,
+    pub target: usize,
+    /// Scaled property (edge width).
+    pub value: f64,
+    pub color: String,
+}
+
+/// A complete Sankey diagram.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SankeyDiagram {
+    pub title: String,
+    pub nodes: Vec<SankeyNode>,
+    pub links: Vec<SankeyLink>,
+}
+
+/// Which edge property scales link widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LinkValue {
+    #[default]
+    Volume,
+    Footprint,
+    Ops,
+    Latency,
+}
+
+/// Rendering options.
+#[derive(Debug, Clone, Default)]
+pub struct SankeyOptions {
+    pub title: String,
+    pub value: LinkValue,
+    /// Edges on this path render purple.
+    pub critical_path: Option<CriticalPath>,
+}
+
+const TASK_COLOR: &str = "red";
+const DATA_COLOR: &str = "blue";
+const FLOW_COLOR: &str = "gray";
+const CRITICAL_COLOR: &str = "purple";
+
+impl SankeyDiagram {
+    /// Builds a diagram from a DFL graph.
+    pub fn from_graph(g: &DflGraph, opts: &SankeyOptions) -> Self {
+        let nodes = g
+            .vertices()
+            .map(|(_, v)| SankeyNode {
+                name: v.name.clone(),
+                ntype: match v.kind {
+                    VertexKind::Task => "task".into(),
+                    VertexKind::Data => "file".into(),
+                },
+                color: match v.kind {
+                    VertexKind::Task => TASK_COLOR.into(),
+                    VertexKind::Data => DATA_COLOR.into(),
+                },
+            })
+            .collect();
+
+        let on_path: Vec<bool> = {
+            let mut m = vec![false; g.edge_count()];
+            if let Some(cp) = &opts.critical_path {
+                for &e in &cp.edges {
+                    m[e.0 as usize] = true;
+                }
+            }
+            m
+        };
+
+        let links = g
+            .edges()
+            .map(|(eid, e)| SankeyLink {
+                source: e.src.0 as usize,
+                target: e.dst.0 as usize,
+                value: match opts.value {
+                    LinkValue::Volume => e.props.volume as f64,
+                    LinkValue::Footprint => e.props.footprint,
+                    LinkValue::Ops => e.props.ops as f64,
+                    LinkValue::Latency => e.props.latency_ns as f64 / 1e9,
+                },
+                color: if on_path[eid.0 as usize] {
+                    CRITICAL_COLOR.into()
+                } else {
+                    FLOW_COLOR.into()
+                },
+            })
+            .collect();
+
+        Self { title: opts.title.clone(), nodes, links }
+    }
+
+    /// Serializes to the JSON consumed by Sankey renderers.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::cost::CostModel;
+    use crate::analysis::critical_path::critical_path;
+    use crate::props::{DataProps, EdgeProps, FlowDir, TaskProps};
+
+    fn g3() -> DflGraph {
+        let mut g = DflGraph::new();
+        let t = g.add_task("t", "t", TaskProps::default());
+        let d = g.add_data("d", "d", DataProps::default());
+        let c = g.add_task("c", "c", TaskProps::default());
+        g.add_edge(t, d, FlowDir::Producer, EdgeProps { volume: 100, ..Default::default() });
+        g.add_edge(d, c, FlowDir::Consumer, EdgeProps { volume: 100, ..Default::default() });
+        g
+    }
+
+    #[test]
+    fn node_colors_by_kind() {
+        let g = g3();
+        let s = SankeyDiagram::from_graph(&g, &SankeyOptions::default());
+        assert_eq!(s.nodes[0].color, "red");
+        assert_eq!(s.nodes[1].color, "blue");
+        assert_eq!(s.nodes[1].ntype, "file");
+    }
+
+    #[test]
+    fn critical_edges_purple() {
+        let g = g3();
+        let cp = critical_path(&g, &CostModel::Volume);
+        let s = SankeyDiagram::from_graph(&g, &SankeyOptions {
+            critical_path: Some(cp),
+            ..Default::default()
+        });
+        assert!(s.links.iter().all(|l| l.color == "purple"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let g = g3();
+        let s = SankeyDiagram::from_graph(&g, &SankeyOptions::default());
+        let json = s.to_json().unwrap();
+        let back: SankeyDiagram = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.nodes.len(), 3);
+        assert_eq!(back.links.len(), 2);
+        assert_eq!(back.links[0].value, 100.0);
+    }
+}
+
+#[cfg(test)]
+mod link_value_tests {
+    use super::*;
+    use crate::props::{DataProps, EdgeProps, FlowDir, TaskProps};
+
+    #[test]
+    fn each_link_value_selects_its_property() {
+        let mut g = DflGraph::new();
+        let t = g.add_task("t", "t", TaskProps::default());
+        let d = g.add_data("d", "d", DataProps::default());
+        g.add_edge(t, d, FlowDir::Producer, EdgeProps {
+            volume: 100,
+            footprint: 80.0,
+            ops: 7,
+            latency_ns: 3_000_000_000,
+            ..Default::default()
+        });
+        let value_of = |v: LinkValue| {
+            SankeyDiagram::from_graph(&g, &SankeyOptions { value: v, ..Default::default() })
+                .links[0]
+                .value
+        };
+        assert_eq!(value_of(LinkValue::Volume), 100.0);
+        assert_eq!(value_of(LinkValue::Footprint), 80.0);
+        assert_eq!(value_of(LinkValue::Ops), 7.0);
+        assert!((value_of(LinkValue::Latency) - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,174 @@
+//! Execution time accounting, mirroring the paper's Fig. 8 breakdown
+//! (cache levels, network/local/shared reads, writes, staging, code
+//! transfer, overhead, compute).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Category a flow (or compute interval) is attributed to.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum FlowTag {
+    /// Task compute time (not a flow; accounted directly).
+    Compute,
+    /// TAZeR cache hits by level.
+    CacheL1,
+    CacheL2,
+    CacheL3,
+    CacheL4,
+    /// Reads from a remote (WAN) origin.
+    NetworkRead,
+    /// Reads from node-local storage (SSD/RAM-disk).
+    LocalRead,
+    /// Reads from shared cluster storage (NFS/PFS).
+    SharedRead,
+    /// Writes to any tier.
+    Write,
+    /// Explicit staging copies.
+    Stage,
+    /// Executable/code transfer before task start.
+    CodeTransfer,
+    /// Metadata operations (open/close).
+    Metadata,
+}
+
+impl FlowTag {
+    pub fn label(self) -> &'static str {
+        match self {
+            FlowTag::Compute => "compute",
+            FlowTag::CacheL1 => "cache L1",
+            FlowTag::CacheL2 => "cache L2",
+            FlowTag::CacheL3 => "cache L3",
+            FlowTag::CacheL4 => "cache L4",
+            FlowTag::NetworkRead => "network read",
+            FlowTag::LocalRead => "local read",
+            FlowTag::SharedRead => "shared read",
+            FlowTag::Write => "write",
+            FlowTag::Stage => "stage",
+            FlowTag::CodeTransfer => "code transfer",
+            FlowTag::Metadata => "metadata",
+        }
+    }
+
+    /// All tags, in report order.
+    pub fn all() -> [FlowTag; 12] {
+        [
+            FlowTag::Compute,
+            FlowTag::CacheL1,
+            FlowTag::CacheL2,
+            FlowTag::CacheL3,
+            FlowTag::CacheL4,
+            FlowTag::NetworkRead,
+            FlowTag::LocalRead,
+            FlowTag::SharedRead,
+            FlowTag::Write,
+            FlowTag::Stage,
+            FlowTag::CodeTransfer,
+            FlowTag::Metadata,
+        ]
+    }
+}
+
+/// Accumulated time (ns) per category.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Breakdown {
+    by_tag: BTreeMap<FlowTag, u64>,
+}
+
+impl Breakdown {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&mut self, tag: FlowTag, ns: u64) {
+        *self.by_tag.entry(tag).or_insert(0) += ns;
+    }
+
+    pub fn get(&self, tag: FlowTag) -> u64 {
+        self.by_tag.get(&tag).copied().unwrap_or(0)
+    }
+
+    /// Sum over all categories.
+    pub fn total(&self) -> u64 {
+        self.by_tag.values().sum()
+    }
+
+    /// Sum over data-access categories (everything except compute).
+    pub fn data_access(&self) -> u64 {
+        self.total() - self.get(FlowTag::Compute)
+    }
+
+    /// Merges another breakdown in.
+    pub fn merge(&mut self, other: &Breakdown) {
+        for (&tag, &ns) in &other.by_tag {
+            self.add(tag, ns);
+        }
+    }
+
+    /// Non-zero categories in report order.
+    pub fn entries(&self) -> Vec<(FlowTag, u64)> {
+        FlowTag::all()
+            .into_iter()
+            .filter_map(|t| {
+                let v = self.get(t);
+                (v > 0).then_some((t, v))
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (tag, ns) in self.entries() {
+            writeln!(f, "{:<14} {:>10.3} s", tag.label(), ns as f64 / 1e9)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_totals() {
+        let mut b = Breakdown::new();
+        b.add(FlowTag::Compute, 100);
+        b.add(FlowTag::NetworkRead, 50);
+        b.add(FlowTag::NetworkRead, 25);
+        assert_eq!(b.get(FlowTag::NetworkRead), 75);
+        assert_eq!(b.total(), 175);
+        assert_eq!(b.data_access(), 75);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Breakdown::new();
+        a.add(FlowTag::Write, 10);
+        let mut b = Breakdown::new();
+        b.add(FlowTag::Write, 5);
+        b.add(FlowTag::Stage, 7);
+        a.merge(&b);
+        assert_eq!(a.get(FlowTag::Write), 15);
+        assert_eq!(a.get(FlowTag::Stage), 7);
+    }
+
+    #[test]
+    fn entries_skip_zero_and_follow_order() {
+        let mut b = Breakdown::new();
+        b.add(FlowTag::Stage, 1);
+        b.add(FlowTag::Compute, 1);
+        let e = b.entries();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0].0, FlowTag::Compute, "compute listed first");
+    }
+
+    #[test]
+    fn display_renders_labels() {
+        let mut b = Breakdown::new();
+        b.add(FlowTag::CacheL2, 2_000_000_000);
+        assert!(b.to_string().contains("cache L2"));
+    }
+}

@@ -1,0 +1,324 @@
+//! TAZeR-style multi-level distributed cache (paper §6.4, Table 4).
+//!
+//! Four levels with widening scope: task-private DRAM (L1), node-wide DRAM
+//! (L2), node-wide SSD (L3), and a cluster-wide filesystem cache (L4). Reads
+//! check L1→L4 before the origin; misses populate every level on the way
+//! back (with per-level LRU eviction), so a task's spatial locality is
+//! captured privately while inter-task reuse is captured by the shared
+//! levels.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+/// Scope of a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheScope {
+    TaskPrivate,
+    NodeWide,
+    ClusterWide,
+}
+
+/// Static description of one level.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheLevelSpec {
+    pub name: String,
+    pub scope: CacheScope,
+    /// Capacity per instance, bytes.
+    pub capacity: u64,
+    /// Serving bandwidth, bytes/sec.
+    pub read_bw: f64,
+    /// Per-access latency, ns.
+    pub latency_ns: u64,
+}
+
+/// Cache configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheConfig {
+    pub levels: Vec<CacheLevelSpec>,
+    /// Cache block size, bytes (power of two).
+    pub block: u64,
+}
+
+const MB: u64 = 1 << 20;
+const GB: u64 = 1 << 30;
+const MBF: f64 = (1 << 20) as f64;
+
+impl CacheConfig {
+    /// The paper's Table 4: L1 64 MB task-private DRAM, L2 16 GB node DRAM,
+    /// L3 200 GB node SSD, L4 512 GB cluster-wide filesystem.
+    pub fn tazer_table4() -> Self {
+        CacheConfig {
+            levels: vec![
+                CacheLevelSpec {
+                    name: "L1".into(),
+                    scope: CacheScope::TaskPrivate,
+                    capacity: 64 * MB,
+                    read_bw: 20_000.0 * MBF,
+                    latency_ns: 500,
+                },
+                CacheLevelSpec {
+                    name: "L2".into(),
+                    scope: CacheScope::NodeWide,
+                    capacity: 16 * GB,
+                    read_bw: 12_000.0 * MBF,
+                    latency_ns: 2_000,
+                },
+                CacheLevelSpec {
+                    name: "L3".into(),
+                    scope: CacheScope::NodeWide,
+                    capacity: 200 * GB,
+                    read_bw: 2_000.0 * MBF,
+                    latency_ns: 100_000,
+                },
+                CacheLevelSpec {
+                    name: "L4".into(),
+                    scope: CacheScope::ClusterWide,
+                    capacity: 512 * GB,
+                    read_bw: 1_000.0 * MBF,
+                    latency_ns: 500_000,
+                },
+            ],
+            block: MB,
+        }
+    }
+}
+
+/// A deterministic LRU set of `(file, block)` keys bounded by capacity.
+#[derive(Debug, Default)]
+struct Lru {
+    capacity_blocks: u64,
+    stamps: HashMap<(u32, u64), u64>,
+    order: BTreeMap<u64, (u32, u64)>,
+    clock: u64,
+}
+
+impl Lru {
+    fn new(capacity_blocks: u64) -> Self {
+        Lru { capacity_blocks, ..Default::default() }
+    }
+
+    fn contains(&self, key: (u32, u64)) -> bool {
+        self.stamps.contains_key(&key)
+    }
+
+    /// Touches (inserts or refreshes) a key; returns the evicted key if the
+    /// capacity bound forced one out.
+    fn touch(&mut self, key: (u32, u64)) -> Option<(u32, u64)> {
+        self.clock += 1;
+        if let Some(old) = self.stamps.insert(key, self.clock) {
+            self.order.remove(&old);
+        }
+        self.order.insert(self.clock, key);
+        if self.stamps.len() as u64 > self.capacity_blocks {
+            let (&oldest, &victim) = self.order.iter().next().expect("nonempty");
+            self.order.remove(&oldest);
+            self.stamps.remove(&victim);
+            return Some(victim);
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.stamps.len()
+    }
+}
+
+/// Instance key: which copy of a level a (task, node) pair uses.
+fn instance_key(scope: CacheScope, task: u32, node: u32) -> u64 {
+    match scope {
+        CacheScope::TaskPrivate => 0x1_0000_0000 | u64::from(task),
+        CacheScope::NodeWide => 0x2_0000_0000 | u64::from(node),
+        CacheScope::ClusterWide => 0x3_0000_0000,
+    }
+}
+
+/// Where the bytes of a read were served from.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Bytes served by each level, by level index.
+    pub level_bytes: Vec<u64>,
+    /// Bytes that missed every level (served by the origin tier).
+    pub miss_bytes: u64,
+}
+
+impl AccessResult {
+    pub fn hit_bytes(&self) -> u64 {
+        self.level_bytes.iter().sum()
+    }
+}
+
+/// Runtime cache state.
+#[derive(Debug)]
+pub struct CacheState {
+    config: CacheConfig,
+    /// (level index, instance key) → LRU.
+    instances: HashMap<(usize, u64), Lru>,
+}
+
+impl CacheState {
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.block.is_power_of_two() && config.block > 0);
+        Self { config, instances: HashMap::new() }
+    }
+
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    fn lru(&mut self, level: usize, task: u32, node: u32) -> &mut Lru {
+        let spec = &self.config.levels[level];
+        let key = (level, instance_key(spec.scope, task, node));
+        let cap = (spec.capacity / self.config.block).max(1);
+        self.instances.entry(key).or_insert_with(|| Lru::new(cap))
+    }
+
+    /// Performs a cached read of `[offset, offset+len)` of `file` by `task`
+    /// on `node`. Returns per-level hit bytes and miss bytes; all touched
+    /// blocks are (re)installed in every level.
+    pub fn access(&mut self, task: u32, node: u32, file: u32, offset: u64, len: u64) -> AccessResult {
+        let nlevels = self.config.levels.len();
+        let mut res = AccessResult { level_bytes: vec![0; nlevels], miss_bytes: 0 };
+        if len == 0 {
+            return res;
+        }
+        let block = self.config.block;
+        let first = offset / block;
+        let last = (offset + len - 1) / block;
+        for b in first..=last {
+            let blk_start = b * block;
+            let span = (offset + len).min(blk_start + block) - offset.max(blk_start);
+            let key = (file, b);
+            // Find the first level holding the block.
+            let mut hit_level = None;
+            for lvl in 0..nlevels {
+                if self.lru(lvl, task, node).contains(key) {
+                    hit_level = Some(lvl);
+                    break;
+                }
+            }
+            match hit_level {
+                Some(lvl) => res.level_bytes[lvl] += span,
+                None => res.miss_bytes += span,
+            }
+            // Install/refresh in every level (write-through population).
+            for lvl in 0..nlevels {
+                self.lru(lvl, task, node).touch(key);
+            }
+        }
+        res
+    }
+
+    /// Number of resident blocks in the instance a (task, node) pair sees at
+    /// `level` (diagnostics/tests).
+    pub fn resident_blocks(&mut self, level: usize, task: u32, node: u32) -> usize {
+        self.lru(level, task, node).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> CacheConfig {
+        CacheConfig {
+            levels: vec![
+                CacheLevelSpec {
+                    name: "L1".into(),
+                    scope: CacheScope::TaskPrivate,
+                    capacity: 4 << 20, // 4 blocks
+                    read_bw: 1e9,
+                    latency_ns: 1,
+                },
+                CacheLevelSpec {
+                    name: "L2".into(),
+                    scope: CacheScope::NodeWide,
+                    capacity: 64 << 20,
+                    read_bw: 1e8,
+                    latency_ns: 10,
+                },
+            ],
+            block: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn cold_read_misses_then_hits() {
+        let mut c = CacheState::new(small_config());
+        let r1 = c.access(0, 0, 0, 0, 2 << 20);
+        assert_eq!(r1.miss_bytes, 2 << 20);
+        assert_eq!(r1.hit_bytes(), 0);
+        let r2 = c.access(0, 0, 0, 0, 2 << 20);
+        assert_eq!(r2.miss_bytes, 0);
+        assert_eq!(r2.level_bytes[0], 2 << 20, "second pass hits L1");
+    }
+
+    #[test]
+    fn task_private_vs_node_wide_scopes() {
+        let mut c = CacheState::new(small_config());
+        c.access(0, 0, 0, 0, 1 << 20); // task 0 warms both levels
+        let r = c.access(1, 0, 0, 0, 1 << 20); // task 1, same node
+        assert_eq!(r.level_bytes[0], 0, "L1 is task-private");
+        assert_eq!(r.level_bytes[1], 1 << 20, "L2 is node-wide");
+    }
+
+    #[test]
+    fn different_nodes_do_not_share_node_cache() {
+        let mut c = CacheState::new(small_config());
+        c.access(0, 0, 0, 0, 1 << 20);
+        let r = c.access(1, 1, 0, 0, 1 << 20);
+        assert_eq!(r.hit_bytes(), 0);
+        assert_eq!(r.miss_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn l1_eviction_falls_back_to_l2() {
+        let mut c = CacheState::new(small_config());
+        // Touch 6 blocks; L1 holds 4, L2 holds all.
+        c.access(0, 0, 0, 0, 6 << 20);
+        // Re-read the first block: evicted from L1 (LRU), still in L2.
+        let r = c.access(0, 0, 0, 0, 1 << 20);
+        assert_eq!(r.level_bytes[0], 0);
+        assert_eq!(r.level_bytes[1], 1 << 20);
+        assert_eq!(c.resident_blocks(0, 0, 0), 4);
+    }
+
+    #[test]
+    fn lru_order_is_recency_not_insertion() {
+        let mut c = CacheState::new(small_config());
+        c.access(0, 0, 0, 0, 4 << 20); // blocks 0..4 fill L1
+        c.access(0, 0, 0, 0, 1 << 20); // touch block 0 again
+        c.access(0, 0, 0, 4 << 20, 1 << 20); // block 4 evicts block 1 (LRU)
+        let r0 = c.access(0, 0, 0, 0, 1 << 20);
+        assert_eq!(r0.level_bytes[0], 1 << 20, "block 0 survived");
+        let r1 = c.access(0, 0, 0, 1 << 20, 1 << 20);
+        assert_eq!(r1.level_bytes[0], 0, "block 1 was the LRU victim");
+    }
+
+    #[test]
+    fn distinct_files_distinct_blocks() {
+        let mut c = CacheState::new(small_config());
+        c.access(0, 0, 0, 0, 1 << 20);
+        let r = c.access(0, 0, 1, 0, 1 << 20);
+        assert_eq!(r.miss_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn table4_shape() {
+        let cfg = CacheConfig::tazer_table4();
+        assert_eq!(cfg.levels.len(), 4);
+        assert_eq!(cfg.levels[0].scope, CacheScope::TaskPrivate);
+        assert_eq!(cfg.levels[0].capacity, 64 << 20);
+        assert_eq!(cfg.levels[1].capacity, 16 << 30);
+        assert_eq!(cfg.levels[2].capacity, 200 << 30);
+        assert_eq!(cfg.levels[3].scope, CacheScope::ClusterWide);
+        assert_eq!(cfg.levels[3].capacity, 512 << 30);
+    }
+
+    #[test]
+    fn zero_length_access_is_noop() {
+        let mut c = CacheState::new(small_config());
+        let r = c.access(0, 0, 0, 0, 0);
+        assert_eq!(r.hit_bytes() + r.miss_bytes, 0);
+    }
+}

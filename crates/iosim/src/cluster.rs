@@ -1,0 +1,128 @@
+//! Cluster topologies, including the paper's Table 2 machines.
+
+use serde::{Deserialize, Serialize};
+
+use crate::storage::{TierKind, TierSpec};
+
+/// One compute node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    pub cores: u32,
+    pub mem_bytes: u64,
+}
+
+/// A cluster: homogeneous nodes, available storage tiers, and NIC bandwidth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    pub name: String,
+    pub nodes: Vec<NodeSpec>,
+    pub tiers: Vec<TierSpec>,
+    /// Per-node NIC bandwidth, bytes/sec.
+    pub nic_bw: f64,
+    /// Default tier for files without explicit placement.
+    pub default_tier: TierKind,
+}
+
+const MB: f64 = 1024.0 * 1024.0;
+const GB: u64 = 1 << 30;
+
+impl ClusterSpec {
+    /// Table 2 "CPU cluster": 2× Intel SkyLake (24 cores/node as used by the
+    /// Belle II study), 192 GB; NFS (default), Lustre, node SSD, RAM-disk.
+    pub fn cpu_cluster(n_nodes: usize) -> Self {
+        ClusterSpec {
+            name: "cpu-cluster".into(),
+            nodes: vec![NodeSpec { cores: 24, mem_bytes: 192 * GB }; n_nodes],
+            tiers: vec![
+                TierSpec::default_for(TierKind::Nfs),
+                TierSpec::default_for(TierKind::Lustre),
+                TierSpec::default_for(TierKind::Ssd),
+                TierSpec::default_for(TierKind::Ramdisk),
+            ],
+            nic_bw: 1_250.0 * MB, // 10 GbE
+            default_tier: TierKind::Nfs,
+        }
+    }
+
+    /// Table 2 "GPU cluster": 2× AMD EPYC (+RTX 2080 Ti), 384 GB; NFS
+    /// (default), BeeGFS, node SSD, RAM-disk.
+    pub fn gpu_cluster(n_nodes: usize) -> Self {
+        ClusterSpec {
+            name: "gpu-cluster".into(),
+            nodes: vec![NodeSpec { cores: 32, mem_bytes: 384 * GB }; n_nodes],
+            tiers: vec![
+                TierSpec::default_for(TierKind::Nfs),
+                TierSpec::default_for(TierKind::Beegfs),
+                TierSpec::default_for(TierKind::Ssd),
+                TierSpec::default_for(TierKind::Ramdisk),
+            ],
+            nic_bw: 1_250.0 * MB,
+            default_tier: TierKind::Nfs,
+        }
+    }
+
+    /// CPU cluster plus the Table 2 "Data server": remote storage reached
+    /// over a 1 Gb/s WAN.
+    pub fn cpu_cluster_with_data_server(n_nodes: usize) -> Self {
+        let mut c = Self::cpu_cluster(n_nodes);
+        c.tiers.push(TierSpec::default_for(TierKind::Wan));
+        c.name = "cpu-cluster+data-server".into();
+        c
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn total_cores(&self) -> u32 {
+        self.nodes.iter().map(|n| n.cores).sum()
+    }
+
+    /// The spec of a given tier kind, if present.
+    pub fn tier(&self, kind: TierKind) -> Option<&TierSpec> {
+        self.tiers.iter().find(|t| t.kind == kind)
+    }
+
+    /// Whether this cluster provides `kind`.
+    pub fn has_tier(&self, kind: TierKind) -> bool {
+        self.tier(kind).is_some()
+    }
+
+    /// Adds or replaces a tier.
+    pub fn with_tier(mut self, spec: TierSpec) -> Self {
+        self.tiers.retain(|t| t.kind != spec.kind);
+        self.tiers.push(spec);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_machines() {
+        let cpu = ClusterSpec::cpu_cluster(10);
+        assert_eq!(cpu.node_count(), 10);
+        assert_eq!(cpu.total_cores(), 240, "Belle II runs 240 concurrent tasks");
+        assert!(cpu.has_tier(TierKind::Lustre));
+        assert!(!cpu.has_tier(TierKind::Beegfs));
+
+        let gpu = ClusterSpec::gpu_cluster(2);
+        assert!(gpu.has_tier(TierKind::Beegfs));
+        assert!(!gpu.has_tier(TierKind::Lustre));
+        assert_eq!(gpu.nodes[0].mem_bytes, 384 * GB);
+
+        let ds = ClusterSpec::cpu_cluster_with_data_server(10);
+        assert!(ds.has_tier(TierKind::Wan));
+    }
+
+    #[test]
+    fn with_tier_replaces() {
+        let mut spec = TierSpec::default_for(TierKind::Nfs);
+        spec.read_bw = 1.0;
+        let c = ClusterSpec::cpu_cluster(1).with_tier(spec);
+        assert_eq!(c.tier(TierKind::Nfs).unwrap().read_bw, 1.0);
+        assert_eq!(c.tiers.iter().filter(|t| t.kind == TierKind::Nfs).count(), 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! Simulator error type.
+
+use std::fmt;
+
+/// Errors surfaced by simulation setup and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A job referenced a file that does not exist in the namespace.
+    NoSuchFile(String),
+    /// A job was placed on a node index outside the cluster.
+    BadNode(u32),
+    /// The requested tier is not available on this cluster.
+    NoSuchTier(String),
+    /// A job id that was never submitted.
+    BadJob(u32),
+    /// The simulation deadlocked: jobs remain but none can make progress
+    /// (usually a dependency cycle).
+    Deadlock { pending: usize },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoSuchFile(p) => write!(f, "no such file: {p}"),
+            SimError::BadNode(n) => write!(f, "node {n} does not exist"),
+            SimError::NoSuchTier(t) => write!(f, "tier {t} not available on this cluster"),
+            SimError::BadJob(j) => write!(f, "job {j} was never submitted"),
+            SimError::Deadlock { pending } => {
+                write!(f, "simulation deadlocked with {pending} jobs pending")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(SimError::NoSuchFile("x".into()).to_string(), "no such file: x");
+        assert!(SimError::Deadlock { pending: 3 }.to_string().contains("3 jobs"));
+    }
+}

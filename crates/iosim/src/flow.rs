@@ -1,0 +1,291 @@
+//! Fluid-flow bandwidth model with fair sharing.
+//!
+//! Every transfer is a *flow* over a path of resources (storage device,
+//! NICs, shared filesystem servers, WAN links). At any instant a flow's rate
+//! is `min over path resources of (capacity / concurrent flows)` — the
+//! classic bottleneck fair-share approximation used by fluid simulators.
+//! Rates are re-profiled whenever a flow starts or completes; between
+//! re-profiles all flows progress linearly, so the next completion time is
+//! exact.
+
+use std::collections::BTreeMap;
+
+use crate::breakdown::FlowTag;
+use crate::time::SimTime;
+
+/// Index of a bandwidth resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(pub u32);
+
+/// A capacity-limited resource (bytes per second).
+#[derive(Debug, Clone)]
+pub struct Resource {
+    pub name: String,
+    pub capacity: f64,
+}
+
+/// Handle to an active flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey(pub u64);
+
+/// Opaque per-flow payload the engine uses to resume the owning job.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowOwner {
+    pub job: u32,
+    pub tag: FlowTag,
+    /// Background flows (e.g. buffered-write drains) are accounted to the
+    /// job but do not block its progress.
+    pub background: bool,
+}
+
+#[derive(Debug)]
+struct FlowState {
+    path: Vec<ResourceId>,
+    remaining: f64,
+    rate: f64,
+    owner: FlowOwner,
+    started: SimTime,
+}
+
+/// The flow network: resources plus active flows.
+#[derive(Debug, Default)]
+pub struct FlowNet {
+    resources: Vec<Resource>,
+    active: BTreeMap<u64, FlowState>,
+    next_key: u64,
+    last_sync: SimTime,
+}
+
+impl FlowNet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a resource; capacities must be positive.
+    pub fn add_resource(&mut self, name: &str, capacity: f64) -> ResourceId {
+        assert!(capacity > 0.0, "resource {name} must have positive capacity");
+        let id = ResourceId(self.resources.len() as u32);
+        self.resources.push(Resource { name: name.to_owned(), capacity });
+        id
+    }
+
+    pub fn resource(&self, id: ResourceId) -> &Resource {
+        &self.resources[id.0 as usize]
+    }
+
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Advances all active flows to `now` (consuming `rate × dt` bytes).
+    fn sync(&mut self, now: SimTime) {
+        let dt = now.since(self.last_sync) as f64 / 1e9;
+        if dt > 0.0 {
+            for f in self.active.values_mut() {
+                f.remaining = (f.remaining - f.rate * dt).max(0.0);
+            }
+        }
+        self.last_sync = now;
+    }
+
+    /// Recomputes every flow's fair-share rate.
+    fn reprofile(&mut self) {
+        let mut load = vec![0u32; self.resources.len()];
+        for f in self.active.values() {
+            for r in &f.path {
+                load[r.0 as usize] += 1;
+            }
+        }
+        for f in self.active.values_mut() {
+            let mut rate = f64::INFINITY;
+            for r in &f.path {
+                let share = self.resources[r.0 as usize].capacity / load[r.0 as usize] as f64;
+                rate = rate.min(share);
+            }
+            assert!(rate.is_finite(), "flows must traverse at least one resource");
+            f.rate = rate;
+        }
+    }
+
+    /// Starts a flow of `bytes` over `path` at time `now`.
+    ///
+    /// # Panics
+    /// Panics if `path` is empty or `bytes` is not positive — callers handle
+    /// zero-byte transfers without entering the flow network.
+    pub fn start(&mut self, now: SimTime, path: Vec<ResourceId>, bytes: f64, owner: FlowOwner) -> FlowKey {
+        assert!(!path.is_empty());
+        assert!(bytes > 0.0);
+        self.sync(now);
+        let key = FlowKey(self.next_key);
+        self.next_key += 1;
+        self.active.insert(
+            key.0,
+            FlowState { path, remaining: bytes, rate: 0.0, owner, started: now },
+        );
+        self.reprofile();
+        key
+    }
+
+    /// The earliest completion among active flows: `(time, key)`, ties to
+    /// the lowest key for determinism.
+    pub fn next_completion(&self) -> Option<(SimTime, FlowKey)> {
+        let mut best: Option<(SimTime, FlowKey)> = None;
+        for (&key, f) in &self.active {
+            let t = self.last_sync.add_secs_ceil(f.remaining / f.rate);
+            match best {
+                Some((bt, _)) if bt <= t => {}
+                _ => best = Some((t, FlowKey(key))),
+            }
+        }
+        best
+    }
+
+    /// Completes and removes flow `key` at `now`; returns its owner and the
+    /// time the flow spent active (ns).
+    pub fn complete(&mut self, now: SimTime, key: FlowKey) -> (FlowOwner, u64) {
+        self.sync(now);
+        let f = self.active.remove(&key.0).expect("flow exists");
+        debug_assert!(
+            f.remaining <= f.rate * 1e-6 + 1.0,
+            "flow completed with {} bytes left",
+            f.remaining
+        );
+        self.reprofile();
+        (f.owner, now.since(f.started))
+    }
+
+    /// Current rate of a flow, bytes/sec (for tests/inspection).
+    pub fn rate_of(&self, key: FlowKey) -> Option<f64> {
+        self.active.get(&key.0).map(|f| f.rate)
+    }
+
+    /// Changes a resource's capacity at time `now` (failure/straggler
+    /// injection, QoS throttling). Active flows are synced to `now` first so
+    /// progress made at the old rate is preserved, then re-profiled.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is not positive (model a dead resource with a
+    /// tiny capacity, not zero, so flows still converge).
+    pub fn set_capacity(&mut self, now: SimTime, id: ResourceId, capacity: f64) {
+        assert!(capacity > 0.0, "capacity must stay positive");
+        self.sync(now);
+        self.resources[id.0 as usize].capacity = capacity;
+        self.reprofile();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn owner() -> FlowOwner {
+        FlowOwner { job: 0, tag: FlowTag::LocalRead, background: false }
+    }
+
+    #[test]
+    fn single_flow_gets_full_capacity() {
+        let mut net = FlowNet::new();
+        let r = net.add_resource("disk", 100.0);
+        let k = net.start(SimTime::ZERO, vec![r], 200.0, owner());
+        assert_eq!(net.rate_of(k), Some(100.0));
+        let (t, key) = net.next_completion().unwrap();
+        assert_eq!(key, k);
+        assert_eq!(t, SimTime::from_secs(2.0));
+    }
+
+    #[test]
+    fn two_flows_share_fairly() {
+        let mut net = FlowNet::new();
+        let r = net.add_resource("disk", 100.0);
+        let a = net.start(SimTime::ZERO, vec![r], 100.0, owner());
+        let b = net.start(SimTime::ZERO, vec![r], 100.0, owner());
+        assert_eq!(net.rate_of(a), Some(50.0));
+        assert_eq!(net.rate_of(b), Some(50.0));
+        // Both complete at 2s; lowest key first.
+        let (t, k) = net.next_completion().unwrap();
+        assert_eq!(t, SimTime::from_secs(2.0));
+        assert_eq!(k, a);
+    }
+
+    #[test]
+    fn departure_speeds_up_remaining_flow() {
+        let mut net = FlowNet::new();
+        let r = net.add_resource("disk", 100.0);
+        let a = net.start(SimTime::ZERO, vec![r], 50.0, owner());
+        let b = net.start(SimTime::ZERO, vec![r], 150.0, owner());
+        // a finishes at 1s (50 bytes at 50 B/s).
+        let (t1, k1) = net.next_completion().unwrap();
+        assert_eq!(k1, a);
+        assert_eq!(t1, SimTime::from_secs(1.0));
+        net.complete(t1, a);
+        // b had consumed 50 of 150 at the shared rate; 100 left at 100 B/s.
+        assert_eq!(net.rate_of(b), Some(100.0));
+        let (t2, k2) = net.next_completion().unwrap();
+        assert_eq!(k2, b);
+        assert_eq!(t2, SimTime::from_secs(2.0));
+    }
+
+    #[test]
+    fn bottleneck_is_min_over_path() {
+        let mut net = FlowNet::new();
+        let fast = net.add_resource("nic", 1000.0);
+        let slow = net.add_resource("wan", 10.0);
+        let k = net.start(SimTime::ZERO, vec![fast, slow], 100.0, owner());
+        assert_eq!(net.rate_of(k), Some(10.0));
+    }
+
+    #[test]
+    fn shared_bottleneck_only_on_common_resource() {
+        let mut net = FlowNet::new();
+        let shared = net.add_resource("pfs", 100.0);
+        let nic_a = net.add_resource("nicA", 1000.0);
+        let nic_b = net.add_resource("nicB", 1000.0);
+        let a = net.start(SimTime::ZERO, vec![shared, nic_a], 100.0, owner());
+        let b = net.start(SimTime::ZERO, vec![shared, nic_b], 100.0, owner());
+        assert_eq!(net.rate_of(a), Some(50.0));
+        assert_eq!(net.rate_of(b), Some(50.0));
+    }
+
+    #[test]
+    fn complete_returns_elapsed_time() {
+        let mut net = FlowNet::new();
+        let r = net.add_resource("disk", 100.0);
+        let k = net.start(SimTime::from_secs(1.0), vec![r], 100.0, owner());
+        let (t, _) = net.next_completion().unwrap();
+        let (_, elapsed) = net.complete(t, k);
+        assert_eq!(elapsed, 1_000_000_000);
+        assert_eq!(net.active_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive capacity")]
+    fn zero_capacity_rejected() {
+        FlowNet::new().add_resource("bad", 0.0);
+    }
+}
+
+#[cfg(test)]
+mod capacity_tests {
+    use super::*;
+
+    #[test]
+    fn capacity_change_preserves_progress() {
+        let mut net = FlowNet::new();
+        let r = net.add_resource("disk", 100.0);
+        let k = net.start(SimTime::ZERO, vec![r], 200.0, FlowOwner { job: 0, tag: crate::breakdown::FlowTag::LocalRead, background: false });
+        // After 1s at 100 B/s, 100 bytes remain; halve the capacity.
+        net.set_capacity(SimTime::from_secs(1.0), r, 50.0);
+        assert_eq!(net.rate_of(k), Some(50.0));
+        let (t, _) = net.next_completion().unwrap();
+        // 100 bytes at 50 B/s from t=1s ⇒ completes at 3s.
+        assert_eq!(t, SimTime::from_secs(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must stay positive")]
+    fn zero_capacity_change_rejected() {
+        let mut net = FlowNet::new();
+        let r = net.add_resource("disk", 100.0);
+        net.set_capacity(SimTime::ZERO, r, 0.0);
+    }
+}

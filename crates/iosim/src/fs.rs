@@ -1,0 +1,186 @@
+//! The simulated filesystem namespace: files, sizes, and replica placement
+//! across tiers.
+
+use std::collections::HashMap;
+
+use crate::storage::TierRef;
+
+/// Dense file index within one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileIdx(pub u32);
+
+/// Metadata for one simulated file.
+#[derive(Debug, Clone)]
+pub struct FileMeta {
+    pub path: String,
+    pub size: u64,
+    /// Tier instances holding a full copy. The first entry is the original
+    /// placement; staging appends replicas.
+    pub replicas: Vec<TierRef>,
+}
+
+/// The namespace.
+#[derive(Debug, Default)]
+pub struct SimFs {
+    files: Vec<FileMeta>,
+    by_path: HashMap<String, FileIdx>,
+}
+
+impl SimFs {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a pre-existing (external input) file of known size on `tier`.
+    /// Idempotent per path: re-creating updates size and placement.
+    pub fn create_external(&mut self, path: &str, size: u64, tier: TierRef) -> FileIdx {
+        match self.by_path.get(path) {
+            Some(&idx) => {
+                let f = &mut self.files[idx.0 as usize];
+                f.size = size;
+                if !f.replicas.contains(&tier) {
+                    f.replicas.push(tier);
+                }
+                idx
+            }
+            None => {
+                let idx = FileIdx(self.files.len() as u32);
+                self.files.push(FileMeta {
+                    path: path.to_owned(),
+                    size,
+                    replicas: vec![tier],
+                });
+                self.by_path.insert(path.to_owned(), idx);
+                idx
+            }
+        }
+    }
+
+    /// Creates (or truncates) a file being written by a task on `tier`.
+    pub fn create_for_write(&mut self, path: &str, tier: TierRef) -> FileIdx {
+        match self.by_path.get(path) {
+            Some(&idx) => {
+                let f = &mut self.files[idx.0 as usize];
+                f.size = 0;
+                f.replicas = vec![tier];
+                idx
+            }
+            None => {
+                let idx = FileIdx(self.files.len() as u32);
+                self.files.push(FileMeta { path: path.to_owned(), size: 0, replicas: vec![tier] });
+                self.by_path.insert(path.to_owned(), idx);
+                idx
+            }
+        }
+    }
+
+    pub fn lookup(&self, path: &str) -> Option<FileIdx> {
+        self.by_path.get(path).copied()
+    }
+
+    pub fn meta(&self, idx: FileIdx) -> &FileMeta {
+        &self.files[idx.0 as usize]
+    }
+
+    /// Grows a file (writes append); returns the new size.
+    pub fn grow(&mut self, idx: FileIdx, bytes: u64) -> u64 {
+        let f = &mut self.files[idx.0 as usize];
+        f.size += bytes;
+        f.size
+    }
+
+    /// Records a replica on `tier` (after staging).
+    pub fn add_replica(&mut self, idx: FileIdx, tier: TierRef) {
+        let f = &mut self.files[idx.0 as usize];
+        if !f.replicas.contains(&tier) {
+            f.replicas.push(tier);
+        }
+    }
+
+    /// The most attractive replica for a reader on `node` (lowest
+    /// [`TierRef::preference`], ties to the earliest-added replica).
+    pub fn best_replica(&self, idx: FileIdx, node: u32) -> TierRef {
+        let f = &self.files[idx.0 as usize];
+        *f.replicas
+            .iter()
+            .min_by_key(|t| t.preference(node))
+            .expect("files always have at least one replica")
+    }
+
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Total bytes per tier instance (capacity accounting).
+    pub fn usage_by_tier(&self) -> HashMap<TierRef, u64> {
+        let mut m = HashMap::new();
+        for f in &self.files {
+            for &r in &f.replicas {
+                *m.entry(r).or_insert(0) += f.size;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::TierKind;
+
+    #[test]
+    fn create_and_lookup() {
+        let mut fs = SimFs::new();
+        let t = TierRef::shared(TierKind::Nfs);
+        let a = fs.create_external("a", 100, t);
+        assert_eq!(fs.lookup("a"), Some(a));
+        assert_eq!(fs.meta(a).size, 100);
+        assert_eq!(fs.lookup("missing"), None);
+    }
+
+    #[test]
+    fn create_for_write_truncates() {
+        let mut fs = SimFs::new();
+        let nfs = TierRef::shared(TierKind::Nfs);
+        let ssd = TierRef::node(TierKind::Ssd, 0);
+        let a = fs.create_external("a", 100, nfs);
+        let a2 = fs.create_for_write("a", ssd);
+        assert_eq!(a, a2);
+        assert_eq!(fs.meta(a).size, 0);
+        assert_eq!(fs.meta(a).replicas, vec![ssd], "old replicas dropped on truncate");
+    }
+
+    #[test]
+    fn growth_and_usage() {
+        let mut fs = SimFs::new();
+        let t = TierRef::node(TierKind::Ramdisk, 1);
+        let a = fs.create_for_write("out", t);
+        fs.grow(a, 500);
+        fs.grow(a, 500);
+        assert_eq!(fs.meta(a).size, 1000);
+        assert_eq!(fs.usage_by_tier()[&t], 1000);
+    }
+
+    #[test]
+    fn best_replica_prefers_local() {
+        let mut fs = SimFs::new();
+        let nfs = TierRef::shared(TierKind::Nfs);
+        let a = fs.create_external("a", 10, nfs);
+        assert_eq!(fs.best_replica(a, 0), nfs);
+        fs.add_replica(a, TierRef::node(TierKind::Ssd, 0));
+        assert_eq!(fs.best_replica(a, 0).kind, TierKind::Ssd);
+        // A different node still prefers the shared copy.
+        assert_eq!(fs.best_replica(a, 1), nfs);
+        fs.add_replica(a, TierRef::node(TierKind::Ramdisk, 0));
+        assert_eq!(fs.best_replica(a, 0).kind, TierKind::Ramdisk);
+    }
+
+    #[test]
+    fn duplicate_replicas_ignored() {
+        let mut fs = SimFs::new();
+        let t = TierRef::shared(TierKind::Nfs);
+        let a = fs.create_external("a", 10, t);
+        fs.add_replica(a, t);
+        assert_eq!(fs.meta(a).replicas.len(), 1);
+    }
+}

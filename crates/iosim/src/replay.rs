@@ -1,0 +1,222 @@
+//! Trace replay with scenario transformations — the BigFlowSim-style
+//! emulator used for the paper's Belle II "emulated optimizations" (§6.4,
+//! Table 3).
+//!
+//! A captured task trace replays its data accesses while compute time stays
+//! constant (the paper's conservative lower-bound methodology). Three
+//! transformations model the studied optimizations:
+//!
+//! * **Defragment** — regularize access patterns by sorting each task's
+//!   accesses by (file, offset), increasing spatial locality (Table 3
+//!   "regular" pattern).
+//! * **Filter** — convert data-field selections into a near-storage filter
+//!   that divides transferred bytes by a factor (the origin still reads the
+//!   same data, but the wire and caches carry less).
+//! * **Ensemble** — group `k` tasks per dataset so they co-schedule on one
+//!   node and share its node-wide cache levels.
+
+use serde::{Deserialize, Serialize};
+
+use crate::sim::{Action, JobSpec};
+
+/// One replayed operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceOp {
+    pub file: String,
+    pub offset: u64,
+    pub len: u64,
+    /// Read (true) or write (false).
+    pub read: bool,
+    /// Simulated compute between this op and the next, ns.
+    pub compute_ns: u64,
+}
+
+/// A task's captured trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskTrace {
+    pub name: String,
+    /// The primary dataset the task draws from (ensemble grouping key).
+    pub dataset: String,
+    pub ops: Vec<TraceOp>,
+    /// Ensemble group, assigned by [`Transform::Ensemble`].
+    pub ensemble: Option<u32>,
+}
+
+/// A Table 3 scenario transformation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transform {
+    /// Regularize access patterns (sort by file, offset).
+    Defragment,
+    /// Near-storage filtering: reads transfer `1/factor` of the bytes.
+    Filter { factor: u32 },
+    /// Group `k` tasks per dataset onto shared nodes/caches.
+    Ensemble { k: u32 },
+}
+
+/// Applies a transformation in place.
+pub fn apply(traces: &mut [TaskTrace], t: Transform) {
+    match t {
+        Transform::Defragment => {
+            for task in traces.iter_mut() {
+                task.ops.sort_by(|a, b| a.file.cmp(&b.file).then(a.offset.cmp(&b.offset)));
+            }
+        }
+        Transform::Filter { factor } => {
+            assert!(factor >= 1);
+            for task in traces.iter_mut() {
+                for op in &mut task.ops {
+                    if op.read {
+                        op.len = (op.len / u64::from(factor)).max(1);
+                    }
+                }
+            }
+        }
+        Transform::Ensemble { k } => {
+            assert!(k >= 1);
+            // Deterministic grouping: sort indices by dataset, chunk by k.
+            let mut idx: Vec<usize> = (0..traces.len()).collect();
+            idx.sort_by(|&a, &b| {
+                traces[a]
+                    .dataset
+                    .cmp(&traces[b].dataset)
+                    .then(traces[a].name.cmp(&traces[b].name))
+            });
+            for (group, chunk) in idx.chunks(k as usize).enumerate() {
+                for &i in chunk {
+                    traces[i].ensemble = Some(group as u32);
+                }
+            }
+        }
+    }
+}
+
+/// Converts traces into simulator jobs.
+///
+/// Placement: tasks in the same ensemble group land on the same node
+/// (`group % nodes`); ungrouped tasks round-robin by trace order. Each job's
+/// actions interleave reads/writes with the trace's compute gaps.
+pub fn to_jobs(traces: &[TaskTrace], nodes: u32) -> Vec<JobSpec> {
+    assert!(nodes >= 1);
+    traces
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let node = match t.ensemble {
+                Some(g) => g % nodes,
+                None => (i as u32) % nodes,
+            };
+            let mut spec = JobSpec::new(&t.name, node);
+            for op in &t.ops {
+                spec = spec.action(if op.read {
+                    Action::Read { file: op.file.clone(), offset: Some(op.offset), len: op.len }
+                } else {
+                    Action::Write { file: op.file.clone(), len: op.len, tier: None }
+                });
+                if op.compute_ns > 0 {
+                    spec = spec.action(Action::Compute { ns: op.compute_ns });
+                }
+            }
+            spec
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(name: &str, dataset: &str, offsets: &[u64]) -> TaskTrace {
+        TaskTrace {
+            name: name.into(),
+            dataset: dataset.into(),
+            ops: offsets
+                .iter()
+                .map(|&o| TraceOp {
+                    file: format!("{dataset}.root"),
+                    offset: o,
+                    len: 1 << 20,
+                    read: true,
+                    compute_ns: 1000,
+                })
+                .collect(),
+            ensemble: None,
+        }
+    }
+
+    #[test]
+    fn defragment_sorts_offsets() {
+        let mut ts = vec![trace("t-0", "ds0", &[300, 100, 200])];
+        apply(&mut ts, Transform::Defragment);
+        let offs: Vec<u64> = ts[0].ops.iter().map(|o| o.offset).collect();
+        assert_eq!(offs, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn filter_divides_read_lengths() {
+        let mut ts = vec![trace("t-0", "ds0", &[0])];
+        ts[0].ops.push(TraceOp {
+            file: "out".into(),
+            offset: 0,
+            len: 1 << 20,
+            read: false,
+            compute_ns: 0,
+        });
+        apply(&mut ts, Transform::Filter { factor: 4 });
+        assert_eq!(ts[0].ops[0].len, 1 << 18, "read shrinks 4x");
+        assert_eq!(ts[0].ops[1].len, 1 << 20, "write untouched");
+    }
+
+    #[test]
+    fn ensemble_groups_by_dataset() {
+        let mut ts = vec![
+            trace("t-0", "dsB", &[0]),
+            trace("t-1", "dsA", &[0]),
+            trace("t-2", "dsA", &[0]),
+            trace("t-3", "dsB", &[0]),
+        ];
+        apply(&mut ts, Transform::Ensemble { k: 2 });
+        // dsA pair share a group; dsB pair share another.
+        assert_eq!(ts[1].ensemble, ts[2].ensemble);
+        assert_eq!(ts[0].ensemble, ts[3].ensemble);
+        assert_ne!(ts[0].ensemble, ts[1].ensemble);
+    }
+
+    #[test]
+    fn jobs_follow_ensemble_placement() {
+        let mut ts = vec![
+            trace("t-0", "dsA", &[0]),
+            trace("t-1", "dsA", &[0]),
+            trace("t-2", "dsB", &[0]),
+            trace("t-3", "dsB", &[0]),
+        ];
+        apply(&mut ts, Transform::Ensemble { k: 2 });
+        let jobs = to_jobs(&ts, 4);
+        assert_eq!(jobs[0].node, jobs[1].node, "dsA ensemble co-located");
+        assert_eq!(jobs[2].node, jobs[3].node, "dsB ensemble co-located");
+        assert_ne!(jobs[0].node, jobs[2].node);
+    }
+
+    #[test]
+    fn jobs_interleave_compute() {
+        let ts = vec![trace("t-0", "ds", &[0, 100])];
+        let jobs = to_jobs(&ts, 1);
+        assert_eq!(jobs[0].actions.len(), 4, "2 reads + 2 compute gaps");
+        assert!(matches!(jobs[0].actions[1], Action::Compute { ns: 1000 }));
+    }
+}
+
+#[cfg(test)]
+mod single_node_tests {
+    use super::*;
+
+    #[test]
+    fn single_node_placement_never_out_of_range() {
+        let ts = vec![
+            TaskTrace { name: "a".into(), dataset: "d".into(), ops: vec![], ensemble: Some(9) },
+            TaskTrace { name: "b".into(), dataset: "d".into(), ops: vec![], ensemble: None },
+        ];
+        for j in to_jobs(&ts, 1) {
+            assert_eq!(j.node, 0);
+        }
+    }
+}

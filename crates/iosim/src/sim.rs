@@ -1,0 +1,1200 @@
+//! The discrete-event simulation engine: jobs, cores, I/O, caching, and
+//! measurement.
+//!
+//! A *job* is one workflow task instance: a node assignment, a dependency
+//! list, and a sequence of [`Action`]s (compute intervals and POSIX-style
+//! I/O). Jobs occupy one core while running. I/O actions become flows in the
+//! [`crate::flow::FlowNet`] fair-share bandwidth model, optionally
+//! after a cache lookup ([`crate::cache::CacheState`]); every
+//! operation is simultaneously reported to the attached
+//! [`dfl_trace::Monitor`], producing DFL measurements as a side effect of
+//! execution.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use dfl_trace::{IoTiming, Monitor, OpenMode, TaskContext};
+
+use crate::breakdown::{Breakdown, FlowTag};
+use crate::cache::{CacheConfig, CacheState};
+use crate::cluster::ClusterSpec;
+use crate::error::SimError;
+use crate::flow::{FlowKey, FlowNet, FlowOwner, ResourceId};
+use crate::fs::{FileIdx, SimFs};
+use crate::storage::{TierKind, TierRef};
+use crate::time::SimTime;
+
+/// Handle to a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u32);
+
+/// One step of a job.
+#[derive(Debug, Clone)]
+pub enum Action {
+    /// Pure computation for `ns` nanoseconds.
+    Compute { ns: u64 },
+    /// Open a file (pays the tier's metadata cost; starts trace shadowing).
+    Open { file: String, write: bool },
+    /// Read `len` bytes at `offset` (or the sequential cursor when `None`);
+    /// `len == 0` means "to end of file".
+    Read { file: String, offset: Option<u64>, len: u64 },
+    /// Append `len` bytes. `tier` places the file on first write; default is
+    /// the cluster's default tier.
+    Write { file: String, len: u64, tier: Option<TierRef> },
+    /// Close a file (flushes trace shadow state).
+    Close { file: String },
+    /// Copy a whole file to another tier (staging); subsequent readers pick
+    /// the closest replica. `from` forces the copy source (e.g. always the
+    /// WAN origin, as plain FTP would); `None` picks the closest replica.
+    Stage { file: String, to: TierRef, from: Option<TierRef>, tag: FlowTag },
+}
+
+impl Action {
+    /// Convenience: a whole-file sequential read (`open`, read-to-end,
+    /// `close` are implied by the engine's implicit-open handling).
+    pub fn read_file(file: &str) -> Action {
+        Action::Read { file: file.into(), offset: None, len: 0 }
+    }
+
+    /// Convenience: an appending write of `len` bytes.
+    pub fn write_file(file: &str, len: u64) -> Action {
+        Action::Write { file: file.into(), len, tier: None }
+    }
+
+    pub fn compute_ms(ms: u64) -> Action {
+        Action::Compute { ns: ms * 1_000_000 }
+    }
+
+    pub fn stage(file: &str, to: TierRef) -> Action {
+        Action::Stage { file: file.into(), to, from: None, tag: FlowTag::Stage }
+    }
+}
+
+/// A job specification (builder-style).
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    pub name: String,
+    /// Logical (template) name; defaults to the prefix of `name` before `-`.
+    pub logical: Option<String>,
+    pub node: u32,
+    pub actions: Vec<Action>,
+    pub deps: Vec<JobId>,
+    /// Arrival offset from simulation start, ns.
+    pub submit_delay_ns: u64,
+}
+
+impl JobSpec {
+    pub fn new(name: &str, node: u32) -> Self {
+        Self {
+            name: name.to_owned(),
+            logical: None,
+            node,
+            actions: Vec::new(),
+            deps: Vec::new(),
+            submit_delay_ns: 0,
+        }
+    }
+
+    pub fn logical(mut self, logical: &str) -> Self {
+        self.logical = Some(logical.to_owned());
+        self
+    }
+
+    pub fn action(mut self, a: Action) -> Self {
+        self.actions.push(a);
+        self
+    }
+
+    pub fn actions(mut self, a: impl IntoIterator<Item = Action>) -> Self {
+        self.actions.extend(a);
+        self
+    }
+
+    pub fn dep(mut self, j: JobId) -> Self {
+        self.deps.push(j);
+        self
+    }
+
+    pub fn deps(mut self, ds: impl IntoIterator<Item = JobId>) -> Self {
+        self.deps.extend(ds);
+        self
+    }
+
+    pub fn delay_ns(mut self, ns: u64) -> Self {
+        self.submit_delay_ns = ns;
+        self
+    }
+}
+
+/// Which origins route through the cache hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheOrigins {
+    /// Only remote (WAN) reads are cached — TAZeR's primary use.
+    #[default]
+    RemoteOnly,
+    /// All reads are cached.
+    All,
+}
+
+/// Simulation-wide configuration.
+#[derive(Debug, Clone, Default)]
+pub struct SimConfig {
+    /// Attach a DFL monitor (default: yes, with default config).
+    pub monitor: Option<dfl_trace::MonitorConfig>,
+    /// Enable a cache hierarchy.
+    pub cache: Option<CacheConfig>,
+    pub cache_origins: CacheOrigins,
+    /// Buffered writes: tasks return from writes at memory speed while the
+    /// data drains to its tier in the background — the Table 1 "write
+    /// buffering" remediation. Consumers still wait for the producer *task*
+    /// (the usual workflow dependency), not for the drain.
+    pub write_buffering: bool,
+}
+
+impl SimConfig {
+    pub fn with_monitor() -> Self {
+        SimConfig { monitor: Some(dfl_trace::MonitorConfig::default()), ..Default::default() }
+    }
+
+    pub fn with_cache(cache: CacheConfig) -> Self {
+        SimConfig {
+            monitor: Some(dfl_trace::MonitorConfig::default()),
+            cache: Some(cache),
+            ..Default::default()
+        }
+    }
+}
+
+/// Post-run per-job report.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    pub name: String,
+    pub node: u32,
+    pub start_ns: u64,
+    pub end_ns: u64,
+    pub breakdown: Breakdown,
+}
+
+impl JobReport {
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobState {
+    WaitingDeps,
+    Queued,
+    Running,
+    Done,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IoKind {
+    Read,
+    Write,
+    Stage,
+}
+
+#[derive(Debug)]
+struct PendingIo {
+    kind: IoKind,
+    file: FileIdx,
+    offset: u64,
+    len: u64,
+    started: SimTime,
+    /// For staging: destination replica.
+    stage_to: Option<TierRef>,
+    /// Flow descriptors awaiting launch (after the latency event).
+    launch: Vec<(Vec<ResourceId>, f64, FlowTag)>,
+}
+
+struct Job {
+    name: String,
+    logical: String,
+    node: u32,
+    actions: VecDeque<Action>,
+    deps_left: usize,
+    dependents: Vec<u32>,
+    state: JobState,
+    pending_flows: usize,
+    io: Option<PendingIo>,
+    ctx: Option<TaskContext>,
+    fds: HashMap<FileIdx, dfl_trace::handle::Fd>,
+    cursor: HashMap<FileIdx, u64>,
+    start: Option<SimTime>,
+    end: Option<SimTime>,
+    breakdown: Breakdown,
+    submit_delay_ns: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    Arrive(u32),
+    ComputeDone(u32),
+    IoLatencyDone(u32),
+    OpenDone(u32),
+    /// Apply the pre-registered capacity change at this index.
+    CapacityChange(u32),
+}
+
+/// Named bandwidth resources for the cluster.
+struct Resources {
+    /// Shared tier resources by kind.
+    shared: HashMap<TierKind, ResourceId>,
+    /// Node-local tier resources: `[node][kind]`.
+    node_tier: Vec<HashMap<TierKind, ResourceId>>,
+    /// Per-node NIC.
+    nic: Vec<ResourceId>,
+    /// Cache-serving resources per level: either per-node or cluster-wide.
+    cache_levels: Vec<CacheLevelRes>,
+}
+
+enum CacheLevelRes {
+    PerNode(Vec<ResourceId>),
+    Shared(ResourceId),
+}
+
+/// The simulator.
+pub struct Simulation {
+    cluster: ClusterSpec,
+    net: FlowNet,
+    res: Resources,
+    fs: SimFs,
+    cache: Option<CacheState>,
+    cache_origins: CacheOrigins,
+    monitor: Option<Monitor>,
+    jobs: Vec<Job>,
+    heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    events: Vec<Event>,
+    capacity_changes: Vec<(ResourceId, f64)>,
+    write_buffering: bool,
+    next_seq: u64,
+    now: SimTime,
+    free_cores: Vec<u32>,
+    ready: Vec<VecDeque<u32>>,
+    finished: usize,
+}
+
+impl Simulation {
+    /// Builds a simulator for `cluster`. A monitor with default settings is
+    /// attached unless `config.monitor` is `None` *and* the config came from
+    /// `SimConfig::default()` — to run without measurement, set `monitor:
+    /// None` explicitly via struct update syntax.
+    pub fn new(cluster: ClusterSpec, config: SimConfig) -> Self {
+        let mut net = FlowNet::new();
+
+        let mut shared = HashMap::new();
+        for t in &cluster.tiers {
+            if !t.kind.is_node_local() {
+                shared.insert(t.kind, net.add_resource(&format!("tier:{}", t.kind.label()), t.read_bw));
+            }
+        }
+        let mut node_tier = Vec::new();
+        let mut nic = Vec::new();
+        for n in 0..cluster.node_count() {
+            let mut m = HashMap::new();
+            for t in &cluster.tiers {
+                if t.kind.is_node_local() {
+                    m.insert(
+                        t.kind,
+                        net.add_resource(&format!("{}:{n}", t.kind.label()), t.read_bw),
+                    );
+                }
+            }
+            node_tier.push(m);
+            nic.push(net.add_resource(&format!("nic:{n}"), cluster.nic_bw));
+        }
+
+        let cache = config.cache.map(CacheState::new);
+        let cache_levels = match &cache {
+            None => Vec::new(),
+            Some(c) => c
+                .config()
+                .levels
+                .iter()
+                .enumerate()
+                .map(|(i, lvl)| match lvl.scope {
+                    crate::cache::CacheScope::ClusterWide => CacheLevelRes::Shared(
+                        net.add_resource(&format!("cache{}:shared", i + 1), lvl.read_bw),
+                    ),
+                    _ => CacheLevelRes::PerNode(
+                        (0..cluster.node_count())
+                            .map(|n| {
+                                net.add_resource(&format!("cache{}:{n}", i + 1), lvl.read_bw)
+                            })
+                            .collect(),
+                    ),
+                })
+                .collect(),
+        };
+
+        let monitor = Some(Monitor::new(config.monitor.unwrap_or_default()));
+        let free_cores = cluster.nodes.iter().map(|n| n.cores).collect();
+        let ready = (0..cluster.node_count()).map(|_| VecDeque::new()).collect();
+
+        Self {
+            cluster,
+            net,
+            res: Resources { shared, node_tier, nic, cache_levels },
+            fs: SimFs::new(),
+            cache,
+            cache_origins: config.cache_origins,
+            monitor,
+            jobs: Vec::new(),
+            heap: BinaryHeap::new(),
+            events: Vec::new(),
+            capacity_changes: Vec::new(),
+            write_buffering: config.write_buffering,
+            next_seq: 0,
+            now: SimTime::ZERO,
+            free_cores,
+            ready,
+            finished: 0,
+        }
+    }
+
+    pub fn fs(&self) -> &SimFs {
+        &self.fs
+    }
+
+    pub fn fs_mut(&mut self) -> &mut SimFs {
+        &mut self.fs
+    }
+
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    pub fn monitor(&self) -> Option<&Monitor> {
+        self.monitor.as_ref()
+    }
+
+    /// Current simulated time (the makespan once `run` returns).
+    pub fn time(&self) -> SimTime {
+        self.now
+    }
+
+    /// Submits a job; it arrives at `submit_delay_ns` and starts when its
+    /// dependencies finish and a core on its node frees up.
+    pub fn submit(&mut self, spec: JobSpec) -> JobId {
+        assert!(
+            (spec.node as usize) < self.cluster.node_count(),
+            "node {} out of range",
+            spec.node
+        );
+        let id = self.jobs.len() as u32;
+        let logical = spec
+            .logical
+            .clone()
+            .unwrap_or_else(|| spec.name.split('-').next().unwrap_or(&spec.name).to_owned());
+        let mut deps_left = 0;
+        for d in &spec.deps {
+            let dj = &mut self.jobs[d.0 as usize];
+            if dj.state != JobState::Done {
+                dj.dependents.push(id);
+                deps_left += 1;
+            }
+        }
+        self.jobs.push(Job {
+            name: spec.name,
+            logical,
+            node: spec.node,
+            actions: spec.actions.into(),
+            deps_left,
+            dependents: Vec::new(),
+            state: JobState::WaitingDeps,
+            pending_flows: 0,
+            io: None,
+            ctx: None,
+            fds: HashMap::new(),
+            cursor: HashMap::new(),
+            start: None,
+            end: None,
+            breakdown: Breakdown::new(),
+            submit_delay_ns: spec.submit_delay_ns,
+        });
+        self.push_event(SimTime(spec.submit_delay_ns), Event::Arrive(id));
+        JobId(id)
+    }
+
+    fn push_event(&mut self, at: SimTime, ev: Event) {
+        let idx = self.events.len() as u32;
+        self.events.push(ev);
+        self.heap.push(Reverse((at.ns(), self.next_seq, idx)));
+        self.next_seq += 1;
+    }
+
+    /// Runs until every submitted job completes.
+    pub fn run(&mut self) -> Result<(), SimError> {
+        loop {
+            let heap_next = self.heap.peek().map(|Reverse((t, s, i))| (*t, *s, *i));
+            let flow_next = self.net.next_completion();
+            match (heap_next, flow_next) {
+                (None, None) => break,
+                (Some((ht, _, _)), Some((ft, fk))) if ft.ns() < ht => {
+                    self.complete_flow(ft, fk);
+                }
+                (Some(_), _) => {
+                    let Reverse((t, _, idx)) = self.heap.pop().expect("peeked");
+                    self.now = SimTime(t.max(self.now.ns()));
+                    let ev = self.events[idx as usize];
+                    self.handle_event(ev);
+                }
+                (None, Some((ft, fk))) => {
+                    self.complete_flow(ft, fk);
+                }
+            }
+        }
+        if self.finished < self.jobs.len() {
+            return Err(SimError::Deadlock { pending: self.jobs.len() - self.finished });
+        }
+        Ok(())
+    }
+
+    fn complete_flow(&mut self, at: SimTime, key: FlowKey) {
+        self.now = SimTime(at.ns().max(self.now.ns()));
+        let (owner, elapsed) = self.net.complete(self.now, key);
+        let j = owner.job as usize;
+        self.jobs[j].breakdown.add(owner.tag, elapsed);
+        if owner.background {
+            return; // buffered-write drain: nothing waits on it
+        }
+        self.jobs[j].pending_flows -= 1;
+        if self.jobs[j].pending_flows == 0 {
+            self.finish_io(owner.job);
+        }
+    }
+
+    fn handle_event(&mut self, ev: Event) {
+        match ev {
+            Event::Arrive(j) => {
+                let job = &mut self.jobs[j as usize];
+                // A dependency completing at the same timestamp may have
+                // already queued this job; only queue from WaitingDeps.
+                if job.deps_left == 0 && job.state == JobState::WaitingDeps {
+                    job.state = JobState::Queued;
+                    let node = job.node;
+                    self.ready[node as usize].push_back(j);
+                    self.try_start(node);
+                }
+            }
+            Event::ComputeDone(j) => self.advance(j),
+            Event::OpenDone(j) => self.advance(j),
+            Event::IoLatencyDone(j) => self.launch_flows(j),
+            Event::CapacityChange(idx) => {
+                let (r, capacity) = self.capacity_changes[idx as usize];
+                self.net.set_capacity(self.now, r, capacity);
+            }
+        }
+    }
+
+    fn try_start(&mut self, node: u32) {
+        while self.free_cores[node as usize] > 0 {
+            let Some(j) = self.ready[node as usize].pop_front() else { break };
+            self.free_cores[node as usize] -= 1;
+            let job = &mut self.jobs[j as usize];
+            job.state = JobState::Running;
+            job.start = Some(self.now);
+            if let Some(m) = &self.monitor {
+                job.ctx = Some(m.begin_task_logical(&job.name, &job.logical.clone(), self.now.ns()));
+            }
+            self.advance(j);
+        }
+    }
+
+    /// Executes the job's next action (or completes it).
+    fn advance(&mut self, j: u32) {
+        let Some(action) = self.jobs[j as usize].actions.pop_front() else {
+            self.complete_job(j);
+            return;
+        };
+        match action {
+            Action::Compute { ns } => {
+                self.jobs[j as usize].breakdown.add(FlowTag::Compute, ns);
+                self.push_event(self.now.add_ns(ns), Event::ComputeDone(j));
+            }
+            Action::Open { file, write } => self.do_open(j, &file, write),
+            Action::Read { file, offset, len } => self.do_read(j, &file, offset, len),
+            Action::Write { file, len, tier } => self.do_write(j, &file, len, tier),
+            Action::Close { file } => {
+                self.do_close(j, &file);
+                self.advance(j);
+            }
+            Action::Stage { file, to, from, tag } => self.do_stage(j, &file, to, from, tag),
+        }
+    }
+
+    fn complete_job(&mut self, j: u32) {
+        let node;
+        {
+            let job = &mut self.jobs[j as usize];
+            debug_assert_eq!(job.state, JobState::Running);
+            job.state = JobState::Done;
+            job.end = Some(self.now);
+            node = job.node;
+            if let Some(ctx) = job.ctx.take() {
+                ctx.finish(self.now.ns());
+            }
+        }
+        self.finished += 1;
+        self.free_cores[node as usize] += 1;
+
+        let dependents = std::mem::take(&mut self.jobs[j as usize].dependents);
+        for d in dependents {
+            let dep = &mut self.jobs[d as usize];
+            dep.deps_left -= 1;
+            if dep.deps_left == 0 && dep.state == JobState::WaitingDeps && dep.submit_delay_ns <= self.now.ns() {
+                dep.state = JobState::Queued;
+                let n = dep.node;
+                self.ready[n as usize].push_back(d);
+                self.try_start(n);
+            }
+        }
+        self.try_start(node);
+    }
+
+    // ---- file helpers ----
+
+    fn tier_spec(&self, kind: TierKind) -> &crate::storage::TierSpec {
+        self.cluster.tier(kind).expect("tier present on cluster")
+    }
+
+    /// Resources along the read path from `tier` to `node`.
+    fn read_path(&self, tier: TierRef, node: u32) -> Vec<ResourceId> {
+        match (tier.kind.is_node_local(), tier.node) {
+            (true, Some(m)) if m == node => vec![self.res.node_tier[m as usize][&tier.kind]],
+            (true, Some(m)) => vec![
+                self.res.node_tier[m as usize][&tier.kind],
+                self.res.nic[m as usize],
+                self.res.nic[node as usize],
+            ],
+            _ => vec![self.res.shared[&tier.kind], self.res.nic[node as usize]],
+        }
+    }
+
+    /// Tag for a read served by `tier` (no cache involvement).
+    fn read_tag(&self, tier: TierRef) -> FlowTag {
+        if tier.kind.is_remote() {
+            FlowTag::NetworkRead
+        } else if tier.kind.is_node_local() {
+            FlowTag::LocalRead
+        } else {
+            FlowTag::SharedRead
+        }
+    }
+
+    /// Write-bandwidth asymmetry: flows carry "read-equivalent" bytes, so a
+    /// write of `len` on a tier with write_bw < read_bw is inflated.
+    fn write_equiv_bytes(&self, tier: TierKind, len: u64) -> f64 {
+        let spec = self.tier_spec(tier);
+        len as f64 * (spec.read_bw / spec.write_bw)
+    }
+
+    /// Ensures the job has a trace fd for `file`; returns it. Implicit opens
+    /// use read-write mode with the current size as hint.
+    fn ensure_fd(&mut self, j: u32, file: FileIdx) -> Option<dfl_trace::handle::Fd> {
+        let size = self.fs.meta(file).size;
+        let path = self.fs.meta(file).path.clone();
+        let job = &mut self.jobs[j as usize];
+        if let Some(&fd) = job.fds.get(&file) {
+            return Some(fd);
+        }
+        let ctx = job.ctx.as_ref()?;
+        let fd = ctx.open(&path, OpenMode::ReadWrite, Some(size), self.now.ns());
+        job.fds.insert(file, fd);
+        Some(fd)
+    }
+
+    // ---- actions ----
+
+    fn do_open(&mut self, j: u32, file: &str, write: bool) {
+        let node = self.jobs[j as usize].node;
+        let idx = match self.fs.lookup(file) {
+            Some(i) if !write => i,
+            _ if write => {
+                let tier = TierRef::shared(self.cluster.default_tier);
+                self.fs.create_for_write(file, tier)
+            }
+            _ => panic!("open of nonexistent file {file} for reading"),
+        };
+        let tier = self.fs.best_replica(idx, node);
+        let open_ns = self.tier_spec(tier.kind).open_ns;
+
+        let size = self.fs.meta(idx).size;
+        let job = &mut self.jobs[j as usize];
+        if let Some(ctx) = &job.ctx {
+            let mode = if write { OpenMode::ReadWrite } else { OpenMode::Read };
+            let fd = ctx.open(file, mode, Some(size), self.now.ns());
+            job.fds.insert(idx, fd);
+        }
+        job.cursor.insert(idx, 0);
+        job.breakdown.add(FlowTag::Metadata, open_ns);
+        self.push_event(self.now.add_ns(open_ns), Event::OpenDone(j));
+    }
+
+    fn do_close(&mut self, j: u32, file: &str) {
+        let Some(idx) = self.fs.lookup(file) else { return };
+        let job = &mut self.jobs[j as usize];
+        if let (Some(ctx), Some(fd)) = (&job.ctx, job.fds.remove(&idx)) {
+            let _ = ctx.close(fd, self.now.ns());
+        }
+    }
+
+    fn do_read(&mut self, j: u32, file: &str, offset: Option<u64>, len: u64) {
+        let idx = self
+            .fs
+            .lookup(file)
+            .unwrap_or_else(|| panic!("read of nonexistent file {file}"));
+        let node = self.jobs[j as usize].node;
+        let size = self.fs.meta(idx).size;
+        let off = offset.unwrap_or_else(|| *self.jobs[j as usize].cursor.get(&idx).unwrap_or(&0));
+        let off = off.min(size);
+        let n = if len == 0 { size - off } else { len.min(size - off) };
+
+        self.ensure_fd(j, idx);
+
+        let tier = self.fs.best_replica(idx, node);
+        let mut launch: Vec<(Vec<ResourceId>, f64, FlowTag)> = Vec::new();
+        let mut latency = self.tier_spec(tier.kind).latency_ns;
+
+        let use_cache = self.cache.is_some()
+            && (self.cache_origins == CacheOrigins::All || tier.kind.is_remote());
+        if use_cache && n > 0 {
+            let result = self
+                .cache
+                .as_mut()
+                .expect("cache enabled")
+                .access(j, node, idx.0, off, n);
+            let levels = self.cache.as_ref().unwrap().config().levels.clone();
+            latency = 0;
+            for (lvl, &bytes) in result.level_bytes.iter().enumerate() {
+                if bytes == 0 {
+                    continue;
+                }
+                latency = latency.max(levels[lvl].latency_ns);
+                let path = match &self.res.cache_levels[lvl] {
+                    CacheLevelRes::PerNode(v) => vec![v[node as usize]],
+                    CacheLevelRes::Shared(r) => vec![*r, self.res.nic[node as usize]],
+                };
+                let tag = match lvl {
+                    0 => FlowTag::CacheL1,
+                    1 => FlowTag::CacheL2,
+                    2 => FlowTag::CacheL3,
+                    _ => FlowTag::CacheL4,
+                };
+                launch.push((path, bytes as f64, tag));
+            }
+            if result.miss_bytes > 0 {
+                latency = latency.max(self.tier_spec(tier.kind).latency_ns);
+                launch.push((
+                    self.read_path(tier, node),
+                    result.miss_bytes as f64,
+                    self.read_tag(tier),
+                ));
+            }
+        } else if n > 0 {
+            launch.push((self.read_path(tier, node), n as f64, self.read_tag(tier)));
+        }
+
+        let job = &mut self.jobs[j as usize];
+        job.io = Some(PendingIo {
+            kind: IoKind::Read,
+            file: idx,
+            offset: off,
+            len: n,
+            started: self.now,
+            stage_to: None,
+            launch,
+        });
+        self.push_event(self.now.add_ns(latency), Event::IoLatencyDone(j));
+    }
+
+    fn do_write(&mut self, j: u32, file: &str, len: u64, tier: Option<TierRef>) {
+        let node = self.jobs[j as usize].node;
+        let idx = match self.fs.lookup(file) {
+            Some(i) => i,
+            None => {
+                let t = tier.unwrap_or(TierRef::shared(self.cluster.default_tier));
+                self.fs.create_for_write(file, t)
+            }
+        };
+        // If the caller specified a tier and the file has no data yet, honor
+        // the (re)placement.
+        if let Some(t) = tier {
+            if self.fs.meta(idx).size == 0 {
+                self.fs.create_for_write(file, t);
+            }
+        }
+        self.ensure_fd(j, idx);
+
+        let dst = self.fs.meta(idx).replicas[0];
+        let offset = self.fs.meta(idx).size;
+
+        if self.write_buffering && len > 0 {
+            // Buffered write: the task continues immediately; the drain runs
+            // as a background flow accounted to the job.
+            let path = self.read_path(dst, node);
+            let bytes = self.write_equiv_bytes(dst.kind, len);
+            self.net.start(
+                self.now,
+                path,
+                bytes,
+                FlowOwner { job: j, tag: FlowTag::Write, background: true },
+            );
+            self.fs.grow(idx, len);
+            let job = &mut self.jobs[j as usize];
+            if let (Some(ctx), Some(&fd)) = (&job.ctx, job.fds.get(&idx)) {
+                let _ = ctx.write_at(fd, offset, len, IoTiming::new(self.now.ns(), 0));
+            }
+            self.advance(j);
+            return;
+        }
+
+        let latency = self.tier_spec(dst.kind).latency_ns;
+        let launch = if len > 0 {
+            vec![(
+                self.read_path(dst, node),
+                self.write_equiv_bytes(dst.kind, len),
+                FlowTag::Write,
+            )]
+        } else {
+            Vec::new()
+        };
+
+        let job = &mut self.jobs[j as usize];
+        job.io = Some(PendingIo {
+            kind: IoKind::Write,
+            file: idx,
+            offset,
+            len,
+            started: self.now,
+            stage_to: None,
+            launch,
+        });
+        self.push_event(self.now.add_ns(latency), Event::IoLatencyDone(j));
+    }
+
+    fn do_stage(&mut self, j: u32, file: &str, to: TierRef, from: Option<TierRef>, tag: FlowTag) {
+        let idx = self
+            .fs
+            .lookup(file)
+            .unwrap_or_else(|| panic!("stage of nonexistent file {file}"));
+        let node = self.jobs[j as usize].node;
+        let size = self.fs.meta(idx).size;
+        let src = from.unwrap_or_else(|| self.fs.best_replica(idx, node));
+        if src == to || size == 0 {
+            // Already there (or empty): record the replica and move on.
+            self.fs.add_replica(idx, to);
+            self.advance(j);
+            return;
+        }
+        let mut path = self.read_path(src, node);
+        for r in self.read_path(to, node) {
+            if !path.contains(&r) {
+                path.push(r);
+            }
+        }
+        let latency = self
+            .tier_spec(src.kind)
+            .latency_ns
+            .max(self.tier_spec(to.kind).latency_ns);
+
+        let job = &mut self.jobs[j as usize];
+        job.io = Some(PendingIo {
+            kind: IoKind::Stage,
+            file: idx,
+            offset: 0,
+            len: size,
+            started: self.now,
+            stage_to: Some(to),
+            launch: vec![(path, size as f64, tag)],
+        });
+        self.push_event(self.now.add_ns(latency), Event::IoLatencyDone(j));
+    }
+
+    fn launch_flows(&mut self, j: u32) {
+        let launch = {
+            let job = &mut self.jobs[j as usize];
+            let io = job.io.as_mut().expect("pending io");
+            std::mem::take(&mut io.launch)
+        };
+        if launch.is_empty() {
+            self.finish_io(j);
+            return;
+        }
+        self.jobs[j as usize].pending_flows = launch.len();
+        for (path, bytes, tag) in launch {
+            self.net.start(self.now, path, bytes, FlowOwner { job: j, tag, background: false });
+        }
+    }
+
+    fn finish_io(&mut self, j: u32) {
+        let io = self.jobs[j as usize].io.take().expect("pending io");
+        let timing = IoTiming::new(io.started.ns(), self.now.since(io.started));
+        match io.kind {
+            IoKind::Read => {
+                let job = &mut self.jobs[j as usize];
+                if let (Some(ctx), Some(&fd)) = (&job.ctx, job.fds.get(&io.file)) {
+                    let _ = ctx.read_at(fd, io.offset, io.len, timing);
+                }
+                job.cursor.insert(io.file, io.offset + io.len);
+            }
+            IoKind::Write => {
+                self.fs.grow(io.file, io.len);
+                let job = &mut self.jobs[j as usize];
+                if let (Some(ctx), Some(&fd)) = (&job.ctx, job.fds.get(&io.file)) {
+                    let _ = ctx.write_at(fd, io.offset, io.len, timing);
+                }
+            }
+            IoKind::Stage => {
+                self.fs
+                    .add_replica(io.file, io.stage_to.expect("stage destination"));
+            }
+        }
+        self.advance(j);
+    }
+
+    // ---- failure / straggler injection ----
+
+    /// The bandwidth resource backing a tier instance.
+    pub fn tier_resource(&self, tier: TierRef) -> ResourceId {
+        match tier.node {
+            Some(n) => self.res.node_tier[n as usize][&tier.kind],
+            None => self.res.shared[&tier.kind],
+        }
+    }
+
+    /// The NIC resource of a node.
+    pub fn nic_resource(&self, node: u32) -> ResourceId {
+        self.res.nic[node as usize]
+    }
+
+    /// Schedules a capacity change (straggler/degradation injection) at
+    /// `at_ns`. Takes effect mid-run: in-flight transfers keep their
+    /// progress and re-profile at the new capacity.
+    pub fn schedule_capacity_change(&mut self, at_ns: u64, resource: ResourceId, capacity: f64) {
+        assert!(capacity > 0.0);
+        let idx = self.capacity_changes.len() as u32;
+        self.capacity_changes.push((resource, capacity));
+        self.push_event(SimTime(at_ns), Event::CapacityChange(idx));
+    }
+
+    // ---- reports ----
+
+    /// Report for a completed job.
+    pub fn job_report(&self, id: JobId) -> Option<JobReport> {
+        let job = self.jobs.get(id.0 as usize)?;
+        Some(JobReport {
+            name: job.name.clone(),
+            node: job.node,
+            start_ns: job.start.map_or(0, SimTime::ns),
+            end_ns: job.end.map_or(0, SimTime::ns),
+            breakdown: job.breakdown.clone(),
+        })
+    }
+
+    /// Reports for every job, in submission order.
+    pub fn reports(&self) -> Vec<JobReport> {
+        (0..self.jobs.len() as u32)
+            .map(|i| self.job_report(JobId(i)).expect("in range"))
+            .collect()
+    }
+
+    /// Aggregate breakdown over all jobs.
+    pub fn total_breakdown(&self) -> Breakdown {
+        let mut b = Breakdown::new();
+        for j in &self.jobs {
+            b.merge(&j.breakdown);
+        }
+        b
+    }
+
+    /// Snapshot of the attached monitor's measurements.
+    pub fn measurements(&self) -> Option<dfl_trace::MeasurementSet> {
+        self.monitor.as_ref().map(Monitor::snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mb(n: u64) -> u64 {
+        n << 20
+    }
+
+    fn simple_sim() -> Simulation {
+        Simulation::new(ClusterSpec::gpu_cluster(2), SimConfig::default())
+    }
+
+    #[test]
+    fn single_read_job_runs() {
+        let mut sim = simple_sim();
+        sim.fs_mut().create_external("in.dat", mb(100), TierRef::shared(TierKind::Nfs));
+        let j = sim.submit(JobSpec::new("reader-0", 0).action(Action::read_file("in.dat")));
+        sim.run().unwrap();
+        let r = sim.job_report(j).unwrap();
+        // 100 MiB at 500 MiB/s ≈ 0.2 s plus latency.
+        let dur = r.duration_ns() as f64 / 1e9;
+        assert!(dur > 0.19 && dur < 0.3, "duration {dur}");
+        assert!(r.breakdown.get(FlowTag::SharedRead) > 0);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip_with_measurement() {
+        let mut sim = simple_sim();
+        let w = sim.submit(
+            JobSpec::new("writer-0", 0)
+                .action(Action::Write { file: "mid".into(), len: mb(10), tier: Some(TierRef::shared(TierKind::Beegfs)) }),
+        );
+        let r = sim.submit(JobSpec::new("reader-0", 1).dep(w).action(Action::read_file("mid")));
+        sim.run().unwrap();
+        assert!(sim.job_report(r).unwrap().start_ns >= sim.job_report(w).unwrap().end_ns);
+
+        let set = sim.measurements().unwrap();
+        assert_eq!(set.tasks.len(), 2);
+        let wrec = set.records.iter().find(|x| x.task_name == "writer-0").unwrap();
+        let rrec = set.records.iter().find(|x| x.task_name == "reader-0").unwrap();
+        assert_eq!(wrec.bytes_written, mb(10));
+        assert_eq!(rrec.bytes_read, mb(10));
+    }
+
+    #[test]
+    fn core_limit_serializes_jobs() {
+        let mut cluster = ClusterSpec::gpu_cluster(1);
+        cluster.nodes[0].cores = 1;
+        let mut sim = Simulation::new(cluster, SimConfig::default());
+        let a = sim.submit(JobSpec::new("a", 0).action(Action::compute_ms(100)));
+        let b = sim.submit(JobSpec::new("b", 0).action(Action::compute_ms(100)));
+        sim.run().unwrap();
+        let (ra, rb) = (sim.job_report(a).unwrap(), sim.job_report(b).unwrap());
+        assert!(rb.start_ns >= ra.end_ns, "one core: b waits for a");
+        assert_eq!(sim.time().ns(), 200_000_000);
+    }
+
+    #[test]
+    fn parallel_jobs_on_separate_nodes_overlap() {
+        let mut sim = simple_sim();
+        let a = sim.submit(JobSpec::new("a", 0).action(Action::compute_ms(100)));
+        let b = sim.submit(JobSpec::new("b", 1).action(Action::compute_ms(100)));
+        sim.run().unwrap();
+        assert_eq!(sim.job_report(a).unwrap().start_ns, 0);
+        assert_eq!(sim.job_report(b).unwrap().start_ns, 0);
+        assert_eq!(sim.time().ns(), 100_000_000);
+    }
+
+    #[test]
+    fn contention_slows_shared_tier() {
+        // Two concurrent 100 MiB reads from NFS share 500 MiB/s.
+        let mut sim = simple_sim();
+        sim.fs_mut().create_external("x", mb(100), TierRef::shared(TierKind::Nfs));
+        sim.fs_mut().create_external("y", mb(100), TierRef::shared(TierKind::Nfs));
+        let a = sim.submit(JobSpec::new("a", 0).action(Action::read_file("x")));
+        let b = sim.submit(JobSpec::new("b", 1).action(Action::read_file("y")));
+        sim.run().unwrap();
+        let da = sim.job_report(a).unwrap().duration_ns() as f64 / 1e9;
+        let db = sim.job_report(b).unwrap().duration_ns() as f64 / 1e9;
+        assert!(da > 0.38 && da < 0.5, "shared: {da}");
+        assert!(db > 0.38 && db < 0.5, "shared: {db}");
+    }
+
+    #[test]
+    fn node_local_reads_do_not_contend_across_nodes() {
+        let mut sim = simple_sim();
+        sim.fs_mut().create_external("x", mb(100), TierRef::node(TierKind::Ssd, 0));
+        sim.fs_mut().create_external("y", mb(100), TierRef::node(TierKind::Ssd, 1));
+        let a = sim.submit(JobSpec::new("a", 0).action(Action::read_file("x")));
+        let b = sim.submit(JobSpec::new("b", 1).action(Action::read_file("y")));
+        sim.run().unwrap();
+        let da = sim.job_report(a).unwrap().duration_ns() as f64 / 1e9;
+        // 100 MiB at 2000 MiB/s = 50 ms.
+        assert!(da < 0.07, "independent SSDs: {da}");
+        assert!(sim.job_report(b).unwrap().breakdown.get(FlowTag::LocalRead) > 0);
+        let _ = b;
+    }
+
+    #[test]
+    fn staging_changes_replica_choice() {
+        let mut sim = simple_sim();
+        sim.fs_mut().create_external("in", mb(100), TierRef::shared(TierKind::Nfs));
+        let s = sim.submit(
+            JobSpec::new("stage-0", 0).action(Action::stage("in", TierRef::node(TierKind::Ramdisk, 0))),
+        );
+        let r = sim.submit(JobSpec::new("reader-0", 0).dep(s).action(Action::read_file("in")));
+        sim.run().unwrap();
+        let rr = sim.job_report(r).unwrap();
+        assert!(rr.breakdown.get(FlowTag::LocalRead) > 0, "read served from ramdisk");
+        assert_eq!(rr.breakdown.get(FlowTag::SharedRead), 0);
+        // Ramdisk read should be fast: 100 MiB at 8 GiB/s ≈ 12 ms.
+        assert!(rr.duration_ns() < 40_000_000, "{}", rr.duration_ns());
+    }
+
+    #[test]
+    fn remote_reads_via_cache_hit_after_warmup() {
+        let mut sim = Simulation::new(
+            ClusterSpec::cpu_cluster_with_data_server(1),
+            SimConfig::with_cache(CacheConfig::tazer_table4()),
+        );
+        sim.fs_mut().create_external("ds", mb(64), TierRef::shared(TierKind::Wan));
+        let a = sim.submit(JobSpec::new("t1-0", 0).action(Action::read_file("ds")));
+        let b = sim.submit(JobSpec::new("t2-0", 0).dep(a).action(Action::read_file("ds")));
+        sim.run().unwrap();
+        let ra = sim.job_report(a).unwrap();
+        let rb = sim.job_report(b).unwrap();
+        assert!(ra.breakdown.get(FlowTag::NetworkRead) > 0, "cold read over WAN");
+        assert_eq!(rb.breakdown.get(FlowTag::NetworkRead), 0, "warm read hits cache");
+        assert!(rb.breakdown.get(FlowTag::CacheL2) > 0, "node-wide L2 serves task 2");
+        assert!(rb.duration_ns() < ra.duration_ns() / 4, "cache ≫ WAN");
+    }
+
+    #[test]
+    fn open_pays_metadata_cost() {
+        let mut sim = simple_sim();
+        sim.fs_mut().create_external("f", mb(1), TierRef::shared(TierKind::Nfs));
+        let j = sim.submit(
+            JobSpec::new("o", 0)
+                .action(Action::Open { file: "f".into(), write: false })
+                .action(Action::Read { file: "f".into(), offset: None, len: 0 })
+                .action(Action::Close { file: "f".into() }),
+        );
+        sim.run().unwrap();
+        let r = sim.job_report(j).unwrap();
+        assert!(r.breakdown.get(FlowTag::Metadata) >= 1_000_000, "NFS open ≈ 1.5 ms");
+    }
+
+    #[test]
+    fn dependency_chain_ordering() {
+        let mut sim = simple_sim();
+        let a = sim.submit(JobSpec::new("a", 0).action(Action::compute_ms(10)));
+        let b = sim.submit(JobSpec::new("b", 0).dep(a).action(Action::compute_ms(10)));
+        let c = sim.submit(JobSpec::new("c", 1).dep(b).action(Action::compute_ms(10)));
+        sim.run().unwrap();
+        let (ra, rb, rc) = (
+            sim.job_report(a).unwrap(),
+            sim.job_report(b).unwrap(),
+            sim.job_report(c).unwrap(),
+        );
+        assert!(ra.end_ns <= rb.start_ns && rb.end_ns <= rc.start_ns);
+        assert_eq!(sim.time().ns(), 30_000_000);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let build = || {
+            let mut sim = simple_sim();
+            sim.fs_mut().create_external("x", mb(64), TierRef::shared(TierKind::Beegfs));
+            for i in 0..8 {
+                sim.submit(
+                    JobSpec::new(&format!("t-{i}"), i % 2)
+                        .action(Action::read_file("x"))
+                        .action(Action::compute_ms(5))
+                        .action(Action::write_file(&format!("o{i}"), mb(4))),
+                );
+            }
+            sim.run().unwrap();
+            (sim.time(), sim.reports().iter().map(|r| r.end_ns).collect::<Vec<_>>())
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn empty_job_completes_immediately() {
+        let mut sim = simple_sim();
+        let j = sim.submit(JobSpec::new("noop", 0));
+        sim.run().unwrap();
+        assert_eq!(sim.job_report(j).unwrap().duration_ns(), 0);
+    }
+
+    #[test]
+    fn delayed_arrival() {
+        let mut sim = simple_sim();
+        let j = sim.submit(JobSpec::new("late", 0).delay_ns(50_000_000).action(Action::compute_ms(1)));
+        sim.run().unwrap();
+        assert_eq!(sim.job_report(j).unwrap().start_ns, 50_000_000);
+    }
+}
+
+#[cfg(test)]
+mod buffering_and_failure_tests {
+    use super::*;
+
+    fn mb(n: u64) -> u64 {
+        n << 20
+    }
+
+    #[test]
+    fn write_buffering_takes_writes_off_the_task_path() {
+        let run_with = |buffered: bool| {
+            let mut sim = Simulation::new(
+                ClusterSpec::gpu_cluster(1),
+                SimConfig { write_buffering: buffered, ..SimConfig::default() },
+            );
+            let j = sim.submit(
+                JobSpec::new("writer-0", 0)
+                    .action(Action::Write {
+                        file: "out".into(),
+                        len: mb(200),
+                        tier: Some(TierRef::shared(TierKind::Nfs)),
+                    })
+                    .action(Action::compute_ms(10)),
+            );
+            sim.run().unwrap();
+            (sim.job_report(j).unwrap().duration_ns(), sim.time().ns())
+        };
+        let (synchronous, _) = run_with(false);
+        let (buffered, makespan) = run_with(true);
+        // 200 MiB to NFS at 350 MiB/s ≈ 0.57 s synchronous; buffered the
+        // task only pays its compute.
+        assert!(buffered < synchronous / 10, "{buffered} vs {synchronous}");
+        // …but the drain still happens before the simulation ends.
+        assert!(makespan >= 500_000_000, "drain occupies the makespan: {makespan}");
+    }
+
+    #[test]
+    fn buffered_writes_still_measured() {
+        let mut sim = Simulation::new(
+            ClusterSpec::gpu_cluster(1),
+            SimConfig { write_buffering: true, ..SimConfig::default() },
+        );
+        sim.submit(JobSpec::new("w-0", 0).action(Action::write_file("f", mb(10))));
+        sim.run().unwrap();
+        let set = sim.measurements().unwrap();
+        assert_eq!(set.records[0].bytes_written, mb(10));
+    }
+
+    #[test]
+    fn straggler_nic_slows_transfer_mid_flight() {
+        let base = {
+            let mut sim = Simulation::new(ClusterSpec::gpu_cluster(1), SimConfig::default());
+            sim.fs_mut().create_external("x", mb(100), TierRef::shared(TierKind::Beegfs));
+            sim.submit(JobSpec::new("r-0", 0).action(Action::read_file("x")));
+            sim.run().unwrap();
+            sim.time().ns()
+        };
+        let degraded = {
+            let mut sim = Simulation::new(ClusterSpec::gpu_cluster(1), SimConfig::default());
+            sim.fs_mut().create_external("x", mb(100), TierRef::shared(TierKind::Beegfs));
+            let nic = sim.nic_resource(0);
+            // Halfway through the ~50ms transfer, the NIC collapses to 1%.
+            sim.schedule_capacity_change(25_000_000, nic, 12.5 * (1 << 20) as f64);
+            sim.submit(JobSpec::new("r-0", 0).action(Action::read_file("x")));
+            sim.run().unwrap();
+            sim.time().ns()
+        };
+        assert!(degraded > base * 3, "straggler visible: {degraded} vs {base}");
+    }
+
+    #[test]
+    fn tier_degradation_shifts_makespan() {
+        let mut sim = Simulation::new(ClusterSpec::gpu_cluster(2), SimConfig::default());
+        sim.fs_mut().create_external("x", mb(200), TierRef::shared(TierKind::Nfs));
+        let tier = sim.tier_resource(TierRef::shared(TierKind::Nfs));
+        sim.schedule_capacity_change(0, tier, 50.0 * (1 << 20) as f64);
+        let j = sim.submit(JobSpec::new("r-0", 0).action(Action::read_file("x")));
+        sim.run().unwrap();
+        // 200 MiB at 50 MiB/s = 4s.
+        let dur = sim.job_report(j).unwrap().duration_ns() as f64 / 1e9;
+        assert!(dur > 3.9 && dur < 4.3, "{dur}");
+    }
+}

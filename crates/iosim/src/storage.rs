@@ -1,0 +1,218 @@
+//! Storage tiers: the kinds, performance envelopes, and scopes of the
+//! storage options in the paper's Table 2.
+
+use serde::{Deserialize, Serialize};
+
+/// Kind of storage tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TierKind {
+    /// Cluster-shared NFS (default on both testbeds).
+    Nfs,
+    /// BeeGFS parallel filesystem (GPU cluster).
+    Beegfs,
+    /// Lustre parallel filesystem (CPU cluster).
+    Lustre,
+    /// Node-local SSD.
+    Ssd,
+    /// Node-local RAM-disk (`/dev/shm`).
+    Ramdisk,
+    /// Remote storage behind a 1 Gb/s WAN (the Data server).
+    Wan,
+}
+
+impl TierKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            TierKind::Nfs => "nfs",
+            TierKind::Beegfs => "beegfs",
+            TierKind::Lustre => "lustre",
+            TierKind::Ssd => "ssd",
+            TierKind::Ramdisk => "ramdisk",
+            TierKind::Wan => "wan",
+        }
+    }
+
+    /// Whether instances of this tier are per-node (vs cluster-shared or
+    /// remote).
+    pub fn is_node_local(self) -> bool {
+        matches!(self, TierKind::Ssd | TierKind::Ramdisk)
+    }
+
+    pub fn is_remote(self) -> bool {
+        matches!(self, TierKind::Wan)
+    }
+}
+
+/// Performance/capacity envelope of one tier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TierSpec {
+    pub kind: TierKind,
+    /// Sequential read bandwidth, bytes/sec (per instance: per node for
+    /// node-local tiers, aggregate for shared tiers).
+    pub read_bw: f64,
+    /// Write bandwidth, bytes/sec.
+    pub write_bw: f64,
+    /// Per-operation access latency, ns.
+    pub latency_ns: u64,
+    /// Metadata (open/create) cost, ns.
+    pub open_ns: u64,
+    /// Capacity, bytes (per instance).
+    pub capacity: u64,
+}
+
+impl TierSpec {
+    /// Plausible defaults per kind (calibrated for shape, not absolute
+    /// fidelity — see DESIGN.md).
+    pub fn default_for(kind: TierKind) -> TierSpec {
+        const MB: f64 = 1024.0 * 1024.0;
+        const GB: u64 = 1 << 30;
+        match kind {
+            TierKind::Nfs => TierSpec {
+                kind,
+                read_bw: 500.0 * MB,
+                write_bw: 350.0 * MB,
+                latency_ns: 2_000_000,
+                open_ns: 1_500_000,
+                capacity: 100_000 * GB,
+            },
+            TierKind::Beegfs => TierSpec {
+                kind,
+                read_bw: 2_000.0 * MB,
+                write_bw: 1_500.0 * MB,
+                latency_ns: 500_000,
+                open_ns: 400_000,
+                capacity: 500_000 * GB,
+            },
+            TierKind::Lustre => TierSpec {
+                kind,
+                read_bw: 5_000.0 * MB,
+                write_bw: 3_500.0 * MB,
+                latency_ns: 500_000,
+                open_ns: 400_000,
+                capacity: 1_000_000 * GB,
+            },
+            TierKind::Ssd => TierSpec {
+                kind,
+                read_bw: 2_000.0 * MB,
+                write_bw: 1_200.0 * MB,
+                latency_ns: 100_000,
+                open_ns: 30_000,
+                capacity: 1_000 * GB,
+            },
+            TierKind::Ramdisk => TierSpec {
+                kind,
+                read_bw: 8_000.0 * MB,
+                write_bw: 6_000.0 * MB,
+                latency_ns: 5_000,
+                open_ns: 2_000,
+                capacity: 64 * GB,
+            },
+            TierKind::Wan => TierSpec {
+                kind,
+                // 1 Gb/s WAN ≈ 119 MiB/s.
+                read_bw: 119.0 * MB,
+                write_bw: 119.0 * MB,
+                latency_ns: 50_000_000,
+                open_ns: 60_000_000,
+                capacity: 1_000_000 * GB,
+            },
+        }
+    }
+}
+
+/// A reference to a tier instance: shared tiers have one instance; node-local
+/// tiers have one per node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TierRef {
+    pub kind: TierKind,
+    /// `Some(node)` for node-local tier instances.
+    pub node: Option<u32>,
+}
+
+impl TierRef {
+    /// Shared (or remote) tier instance.
+    pub fn shared(kind: TierKind) -> Self {
+        assert!(!kind.is_node_local(), "{} is node-local; use TierRef::node", kind.label());
+        TierRef { kind, node: None }
+    }
+
+    /// Node-local tier instance.
+    pub fn node(kind: TierKind, node: u32) -> Self {
+        assert!(kind.is_node_local(), "{} is not node-local", kind.label());
+        TierRef { kind, node: Some(node) }
+    }
+
+    /// Locality preference for replica selection from `from_node`: lower is
+    /// better. Same-node RAM-disk < same-node SSD < shared PFS < NFS < other
+    /// node's local < WAN.
+    pub fn preference(self, from_node: u32) -> u32 {
+        match (self.kind, self.node) {
+            (TierKind::Ramdisk, Some(n)) if n == from_node => 0,
+            (TierKind::Ssd, Some(n)) if n == from_node => 1,
+            (TierKind::Lustre, _) => 2,
+            (TierKind::Beegfs, _) => 3,
+            (TierKind::Nfs, _) => 4,
+            (TierKind::Ramdisk, _) | (TierKind::Ssd, _) => 5,
+            (TierKind::Wan, _) => 6,
+        }
+    }
+}
+
+impl std::fmt::Display for TierRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.node {
+            Some(n) => write!(f, "{}@node{}", self.kind.label(), n),
+            None => write!(f, "{}", self.kind.label()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_classify() {
+        assert!(TierKind::Ssd.is_node_local());
+        assert!(TierKind::Ramdisk.is_node_local());
+        assert!(!TierKind::Nfs.is_node_local());
+        assert!(TierKind::Wan.is_remote());
+        assert!(!TierKind::Beegfs.is_remote());
+    }
+
+    #[test]
+    fn defaults_ordering_is_sane() {
+        let nfs = TierSpec::default_for(TierKind::Nfs);
+        let shm = TierSpec::default_for(TierKind::Ramdisk);
+        let ssd = TierSpec::default_for(TierKind::Ssd);
+        let wan = TierSpec::default_for(TierKind::Wan);
+        assert!(shm.read_bw > ssd.read_bw && ssd.read_bw > nfs.read_bw && nfs.read_bw > wan.read_bw);
+        assert!(shm.latency_ns < ssd.latency_ns && ssd.latency_ns < nfs.latency_ns);
+        assert!(wan.latency_ns > nfs.latency_ns);
+    }
+
+    #[test]
+    fn preference_prefers_local() {
+        let shm0 = TierRef::node(TierKind::Ramdisk, 0);
+        let ssd0 = TierRef::node(TierKind::Ssd, 0);
+        let ssd1 = TierRef::node(TierKind::Ssd, 1);
+        let bfs = TierRef::shared(TierKind::Beegfs);
+        let wan = TierRef::shared(TierKind::Wan);
+        assert!(shm0.preference(0) < ssd0.preference(0));
+        assert!(ssd0.preference(0) < bfs.preference(0));
+        assert!(bfs.preference(0) < ssd1.preference(0));
+        assert!(ssd1.preference(0) < wan.preference(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "node-local")]
+    fn shared_ref_to_local_tier_panics() {
+        TierRef::shared(TierKind::Ssd);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TierRef::shared(TierKind::Nfs).to_string(), "nfs");
+        assert_eq!(TierRef::node(TierKind::Ssd, 3).to_string(), "ssd@node3");
+    }
+}

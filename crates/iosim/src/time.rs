@@ -1,0 +1,105 @@
+//! Simulated time: integer nanoseconds for exact, platform-independent
+//! determinism.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time (nanoseconds since simulation start).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+
+    pub fn ns(self) -> u64 {
+        self.0
+    }
+
+    pub fn secs(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    pub fn from_secs(s: f64) -> Self {
+        SimTime((s * 1e9).round() as u64)
+    }
+
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Adds a duration in nanoseconds.
+    pub fn add_ns(self, ns: u64) -> Self {
+        SimTime(self.0 + ns)
+    }
+
+    /// Adds a duration expressed in (possibly fractional) seconds, rounding
+    /// up so progress is never lost to truncation.
+    pub fn add_secs_ceil(self, s: f64) -> Self {
+        SimTime(self.0 + (s * 1e9).ceil() as u64)
+    }
+
+    /// Duration since `earlier` (saturating).
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}s", self.secs())
+    }
+}
+
+/// Duration of a transfer of `bytes` at `rate` bytes/sec, in nanoseconds,
+/// rounded up (never zero for nonzero bytes).
+pub fn transfer_ns(bytes: f64, rate: f64) -> u64 {
+    if bytes <= 0.0 {
+        return 0;
+    }
+    assert!(rate > 0.0, "transfer rate must be positive");
+    ((bytes / rate) * 1e9).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_secs(1.5).ns(), 1_500_000_000);
+        assert_eq!(SimTime::from_millis(2).ns(), 2_000_000);
+        assert_eq!(SimTime::from_micros(3).ns(), 3_000);
+        assert!((SimTime(2_000_000_000).secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime(100).add_ns(50);
+        assert_eq!(t.ns(), 150);
+        assert_eq!(t.since(SimTime(100)), 50);
+        assert_eq!(SimTime(10).since(SimTime(100)), 0, "saturates");
+    }
+
+    #[test]
+    fn ceil_rounding_preserves_progress() {
+        let t = SimTime(0).add_secs_ceil(1e-12);
+        assert!(t.ns() >= 1, "sub-ns durations round up to 1ns");
+    }
+
+    #[test]
+    fn transfer_duration() {
+        assert_eq!(transfer_ns(0.0, 100.0), 0);
+        assert_eq!(transfer_ns(100.0, 100.0), 1_000_000_000);
+        assert!(transfer_ns(1.0, 1e12) >= 1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime(1_500_000_000).to_string(), "1.500s");
+    }
+}

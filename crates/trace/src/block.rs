@@ -1,0 +1,118 @@
+//! Block-size (access resolution) policies (§3, "Scaling").
+//!
+//! A histogram's location count is bounded by choosing the block size — the
+//! access resolution — as a function of expected data volume. For reads the
+//! paper derives block size as a ratio of the file size; for writes (where
+//! the final size is unknown up front) it uses historical information or
+//! user guidance.
+
+use serde::{Deserialize, Serialize};
+
+/// Smallest block size ever used; also the sampling granule, so block sizes
+/// stay aligned to granules as resolution coarsens.
+pub const MIN_BLOCK: u64 = 4096;
+
+/// How the per-file block size is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockPolicy {
+    /// Block size = `file_size / target_blocks`, rounded up to a power of two
+    /// multiple of [`MIN_BLOCK`]. Used for reads, where the size is known at
+    /// open time.
+    ReadRatio {
+        /// Desired number of blocks per file (the location bound).
+        target_blocks: u32,
+    },
+    /// A fixed block size (user guidance), rounded to a power-of-two multiple
+    /// of [`MIN_BLOCK`].
+    Fixed(u64),
+    /// Start from a historical estimate of the final file size; behaves like
+    /// `ReadRatio` against that estimate. Used for writes.
+    Historical {
+        expected_size: u64,
+        target_blocks: u32,
+    },
+}
+
+impl Default for BlockPolicy {
+    fn default() -> Self {
+        BlockPolicy::ReadRatio { target_blocks: 256 }
+    }
+}
+
+/// Rounds `v` up to the next power of two that is `>= MIN_BLOCK`.
+fn pow2_at_least(v: u64) -> u64 {
+    v.max(MIN_BLOCK).next_power_of_two()
+}
+
+impl BlockPolicy {
+    /// Resolves the initial block size for a file.
+    ///
+    /// `size_hint` is the known file size at open (reads) or `None` when the
+    /// file is being created (writes).
+    pub fn block_size(&self, size_hint: Option<u64>) -> u64 {
+        match *self {
+            BlockPolicy::Fixed(b) => pow2_at_least(b),
+            BlockPolicy::ReadRatio { target_blocks } => {
+                let size = size_hint.unwrap_or(MIN_BLOCK * u64::from(target_blocks));
+                pow2_at_least(size / u64::from(target_blocks.max(1)))
+            }
+            BlockPolicy::Historical { expected_size, target_blocks } => {
+                let size = size_hint.unwrap_or(expected_size);
+                pow2_at_least(size / u64::from(target_blocks.max(1)))
+            }
+        }
+    }
+
+    /// The location bound implied by this policy (used to trigger
+    /// coarsening when files grow beyond the estimate).
+    pub fn max_locations(&self) -> u32 {
+        match *self {
+            BlockPolicy::Fixed(_) => u32::MAX,
+            BlockPolicy::ReadRatio { target_blocks }
+            | BlockPolicy::Historical { target_blocks, .. } => target_blocks.max(1) * 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_ratio_scales_with_file_size() {
+        let p = BlockPolicy::ReadRatio { target_blocks: 256 };
+        // 1 GiB file / 256 -> 4 MiB blocks.
+        assert_eq!(p.block_size(Some(1 << 30)), 1 << 22);
+        // Tiny file clamps at MIN_BLOCK.
+        assert_eq!(p.block_size(Some(1000)), MIN_BLOCK);
+    }
+
+    #[test]
+    fn block_size_is_power_of_two_multiple_of_min() {
+        for size in [1u64, 4095, 4096, 100_000, 1 << 27, (1 << 30) + 13] {
+            let b = BlockPolicy::ReadRatio { target_blocks: 100 }.block_size(Some(size));
+            assert!(b.is_power_of_two());
+            assert!(b >= MIN_BLOCK);
+        }
+    }
+
+    #[test]
+    fn fixed_rounds_up() {
+        assert_eq!(BlockPolicy::Fixed(5000).block_size(None), 8192);
+        assert_eq!(BlockPolicy::Fixed(0).block_size(None), MIN_BLOCK);
+    }
+
+    #[test]
+    fn historical_uses_estimate_when_no_hint() {
+        let p = BlockPolicy::Historical { expected_size: 1 << 28, target_blocks: 256 };
+        assert_eq!(p.block_size(None), 1 << 20);
+        // A hint (e.g. reopening an existing file) takes precedence.
+        assert_eq!(p.block_size(Some(1 << 30)), 1 << 22);
+    }
+
+    #[test]
+    fn max_locations_allows_growth_headroom() {
+        let p = BlockPolicy::ReadRatio { target_blocks: 128 };
+        assert_eq!(p.max_locations(), 256);
+    }
+}

@@ -1,0 +1,44 @@
+//! Error type for the measurement layer.
+
+use std::fmt;
+
+/// Errors surfaced by the monitor's emulated I/O layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Operation on a descriptor that is not open in this task.
+    BadFd(u64),
+    /// Read on a handle not opened for reading, or write on a read-only one.
+    BadMode { fd: u64, op: &'static str },
+    /// Task context used after `finish`.
+    TaskFinished(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadFd(fd) => write!(f, "bad file descriptor {fd}"),
+            TraceError::BadMode { fd, op } => {
+                write!(f, "operation {op} not permitted by open mode on fd {fd}")
+            }
+            TraceError::TaskFinished(name) => {
+                write!(f, "task context '{name}' already finished")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(TraceError::BadFd(3).to_string(), "bad file descriptor 3");
+        assert!(TraceError::BadMode { fd: 1, op: "read" }
+            .to_string()
+            .contains("read"));
+        assert!(TraceError::TaskFinished("t".into()).to_string().contains("finished"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Serializable measurement output — the input to DFL graph construction.
+//!
+//! A [`MeasurementSet`] is the Rust analogue of the original artifact's
+//! `tazer_stat` directory: every task's lifetime, every file's metadata, and
+//! one bounded record per task-file pair.
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::{FileRecord, TaskFileRecord, TaskRecord};
+
+/// A complete snapshot of one measured workflow execution.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct MeasurementSet {
+    pub tasks: Vec<TaskRecord>,
+    pub files: Vec<FileRecord>,
+    pub records: Vec<TaskFileRecord>,
+}
+
+impl MeasurementSet {
+    /// Serializes to pretty JSON (the interchange format of the artifact).
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a set from JSON.
+    pub fn from_json(s: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(s)
+    }
+
+    /// Merges another set into this one, offsetting ids so records from
+    /// separate monitors (e.g. distributed collection, one monitor per node)
+    /// do not collide. Files with the same path are unified.
+    pub fn merge(&mut self, other: MeasurementSet) {
+        use std::collections::HashMap;
+
+        let task_offset = self
+            .tasks
+            .iter()
+            .map(|t| t.task.0 + 1)
+            .max()
+            .unwrap_or(0);
+
+        // Unify files by path.
+        let mut path_to_id: HashMap<String, crate::ids::FileId> = self
+            .files
+            .iter()
+            .map(|f| (f.path.clone(), f.file))
+            .collect();
+        let mut next_file = self.files.iter().map(|f| f.file.0 + 1).max().unwrap_or(0);
+        let mut remap: HashMap<crate::ids::FileId, crate::ids::FileId> = HashMap::new();
+        for f in &other.files {
+            let id = *path_to_id.entry(f.path.clone()).or_insert_with(|| {
+                let id = crate::ids::FileId(next_file);
+                next_file += 1;
+                self.files.push(FileRecord {
+                    file: id,
+                    path: f.path.clone(),
+                    size: f.size,
+                    block_size: f.block_size,
+                });
+                id
+            });
+            if let Some(existing) = self.files.iter_mut().find(|e| e.file == id) {
+                existing.size = existing.size.max(f.size);
+                existing.block_size = existing.block_size.max(f.block_size);
+            }
+            remap.insert(f.file, id);
+        }
+
+        for mut t in other.tasks {
+            t.task.0 += task_offset;
+            self.tasks.push(t);
+        }
+        for mut r in other.records {
+            r.task.0 += task_offset;
+            r.file = remap[&r.file];
+            self.records.push(r);
+        }
+    }
+
+    /// Total non-unique bytes moved (read + write) across all records.
+    pub fn total_volume(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| r.bytes_read + r.bytes_written)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::{IoTiming, Monitor, MonitorConfig};
+    use crate::OpenMode;
+
+    fn tiny_set(task: &str, path: &str) -> MeasurementSet {
+        let m = Monitor::new(MonitorConfig::default());
+        let t = m.begin_task(task, 0);
+        let fd = t.open(path, OpenMode::Write, None, 0);
+        t.write(fd, 1000, IoTiming::new(0, 10)).unwrap();
+        t.close(fd, 100).unwrap();
+        t.finish(100);
+        m.snapshot()
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let set = tiny_set("a-1", "x.dat");
+        let json = set.to_json().unwrap();
+        let back = MeasurementSet::from_json(&json).unwrap();
+        assert_eq!(back.records.len(), 1);
+        assert_eq!(back.records[0].bytes_written, 1000);
+        assert_eq!(back.tasks[0].name, "a-1");
+    }
+
+    #[test]
+    fn merge_unifies_files_by_path() {
+        let mut a = tiny_set("a-1", "shared.dat");
+        let b = tiny_set("b-1", "shared.dat");
+        a.merge(b);
+        assert_eq!(a.files.len(), 1, "same path unified");
+        assert_eq!(a.tasks.len(), 2);
+        assert_eq!(a.records.len(), 2);
+        assert_eq!(a.records[0].file, a.records[1].file);
+        // Task ids must not collide.
+        assert_ne!(a.records[0].task, a.records[1].task);
+    }
+
+    #[test]
+    fn merge_keeps_distinct_paths_distinct() {
+        let mut a = tiny_set("a-1", "one.dat");
+        let b = tiny_set("b-1", "two.dat");
+        a.merge(b);
+        assert_eq!(a.files.len(), 2);
+        assert_eq!(a.total_volume(), 2000);
+    }
+}

@@ -1,0 +1,223 @@
+//! Shadowed I/O handles (§3, "Characterizing data flow").
+//!
+//! POSIX `read`/`write` take an opaque handle whose hidden state (the file
+//! offset) determines which data is accessed. To know *what* data flows, the
+//! monitor shadows each handle: it mirrors the offset state machine by
+//! emulating the effects of every relevant operation (`open`, `read`,
+//! `write`, `seek`, `close`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::FileId;
+
+/// How a handle was opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpenMode {
+    /// Read-only; accesses form *consumer* flow (data → task).
+    Read,
+    /// Write-only (truncating); accesses form *producer* flow (task → data).
+    Write,
+    /// Write-only, positioned at end of file.
+    Append,
+    /// Read-write.
+    ReadWrite,
+}
+
+impl OpenMode {
+    pub fn can_read(self) -> bool {
+        matches!(self, OpenMode::Read | OpenMode::ReadWrite)
+    }
+
+    pub fn can_write(self) -> bool {
+        !matches!(self, OpenMode::Read)
+    }
+}
+
+/// Seek origin, mirroring `lseek(2)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeekFrom {
+    Start(u64),
+    Current(i64),
+    End(i64),
+}
+
+/// A file-descriptor-like token handed back by `open`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd(pub u64);
+
+/// Shadow state for one open handle.
+#[derive(Debug, Clone)]
+pub struct ShadowHandle {
+    pub file: FileId,
+    pub mode: OpenMode,
+    /// Current stream offset, maintained by emulating each operation.
+    pub offset: u64,
+    /// Logical size of the file as known to this handle (grows on writes
+    /// past the end; used to resolve `SeekFrom::End`).
+    pub size: u64,
+    /// Open timestamp (ns).
+    pub opened_ns: u64,
+    /// End of the previous access (`offset + len`), for consecutive access
+    /// distance; `None` before the first access on this handle.
+    pub prev_access: Option<(u64, u64)>,
+    /// Accumulated blocking time (ns) spent inside read/write calls while
+    /// this handle was open; numerator of the blocking fraction.
+    pub read_blocked_ns: u64,
+    pub write_blocked_ns: u64,
+}
+
+impl ShadowHandle {
+    pub fn new(file: FileId, mode: OpenMode, size: u64, now_ns: u64) -> Self {
+        let offset = match mode {
+            OpenMode::Append => size,
+            OpenMode::Write => 0,
+            _ => 0,
+        };
+        let size = if mode == OpenMode::Write { 0 } else { size };
+        Self {
+            file,
+            mode,
+            offset,
+            size,
+            opened_ns: now_ns,
+            prev_access: None,
+            read_blocked_ns: 0,
+            write_blocked_ns: 0,
+        }
+    }
+
+    /// Applies a seek; returns the new offset.
+    ///
+    /// Seeking before offset zero clamps to zero (POSIX would return EINVAL;
+    /// clamping keeps the shadow robust to emulation drift).
+    pub fn seek(&mut self, pos: SeekFrom) -> u64 {
+        let base: i128 = match pos {
+            SeekFrom::Start(o) => o as i128,
+            SeekFrom::Current(d) => self.offset as i128 + d as i128,
+            SeekFrom::End(d) => self.size as i128 + d as i128,
+        };
+        self.offset = base.max(0) as u64;
+        self.offset
+    }
+
+    /// Consecutive access distance from the previous access on this handle
+    /// to an access at `offset`: `|offset - prev_start|`. Zero indicates the
+    /// same location re-accessed (temporal locality); values below the block
+    /// size indicate spatial locality (§4.2).
+    pub fn access_distance(&self, offset: u64) -> Option<u64> {
+        self.prev_access.map(|(start, _)| offset.abs_diff(start))
+    }
+
+    /// Emulates a sequential read of `len` bytes at the current offset;
+    /// returns the byte range actually covered (clamped at EOF).
+    pub fn advance_read(&mut self, len: u64) -> (u64, u64) {
+        let start = self.offset;
+        let avail = self.size.saturating_sub(start);
+        let n = len.min(avail);
+        self.offset = start + n;
+        self.prev_access = Some((start, n));
+        (start, n)
+    }
+
+    /// Emulates a positioned read (`pread`); does not move the offset, per
+    /// POSIX. Returns the covered range.
+    pub fn read_at(&mut self, offset: u64, len: u64) -> (u64, u64) {
+        let avail = self.size.saturating_sub(offset);
+        let n = len.min(avail);
+        self.prev_access = Some((offset, n));
+        (offset, n)
+    }
+
+    /// Emulates a sequential write; grows the shadow size. Returns the range.
+    pub fn advance_write(&mut self, len: u64) -> (u64, u64) {
+        let start = if self.mode == OpenMode::Append { self.size } else { self.offset };
+        self.offset = start + len;
+        self.size = self.size.max(self.offset);
+        self.prev_access = Some((start, len));
+        (start, len)
+    }
+
+    /// Emulates a positioned write (`pwrite`); offset unmoved, size grows.
+    pub fn write_at(&mut self, offset: u64, len: u64) -> (u64, u64) {
+        self.size = self.size.max(offset + len);
+        self.prev_access = Some((offset, len));
+        (offset, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(mode: OpenMode, size: u64) -> ShadowHandle {
+        ShadowHandle::new(FileId(0), mode, size, 0)
+    }
+
+    #[test]
+    fn sequential_reads_advance_offset() {
+        let mut s = h(OpenMode::Read, 100);
+        assert_eq!(s.advance_read(40), (0, 40));
+        assert_eq!(s.advance_read(40), (40, 40));
+        // Clamped at EOF.
+        assert_eq!(s.advance_read(40), (80, 20));
+        assert_eq!(s.offset, 100);
+    }
+
+    #[test]
+    fn pread_does_not_move_offset() {
+        let mut s = h(OpenMode::Read, 100);
+        s.advance_read(10);
+        assert_eq!(s.read_at(50, 10), (50, 10));
+        assert_eq!(s.offset, 10);
+    }
+
+    #[test]
+    fn writes_grow_size() {
+        let mut s = h(OpenMode::Write, 0);
+        s.advance_write(100);
+        assert_eq!(s.size, 100);
+        s.write_at(200, 50);
+        assert_eq!(s.size, 250);
+        assert_eq!(s.offset, 100, "pwrite must not move the offset");
+    }
+
+    #[test]
+    fn append_mode_writes_at_end() {
+        let mut s = h(OpenMode::Append, 100);
+        assert_eq!(s.advance_write(10), (100, 10));
+        assert_eq!(s.advance_write(10), (110, 10));
+    }
+
+    #[test]
+    fn truncating_open_resets_size() {
+        let s = h(OpenMode::Write, 500);
+        assert_eq!(s.size, 0);
+    }
+
+    #[test]
+    fn seek_all_origins() {
+        let mut s = h(OpenMode::Read, 100);
+        assert_eq!(s.seek(SeekFrom::Start(30)), 30);
+        assert_eq!(s.seek(SeekFrom::Current(-10)), 20);
+        assert_eq!(s.seek(SeekFrom::End(-25)), 75);
+        assert_eq!(s.seek(SeekFrom::Current(-1000)), 0, "clamped at zero");
+    }
+
+    #[test]
+    fn access_distance_tracks_previous_start() {
+        let mut s = h(OpenMode::Read, 1000);
+        assert_eq!(s.access_distance(0), None);
+        s.advance_read(100);
+        assert_eq!(s.access_distance(100), Some(100));
+        s.read_at(500, 10);
+        assert_eq!(s.access_distance(500), Some(0), "same start twice = temporal locality");
+    }
+
+    #[test]
+    fn mode_capabilities() {
+        assert!(OpenMode::Read.can_read() && !OpenMode::Read.can_write());
+        assert!(!OpenMode::Write.can_read() && OpenMode::Write.can_write());
+        assert!(OpenMode::ReadWrite.can_read() && OpenMode::ReadWrite.can_write());
+        assert!(OpenMode::Append.can_write());
+    }
+}

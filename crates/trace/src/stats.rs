@@ -1,0 +1,320 @@
+//! Per task-file flow records — the unit of DFL measurement.
+//!
+//! Each record corresponds to one or two DFL-G edges: reads by the task form
+//! a *consumer* relation (data → task), writes form a *producer* relation
+//! (task → data). The record carries the aggregate statistics and the block
+//! histogram from which all lifecycle properties (§4.2) are derived.
+
+use serde::{Deserialize, Serialize};
+
+use crate::histogram::{BlockHistogram, BlockStats};
+use crate::ids::{FileId, TaskId};
+
+/// Direction of a flow relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlowKind {
+    /// Task wrote the file: DFL-G edge task → data.
+    Producer,
+    /// Task read the file: DFL-G edge data → task.
+    Consumer,
+}
+
+/// Consecutive-access-distance summary (spatial/temporal locality, §4.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DistanceSummary {
+    /// Accesses at distance exactly 0 (temporal locality).
+    pub zero: u64,
+    /// Accesses at 0 < distance < block size (spatial locality).
+    pub near: u64,
+    /// Accesses at distance ≥ block size.
+    pub far: u64,
+    /// Sum of absolute distances, for the mean.
+    pub sum_abs: u64,
+    /// Number of distance observations (accesses after the first).
+    pub count: u64,
+}
+
+impl DistanceSummary {
+    pub fn observe(&mut self, distance: u64, block_size: u64) {
+        if distance == 0 {
+            self.zero += 1;
+        } else if distance < block_size {
+            self.near += 1;
+        } else {
+            self.far += 1;
+        }
+        self.sum_abs += distance;
+        self.count += 1;
+    }
+
+    /// Mean absolute consecutive access distance in bytes.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_abs as f64 / self.count as f64
+        }
+    }
+
+    /// Fraction of accesses exhibiting locality (distance < block size).
+    pub fn locality_fraction(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.zero + self.near) as f64 / self.count as f64
+        }
+    }
+
+    pub fn merge(&mut self, other: &DistanceSummary) {
+        self.zero += other.zero;
+        self.near += other.near;
+        self.far += other.far;
+        self.sum_abs += other.sum_abs;
+        self.count += other.count;
+    }
+}
+
+/// The full measurement record for one task-file pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskFileRecord {
+    pub task: TaskId,
+    pub task_name: String,
+    pub file: FileId,
+    pub file_path: String,
+
+    /// Times the task opened the file.
+    pub opens: u64,
+    /// Read / write operation counts.
+    pub read_ops: u64,
+    pub write_ops: u64,
+    /// Total (non-unique) volumes.
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    /// Total time blocked inside read / write calls (ns).
+    pub read_ns: u64,
+    pub write_ns: u64,
+    /// Sum over handles of (close − open) — total open-stream time (ns).
+    pub open_span_ns: u64,
+    /// First open / last close timestamps (ns).
+    pub first_open_ns: u64,
+    pub last_close_ns: u64,
+    /// Largest file size observed through this pair's handles.
+    pub file_size: u64,
+
+    /// Consecutive-access distances for reads and writes.
+    pub read_distance: DistanceSummary,
+    pub write_distance: DistanceSummary,
+
+    /// The (sampled, bounded) block histogram.
+    pub histogram: BlockHistogram,
+}
+
+impl TaskFileRecord {
+    /// Which flow relations this record contributes (a read-write task-file
+    /// pair contributes both a producer and a consumer edge).
+    pub fn flow_kinds(&self) -> Vec<FlowKind> {
+        let mut kinds = Vec::with_capacity(2);
+        if self.bytes_written > 0 || (self.write_ops > 0 && self.bytes_read == 0) {
+            kinds.push(FlowKind::Producer);
+        }
+        if self.bytes_read > 0 || (self.read_ops > 0 && self.bytes_written == 0) {
+            kinds.push(FlowKind::Consumer);
+        }
+        if kinds.is_empty() {
+            // Opened but never accessed: classify by nothing; callers treat
+            // the record as metadata-only.
+        }
+        kinds
+    }
+
+    /// Estimated unique bytes read (consumer footprint), sampling-scaled and
+    /// capped at the observed file size.
+    pub fn read_footprint(&self) -> f64 {
+        let est = self.histogram.footprint_read_est();
+        if self.file_size > 0 {
+            est.min(self.file_size as f64)
+        } else {
+            est
+        }
+    }
+
+    /// Estimated unique bytes written (producer footprint).
+    pub fn write_footprint(&self) -> f64 {
+        let est = self.histogram.footprint_written_est();
+        if self.file_size > 0 {
+            est.min(self.file_size as f64)
+        } else {
+            est
+        }
+    }
+
+    /// Volume / footprint for reads — >1 means intra-task data reuse.
+    pub fn read_reuse_factor(&self) -> f64 {
+        let fp = self.read_footprint();
+        if fp <= 0.0 {
+            0.0
+        } else {
+            self.bytes_read as f64 / fp
+        }
+    }
+
+    /// Fraction of the file actually read — <1 means a data-subset pattern.
+    pub fn read_subset_fraction(&self) -> f64 {
+        if self.file_size == 0 {
+            return 0.0;
+        }
+        (self.read_footprint() / self.file_size as f64).min(1.0)
+    }
+
+    /// Fraction of open-stream time spent blocked in reads (§4.2 ratios).
+    pub fn read_blocking_fraction(&self) -> f64 {
+        if self.open_span_ns == 0 {
+            0.0
+        } else {
+            (self.read_ns as f64 / self.open_span_ns as f64).min(1.0)
+        }
+    }
+
+    /// Fraction of open-stream time spent blocked in writes.
+    pub fn write_blocking_fraction(&self) -> f64 {
+        if self.open_span_ns == 0 {
+            0.0
+        } else {
+            (self.write_ns as f64 / self.open_span_ns as f64).min(1.0)
+        }
+    }
+
+    /// File lifetime as seen by this pair: first open to last close (ns).
+    pub fn lifetime_ns(&self) -> u64 {
+        self.last_close_ns.saturating_sub(self.first_open_ns)
+    }
+
+    /// Sampled per-block statistics, sorted by block index.
+    pub fn blocks(&self) -> Vec<(u64, BlockStats)> {
+        self.histogram.iter_sorted()
+    }
+}
+
+/// Per-task-instance execution record (task lifetime, §4.2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskRecord {
+    pub task: TaskId,
+    /// Instance name, e.g. `indiv-chr1-3`.
+    pub name: String,
+    /// Logical (template) name, e.g. `indiv`; used for DFL-T aggregation.
+    pub logical: String,
+    pub start_ns: u64,
+    pub end_ns: u64,
+}
+
+impl TaskRecord {
+    pub fn lifetime_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Per-file metadata record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FileRecord {
+    pub file: FileId,
+    pub path: String,
+    /// Largest size observed across all tasks.
+    pub size: u64,
+    /// Final (coarsest) block size used by all histograms of this file.
+    pub block_size: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::AccessKind;
+    use crate::sampling::SpatialSampler;
+
+    fn record_with(reads: u64, writes: u64) -> TaskFileRecord {
+        let mut hist = BlockHistogram::new(4096, 1024, SpatialSampler::keep_all(0));
+        if reads > 0 {
+            hist.record(AccessKind::Read, 0, reads, 0, false);
+        }
+        if writes > 0 {
+            hist.record(AccessKind::Write, 0, writes, 0, false);
+        }
+        TaskFileRecord {
+            task: TaskId(0),
+            task_name: "t".into(),
+            file: FileId(0),
+            file_path: "f".into(),
+            opens: 1,
+            read_ops: u64::from(reads > 0),
+            write_ops: u64::from(writes > 0),
+            bytes_read: reads,
+            bytes_written: writes,
+            read_ns: 10,
+            write_ns: 20,
+            open_span_ns: 100,
+            first_open_ns: 0,
+            last_close_ns: 100,
+            file_size: 1 << 20,
+            read_distance: DistanceSummary::default(),
+            write_distance: DistanceSummary::default(),
+            histogram: hist,
+        }
+    }
+
+    #[test]
+    fn flow_kinds_classify_direction() {
+        assert_eq!(record_with(100, 0).flow_kinds(), vec![FlowKind::Consumer]);
+        assert_eq!(record_with(0, 100).flow_kinds(), vec![FlowKind::Producer]);
+        assert_eq!(
+            record_with(100, 100).flow_kinds(),
+            vec![FlowKind::Producer, FlowKind::Consumer]
+        );
+    }
+
+    #[test]
+    fn blocking_fractions() {
+        let r = record_with(100, 100);
+        assert!((r.read_blocking_fraction() - 0.1).abs() < 1e-9);
+        assert!((r.write_blocking_fraction() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_summary_classifies() {
+        let mut d = DistanceSummary::default();
+        d.observe(0, 4096);
+        d.observe(100, 4096);
+        d.observe(10_000, 4096);
+        assert_eq!((d.zero, d.near, d.far), (1, 1, 1));
+        assert!((d.locality_fraction() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((d.mean() - 10_100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reuse_factor_reflects_repeat_reads() {
+        let mut r = record_with(4096, 0);
+        // Re-read the same block 4 more times.
+        for i in 1..5 {
+            r.histogram.record(AccessKind::Read, 0, 4096, i, true);
+            r.bytes_read += 4096;
+        }
+        assert!((r.read_reuse_factor() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subset_fraction_small_read_of_large_file() {
+        let r = record_with(4096, 0);
+        // 4 KiB of a 1 MiB file.
+        assert!((r.read_subset_fraction() - 4096.0 / 1048576.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn task_record_lifetime() {
+        let t = TaskRecord {
+            task: TaskId(1),
+            name: "x-1".into(),
+            logical: "x".into(),
+            start_ns: 50,
+            end_ns: 250,
+        };
+        assert_eq!(t.lifetime_ns(), 200);
+    }
+}

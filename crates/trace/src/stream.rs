@@ -1,0 +1,330 @@
+//! Buffered C-style stream I/O (`fopen`/`fread`/`fwrite`/`fseek`/`ftell`).
+//!
+//! The paper's collector interposes on "POSIX **and C** I/O, which includes
+//! all variants of open, close, read, write, fseek etc." C streams add a
+//! user-space buffer on top of the descriptor: small `fread`s coalesce into
+//! one buffered read, small `fwrite`s into one flush. The monitor must see
+//! the *descriptor-level* operations (that is what moves data), so the
+//! stream layer emulates libc buffering faithfully and reports only the
+//! underlying reads/writes to the [`TaskContext`].
+
+use crate::error::TraceError;
+use crate::handle::{Fd, OpenMode, SeekFrom};
+use crate::monitor::{IoTiming, TaskContext};
+
+/// Default stream buffer size, matching glibc's BUFSIZ ballpark.
+pub const DEFAULT_BUFFER: u64 = 64 * 1024;
+
+/// Buffering state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BufState {
+    /// Buffer empty/invalid.
+    Clean,
+    /// Buffer holds `len` readable bytes fetched from `base`; `pos` consumed.
+    Read { base: u64, len: u64, pos: u64 },
+    /// Buffer holds `len` unwritten bytes destined for `base`.
+    Write { base: u64, len: u64 },
+}
+
+/// A buffered stream over a monitored descriptor — the `FILE*` analogue.
+#[derive(Debug)]
+pub struct CStream<'t> {
+    ctx: &'t TaskContext,
+    fd: Fd,
+    mode: OpenMode,
+    /// Logical (user-visible) stream position.
+    pos: u64,
+    buffer_size: u64,
+    state: BufState,
+    closed: bool,
+}
+
+impl<'t> CStream<'t> {
+    /// `fopen`: opens `path` through the monitor with a default buffer.
+    pub fn open(
+        ctx: &'t TaskContext,
+        path: &str,
+        mode: OpenMode,
+        size_hint: Option<u64>,
+        now_ns: u64,
+    ) -> Self {
+        Self::with_buffer(ctx, path, mode, size_hint, now_ns, DEFAULT_BUFFER)
+    }
+
+    /// `setvbuf`: opens with an explicit buffer size (0 = unbuffered).
+    pub fn with_buffer(
+        ctx: &'t TaskContext,
+        path: &str,
+        mode: OpenMode,
+        size_hint: Option<u64>,
+        now_ns: u64,
+        buffer_size: u64,
+    ) -> Self {
+        let fd = ctx.open(path, mode, size_hint, now_ns);
+        CStream { ctx, fd, mode, pos: 0, buffer_size, state: BufState::Clean, closed: false }
+    }
+
+    /// `ftell`: the logical stream position.
+    pub fn tell(&self) -> u64 {
+        self.pos
+    }
+
+    /// The underlying descriptor (for tests / interop).
+    pub fn fd(&self) -> Fd {
+        self.fd
+    }
+
+    /// `fread`: reads up to `len` bytes at the stream position, via the
+    /// buffer. Returns bytes read (0 at EOF).
+    pub fn read(&mut self, len: u64, t: IoTiming) -> Result<u64, TraceError> {
+        if !self.mode.can_read() {
+            return Err(TraceError::BadMode { fd: self.fd.0, op: "fread" });
+        }
+        self.flush_write(t)?;
+
+        let mut remaining = len;
+        let mut total = 0u64;
+        while remaining > 0 {
+            // Serve from the buffer when the position falls inside it.
+            if let BufState::Read { base, len: blen, pos } = self.state {
+                if self.pos >= base && self.pos < base + blen {
+                    let avail = base + blen - self.pos;
+                    let n = avail.min(remaining);
+                    self.pos += n;
+                    total += n;
+                    remaining -= n;
+                    self.state = BufState::Read { base, len: blen, pos: pos + n };
+                    continue;
+                }
+            }
+            // (Re)fill: one descriptor-level read of a full buffer (or a
+            // direct read when unbuffered / larger than the buffer).
+            if self.buffer_size == 0 || remaining >= self.buffer_size {
+                let n = self.ctx.read_at(self.fd, self.pos, remaining, t)?;
+                self.pos += n;
+                total += n;
+                return Ok(total);
+            }
+            let n = self.ctx.read_at(self.fd, self.pos, self.buffer_size, t)?;
+            if n == 0 {
+                break; // EOF
+            }
+            self.state = BufState::Read { base: self.pos, len: n, pos: 0 };
+        }
+        Ok(total)
+    }
+
+    /// `fwrite`: appends `len` bytes at the stream position through the
+    /// buffer; descriptor writes happen on flush or when the buffer fills.
+    pub fn write(&mut self, len: u64, t: IoTiming) -> Result<u64, TraceError> {
+        if !self.mode.can_write() {
+            return Err(TraceError::BadMode { fd: self.fd.0, op: "fwrite" });
+        }
+        // Invalidate any read buffer (mode switch).
+        if matches!(self.state, BufState::Read { .. }) {
+            self.state = BufState::Clean;
+        }
+        if self.buffer_size == 0 || len >= self.buffer_size {
+            self.flush_write(t)?;
+            let n = self.ctx.write_at(self.fd, self.pos, len, t)?;
+            self.pos += n;
+            return Ok(n);
+        }
+
+        let mut remaining = len;
+        while remaining > 0 {
+            let (base, blen) = match self.state {
+                BufState::Write { base, len } if base + len == self.pos => (base, len),
+                _ => {
+                    self.flush_write(t)?;
+                    (self.pos, 0)
+                }
+            };
+            let room = self.buffer_size - blen;
+            let n = room.min(remaining);
+            self.state = BufState::Write { base, len: blen + n };
+            self.pos += n;
+            remaining -= n;
+            if blen + n == self.buffer_size {
+                self.flush_write(t)?;
+            }
+        }
+        Ok(len)
+    }
+
+    /// `fflush`: forces buffered writes down to the descriptor.
+    pub fn flush(&mut self, t: IoTiming) -> Result<(), TraceError> {
+        self.flush_write(t)
+    }
+
+    fn flush_write(&mut self, t: IoTiming) -> Result<(), TraceError> {
+        if let BufState::Write { base, len } = self.state {
+            if len > 0 {
+                self.ctx.write_at(self.fd, base, len, t)?;
+            }
+            self.state = BufState::Clean;
+        }
+        Ok(())
+    }
+
+    /// `fseek`: flushes writes, discards the read buffer, and repositions.
+    pub fn seek(&mut self, pos: SeekFrom, t: IoTiming) -> Result<u64, TraceError> {
+        self.flush_write(t)?;
+        self.state = BufState::Clean;
+        // Resolve against the shadow handle for End/Current semantics.
+        let resolved = self.ctx.seek(self.fd, pos)?;
+        // `Current` is relative to the *logical* position, which can differ
+        // from the descriptor offset under buffering; recompute explicitly.
+        self.pos = match pos {
+            SeekFrom::Start(o) => o,
+            SeekFrom::Current(d) => (self.pos as i128 + d as i128).max(0) as u64,
+            SeekFrom::End(_) => resolved,
+        };
+        Ok(self.pos)
+    }
+
+    /// `fclose`: flush and close.
+    pub fn close(mut self, now_ns: u64) -> Result<(), TraceError> {
+        self.flush_write(IoTiming::new(now_ns, 0))?;
+        self.closed = true;
+        self.ctx.close(self.fd, now_ns)
+    }
+}
+
+impl Drop for CStream<'_> {
+    fn drop(&mut self) {
+        if !self.closed {
+            // Leaked stream: best-effort flush+close, matching stdio's
+            // exit-time behavior. Errors cannot surface from drop.
+            let _ = self.flush_write(IoTiming::default());
+            let _ = self.ctx.close(self.fd, 0);
+            self.closed = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::{Monitor, MonitorConfig};
+
+    fn monitor() -> Monitor {
+        Monitor::new(MonitorConfig::default())
+    }
+
+    #[test]
+    fn small_writes_coalesce_into_buffered_flushes() {
+        let m = monitor();
+        let ctx = m.begin_task("writer-0", 0);
+        {
+            let mut s = CStream::with_buffer(&ctx, "out", OpenMode::Write, None, 0, 1024);
+            for i in 0..100 {
+                s.write(100, IoTiming::new(i, 1)).unwrap();
+            }
+            s.close(1000).unwrap();
+        }
+        ctx.finish(1000);
+        let rec = &m.snapshot().records[0];
+        assert_eq!(rec.bytes_written, 10_000);
+        // 10,000 bytes through a 1 KiB buffer: ~10 descriptor writes, not 100.
+        assert!(rec.write_ops <= 11, "coalesced to {} ops", rec.write_ops);
+    }
+
+    #[test]
+    fn small_reads_served_from_one_fill() {
+        let m = monitor();
+        let ctx = m.begin_task("reader-0", 0);
+        {
+            let mut s =
+                CStream::with_buffer(&ctx, "in", OpenMode::Read, Some(64 * 1024), 0, 16 * 1024);
+            let mut total = 0;
+            loop {
+                let n = s.read(512, IoTiming::new(total, 1)).unwrap();
+                if n == 0 {
+                    break;
+                }
+                total += n;
+            }
+            assert_eq!(total, 64 * 1024);
+            s.close(100).unwrap();
+        }
+        ctx.finish(100);
+        let rec = &m.snapshot().records[0];
+        assert_eq!(rec.bytes_read, 64 * 1024);
+        assert_eq!(rec.read_ops, 5, "four 16 KiB buffer fills + one EOF probe, not 128 freads");
+    }
+
+    #[test]
+    fn large_requests_bypass_the_buffer() {
+        let m = monitor();
+        let ctx = m.begin_task("t-0", 0);
+        {
+            let mut s = CStream::with_buffer(&ctx, "in", OpenMode::Read, Some(1 << 20), 0, 4096);
+            let n = s.read(1 << 20, IoTiming::default()).unwrap();
+            assert_eq!(n, 1 << 20);
+            s.close(10).unwrap();
+        }
+        ctx.finish(10);
+        let rec = &m.snapshot().records[0];
+        assert_eq!(rec.read_ops, 1, "one direct read");
+    }
+
+    #[test]
+    fn tell_and_seek_are_logical_positions() {
+        let m = monitor();
+        let ctx = m.begin_task("t-0", 0);
+        let mut s = CStream::open(&ctx, "in", OpenMode::ReadWrite, Some(10_000), 0);
+        s.read(100, IoTiming::default()).unwrap();
+        assert_eq!(s.tell(), 100);
+        s.seek(SeekFrom::Current(-50), IoTiming::default()).unwrap();
+        assert_eq!(s.tell(), 50);
+        s.seek(SeekFrom::End(-100), IoTiming::default()).unwrap();
+        assert_eq!(s.tell(), 9_900);
+        s.seek(SeekFrom::Start(0), IoTiming::default()).unwrap();
+        assert_eq!(s.tell(), 0);
+        s.close(10).unwrap();
+        ctx.finish(10);
+    }
+
+    #[test]
+    fn interleaved_write_read_flushes_first() {
+        let m = monitor();
+        let ctx = m.begin_task("t-0", 0);
+        {
+            let mut s = CStream::with_buffer(&ctx, "f", OpenMode::ReadWrite, Some(0), 0, 1024);
+            s.write(500, IoTiming::default()).unwrap(); // buffered
+            s.seek(SeekFrom::Start(0), IoTiming::default()).unwrap(); // forces flush
+            let n = s.read(500, IoTiming::default()).unwrap();
+            assert_eq!(n, 500, "written data visible after flush");
+            s.close(10).unwrap();
+        }
+        ctx.finish(10);
+        let rec = &m.snapshot().records[0];
+        assert_eq!(rec.bytes_written, 500);
+        assert_eq!(rec.bytes_read, 500);
+    }
+
+    #[test]
+    fn wrong_mode_rejected() {
+        let m = monitor();
+        let ctx = m.begin_task("t-0", 0);
+        let mut s = CStream::open(&ctx, "f", OpenMode::Read, Some(100), 0);
+        assert!(matches!(s.write(10, IoTiming::default()), Err(TraceError::BadMode { .. })));
+        let mut w = CStream::open(&ctx, "g", OpenMode::Write, None, 0);
+        assert!(matches!(w.read(10, IoTiming::default()), Err(TraceError::BadMode { .. })));
+    }
+
+    #[test]
+    fn drop_flushes_and_closes() {
+        let m = monitor();
+        let ctx = m.begin_task("t-0", 0);
+        {
+            let mut s = CStream::with_buffer(&ctx, "f", OpenMode::Write, None, 0, 4096);
+            s.write(100, IoTiming::default()).unwrap();
+            // dropped without close
+        }
+        ctx.finish(10);
+        let rec = &m.snapshot().records[0];
+        assert_eq!(rec.bytes_written, 100, "drop flushed the buffer");
+    }
+}

@@ -1,0 +1,352 @@
+//! DeepDriveMD (§6.1, §6.3; Figs. 2b, 2f, 4b, 7): deep-learning-driven
+//! molecular dynamics for protein folding.
+//!
+//! The **Original** pipeline is the paper's 4-stage loop: `sim` ×N →
+//! `aggregate` → `train` → `lof` (inference), iterated. `train` re-reads the
+//! aggregated HDF5 file (intra-task reuse) and `lof` reads the same data
+//! (inter-task reuse); only about half the aggregated data is used by either
+//! (data non-use).
+//!
+//! The **Shortened** pipeline applies the paper's remediations: aggregation
+//! is coalesced into the consumers (train/lof read simulation outputs
+//! directly), and training is moved off the critical path into an
+//! asynchronous outer loop — the inner loop is `sim → lof`, with `lof` using
+//! the most recent *available* model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::{FileProduce, FileUse, TaskSpec, WorkflowSpec};
+
+const MB: u64 = 1 << 20;
+
+/// Generator parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DdmdConfig {
+    /// Simulation tasks per iteration. Paper: 12.
+    pub n_sims: u32,
+    /// Pipeline iterations. Paper: 5.
+    pub iterations: u32,
+    /// Output of each simulation task (HDF5 contact maps).
+    pub h5_bytes: u64,
+    /// Aggregated file size.
+    pub combined_bytes: u64,
+    /// Model checkpoint size.
+    pub model_bytes: u64,
+    /// Outlier list size.
+    pub outlier_bytes: u64,
+    /// Fraction of the aggregated data each consumer actually uses
+    /// (the paper observes ~0.5 — data non-use).
+    pub used_fraction: f64,
+    /// Passes train makes over its region (intra-task reuse; paper's 2.4 GB
+    /// volume over a ~0.6 GB footprint ⇒ 4).
+    pub train_passes: u32,
+    pub sim_compute_ms: u64,
+    pub agg_compute_ms: u64,
+    pub train_compute_ms: u64,
+    pub lof_compute_ms: u64,
+}
+
+impl Default for DdmdConfig {
+    fn default() -> Self {
+        DdmdConfig {
+            n_sims: 12,
+            iterations: 5,
+            h5_bytes: 100 * MB,
+            combined_bytes: 1200 * MB,
+            model_bytes: 50 * MB,
+            outlier_bytes: 10 * MB,
+            used_fraction: 0.5,
+            train_passes: 4,
+            sim_compute_ms: 14_000,
+            agg_compute_ms: 2_000,
+            train_compute_ms: 25_000,
+            lof_compute_ms: 10_000,
+        }
+    }
+}
+
+impl DdmdConfig {
+    /// Miniature instance for tests.
+    pub fn tiny() -> Self {
+        DdmdConfig {
+            n_sims: 3,
+            iterations: 2,
+            h5_bytes: 4 * MB,
+            combined_bytes: 12 * MB,
+            model_bytes: MB,
+            outlier_bytes: MB,
+            used_fraction: 0.5,
+            train_passes: 4,
+            sim_compute_ms: 20,
+            agg_compute_ms: 10,
+            train_compute_ms: 50,
+            lof_compute_ms: 20,
+        }
+    }
+}
+
+/// Which pipeline variant to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pipeline {
+    /// The paper's synchronous 4-stage pipeline.
+    Original,
+    /// Coalesced aggregation + asynchronous training (3 stages, 2-stage
+    /// inner loop).
+    Shortened,
+}
+
+/// Generates the workflow for `iterations` of the chosen pipeline.
+pub fn generate(cfg: &DdmdConfig, pipeline: Pipeline) -> WorkflowSpec {
+    let mut w = WorkflowSpec::new(match pipeline {
+        Pipeline::Original => "ddmd-original",
+        Pipeline::Shortened => "ddmd-shortened",
+    });
+    w.input("initial.pdb", 10 * MB);
+
+    let used = (cfg.combined_bytes as f64 * cfg.used_fraction) as u64;
+    let mut prev_outliers: Option<String> = None;
+    let mut prev_model: Option<String> = None;
+
+    for it in 0..cfg.iterations {
+        // --- Stage 1: simulations ---
+        let mut sim_ids = Vec::new();
+        for k in 0..cfg.n_sims {
+            let mut t = TaskSpec::new(&format!("sim-it{it}-{k}"), "sim", 1)
+                .write(FileProduce::new(&format!("h5-it{it}-{k}.h5"), cfg.h5_bytes))
+                .compute_ms(cfg.sim_compute_ms)
+                .group(k % 2);
+            t = match (&prev_outliers, it) {
+                (Some(o), _) => t.read(FileUse::whole(o).ops(2)),
+                (None, _) => t.read(FileUse::whole("initial.pdb").ops(2)),
+            };
+            sim_ids.push(w.task(t));
+        }
+
+        match pipeline {
+            Pipeline::Original => {
+                // --- Stage 2: aggregation ---
+                let combined = format!("combined-it{it}.h5");
+                let mut agg = TaskSpec::new(&format!("aggregate-it{it}"), "aggregate", 2)
+                    .write(FileProduce::new(&combined, cfg.combined_bytes).ops(16))
+                    .compute_ms(cfg.agg_compute_ms)
+                    .group(0);
+                for k in 0..cfg.n_sims {
+                    agg = agg.read(FileUse::whole(&format!("h5-it{it}-{k}.h5")).ops(4));
+                }
+                let agg_id = w.task(agg);
+
+                // --- Stage 3: training (re-reads half the data 4×) ---
+                let model = format!("model-it{it}.pt");
+                let train_id = w.task(
+                    TaskSpec::new(&format!("train-it{it}"), "train", 3)
+                        .read(FileUse::region(&combined, 0, used).passes(cfg.train_passes).ops(16))
+                        .write(FileProduce::new(&model, cfg.model_bytes))
+                        .compute_ms(cfg.train_compute_ms)
+                        .after(agg_id)
+                        .group(0),
+                );
+
+                // --- Stage 4: inference (lof) reads the same data ---
+                let outliers = format!("outliers-it{it}.json");
+                w.task(
+                    TaskSpec::new(&format!("lof-it{it}"), "lof", 4)
+                        .read(FileUse::region(&combined, 0, used).ops(12))
+                        .read(FileUse::region(&combined, 0, used * 2 / 5).ops(4))
+                        .read(FileUse::whole(&model))
+                        .write(FileProduce::new(&outliers, cfg.outlier_bytes))
+                        .compute_ms(cfg.lof_compute_ms)
+                        .after(train_id)
+                        .group(1),
+                );
+                prev_outliers = Some(outliers);
+                prev_model = Some(model);
+            }
+            Pipeline::Shortened => {
+                // --- Outer loop: asynchronous training over sim outputs.
+                // Nothing in the inner loop depends on it.
+                let model = format!("model-it{it}.pt");
+                let mut train = TaskSpec::new(&format!("train-it{it}"), "train", 3)
+                    .write(FileProduce::new(&model, cfg.model_bytes))
+                    .compute_ms(cfg.train_compute_ms)
+                    .group(0);
+                for k in 0..cfg.n_sims / 2 {
+                    // Coalesced aggregation: train reads the h5 halves it
+                    // needs, repeatedly (same reuse as before).
+                    train = train.read(
+                        FileUse::whole(&format!("h5-it{it}-{k}.h5"))
+                            .passes(cfg.train_passes)
+                            .ops(8),
+                    );
+                }
+                w.task(train);
+
+                // --- Inner loop: lof consumes sim outputs directly, using
+                // the latest available model (previous iteration's).
+                let outliers = format!("outliers-it{it}.json");
+                let mut lof = TaskSpec::new(&format!("lof-it{it}"), "lof", 4)
+                    .write(FileProduce::new(&outliers, cfg.outlier_bytes))
+                    .compute_ms(cfg.lof_compute_ms)
+                    .group(1);
+                for k in 0..cfg.n_sims / 2 {
+                    lof = lof.read(FileUse::whole(&format!("h5-it{it}-{k}.h5")).ops(8));
+                }
+                if let Some(m) = &prev_model {
+                    lof = lof.read(FileUse::whole(m));
+                }
+                w.task(lof);
+                prev_outliers = Some(outliers);
+                prev_model = Some(model);
+            }
+        }
+    }
+    w
+}
+
+/// The Fig. 7 configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fig7Config {
+    OriginalNfs,
+    OriginalBfs,
+    ShortenedNfs,
+    ShortenedBfs,
+    ShortenedBfsShm,
+}
+
+impl Fig7Config {
+    pub fn all() -> [Fig7Config; 5] {
+        [
+            Fig7Config::OriginalNfs,
+            Fig7Config::OriginalBfs,
+            Fig7Config::ShortenedNfs,
+            Fig7Config::ShortenedBfs,
+            Fig7Config::ShortenedBfsShm,
+        ]
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Fig7Config::OriginalNfs => "original/nfs",
+            Fig7Config::OriginalBfs => "original/bfs",
+            Fig7Config::ShortenedNfs => "shortened/nfs",
+            Fig7Config::ShortenedBfs => "shortened/bfs",
+            Fig7Config::ShortenedBfsShm => "shortened/bfs+shm",
+        }
+    }
+
+    pub fn pipeline(self) -> Pipeline {
+        match self {
+            Fig7Config::OriginalNfs | Fig7Config::OriginalBfs => Pipeline::Original,
+            _ => Pipeline::Shortened,
+        }
+    }
+
+    /// 2 GPU-cluster nodes (§6.3).
+    pub fn run_config(self) -> crate::engine::RunConfig {
+        use crate::engine::{Placement, RunConfig, Staging};
+        use dfl_iosim::storage::TierKind;
+
+        let mut cfg = RunConfig::default_gpu(2);
+        cfg.placement = Placement::ByGroup;
+        cfg.staging = match self {
+            Fig7Config::OriginalNfs | Fig7Config::ShortenedNfs => {
+                Staging::all_shared(TierKind::Nfs)
+            }
+            Fig7Config::OriginalBfs | Fig7Config::ShortenedBfs => {
+                Staging::all_shared(TierKind::Beegfs)
+            }
+            Fig7Config::ShortenedBfsShm => {
+                Staging::local_intermediates(TierKind::Beegfs, TierKind::Ramdisk)
+            }
+        };
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run;
+
+    #[test]
+    fn original_structure() {
+        let cfg = DdmdConfig::default();
+        let w = generate(&cfg, Pipeline::Original);
+        // Per iteration: 12 sim + aggregate + train + lof.
+        assert_eq!(w.tasks.len(), (12 + 3) * 5);
+        w.validate().unwrap();
+        let aggs = w.tasks.iter().filter(|t| t.logical == "aggregate").count();
+        assert_eq!(aggs, 5);
+    }
+
+    #[test]
+    fn shortened_has_no_aggregator() {
+        let w = generate(&DdmdConfig::default(), Pipeline::Shortened);
+        assert!(w.tasks.iter().all(|t| t.logical != "aggregate"));
+        w.validate().unwrap();
+    }
+
+    #[test]
+    fn train_reads_most_volume() {
+        // Paper: train consumes the largest share of pipeline volume, more
+        // than aggregate produces (reuse), and half the data is unused.
+        let cfg = DdmdConfig::default();
+        let w = generate(&cfg, Pipeline::Original);
+        let train_vol: u64 = w
+            .tasks
+            .iter()
+            .filter(|t| t.logical == "train")
+            .flat_map(|t| &t.reads)
+            .map(|r| r.bytes * u64::from(r.passes))
+            .sum();
+        let per_iter = train_vol / 5;
+        assert_eq!(per_iter, (600 * MB) * 4, "0.6 GB footprint × 4 passes = 2.4 GB");
+        assert!(per_iter > cfg.combined_bytes, "train reads more than aggregate produced");
+    }
+
+    #[test]
+    fn tiny_original_runs_and_shows_reuse() {
+        let w = generate(&DdmdConfig::tiny(), Pipeline::Original);
+        let r = run(&w, &Fig7Config::OriginalBfs.run_config()).unwrap();
+        let g = dfl_core::DflGraph::from_measurements(&r.measurements);
+        let combined = g.find_vertex("combined-it0.h5").unwrap();
+        // Outflow (train + lof reads) exceeds inflow (aggregate write) —
+        // the paper's reuse signature on the aggregated file.
+        assert!(g.out_volume(combined) > g.in_volume(combined));
+        // train's consumer edge shows intra-task reuse ≈ passes.
+        let train = g.find_vertex("train-it0").unwrap();
+        let e = g
+            .in_edges(train)
+            .iter()
+            .map(|&e| g.edge(e))
+            .find(|e| g.vertex(e.src).name == "combined-it0.h5")
+            .unwrap();
+        assert!(e.props.reuse_factor > 3.0);
+    }
+
+    #[test]
+    fn shortened_is_faster() {
+        let cfg = DdmdConfig::tiny();
+        let orig = run(&generate(&cfg, Pipeline::Original), &Fig7Config::OriginalNfs.run_config()).unwrap();
+        let short = run(&generate(&cfg, Pipeline::Shortened), &Fig7Config::ShortenedNfs.run_config()).unwrap();
+        assert!(
+            short.makespan_s < orig.makespan_s,
+            "shortened {:.3} vs original {:.3}",
+            short.makespan_s,
+            orig.makespan_s
+        );
+    }
+
+    #[test]
+    fn fig2f_ranking_puts_train_first() {
+        use dfl_core::analysis::ranking::rank_producer_consumer;
+        let w = generate(&DdmdConfig::tiny(), Pipeline::Original);
+        let r = run(&w, &Fig7Config::OriginalBfs.run_config()).unwrap();
+        let g = dfl_core::DflGraph::from_measurements(&r.measurements);
+        let table = rank_producer_consumer(&g);
+        assert!(
+            table.rows[0].cells[2].starts_with("train"),
+            "top producer-consumer relation is aggregate→combined→train, got {:?}",
+            table.rows[0].cells
+        );
+    }
+}

@@ -1,0 +1,563 @@
+//! The workflow engine: binds a [`WorkflowSpec`] to a simulated cluster
+//! under placement and staging policies, runs it, and returns stage timings
+//! plus DFL measurements.
+//!
+//! This is the coordination layer whose decisions the paper's opportunity
+//! analysis informs: which node each task runs on ([`Placement`]), which
+//! tier intermediate files land on, and whether inputs are staged to
+//! node-local storage first ([`Staging`]).
+
+use std::collections::{BTreeMap, HashMap};
+
+use dfl_iosim::breakdown::{Breakdown, FlowTag};
+use dfl_iosim::cache::CacheConfig;
+use dfl_iosim::cluster::ClusterSpec;
+use dfl_iosim::sim::{Action, CacheOrigins, JobId, JobReport, JobSpec, SimConfig, Simulation};
+use dfl_iosim::storage::{TierKind, TierRef};
+use dfl_iosim::SimError;
+use dfl_trace::MeasurementSet;
+
+use crate::spec::WorkflowSpec;
+
+/// Task-to-node assignment policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Placement {
+    /// Task index modulo node count.
+    RoundRobin,
+    /// Tasks with the same group (caterpillar) share a node
+    /// (`group % nodes`); ungrouped tasks fall back to round-robin.
+    ByGroup,
+    /// Each task goes to the node with the fewest tasks assigned so far
+    /// (ties to the lowest node id) — a simple load balancer that ignores
+    /// data locality, useful as a baseline against `ByGroup`.
+    LeastLoaded,
+    /// Explicit node per task (same length as `tasks`).
+    Explicit(Vec<u32>),
+}
+
+/// File placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Staging {
+    /// Shared tier for inputs and non-local intermediates.
+    pub shared: TierKind,
+    /// Write task outputs to this node-local tier instead of the shared one.
+    pub intermediates_local: Option<TierKind>,
+    /// Add a stage-0 job per node copying that node's input files to this
+    /// node-local tier before any consumer runs.
+    pub stage_inputs: Option<TierKind>,
+    /// Force staging copies to come from the original placement (a plain
+    /// FTP-from-the-source baseline) instead of the closest replica.
+    pub stage_from_origin: bool,
+}
+
+impl Staging {
+    pub fn all_shared(shared: TierKind) -> Self {
+        Staging {
+            shared,
+            intermediates_local: None,
+            stage_inputs: None,
+            stage_from_origin: false,
+        }
+    }
+
+    pub fn local_intermediates(shared: TierKind, local: TierKind) -> Self {
+        Staging { intermediates_local: Some(local), ..Staging::all_shared(shared) }
+    }
+
+    pub fn staged(shared: TierKind, local: TierKind) -> Self {
+        Staging {
+            intermediates_local: Some(local),
+            stage_inputs: Some(local),
+            ..Staging::all_shared(shared)
+        }
+    }
+}
+
+/// One complete run configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    pub cluster: ClusterSpec,
+    pub placement: Placement,
+    pub staging: Staging,
+    pub cache: Option<CacheConfig>,
+    pub cache_origins: CacheOrigins,
+    /// Buffered (asynchronous) writes — the Table 1 "write buffering"
+    /// remediation.
+    pub write_buffering: bool,
+    pub monitor: dfl_trace::MonitorConfig,
+}
+
+impl RunConfig {
+    /// GPU cluster (Table 2) with BeeGFS shared storage, round-robin
+    /// placement, no staging or caching.
+    pub fn default_gpu(nodes: usize) -> Self {
+        RunConfig {
+            cluster: ClusterSpec::gpu_cluster(nodes),
+            placement: Placement::RoundRobin,
+            staging: Staging::all_shared(TierKind::Beegfs),
+            cache: None,
+            cache_origins: CacheOrigins::default(),
+            write_buffering: false,
+            monitor: dfl_trace::MonitorConfig::default(),
+        }
+    }
+
+    /// CPU cluster with NFS shared storage.
+    pub fn default_cpu(nodes: usize) -> Self {
+        RunConfig {
+            cluster: ClusterSpec::cpu_cluster(nodes),
+            placement: Placement::RoundRobin,
+            staging: Staging::all_shared(TierKind::Nfs),
+            cache: None,
+            cache_origins: CacheOrigins::default(),
+            write_buffering: false,
+            monitor: dfl_trace::MonitorConfig::default(),
+        }
+    }
+}
+
+/// Result of one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    pub makespan_s: f64,
+    /// Per-stage `(first start, last end)` in seconds.
+    pub stage_spans: BTreeMap<u32, (f64, f64)>,
+    pub reports: Vec<JobReport>,
+    pub total_breakdown: Breakdown,
+    pub measurements: MeasurementSet,
+}
+
+impl RunResult {
+    /// Duration of one stage, seconds.
+    pub fn stage_time(&self, stage: u32) -> f64 {
+        self.stage_spans.get(&stage).map_or(0.0, |(s, e)| e - s)
+    }
+
+    /// A printable per-stage summary.
+    pub fn stage_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for (&stage, &(start, end)) in &self.stage_spans {
+            let _ = writeln!(s, "stage {stage}: {:.2}s (t={start:.2}..{end:.2})", end - start);
+        }
+        let _ = writeln!(s, "makespan: {:.2}s", self.makespan_s);
+        s
+    }
+}
+
+/// Computes each task's node under the placement policy.
+fn place_tasks(placement: &Placement, tasks: &[crate::spec::TaskSpec], nodes: u32) -> Vec<u32> {
+    let mut load = vec![0u32; nodes as usize];
+    tasks
+        .iter()
+        .enumerate()
+        .map(|(idx, t)| {
+            let node = match placement {
+                Placement::RoundRobin => (idx as u32) % nodes,
+                Placement::ByGroup => match t.group {
+                    Some(g) => g % nodes,
+                    None => (idx as u32) % nodes,
+                },
+                Placement::LeastLoaded => {
+                    let (node, _) = load
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(i, &l)| (l, i))
+                        .expect("at least one node");
+                    node as u32
+                }
+                Placement::Explicit(v) => v[idx],
+            };
+            load[node as usize] += 1;
+            node
+        })
+        .collect()
+}
+
+/// Runs `spec` under `cfg`. Panics if the spec fails validation (programmer
+/// error in a generator); returns simulator errors otherwise.
+pub fn run(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, SimError> {
+    if let Err(e) = spec.validate() {
+        panic!("invalid workflow spec: {e}");
+    }
+    let nodes = cfg.cluster.node_count() as u32;
+    assert!(nodes > 0);
+    let shared = TierRef::shared(cfg.staging.shared);
+
+    let mut sim = Simulation::new(
+        cfg.cluster.clone(),
+        SimConfig {
+            monitor: Some(cfg.monitor.clone()),
+            cache: cfg.cache.clone(),
+            cache_origins: cfg.cache_origins,
+            write_buffering: cfg.write_buffering,
+        },
+    );
+
+    // Resolve file sizes: inputs plus declared outputs.
+    let mut size_of: HashMap<&str, u64> = HashMap::new();
+    for i in &spec.inputs {
+        size_of.insert(&i.path, i.size);
+        sim.fs_mut().create_external(&i.path, i.size, shared);
+    }
+    let mut producers: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (ti, t) in spec.tasks.iter().enumerate() {
+        for w in &t.writes {
+            *size_of.entry(&w.file).or_insert(0) += w.bytes;
+            producers.entry(&w.file).or_default().push(ti);
+        }
+    }
+
+    // Placement.
+    let node_for: Vec<u32> = place_tasks(&cfg.placement, &spec.tasks, nodes);
+
+    // Input staging: one stage-0 job per node copying the inputs its tasks
+    // read.
+    let mut stage_job_of_node: HashMap<u32, JobId> = HashMap::new();
+    if let Some(kind) = cfg.staging.stage_inputs {
+        assert!(cfg.cluster.has_tier(kind), "staging tier missing from cluster");
+        let mut per_node: BTreeMap<u32, Vec<&str>> = BTreeMap::new();
+        for (ti, t) in spec.tasks.iter().enumerate() {
+            for r in &t.reads {
+                if spec.inputs.iter().any(|i| i.path == r.file) {
+                    let v = per_node.entry(node_for[ti]).or_default();
+                    if !v.contains(&r.file.as_str()) {
+                        v.push(&r.file);
+                    }
+                }
+            }
+        }
+        for (node, files) in per_node {
+            let mut job = JobSpec::new(&format!("staging-{node}"), node).logical("staging");
+            for f in files {
+                job = job.action(Action::Stage {
+                    file: f.to_owned(),
+                    to: TierRef::node(kind, node),
+                    from: cfg.staging.stage_from_origin.then_some(shared),
+                    tag: FlowTag::Stage,
+                });
+            }
+            stage_job_of_node.insert(node, sim.submit(job));
+        }
+    }
+
+    // Submit tasks.
+    let mut job_of_task: Vec<JobId> = Vec::with_capacity(spec.tasks.len());
+    for (ti, t) in spec.tasks.iter().enumerate() {
+        let node = node_for[ti];
+        let mut job = JobSpec::new(&t.name, node).logical(&t.logical);
+
+        // Dependencies: explicit, data (producers of read files), staging.
+        for &a in &t.after {
+            job = job.dep(job_of_task[a]);
+        }
+        let mut reads_staged_input = false;
+        for r in &t.reads {
+            if let Some(ps) = producers.get(r.file.as_str()) {
+                for &p in ps {
+                    assert!(p != ti, "task {} reads its own output", t.name);
+                    assert!(p < ti, "producers must precede consumers in spec order");
+                    job = job.dep(job_of_task[p]);
+                }
+            }
+            if spec.inputs.iter().any(|i| i.path == r.file) {
+                reads_staged_input = true;
+            }
+        }
+        if reads_staged_input {
+            if let Some(&sj) = stage_job_of_node.get(&node) {
+                job = job.dep(sj);
+            }
+        }
+
+        // Actions: open+read inputs, compute, write outputs, close.
+        for r in &t.reads {
+            job = job.action(Action::Open { file: r.file.clone(), write: false });
+            let total = if r.bytes == 0 {
+                size_of[r.file.as_str()].saturating_sub(r.offset)
+            } else {
+                r.bytes
+            };
+            let ops = u64::from(r.ops.max(1));
+            let op_len = (total / ops).max(1);
+            for _pass in 0..r.passes.max(1) {
+                for k in 0..ops {
+                    let off = r.offset + k * op_len;
+                    let len = if k == ops - 1 { total - op_len * (ops - 1) } else { op_len };
+                    if len == 0 {
+                        continue;
+                    }
+                    job = job.action(Action::Read { file: r.file.clone(), offset: Some(off), len });
+                }
+            }
+        }
+        if t.compute_ns > 0 {
+            job = job.action(Action::Compute { ns: t.compute_ns });
+        }
+        for w in &t.writes {
+            let tier = match cfg.staging.intermediates_local {
+                Some(kind) => TierRef::node(kind, node),
+                None => shared,
+            };
+            job = job.action(Action::Open { file: w.file.clone(), write: true });
+            let ops = u64::from(w.ops.max(1));
+            let op_len = (w.bytes / ops).max(1);
+            for k in 0..ops {
+                let len = if k == ops - 1 { w.bytes - op_len * (ops - 1) } else { op_len };
+                if len == 0 {
+                    continue;
+                }
+                job = job.action(Action::Write { file: w.file.clone(), len, tier: Some(tier) });
+            }
+        }
+        for r in &t.reads {
+            job = job.action(Action::Close { file: r.file.clone() });
+        }
+        for w in &t.writes {
+            job = job.action(Action::Close { file: w.file.clone() });
+        }
+
+        job_of_task.push(sim.submit(job));
+    }
+
+    sim.run()?;
+
+    // Stage spans from reports (staging jobs are stage 0).
+    let reports = sim.reports();
+    let mut stage_spans: BTreeMap<u32, (f64, f64)> = BTreeMap::new();
+    let n_stage_jobs = stage_job_of_node.len();
+    for (i, r) in reports.iter().enumerate() {
+        let stage = if i < n_stage_jobs {
+            0
+        } else {
+            spec.tasks[i - n_stage_jobs].stage
+        };
+        let entry = stage_spans
+            .entry(stage)
+            .or_insert((f64::INFINITY, f64::NEG_INFINITY));
+        entry.0 = entry.0.min(r.start_ns as f64 / 1e9);
+        entry.1 = entry.1.max(r.end_ns as f64 / 1e9);
+    }
+
+    Ok(RunResult {
+        makespan_s: sim.time().secs(),
+        stage_spans,
+        total_breakdown: sim.total_breakdown(),
+        measurements: sim.measurements().expect("monitor attached"),
+        reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FileProduce, FileUse, TaskSpec};
+
+    fn two_stage() -> WorkflowSpec {
+        let mut w = WorkflowSpec::new("t");
+        w.input("in.dat", 64 << 20);
+        let a = w.task(
+            TaskSpec::new("gen-0", "gen", 1)
+                .read(FileUse::whole("in.dat"))
+                .write(FileProduce::new("mid.dat", 32 << 20))
+                .compute_ms(50)
+                .group(0),
+        );
+        w.task(
+            TaskSpec::new("use-0", "use", 2)
+                .read(FileUse::whole("mid.dat"))
+                .compute_ms(50)
+                .after(a)
+                .group(0),
+        );
+        w
+    }
+
+    #[test]
+    fn runs_and_reports_stages() {
+        let r = run(&two_stage(), &RunConfig::default_gpu(2)).unwrap();
+        assert!(r.makespan_s > 0.1);
+        assert!(r.stage_time(1) > 0.0);
+        assert!(r.stage_time(2) > 0.0);
+        let (s1_end, s2_start) = (r.stage_spans[&1].1, r.stage_spans[&2].0);
+        assert!(s2_start >= s1_end, "data dependency enforces stage order");
+    }
+
+    #[test]
+    fn measurements_build_a_graph() {
+        let r = run(&two_stage(), &RunConfig::default_gpu(1)).unwrap();
+        let g = dfl_core::DflGraph::from_measurements(&r.measurements);
+        // gen, use tasks + in.dat, mid.dat.
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 3, "in→gen, gen→mid, mid→use");
+    }
+
+    #[test]
+    fn data_deps_inferred_without_explicit_after() {
+        let mut w = WorkflowSpec::new("t");
+        w.input("in.dat", 1 << 20);
+        w.task(
+            TaskSpec::new("gen-0", "gen", 1)
+                .read(FileUse::whole("in.dat"))
+                .write(FileProduce::new("mid.dat", 1 << 20)),
+        );
+        // No .after(): dependency comes from reading mid.dat.
+        w.task(TaskSpec::new("use-0", "use", 2).read(FileUse::whole("mid.dat")));
+        let r = run(&w, &RunConfig::default_gpu(2)).unwrap();
+        assert!(r.reports[1].start_ns >= r.reports[0].end_ns);
+    }
+
+    #[test]
+    fn staging_adds_stage0_and_speeds_reads() {
+        let mut cfg = RunConfig::default_gpu(1);
+        let base = run(&two_stage(), &cfg).unwrap();
+
+        cfg.staging.stage_inputs = Some(TierKind::Ramdisk);
+        cfg.staging.intermediates_local = Some(TierKind::Ramdisk);
+        let staged = run(&two_stage(), &cfg).unwrap();
+        assert!(staged.stage_spans.contains_key(&0), "stage-0 staging job present");
+        // All I/O local after staging: shared reads only during staging.
+        let shared_reads: u64 = staged
+            .reports
+            .iter()
+            .skip(1)
+            .map(|r| r.breakdown.get(FlowTag::SharedRead))
+            .sum();
+        assert_eq!(shared_reads, 0);
+        assert!(staged.makespan_s <= base.makespan_s * 1.05);
+    }
+
+    #[test]
+    fn by_group_placement_colocates() {
+        let mut w = WorkflowSpec::new("t");
+        w.input("a", 1 << 20);
+        for g in 0..4u32 {
+            w.task(
+                TaskSpec::new(&format!("t-{g}"), "t", 1)
+                    .read(FileUse::whole("a"))
+                    .group(g % 2),
+            );
+        }
+        let mut cfg = RunConfig::default_gpu(2);
+        cfg.placement = Placement::ByGroup;
+        let r = run(&w, &cfg).unwrap();
+        assert_eq!(r.reports[0].node, r.reports[2].node, "same group, same node");
+        assert_ne!(r.reports[0].node, r.reports[1].node);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workflow spec")]
+    fn invalid_spec_panics() {
+        let mut w = WorkflowSpec::new("bad");
+        w.task(TaskSpec::new("t-0", "t", 1).read(FileUse::whole("ghost")));
+        let _ = run(&w, &RunConfig::default_gpu(1));
+    }
+
+    #[test]
+    fn multi_pass_reads_show_reuse_in_graph() {
+        let mut w = WorkflowSpec::new("t");
+        w.input("data", 16 << 20);
+        w.task(
+            TaskSpec::new("train-0", "train", 1).read(FileUse::whole("data").passes(4)),
+        );
+        let r = run(&w, &RunConfig::default_gpu(1)).unwrap();
+        let g = dfl_core::DflGraph::from_measurements(&r.measurements);
+        let d = g.find_vertex("data").unwrap();
+        let e = g.edge(g.out_edges(d)[0]);
+        assert!(e.props.reuse_factor > 3.5, "4 passes ⇒ reuse ≈ 4: {}", e.props.reuse_factor);
+        assert_eq!(e.props.volume, 64 << 20);
+    }
+}
+
+#[cfg(test)]
+mod placement_tests {
+    use super::*;
+    use crate::spec::{FileProduce, FileUse, TaskSpec};
+
+    fn n_task_spec(n: usize) -> WorkflowSpec {
+        let mut w = WorkflowSpec::new("p");
+        w.input("in", 1 << 20);
+        for i in 0..n {
+            w.task(
+                TaskSpec::new(&format!("t-{i}"), "t", 1)
+                    .read(FileUse::whole("in"))
+                    .write(FileProduce::new(&format!("o{i}"), 1024)),
+            );
+        }
+        w
+    }
+
+    #[test]
+    fn least_loaded_balances_counts() {
+        let w = n_task_spec(10);
+        let nodes = place_tasks(&Placement::LeastLoaded, &w.tasks, 4);
+        let mut counts = [0u32; 4];
+        for n in &nodes {
+            counts[*n as usize] += 1;
+        }
+        assert!(counts.iter().max().unwrap() - counts.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn least_loaded_is_deterministic() {
+        let w = n_task_spec(9);
+        assert_eq!(
+            place_tasks(&Placement::LeastLoaded, &w.tasks, 3),
+            place_tasks(&Placement::LeastLoaded, &w.tasks, 3)
+        );
+    }
+
+    #[test]
+    fn explicit_placement_respected() {
+        let w = n_task_spec(3);
+        let explicit = vec![2u32, 0, 1];
+        let nodes = place_tasks(&Placement::Explicit(explicit.clone()), &w.tasks, 3);
+        assert_eq!(nodes, explicit);
+    }
+
+    #[test]
+    fn least_loaded_runs_end_to_end() {
+        let w = n_task_spec(8);
+        let mut cfg = RunConfig::default_gpu(4);
+        cfg.placement = Placement::LeastLoaded;
+        let r = run(&w, &cfg).unwrap();
+        let mut per_node = [0u32; 4];
+        for rep in &r.reports {
+            per_node[rep.node as usize] += 1;
+        }
+        assert_eq!(per_node, [2, 2, 2, 2]);
+    }
+}
+
+/// Applies [`CoordinationAdvice`](dfl_core::analysis::CoordinationAdvice)
+/// derived from a measured run to a run configuration — the automated
+/// measure → analyze → remediate loop the paper sketches as future work.
+///
+/// Conservative mapping: co-location advice switches to group-aware
+/// placement (only effective when the spec carries groups), staging advice
+/// enables stage-0 input staging on the given node-local tier, locality
+/// advice moves intermediates to that tier, and stall advice enables write
+/// buffering. Cache advice enables the Table 4 hierarchy for remote
+/// origins.
+pub fn apply_advice(
+    cfg: &mut RunConfig,
+    advice: &dfl_core::analysis::CoordinationAdvice,
+    local_tier: TierKind,
+) {
+    assert!(local_tier.is_node_local(), "advice staging targets a node-local tier");
+    if advice.colocate_consumers {
+        cfg.placement = Placement::ByGroup;
+    }
+    if !advice.stage_inputs.is_empty() {
+        cfg.staging.stage_inputs = Some(local_tier);
+    }
+    if advice.local_intermediates {
+        cfg.staging.intermediates_local = Some(local_tier);
+    }
+    if advice.buffer_writes {
+        cfg.write_buffering = true;
+    }
+    if !advice.cache_files.is_empty() && cfg.cluster.has_tier(TierKind::Wan) {
+        cfg.cache = Some(dfl_iosim::cache::CacheConfig::tazer_table4());
+    }
+}

@@ -1,0 +1,298 @@
+//! The 1000 Genomes proxy workflow (§6.1, §6.2; Figs. 2a, 4a, 5, 6).
+//!
+//! Five task types per chromosome: `indiv` (chromosome chunk processing,
+//! data-parallel fan-out from the chromosome file), `merge` (aggregator over
+//! all indiv outputs), `sift` (independent SNP scoring), and `freq`/`mutat`
+//! (per-population consumers of merge+sift outputs). Each chromosome forms
+//! one caterpillar tree; tasks carry the chromosome as their co-location
+//! group.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::{FileProduce, FileUse, TaskSpec, WorkflowSpec};
+
+const MB: u64 = 1 << 20;
+
+/// Generator parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GenomesConfig {
+    /// Number of chromosomes (caterpillars). Paper: 10.
+    pub chromosomes: u32,
+    /// indiv tasks per chromosome (the "problem size"). Paper: 30.
+    pub indiv_per_chr: u32,
+    /// Populations (freq and mutat tasks per chromosome). Paper: 7.
+    pub populations: u32,
+    /// Size of each chromosome input file.
+    pub chr_file_bytes: u64,
+    /// Size of the shared `columns` file every indiv reads fully.
+    pub columns_bytes: u64,
+    /// Per-chromosome SIFT annotation input.
+    pub annotation_bytes: u64,
+    /// Output of each indiv task.
+    pub indiv_out_bytes: u64,
+    /// Output of each merge task (the large merged archive freq/mutat read).
+    pub merged_bytes: u64,
+    /// Output of each sift task.
+    pub sifted_bytes: u64,
+    /// Compute per task type, ms.
+    pub indiv_compute_ms: u64,
+    pub merge_compute_ms: u64,
+    pub sift_compute_ms: u64,
+    pub freq_compute_ms: u64,
+    pub mutat_compute_ms: u64,
+}
+
+impl Default for GenomesConfig {
+    fn default() -> Self {
+        GenomesConfig {
+            chromosomes: 10,
+            indiv_per_chr: 30,
+            populations: 7,
+            chr_file_bytes: 600 * MB,
+            columns_bytes: 200 * MB,
+            annotation_bytes: 200 * MB,
+            indiv_out_bytes: 20 * MB,
+            merged_bytes: 600 * MB,
+            sifted_bytes: 10 * MB,
+            indiv_compute_ms: 1_000,
+            merge_compute_ms: 800,
+            sift_compute_ms: 800,
+            freq_compute_ms: 1_500,
+            mutat_compute_ms: 1_500,
+        }
+    }
+}
+
+impl GenomesConfig {
+    /// A miniature instance for tests: 2 chromosomes × 4 indiv × 2 pops.
+    pub fn tiny() -> Self {
+        GenomesConfig {
+            chromosomes: 2,
+            indiv_per_chr: 4,
+            populations: 2,
+            chr_file_bytes: 8 * MB,
+            columns_bytes: 2 * MB,
+            annotation_bytes: 4 * MB,
+            indiv_out_bytes: MB,
+            merged_bytes: 4 * MB,
+            sifted_bytes: MB,
+            indiv_compute_ms: 10,
+            merge_compute_ms: 10,
+            sift_compute_ms: 10,
+            freq_compute_ms: 10,
+            mutat_compute_ms: 10,
+        }
+    }
+
+    pub fn task_count(&self) -> u32 {
+        // indiv + merge + sift + freq + mutat.
+        self.chromosomes * (self.indiv_per_chr + 2 + 2 * self.populations)
+    }
+}
+
+/// Generates the workflow.
+pub fn generate(cfg: &GenomesConfig) -> WorkflowSpec {
+    let mut w = WorkflowSpec::new("1000genomes");
+    w.input("columns.txt", cfg.columns_bytes);
+    for c in 1..=cfg.chromosomes {
+        w.input(&format!("ALL.chr{c}.250000.vcf"), cfg.chr_file_bytes);
+        w.input(&format!("ALL.chr{c}.annotation.vcf"), cfg.annotation_bytes);
+    }
+
+    for c in 1..=cfg.chromosomes {
+        let chr_file = format!("ALL.chr{c}.250000.vcf");
+        let group = c - 1;
+
+        // indiv: data-parallel fan-out; each instance processes a disjoint
+        // chunk of the chromosome file and reads the shared columns file.
+        let chunk = cfg.chr_file_bytes / u64::from(cfg.indiv_per_chr);
+        let mut indiv_ids = Vec::new();
+        for i in 0..cfg.indiv_per_chr {
+            let id = w.task(
+                TaskSpec::new(&format!("indiv-chr{c}-{i}"), "indiv", 2)
+                    .read(FileUse::region(&chr_file, u64::from(i) * chunk, chunk).ops(8))
+                    .read(FileUse::whole("columns.txt").ops(4))
+                    .write(FileProduce::new(
+                        &format!("chr{c}n-{i}-{}.tar.gz", i + 1),
+                        cfg.indiv_out_bytes,
+                    ))
+                    .compute_ms(cfg.indiv_compute_ms)
+                    .group(group),
+            );
+            indiv_ids.push(id);
+        }
+
+        // merge: aggregator (and mild compressor) over all indiv outputs.
+        let mut merge_task = TaskSpec::new(&format!("merge-chr{c}"), "merge", 3)
+            .write(FileProduce::new(&format!("chr{c}n.tar.gz"), cfg.merged_bytes))
+            .compute_ms(cfg.merge_compute_ms)
+            .group(group);
+        for i in 0..cfg.indiv_per_chr {
+            merge_task = merge_task.read(FileUse::whole(&format!("chr{c}n-{i}-{}.tar.gz", i + 1)).ops(2));
+        }
+        w.task(merge_task);
+
+        // sift: independent scoring of the annotation input; runs
+        // concurrently with merge (same stage).
+        w.task(
+            TaskSpec::new(&format!("sift-chr{c}"), "sift", 3)
+                .read(FileUse::whole(&format!("ALL.chr{c}.annotation.vcf")).ops(8))
+                .write(FileProduce::new(&format!("sifted.chr{c}.txt"), cfg.sifted_bytes))
+                .compute_ms(cfg.sift_compute_ms)
+                .group(group),
+        );
+
+        // freq & mutat: per-population consumers of merge + sift outputs.
+        for p in 0..cfg.populations {
+            // freq/mutat scan the merged archive twice (per-population
+            // filtering pass plus the overlap computation pass).
+            w.task(
+                TaskSpec::new(&format!("freq-chr{c}-pop{p}"), "freq", 4)
+                    .read(FileUse::whole(&format!("chr{c}n.tar.gz")).ops(8).passes(2))
+                    .read(FileUse::whole(&format!("sifted.chr{c}.txt")).ops(2))
+                    .write(FileProduce::new(&format!("freq.chr{c}.pop{p}.out"), MB))
+                    .compute_ms(cfg.freq_compute_ms)
+                    .group(group),
+            );
+            w.task(
+                TaskSpec::new(&format!("mutat-chr{c}-pop{p}"), "mutat", 4)
+                    .read(FileUse::whole(&format!("chr{c}n.tar.gz")).ops(8).passes(2))
+                    .read(FileUse::whole(&format!("sifted.chr{c}.txt")).ops(2))
+                    .write(FileProduce::new(&format!("mutat.chr{c}.pop{p}.out"), MB))
+                    .compute_ms(cfg.mutat_compute_ms)
+                    .group(group),
+            );
+        }
+    }
+    w
+}
+
+/// The six Fig. 6 configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fig6Config {
+    /// 15 nodes, everything on BeeGFS, chromosome-oblivious placement.
+    N15Bfs,
+    /// 10 nodes, everything on BeeGFS, caterpillar (per-chromosome)
+    /// co-location.
+    N10Bfs,
+    /// 10 nodes, intermediates in node-local RAM-disks.
+    N10BfsShm,
+    /// 10 nodes, intermediates on node-local SSDs.
+    N10BfsSsd,
+    /// 10 nodes, RAM-disk intermediates plus stage-0 input staging.
+    N10BfsShmStaging,
+    /// 10 nodes, SSD intermediates plus input staging.
+    N10BfsSsdStaging,
+}
+
+impl Fig6Config {
+    pub fn all() -> [Fig6Config; 6] {
+        [
+            Fig6Config::N15Bfs,
+            Fig6Config::N10Bfs,
+            Fig6Config::N10BfsShm,
+            Fig6Config::N10BfsSsd,
+            Fig6Config::N10BfsShmStaging,
+            Fig6Config::N10BfsSsdStaging,
+        ]
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Fig6Config::N15Bfs => "15/bfs",
+            Fig6Config::N10Bfs => "10/bfs",
+            Fig6Config::N10BfsShm => "10/bfs+shm",
+            Fig6Config::N10BfsSsd => "10/bfs+ssd",
+            Fig6Config::N10BfsShmStaging => "10/bfs+shm+staging",
+            Fig6Config::N10BfsSsdStaging => "10/bfs+ssd+staging",
+        }
+    }
+
+    /// The run configuration for this Fig. 6 variant (§6.2).
+    pub fn run_config(self) -> crate::engine::RunConfig {
+        use crate::engine::{Placement, RunConfig, Staging};
+        use dfl_iosim::storage::TierKind;
+
+        let (nodes, placement) = match self {
+            Fig6Config::N15Bfs => (15, Placement::RoundRobin),
+            _ => (10, Placement::ByGroup),
+        };
+        let staging = match self {
+            Fig6Config::N15Bfs | Fig6Config::N10Bfs => Staging::all_shared(TierKind::Beegfs),
+            Fig6Config::N10BfsShm => {
+                Staging::local_intermediates(TierKind::Beegfs, TierKind::Ramdisk)
+            }
+            Fig6Config::N10BfsSsd => Staging::local_intermediates(TierKind::Beegfs, TierKind::Ssd),
+            Fig6Config::N10BfsShmStaging => Staging::staged(TierKind::Beegfs, TierKind::Ramdisk),
+            Fig6Config::N10BfsSsdStaging => Staging::staged(TierKind::Beegfs, TierKind::Ssd),
+        };
+        let mut cfg = RunConfig::default_gpu(nodes);
+        cfg.placement = placement;
+        cfg.staging = staging;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run;
+
+    #[test]
+    fn default_matches_paper_counts() {
+        let cfg = GenomesConfig::default();
+        let w = generate(&cfg);
+        // 300 indiv, 10 merge, 10 sift, 70 freq, 70 mutat.
+        assert_eq!(w.tasks.len(), 460);
+        assert_eq!(cfg.task_count(), 460);
+        assert_eq!(w.tasks.iter().filter(|t| t.logical == "indiv").count(), 300);
+        assert_eq!(w.tasks.iter().filter(|t| t.logical == "merge").count(), 10);
+        assert_eq!(w.tasks.iter().filter(|t| t.logical == "freq").count(), 70);
+        assert_eq!(w.tasks.iter().filter(|t| t.logical == "mutat").count(), 70);
+        w.validate().unwrap();
+    }
+
+    #[test]
+    fn tiny_runs_end_to_end() {
+        let w = generate(&GenomesConfig::tiny());
+        let r = run(&w, &Fig6Config::N10Bfs.run_config()).unwrap();
+        assert!(r.makespan_s > 0.0);
+        // Stages present: 2 (indiv), 3 (merge+sift), 4 (freq+mutat).
+        for s in [2, 3, 4] {
+            assert!(r.stage_time(s) > 0.0, "stage {s}");
+        }
+    }
+
+    #[test]
+    fn dfl_graph_shows_expected_patterns() {
+        use dfl_core::analysis::{analyze, AnalysisConfig, PatternKind};
+        let w = generate(&GenomesConfig::tiny());
+        let r = run(&w, &Fig6Config::N10Bfs.run_config()).unwrap();
+        let g = dfl_core::DflGraph::from_measurements(&r.measurements);
+        assert!(g.is_dag());
+
+        let mut cfg = AnalysisConfig::default();
+        cfg.volume_threshold = 1 << 20;
+        cfg.fan_in_threshold = 3;
+        let ops = analyze(&g, &cfg);
+        // merge is an aggregator; chromosome files show data-parallel
+        // splitter fan-out; chrNn.tar.gz shows inter-task locality.
+        assert!(ops.iter().any(|o| o.pattern == PatternKind::Aggregator
+            || o.pattern == PatternKind::CompressorAggregator));
+        assert!(ops.iter().any(|o| o.pattern == PatternKind::InterTaskLocality));
+        assert!(ops.iter().any(|o| o.pattern == PatternKind::Splitter));
+    }
+
+    #[test]
+    fn staging_config_beats_shared_everything() {
+        let w = generate(&GenomesConfig::tiny());
+        let base = run(&w, &Fig6Config::N10Bfs.run_config()).unwrap();
+        let staged = run(&w, &Fig6Config::N10BfsShmStaging.run_config()).unwrap();
+        assert!(
+            staged.makespan_s < base.makespan_s,
+            "staged {:.3} vs base {:.3}",
+            staged.makespan_s,
+            base.makespan_s
+        );
+    }
+}

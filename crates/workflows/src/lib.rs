@@ -1,0 +1,30 @@
+//! # dfl-workflows — the paper's five scientific workflows, simulated
+//!
+//! Parameterized generators reproducing the task/data DAG shapes, file
+//! populations, and volume ratios of the workflows evaluated in the paper
+//! (§6): 1000 Genomes, DeepDriveMD, Belle II Monte Carlo, Montage, and
+//! Seismic Cross Correlation — plus a workflow [`engine`] that runs a
+//! [`spec::WorkflowSpec`] on a simulated cluster under configurable
+//! placement and staging policies, collecting DFL measurements as it goes.
+//!
+//! ```
+//! use dfl_workflows::genomes::{self, GenomesConfig};
+//! use dfl_workflows::engine::{run, RunConfig};
+//!
+//! let spec = genomes::generate(&GenomesConfig::tiny());
+//! let result = run(&spec, &RunConfig::default_gpu(2)).unwrap();
+//! assert!(result.makespan_s > 0.0);
+//! let graph = dfl_core::DflGraph::from_measurements(&result.measurements);
+//! assert!(graph.vertex_count() > 10);
+//! ```
+
+pub mod belle2;
+pub mod ddmd;
+pub mod engine;
+pub mod genomes;
+pub mod montage;
+pub mod seismic;
+pub mod spec;
+
+pub use engine::{run, Placement, RunConfig, RunResult, Staging};
+pub use spec::{FileUse, TaskSpec, WorkflowSpec};

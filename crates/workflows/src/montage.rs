@@ -1,0 +1,175 @@
+//! Montage (§6.1; Figs. 2d, 4d): compute-intensive astronomical image
+//! mosaicking.
+//!
+//! Many small input images are re-projected through a common frame
+//! (`mProject`), overlaps are fitted (`mDiffFit` / `mConcatFit`),
+//! backgrounds corrected (`mBackground`), and everything is assembled into
+//! one mosaic (`mAdd`). The computational component yields low effective
+//! data rates and low I/O operation counts — the DFL signature the paper
+//! contrasts against the data-intensive workflows.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::{FileProduce, FileUse, TaskSpec, WorkflowSpec};
+
+const MB: u64 = 1 << 20;
+
+/// Generator parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MontageConfig {
+    /// Number of input images. Paper's instances use dozens–hundreds.
+    pub images: u32,
+    /// Input image size.
+    pub image_bytes: u64,
+    /// Re-projected image size.
+    pub projected_bytes: u64,
+    /// Overlap pairs analyzed per image (neighbors).
+    pub overlaps_per_image: u32,
+    /// Compute per mProject task (the dominant cost), ms.
+    pub project_compute_ms: u64,
+    pub diff_compute_ms: u64,
+    pub background_compute_ms: u64,
+    pub add_compute_ms: u64,
+}
+
+impl Default for MontageConfig {
+    fn default() -> Self {
+        MontageConfig {
+            images: 50,
+            image_bytes: 4 * MB,
+            projected_bytes: 8 * MB,
+            overlaps_per_image: 2,
+            project_compute_ms: 20_000,
+            diff_compute_ms: 3_000,
+            background_compute_ms: 4_000,
+            add_compute_ms: 30_000,
+        }
+    }
+}
+
+impl MontageConfig {
+    pub fn tiny() -> Self {
+        MontageConfig {
+            images: 6,
+            image_bytes: MB,
+            projected_bytes: 2 * MB,
+            overlaps_per_image: 1,
+            project_compute_ms: 50,
+            diff_compute_ms: 10,
+            background_compute_ms: 10,
+            add_compute_ms: 50,
+        }
+    }
+}
+
+/// Generates the workflow.
+pub fn generate(cfg: &MontageConfig) -> WorkflowSpec {
+    let mut w = WorkflowSpec::new("montage");
+    for i in 0..cfg.images {
+        w.input(&format!("raw/img-{i:03}.fits"), cfg.image_bytes);
+    }
+    w.input("region.hdr", MB / 4);
+
+    // Stage 1: mProject, one per image (compute heavy, small I/O).
+    for i in 0..cfg.images {
+        w.task(
+            TaskSpec::new(&format!("mProject-{i}"), "mProject", 1)
+                .read(FileUse::whole(&format!("raw/img-{i:03}.fits")).ops(2))
+                .read(FileUse::whole("region.hdr").ops(1))
+                .write(FileProduce::new(&format!("proj/img-{i:03}.fits"), cfg.projected_bytes))
+                .compute_ms(cfg.project_compute_ms),
+        );
+    }
+
+    // Stage 2: mDiffFit per overlapping pair of adjacent images.
+    let mut fit_files = Vec::new();
+    for i in 0..cfg.images {
+        for k in 1..=cfg.overlaps_per_image {
+            let j = (i + k) % cfg.images;
+            if i >= j {
+                continue;
+            }
+            let fit = format!("diff/fit-{i:03}-{j:03}.txt");
+            w.task(
+                TaskSpec::new(&format!("mDiffFit-{i}-{j}"), "mDiffFit", 2)
+                    .read(FileUse::whole(&format!("proj/img-{i:03}.fits")).ops(2))
+                    .read(FileUse::whole(&format!("proj/img-{j:03}.fits")).ops(2))
+                    .write(FileProduce::new(&fit, MB / 10))
+                    .compute_ms(cfg.diff_compute_ms),
+            );
+            fit_files.push(fit);
+        }
+    }
+
+    // Stage 3: mConcatFit/mBgModel — one aggregator over all fit files.
+    let mut concat = TaskSpec::new("mConcatFit-0", "mConcatFit", 3)
+        .write(FileProduce::new("corrections.tbl", MB / 2))
+        .compute_ms(cfg.diff_compute_ms);
+    for f in &fit_files {
+        concat = concat.read(FileUse::whole(f).ops(1));
+    }
+    w.task(concat);
+
+    // Stage 4: mBackground per image, consuming the shared corrections.
+    for i in 0..cfg.images {
+        w.task(
+            TaskSpec::new(&format!("mBackground-{i}"), "mBackground", 4)
+                .read(FileUse::whole(&format!("proj/img-{i:03}.fits")).ops(2))
+                .read(FileUse::whole("corrections.tbl").ops(1))
+                .write(FileProduce::new(&format!("corr/img-{i:03}.fits"), cfg.projected_bytes))
+                .compute_ms(cfg.background_compute_ms),
+        );
+    }
+
+    // Stage 5: mAdd — final aggregator building the mosaic.
+    let mosaic_bytes = u64::from(cfg.images) * cfg.projected_bytes / 2;
+    let mut add = TaskSpec::new("mAdd-0", "mAdd", 5)
+        .write(FileProduce::new("mosaic.fits", mosaic_bytes).ops(16))
+        .compute_ms(cfg.add_compute_ms);
+    for i in 0..cfg.images {
+        add = add.read(FileUse::whole(&format!("corr/img-{i:03}.fits")).ops(2));
+    }
+    w.task(add);
+
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run, RunConfig};
+
+    #[test]
+    fn structure_counts() {
+        let cfg = MontageConfig::default();
+        let w = generate(&cfg);
+        w.validate().unwrap();
+        assert_eq!(w.tasks.iter().filter(|t| t.logical == "mProject").count(), 50);
+        assert_eq!(w.tasks.iter().filter(|t| t.logical == "mBackground").count(), 50);
+        assert_eq!(w.tasks.iter().filter(|t| t.logical == "mAdd").count(), 1);
+        // Many small intermediate files.
+        assert!(w.tasks.iter().flat_map(|t| &t.writes).count() > 100);
+    }
+
+    #[test]
+    fn compute_dominates_io_time() {
+        // The paper's Montage signature: low effective data rates because
+        // compute dominates.
+        let w = generate(&MontageConfig::tiny());
+        let r = run(&w, &RunConfig::default_gpu(2)).unwrap();
+        use dfl_iosim::breakdown::FlowTag;
+        let b = &r.total_breakdown;
+        assert!(b.get(FlowTag::Compute) > b.data_access(), "compute-bound");
+    }
+
+    #[test]
+    fn graph_has_two_aggregators() {
+        let w = generate(&MontageConfig::tiny());
+        let r = run(&w, &RunConfig::default_gpu(2)).unwrap();
+        let g = dfl_core::DflGraph::from_measurements(&r.measurements);
+        let concat = g.find_vertex("mConcatFit-0").unwrap();
+        let add = g.find_vertex("mAdd-0").unwrap();
+        assert!(g.in_degree(concat) >= 3, "fan-in aggregator");
+        assert!(g.in_degree(add) >= 6);
+    }
+}

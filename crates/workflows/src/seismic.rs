@@ -1,0 +1,152 @@
+//! Seismic Cross Correlation (§6.1; Figs. 2e, 4e): a data-intensive
+//! multi-stage aggregation.
+//!
+//! Station signals are preprocessed per station, cross-correlated in groups,
+//! and the good fits compressed into a single output file — the DFL
+//! signature is repeated task fan-in (a multi-stage aggregator), with the
+//! critical path defined by instances of task joins.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::{FileProduce, FileUse, TaskSpec, WorkflowSpec};
+
+const MB: u64 = 1 << 20;
+
+/// Generator parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeismicConfig {
+    /// Number of seismic stations.
+    pub stations: u32,
+    /// Stations per first-level correlation group.
+    pub group_size: u32,
+    /// Signal file size per station.
+    pub signal_bytes: u64,
+    /// Preprocessed output per station.
+    pub processed_bytes: u64,
+    /// Partial correlation output per group.
+    pub partial_bytes: u64,
+    pub preprocess_compute_ms: u64,
+    pub correlate_compute_ms: u64,
+    pub compress_compute_ms: u64,
+}
+
+impl Default for SeismicConfig {
+    fn default() -> Self {
+        SeismicConfig {
+            stations: 60,
+            group_size: 10,
+            signal_bytes: 30 * MB,
+            processed_bytes: 20 * MB,
+            partial_bytes: 40 * MB,
+            preprocess_compute_ms: 2_000,
+            correlate_compute_ms: 8_000,
+            compress_compute_ms: 5_000,
+        }
+    }
+}
+
+impl SeismicConfig {
+    pub fn tiny() -> Self {
+        SeismicConfig {
+            stations: 8,
+            group_size: 4,
+            signal_bytes: 2 * MB,
+            processed_bytes: MB,
+            partial_bytes: 2 * MB,
+            preprocess_compute_ms: 10,
+            correlate_compute_ms: 20,
+            compress_compute_ms: 10,
+        }
+    }
+
+    pub fn groups(&self) -> u32 {
+        self.stations.div_ceil(self.group_size)
+    }
+}
+
+/// Generates the workflow.
+pub fn generate(cfg: &SeismicConfig) -> WorkflowSpec {
+    let mut w = WorkflowSpec::new("seismic");
+    for s in 0..cfg.stations {
+        w.input(&format!("signals/station-{s:03}.sac"), cfg.signal_bytes);
+    }
+
+    // Stage 1: per-station preprocessing (decimation/whitening).
+    for s in 0..cfg.stations {
+        w.task(
+            TaskSpec::new(&format!("preprocess-{s}"), "preprocess", 1)
+                .read(FileUse::whole(&format!("signals/station-{s:03}.sac")).ops(4))
+                .write(FileProduce::new(&format!("proc/station-{s:03}.dat"), cfg.processed_bytes))
+                .compute_ms(cfg.preprocess_compute_ms)
+                .group(s / cfg.group_size),
+        );
+    }
+
+    // Stage 2: group correlators — first-level aggregators (task fan-in).
+    for g in 0..cfg.groups() {
+        let lo = g * cfg.group_size;
+        let hi = (lo + cfg.group_size).min(cfg.stations);
+        let mut t = TaskSpec::new(&format!("correlate-{g}"), "correlate", 2)
+            .write(FileProduce::new(&format!("xcorr/partial-{g:02}.dat"), cfg.partial_bytes))
+            .compute_ms(cfg.correlate_compute_ms)
+            .group(g);
+        for s in lo..hi {
+            t = t.read(FileUse::whole(&format!("proc/station-{s:03}.dat")).ops(4));
+        }
+        w.task(t);
+    }
+
+    // Stage 3: final compressor-aggregator producing the single output.
+    let mut fin = TaskSpec::new("compress-0", "compress", 3)
+        .write(FileProduce::new("xcorr/result.tar.gz", cfg.partial_bytes * u64::from(cfg.groups()) / 4))
+        .compute_ms(cfg.compress_compute_ms);
+    for g in 0..cfg.groups() {
+        fin = fin.read(FileUse::whole(&format!("xcorr/partial-{g:02}.dat")).ops(4));
+    }
+    w.task(fin);
+
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run, RunConfig};
+
+    #[test]
+    fn structure() {
+        let cfg = SeismicConfig::default();
+        let w = generate(&cfg);
+        w.validate().unwrap();
+        assert_eq!(w.tasks.len(), 60 + 6 + 1);
+        assert_eq!(cfg.groups(), 6);
+    }
+
+    #[test]
+    fn critical_path_by_fan_in_traverses_aggregators() {
+        use dfl_core::analysis::cost::CostModel;
+        use dfl_core::analysis::critical_path::critical_path;
+
+        let w = generate(&SeismicConfig::tiny());
+        let r = run(&w, &RunConfig::default_gpu(2)).unwrap();
+        let g = dfl_core::DflGraph::from_measurements(&r.measurements);
+        let cp = critical_path(&g, &CostModel::TaskFanIn);
+        // Both levels of aggregation are joins: cost ≥ 2.
+        assert!(cp.total_cost >= 2.0, "fan-in instances on path: {}", cp.total_cost);
+        let names: Vec<&str> = cp.vertices.iter().map(|&v| g.vertex(v).name.as_str()).collect();
+        assert!(names.iter().any(|n| n.starts_with("correlate")));
+        assert!(names.iter().any(|n| n.starts_with("compress")));
+    }
+
+    #[test]
+    fn final_task_is_compressor_aggregator() {
+        use dfl_core::analysis::{analyze, AnalysisConfig, PatternKind};
+        let w = generate(&SeismicConfig::tiny());
+        let r = run(&w, &RunConfig::default_gpu(2)).unwrap();
+        let g = dfl_core::DflGraph::from_measurements(&r.measurements);
+        let mut cfg = AnalysisConfig::default();
+        cfg.fan_in_threshold = 2;
+        let ops = analyze(&g, &cfg);
+        assert!(ops.iter().any(|o| o.pattern == PatternKind::CompressorAggregator));
+    }
+}

@@ -1,0 +1,284 @@
+//! Abstract workflow descriptions: tasks, their file uses, and compute.
+//!
+//! A [`WorkflowSpec`] is resource-neutral — it says *what* each task reads,
+//! writes, and computes, but not where tasks run or where files live. The
+//! [`engine`](crate::engine) binds it to a cluster, placement, and staging
+//! policy.
+
+use serde::{Deserialize, Serialize};
+
+/// A pre-existing input file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExternalFile {
+    pub path: String,
+    pub size: u64,
+}
+
+/// One read relation of a task.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileUse {
+    pub file: String,
+    /// Starting offset of the region this task consumes.
+    pub offset: u64,
+    /// Bytes consumed per pass; 0 means "to end of file".
+    pub bytes: u64,
+    /// Number of passes over the region (≥ 2 models intra-task reuse, e.g.
+    /// ML training epochs).
+    pub passes: u32,
+    /// Operations the region is split into per pass (controls op counts and
+    /// locality statistics).
+    pub ops: u32,
+}
+
+impl FileUse {
+    /// Reads the whole file once in `ops` operations.
+    pub fn whole(file: &str) -> Self {
+        FileUse { file: file.into(), offset: 0, bytes: 0, passes: 1, ops: 8 }
+    }
+
+    /// Reads `bytes` at `offset` once.
+    pub fn region(file: &str, offset: u64, bytes: u64) -> Self {
+        FileUse { file: file.into(), offset, bytes, passes: 1, ops: 4 }
+    }
+
+    pub fn passes(mut self, n: u32) -> Self {
+        self.passes = n.max(1);
+        self
+    }
+
+    pub fn ops(mut self, n: u32) -> Self {
+        self.ops = n.max(1);
+        self
+    }
+}
+
+/// One write relation of a task (appending; `ops` splits it into that many
+/// write operations).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileProduce {
+    pub file: String,
+    pub bytes: u64,
+    pub ops: u32,
+}
+
+impl FileProduce {
+    pub fn new(file: &str, bytes: u64) -> Self {
+        FileProduce { file: file.into(), bytes, ops: 4 }
+    }
+
+    pub fn ops(mut self, n: u32) -> Self {
+        self.ops = n.max(1);
+        self
+    }
+}
+
+/// One task of a workflow.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Instance name, e.g. `indiv-chr1-3`.
+    pub name: String,
+    /// Logical name for DFL template aggregation, e.g. `indiv`.
+    pub logical: String,
+    /// Pipeline stage (for stage-time reporting; staging jobs use stage 0).
+    pub stage: u32,
+    pub reads: Vec<FileUse>,
+    pub writes: Vec<FileProduce>,
+    /// Pure computation, ns.
+    pub compute_ns: u64,
+    /// Explicit control dependencies (indices into `WorkflowSpec::tasks`);
+    /// data dependencies through files are inferred automatically.
+    pub after: Vec<usize>,
+    /// Co-location group (e.g. the caterpillar a task belongs to); used by
+    /// group-aware placement.
+    pub group: Option<u32>,
+}
+
+impl TaskSpec {
+    pub fn new(name: &str, logical: &str, stage: u32) -> Self {
+        TaskSpec {
+            name: name.into(),
+            logical: logical.into(),
+            stage,
+            reads: Vec::new(),
+            writes: Vec::new(),
+            compute_ns: 0,
+            after: Vec::new(),
+            group: None,
+        }
+    }
+
+    pub fn read(mut self, f: FileUse) -> Self {
+        self.reads.push(f);
+        self
+    }
+
+    pub fn write(mut self, f: FileProduce) -> Self {
+        self.writes.push(f);
+        self
+    }
+
+    pub fn compute_ms(mut self, ms: u64) -> Self {
+        self.compute_ns = ms * 1_000_000;
+        self
+    }
+
+    pub fn compute_ns(mut self, ns: u64) -> Self {
+        self.compute_ns = ns;
+        self
+    }
+
+    pub fn after(mut self, idx: usize) -> Self {
+        self.after.push(idx);
+        self
+    }
+
+    pub fn group(mut self, g: u32) -> Self {
+        self.group = Some(g);
+        self
+    }
+}
+
+/// A complete workflow description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkflowSpec {
+    pub name: String,
+    pub inputs: Vec<ExternalFile>,
+    pub tasks: Vec<TaskSpec>,
+}
+
+impl WorkflowSpec {
+    pub fn new(name: &str) -> Self {
+        WorkflowSpec { name: name.into(), inputs: Vec::new(), tasks: Vec::new() }
+    }
+
+    pub fn input(&mut self, path: &str, size: u64) {
+        self.inputs.push(ExternalFile { path: path.into(), size });
+    }
+
+    /// Adds a task, returning its index for `after` references.
+    pub fn task(&mut self, t: TaskSpec) -> usize {
+        self.tasks.push(t);
+        self.tasks.len() - 1
+    }
+
+    /// Number of pipeline stages (max stage + 1).
+    pub fn stage_count(&self) -> u32 {
+        self.tasks.iter().map(|t| t.stage + 1).max().unwrap_or(0)
+    }
+
+    /// Total bytes read across all tasks (volume, counting passes).
+    pub fn total_read_volume(&self) -> u64 {
+        let size_of = |f: &str| {
+            self.inputs
+                .iter()
+                .find(|i| i.path == f)
+                .map(|i| i.size)
+                .or_else(|| {
+                    self.tasks
+                        .iter()
+                        .flat_map(|t| &t.writes)
+                        .filter(|w| w.file == f)
+                        .map(|w| w.bytes)
+                        .max()
+                })
+                .unwrap_or(0)
+        };
+        self.tasks
+            .iter()
+            .flat_map(|t| &t.reads)
+            .map(|r| {
+                let b = if r.bytes == 0 { size_of(&r.file).saturating_sub(r.offset) } else { r.bytes };
+                b * u64::from(r.passes)
+            })
+            .sum()
+    }
+
+    /// Total bytes written across all tasks.
+    pub fn total_write_volume(&self) -> u64 {
+        self.tasks.iter().flat_map(|t| &t.writes).map(|w| w.bytes).sum()
+    }
+
+    /// Validates internal consistency: every read refers to an input or to
+    /// some task's output; `after` indices are in range.
+    pub fn validate(&self) -> Result<(), String> {
+        use std::collections::HashSet;
+        let mut known: HashSet<&str> = self.inputs.iter().map(|i| i.path.as_str()).collect();
+        for t in &self.tasks {
+            for w in &t.writes {
+                known.insert(w.file.as_str());
+            }
+        }
+        for (i, t) in self.tasks.iter().enumerate() {
+            for r in &t.reads {
+                if !known.contains(r.file.as_str()) {
+                    return Err(format!("task {} reads unknown file {}", t.name, r.file));
+                }
+            }
+            for &a in &t.after {
+                if a >= self.tasks.len() {
+                    return Err(format!("task {} has out-of-range dependency {a}", t.name));
+                }
+                if a == i {
+                    return Err(format!("task {} depends on itself", t.name));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipeline() -> WorkflowSpec {
+        let mut w = WorkflowSpec::new("demo");
+        w.input("in.dat", 1000);
+        let a = w.task(
+            TaskSpec::new("gen-0", "gen", 0)
+                .read(FileUse::whole("in.dat"))
+                .write(FileProduce::new("mid.dat", 500))
+                .compute_ms(10),
+        );
+        w.task(
+            TaskSpec::new("use-0", "use", 1)
+                .read(FileUse::region("mid.dat", 0, 250).passes(2))
+                .after(a),
+        );
+        w
+    }
+
+    #[test]
+    fn volumes() {
+        let w = pipeline();
+        assert_eq!(w.total_read_volume(), 1000 + 500);
+        assert_eq!(w.total_write_volume(), 500);
+        assert_eq!(w.stage_count(), 2);
+    }
+
+    #[test]
+    fn validate_ok() {
+        assert!(pipeline().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_unknown_file() {
+        let mut w = pipeline();
+        w.tasks[1].reads.push(FileUse::whole("ghost"));
+        assert!(w.validate().unwrap_err().contains("ghost"));
+    }
+
+    #[test]
+    fn validate_catches_bad_dep() {
+        let mut w = pipeline();
+        w.tasks[0].after.push(99);
+        assert!(w.validate().unwrap_err().contains("out-of-range"));
+    }
+
+    #[test]
+    fn builders_clamp() {
+        let f = FileUse::whole("x").passes(0).ops(0);
+        assert_eq!(f.passes, 1);
+        assert_eq!(f.ops, 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! DeepDriveMD response-time optimization (§6.3): detect the aggregator and
+//! reuse patterns in the original pipeline, then run the shortened
+//! (coalesced + asynchronous) pipeline the analysis suggests.
+//!
+//! Run with: `cargo run --release -p dfl-examples --bin ddmd_response_time`
+
+use dfl_core::analysis::patterns::{analyze, AnalysisConfig, PatternKind};
+use dfl_core::DflGraph;
+use dfl_workflows::ddmd::{generate, DdmdConfig, Fig7Config, Pipeline};
+use dfl_workflows::engine::run;
+
+fn main() {
+    let cfg = DdmdConfig { iterations: 3, ..DdmdConfig::default() };
+
+    // Run the original 4-stage pipeline and analyze its lifecycle graph.
+    let original = run(&generate(&cfg, Pipeline::Original), &Fig7Config::OriginalNfs.run_config())
+        .expect("original run");
+    let g = DflGraph::from_measurements(&original.measurements);
+    let analysis_cfg = AnalysisConfig { fan_in_threshold: 4, ..Default::default() };
+    let opportunities = analyze(&g, &analysis_cfg);
+
+    println!("original pipeline: {:.1}s", original.makespan_s);
+    println!("\nDFL opportunity analysis finds the §6.3 signatures:");
+    for kind in [
+        PatternKind::Aggregator,
+        PatternKind::IntraTaskLocality,
+        PatternKind::InterTaskLocality,
+        PatternKind::DataNonUse,
+        PatternKind::AggregatorThenRegular,
+    ] {
+        if let Some(o) = opportunities.iter().find(|o| o.pattern == kind) {
+            println!("  [{}] {}", kind.label(), o.evidence);
+        }
+    }
+
+    // Apply the remediations: coalesce aggregation, train asynchronously.
+    println!("\n→ remediation: coalesce the aggregator into its consumers and move");
+    println!("  training off the critical path (nested asynchronous pipeline)\n");
+    for variant in [Fig7Config::ShortenedNfs, Fig7Config::ShortenedBfs, Fig7Config::ShortenedBfsShm] {
+        let spec = generate(&cfg, variant.pipeline());
+        let r = run(&spec, &variant.run_config()).expect("shortened run");
+        println!(
+            "{:<18} {:>7.1}s  ({:.2}x vs original)",
+            variant.label(),
+            r.makespan_s,
+            original.makespan_s / r.makespan_s
+        );
+    }
+    println!("\npaper §6.3: shortened pipeline achieves up to 1.9x");
+}

@@ -1,0 +1,54 @@
+//! The 1000 Genomes scenario end-to-end: simulate the workflow, inspect its
+//! lifecycle graph, and apply the paper's §6.2 remediation (caterpillar
+//! co-location + local staging) to compare response times.
+//!
+//! Run with: `cargo run --release -p dfl-examples --bin genomes_pipeline`
+
+use dfl_core::analysis::caterpillar::{caterpillar, CaterpillarRule};
+use dfl_core::analysis::cost::CostModel;
+use dfl_core::analysis::critical_path::critical_path;
+use dfl_core::DflGraph;
+use dfl_workflows::engine::run;
+use dfl_workflows::genomes::{generate, Fig6Config, GenomesConfig};
+
+fn main() {
+    // A mid-sized instance: 4 chromosomes × 8 indiv × 3 populations.
+    let cfg = GenomesConfig {
+        chromosomes: 4,
+        indiv_per_chr: 8,
+        populations: 3,
+        ..GenomesConfig::default()
+    };
+    let spec = generate(&cfg);
+    println!(
+        "1000 Genomes: {} tasks, {:.1} GiB read volume",
+        spec.tasks.len(),
+        spec.total_read_volume() as f64 / (1u64 << 30) as f64
+    );
+
+    // Baseline: everything on the shared parallel filesystem.
+    let baseline = run(&spec, &Fig6Config::N10Bfs.run_config()).expect("baseline run");
+    println!("\nbaseline (10 nodes, all BeeGFS): {:.2}s", baseline.makespan_s);
+    print!("{}", baseline.stage_summary());
+
+    // DFL analysis on the measured execution.
+    let g = DflGraph::from_measurements(&baseline.measurements);
+    let cp = critical_path(&g, &CostModel::BranchJoin { branch_threshold: 2 });
+    let cat = caterpillar(&g, &cp, CaterpillarRule::Dfl);
+    println!(
+        "\ncritical path has {} branch/join instances; caterpillar covers {} of {} vertices",
+        cp.total_cost,
+        cat.len(),
+        g.vertex_count()
+    );
+    println!("→ remediation: co-locate each chromosome's caterpillar and stage data locally\n");
+
+    // Remediated: per-caterpillar co-location + RAM-disk staging (§6.2).
+    let staged = run(&spec, &Fig6Config::N10BfsShmStaging.run_config()).expect("staged run");
+    println!("remediated (co-located + staged): {:.2}s", staged.makespan_s);
+    print!("{}", staged.stage_summary());
+    println!(
+        "\nspeedup: {:.1}x (paper §6.2 reports 15x at full scale)",
+        baseline.makespan_s / staged.makespan_s
+    );
+}

@@ -1,0 +1,17 @@
+//! Cross-crate integration tests live in `tests/tests/`.
+//!
+//! Shared helpers for those tests.
+
+use dfl_trace::MeasurementSet;
+use dfl_workflows::engine::{run, RunConfig, RunResult};
+use dfl_workflows::spec::WorkflowSpec;
+
+/// Runs a spec on a small GPU cluster and returns the result.
+pub fn quick_run(spec: &WorkflowSpec, nodes: usize) -> RunResult {
+    run(spec, &RunConfig::default_gpu(nodes)).expect("simulation succeeds")
+}
+
+/// Asserts two measurement sets are identical via their canonical JSON.
+pub fn assert_same_measurements(a: &MeasurementSet, b: &MeasurementSet) {
+    assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
+}

@@ -1,0 +1,75 @@
+//! The closed loop: measure a workflow, analyze its lifecycle graph, derive
+//! coordination advice automatically, apply it, and verify the re-run is
+//! faster — the end-to-end story of the paper, fully automated.
+
+use dfl_core::analysis::advisor::advise;
+use dfl_core::analysis::patterns::{analyze, AnalysisConfig};
+use dfl_core::DflGraph;
+use dfl_iosim::storage::TierKind;
+use dfl_workflows::engine::{apply_advice, run, RunConfig};
+use dfl_workflows::genomes::{generate, GenomesConfig};
+
+fn analysis_cfg() -> AnalysisConfig {
+    AnalysisConfig {
+        volume_threshold: 32 << 20,
+        fan_in_threshold: 3,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn measure_analyze_remediate_rerun_is_faster() {
+    let cfg = GenomesConfig {
+        chromosomes: 4,
+        indiv_per_chr: 6,
+        populations: 2,
+        ..GenomesConfig::default()
+    };
+    let spec = generate(&cfg);
+
+    // 1. Measure the naive configuration.
+    let baseline_cfg = RunConfig::default_gpu(4);
+    let baseline = run(&spec, &baseline_cfg).expect("baseline");
+
+    // 2. Analyze the measured lifecycle graph.
+    let g = DflGraph::from_measurements(&baseline.measurements);
+    let opportunities = analyze(&g, &analysis_cfg());
+    assert!(!opportunities.is_empty());
+
+    // 3. Derive advice automatically.
+    let advice = advise(&g, &opportunities);
+    assert!(!advice.is_empty(), "advisor found nothing on a staging-friendly workflow");
+    assert!(
+        advice.stage_inputs.contains("columns.txt"),
+        "the shared columns input is the canonical staging candidate: {:?}",
+        advice.stage_inputs
+    );
+    assert!(advice.colocate_consumers, "chromosome fan-out ⇒ co-location");
+    assert!(advice.local_intermediates, "merge aggregation ⇒ local intermediates");
+
+    // 4. Apply and re-run.
+    let mut tuned_cfg = RunConfig::default_gpu(4);
+    apply_advice(&mut tuned_cfg, &advice, TierKind::Ramdisk);
+    assert!(tuned_cfg.staging.stage_inputs.is_some());
+    let tuned = run(&spec, &tuned_cfg).expect("tuned");
+
+    // 5. The advised configuration must win, substantially.
+    assert!(
+        tuned.makespan_s < baseline.makespan_s * 0.6,
+        "advice should speed the run: {:.2}s → {:.2}s",
+        baseline.makespan_s,
+        tuned.makespan_s
+    );
+}
+
+#[test]
+fn advice_is_stable_across_measured_runs() {
+    let cfg = GenomesConfig::tiny();
+    let spec = generate(&cfg);
+    let derive = || {
+        let r = run(&spec, &RunConfig::default_gpu(2)).unwrap();
+        let g = DflGraph::from_measurements(&r.measurements);
+        advise(&g, &analyze(&g, &analysis_cfg()))
+    };
+    assert_eq!(derive(), derive());
+}

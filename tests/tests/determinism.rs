@@ -1,0 +1,69 @@
+//! Determinism: the whole stack (generators → simulator → monitor →
+//! graph → analysis) must be bit-reproducible run-to-run, or measurement
+//! comparisons across configurations would be meaningless.
+
+use dfl_core::analysis::cost::CostModel;
+use dfl_core::analysis::critical_path::critical_path;
+use dfl_core::analysis::patterns::{analyze, AnalysisConfig};
+use dfl_core::DflGraph;
+use dfl_tests::{assert_same_measurements, quick_run};
+use dfl_workflows::{belle2, ddmd, genomes};
+
+#[test]
+fn genomes_runs_identically_twice() {
+    let spec = genomes::generate(&genomes::GenomesConfig::tiny());
+    let a = quick_run(&spec, 3);
+    let b = quick_run(&spec, 3);
+    assert_eq!(a.makespan_s, b.makespan_s);
+    assert_same_measurements(&a.measurements, &b.measurements);
+}
+
+#[test]
+fn ddmd_runs_identically_twice() {
+    let spec = ddmd::generate(&ddmd::DdmdConfig::tiny(), ddmd::Pipeline::Shortened);
+    let a = quick_run(&spec, 2);
+    let b = quick_run(&spec, 2);
+    assert_eq!(a.makespan_s, b.makespan_s);
+    assert_same_measurements(&a.measurements, &b.measurements);
+}
+
+#[test]
+fn belle2_cached_run_is_deterministic() {
+    let cfg = belle2::Belle2Config::tiny();
+    let spec = belle2::generate(&cfg, belle2::DataAccess::Cached);
+    let rc = belle2::run_config(&cfg, belle2::DataAccess::Cached, 2);
+    let a = dfl_workflows::engine::run(&spec, &rc).unwrap();
+    let b = dfl_workflows::engine::run(&spec, &rc).unwrap();
+    assert_eq!(a.makespan_s, b.makespan_s);
+    assert_same_measurements(&a.measurements, &b.measurements);
+}
+
+#[test]
+fn analysis_is_deterministic_on_same_graph() {
+    let spec = genomes::generate(&genomes::GenomesConfig::tiny());
+    let r = quick_run(&spec, 2);
+    let g = DflGraph::from_measurements(&r.measurements);
+
+    let cp1 = critical_path(&g, &CostModel::Volume);
+    let cp2 = critical_path(&g, &CostModel::Volume);
+    assert_eq!(cp1.vertices, cp2.vertices);
+
+    let cfg = AnalysisConfig::default();
+    let a: Vec<String> = analyze(&g, &cfg).iter().map(|o| o.evidence.clone()).collect();
+    let b: Vec<String> = analyze(&g, &cfg).iter().map(|o| o.evidence.clone()).collect();
+    assert_eq!(a, b, "opportunity ordering stable");
+}
+
+#[test]
+fn generator_outputs_are_deterministic() {
+    let a = belle2::Belle2Config::default();
+    for t in [0u32, 7, 239] {
+        assert_eq!(a.draws_for(t), a.draws_for(t));
+    }
+    let s1 = belle2::Scenario::S1.traces(&belle2::Belle2Config::tiny());
+    let s2 = belle2::Scenario::S1.traces(&belle2::Belle2Config::tiny());
+    assert_eq!(s1.len(), s2.len());
+    for (x, y) in s1.iter().zip(&s2) {
+        assert_eq!(x.ops, y.ops);
+    }
+}

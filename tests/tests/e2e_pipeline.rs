@@ -1,0 +1,115 @@
+//! End-to-end integration: simulate each of the five workflows, build the
+//! DFL graph from the collected measurements, and verify the paper's
+//! signature structures appear.
+
+use dfl_core::analysis::cost::CostModel;
+use dfl_core::analysis::critical_path::critical_path;
+use dfl_core::analysis::entities::{data_fan_outs, task_fan_ins};
+use dfl_core::DflGraph;
+use dfl_tests::quick_run;
+use dfl_workflows::{belle2, ddmd, engine, genomes, montage, seismic};
+
+#[test]
+fn genomes_graph_structure() {
+    let spec = genomes::generate(&genomes::GenomesConfig::tiny());
+    let r = quick_run(&spec, 2);
+    let g = DflGraph::from_measurements(&r.measurements);
+    assert!(g.is_dag());
+
+    // Data-parallel fan-out: each chromosome file feeds 4 indiv tasks, the
+    // columns file feeds all 8.
+    let chr1 = g.find_vertex("ALL.chr1.250000.vcf").expect("chr1 vertex");
+    assert_eq!(g.out_degree(chr1), 4);
+    let columns = g.find_vertex("columns.txt").expect("columns vertex");
+    assert_eq!(g.out_degree(columns), 8);
+
+    // merge is a task fan-in over the indiv outputs (+0 other inputs).
+    let merge = g.find_vertex("merge-chr1").expect("merge vertex");
+    assert_eq!(g.in_degree(merge), 4);
+
+    // The merged archive is consumed by freq+mutat of both populations.
+    let merged = g.find_vertex("chr1n.tar.gz").expect("merged vertex");
+    assert_eq!(g.out_degree(merged), 4);
+}
+
+#[test]
+fn genomes_template_collapses_instances() {
+    let spec = genomes::generate(&genomes::GenomesConfig::tiny());
+    let r = quick_run(&spec, 2);
+    let g = DflGraph::from_measurements(&r.measurements);
+    let t = g.to_template();
+    // Logical tasks: staging? no staging here — indiv, merge, sift, freq, mutat.
+    let logical_tasks: Vec<String> = t
+        .graph
+        .task_vertices()
+        .map(|v| t.graph.vertex(v).name.clone())
+        .collect();
+    for expected in ["indiv", "merge", "sift", "freq", "mutat"] {
+        assert!(
+            logical_tasks.iter().any(|n| n == expected),
+            "missing template task {expected}: {logical_tasks:?}"
+        );
+    }
+    let indiv = t.graph.find_vertex("indiv").unwrap();
+    assert_eq!(
+        t.graph.vertex(indiv).props.as_task().unwrap().instances,
+        8,
+        "2 chromosomes × 4 indiv"
+    );
+}
+
+#[test]
+fn ddmd_graph_shows_reuse_chain() {
+    let spec = ddmd::generate(&ddmd::DdmdConfig::tiny(), ddmd::Pipeline::Original);
+    let r = quick_run(&spec, 2);
+    let g = DflGraph::from_measurements(&r.measurements);
+
+    // aggregate fans in from all sims of an iteration.
+    let aggs = task_fan_ins(&g, 3);
+    assert!(!aggs.is_empty(), "aggregate has fan-in 3");
+    // The combined file fans out to train and lof.
+    let combined = g.find_vertex("combined-it0.h5").unwrap();
+    assert_eq!(g.out_degree(combined), 2, "one consumer edge each for train and lof");
+    assert!(g.out_volume(combined) > g.in_volume(combined), "reuse signature");
+}
+
+#[test]
+fn belle2_fan_out_over_shared_pool() {
+    let cfg = belle2::Belle2Config::tiny();
+    let spec = belle2::generate(&cfg, belle2::DataAccess::Cached);
+    let rc = belle2::run_config(&cfg, belle2::DataAccess::Cached, 2);
+    let r = engine::run(&spec, &rc).unwrap();
+    let g = DflGraph::from_measurements(&r.measurements);
+    let shared = data_fan_outs(&g, 2);
+    assert!(!shared.is_empty(), "datasets shared across MC tasks");
+}
+
+#[test]
+fn montage_and_seismic_critical_paths() {
+    let r = quick_run(&montage::generate(&montage::MontageConfig::tiny()), 2);
+    let g = DflGraph::from_measurements(&r.measurements);
+    let cp = critical_path(&g, &CostModel::Volume);
+    // Montage's volume path flows through the final mosaic.
+    let names: Vec<&str> = cp.vertices.iter().map(|&v| g.vertex(v).name.as_str()).collect();
+    assert!(names.contains(&"mosaic.fits"), "{names:?}");
+
+    let r = quick_run(&seismic::generate(&seismic::SeismicConfig::tiny()), 2);
+    let g = DflGraph::from_measurements(&r.measurements);
+    let cp = critical_path(&g, &CostModel::TaskFanIn);
+    assert!(cp.total_cost >= 2.0, "multi-stage aggregation joins");
+}
+
+#[test]
+fn measurements_survive_json_round_trip_and_rebuild() {
+    let spec = genomes::generate(&genomes::GenomesConfig::tiny());
+    let r = quick_run(&spec, 2);
+    let json = r.measurements.to_json().unwrap();
+    let back = dfl_trace::MeasurementSet::from_json(&json).unwrap();
+    let g1 = DflGraph::from_measurements(&r.measurements);
+    let g2 = DflGraph::from_measurements(&back);
+    assert_eq!(g1.vertex_count(), g2.vertex_count());
+    assert_eq!(g1.edge_count(), g2.edge_count());
+    let cp1 = critical_path(&g1, &CostModel::Volume);
+    let cp2 = critical_path(&g2, &CostModel::Volume);
+    assert_eq!(cp1.total_cost, cp2.total_cost);
+}

@@ -1,0 +1,130 @@
+//! Property tests for graph transformations: template aggregation conserves
+//! volumes and instances, averaged graphs interpolate, near-critical paths
+//! stay disjoint, and every renderer handles arbitrary measured graphs.
+
+use proptest::prelude::*;
+
+use dfl_core::analysis::cost::CostModel;
+use dfl_core::analysis::critical_path::critical_path;
+use dfl_core::analysis::near_critical::k_disjoint_paths;
+use dfl_core::viz::sankey::{SankeyDiagram, SankeyOptions};
+use dfl_core::viz::{render_ascii, to_dot, to_html};
+use dfl_core::DflGraph;
+use dfl_trace::{IoTiming, Monitor, MonitorConfig, OpenMode};
+
+/// Builds a measured graph from a random layered workload description:
+/// per layer, (task count, bytes each task writes, whether tasks re-read
+/// the previous layer's files).
+fn measured_graph(layers: &[(u8, u32, bool)]) -> DflGraph {
+    let m = Monitor::new(MonitorConfig::default());
+    let mut prev_files: Vec<(String, u64)> = Vec::new();
+    let mut clock = 0u64;
+    for (li, &(n_tasks, bytes, reread)) in layers.iter().enumerate() {
+        let mut next_files = Vec::new();
+        for t in 0..n_tasks.max(1) {
+            let ctx = m.begin_task(&format!("l{li}-t{t}"), clock);
+            if reread {
+                for (path, size) in &prev_files {
+                    let fd = ctx.open(path, OpenMode::Read, Some(*size), clock);
+                    ctx.read(fd, *size, IoTiming::new(clock, 5)).unwrap();
+                    ctx.close(fd, clock + 10).unwrap();
+                }
+            }
+            let path = format!("f-l{li}-t{t}");
+            let fd = ctx.open(&path, OpenMode::Write, None, clock);
+            ctx.write(fd, u64::from(bytes), IoTiming::new(clock, 5)).unwrap();
+            ctx.close(fd, clock + 20).unwrap();
+            ctx.finish(clock + 30);
+            next_files.push((path, u64::from(bytes)));
+            clock += 50;
+        }
+        prev_files = next_files;
+    }
+    DflGraph::from_measurements(&m.snapshot())
+}
+
+fn layer_strategy() -> impl Strategy<Value = Vec<(u8, u32, bool)>> {
+    prop::collection::vec((1u8..5, 1u32..1_000_000, any::<bool>()), 1..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Template aggregation conserves total volume and vertex instances.
+    #[test]
+    fn template_conserves_volume_and_instances(layers in layer_strategy()) {
+        let g = measured_graph(&layers);
+        let t = g.to_template();
+
+        let total = |gr: &DflGraph| -> u64 {
+            gr.edges().map(|(_, e)| e.props.volume).sum()
+        };
+        prop_assert_eq!(total(&g), total(&t.graph), "volume conserved");
+
+        let orig_tasks = g.task_vertices().count() as u32;
+        let template_instances: u32 = t
+            .graph
+            .task_vertices()
+            .map(|v| t.graph.vertex(v).props.as_task().unwrap().instances)
+            .sum();
+        prop_assert_eq!(orig_tasks, template_instances, "instances conserved");
+        prop_assert!(t.graph.vertex_count() <= g.vertex_count());
+    }
+
+    /// k-disjoint paths never reuse a vertex and come out cost-ordered.
+    #[test]
+    fn k_paths_disjoint_and_ordered(layers in layer_strategy()) {
+        let g = measured_graph(&layers);
+        let paths = k_disjoint_paths(&g, &CostModel::Volume, 4);
+        let mut seen = std::collections::HashSet::new();
+        let mut last = f64::INFINITY;
+        for p in &paths {
+            prop_assert!(p.total_cost <= last + 1e-9, "descending cost");
+            last = p.total_cost;
+            for v in &p.vertices {
+                prop_assert!(seen.insert(*v), "vertex reuse");
+            }
+        }
+    }
+
+    /// Renderers never panic and produce structurally sane output for any
+    /// measured graph.
+    #[test]
+    fn renderers_total(layers in layer_strategy()) {
+        let g = measured_graph(&layers);
+        let cp = critical_path(&g, &CostModel::Volume);
+
+        let ascii = render_ascii(&g, Some(&cp));
+        prop_assert!(ascii.contains("layer 0:"));
+
+        let dot = to_dot(&g, "prop", Some(&cp));
+        prop_assert!(dot.starts_with("digraph"));
+        prop_assert_eq!(dot.matches(" -> ").count(), g.edge_count());
+
+        let html = to_html(&g, "prop", Some(&cp));
+        prop_assert_eq!(html.matches("<rect").count(), g.vertex_count());
+
+        let sankey = SankeyDiagram::from_graph(&g, &SankeyOptions {
+            critical_path: Some(cp),
+            ..Default::default()
+        });
+        prop_assert_eq!(sankey.nodes.len(), g.vertex_count());
+        prop_assert_eq!(sankey.links.len(), g.edge_count());
+        // Indices in range.
+        for l in &sankey.links {
+            prop_assert!(l.source < sankey.nodes.len());
+            prop_assert!(l.target < sankey.nodes.len());
+        }
+    }
+
+    /// Graph JSON round trip preserves analysis results.
+    #[test]
+    fn graph_json_round_trip_preserves_analysis(layers in layer_strategy()) {
+        let g = measured_graph(&layers);
+        let back = DflGraph::from_json(&g.to_json().unwrap()).unwrap();
+        let a = critical_path(&g, &CostModel::Volume);
+        let b = critical_path(&back, &CostModel::Volume);
+        prop_assert_eq!(a.total_cost, b.total_cost);
+        prop_assert_eq!(a.vertices, b.vertices);
+    }
+}

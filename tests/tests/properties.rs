@@ -1,0 +1,176 @@
+//! Property-based tests over the full stack: volume conservation between
+//! monitor and graph, critical-path/caterpillar invariants on random DAGs,
+//! histogram space bounds, and sampling determinism.
+
+use proptest::prelude::*;
+
+use dfl_core::analysis::caterpillar::{caterpillar, CaterpillarRule};
+use dfl_core::analysis::cost::CostModel;
+use dfl_core::analysis::critical_path::critical_path;
+use dfl_core::props::{DataProps, EdgeProps, FlowDir, TaskProps};
+use dfl_core::DflGraph;
+use dfl_trace::{IoTiming, Monitor, MonitorConfig, OpenMode};
+
+/// Strategy: a random layered producer/consumer workload description.
+/// Each entry: (files written per task, bytes per write, reads-of-previous).
+fn workload() -> impl Strategy<Value = Vec<(u8, u32, u8)>> {
+    prop::collection::vec((1u8..4, 1u32..2_000_000, 0u8..4), 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Bytes written through the monitor equal the producer-edge volumes in
+    /// the graph, and data-vertex in-volume equals bytes on disk.
+    #[test]
+    fn volume_conservation(tasks in workload()) {
+        let m = Monitor::new(MonitorConfig::default());
+        let mut produced: Vec<(String, u64)> = Vec::new();
+        let mut expected_written = 0u64;
+        let mut expected_read = 0u64;
+
+        for (ti, (n_files, bytes, n_reads)) in tasks.iter().enumerate() {
+            let ctx = m.begin_task(&format!("t-{ti}"), ti as u64 * 1000);
+            // Read some previously produced files.
+            for r in 0..*n_reads {
+                if produced.is_empty() { break; }
+                let (path, size) = &produced[(ti + r as usize) % produced.len()];
+                let fd = ctx.open(path, OpenMode::Read, Some(*size), ti as u64 * 1000);
+                let n = ctx.read(fd, *size, IoTiming::new(ti as u64 * 1000, 10)).unwrap();
+                expected_read += n;
+                ctx.close(fd, ti as u64 * 1000 + 10).unwrap();
+            }
+            // Write fresh files.
+            for f in 0..*n_files {
+                let path = format!("f-{ti}-{f}");
+                let fd = ctx.open(&path, OpenMode::Write, None, ti as u64 * 1000);
+                ctx.write(fd, u64::from(*bytes), IoTiming::new(ti as u64 * 1000, 10)).unwrap();
+                ctx.close(fd, ti as u64 * 1000 + 20).unwrap();
+                produced.push((path, u64::from(*bytes)));
+                expected_written += u64::from(*bytes);
+            }
+            ctx.finish(ti as u64 * 1000 + 100);
+        }
+
+        let set = m.snapshot();
+        let g = DflGraph::from_measurements(&set);
+        prop_assert!(g.is_dag());
+
+        let producer_volume: u64 = g.edges()
+            .filter(|(_, e)| e.dir == FlowDir::Producer)
+            .map(|(_, e)| e.props.volume)
+            .sum();
+        let consumer_volume: u64 = g.edges()
+            .filter(|(_, e)| e.dir == FlowDir::Consumer)
+            .map(|(_, e)| e.props.volume)
+            .sum();
+        prop_assert_eq!(producer_volume, expected_written);
+        prop_assert_eq!(consumer_volume, expected_read);
+
+        // Per data vertex: in-volume equals its size (single full write).
+        for d in g.data_vertices() {
+            let size = g.vertex(d).props.as_data().unwrap().size;
+            prop_assert_eq!(g.in_volume(d), size);
+        }
+    }
+
+    /// Critical path is a real path, is maximal among single edges, and the
+    /// caterpillar always contains it.
+    #[test]
+    fn critical_path_invariants(
+        widths in prop::collection::vec(1usize..5, 1..5),
+        volumes in prop::collection::vec(1u64..1_000_000, 32),
+    ) {
+        // Build a random layered bipartite DAG.
+        let mut g = DflGraph::new();
+        let mut vi = 0usize;
+        let mut prev_layer: Vec<_> = (0..widths[0])
+            .map(|i| g.add_task(&format!("t0-{i}"), "t", TaskProps::default()))
+            .collect();
+        for (li, &w) in widths.iter().enumerate().skip(1) {
+            let mut layer = Vec::new();
+            for i in 0..w {
+                let d = g.add_data(&format!("d{li}-{i}"), "d", DataProps::default());
+                let t = g.add_task(&format!("t{li}-{i}"), "t", TaskProps::default());
+                for &p in &prev_layer {
+                    let vol = volumes[vi % volumes.len()];
+                    vi += 1;
+                    g.add_edge(p, d, FlowDir::Producer, EdgeProps { volume: vol, ..Default::default() });
+                }
+                g.add_edge(d, t, FlowDir::Consumer, EdgeProps {
+                    volume: volumes[vi % volumes.len()],
+                    ..Default::default()
+                });
+                vi += 1;
+                layer.push(t);
+            }
+            prev_layer = layer;
+        }
+
+        let cp = critical_path(&g, &CostModel::Volume);
+        // Path property: consecutive vertices joined by the listed edges.
+        for (i, &e) in cp.edges.iter().enumerate() {
+            prop_assert_eq!(g.edge(e).src, cp.vertices[i]);
+            prop_assert_eq!(g.edge(e).dst, cp.vertices[i + 1]);
+        }
+        // Maximality: no single edge outweighs the whole path.
+        let max_edge = g.edges().map(|(_, e)| e.props.volume).max().unwrap_or(0);
+        prop_assert!(cp.total_cost >= max_edge as f64);
+
+        // Caterpillar ⊇ spine; members within distance 2.
+        let cat = caterpillar(&g, &cp, CaterpillarRule::Dfl);
+        for v in &cp.vertices {
+            prop_assert!(cat.membership(g.vertex_count())[v.0 as usize]);
+        }
+        prop_assert!(cat.len() <= g.vertex_count());
+    }
+
+    /// The monitor's space is bounded: tracked locations per pair never
+    /// exceed the policy bound regardless of file size or access count.
+    #[test]
+    fn histogram_space_bound(
+        n_ops in 1usize..300,
+        op_len in 1u64..(1 << 22),
+        stride in 0u64..(1 << 24),
+    ) {
+        let m = Monitor::new(MonitorConfig::default());
+        let ctx = m.begin_task("t-0", 0);
+        let fd = ctx.open("big", OpenMode::Write, None, 0);
+        for i in 0..n_ops {
+            ctx.write_at(fd, i as u64 * stride, op_len, IoTiming::new(i as u64, 1)).unwrap();
+        }
+        ctx.close(fd, n_ops as u64 + 1).unwrap();
+        ctx.finish(n_ops as u64 + 2);
+
+        let set = m.snapshot();
+        let rec = &set.records[0];
+        // Default write policy: 256 target blocks, bound 512 locations.
+        prop_assert!(rec.histogram.tracked_locations() <= 512,
+            "{} locations", rec.histogram.tracked_locations());
+        prop_assert_eq!(rec.bytes_written, n_ops as u64 * op_len);
+    }
+
+    /// Spatial sampling is deterministic and independent of access order:
+    /// two monitors reading the same file in opposite orders produce the
+    /// same per-file footprint estimates.
+    #[test]
+    fn sampling_order_independence(blocks in 2u64..200) {
+        let run_order = |reverse: bool| {
+            let m = Monitor::new(MonitorConfig::default().with_sampling_percent(25));
+            let ctx = m.begin_task("t-0", 0);
+            let size = blocks * 4096;
+            let fd = ctx.open("f", OpenMode::Read, Some(size), 0);
+            let idx: Vec<u64> = if reverse { (0..blocks).rev().collect() } else { (0..blocks).collect() };
+            for i in idx {
+                ctx.read_at(fd, i * 4096, 4096, IoTiming::new(i, 1)).unwrap();
+            }
+            ctx.close(fd, blocks + 1).unwrap();
+            ctx.finish(blocks + 2);
+            let set = m.snapshot();
+            (set.records[0].read_footprint(), set.records[0].histogram.tracked_locations())
+        };
+        let fwd = run_order(false);
+        let rev = run_order(true);
+        prop_assert_eq!(fwd, rev);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the buffered C-stream layer: whatever mixture of
+//! buffered operations a program performs, the descriptor-level totals the
+//! monitor records must match the logical bytes moved, and buffering must
+//! never *increase* the operation count.
+
+use proptest::prelude::*;
+
+use dfl_trace::handle::SeekFrom;
+use dfl_trace::{CStream, IoTiming, Monitor, MonitorConfig, OpenMode};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Read(u16),
+    Write(u16),
+    SeekStart(u16),
+    Flush,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u16..5000).prop_map(Op::Read),
+        (1u16..5000).prop_map(Op::Write),
+        (0u16..8000).prop_map(Op::SeekStart),
+        Just(Op::Flush),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Logical write bytes equal descriptor-level write bytes after close,
+    /// regardless of buffering, seeks, or interleaving.
+    #[test]
+    fn stream_totals_match(ops in prop::collection::vec(op_strategy(), 1..40), buf in 0u64..4096) {
+        let m = Monitor::new(MonitorConfig::default());
+        let ctx = m.begin_task("t-0", 0);
+        let mut s = CStream::with_buffer(&ctx, "file", OpenMode::ReadWrite, Some(8192), 0, buf);
+
+        let mut logical_written = 0u64;
+        let mut logical_read = 0u64;
+        let mut clock = 1u64;
+        for op in &ops {
+            let t = IoTiming::new(clock, 1);
+            clock += 10;
+            match op {
+                Op::Read(n) => logical_read += s.read(u64::from(*n), t).unwrap(),
+                Op::Write(n) => {
+                    s.write(u64::from(*n), t).unwrap();
+                    logical_written += u64::from(*n);
+                }
+                Op::SeekStart(o) => {
+                    s.seek(SeekFrom::Start(u64::from(*o)), t).unwrap();
+                }
+                Op::Flush => s.flush(t).unwrap(),
+            }
+        }
+        s.close(clock).unwrap();
+        ctx.finish(clock + 1);
+
+        let set = m.snapshot();
+        let rec = &set.records[0];
+        prop_assert_eq!(rec.bytes_written, logical_written);
+        // Reads through the buffer may OVER-read (prefetch into the buffer),
+        // never under-read.
+        prop_assert!(rec.bytes_read >= logical_read,
+            "descriptor reads {} < logical {}", rec.bytes_read, logical_read);
+        // And the over-read is bounded by one buffer per fill.
+        let fills = rec.read_ops;
+        prop_assert!(rec.bytes_read <= logical_read + fills * buf.max(1));
+    }
+
+    /// A buffered stream never issues more descriptor writes than an
+    /// unbuffered one for the same sequential append workload.
+    #[test]
+    fn buffering_reduces_ops(sizes in prop::collection::vec(1u64..3000, 1..30)) {
+        let run = |buf: u64| {
+            let m = Monitor::new(MonitorConfig::default());
+            let ctx = m.begin_task("t-0", 0);
+            let mut s = CStream::with_buffer(&ctx, "out", OpenMode::Write, None, 0, buf);
+            for (i, &n) in sizes.iter().enumerate() {
+                s.write(n, IoTiming::new(i as u64, 1)).unwrap();
+            }
+            s.close(1_000).unwrap();
+            ctx.finish(1_001);
+            let set = m.snapshot();
+            (set.records[0].write_ops, set.records[0].bytes_written)
+        };
+        let (unbuffered_ops, ub) = run(0);
+        let (buffered_ops, bb) = run(8192);
+        prop_assert_eq!(ub, bb, "same bytes either way");
+        prop_assert!(buffered_ops <= unbuffered_ops,
+            "buffered {} > unbuffered {}", buffered_ops, unbuffered_ops);
+    }
+}
