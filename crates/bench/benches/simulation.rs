@@ -4,10 +4,13 @@
 //! uncontended flows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dfl_iosim::breakdown::FlowTag;
 use dfl_iosim::cache::{CacheConfig, CacheState};
 use dfl_iosim::cluster::ClusterSpec;
+use dfl_iosim::flow::{naive::NaiveFlowNet, FlowNet, FlowOwner};
 use dfl_iosim::sim::{Action, JobSpec, SimConfig, Simulation};
 use dfl_iosim::storage::{TierKind, TierRef};
+use dfl_iosim::time::SimTime;
 use dfl_workflows::engine::{run, RunConfig};
 use dfl_workflows::genomes::{generate, GenomesConfig};
 
@@ -58,6 +61,58 @@ fn bench_cache_access(c: &mut Criterion) {
     group.finish();
 }
 
+/// The 1k-flow stress scenario: staggered flows over 16 shared tiers ×
+/// 64 NICs, drained to empty. Parameterized over the engine so the
+/// incremental `FlowNet` can be compared against the naive full-recompute
+/// baseline (the pre-rewrite algorithm).
+macro_rules! drain_stress {
+    ($net:expr, $flows:expr) => {{
+        let mut net = $net;
+        let tiers: Vec<_> = (0..16u64).map(|i| net.add_resource(&format!("tier{i}"), 8_000.0)).collect();
+        let nics: Vec<_> = (0..64u64).map(|i| net.add_resource(&format!("nic{i}"), 1_000.0)).collect();
+        for i in 0..$flows {
+            let bytes = 1_000.0 + (i as f64 * 97.0) % 5_000.0;
+            let path = vec![tiers[(i % 16) as usize], nics[(i % 64) as usize]];
+            let owner = FlowOwner { job: i as u32, tag: FlowTag::LocalRead, background: false };
+            net.start(SimTime(i * 1_000_000), path, bytes, owner);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, k)) = net.next_completion() {
+            last = t;
+            net.complete(t, k);
+        }
+        last
+    }};
+}
+
+fn bench_flow_stress(c: &mut Criterion) {
+    const FLOWS: u64 = 1024;
+    let mut group = c.benchmark_group("flow_stress_1k");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(FLOWS));
+    group.bench_function("incremental", |b| {
+        b.iter(|| drain_stress!(FlowNet::new(), std::hint::black_box(FLOWS)))
+    });
+    group.bench_function("naive_baseline", |b| {
+        b.iter(|| drain_stress!(NaiveFlowNet::new(), std::hint::black_box(FLOWS)))
+    });
+    // Full simulator: 1024 jobs saturating 32 nodes × 32 cores, all
+    // streaming distinct files off the shared BeeGFS tier.
+    group.bench_function("sim_1024_jobs_shared_tier", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(ClusterSpec::gpu_cluster(32), SimConfig::default());
+            for i in 0..1024usize {
+                let file = format!("in{i}");
+                sim.fs_mut().create_external(&file, (1 << 20) + (i as u64) * 4096, TierRef::shared(TierKind::Beegfs));
+                sim.submit(JobSpec::new(&format!("j-{i}"), (i % 32) as u32).action(Action::read_file(&file)));
+            }
+            sim.run().unwrap();
+            sim.time()
+        })
+    });
+    group.finish();
+}
+
 fn bench_end_to_end_workflow(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end");
     group.sample_size(10);
@@ -68,5 +123,5 @@ fn bench_end_to_end_workflow(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_flow_events, bench_cache_access, bench_end_to_end_workflow);
+criterion_group!(benches, bench_flow_events, bench_flow_stress, bench_cache_access, bench_end_to_end_workflow);
 criterion_main!(benches);

@@ -104,8 +104,7 @@ fn main() {
         )
     );
     println!(
-        "paper: S2 6%, S3 65%, S4 67%, S5 95%, S6 ≈100% improvement; S3/S4 ⇒ an extra {} over caching.",
-        "2.9-3.0x"
+        "paper: S2 6%, S3 65%, S4 67%, S5 95%, S6 ≈100% improvement; S3/S4 ⇒ an extra 2.9-3.0x over caching."
     );
     let s4 = outcomes[3].1.makespan_s;
     println!(

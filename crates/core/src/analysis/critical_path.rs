@@ -89,7 +89,8 @@ pub fn try_critical_path(g: &DflGraph, cost: &CostModel) -> Result<CriticalPath,
     // Pick the best endpoint (ties to the lowest id).
     let mut end = order[0];
     for &v in &order {
-        if dist[v.0 as usize] > dist[end.0 as usize] {
+        let (dv, de) = (dist[v.0 as usize], dist[end.0 as usize]);
+        if dv > de || (dv == de && v < end) {
             end = v;
         }
     }
@@ -136,32 +137,45 @@ pub fn component_critical_paths(g: &DflGraph, cost: &CostModel) -> Vec<CriticalP
         }
     }
 
-    // Build one subgraph per component, remembering the id mapping.
-    use std::collections::HashMap;
-    let mut comp_of: HashMap<u32, Vec<VertexId>> = HashMap::new();
+    // Group vertices and edges by component root in one pass each (BTreeMap
+    // keyed by root id keeps the grouping deterministic).
+    use std::collections::BTreeMap;
+    let mut comps: BTreeMap<u32, (Vec<VertexId>, Vec<EdgeId>)> = BTreeMap::new();
     for i in 0..n as u32 {
-        comp_of.entry(find(&mut parent, i)).or_default().push(VertexId(i));
+        comps.entry(find(&mut parent, i)).or_default().0.push(VertexId(i));
+    }
+    for (eid, e) in g.edges() {
+        let root = find(&mut parent, e.src.0);
+        comps.get_mut(&root).expect("edge endpoints are vertices").1.push(eid);
     }
 
     let mut paths: Vec<CriticalPath> = Vec::new();
-    for members in comp_of.values() {
-        if members.len() < 2 {
+    // Dense original-id → subgraph-id mapping, reused across components.
+    let mut map: Vec<u32> = vec![u32::MAX; n];
+    for (members, edge_ids) in comps.values() {
+        // A singleton component still carries a path of one vertex when
+        // that vertex has cost under the model (e.g. a task's lifetime);
+        // only zero-cost isolated vertices are noise.
+        if members.len() == 1 && cost.vertex_cost(g, members[0]) == 0.0 {
             continue;
         }
         let mut sub = DflGraph::new();
-        let mut map: HashMap<VertexId, VertexId> = HashMap::new();
         let mut back: Vec<VertexId> = Vec::new();
         for &v in members {
             let nv = sub.add_vertex(g.vertex(v).clone());
-            map.insert(v, nv);
+            map[v.0 as usize] = nv.0;
             back.push(v);
         }
         let mut eback: Vec<EdgeId> = Vec::new();
-        for (eid, e) in g.edges() {
-            if let (Some(&s), Some(&d)) = (map.get(&e.src), map.get(&e.dst)) {
-                sub.add_edge(s, d, e.dir, e.props);
-                eback.push(eid);
-            }
+        for &eid in edge_ids {
+            let e = g.edge(eid);
+            sub.add_edge(
+                VertexId(map[e.src.0 as usize]),
+                VertexId(map[e.dst.0 as usize]),
+                e.dir,
+                e.props,
+            );
+            eback.push(eid);
         }
         if let Ok(cp) = try_critical_path(&sub, cost) {
             paths.push(CriticalPath {
@@ -264,6 +278,74 @@ mod tests {
         assert_eq!(paths.len(), 2);
         assert!(paths[0].total_cost >= paths[1].total_cost);
         assert_eq!(paths[0].total_cost, 900.0);
+    }
+
+    #[test]
+    fn endpoint_tie_break_prefers_lowest_id() {
+        // Two sinks with equal path cost, arranged so the *higher*-id sink
+        // is visited first in topological order (it sits at depth 1 while
+        // the lower-id sink hangs off a deeper chain). Regression: the
+        // endpoint scan used to keep the first maximum in topo order, which
+        // here is the higher id — the documented contract is lowest id.
+        let mut g = DflGraph::new();
+        let d_low = g.add_data("d_low", "d", DataProps::default()); // id 0
+        let s = g.add_task("s", "t", TaskProps::default()); // id 1
+        let hi = g.add_data("d_hi", "d", DataProps::default()); // id 2
+        let m1 = g.add_task("m1", "t", TaskProps::default()); // id 3
+        let m2 = g.add_data("m2", "d", DataProps::default()); // id 4
+        g.add_edge(s, hi, FlowDir::Producer, EdgeProps { volume: 10, ..Default::default() });
+        g.add_edge(s, m2, FlowDir::Producer, EdgeProps { volume: 3, ..Default::default() });
+        g.add_edge(m2, m1, FlowDir::Consumer, EdgeProps { volume: 3, ..Default::default() });
+        g.add_edge(m1, d_low, FlowDir::Producer, EdgeProps { volume: 4, ..Default::default() });
+        // Both sinks cost 10; topo order visits d_hi (id 2) before d_low
+        // (id 0), so a first-max scan would end at d_hi.
+        let order = g.topo_order().unwrap();
+        let pos = |v: VertexId| order.iter().position(|&x| x == v).unwrap();
+        assert!(pos(hi) < pos(d_low), "construction must keep the high id earlier in topo order");
+        let cp = critical_path(&g, &CostModel::Volume);
+        assert_eq!(cp.total_cost, 10.0);
+        assert_eq!(*cp.vertices.last().unwrap(), d_low);
+    }
+
+    #[test]
+    fn singleton_component_with_cost_is_kept() {
+        // An isolated task with a real lifetime is a legitimate (trivial)
+        // critical path; only zero-cost isolated vertices are dropped.
+        let mut g = DflGraph::new();
+        let lone = g.add_task("lone", "t", TaskProps { lifetime_ns: 3_000_000_000, ..Default::default() });
+        g.add_data("zero", "d", DataProps::default());
+        let t = g.add_task("t", "t", TaskProps { lifetime_ns: 1_000_000_000, ..Default::default() });
+        let d = g.add_data("d", "d", DataProps::default());
+        g.add_edge(t, d, FlowDir::Producer, EdgeProps::default());
+        let paths = component_critical_paths(&g, &CostModel::Time);
+        assert_eq!(paths.len(), 2, "lone task kept, zero-cost data dropped: {paths:?}");
+        assert_eq!(paths[0].vertices, vec![lone]);
+        assert!((paths[0].total_cost - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn component_path_edges_map_back_to_parent_graph() {
+        // With edges partitioned per component, every returned path must
+        // still reference valid parent-graph edge ids that connect its
+        // vertices in order.
+        let mut g = DflGraph::new();
+        for (name, vol) in [("a", 100u64), ("b", 900), ("c", 500)] {
+            let t = g.add_task(&format!("t_{name}"), "t", TaskProps::default());
+            let d = g.add_data(&format!("d_{name}"), "d", DataProps::default());
+            let t2 = g.add_task(&format!("u_{name}"), "t", TaskProps::default());
+            g.add_edge(t, d, FlowDir::Producer, EdgeProps { volume: vol, ..Default::default() });
+            g.add_edge(d, t2, FlowDir::Consumer, EdgeProps { volume: vol, ..Default::default() });
+        }
+        let paths = component_critical_paths(&g, &CostModel::Volume);
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[0].total_cost, 1800.0);
+        for cp in &paths {
+            assert_eq!(cp.edges.len(), cp.vertices.len() - 1);
+            for (i, &e) in cp.edges.iter().enumerate() {
+                assert_eq!(g.edge(e).src, cp.vertices[i]);
+                assert_eq!(g.edge(e).dst, cp.vertices[i + 1]);
+            }
+        }
     }
 
     #[test]

@@ -113,7 +113,7 @@ pub fn detect(g: &DflGraph, cfg: &AnalysisConfig, ctx: &AnalysisContext) -> Vec<
             .collect();
         let all_partial = fracs.iter().all(|&f| f > 0.0 && f < 0.9);
         let coverage: f64 = fracs.iter().sum();
-        if all_partial && coverage >= 0.5 && coverage <= 1.5 {
+        if all_partial && (0.5..=1.5).contains(&coverage) {
             out.push(Opportunity {
                 pattern: PatternKind::Splitter,
                 subject: Subject::Vertex(d),

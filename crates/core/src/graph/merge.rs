@@ -41,9 +41,10 @@ pub fn average_graphs(graphs: &[DflGraph]) -> Option<AveragedGraph> {
         }
     }
 
-    // Union of edges; collect per-run volumes.
-    let mut ekey: HashMap<(u32, u32, FlowDir), (crate::graph::EdgeId, Vec<u64>, u32)> =
-        HashMap::new();
+    // Union of edges; collect per-run volumes, keyed by (src, dst, dir)
+    // and carrying (merged edge id, per-run volumes, occurrence count).
+    type EdgeAcc = (crate::graph::EdgeId, Vec<u64>, u32);
+    let mut ekey: HashMap<(u32, u32, FlowDir), EdgeAcc> = HashMap::new();
     for g in graphs {
         for (_, e) in g.edges() {
             let src = vkey[&(g.vertex(e.src).kind, g.vertex(e.src).name.clone())];

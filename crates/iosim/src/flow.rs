@@ -1,14 +1,41 @@
-//! Fluid-flow bandwidth model with fair sharing.
+//! Fluid-flow bandwidth model with fair sharing — incremental engine.
 //!
 //! Every transfer is a *flow* over a path of resources (storage device,
 //! NICs, shared filesystem servers, WAN links). At any instant a flow's rate
 //! is `min over path resources of (capacity / concurrent flows)` — the
 //! classic bottleneck fair-share approximation used by fluid simulators.
-//! Rates are re-profiled whenever a flow starts or completes; between
-//! re-profiles all flows progress linearly, so the next completion time is
-//! exact.
+//! Between rate changes a flow progresses linearly, so the next completion
+//! time is exact.
+//!
+//! # Incremental algorithm
+//!
+//! The engine maintains three auxiliary structures so that topology events
+//! (`start`, `complete`, `set_capacity`) cost `O(affected)` instead of
+//! `O(all flows)`:
+//!
+//! * **per-resource load counts** (`load[r]` = number of active flows whose
+//!   path crosses `r`), updated in `O(|path|)` when a flow enters or leaves;
+//! * **a resource → flows inverted index** (`flows_on[r]`), so the set of
+//!   flows whose rate *might* change is the union of the index entries of
+//!   the touched resources — never the whole network;
+//! * **a lazy-invalidation binary heap** of predicted completion times keyed
+//!   `(time, key, generation)`. Only re-rated flows push a fresh entry; a
+//!   flow's `generation` counter invalidates its older entries, which are
+//!   discarded when they surface at the top of the heap. `next_completion`
+//!   is therefore `O(log n)` amortized instead of a linear scan.
+//!
+//! A flow's `remaining` bytes are *materialized* (advanced to the current
+//! time) only when its rate actually changes value. Because progress is
+//! linear between rate changes, materializing once over a long interval is
+//! exactly equal to materializing at every intermediate event — the update
+//! is batching-invariant, which is what makes the incremental engine
+//! bit-identical to the naive full-recompute model in [`naive`]. That
+//! equivalence is enforced by a differential property test over randomized
+//! start/complete/capacity-change sequences (`tests/flow_differential.rs`).
 
-use std::collections::BTreeMap;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use crate::breakdown::FlowTag;
 use crate::time::SimTime;
@@ -38,23 +65,55 @@ pub struct FlowOwner {
     pub background: bool,
 }
 
+/// Slab slot for one flow. Slots are recycled through a free list; `gen`
+/// is bumped on every re-rate *and* on removal, so a heap entry is valid
+/// exactly when its generation matches the slot's current one.
 #[derive(Debug)]
-struct FlowState {
+struct Slot {
+    /// External key (monotone, never reused — the determinism tie-break).
+    key: u64,
+    gen: u64,
+    /// Epoch marker for O(1) dedup while collecting affected flows.
+    mark: u64,
     path: Vec<ResourceId>,
+    /// `pos[i]` = this slot's position inside `flows_on[path[i]]`.
+    pos: Vec<u32>,
+    /// Bytes left as of `synced` (the flow's last rate change).
     remaining: f64,
     rate: f64,
     owner: FlowOwner,
     started: SimTime,
+    /// Time at which `remaining` was last materialized.
+    synced: SimTime,
 }
 
 /// The flow network: resources plus active flows.
+///
+/// Uses interior mutability for the completion heap so `next_completion`
+/// can discard stale entries while keeping its historical `&self`
+/// signature. The network is single-threaded by construction.
 #[derive(Debug, Default)]
 pub struct FlowNet {
     resources: Vec<Resource>,
-    active: BTreeMap<u64, FlowState>,
+    /// `load[r]` = number of active path crossings of resource `r`.
+    load: Vec<u32>,
+    /// `flows_on[r]` = `(slot, path index)` of each active crossing of `r`;
+    /// the path index lets a swap-remove patch the moved entry's `pos`.
+    flows_on: Vec<Vec<(u32, u32)>>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    key_to_slot: HashMap<u64, u32>,
     next_key: u64,
-    last_sync: SimTime,
+    epoch: u64,
+    /// Scratch list of affected slots (kept to reuse its allocation).
+    affected: Vec<u32>,
+    /// Min-heap of predicted completions (lazy invalidation).
+    heap: RefCell<BinaryHeap<HeapEntry>>,
 }
+
+/// Heap entry: `(predicted completion ns, key, slot, generation)` — ordered
+/// by time then key, matching the lowest-key tie-break.
+type HeapEntry = Reverse<(u64, u64, u32, u64)>;
 
 impl FlowNet {
     pub fn new() -> Self {
@@ -66,6 +125,8 @@ impl FlowNet {
         assert!(capacity > 0.0, "resource {name} must have positive capacity");
         let id = ResourceId(self.resources.len() as u32);
         self.resources.push(Resource { name: name.to_owned(), capacity });
+        self.load.push(0);
+        self.flows_on.push(Vec::new());
         id
     }
 
@@ -74,36 +135,73 @@ impl FlowNet {
     }
 
     pub fn active_count(&self) -> usize {
-        self.active.len()
+        self.key_to_slot.len()
     }
 
-    /// Advances all active flows to `now` (consuming `rate × dt` bytes).
-    fn sync(&mut self, now: SimTime) {
-        let dt = now.since(self.last_sync) as f64 / 1e9;
+    /// Fair-share rate of a path under the current load counts.
+    fn fair_rate(resources: &[Resource], load: &[u32], path: &[ResourceId]) -> f64 {
+        let mut rate = f64::INFINITY;
+        for r in path {
+            let share = resources[r.0 as usize].capacity / load[r.0 as usize] as f64;
+            rate = rate.min(share);
+        }
+        assert!(rate.is_finite(), "flows must traverse at least one resource");
+        rate
+    }
+
+    /// Advances a flow's `remaining` to `now` at its current rate.
+    fn materialize(f: &mut Slot, now: SimTime) {
+        let dt = now.since(f.synced) as f64 / 1e9;
         if dt > 0.0 {
-            for f in self.active.values_mut() {
-                f.remaining = (f.remaining - f.rate * dt).max(0.0);
-            }
+            f.remaining = (f.remaining - f.rate * dt).max(0.0);
         }
-        self.last_sync = now;
+        f.synced = now;
     }
 
-    /// Recomputes every flow's fair-share rate.
-    fn reprofile(&mut self) {
-        let mut load = vec![0u32; self.resources.len()];
-        for f in self.active.values() {
-            for r in &f.path {
-                load[r.0 as usize] += 1;
+    /// Collects into `self.affected` the slots (other than `exclude`)
+    /// crossing any resource in `path`, deduplicated via the epoch mark.
+    fn collect_affected(&mut self, path: &[ResourceId], exclude: u32) {
+        self.epoch += 1;
+        self.affected.clear();
+        for r in path {
+            for &(slot, _) in &self.flows_on[r.0 as usize] {
+                if slot == exclude || self.slots[slot as usize].mark == self.epoch {
+                    continue;
+                }
+                self.slots[slot as usize].mark = self.epoch;
+                self.affected.push(slot);
             }
         }
-        for f in self.active.values_mut() {
-            let mut rate = f64::INFINITY;
-            for r in &f.path {
-                let share = self.resources[r.0 as usize].capacity / load[r.0 as usize] as f64;
-                rate = rate.min(share);
+    }
+
+    /// Recomputes the rate of every flow in `self.affected`; flows whose
+    /// rate actually changed value are materialized at `now` and get a
+    /// fresh heap entry. Flows whose rate is unchanged (bottleneck
+    /// elsewhere) are left untouched — their heap entry stays valid.
+    fn rerate_affected(&mut self, now: SimTime) {
+        let heap = self.heap.get_mut();
+        for i in 0..self.affected.len() {
+            let slot = self.affected[i];
+            let f = &mut self.slots[slot as usize];
+            let new_rate = Self::fair_rate(&self.resources, &self.load, &f.path);
+            if new_rate.to_bits() != f.rate.to_bits() {
+                Self::materialize(f, now);
+                f.rate = new_rate;
+                f.gen += 1;
+                let t = f.synced.add_secs_ceil(f.remaining / f.rate);
+                heap.push(Reverse((t.0, f.key, slot, f.gen)));
             }
-            assert!(rate.is_finite(), "flows must traverse at least one resource");
-            f.rate = rate;
+        }
+        // Bound heap growth: stale entries are normally discarded lazily by
+        // `next_completion`, but a long run of re-rates between polls could
+        // otherwise pile them up.
+        if heap.len() > 2 * self.key_to_slot.len() + 64 {
+            let slots = &self.slots;
+            let live: Vec<_> = heap
+                .drain()
+                .filter(|Reverse((_, _, slot, gen))| slots[*slot as usize].gen == *gen)
+                .collect();
+            heap.extend(live);
         }
     }
 
@@ -115,62 +213,237 @@ impl FlowNet {
     pub fn start(&mut self, now: SimTime, path: Vec<ResourceId>, bytes: f64, owner: FlowOwner) -> FlowKey {
         assert!(!path.is_empty());
         assert!(bytes > 0.0);
-        self.sync(now);
         let key = FlowKey(self.next_key);
         self.next_key += 1;
-        self.active.insert(
-            key.0,
-            FlowState { path, remaining: bytes, rate: 0.0, owner, started: now },
-        );
-        self.reprofile();
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(Slot {
+                    key: 0,
+                    gen: 0,
+                    mark: 0,
+                    path: Vec::new(),
+                    pos: Vec::new(),
+                    remaining: 0.0,
+                    rate: 0.0,
+                    owner,
+                    started: now,
+                    synced: now,
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let mut pos = Vec::with_capacity(path.len());
+        for (i, r) in path.iter().enumerate() {
+            self.load[r.0 as usize] += 1;
+            pos.push(self.flows_on[r.0 as usize].len() as u32);
+            self.flows_on[r.0 as usize].push((slot, i as u32));
+        }
+        self.collect_affected(&path, slot);
+        let rate = Self::fair_rate(&self.resources, &self.load, &path);
+        let t = now.add_secs_ceil(bytes / rate);
+        {
+            let f = &mut self.slots[slot as usize];
+            f.key = key.0;
+            f.gen += 1;
+            f.path = path;
+            f.pos = pos;
+            f.remaining = bytes;
+            f.rate = rate;
+            f.owner = owner;
+            f.started = now;
+            f.synced = now;
+            let gen = f.gen;
+            self.heap.get_mut().push(Reverse((t.0, key.0, slot, gen)));
+        }
+        self.key_to_slot.insert(key.0, slot);
+        self.rerate_affected(now);
         key
     }
 
     /// The earliest completion among active flows: `(time, key)`, ties to
     /// the lowest key for determinism.
     pub fn next_completion(&self) -> Option<(SimTime, FlowKey)> {
-        let mut best: Option<(SimTime, FlowKey)> = None;
-        for (&key, f) in &self.active {
-            let t = self.last_sync.add_secs_ceil(f.remaining / f.rate);
-            match best {
-                Some((bt, _)) if bt <= t => {}
-                _ => best = Some((t, FlowKey(key))),
+        let mut heap = self.heap.borrow_mut();
+        while let Some(&Reverse((t, key, slot, gen))) = heap.peek() {
+            if self.slots[slot as usize].gen == gen {
+                return Some((SimTime(t), FlowKey(key)));
             }
+            heap.pop();
         }
-        best
+        None
     }
 
     /// Completes and removes flow `key` at `now`; returns its owner and the
     /// time the flow spent active (ns).
     pub fn complete(&mut self, now: SimTime, key: FlowKey) -> (FlowOwner, u64) {
-        self.sync(now);
-        let f = self.active.remove(&key.0).expect("flow exists");
+        let slot = self.key_to_slot.remove(&key.0).expect("flow exists");
+        let f = &mut self.slots[slot as usize];
+        Self::materialize(f, now);
         debug_assert!(
             f.remaining <= f.rate * 1e-6 + 1.0,
             "flow completed with {} bytes left",
             f.remaining
         );
-        self.reprofile();
-        (f.owner, now.since(f.started))
+        f.gen += 1; // invalidate any heap entries for this flow
+        let owner = f.owner;
+        let elapsed = now.since(f.started);
+        let path = std::mem::take(&mut f.path);
+        let pos = std::mem::take(&mut f.pos);
+        // Unlink from every resource; swap-remove keeps the lists dense and
+        // patches the moved entry's back-pointer.
+        for (i, r) in path.iter().enumerate() {
+            let ri = r.0 as usize;
+            self.load[ri] -= 1;
+            let p = pos[i] as usize;
+            let list = &mut self.flows_on[ri];
+            list.swap_remove(p);
+            if let Some(&(moved_slot, moved_idx)) = list.get(p) {
+                self.slots[moved_slot as usize].pos[moved_idx as usize] = p as u32;
+            }
+        }
+        self.collect_affected(&path, slot);
+        self.free.push(slot);
+        self.rerate_affected(now);
+        (owner, elapsed)
     }
 
     /// Current rate of a flow, bytes/sec (for tests/inspection).
     pub fn rate_of(&self, key: FlowKey) -> Option<f64> {
-        self.active.get(&key.0).map(|f| f.rate)
+        self.key_to_slot.get(&key.0).map(|&s| self.slots[s as usize].rate)
     }
 
     /// Changes a resource's capacity at time `now` (failure/straggler
-    /// injection, QoS throttling). Active flows are synced to `now` first so
-    /// progress made at the old rate is preserved, then re-profiled.
+    /// injection, QoS throttling). Only flows crossing `id` can change
+    /// rate; each such flow is synced to `now` before the new rate applies,
+    /// so progress made at the old rate is preserved.
     ///
     /// # Panics
     /// Panics if `capacity` is not positive (model a dead resource with a
     /// tiny capacity, not zero, so flows still converge).
     pub fn set_capacity(&mut self, now: SimTime, id: ResourceId, capacity: f64) {
         assert!(capacity > 0.0, "capacity must stay positive");
-        self.sync(now);
         self.resources[id.0 as usize].capacity = capacity;
-        self.reprofile();
+        self.collect_affected(&[id], u32::MAX);
+        self.rerate_affected(now);
+    }
+}
+
+/// Naive full-recompute reference model.
+///
+/// Implements the *same* fair-share semantics as [`FlowNet`] with the
+/// simplest possible data structures: every topology event recomputes every
+/// flow's rate from scratch (`O(flows × path)`), and `next_completion` is a
+/// linear scan. It exists as the oracle for the old-vs-new differential
+/// property test and as the baseline for the event-loop benchmarks; it is
+/// not used by the simulator.
+pub mod naive {
+    use super::{FlowKey, FlowOwner, Resource, ResourceId, SimTime};
+    use std::collections::BTreeMap;
+
+    #[derive(Debug)]
+    struct NaiveFlow {
+        path: Vec<ResourceId>,
+        remaining: f64,
+        rate: f64,
+        owner: FlowOwner,
+        started: SimTime,
+        synced: SimTime,
+    }
+
+    /// Reference flow network with identical observable behavior to
+    /// [`super::FlowNet`].
+    #[derive(Debug, Default)]
+    pub struct NaiveFlowNet {
+        resources: Vec<Resource>,
+        active: BTreeMap<u64, NaiveFlow>,
+        next_key: u64,
+    }
+
+    impl NaiveFlowNet {
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        pub fn add_resource(&mut self, name: &str, capacity: f64) -> ResourceId {
+            assert!(capacity > 0.0, "resource {name} must have positive capacity");
+            let id = ResourceId(self.resources.len() as u32);
+            self.resources.push(Resource { name: name.to_owned(), capacity });
+            id
+        }
+
+        pub fn active_count(&self) -> usize {
+            self.active.len()
+        }
+
+        /// Recomputes every rate from scratch; flows whose rate changed
+        /// value are materialized at `now` (same policy as the incremental
+        /// engine, so the two stay bit-identical).
+        fn reprofile(&mut self, now: SimTime) {
+            let mut load = vec![0u32; self.resources.len()];
+            for f in self.active.values() {
+                for r in &f.path {
+                    load[r.0 as usize] += 1;
+                }
+            }
+            for f in self.active.values_mut() {
+                let mut rate = f64::INFINITY;
+                for r in &f.path {
+                    let share = self.resources[r.0 as usize].capacity / load[r.0 as usize] as f64;
+                    rate = rate.min(share);
+                }
+                assert!(rate.is_finite(), "flows must traverse at least one resource");
+                if rate.to_bits() != f.rate.to_bits() {
+                    let dt = now.since(f.synced) as f64 / 1e9;
+                    if dt > 0.0 {
+                        f.remaining = (f.remaining - f.rate * dt).max(0.0);
+                    }
+                    f.synced = now;
+                    f.rate = rate;
+                }
+            }
+        }
+
+        pub fn start(&mut self, now: SimTime, path: Vec<ResourceId>, bytes: f64, owner: FlowOwner) -> FlowKey {
+            assert!(!path.is_empty());
+            assert!(bytes > 0.0);
+            let key = FlowKey(self.next_key);
+            self.next_key += 1;
+            self.active.insert(
+                key.0,
+                NaiveFlow { path, remaining: bytes, rate: 0.0, owner, started: now, synced: now },
+            );
+            self.reprofile(now);
+            key
+        }
+
+        pub fn next_completion(&self) -> Option<(SimTime, FlowKey)> {
+            let mut best: Option<(SimTime, FlowKey)> = None;
+            for (&key, f) in &self.active {
+                let t = f.synced.add_secs_ceil(f.remaining / f.rate);
+                match best {
+                    Some((bt, _)) if bt <= t => {}
+                    _ => best = Some((t, FlowKey(key))),
+                }
+            }
+            best
+        }
+
+        pub fn complete(&mut self, now: SimTime, key: FlowKey) -> (FlowOwner, u64) {
+            let f = self.active.remove(&key.0).expect("flow exists");
+            self.reprofile(now);
+            (f.owner, now.since(f.started))
+        }
+
+        pub fn rate_of(&self, key: FlowKey) -> Option<f64> {
+            self.active.get(&key.0).map(|f| f.rate)
+        }
+
+        pub fn set_capacity(&mut self, now: SimTime, id: ResourceId, capacity: f64) {
+            assert!(capacity > 0.0, "capacity must stay positive");
+            self.resources[id.0 as usize].capacity = capacity;
+            self.reprofile(now);
+        }
     }
 }
 
@@ -261,6 +534,72 @@ mod tests {
     #[should_panic(expected = "positive capacity")]
     fn zero_capacity_rejected() {
         FlowNet::new().add_resource("bad", 0.0);
+    }
+
+    #[test]
+    fn disjoint_flow_is_not_rerated() {
+        // A start on disjoint resources must leave an unrelated flow's rate
+        // and predicted completion untouched (the point of the index).
+        let mut net = FlowNet::new();
+        let d1 = net.add_resource("disk1", 100.0);
+        let d2 = net.add_resource("disk2", 100.0);
+        let a = net.start(SimTime::ZERO, vec![d1], 100.0, owner());
+        let before = net.next_completion().unwrap();
+        let b = net.start(SimTime::from_secs(0.25), vec![d2], 100.0, owner());
+        assert_eq!(net.rate_of(a), Some(100.0));
+        assert_eq!(net.rate_of(b), Some(100.0));
+        // a is still predicted first, at the original time.
+        assert_eq!(net.next_completion().unwrap(), before);
+    }
+
+    #[test]
+    fn unchanged_rate_keeps_prediction_stable() {
+        // b's bottleneck is its private slow disk; sharing the fat pfs link
+        // with a new flow does not change b's rate, so b must not be
+        // re-rated (rate value identical, no new heap entry needed).
+        let mut net = FlowNet::new();
+        let pfs = net.add_resource("pfs", 1000.0);
+        let slow = net.add_resource("slow", 10.0);
+        let b = net.start(SimTime::ZERO, vec![pfs, slow], 10.0, owner());
+        assert_eq!(net.rate_of(b), Some(10.0));
+        let before = net.next_completion().unwrap();
+        net.start(SimTime::from_secs(0.5), vec![pfs], 500.0, owner());
+        assert_eq!(net.rate_of(b), Some(10.0));
+        assert_eq!(net.next_completion().unwrap(), before);
+    }
+
+    #[test]
+    fn stale_heap_entries_are_discarded() {
+        // Repeated re-rates leave stale predictions behind; the earliest
+        // *valid* one must win.
+        let mut net = FlowNet::new();
+        let r = net.add_resource("disk", 100.0);
+        let a = net.start(SimTime::ZERO, vec![r], 100.0, owner());
+        // Slow a down: its original 1s prediction is now stale.
+        net.set_capacity(SimTime::ZERO, r, 10.0);
+        let (t, k) = net.next_completion().unwrap();
+        assert_eq!(k, a);
+        assert_eq!(t, SimTime::from_secs(10.0));
+        // Speed it back up: the 10s prediction goes stale in turn.
+        net.set_capacity(SimTime::ZERO, r, 100.0);
+        let (t, _) = net.next_completion().unwrap();
+        assert_eq!(t, SimTime::from_secs(1.0));
+    }
+
+    #[test]
+    fn load_index_consistent_after_churn() {
+        let mut net = FlowNet::new();
+        let r = net.add_resource("disk", 100.0);
+        for i in 0..10 {
+            net.start(SimTime::ZERO, vec![r], 100.0 + i as f64, owner());
+        }
+        while let Some((t, k)) = net.next_completion() {
+            net.complete(t, k);
+        }
+        assert_eq!(net.active_count(), 0);
+        assert_eq!(net.load[r.0 as usize], 0);
+        assert!(net.flows_on[r.0 as usize].is_empty());
+        assert_eq!(net.next_completion(), None);
     }
 }
 

@@ -137,7 +137,7 @@ pub enum CacheOrigins {
 }
 
 /// Simulation-wide configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Attach a DFL monitor (default: yes, with default config).
     pub monitor: Option<dfl_trace::MonitorConfig>,
@@ -149,6 +149,19 @@ pub struct SimConfig {
     /// buffering" remediation. Consumers still wait for the producer *task*
     /// (the usual workflow dependency), not for the drain.
     pub write_buffering: bool,
+}
+
+impl Default for SimConfig {
+    /// Measurement on by default: a monitor with default settings rides
+    /// along, matching how the real collector shadows every workflow run.
+    fn default() -> Self {
+        SimConfig {
+            monitor: Some(dfl_trace::MonitorConfig::default()),
+            cache: None,
+            cache_origins: CacheOrigins::default(),
+            write_buffering: false,
+        }
+    }
 }
 
 impl SimConfig {
@@ -277,10 +290,10 @@ pub struct Simulation {
 }
 
 impl Simulation {
-    /// Builds a simulator for `cluster`. A monitor with default settings is
-    /// attached unless `config.monitor` is `None` *and* the config came from
-    /// `SimConfig::default()` — to run without measurement, set `monitor:
-    /// None` explicitly via struct update syntax.
+    /// Builds a simulator for `cluster`. `config.monitor` controls DFL
+    /// measurement: `SimConfig::default()` attaches a monitor with default
+    /// settings, while an explicit `monitor: None` runs without one (and
+    /// [`Simulation::measurements`] then returns `None`).
     pub fn new(cluster: ClusterSpec, config: SimConfig) -> Self {
         let mut net = FlowNet::new();
 
@@ -329,7 +342,7 @@ impl Simulation {
                 .collect(),
         };
 
-        let monitor = Some(Monitor::new(config.monitor.unwrap_or_default()));
+        let monitor = config.monitor.map(Monitor::new);
         let free_cores = cluster.nodes.iter().map(|n| n.cores).collect();
         let ready = (0..cluster.node_count()).map(|_| VecDeque::new()).collect();
 
@@ -712,20 +725,23 @@ impl Simulation {
 
     fn do_write(&mut self, j: u32, file: &str, len: u64, tier: Option<TierRef>) {
         let node = self.jobs[j as usize].node;
+        // Single placement decision: a fresh file is created once on the
+        // requested (or default) tier; an explicit tier re-places an
+        // existing file only while it still has no data.
         let idx = match self.fs.lookup(file) {
-            Some(i) => i,
+            Some(i) => {
+                if let Some(t) = tier {
+                    if self.fs.meta(i).size == 0 {
+                        self.fs.create_for_write(file, t);
+                    }
+                }
+                i
+            }
             None => {
                 let t = tier.unwrap_or(TierRef::shared(self.cluster.default_tier));
                 self.fs.create_for_write(file, t)
             }
         };
-        // If the caller specified a tier and the file has no data yet, honor
-        // the (re)placement.
-        if let Some(t) = tier {
-            if self.fs.meta(idx).size == 0 {
-                self.fs.create_for_write(file, t);
-            }
-        }
         self.ensure_fd(j, idx);
 
         let dst = self.fs.meta(idx).replicas[0];
@@ -1112,6 +1128,64 @@ mod tests {
         let j = sim.submit(JobSpec::new("late", 0).delay_ns(50_000_000).action(Action::compute_ms(1)));
         sim.run().unwrap();
         assert_eq!(sim.job_report(j).unwrap().start_ns, 50_000_000);
+    }
+
+    #[test]
+    fn monitor_none_disables_measurement() {
+        // Regression: `monitor: None` used to be silently replaced with a
+        // default monitor, so measurement could never be turned off.
+        let mut sim = Simulation::new(
+            ClusterSpec::gpu_cluster(1),
+            SimConfig { monitor: None, ..SimConfig::default() },
+        );
+        sim.fs_mut().create_external("in.dat", mb(1), TierRef::shared(TierKind::Nfs));
+        sim.submit(JobSpec::new("reader-0", 0).action(Action::read_file("in.dat")));
+        sim.run().unwrap();
+        assert!(sim.measurements().is_none(), "opting out of the monitor must stick");
+        // The default config still attaches one.
+        let mut sim = simple_sim();
+        sim.submit(JobSpec::new("noop-0", 0).action(Action::compute_ms(1)));
+        sim.run().unwrap();
+        assert!(sim.measurements().is_some());
+    }
+
+    #[test]
+    fn first_write_places_file_exactly_once() {
+        // Regression: a fresh file written with an explicit tier used to go
+        // through `create_for_write` twice; the collapsed placement decision
+        // must leave exactly the requested replica.
+        let tier = TierRef::node(TierKind::Ssd, 0);
+        let mut sim = simple_sim();
+        sim.submit(
+            JobSpec::new("writer-0", 0)
+                .action(Action::Write { file: "out".into(), len: mb(4), tier: Some(tier) }),
+        );
+        sim.run().unwrap();
+        let idx = sim.fs().lookup("out").unwrap();
+        assert_eq!(sim.fs().meta(idx).replicas, vec![tier]);
+        assert_eq!(sim.fs().meta(idx).size, mb(4));
+    }
+
+    #[test]
+    fn tier_on_nonempty_file_does_not_replace() {
+        // A tier request only places a file while it has no data: once
+        // bytes exist, later writes must not silently re-home them.
+        let first = TierRef::shared(TierKind::Beegfs);
+        let second = TierRef::node(TierKind::Ssd, 0);
+        let mut sim = simple_sim();
+        let w1 = sim.submit(
+            JobSpec::new("writer-0", 0)
+                .action(Action::Write { file: "out".into(), len: mb(2), tier: Some(first) }),
+        );
+        sim.submit(
+            JobSpec::new("writer-1", 0)
+                .dep(w1)
+                .action(Action::Write { file: "out".into(), len: mb(2), tier: Some(second) }),
+        );
+        sim.run().unwrap();
+        let idx = sim.fs().lookup("out").unwrap();
+        assert_eq!(sim.fs().meta(idx).replicas, vec![first]);
+        assert_eq!(sim.fs().meta(idx).size, mb(4));
     }
 }
 

@@ -271,9 +271,11 @@ mod tests {
         let g = dfl_core::DflGraph::from_measurements(&r.measurements);
         assert!(g.is_dag());
 
-        let mut cfg = AnalysisConfig::default();
-        cfg.volume_threshold = 1 << 20;
-        cfg.fan_in_threshold = 3;
+        let cfg = AnalysisConfig {
+            volume_threshold: 1 << 20,
+            fan_in_threshold: 3,
+            ..AnalysisConfig::default()
+        };
         let ops = analyze(&g, &cfg);
         // merge is an aggregator; chromosome files show data-parallel
         // splitter fan-out; chrNn.tar.gz shows inter-task locality.

@@ -144,8 +144,7 @@ mod tests {
         let w = generate(&SeismicConfig::tiny());
         let r = run(&w, &RunConfig::default_gpu(2)).unwrap();
         let g = dfl_core::DflGraph::from_measurements(&r.measurements);
-        let mut cfg = AnalysisConfig::default();
-        cfg.fan_in_threshold = 2;
+        let cfg = AnalysisConfig { fan_in_threshold: 2, ..AnalysisConfig::default() };
         let ops = analyze(&g, &cfg);
         assert!(ops.iter().any(|o| o.pattern == PatternKind::CompressorAggregator));
     }

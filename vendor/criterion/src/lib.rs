@@ -1,0 +1,216 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Wall-clock benchmarking with criterion's API shape (`benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`, the
+//! `criterion_group!`/`criterion_main!` macros). No statistics beyond the
+//! mean — each benchmark warms up briefly, then reports mean ns/iter over a
+//! fixed measurement window to stdout.
+//!
+//! `--test` on the command line (what `cargo test` passes to harness=false
+//! bench targets) runs each benchmark exactly once for a smoke check.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(150);
+const MEASURE: Duration = Duration::from_millis(400);
+
+/// Benchmark identifier: `name` or `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Conversions accepted wherever criterion takes an id.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Throughput annotation (recorded, displayed alongside the mean).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Runs one benchmark's iterations.
+pub struct Bencher {
+    test_mode: bool,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std_black_box(f());
+            self.mean_ns = 0.0;
+            self.iters = 1;
+            return;
+        }
+        // Warm up and estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP || warm_iters == 0 {
+            std_black_box(f());
+            warm_iters += 1;
+        }
+        let est = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        // Measure for a fixed window using the warmed estimate.
+        let target = ((MEASURE.as_nanos() as f64 / est.max(1.0)) as u64).clamp(1, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..target {
+            std_black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / target as f64;
+        self.iters = target;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_id());
+        self.criterion.run_one(&label, self.throughput, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_id());
+        self.criterion.run_one(&label, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_id();
+        self.run_one(&label, None, &mut f);
+        self
+    }
+
+    fn run_one(&self, label: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher { test_mode: self.test_mode, mean_ns: 0.0, iters: 0 };
+        f(&mut b);
+        if self.test_mode {
+            println!("{label}: ok (test mode)");
+            return;
+        }
+        let extra = match throughput {
+            Some(Throughput::Elements(n)) if b.mean_ns > 0.0 => {
+                format!("  ({:.3} Melem/s)", n as f64 * 1e3 / b.mean_ns)
+            }
+            Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) if b.mean_ns > 0.0 => {
+                format!("  ({:.1} MiB/s)", n as f64 * 1e9 / b.mean_ns / (1 << 20) as f64)
+            }
+            _ => String::new(),
+        };
+        println!("{label:60} {:>14.1} ns/iter  [{} iters]{extra}", b.mean_ns, b.iters);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,101 @@
+//! Offline vendored stand-in for `rayon`.
+//!
+//! Provides rayon's `par_iter`-style entry points backed by *sequential*
+//! standard iterators, so `.par_iter().map(..).collect()` call sites compile
+//! and run unchanged (serially). Since the return types are plain `std`
+//! iterators, the whole Iterator combinator surface is available.
+
+pub mod prelude {
+    pub use super::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator,
+    };
+}
+
+/// Rayon-only combinators, mapped onto their sequential `Iterator`
+/// equivalents (blanket-implemented so every std iterator has them).
+pub trait ParallelIterator: Iterator + Sized {
+    fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+    where
+        U: IntoIterator,
+        F: FnMut(Self::Item) -> U,
+    {
+        self.flat_map(f)
+    }
+}
+
+impl<I: Iterator> ParallelIterator for I {}
+
+/// `collection.into_par_iter()` — sequential stand-in.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `collection.par_iter()` — sequential stand-in.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, I: 'a + ?Sized> IntoParallelRefIterator<'a> for I
+where
+    &'a I: IntoIterator,
+{
+    type Item = <&'a I as IntoIterator>::Item;
+    type Iter = <&'a I as IntoIterator>::IntoIter;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `collection.par_iter_mut()` — sequential stand-in.
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: 'a;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, I: 'a + ?Sized> IntoParallelRefMutIterator<'a> for I
+where
+    &'a mut I: IntoIterator,
+{
+    type Item = <&'a mut I as IntoIterator>::Item;
+    type Iter = <&'a mut I as IntoIterator>::IntoIter;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Runs the two closures (sequentially here) and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_map_collect() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let owned: Vec<i32> = v.into_par_iter().collect();
+        assert_eq!(owned, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,325 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Derives the vendored serde's value-tree `Serialize`/`Deserialize` traits
+//! for non-generic structs and enums. The item is parsed directly from the
+//! `proc_macro` token stream (no `syn`/`quote` in this environment); output
+//! is generated as source text and re-parsed.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+enum TypeDef {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(def) => gen_serialize(&def).parse().expect("generated Serialize impl parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(def) => gen_deserialize(&def).parse().expect("generated Deserialize impl parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---- parsing ----
+
+fn parse(input: TokenStream) -> Result<TypeDef, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let kind = loop {
+        match toks.get(i) {
+            None => return Err("expected `struct` or `enum`".into()),
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // attribute: `#` + bracket group
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                let k = id.to_string();
+                i += 1;
+                break k;
+            }
+            _ => i += 1, // pub, pub(...), etc.
+        }
+    };
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("derive stub does not support generic type `{name}`"));
+    }
+    if kind == "struct" {
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(split_top_level(g.stream()).len())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            other => return Err(format!("unexpected struct body {other:?}")),
+        };
+        Ok(TypeDef::Struct { name, fields })
+    } else {
+        let body = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => return Err(format!("unexpected enum body {other:?}")),
+        };
+        let mut variants = Vec::new();
+        for chunk in split_top_level(body) {
+            let mut j = 0;
+            while matches!(chunk.get(j), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+                j += 2;
+            }
+            let vname = match chunk.get(j) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => return Err(format!("expected variant name, got {other:?}")),
+            };
+            let fields = match chunk.get(j + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(split_top_level(g.stream()).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named(g.stream())?)
+                }
+                _ => Fields::Unit, // unit variant (possibly with `= discr`)
+            };
+            variants.push((vname, fields));
+        }
+        Ok(TypeDef::Enum { name, variants })
+    }
+}
+
+/// Splits a field/variant list at top-level commas (angle-bracket aware;
+/// parenthesized/braced payloads are atomic `Group` tokens already).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle: i32 = 0;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut j = 0;
+        loop {
+            match chunk.get(j) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => j += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    j += 1;
+                    if matches!(chunk.get(j), Some(TokenTree::Group(_))) {
+                        j += 1; // pub(crate) etc.
+                    }
+                }
+                Some(TokenTree::Ident(id)) => {
+                    names.push(id.to_string());
+                    break;
+                }
+                other => return Err(format!("expected field name, got {other:?}")),
+            }
+        }
+    }
+    Ok(names)
+}
+
+// ---- codegen ----
+
+fn gen_serialize(def: &TypeDef) -> String {
+    match def {
+        TypeDef::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> =
+                        (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                }
+                Fields::Named(names) => obj_literal(names, |f| format!("&self.{f}")),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        TypeDef::Enum { name, variants } => {
+            let mut arms = Vec::new();
+            for (v, fields) in variants {
+                let arm = match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => ::serde::Value::String(::std::string::String::from({v:?}))"
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Object(::std::vec![(::std::string::String::from({v:?}), ::serde::Serialize::to_value(__f0))])"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> =
+                            binds.iter().map(|b| format!("::serde::Serialize::to_value({b})")).collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from({v:?}), ::serde::Value::Array(::std::vec![{}]))])",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    Fields::Named(names) => {
+                        let payload = obj_literal(names, |f| f.to_string());
+                        format!(
+                            "{name}::{v} {{ {} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from({v:?}), {payload})])",
+                            names.join(", ")
+                        )
+                    }
+                };
+                arms.push(arm);
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {} }} }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    }
+}
+
+fn obj_literal(names: &[String], access: impl Fn(&str) -> String) -> String {
+    let items: Vec<String> = names
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({}))",
+                access(f)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", items.join(", "))
+}
+
+fn gen_deserialize(def: &TypeDef) -> String {
+    match def {
+        TypeDef::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(__a.get({i}).unwrap_or(&::serde::Value::Null))?"))
+                        .collect();
+                    format!(
+                        "let __a = v.as_array().ok_or_else(|| ::serde::Error::msg(\"expected array for tuple struct {name}\"))?;\n\
+                         ::std::result::Result::Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(names) => {
+                    let items: Vec<String> = names
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::de_field(v, {f:?})?"))
+                        .collect();
+                    format!("::std::result::Result::Ok({name} {{ {} }})", items.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        TypeDef::Enum { name, variants } => {
+            let mut unit_arms = Vec::new();
+            let mut payload_arms = Vec::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => unit_arms.push(format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v})"
+                    )),
+                    Fields::Tuple(1) => payload_arms.push(format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(__payload)?))"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(__a.get({i}).unwrap_or(&::serde::Value::Null))?"))
+                            .collect();
+                        payload_arms.push(format!(
+                            "{v:?} => {{\n\
+                                 let __a = __payload.as_array().ok_or_else(|| ::serde::Error::msg(\"expected array payload\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{v}({}))\n\
+                             }}",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(names) => {
+                        let items: Vec<String> = names
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::de_field(__payload, {f:?})?"))
+                            .collect();
+                        payload_arms.push(format!(
+                            "{v:?} => ::std::result::Result::Ok({name}::{v} {{ {} }})",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            let err = format!(
+                "::std::result::Result::Err(::serde::Error::msg(::std::format!(\"unknown {name} variant {{:?}}\", v)))"
+            );
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if let ::serde::Value::String(__s) = v {{\n\
+                             return match __s.as_str() {{ {unit} _ => {err} }};\n\
+                         }}\n\
+                         if let ::serde::Value::Object(__fields) = v {{\n\
+                             if __fields.len() == 1 {{\n\
+                                 let (__k, __payload) = &__fields[0];\n\
+                                 let _ = __payload;\n\
+                                 return match __k.as_str() {{ {payload} _ => {err} }};\n\
+                             }}\n\
+                         }}\n\
+                         {err}\n\
+                     }}\n\
+                 }}",
+                unit = unit_arms.iter().map(|a| format!("{a},")).collect::<String>(),
+                payload = payload_arms.iter().map(|a| format!("{a},")).collect::<String>(),
+            )
+        }
+    }
+}
