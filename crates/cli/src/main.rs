@@ -28,13 +28,14 @@ use dfl_core::viz::sankey::{SankeyDiagram, SankeyOptions};
 use dfl_core::DflGraph;
 use dfl_trace::MeasurementSet;
 use dfl_workflows::engine::{run as run_workflow, RunConfig};
-use dfl_workflows::{belle2, ddmd, genomes, montage, seismic};
+use dfl_workflows::{belle2, ddmd, genomes, montage, seismic, FaultPlan};
 
 const USAGE: &str = "\
 datalife — data flow lifecycle analysis for distributed workflows
 
 USAGE:
   datalife run <genomes|ddmd|belle2|montage|seismic> [--scale tiny|paper] [--nodes N] [-o FILE]
+               [--faults SPEC] [--retries N]
   datalife analyze <measurements.json> [--cost volume|time|branchjoin|fanin]
   datalife rank <measurements.json> [--what pc|data|task]
   datalife caterpillar <measurements.json> [--cost volume|time|branchjoin|fanin]
@@ -45,7 +46,14 @@ USAGE:
 
 `run` simulates the workflow on the paper's Table 2 machines while the DFL
 monitor records lifecycle measurements (written as JSON, default
-measurements.json). The analysis commands consume that JSON.";
+measurements.json). The analysis commands consume that JSON.
+
+--faults injects a deterministic fault plan, e.g.
+  --faults 'seed=42,crash=0@2s+1s,ioerr=0.001,degrade=nfs@1s+2s*0.1'
+(crash node 0 at t=2s for 1s, 0.1% transient I/O error rate, NFS at 10%
+bandwidth from 1s to 3s). Failed attempts are retried with exponential
+backoff (--retries, default 3 attempts) after lineage-based recovery of
+any lost intermediate files; the run then prints a failure report.";
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
@@ -72,8 +80,16 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let paper_scale = arg_value(args, "--scale").as_deref() == Some("paper");
     let nodes: usize = arg_value(args, "--nodes").and_then(|v| v.parse().ok()).unwrap_or(2);
     let out = arg_value(args, "-o").unwrap_or_else(|| "measurements.json".into());
+    let faults = match arg_value(args, "--faults") {
+        Some(s) => Some(FaultPlan::parse(&s).map_err(|e| format!("bad --faults: {e}"))?),
+        None => None,
+    };
+    let retries: Option<u32> = match arg_value(args, "--retries") {
+        Some(s) => Some(s.parse().map_err(|_| format!("bad --retries '{s}'"))?),
+        None => None,
+    };
 
-    let (spec, cfg) = match workflow.as_str() {
+    let (spec, mut cfg) = match workflow.as_str() {
         "genomes" => {
             let c = if paper_scale {
                 genomes::GenomesConfig::default()
@@ -113,9 +129,19 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
         w => return Err(format!("unknown workflow '{w}'")),
     };
+    let faults_on = faults.is_some();
+    if let Some(p) = faults {
+        cfg.faults = p;
+    }
+    if let Some(n) = retries {
+        cfg.retry.max_attempts = n.max(1);
+    }
 
     let result = run_workflow(&spec, &cfg).map_err(|e| e.to_string())?;
     println!("{}", result.stage_summary());
+    if faults_on {
+        println!("{}", result.failure);
+    }
     let json = result.measurements.to_json().map_err(|e| e.to_string())?;
     std::fs::write(&out, json).map_err(|e| e.to_string())?;
     println!(

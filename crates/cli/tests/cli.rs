@@ -97,6 +97,54 @@ fn run_then_analyze_rank_caterpillar_sankey_html() {
 }
 
 #[test]
+fn faulted_run_prints_report_and_is_deterministic() {
+    let dir = tmpdir("faults");
+    let invoke = |out: &str| {
+        datalife()
+            .args([
+                "run",
+                "genomes",
+                "--faults",
+                "seed=42,crash=0@0.05s+0.2s,ioerr=0.0005",
+                "--retries",
+                "10",
+                "-o",
+                out,
+            ])
+            .output()
+            .unwrap()
+    };
+    let a = invoke(dir.join("a.json").to_str().unwrap());
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    let text = String::from_utf8_lossy(&a.stdout);
+    assert!(text.contains("failure report"), "{text}");
+    assert!(text.contains("goodput"), "{text}");
+
+    // Same plan, same seed: byte-identical stdout and measurements.
+    let b = invoke(dir.join("b.json").to_str().unwrap());
+    assert!(b.status.success());
+    // Ignore the "wrote <path>" line: the output paths differ by design.
+    let strip = |s: &[u8]| {
+        String::from_utf8_lossy(s)
+            .lines()
+            .filter(|l| !l.starts_with("wrote "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&a.stdout), strip(&b.stdout));
+    assert_eq!(
+        std::fs::read_to_string(dir.join("a.json")).unwrap(),
+        std::fs::read_to_string(dir.join("b.json")).unwrap()
+    );
+
+    let bad = datalife().args(["run", "genomes", "--faults", "crash=99"]).output().unwrap();
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("bad --faults"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn analyze_missing_file_fails_cleanly() {
     let out = datalife().args(["analyze", "/nonexistent/zzz.json"]).output().unwrap();
     assert!(!out.status.success());

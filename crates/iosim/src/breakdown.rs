@@ -28,6 +28,9 @@ pub enum FlowTag {
     Write,
     /// Explicit staging copies.
     Stage,
+    /// Flows run on behalf of failure recovery (lineage re-runs,
+    /// re-staging lost inputs).
+    Recovery,
     /// Executable/code transfer before task start.
     CodeTransfer,
     /// Metadata operations (open/close).
@@ -47,13 +50,14 @@ impl FlowTag {
             FlowTag::SharedRead => "shared read",
             FlowTag::Write => "write",
             FlowTag::Stage => "stage",
+            FlowTag::Recovery => "recovery",
             FlowTag::CodeTransfer => "code transfer",
             FlowTag::Metadata => "metadata",
         }
     }
 
     /// All tags, in report order.
-    pub fn all() -> [FlowTag; 12] {
+    pub fn all() -> [FlowTag; 13] {
         [
             FlowTag::Compute,
             FlowTag::CacheL1,
@@ -65,6 +69,7 @@ impl FlowTag {
             FlowTag::SharedRead,
             FlowTag::Write,
             FlowTag::Stage,
+            FlowTag::Recovery,
             FlowTag::CodeTransfer,
             FlowTag::Metadata,
         ]

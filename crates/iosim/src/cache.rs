@@ -214,6 +214,15 @@ impl CacheState {
     pub fn resident_blocks(&mut self, level: usize, task: u32, node: u32) -> usize {
         self.lru(level, task, node).len()
     }
+
+    /// Drops every node-wide cache instance on `node` (the node crashed and
+    /// its DRAM/SSD cache contents are gone). Task-private instances of the
+    /// failed jobs become unreachable (retries run under fresh job ids);
+    /// cluster-wide levels live on shared storage and survive.
+    pub fn invalidate_node(&mut self, node: u32) {
+        let dead = instance_key(CacheScope::NodeWide, 0, node);
+        self.instances.retain(|&(_, inst), _| inst != dead);
+    }
 }
 
 #[cfg(test)]
@@ -293,6 +302,18 @@ mod tests {
         assert_eq!(r0.level_bytes[0], 1 << 20, "block 0 survived");
         let r1 = c.access(0, 0, 0, 1 << 20, 1 << 20);
         assert_eq!(r1.level_bytes[0], 0, "block 1 was the LRU victim");
+    }
+
+    #[test]
+    fn invalidate_node_clears_its_node_wide_instance_only() {
+        let mut c = CacheState::new(small_config());
+        c.access(0, 0, 0, 0, 1 << 20); // warm node 0
+        c.access(1, 1, 0, 0, 1 << 20); // warm node 1
+        c.invalidate_node(0);
+        let r0 = c.access(2, 0, 0, 0, 1 << 20);
+        assert_eq!(r0.level_bytes[1], 0, "node 0 L2 wiped");
+        let r1 = c.access(3, 1, 0, 0, 1 << 20);
+        assert_eq!(r1.level_bytes[1], 1 << 20, "node 1 L2 intact");
     }
 
     #[test]

@@ -2,6 +2,30 @@
 
 use std::fmt;
 
+/// One stuck job in a [`SimError::Deadlock`] report: its identity and the
+/// things it is waiting on (unfinished dependencies, lost/missing files).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StuckJob {
+    pub job: u32,
+    pub name: String,
+    pub node: u32,
+    /// Job state label at deadlock time ("waiting-deps", "queued", ...).
+    pub state: &'static str,
+    /// Human-readable blockers: `dep <name>` for unfinished dependencies,
+    /// `lost file <path>` / `missing file <path>` for unreadable inputs.
+    pub waiting_on: Vec<String>,
+}
+
+impl fmt::Display for StuckJob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job {} '{}' on node {} ({})", self.job, self.name, self.node, self.state)?;
+        if !self.waiting_on.is_empty() {
+            write!(f, " waiting on: {}", self.waiting_on.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
 /// Errors surfaced by simulation setup and execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
@@ -13,9 +37,13 @@ pub enum SimError {
     NoSuchTier(String),
     /// A job id that was never submitted.
     BadJob(u32),
+    /// A job tried to open/read a file that was never created.
+    MissingFile { file: String, job: String },
+    /// A task kept failing after exhausting its retry budget.
+    RetriesExhausted { job: String, attempts: u32 },
     /// The simulation deadlocked: jobs remain but none can make progress
-    /// (usually a dependency cycle).
-    Deadlock { pending: usize },
+    /// (a dependency cycle, or producers lost to faults and never re-run).
+    Deadlock { pending: usize, stuck: Vec<StuckJob> },
 }
 
 impl fmt::Display for SimError {
@@ -25,8 +53,18 @@ impl fmt::Display for SimError {
             SimError::BadNode(n) => write!(f, "node {n} does not exist"),
             SimError::NoSuchTier(t) => write!(f, "tier {t} not available on this cluster"),
             SimError::BadJob(j) => write!(f, "job {j} was never submitted"),
-            SimError::Deadlock { pending } => {
-                write!(f, "simulation deadlocked with {pending} jobs pending")
+            SimError::MissingFile { file, job } => {
+                write!(f, "job '{job}' opened nonexistent file {file} for reading")
+            }
+            SimError::RetriesExhausted { job, attempts } => {
+                write!(f, "job '{job}' still failing after {attempts} attempts")
+            }
+            SimError::Deadlock { pending, stuck } => {
+                write!(f, "simulation deadlocked with {pending} jobs pending")?;
+                for s in stuck {
+                    write!(f, "\n  {s}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -41,6 +79,29 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(SimError::NoSuchFile("x".into()).to_string(), "no such file: x");
-        assert!(SimError::Deadlock { pending: 3 }.to_string().contains("3 jobs"));
+        assert!(
+            SimError::Deadlock { pending: 3, stuck: vec![] }.to_string().contains("3 jobs")
+        );
+        let e = SimError::MissingFile { file: "a/b".into(), job: "t0".into() };
+        assert!(e.to_string().contains("a/b") && e.to_string().contains("t0"));
+        let e = SimError::RetriesExhausted { job: "t1".into(), attempts: 4 };
+        assert!(e.to_string().contains("4 attempts"));
+    }
+
+    #[test]
+    fn deadlock_names_stuck_jobs() {
+        let e = SimError::Deadlock {
+            pending: 2,
+            stuck: vec![StuckJob {
+                job: 5,
+                name: "merge".into(),
+                node: 1,
+                state: "waiting-deps",
+                waiting_on: vec!["dep align~r1".into(), "lost file /shm/x".into()],
+            }],
+        };
+        let text = e.to_string();
+        assert!(text.contains("job 5 'merge' on node 1 (waiting-deps)"), "{text}");
+        assert!(text.contains("dep align~r1") && text.contains("lost file /shm/x"), "{text}");
     }
 }

@@ -1,0 +1,469 @@
+//! Deterministic fault injection: crash schedules, transient I/O errors,
+//! and tier degradation windows.
+//!
+//! A [`FaultPlan`] is a *schedule-independent* description of what goes
+//! wrong during a run. Determinism comes from two properties:
+//!
+//! * **Timed faults** (node crashes, tier degradations) are ordinary
+//!   simulator events pushed at construction time, so they interleave with
+//!   flow completions through the same deterministic event loop as
+//!   everything else.
+//! * **Probabilistic faults** (transient per-operation I/O errors) are
+//!   decided by a pure hash of `(seed, job, per-job op index)` rather than
+//!   by a stateful RNG. Whether job A's 3rd read fails therefore does not
+//!   depend on how its operations interleave with other jobs' — re-orderings
+//!   that don't change a job's own op sequence cannot change its faults.
+//!
+//! The companion [`FailureReport`] aggregates what the faults cost: wasted
+//! work in failed attempts, data lost to crashes, and the recovery traffic
+//! spent re-creating it (flows tagged [`FlowTag::Recovery`]).
+//!
+//! [`FlowTag::Recovery`]: crate::breakdown::FlowTag::Recovery
+
+use std::fmt;
+
+use crate::storage::{TierKind, TierRef};
+
+/// Capacity multiplier used by [`Degradation::outage`]: the flow network
+/// requires strictly positive capacities, so a full outage is modeled as a
+/// near-zero share that starves flows without dividing by zero.
+pub const OUTAGE_FACTOR: f64 = 1e-6;
+
+/// A node crash: at `at_ns` every job running on `node` fails, all replicas
+/// on the node's local tiers are lost, and the node accepts no work until it
+/// restarts `down_ns` later (`u64::MAX` keeps it down forever).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeCrash {
+    pub node: u32,
+    pub at_ns: u64,
+    pub down_ns: u64,
+}
+
+/// What a [`Degradation`] throttles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DegradeTarget {
+    /// A storage tier instance (shared, or node-local via `TierRef::node`).
+    Tier(TierRef),
+    /// A node's NIC.
+    Nic(u32),
+}
+
+/// A capacity-degradation window: from `at_ns` for `duration_ns`, the
+/// target's bandwidth is `factor ×` its configured capacity, then restored.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Degradation {
+    pub target: DegradeTarget,
+    pub at_ns: u64,
+    pub duration_ns: u64,
+    pub factor: f64,
+}
+
+impl Degradation {
+    /// A full outage window (capacity collapses to [`OUTAGE_FACTOR`]).
+    pub fn outage(target: DegradeTarget, at_ns: u64, duration_ns: u64) -> Self {
+        Degradation { target, at_ns, duration_ns, factor: OUTAGE_FACTOR }
+    }
+}
+
+/// A seeded, schedule-independent fault schedule for one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every probabilistic decision (transient errors, and the
+    /// retry jitter derived by the workflow engine).
+    pub seed: u64,
+    pub crashes: Vec<NodeCrash>,
+    pub degradations: Vec<Degradation>,
+    /// Probability that any single I/O operation (read, write, stage) fails
+    /// with a transient error, decided per `(seed, job, op index)`.
+    pub io_error_prob: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: injects nothing and perturbs nothing.
+    pub fn none() -> Self {
+        FaultPlan { seed: 0, crashes: Vec::new(), degradations: Vec::new(), io_error_prob: 0.0 }
+    }
+
+    /// True when the plan can never fire a fault.
+    pub fn is_none(&self) -> bool {
+        self.crashes.is_empty() && self.degradations.is_empty() && self.io_error_prob <= 0.0
+    }
+
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan { seed, ..FaultPlan::none() }
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Adds a node crash at `at_ns`; the node restarts after `down_ns`.
+    pub fn crash(mut self, node: u32, at_ns: u64, down_ns: u64) -> Self {
+        self.crashes.push(NodeCrash { node, at_ns, down_ns });
+        self
+    }
+
+    pub fn degrade(mut self, d: Degradation) -> Self {
+        self.degradations.push(d);
+        self
+    }
+
+    pub fn io_errors(mut self, prob: f64) -> Self {
+        assert!((0.0..1.0).contains(&prob), "io error probability in [0,1)");
+        self.io_error_prob = prob;
+        self
+    }
+
+    /// Whether `job`'s `op`-th I/O operation suffers a transient error.
+    /// Pure function of `(seed, job, op)` — see the module docs.
+    pub fn io_op_fails(&self, job: u32, op: u64) -> bool {
+        if self.io_error_prob <= 0.0 {
+            return false;
+        }
+        unit_hash(self.seed, u64::from(job), op) < self.io_error_prob
+    }
+
+    /// Parses the CLI mini-syntax: comma-separated `key=value` clauses.
+    ///
+    /// ```text
+    /// seed=42,crash=0@0.5s+1s,ioerr=0.001,degrade=nfs@1s+2s*0.1,degrade=nic:1@0.2s+1s*0.01
+    /// ```
+    ///
+    /// * `seed=N` — the plan seed.
+    /// * `crash=NODE@T[+DOWN]` — crash `NODE` at time `T`; restart after
+    ///   `DOWN` (default 1s). Times accept an optional trailing `s`.
+    /// * `ioerr=P` — transient error probability per I/O operation.
+    /// * `degrade=TARGET@T+DUR[*FACTOR]` — throttle `TARGET` (a tier label
+    ///   like `nfs`/`beegfs`, `TIER:NODE` for a node-local tier, or
+    ///   `nic:NODE`) to `FACTOR ×` capacity (default: outage) for `DUR`.
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::none();
+        for clause in text.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            let (key, value) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("fault clause '{clause}' is not key=value"))?;
+            match key {
+                "seed" => {
+                    plan.seed =
+                        value.parse().map_err(|_| format!("bad seed '{value}'"))?;
+                }
+                "ioerr" => {
+                    let p: f64 =
+                        value.parse().map_err(|_| format!("bad probability '{value}'"))?;
+                    if !(0.0..1.0).contains(&p) {
+                        return Err(format!("ioerr {p} outside [0,1)"));
+                    }
+                    plan.io_error_prob = p;
+                }
+                "crash" => {
+                    let (node, rest) = value
+                        .split_once('@')
+                        .ok_or_else(|| format!("crash '{value}' missing '@time'"))?;
+                    let node = node.parse().map_err(|_| format!("bad node '{node}'"))?;
+                    let (at, down) = match rest.split_once('+') {
+                        Some((at, down)) => (parse_secs(at)?, parse_secs(down)?),
+                        None => (parse_secs(rest)?, 1_000_000_000),
+                    };
+                    plan.crashes.push(NodeCrash { node, at_ns: at, down_ns: down });
+                }
+                "degrade" => {
+                    let (target, rest) = value
+                        .split_once('@')
+                        .ok_or_else(|| format!("degrade '{value}' missing '@time'"))?;
+                    let target = parse_target(target)?;
+                    let (at, rest) = rest
+                        .split_once('+')
+                        .ok_or_else(|| format!("degrade '{value}' missing '+duration'"))?;
+                    let (dur, factor) = match rest.split_once('*') {
+                        Some((d, f)) => (
+                            parse_secs(d)?,
+                            f.parse::<f64>().map_err(|_| format!("bad factor '{f}'"))?,
+                        ),
+                        None => (parse_secs(rest)?, OUTAGE_FACTOR),
+                    };
+                    if factor <= 0.0 {
+                        return Err(format!("degrade factor {factor} must be positive"));
+                    }
+                    plan.degradations.push(Degradation {
+                        target,
+                        at_ns: parse_secs(at)?,
+                        duration_ns: dur,
+                        factor,
+                    });
+                }
+                other => return Err(format!("unknown fault key '{other}'")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_secs(text: &str) -> Result<u64, String> {
+    let text = text.strip_suffix('s').unwrap_or(text);
+    let secs: f64 = text.parse().map_err(|_| format!("bad time '{text}'"))?;
+    if secs.is_nan() || secs < 0.0 {
+        return Err(format!("negative time '{text}'"));
+    }
+    Ok((secs * 1e9).round() as u64)
+}
+
+fn parse_target(text: &str) -> Result<DegradeTarget, String> {
+    let (label, node) = match text.split_once(':') {
+        Some((l, n)) => {
+            (l, Some(n.parse::<u32>().map_err(|_| format!("bad node '{n}'"))?))
+        }
+        None => (text, None),
+    };
+    if label == "nic" {
+        return node
+            .map(DegradeTarget::Nic)
+            .ok_or_else(|| "nic target needs a node: nic:N".to_owned());
+    }
+    let kind = TierKind::from_label(label)
+        .ok_or_else(|| format!("unknown tier '{label}'"))?;
+    Ok(DegradeTarget::Tier(match node {
+        Some(n) => TierRef::node(kind, n),
+        None => TierRef::shared(kind),
+    }))
+}
+
+/// Why a job attempt failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureCause {
+    /// The node the job was running on crashed.
+    NodeCrash { node: u32 },
+    /// A transient I/O error hit one of the job's operations.
+    IoError { file: String },
+    /// The job tried to access a file whose every replica was lost.
+    LostFile { file: String },
+}
+
+impl fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureCause::NodeCrash { node } => write!(f, "node {node} crashed"),
+            FailureCause::IoError { file } => write!(f, "transient I/O error on {file}"),
+            FailureCause::LostFile { file } => write!(f, "all replicas of {file} lost"),
+        }
+    }
+}
+
+/// One failed job attempt, surfaced by
+/// [`Simulation::run_to_incident`](crate::sim::Simulation::run_to_incident)
+/// so a coordination layer can schedule recovery and retries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    pub job: crate::sim::JobId,
+    pub name: String,
+    pub node: u32,
+    pub at_ns: u64,
+    pub cause: FailureCause,
+}
+
+/// Aggregate cost of faults and recovery over one run.
+///
+/// Byte counts are logical transfer bytes (flow sizes, including the
+/// write-asymmetry inflation the flow model applies); `wasted` covers failed
+/// attempts (completed plus in-flight-at-failure transfer), `recovery`
+/// covers flows of lineage re-runs and re-staging jobs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailureReport {
+    pub crashes: u32,
+    pub transient_io_errors: u32,
+    /// Job attempts that ended in failure.
+    pub failed_attempts: u32,
+    /// Retry jobs scheduled (filled by the workflow engine).
+    pub retries: u32,
+    /// Lineage re-runs plus re-staging jobs (filled by the workflow engine).
+    pub recovery_jobs: u32,
+    /// Replicas dropped by crashes.
+    pub lost_replicas: u32,
+    /// Files left with zero surviving replicas.
+    pub lost_files: u32,
+    pub lost_bytes: u64,
+    /// Wall time of failed attempts (start to failure).
+    pub wasted_ns: u64,
+    /// Bytes transferred by attempts that ended in failure.
+    pub wasted_bytes: u64,
+    /// Time in flows tagged [`FlowTag::Recovery`](crate::breakdown::FlowTag).
+    pub recovery_ns: u64,
+    /// Bytes moved by recovery jobs.
+    pub recovery_bytes: u64,
+    /// All bytes moved by the run (goodput denominator).
+    pub total_bytes: u64,
+    /// Simulated end time of the run.
+    pub final_time_ns: u64,
+}
+
+impl FailureReport {
+    /// Bytes that contributed to the final outputs: total minus wasted and
+    /// recovery traffic.
+    pub fn goodput_bytes(&self) -> u64 {
+        self.total_bytes
+            .saturating_sub(self.wasted_bytes)
+            .saturating_sub(self.recovery_bytes)
+    }
+
+    /// True when no fault fired.
+    pub fn is_clean(&self) -> bool {
+        self.crashes == 0 && self.transient_io_errors == 0 && self.failed_attempts == 0
+    }
+}
+
+impl fmt::Display for FailureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const MB: f64 = 1024.0 * 1024.0;
+        writeln!(f, "failure report")?;
+        writeln!(f, "  crashes           {:>8}", self.crashes)?;
+        writeln!(f, "  transient errors  {:>8}", self.transient_io_errors)?;
+        writeln!(f, "  failed attempts   {:>8}", self.failed_attempts)?;
+        writeln!(f, "  retries           {:>8}", self.retries)?;
+        writeln!(f, "  recovery jobs     {:>8}", self.recovery_jobs)?;
+        writeln!(
+            f,
+            "  lost              {:>8} files, {} replicas, {:.1} MiB",
+            self.lost_files,
+            self.lost_replicas,
+            self.lost_bytes as f64 / MB
+        )?;
+        writeln!(
+            f,
+            "  wasted            {:>8.3} s, {:.1} MiB",
+            self.wasted_ns as f64 / 1e9,
+            self.wasted_bytes as f64 / MB
+        )?;
+        writeln!(
+            f,
+            "  recovery          {:>8.3} s, {:.1} MiB",
+            self.recovery_ns as f64 / 1e9,
+            self.recovery_bytes as f64 / MB
+        )?;
+        let total = self.total_bytes.max(1) as f64;
+        writeln!(
+            f,
+            "  goodput           {:>8.1} MiB of {:.1} MiB ({:.1}%)",
+            self.goodput_bytes() as f64 / MB,
+            self.total_bytes as f64 / MB,
+            100.0 * self.goodput_bytes() as f64 / total
+        )
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Pure hash of `(seed, a, b)` mapped to `[0, 1)` — the building block for
+/// schedule-independent probabilistic decisions (transient errors here,
+/// retry backoff jitter in the workflow engine).
+pub fn unit_hash(seed: u64, a: u64, b: u64) -> f64 {
+    let mut s = seed ^ 0x6A09_E667_F3BC_C909;
+    let x = splitmix64(&mut s);
+    s ^= a.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    let y = splitmix64(&mut s);
+    s ^= b.wrapping_mul(0x00CA_5A82_6395) ^ x ^ y;
+    (splitmix64(&mut s) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inert() {
+        let p = FaultPlan::none();
+        assert!(p.is_none());
+        for op in 0..1000 {
+            assert!(!p.io_op_fails(0, op));
+        }
+    }
+
+    #[test]
+    fn io_op_decision_is_pure_and_seed_dependent() {
+        let a = FaultPlan::seeded(7).io_errors(0.5);
+        let b = FaultPlan::seeded(8).io_errors(0.5);
+        let da: Vec<bool> = (0..64).map(|op| a.io_op_fails(3, op)).collect();
+        let da2: Vec<bool> = (0..64).map(|op| a.io_op_fails(3, op)).collect();
+        let db: Vec<bool> = (0..64).map(|op| b.io_op_fails(3, op)).collect();
+        assert_eq!(da, da2, "pure function of inputs");
+        assert_ne!(da, db, "different seeds, different streams");
+    }
+
+    #[test]
+    fn io_error_rate_tracks_probability() {
+        let p = FaultPlan::seeded(42).io_errors(0.1);
+        let hits = (0..10_000).filter(|&op| p.io_op_fails(1, op)).count();
+        assert!((800..1200).contains(&hits), "≈10%: {hits}");
+    }
+
+    #[test]
+    fn unit_hash_is_uniformish() {
+        let mean: f64 =
+            (0..1000).map(|i| unit_hash(9, i, i * 3)).sum::<f64>() / 1000.0;
+        assert!((0.45..0.55).contains(&mean), "{mean}");
+    }
+
+    #[test]
+    fn parse_full_clause() {
+        let p = FaultPlan::parse(
+            "seed=42,crash=0@0.5s+1s,ioerr=0.001,degrade=nfs@1s+2s*0.1,degrade=nic:1@0.2+1",
+        )
+        .unwrap();
+        assert_eq!(p.seed, 42);
+        assert_eq!(p.io_error_prob, 0.001);
+        assert_eq!(
+            p.crashes,
+            vec![NodeCrash { node: 0, at_ns: 500_000_000, down_ns: 1_000_000_000 }]
+        );
+        assert_eq!(p.degradations.len(), 2);
+        assert_eq!(
+            p.degradations[0].target,
+            DegradeTarget::Tier(TierRef::shared(TierKind::Nfs))
+        );
+        assert_eq!(p.degradations[0].factor, 0.1);
+        assert_eq!(p.degradations[1].target, DegradeTarget::Nic(1));
+        assert_eq!(p.degradations[1].factor, OUTAGE_FACTOR);
+    }
+
+    #[test]
+    fn parse_node_local_tier_target() {
+        let p = FaultPlan::parse("degrade=ssd:2@0+1").unwrap();
+        assert_eq!(
+            p.degradations[0].target,
+            DegradeTarget::Tier(TierRef::node(TierKind::Ssd, 2))
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("bogus=1").is_err());
+        assert!(FaultPlan::parse("crash=0").is_err());
+        assert!(FaultPlan::parse("ioerr=1.5").is_err());
+        assert!(FaultPlan::parse("degrade=marble@1+1").is_err());
+        assert!(FaultPlan::parse("crash").is_err());
+    }
+
+    #[test]
+    fn report_goodput_math() {
+        let r = FailureReport {
+            total_bytes: 100,
+            wasted_bytes: 30,
+            recovery_bytes: 20,
+            ..FailureReport::default()
+        };
+        assert_eq!(r.goodput_bytes(), 50);
+        assert!(r.is_clean());
+        assert!(r.to_string().contains("goodput"));
+    }
+}

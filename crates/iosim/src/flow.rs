@@ -277,17 +277,34 @@ impl FlowNet {
     /// Completes and removes flow `key` at `now`; returns its owner and the
     /// time the flow spent active (ns).
     pub fn complete(&mut self, now: SimTime, key: FlowKey) -> (FlowOwner, u64) {
+        let rate = self.rate_of(key).expect("flow exists");
+        let (owner, elapsed, remaining) = self.remove(now, key);
+        // Slack scales with rate: one rate-quantum of rounding plus a byte.
+        debug_assert!(
+            remaining <= rate * 1e-6 + 1.0,
+            "flow completed with {remaining} bytes left"
+        );
+        let _ = (rate, remaining);
+        (owner, elapsed)
+    }
+
+    /// Cancels and removes flow `key` at `now` (the owning job failed).
+    /// Returns the owner, the time the flow spent active (ns), and the
+    /// bytes it had *not* yet moved — callers subtract from the flow's
+    /// original size to account wasted transfer.
+    pub fn cancel(&mut self, now: SimTime, key: FlowKey) -> (FlowOwner, u64, f64) {
+        self.remove(now, key)
+    }
+
+    /// Shared removal path for completion and cancellation.
+    fn remove(&mut self, now: SimTime, key: FlowKey) -> (FlowOwner, u64, f64) {
         let slot = self.key_to_slot.remove(&key.0).expect("flow exists");
         let f = &mut self.slots[slot as usize];
         Self::materialize(f, now);
-        debug_assert!(
-            f.remaining <= f.rate * 1e-6 + 1.0,
-            "flow completed with {} bytes left",
-            f.remaining
-        );
         f.gen += 1; // invalidate any heap entries for this flow
         let owner = f.owner;
         let elapsed = now.since(f.started);
+        let remaining = f.remaining;
         let path = std::mem::take(&mut f.path);
         let pos = std::mem::take(&mut f.pos);
         // Unlink from every resource; swap-remove keeps the lists dense and
@@ -305,7 +322,7 @@ impl FlowNet {
         self.collect_affected(&path, slot);
         self.free.push(slot);
         self.rerate_affected(now);
-        (owner, elapsed)
+        (owner, elapsed, remaining)
     }
 
     /// Current rate of a flow, bytes/sec (for tests/inspection).
@@ -534,6 +551,23 @@ mod tests {
     #[should_panic(expected = "positive capacity")]
     fn zero_capacity_rejected() {
         FlowNet::new().add_resource("bad", 0.0);
+    }
+
+    #[test]
+    fn cancel_mid_flight_reports_remaining_and_frees_capacity() {
+        let mut net = FlowNet::new();
+        let r = net.add_resource("disk", 100.0);
+        let a = net.start(SimTime::ZERO, vec![r], 200.0, owner());
+        let b = net.start(SimTime::ZERO, vec![r], 200.0, owner());
+        // After 1s at 50 B/s each, cancel a: 150 bytes unmoved.
+        let (_, elapsed, remaining) = net.cancel(SimTime::from_secs(1.0), a);
+        assert_eq!(elapsed, 1_000_000_000);
+        assert_eq!(remaining, 150.0);
+        // b gets the full disk back: 150 left at 100 B/s ⇒ done at 2.5s.
+        assert_eq!(net.rate_of(b), Some(100.0));
+        let (t, k) = net.next_completion().unwrap();
+        assert_eq!((t, k), (SimTime::from_secs(2.5), b));
+        assert_eq!(net.active_count(), 1);
     }
 
     #[test]

@@ -19,6 +19,16 @@ pub struct FileMeta {
     pub replicas: Vec<TierRef>,
 }
 
+/// What a node crash destroyed (see [`SimFs::fail_node`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeLoss {
+    pub replicas_lost: u32,
+    /// Files left with zero surviving replicas.
+    pub lost_files: Vec<FileIdx>,
+    /// Bytes across all dropped replicas.
+    pub bytes: u64,
+}
+
 /// The namespace.
 #[derive(Debug, Default)]
 pub struct SimFs {
@@ -100,11 +110,41 @@ impl SimFs {
     /// The most attractive replica for a reader on `node` (lowest
     /// [`TierRef::preference`], ties to the earliest-added replica).
     pub fn best_replica(&self, idx: FileIdx, node: u32) -> TierRef {
-        let f = &self.files[idx.0 as usize];
-        *f.replicas
-            .iter()
-            .min_by_key(|t| t.preference(node))
+        self.try_best_replica(idx, node)
             .expect("files always have at least one replica")
+    }
+
+    /// Like [`best_replica`](Self::best_replica), but `None` when every
+    /// replica was lost (e.g. to a node crash).
+    pub fn try_best_replica(&self, idx: FileIdx, node: u32) -> Option<TierRef> {
+        let f = &self.files[idx.0 as usize];
+        f.replicas.iter().min_by_key(|t| t.preference(node)).copied()
+    }
+
+    /// Whether the file exists but has no surviving replica.
+    pub fn is_lost(&self, idx: FileIdx) -> bool {
+        self.files[idx.0 as usize].replicas.is_empty()
+    }
+
+    /// Drops every replica living on `node`'s local tiers (the node
+    /// crashed). Returns what was lost; files whose last replica vanished
+    /// are listed in `lost_files` and stay in the namespace as lost (reads
+    /// of them fail until a producer re-creates them).
+    pub fn fail_node(&mut self, node: u32) -> NodeLoss {
+        let mut loss = NodeLoss::default();
+        for (i, f) in self.files.iter_mut().enumerate() {
+            let before = f.replicas.len();
+            f.replicas.retain(|r| r.node != Some(node));
+            let dropped = before - f.replicas.len();
+            if dropped > 0 {
+                loss.replicas_lost += dropped as u32;
+                loss.bytes += dropped as u64 * f.size;
+                if f.replicas.is_empty() {
+                    loss.lost_files.push(FileIdx(i as u32));
+                }
+            }
+        }
+        loss
     }
 
     pub fn file_count(&self) -> usize {
@@ -173,6 +213,34 @@ mod tests {
         assert_eq!(fs.best_replica(a, 1), nfs);
         fs.add_replica(a, TierRef::node(TierKind::Ramdisk, 0));
         assert_eq!(fs.best_replica(a, 0).kind, TierKind::Ramdisk);
+    }
+
+    #[test]
+    fn fail_node_drops_local_replicas_only() {
+        let mut fs = SimFs::new();
+        let nfs = TierRef::shared(TierKind::Nfs);
+        let shm0 = TierRef::node(TierKind::Ramdisk, 0);
+        let ssd1 = TierRef::node(TierKind::Ssd, 1);
+        let shared = fs.create_external("shared", 10, nfs);
+        fs.add_replica(shared, shm0);
+        let local_only = fs.create_for_write("local", shm0);
+        fs.grow(local_only, 7);
+        let other_node = fs.create_for_write("other", ssd1);
+        fs.grow(other_node, 5);
+
+        let loss = fs.fail_node(0);
+        assert_eq!(loss.replicas_lost, 2);
+        assert_eq!(loss.lost_files, vec![local_only]);
+        assert_eq!(loss.bytes, 10 + 7);
+        assert!(fs.is_lost(local_only));
+        assert!(!fs.is_lost(shared));
+        assert_eq!(fs.try_best_replica(local_only, 0), None);
+        assert_eq!(fs.best_replica(shared, 0), nfs, "shared copy survives");
+        assert_eq!(fs.meta(other_node).replicas, vec![ssd1], "other node untouched");
+
+        // Re-creating the lost file revives it.
+        fs.create_for_write("local", shm0);
+        assert!(!fs.is_lost(local_only));
     }
 
     #[test]

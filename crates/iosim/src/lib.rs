@@ -30,6 +30,7 @@ pub mod breakdown;
 pub mod cache;
 pub mod cluster;
 pub mod error;
+pub mod fault;
 pub mod flow;
 pub mod fs;
 pub mod replay;
@@ -39,6 +40,7 @@ pub mod time;
 
 pub use cluster::ClusterSpec;
 pub use error::SimError;
-pub use sim::{Action, JobId, JobSpec, SimConfig, Simulation};
+pub use fault::{FailureCause, FailureReport, FaultPlan, JobFailure};
+pub use sim::{Action, JobId, JobSpec, RunOutcome, SimConfig, Simulation};
 pub use storage::{TierKind, TierRef};
 pub use time::SimTime;

@@ -18,7 +18,8 @@ use dfl_trace::{IoTiming, Monitor, OpenMode, TaskContext};
 use crate::breakdown::{Breakdown, FlowTag};
 use crate::cache::{CacheConfig, CacheState};
 use crate::cluster::ClusterSpec;
-use crate::error::SimError;
+use crate::error::{SimError, StuckJob};
+use crate::fault::{DegradeTarget, FailureCause, FailureReport, FaultPlan, JobFailure};
 use crate::flow::{FlowKey, FlowNet, FlowOwner, ResourceId};
 use crate::fs::{FileIdx, SimFs};
 use crate::storage::{TierKind, TierRef};
@@ -81,6 +82,9 @@ pub struct JobSpec {
     pub deps: Vec<JobId>,
     /// Arrival offset from simulation start, ns.
     pub submit_delay_ns: u64,
+    /// Recovery work (lineage re-runs, re-staging): its flows are tagged
+    /// [`FlowTag::Recovery`] so the breakdown shows what faults cost.
+    pub recovery: bool,
 }
 
 impl JobSpec {
@@ -92,6 +96,7 @@ impl JobSpec {
             actions: Vec::new(),
             deps: Vec::new(),
             submit_delay_ns: 0,
+            recovery: false,
         }
     }
 
@@ -124,6 +129,11 @@ impl JobSpec {
         self.submit_delay_ns = ns;
         self
     }
+
+    pub fn recovery(mut self, recovery: bool) -> Self {
+        self.recovery = recovery;
+        self
+    }
 }
 
 /// Which origins route through the cache hierarchy.
@@ -149,6 +159,10 @@ pub struct SimConfig {
     /// buffering" remediation. Consumers still wait for the producer *task*
     /// (the usual workflow dependency), not for the drain.
     pub write_buffering: bool,
+    /// Fault schedule injected through the event loop. The default
+    /// ([`FaultPlan::none`]) injects nothing and leaves the trajectory
+    /// byte-identical to a fault-free build.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -160,6 +174,7 @@ impl Default for SimConfig {
             cache: None,
             cache_origins: CacheOrigins::default(),
             write_buffering: false,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -186,6 +201,9 @@ pub struct JobReport {
     pub start_ns: u64,
     pub end_ns: u64,
     pub breakdown: Breakdown,
+    /// This attempt failed (crash, transient I/O error, lost input); a
+    /// replacement job carries the retry.
+    pub failed: bool,
 }
 
 impl JobReport {
@@ -200,6 +218,9 @@ enum JobState {
     Queued,
     Running,
     Done,
+    /// The attempt failed (crash, transient error, lost input). Terminal for
+    /// this job; a coordination layer may resubmit a replacement.
+    Failed,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -228,6 +249,8 @@ struct Job {
     node: u32,
     actions: VecDeque<Action>,
     deps_left: usize,
+    /// Original dependency list (kept for deadlock diagnostics).
+    deps: Vec<u32>,
     dependents: Vec<u32>,
     state: JobState,
     pending_flows: usize,
@@ -239,6 +262,18 @@ struct Job {
     end: Option<SimTime>,
     breakdown: Breakdown,
     submit_delay_ns: u64,
+    /// Recovery work: flows tagged [`FlowTag::Recovery`].
+    recovery: bool,
+    /// Replacement (retry) for an earlier failed job: completing this job
+    /// also releases the original's dependents.
+    replaces: Option<u32>,
+    /// Active flow keys (for cancellation when the job fails).
+    flows: Vec<FlowKey>,
+    /// Per-job I/O operation counter: the schedule-independent input to
+    /// [`FaultPlan::io_op_fails`].
+    io_ops: u64,
+    /// Bytes this job has moved through the flow network.
+    moved_bytes: f64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -249,6 +284,10 @@ enum Event {
     OpenDone(u32),
     /// Apply the pre-registered capacity change at this index.
     CapacityChange(u32),
+    /// Crash `faults.crashes[i]` fires.
+    NodeCrash(u32),
+    /// The node of `faults.crashes[i]` restarts.
+    NodeRecover(u32),
 }
 
 /// Named bandwidth resources for the cluster.
@@ -266,6 +305,32 @@ struct Resources {
 enum CacheLevelRes {
     PerNode(Vec<ResourceId>),
     Shared(ResourceId),
+}
+
+/// How a bounded run ended (see [`Simulation::run_to_incident`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every submitted job reached a terminal state with no failure left to
+    /// report.
+    Completed,
+    /// One or more job attempts failed; the simulation is paused at the
+    /// failure time so the caller can submit recovery/retry jobs.
+    Failures(Vec<JobFailure>),
+}
+
+/// Counters feeding [`Simulation::failure_report`].
+#[derive(Debug, Clone, Default)]
+struct FaultStats {
+    crashes: u32,
+    transient_io_errors: u32,
+    failed_attempts: u32,
+    lost_replicas: u32,
+    lost_files: u32,
+    lost_bytes: u64,
+    wasted_ns: u64,
+    wasted_bytes: f64,
+    recovery_bytes: f64,
+    total_moved: f64,
 }
 
 /// The simulator.
@@ -287,6 +352,16 @@ pub struct Simulation {
     free_cores: Vec<u32>,
     ready: Vec<VecDeque<u32>>,
     finished: usize,
+    faults: FaultPlan,
+    node_up: Vec<bool>,
+    /// Original size of each active flow (for wasted-bytes accounting on
+    /// cancellation).
+    flow_bytes: HashMap<u64, f64>,
+    /// Failures observed since the last `run_to_incident` return.
+    pending_failures: Vec<JobFailure>,
+    /// A hard error raised inside an event handler (e.g. missing file).
+    fatal: Option<SimError>,
+    stats: FaultStats,
 }
 
 impl Simulation {
@@ -345,8 +420,9 @@ impl Simulation {
         let monitor = config.monitor.map(Monitor::new);
         let free_cores = cluster.nodes.iter().map(|n| n.cores).collect();
         let ready = (0..cluster.node_count()).map(|_| VecDeque::new()).collect();
+        let node_up = vec![true; cluster.node_count()];
 
-        Self {
+        let mut sim = Self {
             cluster,
             net,
             res: Resources { shared, node_tier, nic, cache_levels },
@@ -364,6 +440,50 @@ impl Simulation {
             free_cores,
             ready,
             finished: 0,
+            faults: config.faults,
+            node_up,
+            flow_bytes: HashMap::new(),
+            pending_failures: Vec::new(),
+            fatal: None,
+            stats: FaultStats::default(),
+        };
+        sim.schedule_fault_plan();
+        sim
+    }
+
+    /// Turns the fault plan into ordinary events so faults interleave with
+    /// flow completions through the same deterministic loop.
+    fn schedule_fault_plan(&mut self) {
+        for i in 0..self.faults.crashes.len() {
+            let c = self.faults.crashes[i];
+            assert!(
+                (c.node as usize) < self.cluster.node_count(),
+                "crash node {} out of range",
+                c.node
+            );
+            self.push_event(SimTime(c.at_ns), Event::NodeCrash(i as u32));
+        }
+        for i in 0..self.faults.degradations.len() {
+            let d = self.faults.degradations[i];
+            let (resource, base) = match d.target {
+                DegradeTarget::Tier(t) => {
+                    assert!(
+                        self.cluster.tier(t.kind).is_some(),
+                        "degraded tier {} not on this cluster",
+                        t.kind.label()
+                    );
+                    (self.tier_resource(t), self.tier_spec(t.kind).read_bw)
+                }
+                DegradeTarget::Nic(n) => {
+                    assert!(
+                        (n as usize) < self.cluster.node_count(),
+                        "degraded nic {n} out of range"
+                    );
+                    (self.nic_resource(n), self.cluster.nic_bw)
+                }
+            };
+            self.schedule_capacity_change(d.at_ns, resource, base * d.factor);
+            self.schedule_capacity_change(d.at_ns.saturating_add(d.duration_ns), resource, base);
         }
     }
 
@@ -415,6 +535,7 @@ impl Simulation {
             node: spec.node,
             actions: spec.actions.into(),
             deps_left,
+            deps: spec.deps.iter().map(|d| d.0).collect(),
             dependents: Vec::new(),
             state: JobState::WaitingDeps,
             pending_flows: 0,
@@ -426,9 +547,35 @@ impl Simulation {
             end: None,
             breakdown: Breakdown::new(),
             submit_delay_ns: spec.submit_delay_ns,
+            recovery: spec.recovery,
+            replaces: None,
+            flows: Vec::new(),
+            io_ops: 0,
+            moved_bytes: 0.0,
         });
         self.push_event(SimTime(spec.submit_delay_ns), Event::Arrive(id));
         JobId(id)
+    }
+
+    /// Submits `spec` as a replacement (retry) of failed job `original`:
+    /// when the replacement completes, jobs that depended on the original
+    /// are released as if the original had finished.
+    ///
+    /// Depending on a *failed* job never releases (failure is terminal), so
+    /// retries chain replacements back to the same original to keep a single
+    /// release point.
+    pub fn resubmit(&mut self, original: JobId, spec: JobSpec) -> JobId {
+        assert!((original.0 as usize) < self.jobs.len(), "unknown original job");
+        let id = self.submit(spec);
+        self.jobs[id.0 as usize].replaces = Some(original.0);
+        id
+    }
+
+    /// Whether a job reached `Done` (vs pending or failed).
+    pub fn job_done(&self, id: JobId) -> bool {
+        self.jobs
+            .get(id.0 as usize)
+            .is_some_and(|j| j.state == JobState::Done)
     }
 
     fn push_event(&mut self, at: SimTime, ev: Event) {
@@ -438,11 +585,39 @@ impl Simulation {
         self.next_seq += 1;
     }
 
-    /// Runs until every submitted job completes.
+    /// Runs until every submitted job completes, ignoring job failures
+    /// (failed jobs stay failed; no retries). Callers that react to
+    /// failures drive [`Self::run_to_incident`] instead.
     pub fn run(&mut self) -> Result<(), SimError> {
         loop {
+            match self.run_to_incident()? {
+                RunOutcome::Completed => return Ok(()),
+                RunOutcome::Failures(_) => {}
+            }
+        }
+    }
+
+    /// Runs until everything completes or a job attempt fails. On
+    /// [`RunOutcome::Failures`] the clock is paused at the failure point:
+    /// the caller inspects the failures, submits recovery/retry jobs (see
+    /// [`Self::resubmit`]), and calls `run_to_incident` again.
+    pub fn run_to_incident(&mut self) -> Result<RunOutcome, SimError> {
+        loop {
+            if let Some(e) = self.fatal.take() {
+                return Err(e);
+            }
+            if !self.pending_failures.is_empty() {
+                return Ok(RunOutcome::Failures(std::mem::take(&mut self.pending_failures)));
+            }
             let heap_next = self.heap.peek().map(|Reverse((t, s, i))| (*t, *s, *i));
             let flow_next = self.net.next_completion();
+            // Stop once every job finished and all flows (e.g. buffered
+            // write drains) have landed: remaining events can only be
+            // fault-plan injections, which cannot affect a completed run
+            // (and would otherwise inflate the makespan).
+            if self.finished == self.jobs.len() && flow_next.is_none() {
+                break;
+            }
             match (heap_next, flow_next) {
                 (None, None) => break,
                 (Some((ht, _, _)), Some((ft, fk))) if ft.ns() < ht => {
@@ -460,21 +635,84 @@ impl Simulation {
             }
         }
         if self.finished < self.jobs.len() {
-            return Err(SimError::Deadlock { pending: self.jobs.len() - self.finished });
+            return Err(self.deadlock_error());
         }
-        Ok(())
+        Ok(RunOutcome::Completed)
+    }
+
+    /// Names the stuck jobs and what each is waiting on (first few, with
+    /// unfinished deps and lost/missing input files called out).
+    fn deadlock_error(&self) -> SimError {
+        const MAX_LISTED: usize = 8;
+        let mut stuck = Vec::new();
+        for (i, job) in self.jobs.iter().enumerate() {
+            if matches!(job.state, JobState::Done | JobState::Failed) {
+                continue;
+            }
+            if stuck.len() >= MAX_LISTED {
+                break;
+            }
+            let mut waiting_on = Vec::new();
+            for &d in &job.deps {
+                let dj = &self.jobs[d as usize];
+                match dj.state {
+                    JobState::Done => {}
+                    JobState::Failed => waiting_on.push(format!("failed dep '{}'", dj.name)),
+                    _ => waiting_on.push(format!("dep '{}'", dj.name)),
+                }
+            }
+            // The next few actions reveal unreadable inputs.
+            for a in job.actions.iter().take(4) {
+                let file = match a {
+                    Action::Read { file, .. } | Action::Stage { file, .. } => file,
+                    Action::Open { file, write: false } => file,
+                    _ => continue,
+                };
+                match self.fs.lookup(file) {
+                    None => waiting_on.push(format!("missing file {file}")),
+                    Some(idx) if self.fs.is_lost(idx) => {
+                        waiting_on.push(format!("lost file {file}"));
+                    }
+                    Some(_) => {}
+                }
+            }
+            if !self.node_up[job.node as usize] {
+                waiting_on.push(format!("node {} down", job.node));
+            }
+            let state = match job.state {
+                JobState::WaitingDeps => "waiting-deps",
+                JobState::Queued => "queued",
+                JobState::Running => "running",
+                JobState::Done | JobState::Failed => unreachable!("filtered above"),
+            };
+            stuck.push(StuckJob {
+                job: i as u32,
+                name: job.name.clone(),
+                node: job.node,
+                state,
+                waiting_on,
+            });
+        }
+        SimError::Deadlock { pending: self.jobs.len() - self.finished, stuck }
     }
 
     fn complete_flow(&mut self, at: SimTime, key: FlowKey) {
         self.now = SimTime(at.ns().max(self.now.ns()));
         let (owner, elapsed) = self.net.complete(self.now, key);
+        let bytes = self.flow_bytes.remove(&key.0).unwrap_or(0.0);
+        self.stats.total_moved += bytes;
         let j = owner.job as usize;
-        self.jobs[j].breakdown.add(owner.tag, elapsed);
+        let job = &mut self.jobs[j];
+        job.breakdown.add(owner.tag, elapsed);
+        job.moved_bytes += bytes;
+        if let Some(p) = job.flows.iter().position(|&k| k == key) {
+            job.flows.swap_remove(p);
+        }
         if owner.background {
             return; // buffered-write drain: nothing waits on it
         }
-        self.jobs[j].pending_flows -= 1;
-        if self.jobs[j].pending_flows == 0 {
+        job.pending_flows -= 1;
+        if job.pending_flows == 0 {
             self.finish_io(owner.job);
         }
     }
@@ -492,17 +730,129 @@ impl Simulation {
                     self.try_start(node);
                 }
             }
-            Event::ComputeDone(j) => self.advance(j),
-            Event::OpenDone(j) => self.advance(j),
-            Event::IoLatencyDone(j) => self.launch_flows(j),
+            // Compute/open/latency events of a job failed in the meantime
+            // are stale; only a Running job advances.
+            Event::ComputeDone(j) | Event::OpenDone(j) => {
+                if self.jobs[j as usize].state == JobState::Running {
+                    self.advance(j);
+                }
+            }
+            Event::IoLatencyDone(j) => {
+                if self.jobs[j as usize].state == JobState::Running {
+                    self.launch_flows(j);
+                }
+            }
             Event::CapacityChange(idx) => {
                 let (r, capacity) = self.capacity_changes[idx as usize];
                 self.net.set_capacity(self.now, r, capacity);
             }
+            Event::NodeCrash(i) => self.on_node_crash(i),
+            Event::NodeRecover(i) => {
+                let node = self.faults.crashes[i as usize].node;
+                if !self.node_up[node as usize] {
+                    self.node_up[node as usize] = true;
+                    // Every core is free: the crash failed all running jobs.
+                    self.free_cores[node as usize] = self.cluster.nodes[node as usize].cores;
+                    self.try_start(node);
+                }
+            }
+        }
+    }
+
+    fn on_node_crash(&mut self, i: u32) {
+        let crash = self.faults.crashes[i as usize];
+        let node = crash.node;
+        if !self.node_up[node as usize] {
+            return; // overlapping crash windows: already down
+        }
+        self.stats.crashes += 1;
+        self.node_up[node as usize] = false;
+        self.free_cores[node as usize] = 0;
+        let running: Vec<u32> = (0..self.jobs.len() as u32)
+            .filter(|&j| {
+                let job = &self.jobs[j as usize];
+                job.node == node && job.state == JobState::Running
+            })
+            .collect();
+        for j in running {
+            self.fail_job(j, FailureCause::NodeCrash { node });
+        }
+        // Node-local replicas and node-wide cache contents are gone.
+        let loss = self.fs.fail_node(node);
+        self.stats.lost_replicas += loss.replicas_lost;
+        self.stats.lost_files += loss.lost_files.len() as u32;
+        self.stats.lost_bytes += loss.bytes;
+        if let Some(c) = &mut self.cache {
+            c.invalidate_node(node);
+        }
+        if crash.down_ns != u64::MAX {
+            self.push_event(self.now.add_ns(crash.down_ns), Event::NodeRecover(i));
+        }
+    }
+
+    /// Fails a running job attempt: cancels its in-flight flows (progress
+    /// made so far counts as wasted transfer), frees its core, and queues a
+    /// [`JobFailure`] for the next `run_to_incident` return.
+    fn fail_job(&mut self, j: u32, cause: FailureCause) {
+        debug_assert_eq!(self.jobs[j as usize].state, JobState::Running);
+        let node = self.jobs[j as usize].node;
+        let flows = std::mem::take(&mut self.jobs[j as usize].flows);
+        for key in flows {
+            let bytes = self.flow_bytes.remove(&key.0).expect("tracked flow");
+            let (owner, elapsed, remaining) = self.net.cancel(self.now, key);
+            let moved = (bytes - remaining).max(0.0);
+            self.stats.total_moved += moved;
+            let job = &mut self.jobs[j as usize];
+            job.breakdown.add(owner.tag, elapsed);
+            job.moved_bytes += moved;
+        }
+        let job = &mut self.jobs[j as usize];
+        job.state = JobState::Failed;
+        job.end = Some(self.now);
+        job.io = None;
+        job.pending_flows = 0;
+        if let Some(ctx) = job.ctx.take() {
+            ctx.finish(self.now.ns());
+        }
+        let started = job.start.map_or(self.now, |s| s);
+        self.stats.wasted_ns += self.now.since(started);
+        self.stats.wasted_bytes += job.moved_bytes;
+        self.stats.failed_attempts += 1;
+        self.finished += 1;
+        let name = job.name.clone();
+        self.pending_failures.push(JobFailure {
+            job: JobId(j),
+            name,
+            node,
+            at_ns: self.now.ns(),
+            cause,
+        });
+        // A core frees up unless the node itself went down.
+        if self.node_up[node as usize] {
+            self.free_cores[node as usize] += 1;
+            self.try_start(node);
+        }
+    }
+
+    /// Schedule-independent transient-error check for the job's next I/O
+    /// operation; on a hit the attempt fails. Returns true when the caller
+    /// must abandon the operation.
+    fn io_faulted(&mut self, j: u32, file: &str) -> bool {
+        let op = self.jobs[j as usize].io_ops;
+        self.jobs[j as usize].io_ops += 1;
+        if self.faults.io_op_fails(j, op) {
+            self.stats.transient_io_errors += 1;
+            self.fail_job(j, FailureCause::IoError { file: file.to_owned() });
+            true
+        } else {
+            false
         }
     }
 
     fn try_start(&mut self, node: u32) {
+        if !self.node_up[node as usize] {
+            return;
+        }
         while self.free_cores[node as usize] > 0 {
             let Some(j) = self.ready[node as usize].pop_front() else { break };
             self.free_cores[node as usize] -= 1;
@@ -549,11 +899,29 @@ impl Simulation {
             if let Some(ctx) = job.ctx.take() {
                 ctx.finish(self.now.ns());
             }
+            if job.recovery {
+                self.stats.recovery_bytes += job.moved_bytes;
+            }
         }
         self.finished += 1;
         self.free_cores[node as usize] += 1;
 
         let dependents = std::mem::take(&mut self.jobs[j as usize].dependents);
+        self.release_dependents(dependents);
+        // A replacement completing stands in for every failed attempt it
+        // (transitively) replaces: each one's dependents are released
+        // exactly once (`take` empties the list), so work that depended on
+        // any attempt in the chain proceeds once one of them succeeds.
+        let mut replaced = self.jobs[j as usize].replaces;
+        while let Some(orig) = replaced {
+            let orig_deps = std::mem::take(&mut self.jobs[orig as usize].dependents);
+            self.release_dependents(orig_deps);
+            replaced = self.jobs[orig as usize].replaces;
+        }
+        self.try_start(node);
+    }
+
+    fn release_dependents(&mut self, dependents: Vec<u32>) {
         for d in dependents {
             let dep = &mut self.jobs[d as usize];
             dep.deps_left -= 1;
@@ -564,7 +932,6 @@ impl Simulation {
                 self.try_start(n);
             }
         }
-        self.try_start(node);
     }
 
     // ---- file helpers ----
@@ -621,6 +988,15 @@ impl Simulation {
 
     // ---- actions ----
 
+    /// Raises a hard (spec-level) error: the current `run_to_incident` call
+    /// returns it before processing the next event.
+    fn raise_fatal(&mut self, j: u32, file: &str) {
+        self.fatal = Some(SimError::MissingFile {
+            file: file.to_owned(),
+            job: self.jobs[j as usize].name.clone(),
+        });
+    }
+
     fn do_open(&mut self, j: u32, file: &str, write: bool) {
         let node = self.jobs[j as usize].node;
         let idx = match self.fs.lookup(file) {
@@ -629,8 +1005,15 @@ impl Simulation {
                 let tier = TierRef::shared(self.cluster.default_tier);
                 self.fs.create_for_write(file, tier)
             }
-            _ => panic!("open of nonexistent file {file} for reading"),
+            _ => {
+                self.raise_fatal(j, file);
+                return;
+            }
         };
+        if !write && self.fs.is_lost(idx) {
+            self.fail_job(j, FailureCause::LostFile { file: file.to_owned() });
+            return;
+        }
         let tier = self.fs.best_replica(idx, node);
         let open_ns = self.tier_spec(tier.kind).open_ns;
 
@@ -655,10 +1038,17 @@ impl Simulation {
     }
 
     fn do_read(&mut self, j: u32, file: &str, offset: Option<u64>, len: u64) {
-        let idx = self
-            .fs
-            .lookup(file)
-            .unwrap_or_else(|| panic!("read of nonexistent file {file}"));
+        if self.io_faulted(j, file) {
+            return;
+        }
+        let Some(idx) = self.fs.lookup(file) else {
+            self.raise_fatal(j, file);
+            return;
+        };
+        if self.fs.is_lost(idx) {
+            self.fail_job(j, FailureCause::LostFile { file: file.to_owned() });
+            return;
+        }
         let node = self.jobs[j as usize].node;
         let size = self.fs.meta(idx).size;
         let off = offset.unwrap_or_else(|| *self.jobs[j as usize].cursor.get(&idx).unwrap_or(&0));
@@ -724,6 +1114,9 @@ impl Simulation {
     }
 
     fn do_write(&mut self, j: u32, file: &str, len: u64, tier: Option<TierRef>) {
+        if self.io_faulted(j, file) {
+            return;
+        }
         let node = self.jobs[j as usize].node;
         // Single placement decision: a fresh file is created once on the
         // requested (or default) tier; an explicit tier re-places an
@@ -742,6 +1135,13 @@ impl Simulation {
                 self.fs.create_for_write(file, t)
             }
         };
+        if self.fs.is_lost(idx) {
+            // Appending to a file whose replicas were all lost: the partial
+            // data is gone, so the attempt fails (a retry re-creates the
+            // file from the top via its open-for-write).
+            self.fail_job(j, FailureCause::LostFile { file: file.to_owned() });
+            return;
+        }
         self.ensure_fd(j, idx);
 
         let dst = self.fs.meta(idx).replicas[0];
@@ -752,12 +1152,15 @@ impl Simulation {
             // as a background flow accounted to the job.
             let path = self.read_path(dst, node);
             let bytes = self.write_equiv_bytes(dst.kind, len);
-            self.net.start(
+            let tag = if self.jobs[j as usize].recovery { FlowTag::Recovery } else { FlowTag::Write };
+            let key = self.net.start(
                 self.now,
                 path,
                 bytes,
-                FlowOwner { job: j, tag: FlowTag::Write, background: true },
+                FlowOwner { job: j, tag, background: true },
             );
+            self.flow_bytes.insert(key.0, bytes);
+            self.jobs[j as usize].flows.push(key);
             self.fs.grow(idx, len);
             let job = &mut self.jobs[j as usize];
             if let (Some(ctx), Some(&fd)) = (&job.ctx, job.fds.get(&idx)) {
@@ -792,10 +1195,17 @@ impl Simulation {
     }
 
     fn do_stage(&mut self, j: u32, file: &str, to: TierRef, from: Option<TierRef>, tag: FlowTag) {
-        let idx = self
-            .fs
-            .lookup(file)
-            .unwrap_or_else(|| panic!("stage of nonexistent file {file}"));
+        if self.io_faulted(j, file) {
+            return;
+        }
+        let Some(idx) = self.fs.lookup(file) else {
+            self.raise_fatal(j, file);
+            return;
+        };
+        if self.fs.is_lost(idx) {
+            self.fail_job(j, FailureCause::LostFile { file: file.to_owned() });
+            return;
+        }
         let node = self.jobs[j as usize].node;
         let size = self.fs.meta(idx).size;
         let src = from.unwrap_or_else(|| self.fs.best_replica(idx, node));
@@ -840,8 +1250,13 @@ impl Simulation {
             return;
         }
         self.jobs[j as usize].pending_flows = launch.len();
+        let recovery = self.jobs[j as usize].recovery;
         for (path, bytes, tag) in launch {
-            self.net.start(self.now, path, bytes, FlowOwner { job: j, tag, background: false });
+            let tag = if recovery { FlowTag::Recovery } else { tag };
+            let key =
+                self.net.start(self.now, path, bytes, FlowOwner { job: j, tag, background: false });
+            self.flow_bytes.insert(key.0, bytes);
+            self.jobs[j as usize].flows.push(key);
         }
     }
 
@@ -907,6 +1322,7 @@ impl Simulation {
             start_ns: job.start.map_or(0, SimTime::ns),
             end_ns: job.end.map_or(0, SimTime::ns),
             breakdown: job.breakdown.clone(),
+            failed: job.state == JobState::Failed,
         })
     }
 
@@ -929,6 +1345,29 @@ impl Simulation {
     /// Snapshot of the attached monitor's measurements.
     pub fn measurements(&self) -> Option<dfl_trace::MeasurementSet> {
         self.monitor.as_ref().map(Monitor::snapshot)
+    }
+
+    /// Aggregate cost of faults and recovery so far. `retries` and
+    /// `recovery_jobs` are zero here — the workflow engine fills them in
+    /// (the simulator doesn't know which jobs are retries of which tasks).
+    pub fn failure_report(&self) -> FailureReport {
+        let recovery_ns = self.jobs.iter().map(|j| j.breakdown.get(FlowTag::Recovery)).sum();
+        FailureReport {
+            crashes: self.stats.crashes,
+            transient_io_errors: self.stats.transient_io_errors,
+            failed_attempts: self.stats.failed_attempts,
+            retries: 0,
+            recovery_jobs: 0,
+            lost_replicas: self.stats.lost_replicas,
+            lost_files: self.stats.lost_files,
+            lost_bytes: self.stats.lost_bytes,
+            wasted_ns: self.stats.wasted_ns,
+            wasted_bytes: self.stats.wasted_bytes.round() as u64,
+            recovery_ns,
+            recovery_bytes: self.stats.recovery_bytes.round() as u64,
+            total_bytes: self.stats.total_moved.round() as u64,
+            final_time_ns: self.now.ns(),
+        }
     }
 }
 
@@ -1270,5 +1709,255 @@ mod buffering_and_failure_tests {
         // 200 MiB at 50 MiB/s = 4s.
         let dur = sim.job_report(j).unwrap().duration_ns() as f64 / 1e9;
         assert!(dur > 3.9 && dur < 4.3, "{dur}");
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::fault::Degradation;
+
+    fn mb(n: u64) -> u64 {
+        n << 20
+    }
+
+    fn sim_with(faults: FaultPlan) -> Simulation {
+        Simulation::new(ClusterSpec::gpu_cluster(2), SimConfig { faults, ..SimConfig::default() })
+    }
+
+    #[test]
+    fn missing_read_is_an_error_not_a_panic() {
+        let mut sim = sim_with(FaultPlan::none());
+        sim.submit(JobSpec::new("r-0", 0).action(Action::read_file("ghost")));
+        let err = sim.run().unwrap_err();
+        assert_eq!(err, SimError::MissingFile { file: "ghost".into(), job: "r-0".into() });
+    }
+
+    #[test]
+    fn missing_open_and_stage_are_errors_too() {
+        let mut sim = sim_with(FaultPlan::none());
+        sim.submit(JobSpec::new("o-0", 0).action(Action::Open { file: "ghost".into(), write: false }));
+        assert!(matches!(sim.run(), Err(SimError::MissingFile { .. })));
+        let mut sim = sim_with(FaultPlan::none());
+        sim.submit(
+            JobSpec::new("s-0", 0).action(Action::stage("ghost", TierRef::node(TierKind::Ssd, 0))),
+        );
+        assert!(matches!(sim.run(), Err(SimError::MissingFile { .. })));
+    }
+
+    #[test]
+    fn crash_fails_running_job_and_loses_local_files() {
+        // Job on node 0 writes to ramdisk then computes; the crash lands in
+        // the compute interval, after the local file exists.
+        let faults = FaultPlan::seeded(1).crash(0, 80_000_000, 40_000_000);
+        let mut sim = sim_with(faults);
+        let j = sim.submit(
+            JobSpec::new("w-0", 0)
+                .action(Action::Write {
+                    file: "local".into(),
+                    len: mb(16),
+                    tier: Some(TierRef::node(TierKind::Ramdisk, 0)),
+                })
+                .action(Action::compute_ms(500)),
+        );
+        let outcome = sim.run_to_incident().unwrap();
+        let RunOutcome::Failures(fs) = outcome else { panic!("expected failures") };
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].job, j);
+        assert_eq!(fs[0].cause, FailureCause::NodeCrash { node: 0 });
+        assert_eq!(fs[0].at_ns, 80_000_000);
+        let idx = sim.fs().lookup("local").unwrap();
+        assert!(sim.fs().is_lost(idx), "ramdisk replica died with the node");
+        assert!(!sim.job_done(j));
+        let report = sim.failure_report();
+        assert_eq!(report.crashes, 1);
+        assert_eq!(report.failed_attempts, 1);
+        assert_eq!(report.lost_files, 1);
+        assert_eq!(report.lost_bytes, mb(16));
+        assert!(report.wasted_ns > 0);
+        // Nothing left to do: the run finishes with the failure recorded.
+        assert!(matches!(sim.run_to_incident().unwrap(), RunOutcome::Completed));
+    }
+
+    #[test]
+    fn resubmit_releases_dependents_of_the_failed_original() {
+        let faults = FaultPlan::seeded(1).crash(0, 50_000_000, 10_000_000);
+        let mut sim = sim_with(faults);
+        let w = sim.submit(
+            JobSpec::new("w-0", 0)
+                .action(Action::compute_ms(100))
+                .action(Action::write_file("out", mb(4))),
+        );
+        let consumer =
+            sim.submit(JobSpec::new("c-0", 1).dep(w).action(Action::read_file("out")));
+        let RunOutcome::Failures(fs) = sim.run_to_incident().unwrap() else {
+            panic!("crash expected")
+        };
+        assert_eq!(fs[0].job, w);
+        // Retry on the surviving node, replacing the failed original.
+        let retry = sim.resubmit(
+            w,
+            JobSpec::new("w-0~r1", 1)
+                .delay_ns(sim.time().ns())
+                .action(Action::compute_ms(100))
+                .action(Action::write_file("out", mb(4))),
+        );
+        sim.run().unwrap();
+        assert!(sim.job_done(retry) && sim.job_done(consumer));
+        let rr = sim.job_report(consumer).unwrap();
+        let retry_end = sim.job_report(retry).unwrap().end_ns;
+        assert!(rr.start_ns >= retry_end, "consumer waited for the retry");
+    }
+
+    #[test]
+    fn crashed_node_rejects_work_until_recovery() {
+        // Node 0 is down 100..200 ms; a job arriving at 150 ms must start
+        // only after recovery.
+        let faults = FaultPlan::seeded(1).crash(0, 100_000_000, 100_000_000);
+        let mut sim = sim_with(faults);
+        let j = sim.submit(
+            JobSpec::new("late-0", 0).delay_ns(150_000_000).action(Action::compute_ms(10)),
+        );
+        sim.run().unwrap();
+        assert_eq!(sim.job_report(j).unwrap().start_ns, 200_000_000);
+    }
+
+    #[test]
+    fn transient_io_error_fails_the_attempt() {
+        // Probability ~1 makes the very first read fail deterministically.
+        let faults = FaultPlan::seeded(3).io_errors(0.999_999);
+        let mut sim = sim_with(faults);
+        sim.fs_mut().create_external("x", mb(8), TierRef::shared(TierKind::Nfs));
+        let j = sim.submit(JobSpec::new("r-0", 0).action(Action::read_file("x")));
+        let RunOutcome::Failures(fs) = sim.run_to_incident().unwrap() else {
+            panic!("io error expected")
+        };
+        assert_eq!(fs[0].job, j);
+        assert_eq!(fs[0].cause, FailureCause::IoError { file: "x".into() });
+        assert_eq!(sim.failure_report().transient_io_errors, 1);
+    }
+
+    #[test]
+    fn degradation_window_slows_then_restores() {
+        let window = |faults: FaultPlan| {
+            let mut sim = sim_with(faults);
+            sim.fs_mut().create_external("x", mb(100), TierRef::shared(TierKind::Beegfs));
+            sim.submit(JobSpec::new("r-0", 0).action(Action::read_file("x")));
+            sim.run().unwrap();
+            sim.time().ns()
+        };
+        let clean = window(FaultPlan::none());
+        // Throttle BeeGFS to 1% for the middle of the ~50ms transfer.
+        let degraded = window(FaultPlan::seeded(1).degrade(Degradation {
+            target: DegradeTarget::Tier(TierRef::shared(TierKind::Beegfs)),
+            at_ns: 10_000_000,
+            duration_ns: 50_000_000,
+            factor: 0.01,
+        }));
+        assert!(degraded > clean + 40_000_000, "window visible: {degraded} vs {clean}");
+        // After the window, capacity is restored: a second, later read is
+        // full speed again.
+        let mut sim = sim_with(FaultPlan::seeded(1).degrade(Degradation {
+            target: DegradeTarget::Tier(TierRef::shared(TierKind::Beegfs)),
+            at_ns: 0,
+            duration_ns: 1_000_000,
+            factor: 0.01,
+        }));
+        sim.fs_mut().create_external("x", mb(100), TierRef::shared(TierKind::Beegfs));
+        let j = sim
+            .submit(JobSpec::new("r-0", 0).delay_ns(2_000_000).action(Action::read_file("x")));
+        sim.run().unwrap();
+        // Full speed again: the 1250 MiB/s NIC bounds the read at ~80 ms.
+        let dur = sim.job_report(j).unwrap().duration_ns();
+        assert!(dur < 90_000_000, "restored: {dur}");
+    }
+
+    #[test]
+    fn none_plan_is_byte_identical_to_default_config() {
+        let run = |cfg: SimConfig| {
+            let mut sim = Simulation::new(ClusterSpec::gpu_cluster(2), cfg);
+            sim.fs_mut().create_external("x", mb(64), TierRef::shared(TierKind::Beegfs));
+            for i in 0..6 {
+                sim.submit(
+                    JobSpec::new(&format!("t-{i}"), i % 2)
+                        .action(Action::read_file("x"))
+                        .action(Action::compute_ms(3))
+                        .action(Action::write_file(&format!("o{i}"), mb(2))),
+                );
+            }
+            sim.run().unwrap();
+            let ends: Vec<u64> = sim.reports().iter().map(|r| r.end_ns).collect();
+            (sim.time().ns(), ends)
+        };
+        let base = run(SimConfig::default());
+        let with_plan = run(SimConfig {
+            faults: FaultPlan::seeded(12345), // seeded but inert
+            ..SimConfig::default()
+        });
+        assert_eq!(base, with_plan);
+    }
+
+    #[test]
+    fn deadlock_report_names_lost_files_and_failed_deps() {
+        // Producer writes to ramdisk, crash destroys it, consumer waits on
+        // the failed producer forever (no retry submitted).
+        let faults = FaultPlan::seeded(1).crash(0, 60_000_000, 10_000_000);
+        let mut sim = sim_with(faults);
+        let w = sim.submit(
+            JobSpec::new("prod-0", 0)
+                .action(Action::Write {
+                    file: "mid".into(),
+                    len: mb(8),
+                    tier: Some(TierRef::node(TierKind::Ramdisk, 0)),
+                })
+                .action(Action::compute_ms(200)),
+        );
+        sim.submit(JobSpec::new("cons-0", 1).dep(w).action(Action::read_file("mid")));
+        let err = sim.run().unwrap_err();
+        let SimError::Deadlock { pending, stuck } = &err else { panic!("deadlock expected") };
+        assert_eq!(*pending, 1);
+        assert_eq!(stuck.len(), 1);
+        assert_eq!(stuck[0].name, "cons-0");
+        assert!(stuck[0].waiting_on.iter().any(|w| w.contains("failed dep 'prod-0'")), "{err}");
+        assert!(stuck[0].waiting_on.iter().any(|w| w.contains("lost file mid")), "{err}");
+    }
+
+    #[test]
+    fn recovery_jobs_tag_flows_as_recovery() {
+        let mut sim = sim_with(FaultPlan::none());
+        sim.fs_mut().create_external("x", mb(16), TierRef::shared(TierKind::Nfs));
+        let j = sim.submit(
+            JobSpec::new("rec-0", 0)
+                .recovery(true)
+                .action(Action::read_file("x"))
+                .action(Action::write_file("y", mb(4))),
+        );
+        sim.run().unwrap();
+        let r = sim.job_report(j).unwrap();
+        assert!(r.breakdown.get(FlowTag::Recovery) > 0);
+        assert_eq!(r.breakdown.get(FlowTag::SharedRead), 0);
+        assert_eq!(r.breakdown.get(FlowTag::Write), 0);
+        assert!(sim.failure_report().recovery_bytes >= mb(16 + 4));
+    }
+
+    #[test]
+    fn failure_report_deterministic_across_runs() {
+        let run = || {
+            let faults = FaultPlan::seeded(42).crash(0, 30_000_000, 20_000_000).io_errors(0.05);
+            let mut sim = sim_with(faults);
+            sim.fs_mut().create_external("x", mb(32), TierRef::shared(TierKind::Beegfs));
+            for i in 0..8 {
+                sim.submit(
+                    JobSpec::new(&format!("t-{i}"), i % 2)
+                        .action(Action::read_file("x"))
+                        .action(Action::compute_ms(20))
+                        .action(Action::write_file(&format!("o{i}"), mb(2))),
+                );
+            }
+            // Drive to completion ignoring failures.
+            sim.run().unwrap();
+            sim.failure_report()
+        };
+        assert_eq!(run(), run());
     }
 }

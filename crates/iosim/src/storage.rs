@@ -32,6 +32,19 @@ impl TierKind {
         }
     }
 
+    /// Inverse of [`label`](Self::label), for parsing CLI specs.
+    pub fn from_label(label: &str) -> Option<TierKind> {
+        Some(match label {
+            "nfs" => TierKind::Nfs,
+            "beegfs" => TierKind::Beegfs,
+            "lustre" => TierKind::Lustre,
+            "ssd" => TierKind::Ssd,
+            "ramdisk" => TierKind::Ramdisk,
+            "wan" => TierKind::Wan,
+            _ => return None,
+        })
+    }
+
     /// Whether instances of this tier are per-node (vs cluster-shared or
     /// remote).
     pub fn is_node_local(self) -> bool {

@@ -165,6 +165,8 @@ pub fn run_config(cfg: &Belle2Config, access: DataAccess, nodes: usize) -> crate
         cache_origins: CacheOrigins::RemoteOnly,
         write_buffering: false,
         monitor: dfl_trace::MonitorConfig::default(),
+        faults: dfl_iosim::FaultPlan::none(),
+        retry: crate::engine::RetryPolicy::default(),
     };
     match access {
         DataAccess::FtpCopy => {

@@ -7,17 +7,20 @@
 //! tier intermediate files land on, and whether inputs are staged to
 //! node-local storage first ([`Staging`]).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use dfl_iosim::breakdown::{Breakdown, FlowTag};
 use dfl_iosim::cache::CacheConfig;
 use dfl_iosim::cluster::ClusterSpec;
-use dfl_iosim::sim::{Action, CacheOrigins, JobId, JobReport, JobSpec, SimConfig, Simulation};
+use dfl_iosim::fault::{unit_hash, FailureReport, FaultPlan};
+use dfl_iosim::sim::{
+    Action, CacheOrigins, JobId, JobReport, JobSpec, RunOutcome, SimConfig, Simulation,
+};
 use dfl_iosim::storage::{TierKind, TierRef};
 use dfl_iosim::SimError;
 use dfl_trace::MeasurementSet;
 
-use crate::spec::WorkflowSpec;
+use crate::spec::{TaskSpec, WorkflowSpec};
 
 /// Task-to-node assignment policy.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,6 +76,61 @@ impl Staging {
     }
 }
 
+/// Retry/backoff policy for failed task attempts.
+///
+/// An *attempt* is one execution of a task's job (the first run or any
+/// retry). When an attempt fails — node crash, transient I/O error, lost
+/// input — the engine first repairs lost inputs through lineage recovery
+/// (see [`run`]) and then resubmits the task after an exponential-backoff
+/// delay with deterministic, seeded jitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per work unit (first run included). `1` disables
+    /// retries: the first failure aborts the run.
+    pub max_attempts: u32,
+    /// Base backoff before the first retry, ns.
+    pub backoff_ns: u64,
+    /// Multiplier applied per additional attempt (exponential backoff).
+    pub backoff_mult: f64,
+    /// Jitter fraction in `[0, 1]`: the delay is scaled by a deterministic
+    /// factor in `[1 - jitter, 1 + jitter]` derived from the fault-plan
+    /// seed, so identical seeds give identical schedules.
+    pub jitter: f64,
+    /// Optional cap on total retries charged to any one workflow stage;
+    /// exceeding it aborts the run with
+    /// [`SimError::RetriesExhausted`].
+    pub stage_budget: Option<u32>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_ns: 50_000_000, // 50 ms
+            backoff_mult: 2.0,
+            jitter: 0.5,
+            stage_budget: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: the first failed attempt aborts the run.
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+    }
+
+    /// Backoff before retry number `attempt` (1-based) of work unit
+    /// `unit`, with seeded jitter. Pure: same inputs, same delay.
+    pub fn delay_ns(&self, seed: u64, unit: u64, attempt: u32) -> u64 {
+        let base = self.backoff_ns as f64
+            * self.backoff_mult.powi(attempt.saturating_sub(1) as i32);
+        let h = unit_hash(seed ^ 0xb0ff_0ff5, unit, u64::from(attempt));
+        let factor = 1.0 + self.jitter * (2.0 * h - 1.0);
+        (base * factor.max(0.0)) as u64
+    }
+}
+
 /// One complete run configuration.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -85,6 +143,11 @@ pub struct RunConfig {
     /// remediation.
     pub write_buffering: bool,
     pub monitor: dfl_trace::MonitorConfig,
+    /// Deterministic fault injection; [`FaultPlan::none`] (the default)
+    /// leaves the run byte-identical to a fault-free one.
+    pub faults: FaultPlan,
+    /// How failed attempts are retried.
+    pub retry: RetryPolicy,
 }
 
 impl RunConfig {
@@ -99,6 +162,8 @@ impl RunConfig {
             cache_origins: CacheOrigins::default(),
             write_buffering: false,
             monitor: dfl_trace::MonitorConfig::default(),
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -112,6 +177,8 @@ impl RunConfig {
             cache_origins: CacheOrigins::default(),
             write_buffering: false,
             monitor: dfl_trace::MonitorConfig::default(),
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -125,6 +192,9 @@ pub struct RunResult {
     pub reports: Vec<JobReport>,
     pub total_breakdown: Breakdown,
     pub measurements: MeasurementSet,
+    /// What faults happened and what they cost. [`FailureReport::is_clean`]
+    /// on a fault-free run.
+    pub failure: FailureReport,
 }
 
 impl RunResult {
@@ -174,8 +244,140 @@ fn place_tasks(placement: &Placement, tasks: &[crate::spec::TaskSpec], nodes: u3
         .collect()
 }
 
+/// What a submitted job is, engine-side: lets failure handling and stage
+/// accounting work off job ids even after retries and recovery jobs are
+/// appended mid-run.
+#[derive(Debug, Clone, Copy)]
+enum JobKind {
+    /// Stage-0 input staging job for a node.
+    Staging(u32),
+    /// First attempt of task `ti`.
+    Task(usize),
+    /// Retry attempt of task `ti`.
+    Retry(usize),
+    /// Lineage-recovery re-run of producer task `ti`.
+    Recovery(usize),
+}
+
+impl JobKind {
+    fn task(self) -> Option<usize> {
+        match self {
+            JobKind::Task(ti) | JobKind::Retry(ti) | JobKind::Recovery(ti) => Some(ti),
+            JobKind::Staging(_) => None,
+        }
+    }
+
+    fn retry_of(self) -> JobKind {
+        match self {
+            JobKind::Task(ti) | JobKind::Retry(ti) => JobKind::Retry(ti),
+            other => other,
+        }
+    }
+}
+
+/// Builds the action list for one attempt of `t` on `node`: open + chunked
+/// reads of inputs, compute, open + chunked writes of outputs (to the
+/// staging policy's tier), closes. Re-running the same list re-creates the
+/// task's outputs from scratch (writes truncate), which is what makes
+/// attempts idempotent and lineage recovery sound.
+fn task_actions(
+    t: &TaskSpec,
+    node: u32,
+    staging: &Staging,
+    shared: TierRef,
+    size_of: &HashMap<&str, u64>,
+) -> Vec<Action> {
+    let mut actions = Vec::new();
+    for r in &t.reads {
+        actions.push(Action::Open { file: r.file.clone(), write: false });
+        let total = if r.bytes == 0 {
+            size_of[r.file.as_str()].saturating_sub(r.offset)
+        } else {
+            r.bytes
+        };
+        let ops = u64::from(r.ops.max(1));
+        let op_len = (total / ops).max(1);
+        for _pass in 0..r.passes.max(1) {
+            for k in 0..ops {
+                let off = r.offset + k * op_len;
+                let len = if k == ops - 1 { total - op_len * (ops - 1) } else { op_len };
+                if len == 0 {
+                    continue;
+                }
+                actions.push(Action::Read { file: r.file.clone(), offset: Some(off), len });
+            }
+        }
+    }
+    if t.compute_ns > 0 {
+        actions.push(Action::Compute { ns: t.compute_ns });
+    }
+    for w in &t.writes {
+        let tier = match staging.intermediates_local {
+            Some(kind) => TierRef::node(kind, node),
+            None => shared,
+        };
+        actions.push(Action::Open { file: w.file.clone(), write: true });
+        let ops = u64::from(w.ops.max(1));
+        let op_len = (w.bytes / ops).max(1);
+        for k in 0..ops {
+            let len = if k == ops - 1 { w.bytes - op_len * (ops - 1) } else { op_len };
+            if len == 0 {
+                continue;
+            }
+            actions.push(Action::Write { file: w.file.clone(), len, tier: Some(tier) });
+        }
+    }
+    for r in &t.reads {
+        actions.push(Action::Close { file: r.file.clone() });
+    }
+    for w in &t.writes {
+        actions.push(Action::Close { file: w.file.clone() });
+    }
+    actions
+}
+
+/// Action list for a node's stage-0 input staging job.
+fn staging_actions(
+    files: &[String],
+    node: u32,
+    kind: TierKind,
+    shared: TierRef,
+    from_origin: bool,
+) -> Vec<Action> {
+    files
+        .iter()
+        .map(|f| Action::Stage {
+            file: f.clone(),
+            to: TierRef::node(kind, node),
+            from: from_origin.then_some(shared),
+            tag: FlowTag::Stage,
+        })
+        .collect()
+}
+
+/// True when `path` exists in the simulated filesystem but every replica is
+/// gone (e.g. it lived only on a crashed node's local tier).
+fn file_lost(sim: &Simulation, path: &str) -> bool {
+    sim.fs().lookup(path).is_some_and(|idx| sim.fs().is_lost(idx))
+}
+
 /// Runs `spec` under `cfg`. Panics if the spec fails validation (programmer
 /// error in a generator); returns simulator errors otherwise.
+///
+/// # Fault handling
+///
+/// With a non-trivial [`RunConfig::faults`] plan the run proceeds
+/// incident-by-incident: the simulator pauses at each failed attempt
+/// ([`Simulation::run_to_incident`]), the engine repairs lost inputs and
+/// resubmits work, and the clock continues. Repair is *lineage-based*: for
+/// every lost input file of the failed task, the engine walks the producer
+/// graph (transitively, in case a producer's own inputs are also gone) and
+/// re-runs the minimal producer set as `name~recK` jobs flagged
+/// [`JobSpec::recovery`], so their traffic shows up under
+/// [`FlowTag::Recovery`]. The failed task is then resubmitted as `name~rN`
+/// after the [`RetryPolicy`] backoff, depending on those recovery jobs.
+/// Inputs that survive on a shared tier are simply re-read — no recovery
+/// job is scheduled for them.
 pub fn run(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, SimError> {
     if let Err(e) = spec.validate() {
         panic!("invalid workflow spec: {e}");
@@ -191,6 +393,7 @@ pub fn run(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, SimError> 
             cache: cfg.cache.clone(),
             cache_origins: cfg.cache_origins,
             write_buffering: cfg.write_buffering,
+            faults: cfg.faults.clone(),
         },
     );
 
@@ -211,45 +414,51 @@ pub fn run(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, SimError> 
     // Placement.
     let node_for: Vec<u32> = place_tasks(&cfg.placement, &spec.tasks, nodes);
 
+    // Engine-side job bookkeeping, parallel to the simulator's job table.
+    // `root_of[j]` is the first attempt of `j`'s retry chain (attempts are
+    // counted per chain); `kind_of_job[j]` says what work unit `j` is.
+    let mut kind_of_job: Vec<JobKind> = Vec::new();
+    let mut root_of: Vec<u32> = Vec::new();
+
     // Input staging: one stage-0 job per node copying the inputs its tasks
-    // read.
+    // read. File lists are kept (owned) so failed staging jobs can be
+    // rebuilt for retry.
     let mut stage_job_of_node: HashMap<u32, JobId> = HashMap::new();
+    let mut staged_files: BTreeMap<u32, Vec<String>> = BTreeMap::new();
     if let Some(kind) = cfg.staging.stage_inputs {
         assert!(cfg.cluster.has_tier(kind), "staging tier missing from cluster");
-        let mut per_node: BTreeMap<u32, Vec<&str>> = BTreeMap::new();
         for (ti, t) in spec.tasks.iter().enumerate() {
             for r in &t.reads {
                 if spec.inputs.iter().any(|i| i.path == r.file) {
-                    let v = per_node.entry(node_for[ti]).or_default();
-                    if !v.contains(&r.file.as_str()) {
-                        v.push(&r.file);
+                    let v = staged_files.entry(node_for[ti]).or_default();
+                    if !v.contains(&r.file) {
+                        v.push(r.file.clone());
                     }
                 }
             }
         }
-        for (node, files) in per_node {
+        for (&node, files) in &staged_files {
             let mut job = JobSpec::new(&format!("staging-{node}"), node).logical("staging");
-            for f in files {
-                job = job.action(Action::Stage {
-                    file: f.to_owned(),
-                    to: TierRef::node(kind, node),
-                    from: cfg.staging.stage_from_origin.then_some(shared),
-                    tag: FlowTag::Stage,
-                });
+            for a in staging_actions(files, node, kind, shared, cfg.staging.stage_from_origin) {
+                job = job.action(a);
             }
-            stage_job_of_node.insert(node, sim.submit(job));
+            let id = sim.submit(job);
+            kind_of_job.push(JobKind::Staging(node));
+            root_of.push(id.0);
+            stage_job_of_node.insert(node, id);
         }
     }
 
-    // Submit tasks.
-    let mut job_of_task: Vec<JobId> = Vec::with_capacity(spec.tasks.len());
+    // Submit tasks. `cur_job_of_task[ti]` tracks the latest attempt of each
+    // task — retries of its consumers depend on it.
+    let mut cur_job_of_task: Vec<JobId> = Vec::with_capacity(spec.tasks.len());
     for (ti, t) in spec.tasks.iter().enumerate() {
         let node = node_for[ti];
         let mut job = JobSpec::new(&t.name, node).logical(&t.logical);
 
         // Dependencies: explicit, data (producers of read files), staging.
         for &a in &t.after {
-            job = job.dep(job_of_task[a]);
+            job = job.dep(cur_job_of_task[a]);
         }
         let mut reads_staged_input = false;
         for r in &t.reads {
@@ -257,7 +466,7 @@ pub fn run(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, SimError> 
                 for &p in ps {
                     assert!(p != ti, "task {} reads its own output", t.name);
                     assert!(p < ti, "producers must precede consumers in spec order");
-                    job = job.dep(job_of_task[p]);
+                    job = job.dep(cur_job_of_task[p]);
                 }
             }
             if spec.inputs.iter().any(|i| i.path == r.file) {
@@ -270,68 +479,213 @@ pub fn run(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, SimError> 
             }
         }
 
-        // Actions: open+read inputs, compute, write outputs, close.
-        for r in &t.reads {
-            job = job.action(Action::Open { file: r.file.clone(), write: false });
-            let total = if r.bytes == 0 {
-                size_of[r.file.as_str()].saturating_sub(r.offset)
-            } else {
-                r.bytes
-            };
-            let ops = u64::from(r.ops.max(1));
-            let op_len = (total / ops).max(1);
-            for _pass in 0..r.passes.max(1) {
-                for k in 0..ops {
-                    let off = r.offset + k * op_len;
-                    let len = if k == ops - 1 { total - op_len * (ops - 1) } else { op_len };
-                    if len == 0 {
-                        continue;
-                    }
-                    job = job.action(Action::Read { file: r.file.clone(), offset: Some(off), len });
-                }
-            }
-        }
-        if t.compute_ns > 0 {
-            job = job.action(Action::Compute { ns: t.compute_ns });
-        }
-        for w in &t.writes {
-            let tier = match cfg.staging.intermediates_local {
-                Some(kind) => TierRef::node(kind, node),
-                None => shared,
-            };
-            job = job.action(Action::Open { file: w.file.clone(), write: true });
-            let ops = u64::from(w.ops.max(1));
-            let op_len = (w.bytes / ops).max(1);
-            for k in 0..ops {
-                let len = if k == ops - 1 { w.bytes - op_len * (ops - 1) } else { op_len };
-                if len == 0 {
-                    continue;
-                }
-                job = job.action(Action::Write { file: w.file.clone(), len, tier: Some(tier) });
-            }
-        }
-        for r in &t.reads {
-            job = job.action(Action::Close { file: r.file.clone() });
-        }
-        for w in &t.writes {
-            job = job.action(Action::Close { file: w.file.clone() });
+        for a in task_actions(t, node, &cfg.staging, shared, &size_of) {
+            job = job.action(a);
         }
 
-        job_of_task.push(sim.submit(job));
+        let id = sim.submit(job);
+        kind_of_job.push(JobKind::Task(ti));
+        root_of.push(id.0);
+        cur_job_of_task.push(id);
     }
 
-    sim.run()?;
+    // Incident loop: run until done, handling each failed attempt with
+    // lineage recovery plus a backoff retry.
+    let mut attempts: HashMap<u32, u32> = HashMap::new(); // chain root → failures
+    let mut stage_retries: HashMap<u32, u32> = HashMap::new();
+    let mut pending_rerun: HashMap<usize, JobId> = HashMap::new(); // task → latest recovery job
+    let mut rec_count: Vec<u32> = vec![0; spec.tasks.len()];
+    let mut n_retries: u32 = 0;
+    let mut n_recovery: u32 = 0;
+    loop {
+        let failures = match sim.run_to_incident()? {
+            RunOutcome::Completed => break,
+            RunOutcome::Failures(f) => f,
+        };
+        for f in failures {
+            let kind = kind_of_job[f.job.0 as usize];
+            let root = root_of[f.job.0 as usize];
+            let n = {
+                let a = attempts.entry(root).or_insert(0);
+                *a += 1;
+                *a
+            };
+            if n >= cfg.retry.max_attempts {
+                return Err(SimError::RetriesExhausted { job: f.name.clone(), attempts: n });
+            }
+            if let Some(budget) = cfg.retry.stage_budget {
+                let stage = kind.task().map_or(0, |ti| spec.tasks[ti].stage);
+                let c = stage_retries.entry(stage).or_insert(0);
+                *c += 1;
+                if *c > budget {
+                    return Err(SimError::RetriesExhausted { job: f.name.clone(), attempts: n });
+                }
+            }
 
-    // Stage spans from reports (staging jobs are stage 0).
+            // Lineage recovery: for each of the failed task's inputs that no
+            // longer has any replica, re-run the minimal (transitive)
+            // producer set. Surviving inputs need no recovery. Staging jobs
+            // read external inputs, which live on a shared tier and cannot
+            // be lost — nothing to repair there.
+            let mut rerun_deps: Vec<JobId> = Vec::new();
+            if let Some(ti) = kind.task() {
+                let mut needed: BTreeSet<usize> = BTreeSet::new();
+                let mut work: Vec<&str> = Vec::new();
+                for r in &spec.tasks[ti].reads {
+                    if file_lost(&sim, &r.file) {
+                        work.push(&r.file);
+                    }
+                }
+                while let Some(fpath) = work.pop() {
+                    for &p in producers.get(fpath).into_iter().flatten() {
+                        if needed.insert(p) {
+                            for r in &spec.tasks[p].reads {
+                                if file_lost(&sim, &r.file) {
+                                    work.push(&r.file);
+                                }
+                            }
+                        }
+                    }
+                }
+                // Spec order is producer-before-consumer, so iterating the
+                // sorted set schedules reruns in a valid topological order.
+                for &p in &needed {
+                    if let Some(&rj) = pending_rerun.get(&p) {
+                        if !sim.job_done(rj) {
+                            continue; // an in-flight rerun already covers p
+                        }
+                    }
+                    rec_count[p] += 1;
+                    let t = &spec.tasks[p];
+                    let mut job =
+                        JobSpec::new(&format!("{}~rec{}", t.name, rec_count[p]), node_for[p])
+                            .logical(&t.logical)
+                            .delay_ns(sim.time().ns())
+                            .recovery(true);
+                    for r in &t.reads {
+                        if file_lost(&sim, &r.file) {
+                            for p2 in producers.get(r.file.as_str()).into_iter().flatten() {
+                                if let Some(&rj2) = pending_rerun.get(p2) {
+                                    job = job.dep(rj2);
+                                }
+                            }
+                        }
+                    }
+                    for a in task_actions(t, node_for[p], &cfg.staging, shared, &size_of) {
+                        job = job.action(a);
+                    }
+                    let id = sim.submit(job);
+                    kind_of_job.push(JobKind::Recovery(p));
+                    root_of.push(id.0);
+                    pending_rerun.insert(p, id);
+                    n_recovery += 1;
+                }
+                for r in &spec.tasks[ti].reads {
+                    if file_lost(&sim, &r.file) {
+                        for p in producers.get(r.file.as_str()).into_iter().flatten() {
+                            if let Some(&rj) = pending_rerun.get(p) {
+                                if !sim.job_done(rj) && !rerun_deps.contains(&rj) {
+                                    rerun_deps.push(rj);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            // The retry itself, delayed by the backoff policy. It replaces
+            // the failed attempt (`resubmit`), so anything depending on any
+            // attempt in the chain is released when one succeeds.
+            let delay = sim.time().ns() + cfg.retry.delay_ns(cfg.faults.seed, u64::from(root), n);
+            let retry = match kind {
+                JobKind::Staging(node) => {
+                    let kind_tier = cfg.staging.stage_inputs.expect("staging job exists");
+                    let mut j = JobSpec::new(&format!("staging-{node}~r{n}"), node)
+                        .logical("staging")
+                        .delay_ns(delay);
+                    for a in staging_actions(
+                        &staged_files[&node],
+                        node,
+                        kind_tier,
+                        shared,
+                        cfg.staging.stage_from_origin,
+                    ) {
+                        j = j.action(a);
+                    }
+                    j
+                }
+                JobKind::Task(ti) | JobKind::Retry(ti) => {
+                    let t = &spec.tasks[ti];
+                    let mut j = JobSpec::new(&format!("{}~r{n}", t.name), node_for[ti])
+                        .logical(&t.logical)
+                        .delay_ns(delay);
+                    for &a in &t.after {
+                        j = j.dep(cur_job_of_task[a]);
+                    }
+                    let mut reads_staged = false;
+                    for r in &t.reads {
+                        for &p in producers.get(r.file.as_str()).into_iter().flatten() {
+                            j = j.dep(cur_job_of_task[p]);
+                        }
+                        if spec.inputs.iter().any(|i| i.path == r.file) {
+                            reads_staged = true;
+                        }
+                    }
+                    if reads_staged {
+                        if let Some(&sj) = stage_job_of_node.get(&node_for[ti]) {
+                            j = j.dep(sj);
+                        }
+                    }
+                    for &rj in &rerun_deps {
+                        j = j.dep(rj);
+                    }
+                    for a in task_actions(t, node_for[ti], &cfg.staging, shared, &size_of) {
+                        j = j.action(a);
+                    }
+                    j
+                }
+                JobKind::Recovery(ti) => {
+                    // A failed recovery job is re-issued as a fresh recovery
+                    // attempt (same naming scheme, same chain).
+                    rec_count[ti] += 1;
+                    let t = &spec.tasks[ti];
+                    let mut j =
+                        JobSpec::new(&format!("{}~rec{}", t.name, rec_count[ti]), node_for[ti])
+                            .logical(&t.logical)
+                            .delay_ns(delay)
+                            .recovery(true);
+                    for &rj in &rerun_deps {
+                        j = j.dep(rj);
+                    }
+                    for a in task_actions(t, node_for[ti], &cfg.staging, shared, &size_of) {
+                        j = j.action(a);
+                    }
+                    n_recovery += 1;
+                    j
+                }
+            };
+            let id = sim.resubmit(f.job, retry);
+            kind_of_job.push(kind.retry_of());
+            root_of.push(root);
+            n_retries += 1;
+            match kind {
+                JobKind::Task(ti) | JobKind::Retry(ti) => cur_job_of_task[ti] = id,
+                JobKind::Recovery(ti) => {
+                    pending_rerun.insert(ti, id);
+                }
+                JobKind::Staging(node) => {
+                    stage_job_of_node.insert(node, id);
+                }
+            }
+        }
+    }
+
+    // Stage spans from reports: staging jobs are stage 0; retries and
+    // recovery re-runs count toward their task's stage.
     let reports = sim.reports();
     let mut stage_spans: BTreeMap<u32, (f64, f64)> = BTreeMap::new();
-    let n_stage_jobs = stage_job_of_node.len();
     for (i, r) in reports.iter().enumerate() {
-        let stage = if i < n_stage_jobs {
-            0
-        } else {
-            spec.tasks[i - n_stage_jobs].stage
-        };
+        let stage = kind_of_job[i].task().map_or(0, |ti| spec.tasks[ti].stage);
         let entry = stage_spans
             .entry(stage)
             .or_insert((f64::INFINITY, f64::NEG_INFINITY));
@@ -339,12 +693,17 @@ pub fn run(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, SimError> 
         entry.1 = entry.1.max(r.end_ns as f64 / 1e9);
     }
 
+    let mut failure = sim.failure_report();
+    failure.retries = n_retries;
+    failure.recovery_jobs = n_recovery;
+
     Ok(RunResult {
         makespan_s: sim.time().secs(),
         stage_spans,
         total_breakdown: sim.total_breakdown(),
         measurements: sim.measurements().expect("monitor attached"),
         reports,
+        failure,
     })
 }
 
@@ -451,6 +810,54 @@ mod tests {
         let mut w = WorkflowSpec::new("bad");
         w.task(TaskSpec::new("t-0", "t", 1).read(FileUse::whole("ghost")));
         let _ = run(&w, &RunConfig::default_gpu(1));
+    }
+
+    #[test]
+    fn fault_free_run_reports_clean() {
+        let r = run(&two_stage(), &RunConfig::default_gpu(2)).unwrap();
+        assert!(r.failure.is_clean(), "no faults injected: {}", r.failure);
+        assert_eq!(r.failure.retries, 0);
+        assert_eq!(r.failure.goodput_bytes(), r.failure.total_bytes);
+    }
+
+    #[test]
+    fn crash_mid_task_retries_and_completes() {
+        let base = run(&two_stage(), &RunConfig::default_gpu(2)).unwrap();
+        let mut cfg = RunConfig::default_gpu(2);
+        // Node 0 dies while gen-0 (its only occupant) is computing.
+        cfg.faults = FaultPlan::seeded(7).crash(0, 80_000_000, 50_000_000);
+        let r = run(&two_stage(), &cfg).unwrap();
+        assert_eq!(r.failure.crashes, 1);
+        assert_eq!(r.failure.retries, 1, "one retry of gen-0: {}", r.failure);
+        assert_eq!(r.failure.recovery_jobs, 0, "mid.dat survives on shared BeeGFS");
+        assert!(r.reports.iter().any(|j| j.name == "gen-0~r1"));
+        assert!(r.makespan_s > base.makespan_s, "wasted work + backoff cost time");
+        assert!(r.failure.wasted_ns > 0);
+        // The workflow still produced its output despite the crash.
+        assert!(r.stage_time(2) > 0.0);
+    }
+
+    #[test]
+    fn retry_policy_none_aborts_on_first_failure() {
+        let mut cfg = RunConfig::default_gpu(2);
+        cfg.faults = FaultPlan::seeded(7).crash(0, 80_000_000, 50_000_000);
+        cfg.retry = RetryPolicy::none();
+        let err = run(&two_stage(), &cfg).unwrap_err();
+        assert!(
+            matches!(err, SimError::RetriesExhausted { attempts: 1, .. }),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn backoff_delay_is_deterministic_and_grows() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.delay_ns(1, 0, 1), p.delay_ns(1, 0, 1));
+        assert_ne!(p.delay_ns(1, 0, 1), p.delay_ns(2, 0, 1), "jitter depends on seed");
+        // Exponential growth dominates jitter (mult 2.0 vs ±50%).
+        assert!(p.delay_ns(1, 0, 3) > p.delay_ns(1, 0, 1));
+        let norm = RetryPolicy { jitter: 0.0, ..p };
+        assert_eq!(norm.delay_ns(9, 4, 2), 100_000_000, "50ms · 2¹, no jitter");
     }
 
     #[test]

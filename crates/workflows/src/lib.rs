@@ -26,5 +26,6 @@ pub mod montage;
 pub mod seismic;
 pub mod spec;
 
-pub use engine::{run, Placement, RunConfig, RunResult, Staging};
+pub use engine::{run, Placement, RetryPolicy, RunConfig, RunResult, Staging};
 pub use spec::{FileUse, TaskSpec, WorkflowSpec};
+pub use dfl_iosim::{FailureReport, FaultPlan};
