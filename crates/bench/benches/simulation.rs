@@ -123,5 +123,35 @@ fn bench_end_to_end_workflow(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_flow_events, bench_flow_stress, bench_cache_access, bench_end_to_end_workflow);
+/// Cost of the observability layer on the end-to-end genomes run:
+/// `disabled` must track `baseline` (the ≤2% budget in DESIGN.md — a
+/// disabled run pays one branch per potential emission and nothing else);
+/// `enabled`/`enabled_sampled` show the full recording cost.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(20);
+    let spec = generate(&GenomesConfig::tiny());
+    let configs: [(&str, Option<dfl_obs::ObsConfig>); 3] = [
+        ("disabled", None),
+        ("enabled", Some(dfl_obs::ObsConfig::default())),
+        ("enabled_sampled_10ms", Some(dfl_obs::ObsConfig::sampled(10_000_000))),
+    ];
+    for (label, obs) in configs {
+        let mut cfg = RunConfig::default_gpu(2);
+        cfg.obs = obs;
+        group.bench_function(label, |b| {
+            b.iter(|| run(std::hint::black_box(&spec), &cfg).unwrap().makespan_s)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_flow_events,
+    bench_flow_stress,
+    bench_cache_access,
+    bench_end_to_end_workflow,
+    bench_obs_overhead
+);
 criterion_main!(benches);

@@ -26,8 +26,10 @@ use dfl_core::analysis::ranking::{
 use dfl_core::viz::render_ascii;
 use dfl_core::viz::sankey::{SankeyDiagram, SankeyOptions};
 use dfl_core::DflGraph;
+use dfl_obs::ObsConfig;
 use dfl_trace::MeasurementSet;
 use dfl_workflows::engine::{run as run_workflow, RunConfig};
+use dfl_workflows::spec::WorkflowSpec;
 use dfl_workflows::{belle2, ddmd, genomes, montage, seismic, FaultPlan};
 
 const USAGE: &str = "\
@@ -35,7 +37,9 @@ datalife — data flow lifecycle analysis for distributed workflows
 
 USAGE:
   datalife run <genomes|ddmd|belle2|montage|seismic> [--scale tiny|paper] [--nodes N] [-o FILE]
-               [--faults SPEC] [--retries N]
+               [--faults SPEC] [--retries N] [--trace-out FILE]
+  datalife profile <genomes|ddmd|belle2|montage|seismic> [--scale tiny|paper] [--nodes N]
+               [--trace-out FILE] [--jsonl FILE] [--sample-ms MS] [--faults SPEC] [--retries N]
   datalife analyze <measurements.json> [--cost volume|time|branchjoin|fanin]
   datalife rank <measurements.json> [--what pc|data|task]
   datalife caterpillar <measurements.json> [--cost volume|time|branchjoin|fanin]
@@ -53,7 +57,15 @@ measurements.json). The analysis commands consume that JSON.
 (crash node 0 at t=2s for 1s, 0.1% transient I/O error rate, NFS at 10%
 bandwidth from 1s to 3s). Failed attempts are retried with exponential
 backoff (--retries, default 3 attempts) after lineage-based recovery of
-any lost intermediate files; the run then prints a failure report.";
+any lost intermediate files; the run then prints a failure report.
+
+`profile` runs the workflow with the observability layer on and prints an
+ASCII timeline summary. --trace-out (default trace.json) writes a
+Chrome-trace file: open https://ui.perfetto.dev and drag it in. --jsonl
+writes the raw timeline as compact JSON lines. --sample-ms sets the
+utilization/queue-depth sampling cadence in sim-time milliseconds
+(default 100; 0 disables sampling, leaving spans and instants only).
+`run --trace-out FILE` records the same trace alongside measurements.";
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
@@ -75,11 +87,12 @@ fn load(path: &str) -> Result<DflGraph, String> {
     Ok(DflGraph::from_measurements(&set))
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
+/// Builds the spec + run configuration shared by `run` and `profile`:
+/// workflow selection, scale, node count, fault plan, and retry policy.
+fn select_workflow(args: &[String]) -> Result<(WorkflowSpec, RunConfig), String> {
     let workflow = args.first().ok_or("missing workflow name")?;
     let paper_scale = arg_value(args, "--scale").as_deref() == Some("paper");
     let nodes: usize = arg_value(args, "--nodes").and_then(|v| v.parse().ok()).unwrap_or(2);
-    let out = arg_value(args, "-o").unwrap_or_else(|| "measurements.json".into());
     let faults = match arg_value(args, "--faults") {
         Some(s) => Some(FaultPlan::parse(&s).map_err(|e| format!("bad --faults: {e}"))?),
         None => None,
@@ -129,13 +142,23 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
         w => return Err(format!("unknown workflow '{w}'")),
     };
-    let faults_on = faults.is_some();
     if let Some(p) = faults {
         cfg.faults = p;
     }
     if let Some(n) = retries {
         cfg.retry.max_attempts = n.max(1);
     }
+    Ok((spec, cfg))
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let out = arg_value(args, "-o").unwrap_or_else(|| "measurements.json".into());
+    let trace_out = arg_value(args, "--trace-out");
+    let (spec, mut cfg) = select_workflow(args)?;
+    if trace_out.is_some() {
+        cfg.obs = Some(ObsConfig::default());
+    }
+    let faults_on = args.iter().any(|a| a == "--faults");
 
     let result = run_workflow(&spec, &cfg).map_err(|e| e.to_string())?;
     println!("{}", result.stage_summary());
@@ -150,6 +173,39 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         result.measurements.files.len(),
         result.measurements.records.len()
     );
+    if let Some(path) = trace_out {
+        let tl = result.timeline.as_ref().expect("obs enabled for --trace-out");
+        std::fs::write(&path, dfl_obs::chrome_trace(tl)).map_err(|e| e.to_string())?;
+        println!("wrote {path}: {} timeline events (open in ui.perfetto.dev)", tl.events.len());
+    }
+    Ok(())
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let trace_out = arg_value(args, "--trace-out").unwrap_or_else(|| "trace.json".into());
+    let jsonl_out = arg_value(args, "--jsonl");
+    let sample_ms: u64 = match arg_value(args, "--sample-ms") {
+        Some(s) => s.parse().map_err(|_| format!("bad --sample-ms '{s}'"))?,
+        None => 100,
+    };
+    let (spec, mut cfg) = select_workflow(args)?;
+    cfg.obs = Some(if sample_ms == 0 {
+        ObsConfig::default()
+    } else {
+        ObsConfig::sampled(sample_ms * 1_000_000)
+    });
+
+    let result = run_workflow(&spec, &cfg).map_err(|e| e.to_string())?;
+    let tl = result.timeline.as_ref().expect("obs enabled for profile");
+    print!("{}", dfl_obs::ascii_summary(tl));
+    println!();
+    println!("{}", result.stage_summary());
+    std::fs::write(&trace_out, dfl_obs::chrome_trace(tl)).map_err(|e| e.to_string())?;
+    println!("wrote {trace_out}: {} timeline events (open in ui.perfetto.dev)", tl.events.len());
+    if let Some(path) = jsonl_out {
+        std::fs::write(&path, dfl_obs::jsonl(tl)).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
     Ok(())
 }
 
@@ -314,6 +370,7 @@ fn main() -> ExitCode {
     let rest = &args[1..];
     let result = match cmd.as_str() {
         "run" => cmd_run(rest),
+        "profile" => cmd_profile(rest),
         "analyze" => cmd_analyze(rest),
         "rank" => cmd_rank(rest),
         "caterpillar" => cmd_caterpillar(rest),

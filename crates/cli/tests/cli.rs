@@ -144,6 +144,114 @@ fn faulted_run_prints_report_and_is_deterministic() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Every Chrome-trace event must carry the fields Perfetto requires:
+/// `ph`/`pid`/`tid` always, `ts` on everything but metadata records.
+fn assert_chrome_trace_schema(path: &std::path::Path) -> serde_json::Value {
+    let parsed: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
+    let events = parsed["traceEvents"].as_array().expect("traceEvents array");
+    assert!(!events.is_empty());
+    for e in events {
+        let ph = e["ph"].as_str().expect("ph string");
+        assert!(matches!(ph, "M" | "X" | "i" | "C"), "unexpected phase {ph}");
+        assert!(e["pid"].as_u64().is_some(), "pid missing: {e:?}");
+        assert!(e["tid"].as_u64().is_some(), "tid missing: {e:?}");
+        if ph != "M" {
+            assert!(e["ts"].as_f64().is_some(), "ts missing: {e:?}");
+        }
+        if ph == "X" {
+            assert!(e["dur"].as_f64().is_some(), "dur missing: {e:?}");
+        }
+    }
+    parsed
+}
+
+#[test]
+fn run_trace_out_writes_valid_chrome_trace() {
+    let dir = tmpdir("traceout");
+    let m = dir.join("m.json");
+    let t = dir.join("t.json");
+    let out = datalife()
+        .args(["run", "ddmd", "-o", m.to_str().unwrap(), "--trace-out", t.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("timeline events"));
+    let parsed = assert_chrome_trace_schema(&t);
+    // Run spans for real tasks are present.
+    let events = parsed["traceEvents"].as_array().unwrap();
+    assert!(events
+        .iter()
+        .any(|e| e["ph"].as_str() == Some("X") && e["args"]["outcome"].as_str() == Some("ok") && e["cat"].as_str() == Some("run")));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn profile_emits_summary_and_deterministic_trace() {
+    let dir = tmpdir("profile");
+    let invoke = |name: &str, extra: &[&str]| {
+        let t = dir.join(name);
+        let mut args =
+            vec!["profile", "genomes", "--trace-out", t.to_str().unwrap()];
+        args.extend_from_slice(extra);
+        let out = datalife().args(&args).output().unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        (t, String::from_utf8_lossy(&out.stdout).into_owned())
+    };
+
+    let (t1, stdout) = invoke("a.json", &[]);
+    assert!(stdout.contains("timeline:"), "{stdout}");
+    assert!(stdout.contains("counters:"), "{stdout}");
+    assert!(stdout.contains("makespan"), "{stdout}");
+    let parsed = assert_chrome_trace_schema(&t1);
+    let events = parsed["traceEvents"].as_array().unwrap();
+    // Track metadata names node and tier tracks; counter samples present at
+    // the default 100ms cadence.
+    let names: Vec<&str> = events
+        .iter()
+        .filter(|e| e["ph"].as_str() == Some("M"))
+        .filter_map(|e| e["args"]["name"].as_str())
+        .collect();
+    assert!(names.contains(&"node:0"), "{names:?}");
+    assert!(names.iter().any(|n| n.starts_with("tier:")), "{names:?}");
+    assert!(names.contains(&"stages"), "{names:?}");
+    assert!(events.iter().any(|e| e["ph"].as_str() == Some("C")));
+    assert!(events.iter().any(|e| e["ph"].as_str() == Some("X") && e["cat"].as_str() == Some("stage")));
+
+    // Same invocation ⇒ byte-identical trace.
+    let (t2, _) = invoke("b.json", &[]);
+    assert_eq!(std::fs::read(&t1).unwrap(), std::fs::read(&t2).unwrap());
+
+    // --sample-ms 0 disables sampling but keeps spans.
+    let (t3, _) = invoke("c.json", &["--sample-ms", "0"]);
+    let parsed = assert_chrome_trace_schema(&t3);
+    let events = parsed["traceEvents"].as_array().unwrap();
+    assert!(!events.iter().any(|e| e["ph"].as_str() == Some("C")));
+    assert!(events.iter().any(|e| e["ph"].as_str() == Some("X")));
+
+    // --jsonl writes one JSON document per line.
+    let j = dir.join("t.jsonl");
+    let out = datalife()
+        .args([
+            "profile",
+            "genomes",
+            "--trace-out",
+            dir.join("d.json").to_str().unwrap(),
+            "--jsonl",
+            j.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&j).unwrap();
+    assert!(text.lines().count() > 10);
+    for line in text.lines() {
+        let _: serde_json::Value = serde_json::from_str(line).expect("each line parses");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn analyze_missing_file_fails_cleanly() {
     let out = datalife().args(["analyze", "/nonexistent/zzz.json"]).output().unwrap();

@@ -140,6 +140,8 @@ pub struct AccessResult {
     pub level_bytes: Vec<u64>,
     /// Bytes that missed every level (served by the origin tier).
     pub miss_bytes: u64,
+    /// LRU evictions this access forced, by level index.
+    pub evictions: Vec<u64>,
 }
 
 impl AccessResult {
@@ -178,7 +180,11 @@ impl CacheState {
     /// blocks are (re)installed in every level.
     pub fn access(&mut self, task: u32, node: u32, file: u32, offset: u64, len: u64) -> AccessResult {
         let nlevels = self.config.levels.len();
-        let mut res = AccessResult { level_bytes: vec![0; nlevels], miss_bytes: 0 };
+        let mut res = AccessResult {
+            level_bytes: vec![0; nlevels],
+            miss_bytes: 0,
+            evictions: vec![0; nlevels],
+        };
         if len == 0 {
             return res;
         }
@@ -203,7 +209,9 @@ impl CacheState {
             }
             // Install/refresh in every level (write-through population).
             for lvl in 0..nlevels {
-                self.lru(lvl, task, node).touch(key);
+                if self.lru(lvl, task, node).touch(key).is_some() {
+                    res.evictions[lvl] += 1;
+                }
             }
         }
         res

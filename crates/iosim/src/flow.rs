@@ -134,6 +134,16 @@ impl FlowNet {
         &self.resources[id.0 as usize]
     }
 
+    /// Number of registered resources (IDs are `0..resource_count()`).
+    pub fn resource_count(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Number of active flows currently crossing `id` (instantaneous load).
+    pub fn load_of(&self, id: ResourceId) -> u32 {
+        self.load[id.0 as usize]
+    }
+
     pub fn active_count(&self) -> usize {
         self.key_to_slot.len()
     }

@@ -33,6 +33,7 @@ pub mod error;
 pub mod fault;
 pub mod flow;
 pub mod fs;
+pub mod obs;
 pub mod replay;
 pub mod sim;
 pub mod storage;
@@ -41,6 +42,7 @@ pub mod time;
 pub use cluster::ClusterSpec;
 pub use error::SimError;
 pub use fault::{FailureCause, FailureReport, FaultPlan, JobFailure};
+pub use obs::SimObs;
 pub use sim::{Action, JobId, JobSpec, RunOutcome, SimConfig, Simulation};
 pub use storage::{TierKind, TierRef};
 pub use time::SimTime;

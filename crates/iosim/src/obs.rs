@@ -1,0 +1,290 @@
+//! Glue between the simulator and the [`dfl_obs`] timeline recorder.
+//!
+//! [`SimObs`] owns the recorder plus the track/handle bookkeeping the
+//! simulator needs at its emission sites: one [`TrackKind::Node`] track per
+//! compute node (job attempt spans, queue-depth samples), one
+//! [`TrackKind::Resource`] track per bandwidth resource in [`FlowNet`]
+//! registration order (flow spans, utilization samples, cache instants), an
+//! engine-stage track, and a fault track. The whole struct lives behind
+//! `Option<Box<_>>` on [`crate::sim::Simulation`], so a disabled run pays
+//! one branch per potential emission and allocates nothing.
+
+use std::collections::HashMap;
+
+use dfl_obs::{
+    CounterId, HistogramId, InstantKind, ObsConfig, Recorder, SpanHandle, SpanKind, SpanMeta,
+    SpanOutcome, Timeline, TrackId, TrackKind,
+};
+
+use crate::flow::FlowNet;
+
+/// Recorder plus simulator-side bookkeeping (see module docs).
+pub struct SimObs {
+    pub rec: Recorder,
+    node_tracks: Vec<TrackId>,
+    /// Indexed by `ResourceId.0` (FlowNet registration order).
+    res_tracks: Vec<TrackId>,
+    stage_track: TrackId,
+    fault_track: TrackId,
+    /// Open queued-phase span per job, with queue-entry time.
+    queued: HashMap<u32, (SpanHandle, u64)>,
+    /// Open run-phase span per job.
+    running: HashMap<u32, SpanHandle>,
+    /// Open transfer span per flow key.
+    flows: HashMap<u64, SpanHandle>,
+    /// Sampling cadence in sim-time ns (`None` = spans/instants only).
+    pub sample_every: Option<u64>,
+    /// Next sim-time at which to take a sample round.
+    pub next_sample: u64,
+    c_jobs_completed: CounterId,
+    c_attempts_failed: CounterId,
+    c_flows_completed: CounterId,
+    c_flows_cancelled: CounterId,
+    c_cache_hit_bytes: CounterId,
+    c_cache_miss_bytes: CounterId,
+    c_cache_evictions: CounterId,
+    c_io_errors: CounterId,
+    c_crashes: CounterId,
+    h_flow_ms: HistogramId,
+    h_queue_wait_ms: HistogramId,
+}
+
+impl SimObs {
+    /// Builds the track layout for a cluster with `node_count` nodes and the
+    /// (already fully populated) flow network `net`. Track order is nodes,
+    /// then resources in registration order, then stage and fault tracks —
+    /// deterministic because both inputs are.
+    pub fn new(cfg: &ObsConfig, node_count: usize, net: &FlowNet) -> Self {
+        let mut rec = Recorder::new(cfg.max_events);
+        let node_tracks = (0..node_count)
+            .map(|n| rec.add_track(format!("node:{n}"), TrackKind::Node))
+            .collect();
+        let res_tracks = (0..net.resource_count())
+            .map(|r| {
+                let name = net.resource(crate::flow::ResourceId(r as u32)).name.clone();
+                rec.add_track(name, TrackKind::Resource)
+            })
+            .collect();
+        let stage_track = rec.add_track("stages", TrackKind::Stage);
+        let fault_track = rec.add_track("faults", TrackKind::Fault);
+        let c_jobs_completed = rec.metrics.counter("jobs_completed");
+        let c_attempts_failed = rec.metrics.counter("attempts_failed");
+        let c_flows_completed = rec.metrics.counter("flows_completed");
+        let c_flows_cancelled = rec.metrics.counter("flows_cancelled");
+        let c_cache_hit_bytes = rec.metrics.counter("cache_hit_bytes");
+        let c_cache_miss_bytes = rec.metrics.counter("cache_miss_bytes");
+        let c_cache_evictions = rec.metrics.counter("cache_evictions");
+        let c_io_errors = rec.metrics.counter("transient_io_errors");
+        let c_crashes = rec.metrics.counter("node_crashes");
+        // Bucket bounds in ms, log-ish steps from sub-ms to minutes.
+        const MS_BOUNDS: [f64; 8] = [0.1, 1.0, 10.0, 100.0, 1_000.0, 10_000.0, 60_000.0, 600_000.0];
+        let h_flow_ms = rec.metrics.histogram("flow_duration_ms", &MS_BOUNDS);
+        let h_queue_wait_ms = rec.metrics.histogram("queue_wait_ms", &MS_BOUNDS);
+        SimObs {
+            rec,
+            node_tracks,
+            res_tracks,
+            stage_track,
+            fault_track,
+            queued: HashMap::new(),
+            running: HashMap::new(),
+            flows: HashMap::new(),
+            sample_every: cfg.sample_every_ns,
+            next_sample: cfg.sample_every_ns.unwrap_or(0),
+            c_jobs_completed,
+            c_attempts_failed,
+            c_flows_completed,
+            c_flows_cancelled,
+            c_cache_hit_bytes,
+            c_cache_miss_bytes,
+            c_cache_evictions,
+            c_io_errors,
+            c_crashes,
+            h_flow_ms,
+            h_queue_wait_ms,
+        }
+    }
+
+    pub fn node_track(&self, node: u32) -> TrackId {
+        self.node_tracks[node as usize]
+    }
+
+    pub fn res_track(&self, resource: crate::flow::ResourceId) -> TrackId {
+        self.res_tracks[resource.0 as usize]
+    }
+
+    pub fn stage_track(&self) -> TrackId {
+        self.stage_track
+    }
+
+    /// A job entered its node's ready queue.
+    pub fn job_queued(&mut self, j: u32, node: u32, name: &str, t_ns: u64) {
+        let h = self.rec.begin_span(
+            self.node_tracks[node as usize],
+            t_ns,
+            name,
+            SpanKind::Queued,
+            SpanMeta { job: Some(j), ..SpanMeta::default() },
+        );
+        self.queued.insert(j, (h, t_ns));
+    }
+
+    /// A job left the queue and started running; `kind` distinguishes first
+    /// attempts, retries, and lineage-recovery re-runs.
+    pub fn job_started(&mut self, j: u32, node: u32, name: &str, kind: SpanKind, t_ns: u64) {
+        if let Some((q, entered)) = self.queued.remove(&j) {
+            self.rec.end_span(q, t_ns, SpanOutcome::Ok);
+            self.rec
+                .metrics
+                .observe(self.h_queue_wait_ms, t_ns.saturating_sub(entered) as f64 / 1e6);
+        }
+        let h = self.rec.begin_span(
+            self.node_tracks[node as usize],
+            t_ns,
+            name,
+            kind,
+            SpanMeta { job: Some(j), ..SpanMeta::default() },
+        );
+        self.running.insert(j, h);
+    }
+
+    pub fn job_completed(&mut self, j: u32, t_ns: u64) {
+        if let Some(h) = self.running.remove(&j) {
+            self.rec.end_span(h, t_ns, SpanOutcome::Ok);
+        }
+        self.rec.metrics.inc(self.c_jobs_completed, 1);
+    }
+
+    pub fn job_failed(&mut self, j: u32, t_ns: u64) {
+        if let Some(h) = self.running.remove(&j) {
+            self.rec.end_span(h, t_ns, SpanOutcome::Failed);
+        }
+        self.rec.metrics.inc(self.c_attempts_failed, 1);
+    }
+
+    /// A transfer entered the flow network. The span lives on the track of
+    /// the first path resource (the serving end); `src`/`dst` name the path
+    /// endpoints.
+    #[allow(clippy::too_many_arguments)]
+    pub fn flow_started(
+        &mut self,
+        key: u64,
+        track: TrackId,
+        tag: &str,
+        job: u32,
+        src: String,
+        dst: String,
+        bytes: u64,
+        t_ns: u64,
+    ) {
+        let h = self.rec.begin_span(
+            track,
+            t_ns,
+            tag,
+            SpanKind::Flow,
+            SpanMeta {
+                job: Some(job),
+                tag: Some(tag.to_owned()),
+                src: Some(src),
+                dst: Some(dst),
+                bytes: Some(bytes),
+            },
+        );
+        self.flows.insert(key, h);
+    }
+
+    pub fn flow_completed(&mut self, key: u64, elapsed_ns: u64, t_ns: u64) {
+        if let Some(h) = self.flows.remove(&key) {
+            self.rec.end_span(h, t_ns, SpanOutcome::Ok);
+        }
+        self.rec.metrics.inc(self.c_flows_completed, 1);
+        self.rec.metrics.observe(self.h_flow_ms, elapsed_ns as f64 / 1e6);
+    }
+
+    pub fn flow_cancelled(&mut self, key: u64, t_ns: u64) {
+        if let Some(h) = self.flows.remove(&key) {
+            self.rec.end_span(h, t_ns, SpanOutcome::Cancelled);
+        }
+        self.rec.metrics.inc(self.c_flows_cancelled, 1);
+    }
+
+    /// Cache hit on `level_track` serving `bytes`.
+    pub fn cache_hit(&mut self, level_track: TrackId, file: &str, bytes: u64, t_ns: u64) {
+        self.rec.instant(level_track, t_ns, InstantKind::CacheHit, file, bytes);
+        self.rec.metrics.inc(self.c_cache_hit_bytes, bytes);
+    }
+
+    /// Full miss served by the origin tier (`origin_track`).
+    pub fn cache_miss(&mut self, origin_track: TrackId, file: &str, bytes: u64, t_ns: u64) {
+        self.rec.instant(origin_track, t_ns, InstantKind::CacheMiss, file, bytes);
+        self.rec.metrics.inc(self.c_cache_miss_bytes, bytes);
+    }
+
+    /// `count` LRU evictions at the level backed by `level_track`.
+    pub fn cache_evicted(&mut self, level_track: TrackId, count: u64, t_ns: u64) {
+        if count == 0 {
+            return;
+        }
+        self.rec.instant(level_track, t_ns, InstantKind::CacheEvict, "evict", count);
+        self.rec.metrics.inc(self.c_cache_evictions, count);
+    }
+
+    pub fn node_crashed(&mut self, node: u32, cache_invalidated: bool, t_ns: u64) {
+        self.rec.instant(
+            self.fault_track,
+            t_ns,
+            InstantKind::NodeCrash,
+            format!("crash node:{node}"),
+            u64::from(node),
+        );
+        if cache_invalidated {
+            self.rec.instant(
+                self.fault_track,
+                t_ns,
+                InstantKind::CacheInvalidate,
+                format!("cache-invalidate node:{node}"),
+                u64::from(node),
+            );
+        }
+        self.rec.metrics.inc(self.c_crashes, 1);
+    }
+
+    pub fn node_recovered(&mut self, node: u32, t_ns: u64) {
+        self.rec.instant(
+            self.fault_track,
+            t_ns,
+            InstantKind::NodeRecover,
+            format!("recover node:{node}"),
+            u64::from(node),
+        );
+    }
+
+    /// A capacity change (fault-plan degradation or injected straggler) took
+    /// effect on `track`; `capacity` is the new bytes/sec.
+    pub fn capacity_changed(&mut self, track: TrackId, capacity: f64, t_ns: u64) {
+        self.rec.instant(
+            track,
+            t_ns,
+            InstantKind::CapacityChange,
+            "capacity",
+            capacity.round() as u64,
+        );
+    }
+
+    /// A transient I/O error hit job `j` on `file`.
+    pub fn io_error(&mut self, j: u32, file: &str, t_ns: u64) {
+        self.rec.instant(
+            self.fault_track,
+            t_ns,
+            InstantKind::IoError,
+            file,
+            u64::from(j),
+        );
+        self.rec.metrics.inc(self.c_io_errors, 1);
+    }
+
+    /// Finalizes into a [`Timeline`] at `end_ns`.
+    pub fn finish(self, end_ns: u64) -> Timeline {
+        self.rec.finish(end_ns)
+    }
+}

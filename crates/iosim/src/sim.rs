@@ -13,6 +13,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
+use dfl_obs::{ObsConfig, SpanKind, Timeline};
 use dfl_trace::{IoTiming, Monitor, OpenMode, TaskContext};
 
 use crate::breakdown::{Breakdown, FlowTag};
@@ -22,6 +23,7 @@ use crate::error::{SimError, StuckJob};
 use crate::fault::{DegradeTarget, FailureCause, FailureReport, FaultPlan, JobFailure};
 use crate::flow::{FlowKey, FlowNet, FlowOwner, ResourceId};
 use crate::fs::{FileIdx, SimFs};
+use crate::obs::SimObs;
 use crate::storage::{TierKind, TierRef};
 use crate::time::SimTime;
 
@@ -163,6 +165,11 @@ pub struct SimConfig {
     /// ([`FaultPlan::none`]) injects nothing and leaves the trajectory
     /// byte-identical to a fault-free build.
     pub faults: FaultPlan,
+    /// Observability: record a sim-time timeline (spans, instants, samples)
+    /// retrievable via [`Simulation::take_timeline`]. `None` (the default)
+    /// disables recording entirely — the run pays one branch per potential
+    /// emission site and allocates nothing.
+    pub obs: Option<ObsConfig>,
 }
 
 impl Default for SimConfig {
@@ -175,6 +182,7 @@ impl Default for SimConfig {
             cache_origins: CacheOrigins::default(),
             write_buffering: false,
             faults: FaultPlan::none(),
+            obs: None,
         }
     }
 }
@@ -362,6 +370,8 @@ pub struct Simulation {
     /// A hard error raised inside an event handler (e.g. missing file).
     fatal: Option<SimError>,
     stats: FaultStats,
+    /// Timeline recorder; `None` = observability disabled (zero overhead).
+    obs: Option<Box<SimObs>>,
 }
 
 impl Simulation {
@@ -418,6 +428,12 @@ impl Simulation {
         };
 
         let monitor = config.monitor.map(Monitor::new);
+        // The flow network is fully populated at this point, so the track
+        // layout (nodes, then resources in registration order) is final.
+        let obs = config
+            .obs
+            .as_ref()
+            .map(|c| Box::new(SimObs::new(c, cluster.node_count(), &net)));
         let free_cores = cluster.nodes.iter().map(|n| n.cores).collect();
         let ready = (0..cluster.node_count()).map(|_| VecDeque::new()).collect();
         let node_up = vec![true; cluster.node_count()];
@@ -446,6 +462,7 @@ impl Simulation {
             pending_failures: Vec::new(),
             fatal: None,
             stats: FaultStats::default(),
+            obs,
         };
         sim.schedule_fault_plan();
         sim
@@ -618,6 +635,12 @@ impl Simulation {
             if self.finished == self.jobs.len() && flow_next.is_none() {
                 break;
             }
+            self.take_samples_until(match (heap_next, flow_next) {
+                (Some((ht, _, _)), Some((ft, _))) => ht.min(ft.ns()),
+                (Some((ht, _, _)), None) => ht,
+                (None, Some((ft, _))) => ft.ns(),
+                (None, None) => 0,
+            });
             match (heap_next, flow_next) {
                 (None, None) => break,
                 (Some((ht, _, _)), Some((ft, fk))) if ft.ns() < ht => {
@@ -708,9 +731,13 @@ impl Simulation {
         if let Some(p) = job.flows.iter().position(|&k| k == key) {
             job.flows.swap_remove(p);
         }
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.flow_completed(key.0, elapsed, self.now.ns());
+        }
         if owner.background {
             return; // buffered-write drain: nothing waits on it
         }
+        let job = &mut self.jobs[j];
         job.pending_flows -= 1;
         if job.pending_flows == 0 {
             self.finish_io(owner.job);
@@ -727,6 +754,7 @@ impl Simulation {
                     job.state = JobState::Queued;
                     let node = job.node;
                     self.ready[node as usize].push_back(j);
+                    self.obs_job_queued(j);
                     self.try_start(node);
                 }
             }
@@ -745,6 +773,10 @@ impl Simulation {
             Event::CapacityChange(idx) => {
                 let (r, capacity) = self.capacity_changes[idx as usize];
                 self.net.set_capacity(self.now, r, capacity);
+                if let Some(o) = self.obs.as_deref_mut() {
+                    let track = o.res_track(r);
+                    o.capacity_changed(track, capacity, self.now.ns());
+                }
             }
             Event::NodeCrash(i) => self.on_node_crash(i),
             Event::NodeRecover(i) => {
@@ -753,6 +785,9 @@ impl Simulation {
                     self.node_up[node as usize] = true;
                     // Every core is free: the crash failed all running jobs.
                     self.free_cores[node as usize] = self.cluster.nodes[node as usize].cores;
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.node_recovered(node, self.now.ns());
+                    }
                     self.try_start(node);
                 }
             }
@@ -768,6 +803,10 @@ impl Simulation {
         self.stats.crashes += 1;
         self.node_up[node as usize] = false;
         self.free_cores[node as usize] = 0;
+        let cache_invalidated = self.cache.is_some();
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.node_crashed(node, cache_invalidated, self.now.ns());
+        }
         let running: Vec<u32> = (0..self.jobs.len() as u32)
             .filter(|&j| {
                 let job = &self.jobs[j as usize];
@@ -805,6 +844,9 @@ impl Simulation {
             let job = &mut self.jobs[j as usize];
             job.breakdown.add(owner.tag, elapsed);
             job.moved_bytes += moved;
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.flow_cancelled(key.0, self.now.ns());
+            }
         }
         let job = &mut self.jobs[j as usize];
         job.state = JobState::Failed;
@@ -818,6 +860,9 @@ impl Simulation {
         self.stats.wasted_ns += self.now.since(started);
         self.stats.wasted_bytes += job.moved_bytes;
         self.stats.failed_attempts += 1;
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.job_failed(j, self.now.ns());
+        }
         self.finished += 1;
         let name = job.name.clone();
         self.pending_failures.push(JobFailure {
@@ -842,6 +887,9 @@ impl Simulation {
         self.jobs[j as usize].io_ops += 1;
         if self.faults.io_op_fails(j, op) {
             self.stats.transient_io_errors += 1;
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.io_error(j, file, self.now.ns());
+            }
             self.fail_job(j, FailureCause::IoError { file: file.to_owned() });
             true
         } else {
@@ -862,6 +910,7 @@ impl Simulation {
             if let Some(m) = &self.monitor {
                 job.ctx = Some(m.begin_task_logical(&job.name, &job.logical.clone(), self.now.ns()));
             }
+            self.obs_job_started(j);
             self.advance(j);
         }
     }
@@ -905,6 +954,9 @@ impl Simulation {
         }
         self.finished += 1;
         self.free_cores[node as usize] += 1;
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.job_completed(j, self.now.ns());
+        }
 
         let dependents = std::mem::take(&mut self.jobs[j as usize].dependents);
         self.release_dependents(dependents);
@@ -929,6 +981,7 @@ impl Simulation {
                 dep.state = JobState::Queued;
                 let n = dep.node;
                 self.ready[n as usize].push_back(d);
+                self.obs_job_queued(d);
                 self.try_start(n);
             }
         }
@@ -1080,6 +1133,10 @@ impl Simulation {
                     CacheLevelRes::PerNode(v) => vec![v[node as usize]],
                     CacheLevelRes::Shared(r) => vec![*r, self.res.nic[node as usize]],
                 };
+                if let Some(o) = self.obs.as_deref_mut() {
+                    let track = o.res_track(path[0]);
+                    o.cache_hit(track, file, bytes, self.now.ns());
+                }
                 let tag = match lvl {
                     0 => FlowTag::CacheL1,
                     1 => FlowTag::CacheL2,
@@ -1088,13 +1145,28 @@ impl Simulation {
                 };
                 launch.push((path, bytes as f64, tag));
             }
+            if self.obs.is_some() {
+                for (lvl, &evicted) in result.evictions.iter().enumerate() {
+                    if evicted == 0 {
+                        continue;
+                    }
+                    let r = match &self.res.cache_levels[lvl] {
+                        CacheLevelRes::PerNode(v) => v[node as usize],
+                        CacheLevelRes::Shared(r) => *r,
+                    };
+                    let o = self.obs.as_deref_mut().expect("obs enabled");
+                    let track = o.res_track(r);
+                    o.cache_evicted(track, evicted, self.now.ns());
+                }
+            }
             if result.miss_bytes > 0 {
                 latency = latency.max(self.tier_spec(tier.kind).latency_ns);
-                launch.push((
-                    self.read_path(tier, node),
-                    result.miss_bytes as f64,
-                    self.read_tag(tier),
-                ));
+                let path = self.read_path(tier, node);
+                if let Some(o) = self.obs.as_deref_mut() {
+                    let track = o.res_track(path[0]);
+                    o.cache_miss(track, file, result.miss_bytes, self.now.ns());
+                }
+                launch.push((path, result.miss_bytes as f64, self.read_tag(tier)));
             }
         } else if n > 0 {
             launch.push((self.read_path(tier, node), n as f64, self.read_tag(tier)));
@@ -1153,6 +1225,12 @@ impl Simulation {
             let path = self.read_path(dst, node);
             let bytes = self.write_equiv_bytes(dst.kind, len);
             let tag = if self.jobs[j as usize].recovery { FlowTag::Recovery } else { FlowTag::Write };
+            let endpoints = self.obs.is_some().then(|| {
+                let first = path[0];
+                let src = self.net.resource(first).name.clone();
+                let dst = self.net.resource(*path.last().expect("non-empty path")).name.clone();
+                (first, src, dst)
+            });
             let key = self.net.start(
                 self.now,
                 path,
@@ -1161,6 +1239,19 @@ impl Simulation {
             );
             self.flow_bytes.insert(key.0, bytes);
             self.jobs[j as usize].flows.push(key);
+            if let (Some((first, src, dst)), Some(o)) = (endpoints, self.obs.as_deref_mut()) {
+                let track = o.res_track(first);
+                o.flow_started(
+                    key.0,
+                    track,
+                    tag.label(),
+                    j,
+                    src,
+                    dst,
+                    bytes.round() as u64,
+                    self.now.ns(),
+                );
+            }
             self.fs.grow(idx, len);
             let job = &mut self.jobs[j as usize];
             if let (Some(ctx), Some(&fd)) = (&job.ctx, job.fds.get(&idx)) {
@@ -1253,10 +1344,29 @@ impl Simulation {
         let recovery = self.jobs[j as usize].recovery;
         for (path, bytes, tag) in launch {
             let tag = if recovery { FlowTag::Recovery } else { tag };
+            let endpoints = self.obs.is_some().then(|| {
+                let first = path[0];
+                let src = self.net.resource(first).name.clone();
+                let dst = self.net.resource(*path.last().expect("non-empty path")).name.clone();
+                (first, src, dst)
+            });
             let key =
                 self.net.start(self.now, path, bytes, FlowOwner { job: j, tag, background: false });
             self.flow_bytes.insert(key.0, bytes);
             self.jobs[j as usize].flows.push(key);
+            if let (Some((first, src, dst)), Some(o)) = (endpoints, self.obs.as_deref_mut()) {
+                let track = o.res_track(first);
+                o.flow_started(
+                    key.0,
+                    track,
+                    tag.label(),
+                    j,
+                    src,
+                    dst,
+                    bytes.round() as u64,
+                    self.now.ns(),
+                );
+            }
         }
     }
 
@@ -1309,6 +1419,80 @@ impl Simulation {
         let idx = self.capacity_changes.len() as u32;
         self.capacity_changes.push((resource, capacity));
         self.push_event(SimTime(at_ns), Event::CapacityChange(idx));
+    }
+
+    // ---- observability ----
+
+    /// Emits periodic utilization/queue-depth samples up to `horizon` (the
+    /// next event time): per-resource active-flow counts and per-node queue
+    /// depth and busy cores. State persists across `run_to_incident`
+    /// returns, so recovery-driven re-entries keep one steady cadence.
+    fn take_samples_until(&mut self, horizon: u64) {
+        let Some(o) = self.obs.as_deref_mut() else { return };
+        let Some(every) = o.sample_every else { return };
+        while o.next_sample <= horizon {
+            let t = o.next_sample;
+            for r in 0..self.net.resource_count() {
+                let id = ResourceId(r as u32);
+                let track = o.res_track(id);
+                o.rec.sample(track, t, "active_flows", f64::from(self.net.load_of(id)));
+            }
+            for n in 0..self.cluster.node_count() {
+                let track = o.node_track(n as u32);
+                o.rec.sample(track, t, "queue_depth", self.ready[n].len() as f64);
+                let busy = self.cluster.nodes[n].cores - self.free_cores[n];
+                o.rec.sample(track, t, "busy_cores", f64::from(busy));
+            }
+            o.next_sample += every;
+        }
+    }
+
+    fn obs_job_queued(&mut self, j: u32) {
+        let Some(o) = self.obs.as_deref_mut() else { return };
+        let job = &self.jobs[j as usize];
+        o.job_queued(j, job.node, &job.name, self.now.ns());
+    }
+
+    fn obs_job_started(&mut self, j: u32) {
+        let Some(o) = self.obs.as_deref_mut() else { return };
+        let job = &self.jobs[j as usize];
+        let kind = if job.recovery {
+            SpanKind::Recovery
+        } else if job.replaces.is_some() {
+            SpanKind::Retry
+        } else {
+            SpanKind::Run
+        };
+        o.job_started(j, job.node, &job.name, kind, self.now.ns());
+    }
+
+    /// Observability layer, when enabled (engine stage spans, custom
+    /// metrics).
+    pub fn obs_mut(&mut self) -> Option<&mut SimObs> {
+        self.obs.as_deref_mut()
+    }
+
+    /// Records an engine-stage span on the stage track; no-op when
+    /// observability is disabled.
+    pub fn record_stage_span(&mut self, name: &str, start_ns: u64, end_ns: u64) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            let track = o.stage_track();
+            o.rec.record_span(
+                track,
+                start_ns,
+                end_ns,
+                name,
+                SpanKind::Stage,
+                dfl_obs::SpanMeta::default(),
+            );
+        }
+    }
+
+    /// Finalizes and takes the recorded timeline. Returns `None` when
+    /// observability was disabled or the timeline was already taken;
+    /// recording stops once taken.
+    pub fn take_timeline(&mut self) -> Option<Timeline> {
+        self.obs.take().map(|o| o.finish(self.now.ns()))
     }
 
     // ---- reports ----
@@ -1959,5 +2143,84 @@ mod fault_tests {
             sim.failure_report()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn obs_timeline_records_without_monitor() {
+        // "Monitoring disabled" must not disable the timeline: DFL
+        // measurement and observability are independent layers.
+        let mut sim = Simulation::new(
+            ClusterSpec::gpu_cluster(2),
+            SimConfig {
+                monitor: None,
+                obs: Some(ObsConfig::sampled(50_000_000)),
+                ..SimConfig::default()
+            },
+        );
+        sim.fs_mut().create_external("in.dat", mb(100), TierRef::shared(TierKind::Nfs));
+        let w = sim.submit(JobSpec::new("reader-0", 0).action(Action::read_file("in.dat")));
+        sim.submit(
+            JobSpec::new("writer-0", 1).dep(w).action(Action::write_file("out.dat", mb(10))),
+        );
+        sim.run().unwrap();
+        assert!(sim.measurements().is_none());
+        let tl = sim.take_timeline().expect("obs enabled");
+        assert!(sim.take_timeline().is_none(), "timeline taken once");
+        // Queued + run spans for both jobs, one flow span each.
+        let runs: Vec<_> = tl
+            .spans()
+            .filter(|s| s.kind == dfl_obs::SpanKind::Run)
+            .map(|s| s.name.clone())
+            .collect();
+        assert_eq!(runs, vec!["reader-0", "writer-0"]);
+        assert_eq!(tl.spans().filter(|s| s.kind == dfl_obs::SpanKind::Queued).count(), 2);
+        assert_eq!(tl.spans().filter(|s| s.kind == dfl_obs::SpanKind::Flow).count(), 2);
+        assert!(tl.samples().count() > 0, "sampling cadence produced samples");
+        assert_eq!(tl.end_ns, sim.time().ns());
+        assert_eq!(tl.metrics.counter("jobs_completed"), 2);
+        assert_eq!(tl.metrics.counter("flows_completed"), 2);
+        // The flow span records src/dst endpoints and byte size.
+        let flow = tl.spans().find(|s| s.kind == dfl_obs::SpanKind::Flow).unwrap();
+        assert_eq!(flow.meta.src.as_deref(), Some("tier:nfs"));
+        assert_eq!(flow.meta.bytes, Some(mb(100)));
+    }
+
+    #[test]
+    fn obs_timeline_is_deterministic_under_faults() {
+        let build = || {
+            let faults = FaultPlan::seeded(7).crash(0, 30_000_000, 20_000_000).io_errors(0.05);
+            let mut sim = Simulation::new(
+                ClusterSpec::gpu_cluster(2),
+                SimConfig {
+                    obs: Some(ObsConfig::sampled(10_000_000)),
+                    faults,
+                    ..SimConfig::default()
+                },
+            );
+            sim.fs_mut().create_external("x", mb(32), TierRef::shared(TierKind::Beegfs));
+            for i in 0..8 {
+                sim.submit(
+                    JobSpec::new(&format!("t-{i}"), i % 2)
+                        .action(Action::read_file("x"))
+                        .action(Action::compute_ms(20))
+                        .action(Action::write_file(&format!("o{i}"), mb(2))),
+                );
+            }
+            sim.run().unwrap();
+            sim.take_timeline().expect("obs enabled")
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a, b);
+        // Faults left marks: failed attempts close spans as Failed.
+        assert!(a.spans().any(|s| s.outcome == dfl_obs::SpanOutcome::Failed));
+        assert!(a.instants().any(|i| i.kind == dfl_obs::InstantKind::NodeCrash));
+    }
+
+    #[test]
+    fn obs_disabled_returns_no_timeline() {
+        let mut sim = sim_with(FaultPlan::none());
+        sim.submit(JobSpec::new("a", 0).action(Action::compute_ms(1)));
+        sim.run().unwrap();
+        assert!(sim.take_timeline().is_none());
     }
 }

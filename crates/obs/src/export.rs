@@ -1,0 +1,368 @@
+//! Timeline exporters.
+//!
+//! Three renderings of a finished [`Timeline`]:
+//! - [`chrome_trace`]: Chrome-trace-format JSON (the "JSON Array Format"
+//!   with a `traceEvents` wrapper), loadable in Perfetto or
+//!   `chrome://tracing`. Each track becomes a process (`pid = track + 1`,
+//!   named via `M` metadata events); span lanes become thread rows (`tid`),
+//!   so concurrent spans never overlap on a row.
+//! - [`jsonl`]: one compact JSON object per line — a header line with
+//!   tracks/metrics, then every event in emission order. Grep-friendly.
+//! - [`ascii_summary`]: a terminal utilization summary.
+//!
+//! All three are pure functions of the timeline, so byte-identical
+//! timelines produce byte-identical exports.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use serde::{Number, Value};
+use serde_json::to_string as json_compact;
+
+use crate::timeline::{InstantKind, Sample, SpanKind, SpanOutcome, Timeline, TimelineEvent};
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn s(v: impl Into<String>) -> Value {
+    Value::String(v.into())
+}
+
+fn u(v: u64) -> Value {
+    Value::Number(Number::U64(v))
+}
+
+fn f(v: f64) -> Value {
+    Value::Number(Number::F64(v))
+}
+
+/// Microsecond timestamp for Chrome trace format (which uses µs).
+fn micros(t_ns: u64) -> Value {
+    f(t_ns as f64 / 1000.0)
+}
+
+/// Stable lowercase label for a span kind (used as the trace `cat`).
+pub fn span_kind_label(k: SpanKind) -> &'static str {
+    match k {
+        SpanKind::Queued => "queued",
+        SpanKind::Run => "run",
+        SpanKind::Retry => "retry",
+        SpanKind::Recovery => "recovery",
+        SpanKind::Flow => "flow",
+        SpanKind::Stage => "stage",
+    }
+}
+
+/// Stable lowercase label for a span outcome.
+pub fn outcome_label(o: SpanOutcome) -> &'static str {
+    match o {
+        SpanOutcome::Ok => "ok",
+        SpanOutcome::Failed => "failed",
+        SpanOutcome::Cancelled => "cancelled",
+    }
+}
+
+/// Stable lowercase label for an instant kind.
+pub fn instant_kind_label(k: InstantKind) -> &'static str {
+    match k {
+        InstantKind::CacheHit => "cache-hit",
+        InstantKind::CacheMiss => "cache-miss",
+        InstantKind::CacheEvict => "cache-evict",
+        InstantKind::CacheInvalidate => "cache-invalidate",
+        InstantKind::NodeCrash => "node-crash",
+        InstantKind::NodeRecover => "node-recover",
+        InstantKind::CapacityChange => "capacity-change",
+        InstantKind::IoError => "io-error",
+    }
+}
+
+/// Renders the timeline as Chrome-trace-format JSON for Perfetto /
+/// `chrome://tracing`. One process per track (in track order, so the UI
+/// shows nodes, then resources, then stage/fault tracks), one thread row
+/// per span lane.
+pub fn chrome_trace(tl: &Timeline) -> String {
+    let mut events: Vec<Value> = Vec::with_capacity(tl.events.len() + 2 * tl.tracks.len());
+
+    for (i, track) in tl.tracks.iter().enumerate() {
+        let pid = i as u64 + 1;
+        events.push(obj(vec![
+            ("name", s("process_name")),
+            ("ph", s("M")),
+            ("pid", u(pid)),
+            ("tid", u(0)),
+            ("args", obj(vec![("name", s(&track.name))])),
+        ]));
+        events.push(obj(vec![
+            ("name", s("process_sort_index")),
+            ("ph", s("M")),
+            ("pid", u(pid)),
+            ("tid", u(0)),
+            ("args", obj(vec![("sort_index", u(i as u64))])),
+        ]));
+    }
+
+    for ev in &tl.events {
+        match ev {
+            TimelineEvent::Span(sp) => {
+                let mut args = vec![
+                    ("id", u(sp.id)),
+                    ("outcome", s(outcome_label(sp.outcome))),
+                ];
+                if let Some(job) = sp.meta.job {
+                    args.push(("job", u(u64::from(job))));
+                }
+                if let Some(tag) = &sp.meta.tag {
+                    args.push(("tag", s(tag)));
+                }
+                if let Some(src) = &sp.meta.src {
+                    args.push(("src", s(src)));
+                }
+                if let Some(dst) = &sp.meta.dst {
+                    args.push(("dst", s(dst)));
+                }
+                if let Some(bytes) = sp.meta.bytes {
+                    args.push(("bytes", u(bytes)));
+                }
+                events.push(obj(vec![
+                    ("name", s(&sp.name)),
+                    ("cat", s(span_kind_label(sp.kind))),
+                    ("ph", s("X")),
+                    ("ts", micros(sp.start_ns)),
+                    ("dur", micros(sp.end_ns - sp.start_ns)),
+                    ("pid", u(u64::from(sp.track) + 1)),
+                    ("tid", u(u64::from(sp.lane))),
+                    ("args", obj(args)),
+                ]));
+            }
+            TimelineEvent::Instant(inst) => {
+                events.push(obj(vec![
+                    ("name", s(&inst.name)),
+                    ("cat", s(instant_kind_label(inst.kind))),
+                    ("ph", s("i")),
+                    ("s", s("p")),
+                    ("ts", micros(inst.t_ns)),
+                    ("pid", u(u64::from(inst.track) + 1)),
+                    ("tid", u(0)),
+                    ("args", obj(vec![("value", u(inst.value))])),
+                ]));
+            }
+            TimelineEvent::Sample(sm) => {
+                events.push(obj(vec![
+                    ("name", s(&sm.name)),
+                    ("ph", s("C")),
+                    ("ts", micros(sm.t_ns)),
+                    ("pid", u(u64::from(sm.track) + 1)),
+                    ("tid", u(0)),
+                    ("args", obj(vec![("value", f(sm.value))])),
+                ]));
+            }
+        }
+    }
+
+    let root = obj(vec![
+        ("traceEvents", Value::Array(events)),
+        ("displayTimeUnit", s("ms")),
+        (
+            "otherData",
+            obj(vec![("end_ns", u(tl.end_ns)), ("dropped", u(tl.dropped))]),
+        ),
+    ]);
+    json_compact(&root).expect("chrome trace serialization is infallible")
+}
+
+/// Renders the timeline as a compact JSONL stream: a header object (tracks,
+/// end time, drop count, metrics snapshot) followed by one line per event
+/// in emission order.
+pub fn jsonl(tl: &Timeline) -> String {
+    let header = obj(vec![
+        ("tracks", serde::Serialize::to_value(&tl.tracks)),
+        ("end_ns", u(tl.end_ns)),
+        ("dropped", u(tl.dropped)),
+        ("metrics", serde::Serialize::to_value(&tl.metrics)),
+    ]);
+    let mut out = json_compact(&header).expect("jsonl header serialization is infallible");
+    for ev in &tl.events {
+        out.push('\n');
+        out.push_str(&json_compact(ev).expect("jsonl event serialization is infallible"));
+    }
+    out.push('\n');
+    out
+}
+
+struct SampleStats {
+    count: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl SampleStats {
+    fn add(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+}
+
+/// Renders a terminal summary: span/instant counts by kind and per-track
+/// sample statistics (mean/max utilization, queue depths, …).
+pub fn ascii_summary(tl: &Timeline) -> String {
+    let mut span_counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut instant_counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut sample_stats: BTreeMap<(u32, &str), SampleStats> = BTreeMap::new();
+
+    for ev in &tl.events {
+        match ev {
+            TimelineEvent::Span(sp) => {
+                *span_counts.entry(span_kind_label(sp.kind)).or_insert(0) += 1;
+            }
+            TimelineEvent::Instant(inst) => {
+                *instant_counts.entry(instant_kind_label(inst.kind)).or_insert(0) += 1;
+            }
+            TimelineEvent::Sample(Sample { track, name, value, .. }) => {
+                sample_stats
+                    .entry((*track, name.as_str()))
+                    .or_insert(SampleStats { count: 0, sum: 0.0, max: f64::NEG_INFINITY })
+                    .add(*value);
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "timeline: {} events on {} tracks, end = {:.3} ms, dropped = {}",
+        tl.events.len(),
+        tl.tracks.len(),
+        tl.end_ns as f64 / 1e6,
+        tl.dropped
+    );
+
+    if !span_counts.is_empty() {
+        let _ = writeln!(out, "spans:");
+        for (kind, n) in &span_counts {
+            let _ = writeln!(out, "  {kind:<12} {n}");
+        }
+    }
+    if !instant_counts.is_empty() {
+        let _ = writeln!(out, "instants:");
+        for (kind, n) in &instant_counts {
+            let _ = writeln!(out, "  {kind:<18} {n}");
+        }
+    }
+    if !sample_stats.is_empty() {
+        let _ = writeln!(out, "samples (per track):");
+        let _ = writeln!(out, "  {:<24} {:<16} {:>8} {:>10} {:>10}", "track", "metric", "n", "mean", "max");
+        for ((track, name), st) in &sample_stats {
+            let track_name = tl
+                .tracks
+                .get(*track as usize)
+                .map_or("?", |t| t.name.as_str());
+            let mean = if st.count == 0 { 0.0 } else { st.sum / st.count as f64 };
+            let _ = writeln!(
+                out,
+                "  {:<24} {:<16} {:>8} {:>10.3} {:>10.3}",
+                track_name, name, st.count, mean, st.max
+            );
+        }
+    }
+    if !tl.metrics.counters.is_empty() {
+        let _ = writeln!(out, "counters:");
+        for c in &tl.metrics.counters {
+            let _ = writeln!(out, "  {:<28} {}", c.name, c.value);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::{Recorder, SpanMeta, TrackKind};
+
+    fn tiny_timeline() -> Timeline {
+        let mut r = Recorder::new(1024);
+        let node = r.add_track("node:0", TrackKind::Node);
+        let tier = r.add_track("tier:beegfs", TrackKind::Resource);
+        let h = r.begin_span(
+            node,
+            1_000,
+            "job-a",
+            SpanKind::Run,
+            SpanMeta { job: Some(0), ..SpanMeta::default() },
+        );
+        let fl = r.begin_span(
+            tier,
+            1_500,
+            "write job-a",
+            SpanKind::Flow,
+            SpanMeta {
+                job: Some(0),
+                tag: Some("write".into()),
+                src: Some("node:0".into()),
+                dst: Some("tier:beegfs".into()),
+                bytes: Some(4096),
+            },
+        );
+        r.instant(tier, 1_200, InstantKind::CacheMiss, "f.dat", 4096);
+        r.sample(node, 2_000, "queue_depth", 3.0);
+        r.end_span(fl, 2_500, SpanOutcome::Ok);
+        r.end_span(h, 3_000, SpanOutcome::Ok);
+        let hits = r.metrics.counter("cache_hits");
+        r.metrics.inc(hits, 7);
+        r.finish(3_000)
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_has_required_fields() {
+        let out = chrome_trace(&tiny_timeline());
+        let v: Value = serde_json::from_str(&out).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        // 2 metadata events per track + 4 real events.
+        assert_eq!(events.len(), 2 * 2 + 4);
+        for ev in events {
+            assert!(ev["ph"].as_str().is_some(), "missing ph: {ev:?}");
+            assert!(ev["pid"].as_u64().is_some(), "missing pid: {ev:?}");
+            assert!(ev["tid"].as_u64().is_some(), "missing tid: {ev:?}");
+            if ev["ph"].as_str() != Some("M") {
+                assert!(ev["ts"].as_f64().is_some(), "missing ts: {ev:?}");
+            }
+        }
+        let complete: Vec<&Value> =
+            events.iter().filter(|e| e["ph"].as_str() == Some("X")).collect();
+        assert_eq!(complete.len(), 2);
+        let flow = complete.iter().find(|e| e["cat"].as_str() == Some("flow")).unwrap();
+        assert_eq!(flow["args"]["bytes"].as_u64(), Some(4096));
+        assert_eq!(flow["args"]["src"].as_str(), Some("node:0"));
+        assert_eq!(flow["ts"].as_f64(), Some(1.5));
+        assert_eq!(flow["dur"].as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn chrome_trace_is_deterministic() {
+        assert_eq!(chrome_trace(&tiny_timeline()), chrome_trace(&tiny_timeline()));
+    }
+
+    #[test]
+    fn jsonl_lines_each_parse() {
+        let out = jsonl(&tiny_timeline());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 1 + 4);
+        for line in &lines {
+            let _: Value = serde_json::from_str(line).unwrap();
+        }
+        let header: Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(header["end_ns"].as_u64(), Some(3_000));
+        assert_eq!(header["tracks"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn ascii_summary_mentions_kinds_and_counters() {
+        let out = ascii_summary(&tiny_timeline());
+        assert!(out.contains("run"), "{out}");
+        assert!(out.contains("flow"), "{out}");
+        assert!(out.contains("cache-miss"), "{out}");
+        assert!(out.contains("queue_depth"), "{out}");
+        assert!(out.contains("cache_hits"), "{out}");
+    }
+}

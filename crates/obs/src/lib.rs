@@ -1,0 +1,58 @@
+//! # dfl-obs — deterministic observability for the simulation substrate
+//!
+//! A zero-overhead-when-disabled observability layer: the simulator (and the
+//! workflow engine above it) record typed *spans* and *instants* in sim-time
+//! into a bounded, append-only [`Timeline`] with stable IDs, alongside a
+//! from-scratch [`metrics::MetricsRegistry`] (counters, gauges, fixed-bucket
+//! histograms). Exporters render the timeline as Chrome-trace-format JSON
+//! (loadable in Perfetto / `chrome://tracing`), a compact JSONL event
+//! stream, or an ASCII utilization summary.
+//!
+//! # Determinism
+//!
+//! Everything here is driven by the simulator's deterministic event loop:
+//! span IDs are assigned in emission order, completed events are appended in
+//! close order, and lanes are allocated lowest-free-first. Two runs with the
+//! same seed therefore produce byte-identical exports — which is what the
+//! golden-trace test suite locks down.
+//!
+//! The recorder is owned behind an `Option`: a disabled run pays one branch
+//! per potential emission site and allocates nothing.
+
+pub mod export;
+pub mod metrics;
+pub mod timeline;
+
+pub use export::{ascii_summary, chrome_trace, jsonl};
+pub use metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry, MetricsSnapshot};
+pub use timeline::{
+    InstantKind, Recorder, Sample, Span, SpanHandle, SpanKind, SpanMeta, SpanOutcome, TInstant,
+    Timeline, TimelineEvent, Track, TrackId, TrackKind,
+};
+
+/// Observability configuration. `None` at the simulator level means fully
+/// disabled (zero overhead); this struct configures an enabled recorder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsConfig {
+    /// Bound on recorded timeline events. Once full, further events are
+    /// counted in [`Timeline::dropped`] instead of being recorded, keeping
+    /// memory bounded on pathological runs while staying deterministic.
+    pub max_events: usize,
+    /// Periodic utilization/queue-depth sampling cadence in sim-time ns;
+    /// `None` disables sampling (spans and instants are still recorded).
+    pub sample_every_ns: Option<u64>,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig { max_events: 1 << 20, sample_every_ns: None }
+    }
+}
+
+impl ObsConfig {
+    /// Recording plus periodic sampling every `ns` of sim-time.
+    pub fn sampled(ns: u64) -> Self {
+        assert!(ns > 0, "sampling cadence must be positive");
+        ObsConfig { sample_every_ns: Some(ns), ..ObsConfig::default() }
+    }
+}

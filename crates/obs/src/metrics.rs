@@ -1,0 +1,251 @@
+//! A small from-scratch metrics registry: named counters, gauges, and
+//! fixed-bucket histograms (no external metrics crates per the dependency
+//! policy). IDs are plain indices handed out at registration; hot-path
+//! updates are an array write. [`MetricsRegistry::snapshot`] produces a
+//! serializable, deterministic [`MetricsSnapshot`] (registration order).
+
+use serde::Serialize;
+
+/// Handle to a counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+#[derive(Debug, Clone)]
+struct Histogram {
+    /// Upper bounds of the first `bounds.len()` buckets (ascending); one
+    /// implicit overflow bucket follows.
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// Snapshot of one counter.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CounterSnapshot {
+    pub name: String,
+    pub value: u64,
+}
+
+/// Snapshot of one gauge.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GaugeSnapshot {
+    pub name: String,
+    pub value: f64,
+}
+
+/// Snapshot of one histogram.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    /// Bucket upper bounds; `counts` has one extra overflow bucket.
+    pub bounds: Vec<f64>,
+    pub counts: Vec<u64>,
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Deterministic snapshot of a whole registry, in registration order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<CounterSnapshot>,
+    pub gauges: Vec<GaugeSnapshot>,
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter by name (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|c| c.name == name).map_or(0, |c| c.value)
+    }
+
+    /// Value of a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+/// The registry. Registration dedups by name (same name → same handle), so
+/// instruments can be declared idempotently.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or finds) a counter.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(i) = self.counters.iter().position(|(n, _)| n == name) {
+            return CounterId(i);
+        }
+        self.counters.push((name.to_owned(), 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    pub fn inc(&mut self, id: CounterId, by: u64) {
+        self.counters[id.0].1 += by;
+    }
+
+    /// Registers (or finds) a gauge.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(i) = self.gauges.iter().position(|(n, _)| n == name) {
+            return GaugeId(i);
+        }
+        self.gauges.push((name.to_owned(), 0.0));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    pub fn set(&mut self, id: GaugeId, value: f64) {
+        self.gauges[id.0].1 = value;
+    }
+
+    /// Registers (or finds) a fixed-bucket histogram. `bounds` are ascending
+    /// bucket upper limits; an overflow bucket is added automatically.
+    pub fn histogram(&mut self, name: &str, bounds: &[f64]) -> HistogramId {
+        if let Some(i) = self.histograms.iter().position(|(n, _)| n == name) {
+            return HistogramId(i);
+        }
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "histogram bounds must ascend");
+        self.histograms.push((
+            name.to_owned(),
+            Histogram {
+                bounds: bounds.to_vec(),
+                counts: vec![0; bounds.len() + 1],
+                count: 0,
+                sum: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+            },
+        ));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    pub fn observe(&mut self, id: HistogramId, value: f64) {
+        let h = &mut self.histograms[id.0].1;
+        let bucket = h.bounds.partition_point(|&b| b < value);
+        h.counts[bucket] += 1;
+        h.count += 1;
+        h.sum += value;
+        h.min = h.min.min(value);
+        h.max = h.max.max(value);
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(n, v)| CounterSnapshot { name: n.clone(), value: *v })
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(n, v)| GaugeSnapshot { name: n.clone(), value: *v })
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(n, h)| HistogramSnapshot {
+                    name: n.clone(),
+                    bounds: h.bounds.clone(),
+                    counts: h.counts.clone(),
+                    count: h.count,
+                    sum: h.sum,
+                    min: if h.count == 0 { 0.0 } else { h.min },
+                    max: if h.count == 0 { 0.0 } else { h.max },
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_dedup_by_name() {
+        let mut m = MetricsRegistry::new();
+        let a = m.counter("hits");
+        let b = m.counter("hits");
+        assert_eq!(a, b);
+        m.inc(a, 2);
+        m.inc(b, 3);
+        assert_eq!(m.snapshot().counter("hits"), 5);
+    }
+
+    #[test]
+    fn gauges_keep_last_value() {
+        let mut m = MetricsRegistry::new();
+        let g = m.gauge("depth");
+        m.set(g, 4.0);
+        m.set(g, 1.5);
+        assert_eq!(m.snapshot().gauge("depth"), Some(1.5));
+    }
+
+    #[test]
+    fn histogram_buckets_boundaries() {
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram("lat", &[1.0, 10.0, 100.0]);
+        for v in [0.5, 1.0, 5.0, 10.0, 99.0, 1000.0] {
+            m.observe(h, v);
+        }
+        let s = m.snapshot();
+        let hs = s.histogram("lat").unwrap();
+        // `< bound` partition: 0.5,1.0 → b0; 5,10 → b1; 99 → b2; 1000 → overflow.
+        assert_eq!(hs.counts, vec![2, 2, 1, 1]);
+        assert_eq!(hs.count, 6);
+        assert_eq!(hs.min, 0.5);
+        assert_eq!(hs.max, 1000.0);
+        assert!((hs.mean() - 1115.5 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_finite() {
+        let mut m = MetricsRegistry::new();
+        m.histogram("empty", &[1.0]);
+        let s = m.snapshot();
+        let h = s.histogram("empty").unwrap();
+        assert_eq!((h.min, h.max, h.count), (0.0, 0.0, 0));
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn unsorted_bounds_rejected() {
+        MetricsRegistry::new().histogram("bad", &[2.0, 1.0]);
+    }
+}

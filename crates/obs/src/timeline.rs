@@ -1,0 +1,460 @@
+//! The timeline event model and recorder.
+//!
+//! A [`Timeline`] is a list of *tracks* (one per node, bandwidth resource,
+//! plus engine-stage and fault tracks) and a bounded, append-only list of
+//! events: completed [`Span`]s, point-in-time [`TInstant`]s, and periodic
+//! [`Sample`]s. The [`Recorder`] hands out stable span IDs at open time (in
+//! deterministic event-loop order) and appends the completed span at close
+//! time, so same-seed runs produce byte-identical event lists.
+//!
+//! Within a track, concurrent spans are spread across *lanes*: the recorder
+//! assigns each opening span the lowest lane with no open span, so exported
+//! Chrome-trace slices never overlap on one thread row and Perfetto renders
+//! them without merge heuristics.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use serde::Serialize;
+
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+
+/// Index of a track (assigned in registration order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TrackId(pub u32);
+
+/// What a track represents (drives exporter grouping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TrackKind {
+    /// A compute node: job attempt spans + queue-depth samples.
+    Node,
+    /// A bandwidth resource (tier, NIC, cache level): flow spans + samples.
+    Resource,
+    /// Engine workflow stages.
+    Stage,
+    /// Fault-plan events (crashes, recoveries, degradations, I/O errors).
+    Fault,
+}
+
+/// One timeline track.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Track {
+    pub name: String,
+    pub kind: TrackKind,
+}
+
+/// Span classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SpanKind {
+    /// A job sitting in its node's ready queue.
+    Queued,
+    /// First attempt of a job.
+    Run,
+    /// Retry attempt (replacement of a failed job).
+    Retry,
+    /// Lineage-recovery re-run.
+    Recovery,
+    /// One transfer through the flow network.
+    Flow,
+    /// An engine workflow stage.
+    Stage,
+}
+
+/// How a span ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SpanOutcome {
+    Ok,
+    /// The job attempt failed (crash, transient I/O error, lost input).
+    Failed,
+    /// The flow (or still-open span at finish time) was cancelled.
+    Cancelled,
+}
+
+/// Point-event classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum InstantKind {
+    CacheHit,
+    CacheMiss,
+    CacheEvict,
+    CacheInvalidate,
+    NodeCrash,
+    NodeRecover,
+    /// A fault-plan (or injected) capacity change took effect.
+    CapacityChange,
+    /// A transient I/O error hit a job's operation.
+    IoError,
+}
+
+/// Optional structured payload attached to a span at open time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct SpanMeta {
+    /// Owning simulator job id.
+    pub job: Option<u32>,
+    /// Flow tag label (e.g. "network-read") for flow spans.
+    pub tag: Option<String>,
+    /// First resource on a flow's path.
+    pub src: Option<String>,
+    /// Last resource on a flow's path.
+    pub dst: Option<String>,
+    /// Transfer size for flow spans (read-equivalent bytes).
+    pub bytes: Option<u64>,
+}
+
+/// A completed span.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Span {
+    /// Stable ID, assigned at open in deterministic event-loop order.
+    pub id: u64,
+    pub track: u32,
+    /// Display lane within the track (no two open spans share a lane).
+    pub lane: u32,
+    pub name: String,
+    pub kind: SpanKind,
+    pub start_ns: u64,
+    pub end_ns: u64,
+    pub outcome: SpanOutcome,
+    pub meta: SpanMeta,
+}
+
+/// A point event.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TInstant {
+    pub track: u32,
+    pub t_ns: u64,
+    pub kind: InstantKind,
+    pub name: String,
+    /// Kind-dependent magnitude (bytes, a node id, a capacity, …).
+    pub value: u64,
+}
+
+/// One periodic sample of a named per-track quantity.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Sample {
+    pub track: u32,
+    pub t_ns: u64,
+    pub name: String,
+    pub value: f64,
+}
+
+/// One recorded event, in emission order.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum TimelineEvent {
+    Span(Span),
+    Instant(TInstant),
+    Sample(Sample),
+}
+
+impl TimelineEvent {
+    /// Emission timestamp (spans are emitted at close time).
+    pub fn t_ns(&self) -> u64 {
+        match self {
+            TimelineEvent::Span(s) => s.end_ns,
+            TimelineEvent::Instant(i) => i.t_ns,
+            TimelineEvent::Sample(s) => s.t_ns,
+        }
+    }
+}
+
+/// The finished, exportable artifact of one recorded run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Timeline {
+    pub tracks: Vec<Track>,
+    /// Bounded append-only event list in emission order.
+    pub events: Vec<TimelineEvent>,
+    /// Sim-time at which the timeline was finalized (the makespan).
+    pub end_ns: u64,
+    /// Events discarded because the buffer limit was reached.
+    pub dropped: u64,
+    /// Final snapshot of the run's metrics registry.
+    pub metrics: MetricsSnapshot,
+}
+
+impl Timeline {
+    /// Iterates completed spans.
+    pub fn spans(&self) -> impl Iterator<Item = &Span> {
+        self.events.iter().filter_map(|e| match e {
+            TimelineEvent::Span(s) => Some(s),
+            _ => None,
+        })
+    }
+
+    /// Iterates instants.
+    pub fn instants(&self) -> impl Iterator<Item = &TInstant> {
+        self.events.iter().filter_map(|e| match e {
+            TimelineEvent::Instant(i) => Some(i),
+            _ => None,
+        })
+    }
+
+    /// Iterates samples.
+    pub fn samples(&self) -> impl Iterator<Item = &Sample> {
+        self.events.iter().filter_map(|e| match e {
+            TimelineEvent::Sample(s) => Some(s),
+            _ => None,
+        })
+    }
+}
+
+/// Handle to a span opened on a [`Recorder`] (the span's stable ID).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanHandle(pub u64);
+
+#[derive(Debug)]
+struct OpenSpan {
+    track: u32,
+    lane: u32,
+    name: String,
+    kind: SpanKind,
+    start_ns: u64,
+    meta: SpanMeta,
+}
+
+/// Per-track lane allocator: lowest free lane wins (deterministic).
+#[derive(Debug, Default)]
+struct Lanes {
+    free: BinaryHeap<Reverse<u32>>,
+    next: u32,
+}
+
+impl Lanes {
+    fn acquire(&mut self) -> u32 {
+        match self.free.pop() {
+            Some(Reverse(l)) => l,
+            None => {
+                let l = self.next;
+                self.next += 1;
+                l
+            }
+        }
+    }
+
+    fn release(&mut self, lane: u32) {
+        self.free.push(Reverse(lane));
+    }
+}
+
+/// The in-flight recorder: tracks, open spans, the bounded event buffer,
+/// and the run's metrics registry. [`Recorder::finish`] turns it into an
+/// immutable [`Timeline`].
+#[derive(Debug)]
+pub struct Recorder {
+    tracks: Vec<Track>,
+    events: Vec<TimelineEvent>,
+    max_events: usize,
+    dropped: u64,
+    next_span: u64,
+    open: HashMap<u64, OpenSpan>,
+    lanes: Vec<Lanes>,
+    /// The run's metrics registry (counters/gauges/histograms), snapshotted
+    /// into the timeline at finish.
+    pub metrics: MetricsRegistry,
+}
+
+impl Recorder {
+    pub fn new(max_events: usize) -> Self {
+        Recorder {
+            tracks: Vec::new(),
+            events: Vec::new(),
+            max_events,
+            dropped: 0,
+            next_span: 0,
+            open: HashMap::new(),
+            lanes: Vec::new(),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// Registers a track; IDs are assigned in registration order.
+    pub fn add_track(&mut self, name: impl Into<String>, kind: TrackKind) -> TrackId {
+        let id = TrackId(self.tracks.len() as u32);
+        self.tracks.push(Track { name: name.into(), kind });
+        self.lanes.push(Lanes::default());
+        id
+    }
+
+    pub fn tracks(&self) -> &[Track] {
+        &self.tracks
+    }
+
+    fn push(&mut self, ev: TimelineEvent) {
+        if self.events.len() < self.max_events {
+            self.events.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Opens a span; the returned handle's ID is stable across same-seed
+    /// runs. The span is appended to the buffer when closed.
+    pub fn begin_span(
+        &mut self,
+        track: TrackId,
+        t_ns: u64,
+        name: impl Into<String>,
+        kind: SpanKind,
+        meta: SpanMeta,
+    ) -> SpanHandle {
+        let id = self.next_span;
+        self.next_span += 1;
+        let lane = self.lanes[track.0 as usize].acquire();
+        self.open.insert(
+            id,
+            OpenSpan { track: track.0, lane, name: name.into(), kind, start_ns: t_ns, meta },
+        );
+        SpanHandle(id)
+    }
+
+    /// Closes a span, appending it to the buffer. Closing an unknown (or
+    /// already-closed) handle is a no-op so call sites stay simple.
+    pub fn end_span(&mut self, h: SpanHandle, t_ns: u64, outcome: SpanOutcome) {
+        let Some(o) = self.open.remove(&h.0) else { return };
+        self.lanes[o.track as usize].release(o.lane);
+        self.push(TimelineEvent::Span(Span {
+            id: h.0,
+            track: o.track,
+            lane: o.lane,
+            name: o.name,
+            kind: o.kind,
+            start_ns: o.start_ns,
+            end_ns: t_ns.max(o.start_ns),
+            outcome,
+            meta: o.meta,
+        }));
+    }
+
+    /// Records an already-closed span in one call (used for retroactive
+    /// spans like engine stages).
+    pub fn record_span(
+        &mut self,
+        track: TrackId,
+        start_ns: u64,
+        end_ns: u64,
+        name: impl Into<String>,
+        kind: SpanKind,
+        meta: SpanMeta,
+    ) {
+        let h = self.begin_span(track, start_ns, name, kind, meta);
+        self.end_span(h, end_ns, SpanOutcome::Ok);
+    }
+
+    /// Records a point event.
+    pub fn instant(
+        &mut self,
+        track: TrackId,
+        t_ns: u64,
+        kind: InstantKind,
+        name: impl Into<String>,
+        value: u64,
+    ) {
+        self.push(TimelineEvent::Instant(TInstant {
+            track: track.0,
+            t_ns,
+            kind,
+            name: name.into(),
+            value,
+        }));
+    }
+
+    /// Records one periodic sample.
+    pub fn sample(&mut self, track: TrackId, t_ns: u64, name: impl Into<String>, value: f64) {
+        self.push(TimelineEvent::Sample(Sample { track: track.0, t_ns, name: name.into(), value }));
+    }
+
+    /// Number of events recorded so far (excluding drops).
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Finalizes the recorder into a [`Timeline`] at `end_ns`. Spans still
+    /// open (e.g. jobs never started because the run was abandoned) are
+    /// closed as [`SpanOutcome::Cancelled`] in ID order, keeping the export
+    /// deterministic.
+    pub fn finish(mut self, end_ns: u64) -> Timeline {
+        let mut leftover: Vec<u64> = self.open.keys().copied().collect();
+        leftover.sort_unstable();
+        for id in leftover {
+            self.end_span(SpanHandle(id), end_ns, SpanOutcome::Cancelled);
+        }
+        Timeline {
+            tracks: self.tracks,
+            events: self.events,
+            end_ns,
+            dropped: self.dropped,
+            metrics: self.metrics.snapshot(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_ids_and_lanes_are_deterministic() {
+        let build = || {
+            let mut r = Recorder::new(1024);
+            let t = r.add_track("node:0", TrackKind::Node);
+            let a = r.begin_span(t, 0, "a", SpanKind::Run, SpanMeta::default());
+            let b = r.begin_span(t, 5, "b", SpanKind::Run, SpanMeta::default());
+            r.end_span(a, 10, SpanOutcome::Ok);
+            let c = r.begin_span(t, 12, "c", SpanKind::Run, SpanMeta::default());
+            r.end_span(b, 20, SpanOutcome::Ok);
+            r.end_span(c, 21, SpanOutcome::Ok);
+            r.finish(21)
+        };
+        let (x, y) = (build(), build());
+        assert_eq!(x, y);
+        let spans: Vec<_> = x.spans().collect();
+        assert_eq!(spans.len(), 3);
+        // a and b overlap → lanes 0 and 1; c reuses a's freed lane 0.
+        assert_eq!((spans[0].name.as_str(), spans[0].lane), ("a", 0));
+        assert_eq!((spans[1].name.as_str(), spans[1].lane), ("b", 1));
+        assert_eq!((spans[2].name.as_str(), spans[2].lane), ("c", 0));
+        assert_eq!(spans.iter().map(|s| s.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn buffer_limit_counts_drops() {
+        let mut r = Recorder::new(2);
+        let t = r.add_track("x", TrackKind::Resource);
+        for i in 0..5 {
+            r.instant(t, i, InstantKind::CacheHit, "h", 1);
+        }
+        let tl = r.finish(5);
+        assert_eq!(tl.events.len(), 2);
+        assert_eq!(tl.dropped, 3);
+    }
+
+    #[test]
+    fn finish_closes_open_spans_cancelled() {
+        let mut r = Recorder::new(64);
+        let t = r.add_track("n", TrackKind::Node);
+        let _a = r.begin_span(t, 3, "stuck", SpanKind::Queued, SpanMeta::default());
+        let tl = r.finish(9);
+        let s: Vec<_> = tl.spans().collect();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].outcome, SpanOutcome::Cancelled);
+        assert_eq!((s[0].start_ns, s[0].end_ns), (3, 9));
+    }
+
+    #[test]
+    fn double_close_is_a_noop() {
+        let mut r = Recorder::new(64);
+        let t = r.add_track("n", TrackKind::Node);
+        let a = r.begin_span(t, 0, "a", SpanKind::Run, SpanMeta::default());
+        r.end_span(a, 1, SpanOutcome::Ok);
+        r.end_span(a, 2, SpanOutcome::Failed);
+        let tl = r.finish(2);
+        assert_eq!(tl.spans().count(), 1);
+        assert_eq!(tl.spans().next().unwrap().end_ns, 1);
+    }
+
+    #[test]
+    fn end_never_precedes_start() {
+        let mut r = Recorder::new(64);
+        let t = r.add_track("n", TrackKind::Node);
+        let a = r.begin_span(t, 10, "a", SpanKind::Run, SpanMeta::default());
+        r.end_span(a, 4, SpanOutcome::Ok); // clamped
+        assert_eq!(r.finish(10).spans().next().unwrap().end_ns, 10);
+    }
+}

@@ -167,6 +167,7 @@ pub fn run_config(cfg: &Belle2Config, access: DataAccess, nodes: usize) -> crate
         monitor: dfl_trace::MonitorConfig::default(),
         faults: dfl_iosim::FaultPlan::none(),
         retry: crate::engine::RetryPolicy::default(),
+        obs: None,
     };
     match access {
         DataAccess::FtpCopy => {

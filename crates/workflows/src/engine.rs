@@ -18,6 +18,7 @@ use dfl_iosim::sim::{
 };
 use dfl_iosim::storage::{TierKind, TierRef};
 use dfl_iosim::SimError;
+use dfl_obs::{ObsConfig, Timeline};
 use dfl_trace::MeasurementSet;
 
 use crate::spec::{TaskSpec, WorkflowSpec};
@@ -148,6 +149,10 @@ pub struct RunConfig {
     pub faults: FaultPlan,
     /// How failed attempts are retried.
     pub retry: RetryPolicy,
+    /// Timeline recording. `None` (the default) disables observability
+    /// entirely — the run allocates no recorder and pays only a dead branch
+    /// per potential emission.
+    pub obs: Option<ObsConfig>,
 }
 
 impl RunConfig {
@@ -164,6 +169,7 @@ impl RunConfig {
             monitor: dfl_trace::MonitorConfig::default(),
             faults: FaultPlan::none(),
             retry: RetryPolicy::default(),
+            obs: None,
         }
     }
 
@@ -179,6 +185,7 @@ impl RunConfig {
             monitor: dfl_trace::MonitorConfig::default(),
             faults: FaultPlan::none(),
             retry: RetryPolicy::default(),
+            obs: None,
         }
     }
 }
@@ -195,6 +202,9 @@ pub struct RunResult {
     /// What faults happened and what they cost. [`FailureReport::is_clean`]
     /// on a fault-free run.
     pub failure: FailureReport,
+    /// Recorded timeline when [`RunConfig::obs`] was set; export with
+    /// [`dfl_obs::chrome_trace`] / [`dfl_obs::jsonl`] / [`dfl_obs::ascii_summary`].
+    pub timeline: Option<Timeline>,
 }
 
 impl RunResult {
@@ -394,6 +404,7 @@ pub fn run(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, SimError> 
             cache_origins: cfg.cache_origins,
             write_buffering: cfg.write_buffering,
             faults: cfg.faults.clone(),
+            obs: cfg.obs.clone(),
         },
     );
 
@@ -697,6 +708,13 @@ pub fn run(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, SimError> 
     failure.retries = n_retries;
     failure.recovery_jobs = n_recovery;
 
+    // Stage spans onto the timeline's stage track (sorted by stage id, so
+    // same-seed runs emit them in identical order), then detach it.
+    for (&stage, &(start, end)) in &stage_spans {
+        sim.record_stage_span(&format!("stage {stage}"), (start * 1e9) as u64, (end * 1e9) as u64);
+    }
+    let timeline = sim.take_timeline();
+
     Ok(RunResult {
         makespan_s: sim.time().secs(),
         stage_spans,
@@ -704,6 +722,7 @@ pub fn run(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, SimError> 
         measurements: sim.measurements().expect("monitor attached"),
         reports,
         failure,
+        timeline,
     })
 }
 
@@ -858,6 +877,28 @@ mod tests {
         assert!(p.delay_ns(1, 0, 3) > p.delay_ns(1, 0, 1));
         let norm = RetryPolicy { jitter: 0.0, ..p };
         assert_eq!(norm.delay_ns(9, 4, 2), 100_000_000, "50ms · 2¹, no jitter");
+    }
+
+    #[test]
+    fn obs_timeline_rides_along() {
+        let r = run(&two_stage(), &RunConfig::default_gpu(2)).unwrap();
+        assert!(r.timeline.is_none(), "observability is opt-in");
+
+        let mut cfg = RunConfig::default_gpu(2);
+        cfg.obs = Some(ObsConfig::default());
+        let r = run(&two_stage(), &cfg).unwrap();
+        let tl = r.timeline.expect("obs enabled");
+        assert!(tl.spans().any(|s| s.name == "gen-0"));
+        let stages: Vec<_> = tl
+            .spans()
+            .filter(|s| s.kind == dfl_obs::SpanKind::Stage)
+            .map(|s| s.name.clone())
+            .collect();
+        assert_eq!(stages, vec!["stage 1", "stage 2"]);
+        // Stage spans cover their jobs' run spans.
+        let stage1 = tl.spans().find(|s| s.name == "stage 1").unwrap();
+        let gen = tl.spans().find(|s| s.name == "gen-0").unwrap();
+        assert!(stage1.start_ns <= gen.start_ns && gen.end_ns <= stage1.end_ns);
     }
 
     #[test]

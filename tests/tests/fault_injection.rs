@@ -175,6 +175,54 @@ fn fault_suite_is_deterministic_across_seeds() {
     }
 }
 
+/// Same scenario as [`seeded_run`] but with the timeline recorder on.
+fn seeded_run_obs(seed: u64) -> RunResult {
+    let mut cfg = diamond_cfg();
+    cfg.obs = Some(dfl_obs::ObsConfig::sampled(20_000_000));
+    cfg.faults =
+        FaultPlan::seeded(seed).crash(0, 300_000_000, 100_000_000).io_errors(0.01);
+    cfg.retry.max_attempts = 30;
+    run(&diamond(), &cfg).expect("recoverable scenario")
+}
+
+/// Same seed ⇒ bit-identical exported timeline, even under a fault plan
+/// with crashes, cancelled flows, retries, and recovery jobs. Sweeps the
+/// same `DFL_FAULT_SEEDS` matrix as the failure-report suite.
+#[test]
+fn fault_timelines_are_byte_identical_across_seeds() {
+    let seeds = std::env::var("DFL_FAULT_SEEDS").unwrap_or_else(|_| "1,42,7".into());
+    for seed in seeds.split(',').filter(|s| !s.is_empty()) {
+        let seed: u64 = seed.trim().parse().expect("DFL_FAULT_SEEDS is a u64 list");
+        let a = seeded_run_obs(seed);
+        let b = seeded_run_obs(seed);
+        let (ta, tb) = (a.timeline.as_ref().unwrap(), b.timeline.as_ref().unwrap());
+        assert_eq!(ta, tb, "seed {seed}: timelines diverge");
+        assert_eq!(
+            dfl_obs::chrome_trace(ta),
+            dfl_obs::chrome_trace(tb),
+            "seed {seed}: chrome-trace export diverges"
+        );
+        assert_eq!(dfl_obs::jsonl(ta), dfl_obs::jsonl(tb), "seed {seed}: jsonl diverges");
+
+        // The recorder is a pure observer: the run itself is unchanged
+        // from the unrecorded one, and the timeline reflects the faults.
+        let plain = seeded_run(seed);
+        assert_eq!(a.failure, plain.failure, "seed {seed}: recording perturbed the run");
+        assert_eq!(a.makespan_s, plain.makespan_s, "seed {seed}");
+        assert!(ta.instants().any(|i| i.kind == dfl_obs::InstantKind::NodeCrash));
+        assert_eq!(
+            ta.metrics.counter("node_crashes"),
+            u64::from(a.failure.crashes),
+            "seed {seed}"
+        );
+        assert_eq!(
+            ta.metrics.counter("attempts_failed"),
+            u64::from(a.failure.failed_attempts),
+            "seed {seed}"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 

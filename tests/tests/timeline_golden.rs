@@ -1,0 +1,122 @@
+//! Golden-trace snapshots: the exported timeline of a tiny three-job
+//! workflow is locked down byte-for-byte, fault-free and with one crash.
+//!
+//! Any intentional change to the event model, ID assignment, or exporter
+//! formatting shows up as a diff against `tests/fixtures/`. Regenerate with
+//!
+//! ```text
+//! DFL_UPDATE_GOLDEN=1 cargo test -p dfl-tests --test timeline_golden
+//! ```
+//!
+//! and review the fixture diff like any other code change.
+
+use std::path::PathBuf;
+
+use dfl_iosim::FaultPlan;
+use dfl_obs::{ascii_summary, chrome_trace, jsonl, ObsConfig};
+use dfl_workflows::engine::{run, RunConfig, RunResult};
+use dfl_workflows::spec::{FileProduce, FileUse, TaskSpec, WorkflowSpec};
+
+/// Three jobs in a chain across two stages: gen writes mid.dat, proc turns
+/// it into out.dat, sum reads the result. Small enough that the fixture
+/// stays reviewable, rich enough to exercise queued/run/flow/stage spans.
+fn three_jobs() -> WorkflowSpec {
+    let mut w = WorkflowSpec::new("golden");
+    w.input("in.dat", 8 << 20);
+    w.task(
+        TaskSpec::new("gen-0", "gen", 1)
+            .read(FileUse::whole("in.dat"))
+            .write(FileProduce::new("mid.dat", 4 << 20))
+            .compute_ms(50),
+    );
+    w.task(
+        TaskSpec::new("proc-0", "proc", 2)
+            .read(FileUse::whole("mid.dat"))
+            .write(FileProduce::new("out.dat", 2 << 20))
+            .compute_ms(30),
+    );
+    w.task(
+        TaskSpec::new("sum-0", "sum", 2)
+            .read(FileUse::whole("out.dat"))
+            .compute_ms(10),
+    );
+    w
+}
+
+fn golden_run(faults: FaultPlan) -> RunResult {
+    let mut cfg = RunConfig::default_gpu(2);
+    cfg.obs = Some(ObsConfig::sampled(20_000_000)); // 20 ms cadence
+    cfg.faults = faults;
+    run(&three_jobs(), &cfg).expect("golden scenario completes")
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name)
+}
+
+/// Compares `actual` against the named fixture; `DFL_UPDATE_GOLDEN=1`
+/// rewrites the fixture instead.
+fn check_golden(name: &str, actual: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("DFL_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("cannot read fixture {name} ({e}); run with DFL_UPDATE_GOLDEN=1 to create it")
+    });
+    if actual != expected {
+        let (a_lines, e_lines): (Vec<_>, Vec<_>) =
+            (actual.lines().collect(), expected.lines().collect());
+        for (i, (a, e)) in a_lines.iter().zip(&e_lines).enumerate() {
+            assert_eq!(
+                a,
+                e,
+                "fixture {name} differs first at line {} (regenerate with DFL_UPDATE_GOLDEN=1 \
+                 and review the diff)",
+                i + 1
+            );
+        }
+        panic!(
+            "fixture {name} line count changed: {} actual vs {} expected (regenerate with \
+             DFL_UPDATE_GOLDEN=1 and review the diff)",
+            a_lines.len(),
+            e_lines.len()
+        );
+    }
+}
+
+#[test]
+fn clean_run_matches_golden_chrome_trace() {
+    let r = golden_run(FaultPlan::none());
+    let tl = r.timeline.as_ref().unwrap();
+    check_golden("timeline_clean.chrome.json", &chrome_trace(tl));
+    check_golden("timeline_clean.jsonl", &jsonl(tl));
+    check_golden("timeline_clean.summary.txt", &ascii_summary(tl));
+}
+
+#[test]
+fn one_crash_run_matches_golden_chrome_trace() {
+    // Node 0 dies while gen-0 computes; mid.dat isn't written yet, so the
+    // retry replays the whole task. The timeline must capture the failed
+    // attempt, the crash/recover instants, and the retry span.
+    let r = golden_run(FaultPlan::seeded(7).crash(0, 30_000_000, 50_000_000));
+    assert_eq!(r.failure.crashes, 1);
+    assert!(r.failure.retries >= 1);
+    let tl = r.timeline.as_ref().unwrap();
+    assert!(tl.spans().any(|s| s.outcome == dfl_obs::SpanOutcome::Failed));
+    assert!(tl.instants().any(|i| i.kind == dfl_obs::InstantKind::NodeCrash));
+    check_golden("timeline_crash.chrome.json", &chrome_trace(tl));
+}
+
+/// The fixtures aren't just stable strings: re-parse the chrome trace and
+/// make sure what we lock down is structurally valid.
+#[test]
+fn golden_chrome_trace_parses() {
+    let r = golden_run(FaultPlan::none());
+    let text = chrome_trace(r.timeline.as_ref().unwrap());
+    let v = serde_json::from_str::<serde_json::Value>(&text).expect("valid JSON");
+    let events = v["traceEvents"].as_array().unwrap();
+    assert!(events.len() > 10);
+    assert!(events.iter().all(|e| e["ph"].as_str().is_some()));
+}

@@ -1,0 +1,167 @@
+//! Property tests tying the observability layer to the simulator's own
+//! accounting: the timeline is not a parallel bookkeeping system that can
+//! drift, it must agree exactly with the breakdown totals the analysis
+//! layer consumes.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use dfl_iosim::breakdown::FlowTag;
+use dfl_obs::{ObsConfig, SpanKind, SpanOutcome, Timeline};
+use dfl_workflows::engine::{run, RunConfig, RunResult};
+use dfl_workflows::spec::{FileProduce, FileUse, TaskSpec, WorkflowSpec};
+
+/// A chain workflow: task i reads task i-1's output (task 0 reads the
+/// external input) and writes its own. Stages alternate so multiple stage
+/// spans appear on the timeline.
+fn chain(tasks: &[(u64, u64)]) -> WorkflowSpec {
+    let mut w = WorkflowSpec::new("chain");
+    w.input("f0", 4 << 20);
+    for (i, &(compute_ms, out_mb)) in tasks.iter().enumerate() {
+        w.task(
+            TaskSpec::new(&format!("t-{i}"), "t", (i as u32 % 3) + 1)
+                .read(FileUse::whole(&format!("f{i}")))
+                .write(FileProduce::new(&format!("f{}", i + 1), out_mb << 20))
+                .compute_ms(compute_ms),
+        );
+    }
+    w
+}
+
+fn obs_run(spec: &WorkflowSpec, nodes: usize) -> RunResult {
+    let mut cfg = RunConfig::default_gpu(nodes);
+    cfg.obs = Some(ObsConfig::default());
+    run(spec, &cfg).expect("fault-free run completes")
+}
+
+/// Sums flow-span durations grouped by their `meta.tag` label.
+fn flow_sums(tl: &Timeline) -> BTreeMap<String, u64> {
+    let mut sums = BTreeMap::new();
+    for s in tl.spans().filter(|s| s.kind == SpanKind::Flow) {
+        let tag = s.meta.tag.clone().expect("flow spans carry a tag");
+        *sums.entry(tag).or_insert(0) += s.end_ns - s.start_ns;
+    }
+    sums
+}
+
+/// Flow-borne tags: everything the simulator routes through the flow
+/// network (compute and metadata are accounted directly, never as flows).
+const FLOW_TAGS: [FlowTag; 11] = [
+    FlowTag::CacheL1,
+    FlowTag::CacheL2,
+    FlowTag::CacheL3,
+    FlowTag::CacheL4,
+    FlowTag::NetworkRead,
+    FlowTag::LocalRead,
+    FlowTag::SharedRead,
+    FlowTag::Write,
+    FlowTag::Stage,
+    FlowTag::Recovery,
+    FlowTag::CodeTransfer,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation: on a fault-free run every flow contributes exactly one
+    /// span whose duration the simulator also adds to the job breakdown, so
+    /// per-tag sums must match to the nanosecond.
+    #[test]
+    fn flow_span_durations_match_breakdown_totals(
+        tasks in prop::collection::vec((1u64..40, 1u64..12), 1..6),
+        nodes in 1usize..4,
+    ) {
+        let r = obs_run(&chain(&tasks), nodes);
+        let tl = r.timeline.as_ref().unwrap();
+        let sums = flow_sums(tl);
+        for tag in FLOW_TAGS {
+            let expected = r.total_breakdown.get(tag);
+            let actual = sums.get(tag.label()).copied().unwrap_or(0);
+            prop_assert_eq!(
+                actual, expected,
+                "tag {:?}: timeline says {} ns, breakdown says {} ns", tag, actual, expected
+            );
+        }
+        // And nothing else snuck in: every span tag maps to a known flow tag.
+        for tag in sums.keys() {
+            prop_assert!(
+                FLOW_TAGS.iter().any(|t| t.label() == tag),
+                "unknown flow tag {:?}", tag
+            );
+        }
+    }
+
+    /// Every span is well-formed and lies within the run: end ≥ start, and
+    /// both ends inside [0, makespan] (stage spans round-trip through f64
+    /// seconds, so allow a few ns of slack there).
+    #[test]
+    fn spans_are_ordered_and_within_makespan(
+        tasks in prop::collection::vec((1u64..40, 1u64..12), 1..6),
+        nodes in 1usize..4,
+    ) {
+        let r = obs_run(&chain(&tasks), nodes);
+        let tl = r.timeline.as_ref().unwrap();
+        prop_assert!(tl.end_ns > 0);
+        for s in tl.spans() {
+            prop_assert!(s.end_ns >= s.start_ns, "span {:?}", s);
+            prop_assert!(s.end_ns <= tl.end_ns + 8, "span past makespan: {:?}", s);
+            prop_assert_eq!(s.outcome, SpanOutcome::Ok, "fault-free run: {:?}", s);
+        }
+        for i in tl.instants() {
+            prop_assert!(i.t_ns <= tl.end_ns);
+        }
+    }
+
+    /// Job run spans nest inside their stage's span: a stage covers the
+    /// first start through the last end of its tasks.
+    #[test]
+    fn job_spans_nest_under_stage_spans(
+        tasks in prop::collection::vec((1u64..40, 1u64..12), 1..6),
+        nodes in 1usize..4,
+    ) {
+        let spec = chain(&tasks);
+        let r = obs_run(&spec, nodes);
+        let tl = r.timeline.as_ref().unwrap();
+        let stage_of: BTreeMap<&str, u32> =
+            spec.tasks.iter().map(|t| (t.name.as_str(), t.stage)).collect();
+        let stage_spans: BTreeMap<String, (u64, u64)> = tl
+            .spans()
+            .filter(|s| s.kind == SpanKind::Stage)
+            .map(|s| (s.name.clone(), (s.start_ns, s.end_ns)))
+            .collect();
+        prop_assert!(!stage_spans.is_empty());
+        let mut jobs_seen = 0;
+        for s in tl.spans().filter(|s| s.kind == SpanKind::Run) {
+            let stage = stage_of[s.name.as_str()];
+            let &(lo, hi) = stage_spans
+                .get(&format!("stage {stage}"))
+                .expect("every populated stage has a span");
+            // Stage bounds round-trip through f64 seconds: ±8 ns slack.
+            prop_assert!(
+                lo <= s.start_ns + 8 && s.end_ns <= hi + 8,
+                "job {} [{}, {}] outside stage {} [{}, {}]",
+                s.name, s.start_ns, s.end_ns, stage, lo, hi
+            );
+            jobs_seen += 1;
+        }
+        prop_assert_eq!(jobs_seen, spec.tasks.len());
+    }
+
+    /// Recording must not perturb the simulation: the same workflow with
+    /// observability off produces the same makespan and measurements.
+    #[test]
+    fn recording_does_not_perturb_the_run(
+        tasks in prop::collection::vec((1u64..40, 1u64..12), 1..5),
+        nodes in 1usize..4,
+    ) {
+        let spec = chain(&tasks);
+        let with_obs = obs_run(&spec, nodes);
+        let without = run(&spec, &RunConfig::default_gpu(nodes)).unwrap();
+        prop_assert_eq!(with_obs.makespan_s, without.makespan_s);
+        prop_assert_eq!(
+            with_obs.measurements.to_json().unwrap(),
+            without.measurements.to_json().unwrap()
+        );
+    }
+}
