@@ -8,12 +8,14 @@
 //! datalife sankey <measurements.json> [-o out.json]
 //! datalife html <measurements.json> [-o out.html]
 //! datalife casestudy <genomes|ddmd|belle2>
+//! datalife chaos <workflow> [--seeds LIST] [--crashes K] [--ckpt-ms MS]
 //! ```
 //!
 //! `run` simulates one of the five paper workflows under DFL monitoring and
 //! writes the measurement set as JSON; the other commands analyze such a
 //! file, mirroring the original DataLife collector/analyzer split.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use dfl_core::analysis::caterpillar::{caterpillar, CaterpillarRule};
@@ -28,9 +30,9 @@ use dfl_core::viz::sankey::{SankeyDiagram, SankeyOptions};
 use dfl_core::DflGraph;
 use dfl_obs::ObsConfig;
 use dfl_trace::MeasurementSet;
-use dfl_workflows::engine::{run as run_workflow, RunConfig};
+use dfl_workflows::engine::{resume_latest, run as run_workflow, RunConfig, RunResult};
 use dfl_workflows::spec::WorkflowSpec;
-use dfl_workflows::{belle2, ddmd, genomes, montage, seismic, FaultPlan};
+use dfl_workflows::{belle2, ddmd, genomes, montage, seismic, CheckpointConfig, FaultPlan};
 
 const USAGE: &str = "\
 datalife — data flow lifecycle analysis for distributed workflows
@@ -47,6 +49,8 @@ USAGE:
   datalife html <measurements.json> [-o FILE]
   datalife advise <measurements.json>
   datalife casestudy <genomes|ddmd|belle2>
+  datalife chaos <genomes|ddmd|belle2|montage|seismic> [--scale tiny|paper] [--nodes N]
+               [--seeds LIST] [--crashes K] [--ckpt-ms MS] [--dir DIR] [--faults SPEC] [--retries N]
 
 `run` simulates the workflow on the paper's Table 2 machines while the DFL
 monitor records lifecycle measurements (written as JSON, default
@@ -65,7 +69,17 @@ Chrome-trace file: open https://ui.perfetto.dev and drag it in. --jsonl
 writes the raw timeline as compact JSON lines. --sample-ms sets the
 utilization/queue-depth sampling cadence in sim-time milliseconds
 (default 100; 0 disables sampling, leaving spans and instants only).
-`run --trace-out FILE` records the same trace alongside measurements.";
+`run --trace-out FILE` records the same trace alongside measurements.
+
+`chaos` is the deterministic crash/restore driver: it runs the workflow
+once to completion with crash-consistent checkpoints on (the golden run),
+then for each seed kills the coordinator at --crashes seeded dispatch
+indices, resuming from the latest on-disk manifest after every kill, and
+verifies the final result — makespan, job reports, failure report, and
+exported timeline — is byte-identical to the golden run. --ckpt-ms sets
+the checkpoint cadence in sim-time milliseconds (default 50); manifests
+go to --dir (default a per-process temp directory). Exits nonzero if any
+seed diverges.";
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
@@ -361,6 +375,119 @@ fn cmd_casestudy(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Everything a consumer can observe about a finished run, flattened to
+/// strings so "byte-identical" is literal.
+fn run_fingerprint(r: &RunResult) -> (String, String, String, u64) {
+    let reports: Vec<(&str, u64, u64, bool)> =
+        r.reports.iter().map(|j| (j.name.as_str(), j.start_ns, j.end_ns, j.failed)).collect();
+    let trace = r.timeline.as_ref().map(dfl_obs::chrome_trace).unwrap_or_default();
+    (
+        format!("{:.9}/{:?}", r.makespan_s, r.stage_spans),
+        format!("{reports:?}"),
+        format!("{:?}/{trace}", r.failure),
+        r.events_dispatched,
+    )
+}
+
+/// Deterministic chaos driver: run the workflow to completion with
+/// checkpoints on (the golden run), then per seed kill the coordinator at
+/// seeded dispatch indices, resume from the latest manifest after each
+/// kill, and require the final outcome to be byte-identical to golden.
+fn cmd_chaos(args: &[String]) -> Result<(), String> {
+    let seeds: Vec<u64> = arg_value(args, "--seeds")
+        .unwrap_or_else(|| "1,42,7".into())
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.trim().parse::<u64>().map_err(|_| format!("bad --seeds entry '{s}'")))
+        .collect::<Result<_, _>>()?;
+    if seeds.is_empty() {
+        return Err("--seeds must name at least one seed".into());
+    }
+    let crashes: usize = match arg_value(args, "--crashes") {
+        Some(s) => s.parse().map_err(|_| format!("bad --crashes '{s}'"))?,
+        None => 3,
+    };
+    let ckpt_ms: u64 = match arg_value(args, "--ckpt-ms") {
+        Some(s) => s.parse().map_err(|_| format!("bad --ckpt-ms '{s}'"))?,
+        None => 50,
+    };
+    // A user-named --dir is left on disk (with the final run's manifests)
+    // for inspection; the default per-process temp dir is cleaned up.
+    let named_dir = arg_value(args, "--dir").map(PathBuf::from);
+    let keep_dir = named_dir.is_some();
+    let dir = named_dir.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("datalife-chaos-{}", std::process::id()))
+    });
+    let (spec, base_cfg) = select_workflow(args)?;
+
+    let mut diverged = 0usize;
+    for &seed in &seeds {
+        let mut cfg = base_cfg.clone();
+        cfg.obs = Some(ObsConfig::sampled(20_000_000));
+        cfg.faults = cfg.faults.seed(seed);
+        cfg.checkpoint = Some(
+            CheckpointConfig::to_dir(&dir).every_sim_ns(ckpt_ms.max(1) * 1_000_000).on_incident(),
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
+        let golden = run_workflow(&spec, &cfg).map_err(|e| format!("golden run: {e}"))?;
+        let golden_fp = run_fingerprint(&golden);
+        let total = golden.events_dispatched;
+        if total < 4 {
+            return Err(format!("workflow dispatches only {total} events, too short for chaos"));
+        }
+
+        // Seeded, strictly-ascending crash points inside the dispatch range.
+        let mut points = std::collections::BTreeSet::new();
+        let mut i = 0u64;
+        while points.len() < crashes && i < 64 + 4 * crashes as u64 {
+            let f = dfl_iosim::fault::unit_hash(seed ^ 0xc4a0_5eed, i, total);
+            points.insert((1 + (f * (total - 2) as f64) as u64).min(total - 1));
+            i += 1;
+        }
+        let points: Vec<u64> = points.into_iter().collect();
+
+        // Kill/resume until the workflow completes, then compare.
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut kills = 0usize;
+        let mut armed = cfg.clone();
+        armed.faults = armed.faults.chaos_crash(points[0]);
+        let mut res = run_workflow(&spec, &armed).map_err(|e| e.to_string());
+        let last = loop {
+            match res {
+                Ok(r) => break r,
+                Err(msg) => {
+                    if !msg.contains("chaos") {
+                        return Err(format!("seed {seed}: unplanned failure: {msg}"));
+                    }
+                    kills += 1;
+                    let mut next = cfg.clone();
+                    if kills < points.len() {
+                        next.faults = next.faults.chaos_crash(points[kills]);
+                    }
+                    res = resume_latest(&spec, &next).map_err(|e| e.to_string());
+                }
+            }
+        };
+        let ok = run_fingerprint(&last) == golden_fp;
+        println!(
+            "seed {seed}: {} — {kills} kills at dispatch {points:?} of {total}",
+            if ok { "PASS" } else { "FAIL" }
+        );
+        if !ok {
+            diverged += 1;
+        }
+    }
+    if !keep_dir {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    if diverged > 0 {
+        return Err(format!("{diverged}/{} seeds diverged from the golden run", seeds.len()));
+    }
+    println!("all {} seeds byte-identical to the golden run", seeds.len());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -378,6 +505,7 @@ fn main() -> ExitCode {
         "html" => cmd_html(rest),
         "advise" => cmd_advise(rest),
         "casestudy" => cmd_casestudy(rest),
+        "chaos" => cmd_chaos(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;

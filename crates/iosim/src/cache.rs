@@ -231,6 +231,67 @@ impl CacheState {
         let dead = instance_key(CacheScope::NodeWide, 0, node);
         self.instances.retain(|&(_, inst), _| inst != dead);
     }
+
+    /// Serializable state for checkpointing. Only the recency stamps travel:
+    /// each LRU's `order` index is the exact inverse of its `stamps` map
+    /// (stamps are unique clock values), so restore rebuilds it losslessly.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            config: self.config.clone(),
+            instances: self
+                .instances
+                .iter()
+                .map(|(&(level, inst), lru)| {
+                    (
+                        (level as u64, inst),
+                        LruSnapshot {
+                            capacity_blocks: lru.capacity_blocks,
+                            clock: lru.clock,
+                            stamps: lru.stamps.clone(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds runtime cache state from a [`CacheState::snapshot`].
+    pub fn from_snapshot(snap: CacheSnapshot) -> Self {
+        let instances = snap
+            .instances
+            .into_iter()
+            .map(|((level, inst), lru)| {
+                let order = lru.stamps.iter().map(|(&key, &stamp)| (stamp, key)).collect();
+                (
+                    (level as usize, inst),
+                    Lru {
+                        capacity_blocks: lru.capacity_blocks,
+                        stamps: lru.stamps,
+                        order,
+                        clock: lru.clock,
+                    },
+                )
+            })
+            .collect();
+        Self { config: snap.config, instances }
+    }
+}
+
+/// Checkpointable state of one LRU instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LruSnapshot {
+    pub capacity_blocks: u64,
+    pub clock: u64,
+    /// `(file, block)` → recency stamp (unique clock value).
+    pub stamps: HashMap<(u32, u64), u64>,
+}
+
+/// Checkpointable state of the whole cache (see [`CacheState::snapshot`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheSnapshot {
+    pub config: CacheConfig,
+    /// `(level index, instance key)` → LRU state.
+    pub instances: HashMap<(u64, u64), LruSnapshot>,
 }
 
 #[cfg(test)]
@@ -342,6 +403,23 @@ mod tests {
         assert_eq!(cfg.levels[2].capacity, 200 << 30);
         assert_eq!(cfg.levels[3].scope, CacheScope::ClusterWide);
         assert_eq!(cfg.levels[3].capacity, 512 << 30);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_lru_order() {
+        let mut c = CacheState::new(small_config());
+        c.access(0, 0, 0, 0, 4 << 20); // fill L1
+        c.access(0, 0, 0, 0, 1 << 20); // refresh block 0
+        let mut r = CacheState::from_snapshot(c.snapshot());
+        // Same next eviction in both: block 1 is the LRU victim.
+        assert_eq!(
+            c.access(0, 0, 0, 4 << 20, 1 << 20),
+            r.access(0, 0, 0, 4 << 20, 1 << 20)
+        );
+        let (a, b) =
+            (c.access(0, 0, 0, 1 << 20, 1 << 20), r.access(0, 0, 0, 1 << 20, 1 << 20));
+        assert_eq!(a, b);
+        assert_eq!(a.level_bytes[0], 0, "block 1 was evicted in both");
     }
 
     #[test]

@@ -44,6 +44,14 @@ pub enum SimError {
     /// The simulation deadlocked: jobs remain but none can make progress
     /// (a dependency cycle, or producers lost to faults and never re-run).
     Deadlock { pending: usize, stuck: Vec<StuckJob> },
+    /// Flow-accounting invariant broken: a job finished or failed holding a
+    /// flow key the byte tracker never saw (previously a panic path).
+    UntrackedFlow { job: u32, key: u64 },
+    /// A chaos plan killed the coordinator before dispatch `at_event`; the
+    /// run can be resumed from its latest checkpoint manifest.
+    CoordinatorCrash { at_event: u64 },
+    /// A snapshot could not be restored (shape mismatch or decode failure).
+    Snapshot(String),
 }
 
 impl fmt::Display for SimError {
@@ -66,6 +74,13 @@ impl fmt::Display for SimError {
                 }
                 Ok(())
             }
+            SimError::UntrackedFlow { job, key } => {
+                write!(f, "job {job} holds flow {key} with no tracked byte count")
+            }
+            SimError::CoordinatorCrash { at_event } => {
+                write!(f, "chaos: coordinator killed before dispatch {at_event}")
+            }
+            SimError::Snapshot(msg) => write!(f, "snapshot restore failed: {msg}"),
         }
     }
 }

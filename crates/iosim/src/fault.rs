@@ -22,6 +22,8 @@
 
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
+
 use crate::storage::{TierKind, TierRef};
 
 /// Capacity multiplier used by [`Degradation::outage`]: the flow network
@@ -32,7 +34,7 @@ pub const OUTAGE_FACTOR: f64 = 1e-6;
 /// A node crash: at `at_ns` every job running on `node` fails, all replicas
 /// on the node's local tiers are lost, and the node accepts no work until it
 /// restarts `down_ns` later (`u64::MAX` keeps it down forever).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NodeCrash {
     pub node: u32,
     pub at_ns: u64,
@@ -40,7 +42,7 @@ pub struct NodeCrash {
 }
 
 /// What a [`Degradation`] throttles.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum DegradeTarget {
     /// A storage tier instance (shared, or node-local via `TierRef::node`).
     Tier(TierRef),
@@ -50,7 +52,7 @@ pub enum DegradeTarget {
 
 /// A capacity-degradation window: from `at_ns` for `duration_ns`, the
 /// target's bandwidth is `factor ×` its configured capacity, then restored.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Degradation {
     pub target: DegradeTarget,
     pub at_ns: u64,
@@ -65,8 +67,20 @@ impl Degradation {
     }
 }
 
+/// A coordinator-level chaos action: unlike node faults (which the engine
+/// retries around), chaos kills the *run itself* so the checkpoint/restore
+/// path can be exercised deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChaosKind {
+    /// Abort the simulation loop just before its `at_event`-th dispatch
+    /// (flow completions and heap events both count). Because the dispatch
+    /// sequence is deterministic, the same index always kills the run at
+    /// the same state, no matter how wall-clock time or pauses interleave.
+    CoordinatorCrash { at_event: u64 },
+}
+
 /// A seeded, schedule-independent fault schedule for one simulation run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
     /// Seed for every probabilistic decision (transient errors, and the
     /// retry jitter derived by the workflow engine).
@@ -76,6 +90,10 @@ pub struct FaultPlan {
     /// Probability that any single I/O operation (read, write, stage) fails
     /// with a transient error, decided per `(seed, job, op index)`.
     pub io_error_prob: f64,
+    /// Coordinator-level chaos (kills the run, not a node). Excluded from
+    /// checkpoint snapshots and config hashes so a resumed run compares
+    /// byte-identical to the uninterrupted golden run.
+    pub chaos: Option<ChaosKind>,
 }
 
 impl Default for FaultPlan {
@@ -87,12 +105,21 @@ impl Default for FaultPlan {
 impl FaultPlan {
     /// The empty plan: injects nothing and perturbs nothing.
     pub fn none() -> Self {
-        FaultPlan { seed: 0, crashes: Vec::new(), degradations: Vec::new(), io_error_prob: 0.0 }
+        FaultPlan {
+            seed: 0,
+            crashes: Vec::new(),
+            degradations: Vec::new(),
+            io_error_prob: 0.0,
+            chaos: None,
+        }
     }
 
     /// True when the plan can never fire a fault.
     pub fn is_none(&self) -> bool {
-        self.crashes.is_empty() && self.degradations.is_empty() && self.io_error_prob <= 0.0
+        self.crashes.is_empty()
+            && self.degradations.is_empty()
+            && self.io_error_prob <= 0.0
+            && self.chaos.is_none()
     }
 
     pub fn seeded(seed: u64) -> Self {
@@ -121,6 +148,18 @@ impl FaultPlan {
         self
     }
 
+    /// Kills the coordinator just before its `at_event`-th dispatch.
+    pub fn chaos_crash(mut self, at_event: u64) -> Self {
+        self.chaos = Some(ChaosKind::CoordinatorCrash { at_event });
+        self
+    }
+
+    /// The same plan with chaos stripped — what checkpoint snapshots and
+    /// config hashes embed, so golden and crash-resumed runs agree.
+    pub fn without_chaos(&self) -> FaultPlan {
+        FaultPlan { chaos: None, ..self.clone() }
+    }
+
     /// Whether `job`'s `op`-th I/O operation suffers a transient error.
     /// Pure function of `(seed, job, op)` — see the module docs.
     pub fn io_op_fails(&self, job: u32, op: u64) -> bool {
@@ -143,65 +182,116 @@ impl FaultPlan {
     /// * `degrade=TARGET@T+DUR[*FACTOR]` — throttle `TARGET` (a tier label
     ///   like `nfs`/`beegfs`, `TIER:NODE` for a node-local tier, or
     ///   `nic:NODE`) to `FACTOR ×` capacity (default: outage) for `DUR`.
+    /// * `chaos=crash@EVENT` — kill the coordinator just before dispatch
+    ///   number `EVENT` (see [`ChaosKind::CoordinatorCrash`]).
+    ///
+    /// Errors carry the 1-based clause position (`clause N ('text'): …`),
+    /// and plans with duplicate or overlapping down-windows for the same
+    /// node are rejected instead of silently keeping the last writer.
     pub fn parse(text: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::none();
-        for clause in text.split(',').map(str::trim).filter(|c| !c.is_empty()) {
-            let (key, value) = clause
-                .split_once('=')
-                .ok_or_else(|| format!("fault clause '{clause}' is not key=value"))?;
-            match key {
-                "seed" => {
-                    plan.seed =
-                        value.parse().map_err(|_| format!("bad seed '{value}'"))?;
+        // Clause position for each crash, for overlap diagnostics.
+        let mut crash_pos: Vec<usize> = Vec::new();
+        for (idx, clause) in text
+            .split(',')
+            .map(str::trim)
+            .enumerate()
+            .filter(|(_, c)| !c.is_empty())
+        {
+            let pos = idx + 1;
+            Self::parse_clause(clause, &mut plan)
+                .map_err(|e| format!("clause {pos} ('{clause}'): {e}"))?;
+            crash_pos.resize(plan.crashes.len(), pos);
+        }
+        // Reject duplicate/overlapping down-windows on the same node: the
+        // simulator would otherwise let the later window silently shadow
+        // the earlier one while it is already down.
+        for j in 1..plan.crashes.len() {
+            for i in 0..j {
+                let (a, b) = (&plan.crashes[i], &plan.crashes[j]);
+                if a.node != b.node {
+                    continue;
                 }
-                "ioerr" => {
-                    let p: f64 =
-                        value.parse().map_err(|_| format!("bad probability '{value}'"))?;
-                    if !(0.0..1.0).contains(&p) {
-                        return Err(format!("ioerr {p} outside [0,1)"));
-                    }
-                    plan.io_error_prob = p;
+                let a_end = a.at_ns.saturating_add(a.down_ns);
+                let b_end = b.at_ns.saturating_add(b.down_ns);
+                if a.at_ns < b_end && b.at_ns < a_end {
+                    return Err(format!(
+                        "clause {} and clause {}: node {} down-windows overlap \
+                         ([{}, {}) ns vs [{}, {}) ns)",
+                        crash_pos[i], crash_pos[j], a.node, a.at_ns, a_end, b.at_ns, b_end
+                    ));
                 }
-                "crash" => {
-                    let (node, rest) = value
-                        .split_once('@')
-                        .ok_or_else(|| format!("crash '{value}' missing '@time'"))?;
-                    let node = node.parse().map_err(|_| format!("bad node '{node}'"))?;
-                    let (at, down) = match rest.split_once('+') {
-                        Some((at, down)) => (parse_secs(at)?, parse_secs(down)?),
-                        None => (parse_secs(rest)?, 1_000_000_000),
-                    };
-                    plan.crashes.push(NodeCrash { node, at_ns: at, down_ns: down });
-                }
-                "degrade" => {
-                    let (target, rest) = value
-                        .split_once('@')
-                        .ok_or_else(|| format!("degrade '{value}' missing '@time'"))?;
-                    let target = parse_target(target)?;
-                    let (at, rest) = rest
-                        .split_once('+')
-                        .ok_or_else(|| format!("degrade '{value}' missing '+duration'"))?;
-                    let (dur, factor) = match rest.split_once('*') {
-                        Some((d, f)) => (
-                            parse_secs(d)?,
-                            f.parse::<f64>().map_err(|_| format!("bad factor '{f}'"))?,
-                        ),
-                        None => (parse_secs(rest)?, OUTAGE_FACTOR),
-                    };
-                    if factor <= 0.0 {
-                        return Err(format!("degrade factor {factor} must be positive"));
-                    }
-                    plan.degradations.push(Degradation {
-                        target,
-                        at_ns: parse_secs(at)?,
-                        duration_ns: dur,
-                        factor,
-                    });
-                }
-                other => return Err(format!("unknown fault key '{other}'")),
             }
         }
         Ok(plan)
+    }
+
+    fn parse_clause(clause: &str, plan: &mut FaultPlan) -> Result<(), String> {
+        let (key, value) = clause
+            .split_once('=')
+            .ok_or_else(|| "not key=value".to_owned())?;
+        match key {
+            "seed" => {
+                plan.seed = value.parse().map_err(|_| format!("bad seed '{value}'"))?;
+            }
+            "ioerr" => {
+                let p: f64 =
+                    value.parse().map_err(|_| format!("bad probability '{value}'"))?;
+                if !(0.0..1.0).contains(&p) {
+                    return Err(format!("ioerr {p} outside [0,1)"));
+                }
+                plan.io_error_prob = p;
+            }
+            "crash" => {
+                let (node, rest) = value
+                    .split_once('@')
+                    .ok_or_else(|| "crash missing '@time'".to_owned())?;
+                let node = node.parse().map_err(|_| format!("bad node '{node}'"))?;
+                let (at, down) = match rest.split_once('+') {
+                    Some((at, down)) => (parse_secs(at)?, parse_secs(down)?),
+                    None => (parse_secs(rest)?, 1_000_000_000),
+                };
+                plan.crashes.push(NodeCrash { node, at_ns: at, down_ns: down });
+            }
+            "degrade" => {
+                let (target, rest) = value
+                    .split_once('@')
+                    .ok_or_else(|| "degrade missing '@time'".to_owned())?;
+                let target = parse_target(target)?;
+                let (at, rest) = rest
+                    .split_once('+')
+                    .ok_or_else(|| "degrade missing '+duration'".to_owned())?;
+                let (dur, factor) = match rest.split_once('*') {
+                    Some((d, f)) => (
+                        parse_secs(d)?,
+                        f.parse::<f64>().map_err(|_| format!("bad factor '{f}'"))?,
+                    ),
+                    None => (parse_secs(rest)?, OUTAGE_FACTOR),
+                };
+                if !factor.is_finite() || factor <= 0.0 {
+                    return Err(format!("degrade factor {factor} must be positive"));
+                }
+                if dur == 0 {
+                    return Err("degrade duration must be positive".to_owned());
+                }
+                plan.degradations.push(Degradation {
+                    target,
+                    at_ns: parse_secs(at)?,
+                    duration_ns: dur,
+                    factor,
+                });
+            }
+            "chaos" => {
+                let event = value
+                    .strip_prefix("crash@")
+                    .ok_or_else(|| format!("chaos '{value}' is not crash@EVENT"))?;
+                let at_event =
+                    event.parse().map_err(|_| format!("bad event index '{event}'"))?;
+                plan.chaos = Some(ChaosKind::CoordinatorCrash { at_event });
+            }
+            other => return Err(format!("unknown fault key '{other}'")),
+        }
+        Ok(())
     }
 }
 
@@ -235,7 +325,7 @@ fn parse_target(text: &str) -> Result<DegradeTarget, String> {
 }
 
 /// Why a job attempt failed.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FailureCause {
     /// The node the job was running on crashed.
     NodeCrash { node: u32 },
@@ -258,7 +348,7 @@ impl fmt::Display for FailureCause {
 /// One failed job attempt, surfaced by
 /// [`Simulation::run_to_incident`](crate::sim::Simulation::run_to_incident)
 /// so a coordination layer can schedule recovery and retries.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct JobFailure {
     pub job: crate::sim::JobId,
     pub name: String,
@@ -273,7 +363,7 @@ pub struct JobFailure {
 /// write-asymmetry inflation the flow model applies); `wasted` covers failed
 /// attempts (completed plus in-flight-at-failure transfer), `recovery`
 /// covers flows of lineage re-runs and re-staging jobs.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FailureReport {
     pub crashes: u32,
     pub transient_io_errors: u32,
@@ -452,6 +542,41 @@ mod tests {
         assert!(FaultPlan::parse("ioerr=1.5").is_err());
         assert!(FaultPlan::parse("degrade=marble@1+1").is_err());
         assert!(FaultPlan::parse("crash").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_overlapping_down_windows() {
+        let err = FaultPlan::parse("crash=0@1s+2s,crash=0@2s+1s").unwrap_err();
+        assert!(err.contains("clause 1") && err.contains("clause 2"), "{err}");
+        assert!(err.contains("overlap"), "{err}");
+        // Exact duplicates are overlaps too; a forever-down node overlaps
+        // any later window on it.
+        assert!(FaultPlan::parse("crash=1@1s+1s,crash=1@1s+1s").is_err());
+        assert!(FaultPlan::parse("crash=0@1s+1000000s,crash=0@5s+1s").is_err());
+        // Same node with disjoint windows, or different nodes, are fine.
+        assert!(FaultPlan::parse("crash=0@1s+1s,crash=0@3s+1s").is_ok());
+        assert!(FaultPlan::parse("crash=0@1s+1s,crash=1@1s+1s").is_ok());
+    }
+
+    #[test]
+    fn parse_errors_carry_clause_positions() {
+        let err = FaultPlan::parse("seed=7,degrade=nfs@1s").unwrap_err();
+        assert!(err.contains("clause 2"), "{err}");
+        assert!(err.contains("degrade=nfs@1s"), "{err}");
+        let err = FaultPlan::parse("seed=7,ioerr=0.1,degrade=nfs@1+0*0.5").unwrap_err();
+        assert!(err.contains("clause 3") && err.contains("duration"), "{err}");
+        let err = FaultPlan::parse("degrade=nfs@1+2*nan").unwrap_err();
+        assert!(err.contains("clause 1") && err.contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn parse_chaos_clause() {
+        let p = FaultPlan::parse("seed=9,chaos=crash@1234").unwrap();
+        assert_eq!(p.chaos, Some(ChaosKind::CoordinatorCrash { at_event: 1234 }));
+        assert!(!p.is_none(), "chaos counts as a fault");
+        assert!(p.without_chaos().is_none(), "stripping chaos leaves an inert plan");
+        assert!(FaultPlan::parse("chaos=boom@1").is_err());
+        assert!(FaultPlan::parse("chaos=crash@x").is_err());
     }
 
     #[test]

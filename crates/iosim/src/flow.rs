@@ -37,11 +37,13 @@ use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
+use serde::{Deserialize, Serialize};
+
 use crate::breakdown::FlowTag;
 use crate::time::SimTime;
 
 /// Index of a bandwidth resource.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ResourceId(pub u32);
 
 /// A capacity-limited resource (bytes per second).
@@ -52,11 +54,11 @@ pub struct Resource {
 }
 
 /// Handle to an active flow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct FlowKey(pub u64);
 
 /// Opaque per-flow payload the engine uses to resume the owning job.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct FlowOwner {
     pub job: u32,
     pub tag: FlowTag,
@@ -354,6 +356,123 @@ impl FlowNet {
         self.collect_affected(&[id], u32::MAX);
         self.rerate_affected(now);
     }
+
+    /// Captures the complete engine state — slots (including recycled ones,
+    /// whose generation counters keep stale heap entries invalid), free
+    /// list, inverted index, and the lazy completion heap — so a restored
+    /// network replays the exact same completions, tie-breaks, and heap
+    /// compactions as one that was never serialized. Floats travel as
+    /// IEEE-754 bit patterns.
+    pub fn snapshot(&self) -> FlowNetSnapshot {
+        let mut heap: Vec<(u64, u64, u32, u64)> =
+            self.heap.borrow().iter().map(|Reverse(e)| *e).collect();
+        heap.sort_unstable();
+        FlowNetSnapshot {
+            resources: self
+                .resources
+                .iter()
+                .map(|r| (r.name.clone(), r.capacity.to_bits()))
+                .collect(),
+            load: self.load.clone(),
+            flows_on: self.flows_on.clone(),
+            slots: self
+                .slots
+                .iter()
+                .map(|s| SlotSnapshot {
+                    key: s.key,
+                    gen: s.gen,
+                    mark: s.mark,
+                    path: s.path.iter().map(|r| r.0).collect(),
+                    pos: s.pos.clone(),
+                    remaining_bits: s.remaining.to_bits(),
+                    rate_bits: s.rate.to_bits(),
+                    owner: s.owner,
+                    started_ns: s.started.ns(),
+                    synced_ns: s.synced.ns(),
+                })
+                .collect(),
+            free: self.free.clone(),
+            next_key: self.next_key,
+            epoch: self.epoch,
+            heap,
+        }
+    }
+
+    /// Rebuilds a network from a [`FlowNet::snapshot`]. The `key → slot`
+    /// index is derived (every slot not on the free list is live).
+    pub fn from_snapshot(snap: FlowNetSnapshot) -> Self {
+        let slots: Vec<Slot> = snap
+            .slots
+            .into_iter()
+            .map(|s| Slot {
+                key: s.key,
+                gen: s.gen,
+                mark: s.mark,
+                path: s.path.into_iter().map(ResourceId).collect(),
+                pos: s.pos,
+                remaining: f64::from_bits(s.remaining_bits),
+                rate: f64::from_bits(s.rate_bits),
+                owner: s.owner,
+                started: SimTime(s.started_ns),
+                synced: SimTime(s.synced_ns),
+            })
+            .collect();
+        let free_set: std::collections::HashSet<u32> = snap.free.iter().copied().collect();
+        let key_to_slot = slots
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !free_set.contains(&(*i as u32)))
+            .map(|(i, s)| (s.key, i as u32))
+            .collect();
+        FlowNet {
+            resources: snap
+                .resources
+                .into_iter()
+                .map(|(name, bits)| Resource { name, capacity: f64::from_bits(bits) })
+                .collect(),
+            load: snap.load,
+            flows_on: snap.flows_on,
+            slots,
+            free: snap.free,
+            key_to_slot,
+            next_key: snap.next_key,
+            epoch: snap.epoch,
+            affected: Vec::new(),
+            heap: RefCell::new(snap.heap.into_iter().map(Reverse).collect()),
+        }
+    }
+}
+
+/// Checkpointable state of one flow slot (see [`FlowNet::snapshot`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlotSnapshot {
+    pub key: u64,
+    pub gen: u64,
+    pub mark: u64,
+    pub path: Vec<u32>,
+    pub pos: Vec<u32>,
+    pub remaining_bits: u64,
+    pub rate_bits: u64,
+    pub owner: FlowOwner,
+    pub started_ns: u64,
+    pub synced_ns: u64,
+}
+
+/// Complete serializable state of a [`FlowNet`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlowNetSnapshot {
+    /// `(name, capacity bits)` in id order — capacities are snapshotted
+    /// because degradation windows mutate them mid-run.
+    pub resources: Vec<(String, u64)>,
+    pub load: Vec<u32>,
+    pub flows_on: Vec<Vec<(u32, u32)>>,
+    pub slots: Vec<SlotSnapshot>,
+    pub free: Vec<u32>,
+    pub next_key: u64,
+    pub epoch: u64,
+    /// Heap entries `(time, key, slot, gen)` sorted ascending; stale
+    /// entries are preserved so lazy-invalidation behavior is unchanged.
+    pub heap: Vec<(u64, u64, u32, u64)>,
 }
 
 /// Naive full-recompute reference model.

@@ -3,14 +3,16 @@
 
 use std::collections::HashMap;
 
+use serde::{Deserialize, Serialize};
+
 use crate::storage::TierRef;
 
 /// Dense file index within one simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct FileIdx(pub u32);
 
 /// Metadata for one simulated file.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FileMeta {
     pub path: String,
     pub size: u64,
@@ -149,6 +151,22 @@ impl SimFs {
 
     pub fn file_count(&self) -> usize {
         self.files.len()
+    }
+
+    /// The complete namespace state for checkpointing: the dense file
+    /// list (the `by_path` index is derivable and rebuilt on restore).
+    pub fn snapshot(&self) -> Vec<FileMeta> {
+        self.files.clone()
+    }
+
+    /// Rebuilds a namespace from a [`SimFs::snapshot`].
+    pub fn from_snapshot(files: Vec<FileMeta>) -> Self {
+        let by_path = files
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.path.clone(), FileIdx(i as u32)))
+            .collect();
+        Self { files, by_path }
     }
 
     /// Total bytes per tier instance (capacity accounting).

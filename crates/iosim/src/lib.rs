@@ -41,8 +41,10 @@ pub mod time;
 
 pub use cluster::ClusterSpec;
 pub use error::SimError;
-pub use fault::{FailureCause, FailureReport, FaultPlan, JobFailure};
-pub use obs::SimObs;
-pub use sim::{Action, JobId, JobSpec, RunOutcome, SimConfig, Simulation};
+pub use fault::{ChaosKind, FailureCause, FailureReport, FaultPlan, JobFailure};
+pub use obs::{SimObs, SimObsState};
+pub use sim::{
+    Action, JobId, JobSpec, RunOutcome, SimConfig, SimSnapshot, Simulation, SNAPSHOT_VERSION,
+};
 pub use storage::{TierKind, TierRef};
 pub use time::SimTime;

@@ -12,9 +12,10 @@
 use std::collections::HashMap;
 
 use dfl_obs::{
-    CounterId, HistogramId, InstantKind, ObsConfig, Recorder, SpanHandle, SpanKind, SpanMeta,
-    SpanOutcome, Timeline, TrackId, TrackKind,
+    CounterId, HistogramId, InstantKind, ObsConfig, Recorder, RecorderState, SpanHandle, SpanKind,
+    SpanMeta, SpanOutcome, Timeline, TrackId, TrackKind,
 };
+use serde::{Deserialize, Serialize};
 
 use crate::flow::FlowNet;
 
@@ -45,8 +46,23 @@ pub struct SimObs {
     c_cache_evictions: CounterId,
     c_io_errors: CounterId,
     c_crashes: CounterId,
+    c_checkpoint_bytes: CounterId,
+    c_checkpoint_stalls: CounterId,
     h_flow_ms: HistogramId,
     h_queue_wait_ms: HistogramId,
+}
+
+/// Complete dynamic state of a [`SimObs`] for checkpointing. Track ids and
+/// metric ids are *not* captured: they are deterministic functions of the
+/// cluster/network layout, so restore re-runs [`SimObs::new`] (which
+/// reproduces them exactly) and then overlays this state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimObsState {
+    pub rec: RecorderState,
+    pub queued: HashMap<u32, (u64, u64)>,
+    pub running: HashMap<u32, u64>,
+    pub flows: HashMap<u64, u64>,
+    pub next_sample: u64,
 }
 
 impl SimObs {
@@ -76,6 +92,8 @@ impl SimObs {
         let c_cache_evictions = rec.metrics.counter("cache_evictions");
         let c_io_errors = rec.metrics.counter("transient_io_errors");
         let c_crashes = rec.metrics.counter("node_crashes");
+        let c_checkpoint_bytes = rec.metrics.counter("checkpoint_bytes");
+        let c_checkpoint_stalls = rec.metrics.counter("checkpoint_stalls");
         // Bucket bounds in ms, log-ish steps from sub-ms to minutes.
         const MS_BOUNDS: [f64; 8] = [0.1, 1.0, 10.0, 100.0, 1_000.0, 10_000.0, 60_000.0, 600_000.0];
         let h_flow_ms = rec.metrics.histogram("flow_duration_ms", &MS_BOUNDS);
@@ -100,6 +118,8 @@ impl SimObs {
             c_cache_evictions,
             c_io_errors,
             c_crashes,
+            c_checkpoint_bytes,
+            c_checkpoint_stalls,
             h_flow_ms,
             h_queue_wait_ms,
         }
@@ -281,6 +301,46 @@ impl SimObs {
             u64::from(j),
         );
         self.rec.metrics.inc(self.c_io_errors, 1);
+    }
+
+    /// A checkpoint manifest of `bytes` serialized bytes was written at
+    /// `t_ns`. Emits a zero-duration [`SpanKind::Checkpoint`] span on the
+    /// stage track and bumps the checkpoint counters. Called *before* the
+    /// snapshot that lands in the manifest is taken, so the recorded state
+    /// already contains its own checkpoint span — crash+resume and
+    /// uninterrupted runs then agree byte-for-byte (restores emit nothing).
+    pub fn record_checkpoint(&mut self, seq: u64, bytes: u64, t_ns: u64) {
+        let h = self.rec.begin_span(
+            self.stage_track,
+            t_ns,
+            format!("checkpoint-{seq}"),
+            SpanKind::Checkpoint,
+            SpanMeta { bytes: Some(bytes), ..SpanMeta::default() },
+        );
+        self.rec.end_span(h, t_ns, SpanOutcome::Ok);
+        self.rec.metrics.inc(self.c_checkpoint_bytes, bytes);
+        self.rec.metrics.inc(self.c_checkpoint_stalls, 1);
+    }
+
+    /// Captures the dynamic state (see [`SimObsState`]).
+    pub fn state(&self) -> SimObsState {
+        SimObsState {
+            rec: self.rec.state(),
+            queued: self.queued.iter().map(|(&j, &(h, t))| (j, (h.0, t))).collect(),
+            running: self.running.iter().map(|(&j, &h)| (j, h.0)).collect(),
+            flows: self.flows.iter().map(|(&k, &h)| (k, h.0)).collect(),
+            next_sample: self.next_sample,
+        }
+    }
+
+    /// Overlays a captured [`SimObsState`] onto a freshly built `SimObs`
+    /// (same cluster/network layout, so track and metric ids line up).
+    pub fn restore(&mut self, st: SimObsState) {
+        self.rec = Recorder::from_state(st.rec);
+        self.queued = st.queued.into_iter().map(|(j, (h, t))| (j, (SpanHandle(h), t))).collect();
+        self.running = st.running.into_iter().map(|(j, h)| (j, SpanHandle(h))).collect();
+        self.flows = st.flows.into_iter().map(|(k, h)| (k, SpanHandle(h))).collect();
+        self.next_sample = st.next_sample;
     }
 
     /// Finalizes into a [`Timeline`] at `end_ns`.

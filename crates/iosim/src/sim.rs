@@ -14,25 +14,26 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use dfl_obs::{ObsConfig, SpanKind, Timeline};
-use dfl_trace::{IoTiming, Monitor, OpenMode, TaskContext};
+use dfl_trace::{IoTiming, Monitor, MonitorState, OpenMode, TaskContext, TaskSnapshot};
+use serde::{Deserialize, Serialize};
 
 use crate::breakdown::{Breakdown, FlowTag};
-use crate::cache::{CacheConfig, CacheState};
+use crate::cache::{CacheConfig, CacheSnapshot, CacheState};
 use crate::cluster::ClusterSpec;
 use crate::error::{SimError, StuckJob};
-use crate::fault::{DegradeTarget, FailureCause, FailureReport, FaultPlan, JobFailure};
-use crate::flow::{FlowKey, FlowNet, FlowOwner, ResourceId};
-use crate::fs::{FileIdx, SimFs};
-use crate::obs::SimObs;
+use crate::fault::{ChaosKind, DegradeTarget, FailureCause, FailureReport, FaultPlan, JobFailure};
+use crate::flow::{FlowKey, FlowNet, FlowNetSnapshot, FlowOwner, ResourceId};
+use crate::fs::{FileIdx, FileMeta, SimFs};
+use crate::obs::{SimObs, SimObsState};
 use crate::storage::{TierKind, TierRef};
 use crate::time::SimTime;
 
 /// Handle to a submitted job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct JobId(pub u32);
 
 /// One step of a job.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Action {
     /// Pure computation for `ns` nanoseconds.
     Compute { ns: u64 },
@@ -139,7 +140,7 @@ impl JobSpec {
 }
 
 /// Which origins route through the cache hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum CacheOrigins {
     /// Only remote (WAN) reads are cached — TAZeR's primary use.
     #[default]
@@ -149,7 +150,7 @@ pub enum CacheOrigins {
 }
 
 /// Simulation-wide configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Attach a DFL monitor (default: yes, with default config).
     pub monitor: Option<dfl_trace::MonitorConfig>,
@@ -220,8 +221,9 @@ impl JobReport {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum JobState {
+/// Lifecycle state of one job. Public only for snapshot transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
     WaitingDeps,
     Queued,
     Running,
@@ -231,24 +233,27 @@ enum JobState {
     Failed,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum IoKind {
+/// Kind of an in-flight I/O action. Public only for snapshot transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IoKind {
     Read,
     Write,
     Stage,
 }
 
-#[derive(Debug)]
-struct PendingIo {
-    kind: IoKind,
-    file: FileIdx,
-    offset: u64,
-    len: u64,
-    started: SimTime,
+/// An I/O action between its latency event and its flow completions.
+/// Public only for snapshot transport.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PendingIo {
+    pub kind: IoKind,
+    pub file: FileIdx,
+    pub offset: u64,
+    pub len: u64,
+    pub started: SimTime,
     /// For staging: destination replica.
-    stage_to: Option<TierRef>,
+    pub stage_to: Option<TierRef>,
     /// Flow descriptors awaiting launch (after the latency event).
-    launch: Vec<(Vec<ResourceId>, f64, FlowTag)>,
+    pub launch: Vec<(Vec<ResourceId>, f64, FlowTag)>,
 }
 
 struct Job {
@@ -284,8 +289,10 @@ struct Job {
     moved_bytes: f64,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Event {
+/// An entry in the simulator's event log. Public only for snapshot
+/// transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Event {
     Arrive(u32),
     ComputeDone(u32),
     IoLatencyDone(u32),
@@ -324,21 +331,28 @@ pub enum RunOutcome {
     /// One or more job attempts failed; the simulation is paused at the
     /// failure time so the caller can submit recovery/retry jobs.
     Failures(Vec<JobFailure>),
+    /// A requested pause point was reached (see [`Simulation::set_pause_at`]
+    /// and [`Simulation::set_pause_on_job_complete`]): the clock stands at
+    /// the pause time, nothing has been dispatched past it, and calling
+    /// `run_to_incident` again continues exactly where the run left off.
+    /// Checkpoint policies snapshot at these transparent pause points.
+    Paused,
 }
 
-/// Counters feeding [`Simulation::failure_report`].
-#[derive(Debug, Clone, Default)]
-struct FaultStats {
-    crashes: u32,
-    transient_io_errors: u32,
-    failed_attempts: u32,
-    lost_replicas: u32,
-    lost_files: u32,
-    lost_bytes: u64,
-    wasted_ns: u64,
-    wasted_bytes: f64,
-    recovery_bytes: f64,
-    total_moved: f64,
+/// Counters feeding [`Simulation::failure_report`]. Public only for
+/// snapshot transport.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FaultStats {
+    pub crashes: u32,
+    pub transient_io_errors: u32,
+    pub failed_attempts: u32,
+    pub lost_replicas: u32,
+    pub lost_files: u32,
+    pub lost_bytes: u64,
+    pub wasted_ns: u64,
+    pub wasted_bytes: f64,
+    pub recovery_bytes: f64,
+    pub total_moved: f64,
 }
 
 /// The simulator.
@@ -372,6 +386,22 @@ pub struct Simulation {
     stats: FaultStats,
     /// Timeline recorder; `None` = observability disabled (zero overhead).
     obs: Option<Box<SimObs>>,
+    /// The configuration this simulator was built from (embedded in
+    /// snapshots so restore can rebuild the derived layout).
+    config: SimConfig,
+    /// Total dispatches so far (heap events + flow completions). Always
+    /// counted: it is the chaos-plan coordinate system and rides along in
+    /// snapshots so crash points line up across crash/resume boundaries.
+    events_dispatched: u64,
+    /// Armed chaos fault: the coordinator dies just before this dispatch.
+    chaos: Option<ChaosKind>,
+    /// Transparent pause request: return [`RunOutcome::Paused`] before
+    /// dispatching anything strictly after this sim-time. One-shot.
+    pause_at: Option<u64>,
+    /// Pause after every job completion (stage-granular checkpoints).
+    pause_on_job_complete: bool,
+    /// A pause was requested by a completion hook; honored at loop top.
+    pause_pending: bool,
 }
 
 impl Simulation {
@@ -380,6 +410,7 @@ impl Simulation {
     /// settings, while an explicit `monitor: None` runs without one (and
     /// [`Simulation::measurements`] then returns `None`).
     pub fn new(cluster: ClusterSpec, config: SimConfig) -> Self {
+        let retained_config = config.clone();
         let mut net = FlowNet::new();
 
         let mut shared = HashMap::new();
@@ -463,6 +494,12 @@ impl Simulation {
             fatal: None,
             stats: FaultStats::default(),
             obs,
+            chaos: retained_config.faults.chaos,
+            config: retained_config,
+            events_dispatched: 0,
+            pause_at: None,
+            pause_on_job_complete: false,
+            pause_pending: false,
         };
         sim.schedule_fault_plan();
         sim
@@ -609,9 +646,38 @@ impl Simulation {
         loop {
             match self.run_to_incident()? {
                 RunOutcome::Completed => return Ok(()),
-                RunOutcome::Failures(_) => {}
+                RunOutcome::Failures(_) | RunOutcome::Paused => {}
             }
         }
+    }
+
+    /// Requests a transparent pause: the next `run_to_incident` call returns
+    /// [`RunOutcome::Paused`] before dispatching anything strictly after
+    /// sim-time `at_ns`, with the clock advanced to the pause point. The
+    /// request is one-shot (cleared when it fires) and changes nothing about
+    /// the trajectory — re-entering dispatches exactly what an uninterrupted
+    /// run would have dispatched next.
+    pub fn set_pause_at(&mut self, at_ns: Option<u64>) {
+        self.pause_at = at_ns;
+    }
+
+    /// When enabled, `run_to_incident` returns [`RunOutcome::Paused`] after
+    /// each job completion (before the next dispatch) — the hook for
+    /// stage-granular checkpoint policies.
+    pub fn set_pause_on_job_complete(&mut self, on: bool) {
+        self.pause_on_job_complete = on;
+    }
+
+    /// Arms (or disarms) a chaos fault. Snapshots never carry chaos, so a
+    /// restored simulator is disarmed until the driver re-arms it.
+    pub fn set_chaos(&mut self, chaos: Option<ChaosKind>) {
+        self.chaos = chaos;
+    }
+
+    /// Total dispatches so far (heap events + flow completions) — the
+    /// coordinate system for [`ChaosKind::CoordinatorCrash`].
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
     }
 
     /// Runs until everything completes or a job attempt fails. On
@@ -635,24 +701,50 @@ impl Simulation {
             if self.finished == self.jobs.len() && flow_next.is_none() {
                 break;
             }
-            self.take_samples_until(match (heap_next, flow_next) {
-                (Some((ht, _, _)), Some((ft, _))) => ht.min(ft.ns()),
-                (Some((ht, _, _)), None) => ht,
-                (None, Some((ft, _))) => ft.ns(),
-                (None, None) => 0,
-            });
+            // Pause hooks run before sampling and dispatch so a checkpoint
+            // taken at the pause captures exactly the pre-dispatch state an
+            // uninterrupted run would pass through.
+            if self.pause_pending {
+                self.pause_pending = false;
+                return Ok(RunOutcome::Paused);
+            }
+            let t_next = match (heap_next, flow_next) {
+                (Some((ht, _, _)), Some((ft, _))) => Some(ht.min(ft.ns())),
+                (Some((ht, _, _)), None) => Some(ht),
+                (None, Some((ft, _))) => Some(ft.ns()),
+                (None, None) => None,
+            };
+            if let (Some(p), Some(t)) = (self.pause_at, t_next) {
+                if t > p {
+                    // Advance the clock to the pause deadline (behavior
+                    // neutral: the next dispatch sets `now` to `t >= p`
+                    // anyway) so repeated pause requests always progress.
+                    self.now = SimTime(p.max(self.now.ns()));
+                    self.pause_at = None;
+                    return Ok(RunOutcome::Paused);
+                }
+            }
+            if let Some(ChaosKind::CoordinatorCrash { at_event }) = self.chaos {
+                if t_next.is_some() && self.events_dispatched >= at_event {
+                    return Err(SimError::CoordinatorCrash { at_event });
+                }
+            }
+            self.take_samples_until(t_next.unwrap_or(0));
             match (heap_next, flow_next) {
                 (None, None) => break,
                 (Some((ht, _, _)), Some((ft, fk))) if ft.ns() < ht => {
+                    self.events_dispatched += 1;
                     self.complete_flow(ft, fk);
                 }
                 (Some(_), _) => {
+                    self.events_dispatched += 1;
                     let Reverse((t, _, idx)) = self.heap.pop().expect("peeked");
                     self.now = SimTime(t.max(self.now.ns()));
                     let ev = self.events[idx as usize];
                     self.handle_event(ev);
                 }
                 (None, Some((ft, fk))) => {
+                    self.events_dispatched += 1;
                     self.complete_flow(ft, fk);
                 }
             }
@@ -781,6 +873,10 @@ impl Simulation {
             Event::NodeCrash(i) => self.on_node_crash(i),
             Event::NodeRecover(i) => {
                 let node = self.faults.crashes[i as usize].node;
+                if node as usize >= self.node_up.len() {
+                    self.fatal = Some(SimError::BadNode(node));
+                    return;
+                }
                 if !self.node_up[node as usize] {
                     self.node_up[node as usize] = true;
                     // Every core is free: the crash failed all running jobs.
@@ -797,6 +893,12 @@ impl Simulation {
     fn on_node_crash(&mut self, i: u32) {
         let crash = self.faults.crashes[i as usize];
         let node = crash.node;
+        if node as usize >= self.node_up.len() {
+            // Crash (and the cache invalidation it implies) aimed at a node
+            // outside the cluster: typed error instead of an index panic.
+            self.fatal = Some(SimError::BadNode(node));
+            return;
+        }
         if !self.node_up[node as usize] {
             return; // overlapping crash windows: already down
         }
@@ -837,7 +939,13 @@ impl Simulation {
         let node = self.jobs[j as usize].node;
         let flows = std::mem::take(&mut self.jobs[j as usize].flows);
         for key in flows {
-            let bytes = self.flow_bytes.remove(&key.0).expect("tracked flow");
+            let Some(bytes) = self.flow_bytes.remove(&key.0) else {
+                // Flow-accounting invariant broken (was a panic): surface a
+                // typed error on the next `run_to_incident` return instead
+                // of tearing the process down mid-event.
+                self.fatal = Some(SimError::UntrackedFlow { job: j, key: key.0 });
+                continue;
+            };
             let (owner, elapsed, remaining) = self.net.cancel(self.now, key);
             let moved = (bytes - remaining).max(0.0);
             self.stats.total_moved += moved;
@@ -971,6 +1079,9 @@ impl Simulation {
             replaced = self.jobs[orig as usize].replaces;
         }
         self.try_start(node);
+        if self.pause_on_job_complete {
+            self.pause_pending = true;
+        }
     }
 
     fn release_dependents(&mut self, dependents: Vec<u32>) {
@@ -1553,6 +1664,248 @@ impl Simulation {
             final_time_ns: self.now.ns(),
         }
     }
+
+    // ---- checkpoint snapshot / restore ----
+
+    /// Captures the complete simulator state as a serializable value.
+    ///
+    /// Only legal at a quiescent point: no fatal error pending and no
+    /// unreported failures (i.e. between `run_to_incident` returns). The
+    /// embedded config strips any chaos clause so snapshot bytes agree
+    /// between chaos-injected and clean runs, and a restored simulator
+    /// never re-inherits the fault that killed its predecessor.
+    pub fn snapshot(&self) -> Result<SimSnapshot, SimError> {
+        if let Some(e) = &self.fatal {
+            return Err(SimError::Snapshot(format!("fatal error pending: {e}")));
+        }
+        if !self.pending_failures.is_empty() {
+            return Err(SimError::Snapshot(format!(
+                "{} unreported failures pending",
+                self.pending_failures.len()
+            )));
+        }
+        let mut config = self.config.clone();
+        config.faults = config.faults.without_chaos();
+        let mut heap: Vec<(u64, u64, u32)> = self.heap.iter().map(|Reverse(e)| *e).collect();
+        heap.sort_unstable();
+        Ok(SimSnapshot {
+            version: SNAPSHOT_VERSION,
+            cluster: self.cluster.clone(),
+            config,
+            net: self.net.snapshot(),
+            files: self.fs.snapshot(),
+            cache: self.cache.as_ref().map(CacheState::snapshot),
+            monitor: self.monitor.as_ref().map(Monitor::state),
+            jobs: self
+                .jobs
+                .iter()
+                .map(|job| JobSnapshot {
+                    name: job.name.clone(),
+                    logical: job.logical.clone(),
+                    node: job.node,
+                    actions: job.actions.iter().cloned().collect(),
+                    deps_left: job.deps_left,
+                    deps: job.deps.clone(),
+                    dependents: job.dependents.clone(),
+                    state: job.state,
+                    pending_flows: job.pending_flows,
+                    io: job.io.clone(),
+                    ctx: job.ctx.as_ref().map(TaskContext::snapshot),
+                    fds: job.fds.iter().map(|(&f, &fd)| (f, fd.0)).collect(),
+                    cursor: job.cursor.clone(),
+                    start: job.start,
+                    end: job.end,
+                    breakdown: job.breakdown.clone(),
+                    submit_delay_ns: job.submit_delay_ns,
+                    recovery: job.recovery,
+                    replaces: job.replaces,
+                    flows: job.flows.iter().map(|k| k.0).collect(),
+                    io_ops: job.io_ops,
+                    moved_bytes: job.moved_bytes,
+                })
+                .collect(),
+            heap,
+            events: self.events.clone(),
+            capacity_changes: self.capacity_changes.clone(),
+            next_seq: self.next_seq,
+            now_ns: self.now.ns(),
+            free_cores: self.free_cores.clone(),
+            ready: self.ready.iter().map(|q| q.iter().copied().collect()).collect(),
+            finished: self.finished,
+            node_up: self.node_up.clone(),
+            flow_bytes: self.flow_bytes.clone(),
+            stats: self.stats.clone(),
+            events_dispatched: self.events_dispatched,
+            obs: self.obs.as_deref().map(SimObs::state),
+        })
+    }
+
+    /// Rebuilds a simulator from a [`Simulation::snapshot`].
+    ///
+    /// The derived layout (flow-network registration order, cache levels,
+    /// observability tracks and metric ids) is reconstructed by re-running
+    /// the normal constructor on the embedded cluster/config; the dynamic
+    /// state is then overlaid wholesale. A restored simulator continues
+    /// byte-identically to the one that was snapshotted. Chaos is always
+    /// disarmed after restore.
+    pub fn restore(snap: SimSnapshot) -> Result<Simulation, SimError> {
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(SimError::Snapshot(format!(
+                "snapshot version {} (this build expects {})",
+                snap.version, SNAPSHOT_VERSION
+            )));
+        }
+        let mut sim = Simulation::new(snap.cluster, snap.config);
+        sim.net = FlowNet::from_snapshot(snap.net);
+        sim.fs = SimFs::from_snapshot(snap.files);
+        match (sim.cache.is_some(), snap.cache) {
+            (true, Some(cs)) => sim.cache = Some(CacheState::from_snapshot(cs)),
+            (false, None) => {}
+            _ => {
+                return Err(SimError::Snapshot(
+                    "cache presence mismatch between config and snapshot".into(),
+                ));
+            }
+        }
+        match (&sim.monitor, snap.monitor) {
+            (Some(m), Some(st)) => m.restore_state(st),
+            (None, None) => {}
+            _ => {
+                return Err(SimError::Snapshot(
+                    "monitor presence mismatch between config and snapshot".into(),
+                ));
+            }
+        }
+        let jobs: Vec<Job> = snap
+            .jobs
+            .into_iter()
+            .map(|js| Job {
+                ctx: match (&js.ctx, &sim.monitor) {
+                    (Some(ts), Some(m)) => Some(m.resume_task(ts)),
+                    _ => None,
+                },
+                name: js.name,
+                logical: js.logical,
+                node: js.node,
+                actions: js.actions.into(),
+                deps_left: js.deps_left,
+                deps: js.deps,
+                dependents: js.dependents,
+                state: js.state,
+                pending_flows: js.pending_flows,
+                io: js.io,
+                fds: js
+                    .fds
+                    .into_iter()
+                    .map(|(f, fd)| (f, dfl_trace::handle::Fd(fd)))
+                    .collect(),
+                cursor: js.cursor,
+                start: js.start,
+                end: js.end,
+                breakdown: js.breakdown,
+                submit_delay_ns: js.submit_delay_ns,
+                recovery: js.recovery,
+                replaces: js.replaces,
+                flows: js.flows.into_iter().map(FlowKey).collect(),
+                io_ops: js.io_ops,
+                moved_bytes: js.moved_bytes,
+            })
+            .collect();
+        sim.jobs = jobs;
+        sim.heap = snap.heap.into_iter().map(Reverse).collect();
+        sim.events = snap.events;
+        sim.capacity_changes = snap.capacity_changes;
+        sim.next_seq = snap.next_seq;
+        sim.now = SimTime(snap.now_ns);
+        sim.free_cores = snap.free_cores;
+        sim.ready = snap.ready.into_iter().map(VecDeque::from).collect();
+        sim.finished = snap.finished;
+        sim.node_up = snap.node_up;
+        sim.flow_bytes = snap.flow_bytes;
+        sim.pending_failures = Vec::new();
+        sim.fatal = None;
+        sim.stats = snap.stats;
+        sim.events_dispatched = snap.events_dispatched;
+        match (sim.obs.as_deref_mut(), snap.obs) {
+            (Some(o), Some(st)) => o.restore(st),
+            (None, None) => {}
+            _ => {
+                return Err(SimError::Snapshot(
+                    "obs presence mismatch between config and snapshot".into(),
+                ));
+            }
+        }
+        sim.chaos = None;
+        Ok(sim)
+    }
+}
+
+/// Version tag embedded in every [`SimSnapshot`]; bump on layout changes.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Serializable state of one [`Simulation`] job (see [`SimSnapshot`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobSnapshot {
+    pub name: String,
+    pub logical: String,
+    pub node: u32,
+    pub actions: Vec<Action>,
+    pub deps_left: usize,
+    pub deps: Vec<u32>,
+    pub dependents: Vec<u32>,
+    pub state: JobState,
+    pub pending_flows: usize,
+    pub io: Option<PendingIo>,
+    pub ctx: Option<TaskSnapshot>,
+    /// `FileIdx -> Fd.0` for open trace fds.
+    pub fds: HashMap<FileIdx, u64>,
+    pub cursor: HashMap<FileIdx, u64>,
+    pub start: Option<SimTime>,
+    pub end: Option<SimTime>,
+    pub breakdown: Breakdown,
+    pub submit_delay_ns: u64,
+    pub recovery: bool,
+    pub replaces: Option<u32>,
+    /// Active flow keys (`FlowKey.0`).
+    pub flows: Vec<u64>,
+    pub io_ops: u64,
+    pub moved_bytes: f64,
+}
+
+/// Complete serializable state of a [`Simulation`] at a quiescent point.
+///
+/// Produced by [`Simulation::snapshot`], consumed by
+/// [`Simulation::restore`]; the round trip is exact by construction: every
+/// dynamic field travels verbatim (floats here are always finite), while
+/// derived indices (`by_path`, lane heaps, track ids, interner ids) are
+/// deterministic functions of what does travel and are rebuilt on restore.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimSnapshot {
+    pub version: u32,
+    pub cluster: ClusterSpec,
+    /// Config with any chaos clause stripped (chaos never survives a
+    /// checkpoint: the resumed run must not re-crash at the same point).
+    pub config: SimConfig,
+    pub net: FlowNetSnapshot,
+    pub files: Vec<FileMeta>,
+    pub cache: Option<CacheSnapshot>,
+    pub monitor: Option<MonitorState>,
+    pub jobs: Vec<JobSnapshot>,
+    /// Pending event-heap entries, sorted ascending (heap order is fully
+    /// determined by content — all entries are distinct).
+    pub heap: Vec<(u64, u64, u32)>,
+    pub events: Vec<Event>,
+    pub capacity_changes: Vec<(ResourceId, f64)>,
+    pub next_seq: u64,
+    pub now_ns: u64,
+    pub free_cores: Vec<u32>,
+    pub ready: Vec<Vec<u32>>,
+    pub finished: usize,
+    pub node_up: Vec<bool>,
+    pub flow_bytes: HashMap<u64, f64>,
+    pub stats: FaultStats,
+    pub events_dispatched: u64,
+    pub obs: Option<SimObsState>,
 }
 
 #[cfg(test)]
@@ -2222,5 +2575,187 @@ mod fault_tests {
         sim.submit(JobSpec::new("a", 0).action(Action::compute_ms(1)));
         sim.run().unwrap();
         assert!(sim.take_timeline().is_none());
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+    use serde::Value;
+
+    fn mb(n: u64) -> u64 {
+        n << 20
+    }
+
+    /// A workload exercising every snapshot surface at once: monitor, cache,
+    /// observability, node crash, transient I/O errors, cross-node flows.
+    fn workload(faults: FaultPlan) -> Simulation {
+        let mut sim = Simulation::new(
+            ClusterSpec::gpu_cluster(2),
+            SimConfig {
+                cache: Some(CacheConfig::tazer_table4()),
+                cache_origins: CacheOrigins::All,
+                obs: Some(ObsConfig::sampled(10_000_000)),
+                faults,
+                ..SimConfig::default()
+            },
+        );
+        sim.fs_mut().create_external("x", mb(32), TierRef::shared(TierKind::Beegfs));
+        for i in 0..8 {
+            sim.submit(
+                JobSpec::new(&format!("t-{i}"), i % 2)
+                    .action(Action::read_file("x"))
+                    .action(Action::compute_ms(20))
+                    .action(Action::write_file(&format!("o{i}"), mb(2))),
+            );
+        }
+        sim
+    }
+
+    fn base_faults() -> FaultPlan {
+        FaultPlan::seeded(42).crash(0, 30_000_000, 20_000_000).io_errors(0.05)
+    }
+
+    /// Drives to completion and returns every comparable outcome surface.
+    type Finish = (u64, u64, Vec<(String, u64, bool)>, FailureReport, Value, Timeline);
+
+    fn finish(mut sim: Simulation) -> Finish {
+        sim.run().unwrap();
+        let reports =
+            sim.reports().iter().map(|r| (r.name.clone(), r.end_ns, r.failed)).collect();
+        let report = sim.failure_report();
+        let measurements = sim.measurements().expect("monitor attached").to_value();
+        let tl = sim.take_timeline().expect("obs attached");
+        (sim.time().ns(), sim.events_dispatched(), reports, report, measurements, tl)
+    }
+
+    #[test]
+    fn snapshot_restore_mid_run_is_exact() {
+        let golden = finish(workload(base_faults()));
+
+        let mut sim = workload(base_faults());
+        sim.set_pause_at(Some(45_000_000));
+        loop {
+            match sim.run_to_incident().unwrap() {
+                RunOutcome::Paused => break,
+                RunOutcome::Failures(_) => {}
+                RunOutcome::Completed => panic!("pause expected before completion"),
+            }
+        }
+        let snap = sim.snapshot().unwrap();
+        // Full serialize/deserialize round trip through the value tree.
+        let restored = Simulation::restore(SimSnapshot::from_value(&snap.to_value()).unwrap())
+            .unwrap();
+        assert_eq!(finish(restored), golden, "restored run diverged from golden");
+        // The paused original is also unperturbed.
+        assert_eq!(finish(sim), golden, "pause was not transparent");
+    }
+
+    #[test]
+    fn pause_on_job_complete_is_transparent() {
+        let golden = finish(workload(base_faults()));
+        let mut sim = workload(base_faults());
+        sim.set_pause_on_job_complete(true);
+        let mut pauses = 0;
+        loop {
+            match sim.run_to_incident().unwrap() {
+                RunOutcome::Paused => pauses += 1,
+                RunOutcome::Failures(_) => {}
+                RunOutcome::Completed => break,
+            }
+        }
+        assert!(pauses > 0, "at least one completion pause");
+        sim.set_pause_on_job_complete(false);
+        sim.run().unwrap();
+        let reports: Vec<(String, u64, bool)> =
+            sim.reports().iter().map(|r| (r.name.clone(), r.end_ns, r.failed)).collect();
+        assert_eq!(sim.time().ns(), golden.0);
+        assert_eq!(sim.events_dispatched(), golden.1);
+        assert_eq!(reports, golden.2);
+        assert_eq!(sim.take_timeline().unwrap(), golden.5);
+    }
+
+    #[test]
+    fn chaos_crash_then_resume_reproduces_golden() {
+        let golden = finish(workload(base_faults()));
+        let total = golden.1;
+        assert!(total > 10, "workload must dispatch enough events: {total}");
+
+        for at_event in [total / 4, total / 2, (3 * total) / 4] {
+            // Periodic checkpoints every 20 sim-ms; chaos kills the
+            // coordinator just before dispatch `at_event`.
+            let mut sim = workload(base_faults().chaos_crash(at_event));
+            let mut latest = sim.snapshot().unwrap();
+            let mut next_ckpt = 20_000_000;
+            sim.set_pause_at(Some(next_ckpt));
+            loop {
+                match sim.run_to_incident() {
+                    Ok(RunOutcome::Paused) => {
+                        latest = sim.snapshot().unwrap();
+                        next_ckpt += 20_000_000;
+                        sim.set_pause_at(Some(next_ckpt));
+                    }
+                    Ok(RunOutcome::Failures(_)) => {}
+                    Ok(RunOutcome::Completed) => panic!("chaos must kill before completion"),
+                    Err(SimError::CoordinatorCrash { at_event: e }) => {
+                        assert_eq!(e, at_event);
+                        break;
+                    }
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+            // Resume from the latest surviving manifest bytes.
+            let restored =
+                Simulation::restore(SimSnapshot::from_value(&latest.to_value()).unwrap())
+                    .unwrap();
+            assert_eq!(
+                finish(restored),
+                golden,
+                "crash before dispatch {at_event} did not resume byte-identically"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_version_mismatch() {
+        let sim = workload(FaultPlan::none());
+        let mut snap = sim.snapshot().unwrap();
+        snap.version = SNAPSHOT_VERSION + 1;
+        match Simulation::restore(snap) {
+            Err(SimError::Snapshot(msg)) => assert!(msg.contains("version"), "{msg}"),
+            Err(e) => panic!("wrong error: {e}"),
+            Ok(_) => panic!("version mismatch must be rejected"),
+        }
+    }
+
+    #[test]
+    fn snapshot_allowed_at_quiescent_points() {
+        let mut sim = workload(base_faults());
+        sim.set_pause_at(Some(29_000_000));
+        let mut saw_failures = false;
+        loop {
+            match sim.run_to_incident().unwrap() {
+                RunOutcome::Paused => break,
+                // Failures handed to the caller leave the sim quiescent:
+                // snapshots are legal between `run_to_incident` returns.
+                RunOutcome::Failures(_) => {
+                    saw_failures = true;
+                    assert!(sim.snapshot().is_ok(), "post-incident point is quiescent");
+                }
+                RunOutcome::Completed => panic!("pause expected before completion"),
+            }
+        }
+        assert!(saw_failures, "workload injects failures before the pause");
+        assert!(sim.snapshot().is_ok(), "paused point is quiescent");
+    }
+
+    #[test]
+    fn snapshot_strips_chaos_from_config() {
+        let sim = workload(base_faults().chaos_crash(5));
+        let snap = sim.snapshot().unwrap();
+        assert!(snap.config.faults.chaos.is_none(), "chaos must not survive a snapshot");
+        // And byte-equality with the clean-config snapshot holds.
+        let clean = workload(base_faults()).snapshot().unwrap();
+        assert_eq!(snap.to_value(), clean.to_value());
     }
 }

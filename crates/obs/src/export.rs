@@ -51,6 +51,7 @@ pub fn span_kind_label(k: SpanKind) -> &'static str {
         SpanKind::Recovery => "recovery",
         SpanKind::Flow => "flow",
         SpanKind::Stage => "stage",
+        SpanKind::Checkpoint => "checkpoint",
     }
 }
 

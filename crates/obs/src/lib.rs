@@ -24,15 +24,17 @@ pub mod metrics;
 pub mod timeline;
 
 pub use export::{ascii_summary, chrome_trace, jsonl};
-pub use metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{
+    CounterId, GaugeId, HistogramId, MetricsRegistry, MetricsSnapshot, RegistryState,
+};
 pub use timeline::{
-    InstantKind, Recorder, Sample, Span, SpanHandle, SpanKind, SpanMeta, SpanOutcome, TInstant,
-    Timeline, TimelineEvent, Track, TrackId, TrackKind,
+    InstantKind, Recorder, RecorderState, Sample, Span, SpanHandle, SpanKind, SpanMeta,
+    SpanOutcome, TInstant, Timeline, TimelineEvent, Track, TrackId, TrackKind,
 };
 
 /// Observability configuration. `None` at the simulator level means fully
 /// disabled (zero overhead); this struct configures an enabled recorder.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ObsConfig {
     /// Bound on recorded timeline events. Once full, further events are
     /// counted in [`Timeline::dropped`] instead of being recorded, keeping

@@ -4,7 +4,7 @@
 //! updates are an array write. [`MetricsRegistry::snapshot`] produces a
 //! serializable, deterministic [`MetricsSnapshot`] (registration order).
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Handle to a counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +92,28 @@ impl MetricsSnapshot {
     }
 }
 
+/// Checkpointable state of one histogram; floats as IEEE-754 bits (the
+/// min/max of an empty histogram are ±∞, which JSON cannot represent).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramState {
+    pub name: String,
+    pub bounds_bits: Vec<u64>,
+    pub counts: Vec<u64>,
+    pub count: u64,
+    pub sum_bits: u64,
+    pub min_bits: u64,
+    pub max_bits: u64,
+}
+
+/// Full-fidelity registry state for checkpoint/restore (see
+/// [`MetricsRegistry::state`]). Gauge values travel as f64 bit patterns.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegistryState {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, u64)>,
+    pub histograms: Vec<HistogramState>,
+}
+
 /// The registry. Registration dedups by name (same name → same handle), so
 /// instruments can be declared idempotently.
 #[derive(Debug, Default)]
@@ -161,6 +183,56 @@ impl MetricsRegistry {
         h.sum += value;
         h.min = h.min.min(value);
         h.max = h.max.max(value);
+    }
+
+    /// Full-fidelity serializable state for checkpoint/restore. Unlike
+    /// [`MetricsRegistry::snapshot`] (an export artifact that masks the
+    /// ±∞ min/max sentinels of empty histograms), this preserves every
+    /// float as its IEEE-754 bit pattern so a restore is bit-exact.
+    pub fn state(&self) -> RegistryState {
+        RegistryState {
+            counters: self.counters.clone(),
+            gauges: self.gauges.iter().map(|(n, v)| (n.clone(), v.to_bits())).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(n, h)| HistogramState {
+                    name: n.clone(),
+                    bounds_bits: h.bounds.iter().map(|b| b.to_bits()).collect(),
+                    counts: h.counts.clone(),
+                    count: h.count,
+                    sum_bits: h.sum.to_bits(),
+                    min_bits: h.min.to_bits(),
+                    max_bits: h.max.to_bits(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Replaces the registry contents with a captured [`RegistryState`].
+    /// Instrument handles remain valid as long as the state was captured
+    /// from a registry with the same registration sequence (ids are dense
+    /// registration-order indices).
+    pub fn restore(&mut self, st: &RegistryState) {
+        self.counters = st.counters.clone();
+        self.gauges = st.gauges.iter().map(|(n, v)| (n.clone(), f64::from_bits(*v))).collect();
+        self.histograms = st
+            .histograms
+            .iter()
+            .map(|h| {
+                (
+                    h.name.clone(),
+                    Histogram {
+                        bounds: h.bounds_bits.iter().map(|b| f64::from_bits(*b)).collect(),
+                        counts: h.counts.clone(),
+                        count: h.count,
+                        sum: f64::from_bits(h.sum_bits),
+                        min: f64::from_bits(h.min_bits),
+                        max: f64::from_bits(h.max_bits),
+                    },
+                )
+            })
+            .collect();
     }
 
     pub fn snapshot(&self) -> MetricsSnapshot {

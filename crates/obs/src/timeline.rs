@@ -15,16 +15,16 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
-use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot, RegistryState};
 
 /// Index of a track (assigned in registration order).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TrackId(pub u32);
 
 /// What a track represents (drives exporter grouping).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TrackKind {
     /// A compute node: job attempt spans + queue-depth samples.
     Node,
@@ -37,14 +37,14 @@ pub enum TrackKind {
 }
 
 /// One timeline track.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Track {
     pub name: String,
     pub kind: TrackKind,
 }
 
 /// Span classification.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SpanKind {
     /// A job sitting in its node's ready queue.
     Queued,
@@ -58,10 +58,12 @@ pub enum SpanKind {
     Flow,
     /// An engine workflow stage.
     Stage,
+    /// A checkpoint being written (engine save point).
+    Checkpoint,
 }
 
 /// How a span ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SpanOutcome {
     Ok,
     /// The job attempt failed (crash, transient I/O error, lost input).
@@ -71,7 +73,7 @@ pub enum SpanOutcome {
 }
 
 /// Point-event classification.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum InstantKind {
     CacheHit,
     CacheMiss,
@@ -86,7 +88,7 @@ pub enum InstantKind {
 }
 
 /// Optional structured payload attached to a span at open time.
-#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SpanMeta {
     /// Owning simulator job id.
     pub job: Option<u32>,
@@ -101,7 +103,7 @@ pub struct SpanMeta {
 }
 
 /// A completed span.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Span {
     /// Stable ID, assigned at open in deterministic event-loop order.
     pub id: u64,
@@ -117,7 +119,7 @@ pub struct Span {
 }
 
 /// A point event.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TInstant {
     pub track: u32,
     pub t_ns: u64,
@@ -128,7 +130,7 @@ pub struct TInstant {
 }
 
 /// One periodic sample of a named per-track quantity.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Sample {
     pub track: u32,
     pub t_ns: u64,
@@ -137,7 +139,7 @@ pub struct Sample {
 }
 
 /// One recorded event, in emission order.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TimelineEvent {
     Span(Span),
     Instant(TInstant),
@@ -196,8 +198,43 @@ impl Timeline {
 }
 
 /// Handle to a span opened on a [`Recorder`] (the span's stable ID).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SpanHandle(pub u64);
+
+/// Checkpointable state of one open (not yet closed) span.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OpenSpanState {
+    pub id: u64,
+    pub track: u32,
+    pub lane: u32,
+    pub name: String,
+    pub kind: SpanKind,
+    pub start_ns: u64,
+    pub meta: SpanMeta,
+}
+
+/// Checkpointable state of one track's lane allocator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LaneState {
+    /// Freed lanes, ascending.
+    pub free: Vec<u32>,
+    pub next: u32,
+}
+
+/// Complete serializable state of an in-flight [`Recorder`]; see
+/// [`Recorder::state`] / [`Recorder::from_state`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecorderState {
+    pub tracks: Vec<Track>,
+    pub events: Vec<TimelineEvent>,
+    pub max_events: u64,
+    pub dropped: u64,
+    pub next_span: u64,
+    /// Open spans sorted by id.
+    pub open: Vec<OpenSpanState>,
+    pub lanes: Vec<LaneState>,
+    pub metrics: RegistryState,
+}
 
 #[derive(Debug)]
 struct OpenSpan {
@@ -363,6 +400,80 @@ impl Recorder {
     /// Number of events recorded so far (excluding drops).
     pub fn event_count(&self) -> usize {
         self.events.len()
+    }
+
+    /// Captures the recorder's complete in-flight state (including open
+    /// spans, lane allocators, the span-id counter, and the metrics
+    /// registry) for checkpointing. [`Recorder::from_state`] inverts it
+    /// exactly, so a restored recorder continues producing the same span
+    /// ids, lanes, and events as one that was never interrupted.
+    pub fn state(&self) -> RecorderState {
+        let mut open: Vec<OpenSpanState> = self
+            .open
+            .iter()
+            .map(|(&id, o)| OpenSpanState {
+                id,
+                track: o.track,
+                lane: o.lane,
+                name: o.name.clone(),
+                kind: o.kind,
+                start_ns: o.start_ns,
+                meta: o.meta.clone(),
+            })
+            .collect();
+        open.sort_unstable_by_key(|o| o.id);
+        let lanes = self
+            .lanes
+            .iter()
+            .map(|l| {
+                let mut free: Vec<u32> = l.free.iter().map(|Reverse(x)| *x).collect();
+                free.sort_unstable();
+                LaneState { free, next: l.next }
+            })
+            .collect();
+        RecorderState {
+            tracks: self.tracks.clone(),
+            events: self.events.clone(),
+            max_events: self.max_events as u64,
+            dropped: self.dropped,
+            next_span: self.next_span,
+            open,
+            lanes,
+            metrics: self.metrics.state(),
+        }
+    }
+
+    /// Rebuilds a recorder from a captured [`RecorderState`].
+    pub fn from_state(st: RecorderState) -> Self {
+        let mut r = Recorder::new(st.max_events as usize);
+        r.tracks = st.tracks;
+        r.events = st.events;
+        r.dropped = st.dropped;
+        r.next_span = st.next_span;
+        r.open = st
+            .open
+            .into_iter()
+            .map(|o| {
+                (
+                    o.id,
+                    OpenSpan {
+                        track: o.track,
+                        lane: o.lane,
+                        name: o.name,
+                        kind: o.kind,
+                        start_ns: o.start_ns,
+                        meta: o.meta,
+                    },
+                )
+            })
+            .collect();
+        r.lanes = st
+            .lanes
+            .into_iter()
+            .map(|l| Lanes { free: l.free.into_iter().map(Reverse).collect(), next: l.next })
+            .collect();
+        r.metrics.restore(&st.metrics);
+        r
     }
 
     /// Finalizes the recorder into a [`Timeline`] at `end_ns`. Spans still

@@ -7,13 +7,15 @@
 
 use std::collections::HashMap;
 
+use serde::{Deserialize, Serialize};
+
 use crate::histogram::BlockHistogram;
 use crate::ids::{FileId, Interner, TaskId};
 use crate::sampling::SpatialSampler;
 use crate::stats::{DistanceSummary, FileRecord, TaskFileRecord, TaskRecord};
 
 /// Mutable state for one task-file pair while measurement is running.
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PairState {
     pub opens: u64,
     pub read_ops: u64,
@@ -53,7 +55,7 @@ impl PairState {
 }
 
 /// Global per-file state shared by all tasks that touch the file.
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FileState {
     pub path: String,
     /// Current access resolution for the file. Monotonically non-decreasing;

@@ -42,11 +42,11 @@ pub enum SeekFrom {
 }
 
 /// A file-descriptor-like token handed back by `open`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Fd(pub u64);
 
 /// Shadow state for one open handle.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ShadowHandle {
     pub file: FileId,
     pub mode: OpenMode,

@@ -77,6 +77,18 @@ impl Interner {
     pub fn names(&self) -> &[String] {
         &self.names
     }
+
+    /// Rebuilds an interner from a dense name list (index == id), e.g. when
+    /// restoring a snapshot. Ids are reassigned in order, so a round trip
+    /// through [`Interner::names`] is exact.
+    pub fn from_names(names: Vec<String>) -> Self {
+        let by_name = names
+            .iter()
+            .enumerate()
+            .map(|(id, n)| (n.clone(), id as u32))
+            .collect();
+        Self { by_name, names }
+    }
 }
 
 #[cfg(test)]

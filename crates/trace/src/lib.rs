@@ -54,7 +54,7 @@ pub use error::TraceError;
 pub use export::MeasurementSet;
 pub use handle::{OpenMode, SeekFrom};
 pub use ids::{FileId, TaskId};
-pub use monitor::{IoTiming, Monitor, MonitorConfig, TaskContext};
+pub use monitor::{IoTiming, Monitor, MonitorConfig, MonitorState, TaskContext, TaskSnapshot};
 pub use sampling::SpatialSampler;
 pub use stats::{FlowKind, TaskFileRecord, TaskRecord};
 pub use stream::CStream;

@@ -9,6 +9,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 
 use crate::block::BlockPolicy;
 use crate::collector::{file_sampler, Collector, FileState, PairState};
@@ -16,7 +17,7 @@ use crate::error::TraceError;
 use crate::handle::{Fd, OpenMode, SeekFrom, ShadowHandle};
 use crate::hash::hash_str;
 use crate::histogram::{AccessKind, BlockHistogram};
-use crate::ids::{FileId, TaskId};
+use crate::ids::{FileId, Interner, TaskId};
 use crate::stats::TaskRecord;
 use crate::MeasurementSet;
 
@@ -42,7 +43,7 @@ impl IoTiming {
 }
 
 /// Monitor-wide configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MonitorConfig {
     /// Block-size policy for files first opened for reading.
     pub read_policy: BlockPolicy,
@@ -150,6 +151,73 @@ impl Monitor {
     fn with_collector<R>(&self, f: impl FnOnce(&mut Collector) -> R) -> R {
         f(&mut self.inner.collector.lock())
     }
+
+    /// Full-fidelity snapshot of the collector for checkpointing. Unlike
+    /// [`Monitor::snapshot`] (which coarsens histograms for export), a
+    /// [`MonitorState`] restored with [`Monitor::restore_state`] reproduces
+    /// the live measurement state exactly.
+    pub fn state(&self) -> MonitorState {
+        let c = self.inner.collector.lock();
+        MonitorState {
+            tasks: c.tasks.names().to_vec(),
+            files: c.files.names().to_vec(),
+            file_states: c.file_states.clone(),
+            task_records: c.task_records.clone(),
+            pairs: c.pairs.clone(),
+        }
+    }
+
+    /// Replaces the collector's contents with a previously captured
+    /// [`MonitorState`]. Interner ids are reassigned densely in order, so
+    /// they match the ids recorded in `pairs` and `task_records` exactly.
+    pub fn restore_state(&self, st: MonitorState) {
+        let mut c = self.inner.collector.lock();
+        c.tasks = Interner::from_names(st.tasks);
+        c.files = Interner::from_names(st.files);
+        c.file_states = st.file_states;
+        c.task_records = st.task_records;
+        c.pairs = st.pairs;
+    }
+
+    /// Re-attaches a [`TaskContext`] captured by [`TaskContext::snapshot`].
+    ///
+    /// Unlike [`Monitor::begin_task_logical`] this does NOT push a new
+    /// `TaskRecord` — the restored collector state already holds the record
+    /// from the original `begin_task` call.
+    pub fn resume_task(&self, snap: &TaskSnapshot) -> TaskContext {
+        TaskContext {
+            monitor: self.clone(),
+            task: snap.task,
+            name: snap.name.clone(),
+            state: Mutex::new(TaskState {
+                handles: snap.handles.clone(),
+                next_fd: snap.next_fd,
+                finished: snap.finished,
+            }),
+        }
+    }
+}
+
+/// Serializable full-fidelity state of a [`Monitor`]'s collector.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MonitorState {
+    /// Task interner contents in id order.
+    pub tasks: Vec<String>,
+    /// File interner contents in id order.
+    pub files: Vec<String>,
+    pub file_states: Vec<FileState>,
+    pub task_records: Vec<TaskRecord>,
+    pub pairs: HashMap<(TaskId, FileId), PairState>,
+}
+
+/// Serializable state of one in-flight [`TaskContext`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskSnapshot {
+    pub task: TaskId,
+    pub name: String,
+    pub handles: HashMap<u64, ShadowHandle>,
+    pub next_fd: u64,
+    pub finished: bool,
 }
 
 #[derive(Debug)]
@@ -173,6 +241,19 @@ pub struct TaskContext {
 impl TaskContext {
     pub fn task_id(&self) -> TaskId {
         self.task
+    }
+
+    /// Captures the context's shadow-handle state for checkpointing; pair it
+    /// with [`Monitor::resume_task`] on restore.
+    pub fn snapshot(&self) -> TaskSnapshot {
+        let st = self.state.lock();
+        TaskSnapshot {
+            task: self.task,
+            name: self.name.clone(),
+            handles: st.handles.clone(),
+            next_fd: st.next_fd,
+            finished: st.finished,
+        }
     }
 
     pub fn name(&self) -> &str {

@@ -168,6 +168,7 @@ pub fn run_config(cfg: &Belle2Config, access: DataAccess, nodes: usize) -> crate
         faults: dfl_iosim::FaultPlan::none(),
         retry: crate::engine::RetryPolicy::default(),
         obs: None,
+        checkpoint: None,
     };
     match access {
         DataAccess::FtpCopy => {

@@ -12,15 +12,20 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use dfl_iosim::breakdown::{Breakdown, FlowTag};
 use dfl_iosim::cache::CacheConfig;
 use dfl_iosim::cluster::ClusterSpec;
-use dfl_iosim::fault::{unit_hash, FailureReport, FaultPlan};
+use dfl_iosim::fault::{unit_hash, FailureReport, FaultPlan, JobFailure};
 use dfl_iosim::sim::{
-    Action, CacheOrigins, JobId, JobReport, JobSpec, RunOutcome, SimConfig, Simulation,
+    Action, CacheOrigins, JobId, JobReport, JobSpec, JobState, RunOutcome, SimConfig, Simulation,
 };
 use dfl_iosim::storage::{TierKind, TierRef};
 use dfl_iosim::SimError;
 use dfl_obs::{ObsConfig, Timeline};
 use dfl_trace::MeasurementSet;
+use serde::{Deserialize, Serialize};
 
+use crate::checkpoint::{
+    config_hash, load_latest, write_manifest, AttemptRecord, CheckpointConfig, CheckpointError,
+    CheckpointManifest, MANIFEST_VERSION,
+};
 use crate::spec::{TaskSpec, WorkflowSpec};
 
 /// Task-to-node assignment policy.
@@ -153,6 +158,11 @@ pub struct RunConfig {
     /// entirely — the run allocates no recorder and pays only a dead branch
     /// per potential emission.
     pub obs: Option<ObsConfig>,
+    /// Crash-consistent checkpointing. `None` (the default) writes nothing;
+    /// with a policy set, the engine writes versioned
+    /// [`CheckpointManifest`]s that [`resume_from`] can continue from after
+    /// a coordinator crash, byte-identical to an uninterrupted run.
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl RunConfig {
@@ -170,6 +180,7 @@ impl RunConfig {
             faults: FaultPlan::none(),
             retry: RetryPolicy::default(),
             obs: None,
+            checkpoint: None,
         }
     }
 
@@ -186,6 +197,7 @@ impl RunConfig {
             faults: FaultPlan::none(),
             retry: RetryPolicy::default(),
             obs: None,
+            checkpoint: None,
         }
     }
 }
@@ -205,6 +217,10 @@ pub struct RunResult {
     /// Recorded timeline when [`RunConfig::obs`] was set; export with
     /// [`dfl_obs::chrome_trace`] / [`dfl_obs::jsonl`] / [`dfl_obs::ascii_summary`].
     pub timeline: Option<Timeline>,
+    /// Total simulator dispatches over the run — the clock chaos plans are
+    /// expressed in ([`dfl_iosim::ChaosKind::CoordinatorCrash`]), so a chaos
+    /// driver can derive seeded kill points from a golden run's total.
+    pub events_dispatched: u64,
 }
 
 impl RunResult {
@@ -256,9 +272,9 @@ fn place_tasks(placement: &Placement, tasks: &[crate::spec::TaskSpec], nodes: u3
 
 /// What a submitted job is, engine-side: lets failure handling and stage
 /// accounting work off job ids even after retries and recovery jobs are
-/// appended mid-run.
-#[derive(Debug, Clone, Copy)]
-enum JobKind {
+/// appended mid-run. Public only for checkpoint transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobKind {
     /// Stage-0 input staging job for a node.
     Staging(u32),
     /// First attempt of task `ti`.
@@ -392,10 +408,160 @@ pub fn run(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, SimError> 
     if let Err(e) = spec.validate() {
         panic!("invalid workflow spec: {e}");
     }
-    let nodes = cfg.cluster.node_count() as u32;
-    assert!(nodes > 0);
-    let shared = TierRef::shared(cfg.staging.shared);
+    let ctx = EngineCtx::new(spec, cfg);
+    let (mut sim, mut st) = init_run(&ctx);
+    if cfg.checkpoint.is_some() {
+        // Baseline manifest at t=0: however early the coordinator dies,
+        // there is always a manifest to resume from.
+        take_checkpoint(&mut sim, &ctx, &mut st)?;
+    }
+    drive(&mut sim, &ctx, &mut st)?;
+    Ok(finalize(sim, &ctx, &st))
+}
 
+/// Resumes a checkpointed run from `manifest`, revalidating the manifest
+/// version and the `(spec, cfg)` hash before touching any state. Nothing is
+/// replayed: the simulator restores to the exact quiescent point the
+/// manifest captured — mid-stage, in-flight I/O and all — and the engine
+/// continues from there. Because the simulator is deterministic, the final
+/// [`RunResult`] (timeline included) is byte-identical to the same
+/// configuration run without interruption.
+///
+/// `cfg` must be the run's original configuration, checkpoint cadence
+/// included so future checkpoints land at the original points. Only the
+/// chaos clause and the checkpoint directory are excluded from the hash —
+/// a crash-killed run may resume with its kill switch still armed (or
+/// disarmed), but any other config drift is a typed
+/// [`CheckpointError::HashMismatch`], never a silently wrong answer.
+pub fn resume_from(
+    spec: &WorkflowSpec,
+    cfg: &RunConfig,
+    manifest: CheckpointManifest,
+) -> Result<RunResult, CheckpointError> {
+    if manifest.version != MANIFEST_VERSION {
+        return Err(CheckpointError::VersionMismatch {
+            found: manifest.version,
+            expected: MANIFEST_VERSION,
+        });
+    }
+    let expected = config_hash(spec, cfg);
+    if manifest.config_hash != expected {
+        return Err(CheckpointError::HashMismatch {
+            manifest: manifest.config_hash,
+            config: expected,
+        });
+    }
+    if let Err(e) = spec.validate() {
+        panic!("invalid workflow spec: {e}");
+    }
+    let ctx = EngineCtx::new(spec, cfg);
+    let mut sim = Simulation::restore(manifest.sim)?;
+    // Snapshots are chaos-free by construction; re-arm the kill switch from
+    // the *offered* config so a chaos driver can schedule further crashes.
+    sim.set_chaos(cfg.faults.chaos);
+    let mut st = manifest.engine;
+    drive(&mut sim, &ctx, &mut st).map_err(CheckpointError::Sim)?;
+    Ok(finalize(sim, &ctx, &st))
+}
+
+/// [`resume_from`] the highest-sequence manifest in the configured
+/// checkpoint directory.
+pub fn resume_latest(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, CheckpointError> {
+    let dir = cfg.checkpoint.as_ref().map(|c| c.dir.clone());
+    let manifest = load_latest(&dir.ok_or(CheckpointError::NoCheckpointConfig)?)?;
+    resume_from(spec, cfg, manifest)
+}
+
+/// The engine's dynamic bookkeeping, parallel to the simulator's job table:
+/// `root_of[j]` is the first attempt of `j`'s retry chain (attempts are
+/// counted per chain); `kind_of_job[j]` says what work unit `j` is.
+/// Serializable so a [`CheckpointManifest`] can carry it — restoring it
+/// alongside the matching [`dfl_iosim::SimSnapshot`] resumes a run
+/// mid-stage with no replay. Public only for checkpoint transport.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineState {
+    pub kind_of_job: Vec<JobKind>,
+    pub root_of: Vec<u32>,
+    /// Latest staging-job attempt per node.
+    pub stage_job_of_node: HashMap<u32, JobId>,
+    /// Latest attempt of each task — retries of its consumers depend on it.
+    pub cur_job_of_task: Vec<JobId>,
+    /// Chain root → failures so far.
+    pub attempts: HashMap<u32, u32>,
+    pub stage_retries: HashMap<u32, u32>,
+    /// Task → latest in-flight recovery job.
+    pub pending_rerun: HashMap<usize, JobId>,
+    pub rec_count: Vec<u32>,
+    pub n_retries: u32,
+    pub n_recovery: u32,
+    /// Sequence number the next manifest will carry.
+    pub ckpt_seq: u64,
+    /// Next sim-time checkpoint deadline under an `every_sim_ns` policy —
+    /// carried in the manifest so a resumed run checkpoints at exactly the
+    /// uninterrupted run's future points.
+    pub next_ckpt_ns: Option<u64>,
+    /// Fully-completed stage count as of the last checkpoint.
+    pub stages_ckpted: u32,
+}
+
+/// Static per-run derivations (placement, file sizes, producer graph,
+/// staging file lists) — pure functions of `(spec, cfg)`, recomputed
+/// identically on fresh runs and on resume.
+struct EngineCtx<'a> {
+    spec: &'a WorkflowSpec,
+    cfg: &'a RunConfig,
+    shared: TierRef,
+    /// Resolved file sizes: inputs plus declared outputs.
+    size_of: HashMap<&'a str, u64>,
+    producers: HashMap<&'a str, Vec<usize>>,
+    node_for: Vec<u32>,
+    /// Per node, the input files its tasks read (kept owned so failed
+    /// staging jobs can be rebuilt for retry).
+    staged_files: BTreeMap<u32, Vec<String>>,
+}
+
+impl<'a> EngineCtx<'a> {
+    fn new(spec: &'a WorkflowSpec, cfg: &'a RunConfig) -> Self {
+        let nodes = cfg.cluster.node_count() as u32;
+        assert!(nodes > 0);
+        let shared = TierRef::shared(cfg.staging.shared);
+
+        let mut size_of: HashMap<&str, u64> = HashMap::new();
+        for i in &spec.inputs {
+            size_of.insert(&i.path, i.size);
+        }
+        let mut producers: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (ti, t) in spec.tasks.iter().enumerate() {
+            for w in &t.writes {
+                *size_of.entry(&w.file).or_insert(0) += w.bytes;
+                producers.entry(&w.file).or_default().push(ti);
+            }
+        }
+
+        let node_for: Vec<u32> = place_tasks(&cfg.placement, &spec.tasks, nodes);
+
+        let mut staged_files: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+        if cfg.staging.stage_inputs.is_some() {
+            for (ti, t) in spec.tasks.iter().enumerate() {
+                for r in &t.reads {
+                    if spec.inputs.iter().any(|i| i.path == r.file) {
+                        let v = staged_files.entry(node_for[ti]).or_default();
+                        if !v.contains(&r.file) {
+                            v.push(r.file.clone());
+                        }
+                    }
+                }
+            }
+        }
+
+        EngineCtx { spec, cfg, shared, size_of, producers, node_for, staged_files }
+    }
+}
+
+/// Builds the simulator, creates the external input files, and submits the
+/// initial job set (stage-0 staging jobs plus first attempts of every task).
+fn init_run(ctx: &EngineCtx) -> (Simulation, EngineState) {
+    let (spec, cfg, shared) = (ctx.spec, ctx.cfg, ctx.shared);
     let mut sim = Simulation::new(
         cfg.cluster.clone(),
         SimConfig {
@@ -407,77 +573,58 @@ pub fn run(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, SimError> 
             obs: cfg.obs.clone(),
         },
     );
-
-    // Resolve file sizes: inputs plus declared outputs.
-    let mut size_of: HashMap<&str, u64> = HashMap::new();
     for i in &spec.inputs {
-        size_of.insert(&i.path, i.size);
         sim.fs_mut().create_external(&i.path, i.size, shared);
     }
-    let mut producers: HashMap<&str, Vec<usize>> = HashMap::new();
-    for (ti, t) in spec.tasks.iter().enumerate() {
-        for w in &t.writes {
-            *size_of.entry(&w.file).or_insert(0) += w.bytes;
-            producers.entry(&w.file).or_default().push(ti);
-        }
-    }
 
-    // Placement.
-    let node_for: Vec<u32> = place_tasks(&cfg.placement, &spec.tasks, nodes);
-
-    // Engine-side job bookkeeping, parallel to the simulator's job table.
-    // `root_of[j]` is the first attempt of `j`'s retry chain (attempts are
-    // counted per chain); `kind_of_job[j]` says what work unit `j` is.
-    let mut kind_of_job: Vec<JobKind> = Vec::new();
-    let mut root_of: Vec<u32> = Vec::new();
+    let mut st = EngineState {
+        kind_of_job: Vec::new(),
+        root_of: Vec::new(),
+        stage_job_of_node: HashMap::new(),
+        cur_job_of_task: Vec::with_capacity(spec.tasks.len()),
+        attempts: HashMap::new(),
+        stage_retries: HashMap::new(),
+        pending_rerun: HashMap::new(),
+        rec_count: vec![0; spec.tasks.len()],
+        n_retries: 0,
+        n_recovery: 0,
+        ckpt_seq: 0,
+        next_ckpt_ns: cfg.checkpoint.as_ref().and_then(|c| c.every_sim_ns),
+        stages_ckpted: 0,
+    };
 
     // Input staging: one stage-0 job per node copying the inputs its tasks
-    // read. File lists are kept (owned) so failed staging jobs can be
-    // rebuilt for retry.
-    let mut stage_job_of_node: HashMap<u32, JobId> = HashMap::new();
-    let mut staged_files: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+    // read.
     if let Some(kind) = cfg.staging.stage_inputs {
         assert!(cfg.cluster.has_tier(kind), "staging tier missing from cluster");
-        for (ti, t) in spec.tasks.iter().enumerate() {
-            for r in &t.reads {
-                if spec.inputs.iter().any(|i| i.path == r.file) {
-                    let v = staged_files.entry(node_for[ti]).or_default();
-                    if !v.contains(&r.file) {
-                        v.push(r.file.clone());
-                    }
-                }
-            }
-        }
-        for (&node, files) in &staged_files {
+        for (&node, files) in &ctx.staged_files {
             let mut job = JobSpec::new(&format!("staging-{node}"), node).logical("staging");
             for a in staging_actions(files, node, kind, shared, cfg.staging.stage_from_origin) {
                 job = job.action(a);
             }
             let id = sim.submit(job);
-            kind_of_job.push(JobKind::Staging(node));
-            root_of.push(id.0);
-            stage_job_of_node.insert(node, id);
+            st.kind_of_job.push(JobKind::Staging(node));
+            st.root_of.push(id.0);
+            st.stage_job_of_node.insert(node, id);
         }
     }
 
-    // Submit tasks. `cur_job_of_task[ti]` tracks the latest attempt of each
-    // task — retries of its consumers depend on it.
-    let mut cur_job_of_task: Vec<JobId> = Vec::with_capacity(spec.tasks.len());
+    // Submit tasks.
     for (ti, t) in spec.tasks.iter().enumerate() {
-        let node = node_for[ti];
+        let node = ctx.node_for[ti];
         let mut job = JobSpec::new(&t.name, node).logical(&t.logical);
 
         // Dependencies: explicit, data (producers of read files), staging.
         for &a in &t.after {
-            job = job.dep(cur_job_of_task[a]);
+            job = job.dep(st.cur_job_of_task[a]);
         }
         let mut reads_staged_input = false;
         for r in &t.reads {
-            if let Some(ps) = producers.get(r.file.as_str()) {
+            if let Some(ps) = ctx.producers.get(r.file.as_str()) {
                 for &p in ps {
                     assert!(p != ti, "task {} reads its own output", t.name);
                     assert!(p < ti, "producers must precede consumers in spec order");
-                    job = job.dep(cur_job_of_task[p]);
+                    job = job.dep(st.cur_job_of_task[p]);
                 }
             }
             if spec.inputs.iter().any(|i| i.path == r.file) {
@@ -485,34 +632,177 @@ pub fn run(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, SimError> 
             }
         }
         if reads_staged_input {
-            if let Some(&sj) = stage_job_of_node.get(&node) {
+            if let Some(&sj) = st.stage_job_of_node.get(&node) {
                 job = job.dep(sj);
             }
         }
 
-        for a in task_actions(t, node, &cfg.staging, shared, &size_of) {
+        for a in task_actions(t, node, &cfg.staging, shared, &ctx.size_of) {
             job = job.action(a);
         }
 
         let id = sim.submit(job);
-        kind_of_job.push(JobKind::Task(ti));
-        root_of.push(id.0);
-        cur_job_of_task.push(id);
+        st.kind_of_job.push(JobKind::Task(ti));
+        st.root_of.push(id.0);
+        st.cur_job_of_task.push(id);
     }
 
-    // Incident loop: run until done, handling each failed attempt with
-    // lineage recovery plus a backoff retry.
-    let mut attempts: HashMap<u32, u32> = HashMap::new(); // chain root → failures
-    let mut stage_retries: HashMap<u32, u32> = HashMap::new();
-    let mut pending_rerun: HashMap<usize, JobId> = HashMap::new(); // task → latest recovery job
-    let mut rec_count: Vec<u32> = vec![0; spec.tasks.len()];
-    let mut n_retries: u32 = 0;
-    let mut n_recovery: u32 = 0;
+    (sim, st)
+}
+
+/// The incident loop: runs the simulator to completion, repairing each
+/// failed-attempt batch and taking checkpoints at the configured pause
+/// points. Shared verbatim between fresh runs and resumed ones — resuming
+/// is just re-entering this loop with restored state.
+fn drive(sim: &mut Simulation, ctx: &EngineCtx, st: &mut EngineState) -> Result<(), SimError> {
+    let ckpt = ctx.cfg.checkpoint.as_ref();
+    if ckpt.is_some_and(|c| c.every_stages.is_some()) {
+        sim.set_pause_on_job_complete(true);
+    }
     loop {
-        let failures = match sim.run_to_incident()? {
+        if ckpt.is_some_and(|c| c.every_sim_ns.is_some()) {
+            sim.set_pause_at(st.next_ckpt_ns);
+        }
+        match sim.run_to_incident()? {
             RunOutcome::Completed => break,
-            RunOutcome::Failures(f) => f,
-        };
+            RunOutcome::Paused => {
+                if checkpoint_due(sim, ctx, st) {
+                    take_checkpoint(sim, ctx, st)?;
+                }
+            }
+            RunOutcome::Failures(failures) => {
+                handle_failures(sim, ctx, st, failures)?;
+                if ckpt.is_some_and(|c| c.on_incident) {
+                    take_checkpoint(sim, ctx, st)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// How many workflow stages have fully completed (every task of the stage
+/// has a successful latest attempt).
+fn stages_complete(sim: &Simulation, ctx: &EngineCtx, st: &EngineState) -> u32 {
+    let mut done_by_stage: BTreeMap<u32, bool> = BTreeMap::new();
+    for (ti, t) in ctx.spec.tasks.iter().enumerate() {
+        let e = done_by_stage.entry(t.stage).or_insert(true);
+        *e = *e && sim.job_done(st.cur_job_of_task[ti]);
+    }
+    done_by_stage.values().filter(|&&d| d).count() as u32
+}
+
+/// Whether a pause point should become a checkpoint under the configured
+/// policy.
+fn checkpoint_due(sim: &Simulation, ctx: &EngineCtx, st: &EngineState) -> bool {
+    let Some(c) = ctx.cfg.checkpoint.as_ref() else { return false };
+    if c.every_sim_ns.is_some() {
+        if let Some(deadline) = st.next_ckpt_ns {
+            if sim.time().ns() >= deadline {
+                return true;
+            }
+        }
+    }
+    if let Some(n) = c.every_stages {
+        if stages_complete(sim, ctx, st) >= st.stages_ckpted.saturating_add(n) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Takes one checkpoint: records the checkpoint span + metrics, advances
+/// the policy cursors, and writes `manifest-{seq}.json` atomically.
+///
+/// Ordering matters for determinism: the snapshot is first serialized as a
+/// *probe* to measure its size, the zero-duration checkpoint span (and the
+/// `checkpoint_bytes` / `checkpoint_stalls` counters) are recorded, and
+/// only then is the real snapshot taken — so the manifest's snapshot
+/// contains its own checkpoint span, a resumed run never re-records it,
+/// and the recorded byte count (which excludes that span) agrees between a
+/// golden run and a resumed one. Restore emits no spans at all.
+fn take_checkpoint(sim: &mut Simulation, ctx: &EngineCtx, st: &mut EngineState) -> Result<(), SimError> {
+    let Some(c) = ctx.cfg.checkpoint.as_ref() else { return Ok(()) };
+    let seq = st.ckpt_seq;
+    let t_ns = sim.time().ns();
+
+    let bytes = {
+        let probe = sim.snapshot()?;
+        serde_json::to_string(&probe)
+            .map_err(|e| SimError::Snapshot(format!("checkpoint encode: {e}")))?
+            .len() as u64
+    };
+    if let Some(obs) = sim.obs_mut() {
+        obs.record_checkpoint(seq, bytes, t_ns);
+    }
+
+    // Advance the policy cursors *before* cloning the state into the
+    // manifest, so a resumed run checkpoints at exactly the golden run's
+    // future points.
+    st.ckpt_seq = seq + 1;
+    if let (Some(every), Some(mut next)) = (c.every_sim_ns, st.next_ckpt_ns) {
+        while next <= t_ns {
+            next += every;
+        }
+        st.next_ckpt_ns = Some(next);
+    }
+    st.stages_ckpted = stages_complete(sim, ctx, st);
+
+    let snap = sim.snapshot()?;
+    let ledger: Vec<AttemptRecord> = snap
+        .jobs
+        .iter()
+        .enumerate()
+        .filter(|(_, j)| matches!(j.state, JobState::Done | JobState::Failed))
+        .map(|(i, j)| AttemptRecord {
+            job: i as u32,
+            name: j.name.clone(),
+            node: j.node,
+            start_ns: j.start.map_or(0, |t| t.ns()),
+            end_ns: j.end.map_or(0, |t| t.ns()),
+            failed: j.state == JobState::Failed,
+        })
+        .collect();
+    let manifest = CheckpointManifest {
+        version: MANIFEST_VERSION,
+        config_hash: config_hash(ctx.spec, ctx.cfg),
+        seq,
+        sim_time_ns: t_ns,
+        ledger,
+        files: snap.files.clone(),
+        engine: st.clone(),
+        sim: snap,
+    };
+    write_manifest(&c.dir, &manifest)
+        .map_err(|e| SimError::Snapshot(format!("checkpoint write: {e}")))?;
+    Ok(())
+}
+
+/// Repairs one batch of failed attempts: lineage recovery of lost inputs,
+/// then a backoff retry per failure (see [`run`] for the full story).
+fn handle_failures(
+    sim: &mut Simulation,
+    ctx: &EngineCtx,
+    st: &mut EngineState,
+    failures: Vec<JobFailure>,
+) -> Result<(), SimError> {
+    let (spec, cfg, shared) = (ctx.spec, ctx.cfg, ctx.shared);
+    let (size_of, producers) = (&ctx.size_of, &ctx.producers);
+    let (node_for, staged_files) = (&ctx.node_for, &ctx.staged_files);
+    let EngineState {
+        kind_of_job,
+        root_of,
+        stage_job_of_node,
+        cur_job_of_task,
+        attempts,
+        stage_retries,
+        pending_rerun,
+        rec_count,
+        n_retries,
+        n_recovery,
+        ..
+    } = st;
+    {
         for f in failures {
             let kind = kind_of_job[f.job.0 as usize];
             let root = root_of[f.job.0 as usize];
@@ -543,7 +833,7 @@ pub fn run(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, SimError> 
                 let mut needed: BTreeSet<usize> = BTreeSet::new();
                 let mut work: Vec<&str> = Vec::new();
                 for r in &spec.tasks[ti].reads {
-                    if file_lost(&sim, &r.file) {
+                    if file_lost(sim, &r.file) {
                         work.push(&r.file);
                     }
                 }
@@ -551,7 +841,7 @@ pub fn run(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, SimError> 
                     for &p in producers.get(fpath).into_iter().flatten() {
                         if needed.insert(p) {
                             for r in &spec.tasks[p].reads {
-                                if file_lost(&sim, &r.file) {
+                                if file_lost(sim, &r.file) {
                                     work.push(&r.file);
                                 }
                             }
@@ -574,7 +864,7 @@ pub fn run(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, SimError> 
                             .delay_ns(sim.time().ns())
                             .recovery(true);
                     for r in &t.reads {
-                        if file_lost(&sim, &r.file) {
+                        if file_lost(sim, &r.file) {
                             for p2 in producers.get(r.file.as_str()).into_iter().flatten() {
                                 if let Some(&rj2) = pending_rerun.get(p2) {
                                     job = job.dep(rj2);
@@ -582,17 +872,17 @@ pub fn run(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, SimError> 
                             }
                         }
                     }
-                    for a in task_actions(t, node_for[p], &cfg.staging, shared, &size_of) {
+                    for a in task_actions(t, node_for[p], &cfg.staging, shared, size_of) {
                         job = job.action(a);
                     }
                     let id = sim.submit(job);
                     kind_of_job.push(JobKind::Recovery(p));
                     root_of.push(id.0);
                     pending_rerun.insert(p, id);
-                    n_recovery += 1;
+                    *n_recovery += 1;
                 }
                 for r in &spec.tasks[ti].reads {
-                    if file_lost(&sim, &r.file) {
+                    if file_lost(sim, &r.file) {
                         for p in producers.get(r.file.as_str()).into_iter().flatten() {
                             if let Some(&rj) = pending_rerun.get(p) {
                                 if !sim.job_done(rj) && !rerun_deps.contains(&rj) {
@@ -650,7 +940,7 @@ pub fn run(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, SimError> 
                     for &rj in &rerun_deps {
                         j = j.dep(rj);
                     }
-                    for a in task_actions(t, node_for[ti], &cfg.staging, shared, &size_of) {
+                    for a in task_actions(t, node_for[ti], &cfg.staging, shared, size_of) {
                         j = j.action(a);
                     }
                     j
@@ -668,17 +958,17 @@ pub fn run(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, SimError> 
                     for &rj in &rerun_deps {
                         j = j.dep(rj);
                     }
-                    for a in task_actions(t, node_for[ti], &cfg.staging, shared, &size_of) {
+                    for a in task_actions(t, node_for[ti], &cfg.staging, shared, size_of) {
                         j = j.action(a);
                     }
-                    n_recovery += 1;
+                    *n_recovery += 1;
                     j
                 }
             };
             let id = sim.resubmit(f.job, retry);
             kind_of_job.push(kind.retry_of());
             root_of.push(root);
-            n_retries += 1;
+            *n_retries += 1;
             match kind {
                 JobKind::Task(ti) | JobKind::Retry(ti) => cur_job_of_task[ti] = id,
                 JobKind::Recovery(ti) => {
@@ -690,13 +980,17 @@ pub fn run(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, SimError> 
             }
         }
     }
+    Ok(())
+}
 
+/// Builds the [`RunResult`] from a finished simulator plus engine state.
+fn finalize(mut sim: Simulation, ctx: &EngineCtx, st: &EngineState) -> RunResult {
     // Stage spans from reports: staging jobs are stage 0; retries and
     // recovery re-runs count toward their task's stage.
     let reports = sim.reports();
     let mut stage_spans: BTreeMap<u32, (f64, f64)> = BTreeMap::new();
     for (i, r) in reports.iter().enumerate() {
-        let stage = kind_of_job[i].task().map_or(0, |ti| spec.tasks[ti].stage);
+        let stage = st.kind_of_job[i].task().map_or(0, |ti| ctx.spec.tasks[ti].stage);
         let entry = stage_spans
             .entry(stage)
             .or_insert((f64::INFINITY, f64::NEG_INFINITY));
@@ -705,8 +999,8 @@ pub fn run(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, SimError> 
     }
 
     let mut failure = sim.failure_report();
-    failure.retries = n_retries;
-    failure.recovery_jobs = n_recovery;
+    failure.retries = st.n_retries;
+    failure.recovery_jobs = st.n_recovery;
 
     // Stage spans onto the timeline's stage track (sorted by stage id, so
     // same-seed runs emit them in identical order), then detach it.
@@ -715,7 +1009,7 @@ pub fn run(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, SimError> 
     }
     let timeline = sim.take_timeline();
 
-    Ok(RunResult {
+    RunResult {
         makespan_s: sim.time().secs(),
         stage_spans,
         total_breakdown: sim.total_breakdown(),
@@ -723,7 +1017,8 @@ pub fn run(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, SimError> 
         reports,
         failure,
         timeline,
-    })
+        events_dispatched: sim.events_dispatched(),
+    }
 }
 
 #[cfg(test)]
@@ -899,6 +1194,133 @@ mod tests {
         let stage1 = tl.spans().find(|s| s.name == "stage 1").unwrap();
         let gen = tl.spans().find(|s| s.name == "gen-0").unwrap();
         assert!(stage1.start_ns <= gen.start_ns && gen.end_ns <= stage1.end_ns);
+    }
+
+    /// Full outcome tuple for byte-identity comparisons: every consumer-
+    /// visible piece of a [`RunResult`], with the non-`PartialEq`
+    /// measurement set compared through its serde value.
+    type Outcome = (String, Vec<(String, u64, bool)>, FailureReport, String, u64);
+
+    fn outcome(r: &RunResult) -> Outcome {
+        (
+            format!("{:.9}/{:?}", r.makespan_s, r.stage_spans),
+            r.reports.iter().map(|j| (j.name.clone(), j.end_ns, j.failed)).collect(),
+            r.failure.clone(),
+            r.timeline.as_ref().map(dfl_obs::chrome_trace).unwrap_or_default(),
+            r.events_dispatched,
+        )
+    }
+
+    fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dfl-engine-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run_and_writes_manifests() {
+        let spec = two_stage();
+        let mut plain = RunConfig::default_gpu(2);
+        plain.obs = Some(ObsConfig::sampled(10_000_000));
+        let golden = run(&spec, &plain).unwrap();
+
+        let dir = ckpt_dir("transparent");
+        let mut cfg = plain.clone();
+        cfg.checkpoint = Some(CheckpointConfig::to_dir(&dir).every_sim_ns(40_000_000));
+        let ckpted = run(&spec, &cfg).unwrap();
+
+        // Checkpointing must not perturb the simulation itself: makespan,
+        // reports, and failure report agree with the plain run (the
+        // timeline differs only by the extra checkpoint spans).
+        assert_eq!(golden.makespan_s, ckpted.makespan_s);
+        assert_eq!(outcome(&golden).1, outcome(&ckpted).1);
+        assert_eq!(golden.failure, ckpted.failure);
+        assert_eq!(golden.events_dispatched, ckpted.events_dispatched);
+        let tl = ckpted.timeline.as_ref().unwrap();
+        let n_ckpt =
+            tl.spans().filter(|s| s.kind == dfl_obs::SpanKind::Checkpoint).count() as u64;
+        assert!(n_ckpt >= 2, "baseline + periodic checkpoints, got {n_ckpt}");
+
+        let manifest = crate::checkpoint::load_latest(&dir).unwrap();
+        assert_eq!(manifest.version, MANIFEST_VERSION);
+        assert_eq!(manifest.config_hash, config_hash(&spec, &cfg));
+        assert!(manifest.seq >= 1);
+        assert!(!manifest.ledger.is_empty(), "finished attempts recorded");
+        assert!(manifest.files.iter().any(|f| f.path == "mid.dat"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_crash_then_resume_is_byte_identical() {
+        let spec = two_stage();
+        let dir = ckpt_dir("chaos");
+        let mut cfg = RunConfig::default_gpu(2);
+        cfg.obs = Some(ObsConfig::sampled(10_000_000));
+        cfg.faults = FaultPlan::seeded(7).crash(0, 80_000_000, 50_000_000).io_errors(0.002);
+        cfg.checkpoint =
+            Some(CheckpointConfig::to_dir(&dir).every_sim_ns(30_000_000).on_incident());
+        let golden = run(&spec, &cfg).unwrap();
+        let golden_out = outcome(&golden);
+        assert!(golden.events_dispatched > 4);
+
+        for frac in [4, 2] {
+            let _ = std::fs::remove_dir_all(&dir);
+            let at_event = golden.events_dispatched / frac;
+            let mut chaos_cfg = cfg.clone();
+            chaos_cfg.faults = chaos_cfg.faults.chaos_crash(at_event);
+            match run(&spec, &chaos_cfg) {
+                Err(SimError::CoordinatorCrash { at_event: e }) => assert_eq!(e, at_event),
+                other => panic!("expected coordinator crash, got {other:?}"),
+            }
+            // The dead coordinator left manifests behind; a fresh one picks
+            // up the newest and finishes identically to the golden run.
+            let resumed = resume_latest(&spec, &cfg).unwrap();
+            assert_eq!(golden_out, outcome(&resumed), "crash at event {at_event}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_config_drift_with_typed_error() {
+        let spec = two_stage();
+        let dir = ckpt_dir("drift");
+        let mut cfg = RunConfig::default_gpu(2);
+        cfg.checkpoint = Some(CheckpointConfig::to_dir(&dir).every_sim_ns(30_000_000));
+        run(&spec, &cfg).unwrap();
+
+        let manifest = crate::checkpoint::load_latest(&dir).unwrap();
+        let mut drifted = cfg.clone();
+        drifted.retry.max_attempts += 1;
+        match resume_from(&spec, &drifted, manifest) {
+            Err(CheckpointError::HashMismatch { .. }) => {}
+            other => panic!("expected HashMismatch, got {:?}", other.map(|r| r.makespan_s)),
+        }
+
+        // Chaos in the offered config is NOT drift: the kill switch is
+        // excluded from the hash so crashed runs can resume.
+        let manifest = crate::checkpoint::load_latest(&dir).unwrap();
+        let mut armed = cfg.clone();
+        armed.faults = armed.faults.chaos_crash(u64::MAX);
+        assert!(resume_from(&spec, &armed, manifest).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_stages_policy_checkpoints_on_stage_boundaries() {
+        let spec = two_stage();
+        let dir = ckpt_dir("stages");
+        let mut cfg = RunConfig::default_gpu(2);
+        cfg.obs = Some(ObsConfig::default());
+        cfg.checkpoint = Some(CheckpointConfig::to_dir(&dir).every_stages(1));
+        let r = run(&spec, &cfg).unwrap();
+        let tl = r.timeline.as_ref().unwrap();
+        let n_ckpt = tl.spans().filter(|s| s.kind == dfl_obs::SpanKind::Checkpoint).count();
+        // Baseline + one per completed stage boundary reached mid-run (the
+        // final stage completes the run, so no pause fires after it).
+        assert!(n_ckpt >= 2, "got {n_ckpt} checkpoint spans");
+        let manifest = crate::checkpoint::load_latest(&dir).unwrap();
+        assert!(manifest.engine.stages_ckpted >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

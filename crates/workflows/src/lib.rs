@@ -19,6 +19,7 @@
 //! ```
 
 pub mod belle2;
+pub mod checkpoint;
 pub mod ddmd;
 pub mod engine;
 pub mod genomes;
@@ -26,6 +27,13 @@ pub mod montage;
 pub mod seismic;
 pub mod spec;
 
-pub use engine::{run, Placement, RetryPolicy, RunConfig, RunResult, Staging};
+pub use checkpoint::{
+    config_hash, load_latest, load_manifest, latest_manifest, CheckpointConfig, CheckpointError,
+    CheckpointManifest, MANIFEST_VERSION,
+};
+pub use engine::{
+    resume_from, resume_latest, run, EngineState, Placement, RetryPolicy, RunConfig, RunResult,
+    Staging,
+};
 pub use spec::{FileUse, TaskSpec, WorkflowSpec};
-pub use dfl_iosim::{FailureReport, FaultPlan};
+pub use dfl_iosim::{ChaosKind, FailureReport, FaultPlan};

@@ -256,3 +256,37 @@ proptest! {
         }
     }
 }
+
+/// A recovery job crashing *itself*: the first crash kills cons-0 and
+/// destroys m0.dat, so prod-0~rec1 is issued; the second crash window is
+/// timed to kill prod-0~rec1 mid-flight (it runs 400–465 ms on node 0), so
+/// the resubmit replaces-chain must issue prod-0~rec2 and point cons-0's
+/// dependency at it. The consumer must be released exactly once — a
+/// double-release would show up as two successful cons-0 attempts.
+#[test]
+fn crashed_recovery_job_is_reissued_and_releases_dependents_once() {
+    let mut cfg = diamond_cfg();
+    cfg.faults = FaultPlan::seeded(3)
+        .crash(0, 300_000_000, 100_000_000)
+        .crash(0, 430_000_000, 50_000_000);
+    cfg.retry.max_attempts = 30;
+    let r = run(&diamond(), &cfg).unwrap();
+
+    let names: Vec<&str> = r.reports.iter().map(|j| j.name.as_str()).collect();
+    assert!(names.contains(&"prod-0~rec1"), "{names:?}");
+    assert!(names.contains(&"prod-0~rec2"), "rec1 crashed, rec2 reissued: {names:?}");
+    assert!(r.failure.recovery_jobs >= 2, "{}", r.failure);
+    assert_eq!(r.failure.crashes, 2, "{}", r.failure);
+
+    // The crashed rec1 attempt is reported failed; exactly one rec attempt
+    // succeeds, and the consumer runs to completion exactly once.
+    let rec_ok =
+        r.reports.iter().filter(|j| j.name.starts_with("prod-0~rec") && !j.failed).count();
+    assert_eq!(rec_ok, 1, "{names:?}");
+    let cons_ok =
+        r.reports.iter().filter(|j| j.name.starts_with("cons-0") && !j.failed).count();
+    assert_eq!(cons_ok, 1, "dependents released exactly once: {names:?}");
+
+    // And the final outputs still match the fault-free run byte-for-byte.
+    assert_eq!(final_sizes(&r), final_sizes(&run(&diamond(), &diamond_cfg()).unwrap()));
+}
