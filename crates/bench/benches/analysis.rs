@@ -98,5 +98,49 @@ fn bench_opportunity_analysis(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gcpa, bench_caterpillar, bench_opportunity_analysis);
+/// The streaming engine: folding a real run's measurements task by task
+/// with a critical-path refresh after every fold (the watch dashboard's
+/// worst case) vs one batch pass over the same set.
+fn bench_live_incremental(c: &mut Criterion) {
+    use dfl_core::analysis::LiveDfl;
+    use dfl_workflows::engine::{run, RunConfig};
+    use dfl_workflows::genomes::{generate, GenomesConfig};
+
+    let set = run(&generate(&GenomesConfig::tiny()), &RunConfig::default_gpu(2))
+        .expect("clean run completes")
+        .measurements;
+    let mut group = c.benchmark_group("live_incremental");
+    group.throughput(Throughput::Elements(set.tasks.len() as u64));
+    group.bench_function("fold_with_cp_refresh_per_task", |b| {
+        b.iter(|| {
+            let mut live = LiveDfl::new(CostModel::Volume);
+            for f in &set.files {
+                live.fold_file(f);
+            }
+            let mut total = 0.0;
+            for t in &set.tasks {
+                let recs: Vec<_> =
+                    set.records.iter().filter(|r| r.task == t.task).cloned().collect();
+                live.fold_task(t, &recs);
+                total += live.critical_path().total_cost;
+            }
+            total
+        })
+    });
+    group.bench_function("batch_single_pass", |b| {
+        b.iter(|| {
+            let g = dfl_core::DflGraph::from_measurements(std::hint::black_box(&set));
+            critical_path(&g, &CostModel::Volume).total_cost
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gcpa,
+    bench_caterpillar,
+    bench_opportunity_analysis,
+    bench_live_incremental
+);
 criterion_main!(benches);

@@ -28,10 +28,11 @@ use dfl_core::analysis::ranking::{
 use dfl_core::viz::render_ascii;
 use dfl_core::viz::sankey::{SankeyDiagram, SankeyOptions};
 use dfl_core::DflGraph;
-use dfl_obs::ObsConfig;
+use dfl_obs::{diagnosis_kind_label, ObsConfig, WatchdogConfig};
 use dfl_trace::MeasurementSet;
 use dfl_workflows::engine::{resume_latest, run as run_workflow, RunConfig, RunResult};
 use dfl_workflows::spec::WorkflowSpec;
+use dfl_workflows::watch::{run_watched, WatchOptions, WindowSummary};
 use dfl_workflows::{belle2, ddmd, genomes, montage, seismic, CheckpointConfig, FaultPlan};
 
 const USAGE: &str = "\
@@ -42,6 +43,9 @@ USAGE:
                [--faults SPEC] [--retries N] [--trace-out FILE]
   datalife profile <genomes|ddmd|belle2|montage|seismic> [--scale tiny|paper] [--nodes N]
                [--trace-out FILE] [--jsonl FILE] [--sample-ms MS] [--faults SPEC] [--retries N]
+  datalife watch <genomes|ddmd|belle2|montage|seismic> [--scale tiny|paper] [--nodes N]
+               [--window-ms MS] [--sample-ms MS] [--faults SPEC] [--retries N]
+               [--headless] [--jsonl]
   datalife analyze <measurements.json> [--cost volume|time|branchjoin|fanin]
   datalife rank <measurements.json> [--what pc|data|task]
   datalife caterpillar <measurements.json> [--cost volume|time|branchjoin|fanin]
@@ -70,6 +74,15 @@ writes the raw timeline as compact JSON lines. --sample-ms sets the
 utilization/queue-depth sampling cadence in sim-time milliseconds
 (default 100; 0 disables sampling, leaving spans and instants only).
 `run --trace-out FILE` records the same trace alongside measurements.
+
+`watch` runs the workflow live with anomaly watchdogs on and refreshes an
+ASCII dashboard at every --window-ms of sim-time (default 100): progress,
+the top-5 blame breakdown, the current critical-path head, and any
+diagnoses (stall, tier saturation, cache thrash, queue imbalance) the
+watchdogs fired. --headless prints one summary line per window instead;
+add --jsonl to stream each window summary as one JSON object per line
+(the machine-readable schema). --sample-ms (default 20) is the cadence
+that drives the detectors' clock.
 
 `chaos` is the deterministic crash/restore driver: it runs the workflow
 once to completion with crash-consistent checkpoints on (the golden run),
@@ -219,6 +232,132 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     if let Some(path) = jsonl_out {
         std::fs::write(&path, dfl_obs::jsonl(tl)).map_err(|e| e.to_string())?;
         println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Renders one dashboard frame (ANSI clear + home, then ~a screenful).
+fn render_dashboard(workflow: &str, w: &WindowSummary, recent_diags: &[String]) {
+    let bar_w = 24usize;
+    let filled = (bar_w * w.tasks_done).checked_div(w.tasks_total).unwrap_or(0);
+    let bar: String =
+        "#".repeat(filled) + &".".repeat(bar_w - filled.min(bar_w));
+    print!("\x1b[2J\x1b[H");
+    println!(
+        "datalife watch — {workflow}   window {}   t = {:.3} s{}",
+        w.window,
+        w.t1_ns as f64 / 1e9,
+        if w.final_window { "   [final]" } else { "" }
+    );
+    println!(
+        "progress  [{bar}] {}/{} tasks   moved {:.1} MiB   failed {}   crashes {}",
+        w.tasks_done,
+        w.tasks_total,
+        w.moved_bytes as f64 / (1 << 20) as f64,
+        w.failed_attempts,
+        w.crashes
+    );
+    match &w.head {
+        Some(h) => println!(
+            "critical path  {} '{}'  cost {:.3e}  ({} vertices)",
+            h.kind, h.vertex, h.total_cost, h.path_len
+        ),
+        None => println!("critical path  (no completed tasks yet)"),
+    }
+    println!("top blame this window:");
+    if w.blame.is_empty() {
+        println!("  (idle window)");
+    }
+    for b in w.blame.iter().take(5) {
+        println!("  {:10} {:24} {:>12.3} ms", b.category, b.subject, b.busy_ns as f64 / 1e6);
+    }
+    println!("diagnoses ({} total):", recent_diags.len());
+    if recent_diags.is_empty() {
+        println!("  none");
+    }
+    for d in recent_diags.iter().rev().take(5) {
+        println!("  {d}");
+    }
+    println!("events: {} this window, {} dropped at subscriber", w.events, w.stream_dropped);
+}
+
+fn cmd_watch(args: &[String]) -> Result<(), String> {
+    let headless = args.iter().any(|a| a == "--headless");
+    let jsonl = args.iter().any(|a| a == "--jsonl");
+    let window_ms: u64 = match arg_value(args, "--window-ms") {
+        Some(s) => s.parse().map_err(|_| format!("bad --window-ms '{s}'"))?,
+        None => 100,
+    };
+    if window_ms == 0 {
+        return Err("--window-ms must be positive".into());
+    }
+    let sample_ms: u64 = match arg_value(args, "--sample-ms") {
+        Some(s) => s.parse().map_err(|_| format!("bad --sample-ms '{s}'"))?,
+        None => 20,
+    };
+    let workflow = args.first().cloned().unwrap_or_default();
+    let (spec, mut cfg) = select_workflow(args)?;
+    // Watchdogs need the sampling clock for their stall/saturation timers.
+    cfg.obs = Some(
+        ObsConfig::sampled(sample_ms.max(1) * 1_000_000).with_watchdogs(WatchdogConfig::default()),
+    );
+
+    let opts = WatchOptions { window_ns: window_ms * 1_000_000, ..WatchOptions::default() };
+    let mut recent_diags: Vec<String> = Vec::new();
+    let result = run_watched(&spec, &cfg, &opts, |w| {
+        for d in &w.diagnoses {
+            recent_diags.push(format!(
+                "{:>10.3} ms  {:15} {}  — {}",
+                d.t_ns as f64 / 1e6,
+                diagnosis_kind_label(d.kind),
+                d.subject,
+                d.detail
+            ));
+        }
+        if jsonl {
+            println!("{}", serde_json::to_string(w).expect("window summary serializes"));
+        } else if headless {
+            println!(
+                "window {:>4}  t={:>9.3}s  tasks {}/{}  events {:>6}  blame#{}  diag+{}",
+                w.window,
+                w.t1_ns as f64 / 1e9,
+                w.tasks_done,
+                w.tasks_total,
+                w.events,
+                w.blame.len(),
+                w.diagnoses.len()
+            );
+        } else {
+            render_dashboard(&workflow, w, &recent_diags);
+        }
+    })
+    .map_err(|e| e.to_string())?;
+
+    if !jsonl {
+        println!();
+        println!("{}", result.stage_summary());
+        if !result.failure.is_clean() {
+            println!("{}", result.failure);
+        }
+        if result.diagnoses.is_empty() {
+            println!("watchdogs: no anomalies diagnosed");
+        } else {
+            println!("watchdogs: {} diagnosis(es) fired:", result.diagnoses.len());
+            for d in &result.diagnoses {
+                println!(
+                    "  {:>10.3} ms  {:15} {}  — {}",
+                    d.t_ns as f64 / 1e6,
+                    diagnosis_kind_label(d.kind),
+                    d.subject,
+                    d.detail
+                );
+            }
+        }
+        if let Some(tl) = &result.timeline {
+            if tl.dropped > 0 {
+                println!("note: {} timeline event(s) dropped at the recorder limit", tl.dropped);
+            }
+        }
     }
     Ok(())
 }
@@ -498,6 +637,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "run" => cmd_run(rest),
         "profile" => cmd_profile(rest),
+        "watch" => cmd_watch(rest),
         "analyze" => cmd_analyze(rest),
         "rank" => cmd_rank(rest),
         "caterpillar" => cmd_caterpillar(rest),

@@ -1,0 +1,420 @@
+//! Online (in-situ) DFL analysis: an incremental graph builder fed task by
+//! task from a running workflow, plus windowed blame attribution.
+//!
+//! The post-hoc pipeline builds a [`DflGraph`] from a complete
+//! [`MeasurementSet`] after the run ends. [`LiveDfl`] instead *folds* each
+//! completed task's measurement records into an accumulating set as the run
+//! streams them out, and can materialize the current graph, critical path,
+//! and caterpillar at any point — the live "what is the run's shape so far"
+//! view the paper's in-situ motivation calls for.
+//!
+//! # Equivalence guarantee
+//!
+//! Batch graph construction assigns vertex IDs in measurement order (all
+//! tasks, then data files, then edges), and the critical-path DP breaks
+//! cost ties by vertex ID — so a *different* construction order could pick
+//! a different (equal-cost) path. `LiveDfl` therefore keeps its folded
+//! state in the collector's canonical order regardless of fold order: tasks
+//! sorted by [`TaskId`] (the monitor's begin order), files by [`FileId`]
+//! (intern order), records by `(task, file)` — exactly what
+//! [`MeasurementSet`] export produces. Folding every event of a finished
+//! run, in any arrival order, therefore reproduces the batch
+//! [`critical_path`]/[`caterpillar`] results **bit for bit**. The
+//! differential property suite locks this down on generated DAG runs,
+//! fault/retry runs included.
+//!
+//! # Blame
+//!
+//! [`Blame`] answers "where did this window's time go": every span retiring
+//! inside a window contributes its full duration to its `(category,
+//! subject)` bucket — e.g. `(run, node:0)`, `(flow, tier:beegfs)`,
+//! `(queued, node:1)`. A long transfer is attributed to the window in which
+//! it completes (spans are emitted at close time), which keeps the fold
+//! single-pass and deterministic. Entries sort by descending busy time, so
+//! the head of the list is the entity gating progress right now.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use crate::analysis::caterpillar::{caterpillar, Caterpillar, CaterpillarRule};
+use crate::analysis::cost::CostModel;
+use crate::analysis::critical_path::{critical_path, CriticalPath};
+use crate::graph::DflGraph;
+use dfl_trace::stats::FileRecord;
+use dfl_trace::{MeasurementSet, TaskFileRecord, TaskRecord};
+
+/// Incremental DFL builder with batch-equivalent materialization (see
+/// module docs).
+#[derive(Debug)]
+pub struct LiveDfl {
+    model: CostModel,
+    set: MeasurementSet,
+    /// Result caches, invalidated by any fold.
+    graph: Option<DflGraph>,
+    cp: Option<CriticalPath>,
+}
+
+/// The current critical path's head: the endpoint vertex the batch DP
+/// selects, i.e. where the dominant cost chain currently ends.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LiveHead {
+    /// Display name of the endpoint vertex.
+    pub vertex: String,
+    /// `"task"` or `"data"`.
+    pub kind: &'static str,
+    /// Total cost of the current critical path under the live model.
+    pub total_cost: f64,
+    /// Vertices on the current path.
+    pub path_len: usize,
+}
+
+impl LiveDfl {
+    pub fn new(model: CostModel) -> Self {
+        LiveDfl {
+            model,
+            set: MeasurementSet { tasks: Vec::new(), files: Vec::new(), records: Vec::new() },
+            graph: None,
+            cp: None,
+        }
+    }
+
+    /// Folds a file-table entry (idempotent per [`FileId`]; a later fold
+    /// with the same ID replaces the entry, since sizes grow as the run
+    /// writes).
+    pub fn fold_file(&mut self, f: &FileRecord) {
+        match self.set.files.binary_search_by_key(&f.file, |x| x.file) {
+            Ok(i) => {
+                let cur = &self.set.files[i];
+                if cur.path != f.path || cur.size != f.size || cur.block_size != f.block_size {
+                    self.set.files[i] = f.clone();
+                    self.invalidate();
+                }
+            }
+            Err(i) => {
+                self.set.files.insert(i, f.clone());
+                self.invalidate();
+            }
+        }
+    }
+
+    /// Folds one completed task and its per-file records. Re-folding the
+    /// same [`TaskId`] replaces the earlier fold (latest wins), so feeding
+    /// per-window snapshots is as valid as feeding one event per task.
+    pub fn fold_task(&mut self, t: &TaskRecord, records: &[TaskFileRecord]) {
+        match self.set.tasks.binary_search_by_key(&t.task, |x| x.task) {
+            Ok(i) => self.set.tasks[i] = t.clone(),
+            Err(i) => self.set.tasks.insert(i, t.clone()),
+        }
+        // Drop this task's previous records, then splice the new batch in
+        // canonical (task, file) position.
+        self.set.records.retain(|r| r.task != t.task);
+        for r in records {
+            debug_assert_eq!(r.task, t.task, "record folded under the wrong task");
+            let at = self
+                .set
+                .records
+                .binary_search_by_key(&(r.task, r.file), |x| (x.task, x.file))
+                .unwrap_or_else(|i| i);
+            self.set.records.insert(at, r.clone());
+        }
+        self.invalidate();
+    }
+
+    fn invalidate(&mut self) {
+        self.graph = None;
+        self.cp = None;
+    }
+
+    /// Tasks folded so far.
+    pub fn task_count(&self) -> usize {
+        self.set.tasks.len()
+    }
+
+    /// Task↔file records folded so far.
+    pub fn record_count(&self) -> usize {
+        self.set.records.len()
+    }
+
+    /// The accumulated measurement set, in canonical export order.
+    pub fn measurements(&self) -> &MeasurementSet {
+        &self.set
+    }
+
+    /// The current graph, built through the same canonical path as the
+    /// batch pipeline (memoized until the next fold).
+    pub fn graph(&mut self) -> &DflGraph {
+        if self.graph.is_none() {
+            self.graph = Some(DflGraph::from_measurements(&self.set));
+        }
+        self.graph.as_ref().expect("just built")
+    }
+
+    /// The current generalized critical path (memoized until the next
+    /// fold). Identical to `critical_path(&from_measurements(set), model)`
+    /// on the same folded state.
+    pub fn critical_path(&mut self) -> &CriticalPath {
+        if self.cp.is_none() {
+            if self.graph.is_none() {
+                self.graph = Some(DflGraph::from_measurements(&self.set));
+            }
+            let g = self.graph.as_ref().expect("just built");
+            self.cp = Some(critical_path(g, &self.model));
+        }
+        self.cp.as_ref().expect("just built")
+    }
+
+    /// The current DFL caterpillar around the live critical path.
+    pub fn caterpillar(&mut self, rule: CaterpillarRule) -> Caterpillar {
+        self.critical_path();
+        let cp = self.cp.clone().expect("just built");
+        caterpillar(self.graph.as_ref().expect("built with cp"), &cp, rule)
+    }
+
+    /// Where the dominant cost chain currently ends, or `None` while the
+    /// folded graph is still empty.
+    pub fn head(&mut self) -> Option<LiveHead> {
+        self.critical_path();
+        let cp = self.cp.as_ref().expect("just built");
+        let g = self.graph.as_ref().expect("built with cp");
+        let &last = cp.vertices.last()?;
+        let v = g.vertex(last);
+        Some(LiveHead {
+            vertex: v.name.clone(),
+            kind: if v.is_task() { "task" } else { "data" },
+            total_cost: cp.total_cost,
+            path_len: cp.vertices.len(),
+        })
+    }
+}
+
+/// One blame bucket of a window.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct BlameEntry {
+    /// Span category (`run`, `retry`, `recovery`, `flow`, `queued`, …).
+    pub category: String,
+    /// Track-level subject (`node:0`, `tier:beegfs`, …).
+    pub subject: String,
+    /// Nanoseconds attributed to this bucket in the window.
+    pub busy_ns: u64,
+}
+
+/// Streaming per-window blame accumulator (see module docs for the
+/// attribution rule).
+#[derive(Debug, Default)]
+pub struct Blame {
+    acc: BTreeMap<(String, String), u64>,
+}
+
+impl Blame {
+    pub fn new() -> Self {
+        Blame::default()
+    }
+
+    /// Attributes a retired span's duration to `(category, subject)`.
+    pub fn observe(&mut self, category: &str, subject: &str, start_ns: u64, end_ns: u64) {
+        let dur = end_ns.saturating_sub(start_ns);
+        if dur == 0 {
+            return;
+        }
+        *self.acc.entry((category.to_owned(), subject.to_owned())).or_insert(0) += dur;
+    }
+
+    /// Whether anything was attributed since the last window close.
+    pub fn is_empty(&self) -> bool {
+        self.acc.is_empty()
+    }
+
+    /// Closes the window: returns entries sorted by descending busy time
+    /// (ties broken by category, then subject — deterministic), clearing
+    /// the accumulator for the next window.
+    pub fn take_window(&mut self) -> Vec<BlameEntry> {
+        let mut entries: Vec<BlameEntry> = std::mem::take(&mut self.acc)
+            .into_iter()
+            .map(|((category, subject), busy_ns)| BlameEntry { category, subject, busy_ns })
+            .collect();
+        entries.sort_by(|a, b| {
+            b.busy_ns
+                .cmp(&a.busy_ns)
+                .then_with(|| a.category.cmp(&b.category))
+                .then_with(|| a.subject.cmp(&b.subject))
+        });
+        entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfl_trace::ids::{FileId, TaskId};
+
+    fn task(id: u32, name: &str, start: u64, end: u64) -> TaskRecord {
+        TaskRecord {
+            task: TaskId(id),
+            name: name.to_owned(),
+            logical: name.split('-').next().unwrap_or(name).to_owned(),
+            start_ns: start,
+            end_ns: end,
+        }
+    }
+
+    fn file(id: u32, path: &str, size: u64) -> FileRecord {
+        FileRecord { file: FileId(id), path: path.to_owned(), size, block_size: 4096 }
+    }
+
+    fn record(t: u32, f: u32, read: u64, written: u64) -> TaskFileRecord {
+        TaskFileRecord {
+            task: TaskId(t),
+            task_name: format!("t{t}"),
+            file: FileId(f),
+            file_path: format!("f{f}"),
+            opens: 1,
+            read_ops: u64::from(read > 0),
+            write_ops: u64::from(written > 0),
+            bytes_read: read,
+            bytes_written: written,
+            read_ns: read / 100,
+            write_ns: written / 100,
+            open_span_ns: 1_000,
+            first_open_ns: 0,
+            last_close_ns: 1_000,
+            file_size: read.max(written),
+            read_distance: Default::default(),
+            write_distance: Default::default(),
+            histogram: dfl_trace::histogram::BlockHistogram::new(
+                4096,
+                1,
+                dfl_trace::SpatialSampler::keep_all(1),
+            ),
+        }
+    }
+
+    /// gen writes f0; use reads f0, writes f1; sum reads f1.
+    fn chain_set() -> MeasurementSet {
+        MeasurementSet {
+            tasks: vec![
+                task(0, "gen-0", 0, 1_000),
+                task(1, "use-0", 1_000, 2_000),
+                task(2, "sum-0", 2_000, 3_000),
+            ],
+            files: vec![file(0, "f0", 1 << 20), file(1, "f1", 1 << 19)],
+            records: vec![
+                record(0, 0, 0, 1 << 20),
+                record(1, 0, 1 << 20, 0),
+                record(1, 1, 0, 1 << 19),
+                record(2, 1, 1 << 19, 0),
+            ],
+        }
+    }
+
+    fn assert_paths_identical(a: &CriticalPath, b: &CriticalPath) {
+        assert_eq!(a.vertices, b.vertices);
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.total_cost.to_bits(), b.total_cost.to_bits(), "cost bit-identical");
+    }
+
+    #[test]
+    fn full_fold_matches_batch_bit_for_bit() {
+        let set = chain_set();
+        let batch_g = DflGraph::from_measurements(&set);
+        let batch_cp = critical_path(&batch_g, &CostModel::Volume);
+
+        let mut live = LiveDfl::new(CostModel::Volume);
+        for f in &set.files {
+            live.fold_file(f);
+        }
+        for t in &set.tasks {
+            let recs: Vec<_> =
+                set.records.iter().filter(|r| r.task == t.task).cloned().collect();
+            live.fold_task(t, &recs);
+        }
+        assert_paths_identical(live.critical_path(), &batch_cp);
+        let live_cat = live.caterpillar(CaterpillarRule::Dfl);
+        let batch_cat = caterpillar(&batch_g, &batch_cp, CaterpillarRule::Dfl);
+        assert_eq!(live_cat.spine, batch_cat.spine);
+        assert_eq!(live_cat.legs, batch_cat.legs);
+        assert_eq!(live_cat.extended, batch_cat.extended);
+        assert_eq!(live_cat.edges, batch_cat.edges);
+    }
+
+    #[test]
+    fn fold_order_is_irrelevant() {
+        let set = chain_set();
+        let batch_cp = critical_path(&DflGraph::from_measurements(&set), &CostModel::Volume);
+
+        // Completion order reversed, files folded late.
+        let mut live = LiveDfl::new(CostModel::Volume);
+        for t in set.tasks.iter().rev() {
+            let recs: Vec<_> =
+                set.records.iter().filter(|r| r.task == t.task).cloned().collect();
+            live.fold_task(t, &recs);
+        }
+        for f in set.files.iter().rev() {
+            live.fold_file(f);
+        }
+        assert_paths_identical(live.critical_path(), &batch_cp);
+    }
+
+    #[test]
+    fn refolding_a_task_replaces_it() {
+        let set = chain_set();
+        let mut live = LiveDfl::new(CostModel::Volume);
+        for f in &set.files {
+            live.fold_file(f);
+        }
+        // Fold gen-0 twice: once with bogus records, then the real ones.
+        live.fold_task(&set.tasks[0], &[record(0, 1, 7, 7)]);
+        for t in &set.tasks {
+            let recs: Vec<_> =
+                set.records.iter().filter(|r| r.task == t.task).cloned().collect();
+            live.fold_task(t, &recs);
+        }
+        let batch_cp = critical_path(&DflGraph::from_measurements(&set), &CostModel::Volume);
+        assert_paths_identical(live.critical_path(), &batch_cp);
+        assert_eq!(live.record_count(), set.records.len());
+    }
+
+    #[test]
+    fn head_names_the_path_endpoint() {
+        let set = chain_set();
+        let mut live = LiveDfl::new(CostModel::Volume);
+        for f in &set.files {
+            live.fold_file(f);
+        }
+        assert!(live.head().is_none(), "empty fold has no head");
+        for t in &set.tasks {
+            let recs: Vec<_> =
+                set.records.iter().filter(|r| r.task == t.task).cloned().collect();
+            live.fold_task(t, &recs);
+        }
+        let head = live.head().expect("non-empty");
+        assert!(head.total_cost > 0.0);
+        assert!(head.path_len >= 3, "chain spans tasks and data");
+    }
+
+    #[test]
+    fn blame_sorts_desc_and_resets() {
+        let mut b = Blame::new();
+        b.observe("flow", "tier:beegfs", 0, 300);
+        b.observe("run", "node:0", 0, 500);
+        b.observe("flow", "tier:beegfs", 300, 400);
+        b.observe("queued", "node:1", 0, 0); // zero duration ignored
+        let w = b.take_window();
+        assert_eq!(w.len(), 2);
+        assert_eq!((w[0].category.as_str(), w[0].busy_ns), ("run", 500));
+        assert_eq!((w[1].subject.as_str(), w[1].busy_ns), ("tier:beegfs", 400));
+        assert!(b.take_window().is_empty(), "window close resets");
+    }
+
+    #[test]
+    fn blame_ties_break_deterministically() {
+        let mut b = Blame::new();
+        b.observe("run", "node:1", 0, 100);
+        b.observe("run", "node:0", 0, 100);
+        b.observe("flow", "tier:x", 0, 100);
+        let w = b.take_window();
+        let labels: Vec<_> =
+            w.iter().map(|e| format!("{}:{}", e.category, e.subject)).collect();
+        assert_eq!(labels, ["flow:tier:x", "run:node:0", "run:node:1"]);
+    }
+}

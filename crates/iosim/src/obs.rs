@@ -12,8 +12,9 @@
 use std::collections::HashMap;
 
 use dfl_obs::{
-    CounterId, HistogramId, InstantKind, ObsConfig, Recorder, RecorderState, SpanHandle, SpanKind,
-    SpanMeta, SpanOutcome, Timeline, TrackId, TrackKind,
+    CounterId, Diagnosis, EventStream, HistogramId, InstantKind, ObsConfig, Recorder,
+    RecorderState, SpanHandle, SpanKind, SpanMeta, SpanOutcome, Timeline, TrackId, TrackKind,
+    Watchdog, WatchdogState,
 };
 use serde::{Deserialize, Serialize};
 
@@ -31,8 +32,12 @@ pub struct SimObs {
     queued: HashMap<u32, (SpanHandle, u64)>,
     /// Open run-phase span per job.
     running: HashMap<u32, SpanHandle>,
-    /// Open transfer span per flow key.
-    flows: HashMap<u64, SpanHandle>,
+    /// Open transfer span per flow key, with the serving resource's index
+    /// (for the watchdog's per-resource flow accounting).
+    flows: HashMap<u64, (SpanHandle, u32)>,
+    /// Anomaly detectors fed at the emission sites below; `None` when
+    /// [`ObsConfig::watchdogs`] is unset.
+    watchdog: Option<Watchdog>,
     /// Sampling cadence in sim-time ns (`None` = spans/instants only).
     pub sample_every: Option<u64>,
     /// Next sim-time at which to take a sample round.
@@ -61,8 +66,10 @@ pub struct SimObsState {
     pub rec: RecorderState,
     pub queued: HashMap<u32, (u64, u64)>,
     pub running: HashMap<u32, u64>,
-    pub flows: HashMap<u64, u64>,
+    pub flows: HashMap<u64, (u64, u32)>,
     pub next_sample: u64,
+    /// Watchdog detector state; present iff watchdogs were configured.
+    pub watchdog: Option<WatchdogState>,
 }
 
 impl SimObs {
@@ -83,6 +90,13 @@ impl SimObs {
             .collect();
         let stage_track = rec.add_track("stages", TrackKind::Stage);
         let fault_track = rec.add_track("faults", TrackKind::Fault);
+        let watchdog = cfg.watchdogs.clone().map(|w| {
+            let node_names = (0..node_count).map(|n| format!("node:{n}")).collect();
+            let res_names = (0..net.resource_count())
+                .map(|r| net.resource(crate::flow::ResourceId(r as u32)).name.clone())
+                .collect();
+            Watchdog::new(w, node_names, res_names)
+        });
         let c_jobs_completed = rec.metrics.counter("jobs_completed");
         let c_attempts_failed = rec.metrics.counter("attempts_failed");
         let c_flows_completed = rec.metrics.counter("flows_completed");
@@ -107,6 +121,7 @@ impl SimObs {
             queued: HashMap::new(),
             running: HashMap::new(),
             flows: HashMap::new(),
+            watchdog,
             sample_every: cfg.sample_every_ns,
             next_sample: cfg.sample_every_ns.unwrap_or(0),
             c_jobs_completed,
@@ -147,6 +162,9 @@ impl SimObs {
             SpanMeta { job: Some(j), ..SpanMeta::default() },
         );
         self.queued.insert(j, (h, t_ns));
+        if let Some(wd) = self.watchdog.as_mut() {
+            wd.job_queued(t_ns, &mut self.rec);
+        }
     }
 
     /// A job left the queue and started running; `kind` distinguishes first
@@ -166,6 +184,9 @@ impl SimObs {
             SpanMeta { job: Some(j), ..SpanMeta::default() },
         );
         self.running.insert(j, h);
+        if let Some(wd) = self.watchdog.as_mut() {
+            wd.job_started(t_ns, &mut self.rec);
+        }
     }
 
     pub fn job_completed(&mut self, j: u32, t_ns: u64) {
@@ -173,6 +194,9 @@ impl SimObs {
             self.rec.end_span(h, t_ns, SpanOutcome::Ok);
         }
         self.rec.metrics.inc(self.c_jobs_completed, 1);
+        if let Some(wd) = self.watchdog.as_mut() {
+            wd.job_finished(t_ns, &mut self.rec);
+        }
     }
 
     pub fn job_failed(&mut self, j: u32, t_ns: u64) {
@@ -180,6 +204,9 @@ impl SimObs {
             self.rec.end_span(h, t_ns, SpanOutcome::Failed);
         }
         self.rec.metrics.inc(self.c_attempts_failed, 1);
+        if let Some(wd) = self.watchdog.as_mut() {
+            wd.job_finished(t_ns, &mut self.rec);
+        }
     }
 
     /// A transfer entered the flow network. The span lives on the track of
@@ -210,20 +237,32 @@ impl SimObs {
                 bytes: Some(bytes),
             },
         );
-        self.flows.insert(key, h);
+        // The serving resource's FlowNet index: resource tracks follow the
+        // node tracks in registration order.
+        let res_idx = (track.0 as usize).saturating_sub(self.node_tracks.len()) as u32;
+        self.flows.insert(key, (h, res_idx));
+        if let Some(wd) = self.watchdog.as_mut() {
+            wd.flow_started(res_idx as usize, t_ns, &mut self.rec);
+        }
     }
 
     pub fn flow_completed(&mut self, key: u64, elapsed_ns: u64, t_ns: u64) {
-        if let Some(h) = self.flows.remove(&key) {
+        if let Some((h, res_idx)) = self.flows.remove(&key) {
             self.rec.end_span(h, t_ns, SpanOutcome::Ok);
+            if let Some(wd) = self.watchdog.as_mut() {
+                wd.flow_ended(res_idx as usize, t_ns, &mut self.rec);
+            }
         }
         self.rec.metrics.inc(self.c_flows_completed, 1);
         self.rec.metrics.observe(self.h_flow_ms, elapsed_ns as f64 / 1e6);
     }
 
     pub fn flow_cancelled(&mut self, key: u64, t_ns: u64) {
-        if let Some(h) = self.flows.remove(&key) {
+        if let Some((h, res_idx)) = self.flows.remove(&key) {
             self.rec.end_span(h, t_ns, SpanOutcome::Cancelled);
+            if let Some(wd) = self.watchdog.as_mut() {
+                wd.flow_ended(res_idx as usize, t_ns, &mut self.rec);
+            }
         }
         self.rec.metrics.inc(self.c_flows_cancelled, 1);
     }
@@ -232,12 +271,18 @@ impl SimObs {
     pub fn cache_hit(&mut self, level_track: TrackId, file: &str, bytes: u64, t_ns: u64) {
         self.rec.instant(level_track, t_ns, InstantKind::CacheHit, file, bytes);
         self.rec.metrics.inc(self.c_cache_hit_bytes, bytes);
+        if let Some(wd) = self.watchdog.as_mut() {
+            wd.cache_lookup(true, t_ns, &mut self.rec);
+        }
     }
 
     /// Full miss served by the origin tier (`origin_track`).
     pub fn cache_miss(&mut self, origin_track: TrackId, file: &str, bytes: u64, t_ns: u64) {
         self.rec.instant(origin_track, t_ns, InstantKind::CacheMiss, file, bytes);
         self.rec.metrics.inc(self.c_cache_miss_bytes, bytes);
+        if let Some(wd) = self.watchdog.as_mut() {
+            wd.cache_lookup(false, t_ns, &mut self.rec);
+        }
     }
 
     /// `count` LRU evictions at the level backed by `level_track`.
@@ -247,6 +292,9 @@ impl SimObs {
         }
         self.rec.instant(level_track, t_ns, InstantKind::CacheEvict, "evict", count);
         self.rec.metrics.inc(self.c_cache_evictions, count);
+        if let Some(wd) = self.watchdog.as_mut() {
+            wd.cache_evicted(count.min(u64::from(u32::MAX)) as u32, t_ns, &mut self.rec);
+        }
     }
 
     pub fn node_crashed(&mut self, node: u32, cache_invalidated: bool, t_ns: u64) {
@@ -267,6 +315,9 @@ impl SimObs {
             );
         }
         self.rec.metrics.inc(self.c_crashes, 1);
+        if let Some(wd) = self.watchdog.as_mut() {
+            wd.tick(t_ns, &mut self.rec);
+        }
     }
 
     pub fn node_recovered(&mut self, node: u32, t_ns: u64) {
@@ -277,6 +328,9 @@ impl SimObs {
             format!("recover node:{node}"),
             u64::from(node),
         );
+        if let Some(wd) = self.watchdog.as_mut() {
+            wd.tick(t_ns, &mut self.rec);
+        }
     }
 
     /// A capacity change (fault-plan degradation or injected straggler) took
@@ -301,6 +355,9 @@ impl SimObs {
             u64::from(j),
         );
         self.rec.metrics.inc(self.c_io_errors, 1);
+        if let Some(wd) = self.watchdog.as_mut() {
+            wd.tick(t_ns, &mut self.rec);
+        }
     }
 
     /// A checkpoint manifest of `bytes` serialized bytes was written at
@@ -322,14 +379,40 @@ impl SimObs {
         self.rec.metrics.inc(self.c_checkpoint_stalls, 1);
     }
 
+    /// Whether anomaly watchdogs are attached.
+    pub fn has_watchdog(&self) -> bool {
+        self.watchdog.is_some()
+    }
+
+    /// One sampling round happened: the latest per-node ready-queue depths,
+    /// for the imbalance detector, plus a stall/saturation clock tick.
+    pub fn watchdog_sample(&mut self, depths: &[u64], t_ns: u64) {
+        if let Some(wd) = self.watchdog.as_mut() {
+            wd.queue_depths(depths, t_ns, &mut self.rec);
+        }
+    }
+
+    /// Attaches a live subscriber to the recorder (see
+    /// [`Recorder::subscribe`]).
+    pub fn subscribe(&mut self, capacity: usize) -> EventStream {
+        self.rec.subscribe(capacity)
+    }
+
+    /// Watchdog diagnoses fired so far, in firing order (empty when
+    /// watchdogs are disabled).
+    pub fn diagnoses(&self) -> &[Diagnosis] {
+        self.watchdog.as_ref().map_or(&[], Watchdog::diagnoses)
+    }
+
     /// Captures the dynamic state (see [`SimObsState`]).
     pub fn state(&self) -> SimObsState {
         SimObsState {
             rec: self.rec.state(),
             queued: self.queued.iter().map(|(&j, &(h, t))| (j, (h.0, t))).collect(),
             running: self.running.iter().map(|(&j, &h)| (j, h.0)).collect(),
-            flows: self.flows.iter().map(|(&k, &h)| (k, h.0)).collect(),
+            flows: self.flows.iter().map(|(&k, &(h, r))| (k, (h.0, r))).collect(),
             next_sample: self.next_sample,
+            watchdog: self.watchdog.as_ref().map(Watchdog::state),
         }
     }
 
@@ -339,8 +422,11 @@ impl SimObs {
         self.rec = Recorder::from_state(st.rec);
         self.queued = st.queued.into_iter().map(|(j, (h, t))| (j, (SpanHandle(h), t))).collect();
         self.running = st.running.into_iter().map(|(j, h)| (j, SpanHandle(h))).collect();
-        self.flows = st.flows.into_iter().map(|(k, h)| (k, SpanHandle(h))).collect();
+        self.flows = st.flows.into_iter().map(|(k, (h, r))| (k, (SpanHandle(h), r))).collect();
         self.next_sample = st.next_sample;
+        if let (Some(wd), Some(wst)) = (self.watchdog.as_mut(), st.watchdog) {
+            wd.restore(wst);
+        }
     }
 
     /// Finalizes into a [`Timeline`] at `end_ns`.

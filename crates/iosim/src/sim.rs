@@ -1554,6 +1554,11 @@ impl Simulation {
                 let busy = self.cluster.nodes[n].cores - self.free_cores[n];
                 o.rec.sample(track, t, "busy_cores", f64::from(busy));
             }
+            if o.has_watchdog() {
+                let depths: Vec<u64> =
+                    (0..self.cluster.node_count()).map(|n| self.ready[n].len() as u64).collect();
+                o.watchdog_sample(&depths, t);
+            }
             o.next_sample += every;
         }
     }
@@ -1581,6 +1586,23 @@ impl Simulation {
     /// metrics).
     pub fn obs_mut(&mut self) -> Option<&mut SimObs> {
         self.obs.as_deref_mut()
+    }
+
+    /// Read-only view of the observability layer, when enabled.
+    pub fn obs(&self) -> Option<&SimObs> {
+        self.obs.as_deref()
+    }
+
+    /// Attaches a live subscriber to the timeline recorder; `None` when
+    /// observability is disabled. See [`dfl_obs::Recorder::subscribe`].
+    pub fn subscribe(&mut self, capacity: usize) -> Option<dfl_obs::EventStream> {
+        self.obs.as_deref_mut().map(|o| o.subscribe(capacity))
+    }
+
+    /// Watchdog diagnoses fired so far (empty when observability or
+    /// watchdogs are disabled).
+    pub fn diagnoses(&self) -> &[dfl_obs::Diagnosis] {
+        self.obs.as_deref().map_or(&[], SimObs::diagnoses)
     }
 
     /// Records an engine-stage span on the stage track; no-op when

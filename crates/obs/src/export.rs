@@ -75,6 +75,7 @@ pub fn instant_kind_label(k: InstantKind) -> &'static str {
         InstantKind::NodeRecover => "node-recover",
         InstantKind::CapacityChange => "capacity-change",
         InstantKind::IoError => "io-error",
+        InstantKind::Diagnosis => "diagnosis",
     }
 }
 
@@ -166,7 +167,11 @@ pub fn chrome_trace(tl: &Timeline) -> String {
         ("displayTimeUnit", s("ms")),
         (
             "otherData",
-            obj(vec![("end_ns", u(tl.end_ns)), ("dropped", u(tl.dropped))]),
+            obj(vec![
+                ("end_ns", u(tl.end_ns)),
+                ("dropped", u(tl.dropped)),
+                ("saturated_lanes", u(tl.saturated_lanes)),
+            ]),
         ),
     ]);
     json_compact(&root).expect("chrome trace serialization is infallible")
@@ -180,6 +185,7 @@ pub fn jsonl(tl: &Timeline) -> String {
         ("tracks", serde::Serialize::to_value(&tl.tracks)),
         ("end_ns", u(tl.end_ns)),
         ("dropped", u(tl.dropped)),
+        ("saturated_lanes", u(tl.saturated_lanes)),
         ("metrics", serde::Serialize::to_value(&tl.metrics)),
     ]);
     let mut out = json_compact(&header).expect("jsonl header serialization is infallible");
@@ -232,12 +238,21 @@ pub fn ascii_summary(tl: &Timeline) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "timeline: {} events on {} tracks, end = {:.3} ms, dropped = {}",
+        "timeline: {} events on {} tracks, end = {:.3} ms, dropped = {}, saturated lanes = {}",
         tl.events.len(),
         tl.tracks.len(),
         tl.end_ns as f64 / 1e6,
-        tl.dropped
+        tl.dropped,
+        tl.saturated_lanes
     );
+    if tl.dropped > 0 {
+        let _ = writeln!(
+            out,
+            "WARNING: {} event(s) dropped at the recorder's buffer limit — counts below \
+             are incomplete (raise ObsConfig.max_events)",
+            tl.dropped
+        );
+    }
 
     if !span_counts.is_empty() {
         let _ = writeln!(out, "spans:");
@@ -365,5 +380,35 @@ mod tests {
         assert!(out.contains("cache-miss"), "{out}");
         assert!(out.contains("queue_depth"), "{out}");
         assert!(out.contains("cache_hits"), "{out}");
+    }
+
+    #[test]
+    fn exports_surface_drop_and_lane_counts() {
+        // Two overlapping spans on one track → 2 saturated lanes; a buffer
+        // of 3 drops the rest.
+        let mut r = Recorder::new(3);
+        let t = r.add_track("n", TrackKind::Node);
+        let a = r.begin_span(t, 0, "a", SpanKind::Run, SpanMeta::default());
+        let b = r.begin_span(t, 1, "b", SpanKind::Run, SpanMeta::default());
+        r.end_span(a, 5, SpanOutcome::Ok);
+        r.end_span(b, 6, SpanOutcome::Ok);
+        for i in 0..4 {
+            r.instant(t, i, InstantKind::CacheHit, "h", 1);
+        }
+        let tl = r.finish(6);
+        assert_eq!((tl.dropped, tl.saturated_lanes), (3, 2));
+
+        let summary = ascii_summary(&tl);
+        assert!(summary.contains("dropped = 3"), "{summary}");
+        assert!(summary.contains("saturated lanes = 2"), "{summary}");
+        assert!(summary.contains("WARNING"), "{summary}");
+
+        let header: Value = serde_json::from_str(jsonl(&tl).lines().next().unwrap()).unwrap();
+        assert_eq!(header["dropped"].as_u64(), Some(3));
+        assert_eq!(header["saturated_lanes"].as_u64(), Some(2));
+
+        let trace: Value = serde_json::from_str(&chrome_trace(&tl)).unwrap();
+        assert_eq!(trace["otherData"]["dropped"].as_u64(), Some(3));
+        assert_eq!(trace["otherData"]["saturated_lanes"].as_u64(), Some(2));
     }
 }

@@ -22,14 +22,18 @@
 pub mod export;
 pub mod metrics;
 pub mod timeline;
+pub mod watchdog;
 
 pub use export::{ascii_summary, chrome_trace, jsonl};
 pub use metrics::{
     CounterId, GaugeId, HistogramId, MetricsRegistry, MetricsSnapshot, RegistryState,
 };
 pub use timeline::{
-    InstantKind, Recorder, RecorderState, Sample, Span, SpanHandle, SpanKind, SpanMeta,
-    SpanOutcome, TInstant, Timeline, TimelineEvent, Track, TrackId, TrackKind,
+    EventStream, InstantKind, Recorder, RecorderState, Sample, Span, SpanHandle, SpanKind,
+    SpanMeta, SpanOutcome, TInstant, Timeline, TimelineEvent, Track, TrackId, TrackKind,
+};
+pub use watchdog::{
+    diagnosis_kind_label, Diagnosis, DiagnosisKind, Watchdog, WatchdogConfig, WatchdogState,
 };
 
 /// Observability configuration. `None` at the simulator level means fully
@@ -43,11 +47,15 @@ pub struct ObsConfig {
     /// Periodic utilization/queue-depth sampling cadence in sim-time ns;
     /// `None` disables sampling (spans and instants are still recorded).
     pub sample_every_ns: Option<u64>,
+    /// Anomaly watchdogs over the live stream; `None` (the default) runs no
+    /// detectors. Enabled watchdogs perturb nothing unless a detector fires
+    /// (the diagnosis track is created lazily on the first firing).
+    pub watchdogs: Option<WatchdogConfig>,
 }
 
 impl Default for ObsConfig {
     fn default() -> Self {
-        ObsConfig { max_events: 1 << 20, sample_every_ns: None }
+        ObsConfig { max_events: 1 << 20, sample_every_ns: None, watchdogs: None }
     }
 }
 
@@ -56,5 +64,11 @@ impl ObsConfig {
     pub fn sampled(ns: u64) -> Self {
         assert!(ns > 0, "sampling cadence must be positive");
         ObsConfig { sample_every_ns: Some(ns), ..ObsConfig::default() }
+    }
+
+    /// Adds anomaly watchdogs with the given thresholds.
+    pub fn with_watchdogs(mut self, cfg: WatchdogConfig) -> Self {
+        self.watchdogs = Some(cfg);
+        self
     }
 }

@@ -13,7 +13,8 @@
 //! them without merge heuristics.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::{Arc, Mutex, Weak};
 
 use serde::{Deserialize, Serialize};
 
@@ -34,6 +35,10 @@ pub enum TrackKind {
     Stage,
     /// Fault-plan events (crashes, recoveries, degradations, I/O errors).
     Fault,
+    /// Watchdog diagnoses. Registered lazily on the first firing, so a run
+    /// in which no detector trips records a timeline byte-identical to one
+    /// with watchdogs disabled.
+    Diagnosis,
 }
 
 /// One timeline track.
@@ -85,6 +90,8 @@ pub enum InstantKind {
     CapacityChange,
     /// A transient I/O error hit a job's operation.
     IoError,
+    /// A watchdog diagnosis (stall, saturation, thrash, imbalance) fired.
+    Diagnosis,
 }
 
 /// Optional structured payload attached to a span at open time.
@@ -167,6 +174,10 @@ pub struct Timeline {
     pub end_ns: u64,
     /// Events discarded because the buffer limit was reached.
     pub dropped: u64,
+    /// Total display lanes the run saturated: the sum over tracks of the
+    /// peak number of concurrently open spans (each track's lane high-water
+    /// mark) — the row count a Perfetto render of this timeline needs.
+    pub saturated_lanes: u64,
     /// Final snapshot of the run's metrics registry.
     pub metrics: MetricsSnapshot,
 }
@@ -194,6 +205,51 @@ impl Timeline {
             TimelineEvent::Sample(s) => Some(s),
             _ => None,
         })
+    }
+}
+
+/// Shared core of one subscriber's bounded ring buffer.
+#[derive(Debug)]
+struct StreamInner {
+    buf: VecDeque<TimelineEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// A bounded live view of a [`Recorder`]'s event stream, created with
+/// [`Recorder::subscribe`].
+///
+/// The recorder pushes a clone of every event it *records* (drops from the
+/// recorder's own bounded buffer are never seen here), in exactly the order
+/// they land in the recorded timeline. The stream itself is a ring buffer:
+/// when more than `capacity` events accumulate between drains, the oldest
+/// are discarded and counted in [`EventStream::dropped`], so a slow consumer
+/// always sees the most recent window of activity with exact drop
+/// accounting. Dropping the handle detaches the subscriber.
+#[derive(Debug)]
+pub struct EventStream {
+    inner: Arc<Mutex<StreamInner>>,
+}
+
+impl EventStream {
+    /// Removes and returns all buffered events, oldest first.
+    pub fn drain(&self) -> Vec<TimelineEvent> {
+        let mut g = self.inner.lock().expect("event stream lock");
+        g.buf.drain(..).collect()
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("event stream lock").buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events this subscriber lost to ring-buffer overflow (cumulative).
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("event stream lock").dropped
     }
 }
 
@@ -282,6 +338,10 @@ pub struct Recorder {
     next_span: u64,
     open: HashMap<u64, OpenSpan>,
     lanes: Vec<Lanes>,
+    /// Live subscribers (weak: a dropped [`EventStream`] detaches itself).
+    /// Transient by design — never part of [`RecorderState`], so checkpoint
+    /// round-trips are unaffected by who is watching.
+    subscribers: Vec<Weak<Mutex<StreamInner>>>,
     /// The run's metrics registry (counters/gauges/histograms), snapshotted
     /// into the timeline at finish.
     pub metrics: MetricsRegistry,
@@ -297,8 +357,31 @@ impl Recorder {
             next_span: 0,
             open: HashMap::new(),
             lanes: Vec::new(),
+            subscribers: Vec::new(),
             metrics: MetricsRegistry::new(),
         }
+    }
+
+    /// Attaches a live subscriber with a ring buffer of `capacity` events.
+    ///
+    /// Every subsequently *recorded* event is cloned into the stream in
+    /// recorded order; with enough capacity the drained sequence is exactly
+    /// the recorded timeline suffix. With no subscribers attached the hot
+    /// path pays only an `is_empty` check and no clone.
+    pub fn subscribe(&mut self, capacity: usize) -> EventStream {
+        assert!(capacity > 0, "subscriber capacity must be positive");
+        let inner = Arc::new(Mutex::new(StreamInner {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }));
+        self.subscribers.push(Arc::downgrade(&inner));
+        EventStream { inner }
+    }
+
+    /// Live subscribers still attached.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.iter().filter(|w| w.strong_count() > 0).count()
     }
 
     /// Registers a track; IDs are assigned in registration order.
@@ -315,10 +398,27 @@ impl Recorder {
 
     fn push(&mut self, ev: TimelineEvent) {
         if self.events.len() < self.max_events {
+            if !self.subscribers.is_empty() {
+                self.feed_subscribers(&ev);
+            }
             self.events.push(ev);
         } else {
             self.dropped += 1;
         }
+    }
+
+    /// Clones `ev` into every live subscriber ring (and prunes dead ones).
+    fn feed_subscribers(&mut self, ev: &TimelineEvent) {
+        self.subscribers.retain(|weak| {
+            let Some(inner) = weak.upgrade() else { return false };
+            let mut g = inner.lock().expect("event stream lock");
+            if g.buf.len() == g.capacity {
+                g.buf.pop_front();
+                g.dropped += 1;
+            }
+            g.buf.push_back(ev.clone());
+            true
+        });
     }
 
     /// Opens a span; the returned handle's ID is stable across same-seed
@@ -486,11 +586,13 @@ impl Recorder {
         for id in leftover {
             self.end_span(SpanHandle(id), end_ns, SpanOutcome::Cancelled);
         }
+        let saturated_lanes = self.lanes.iter().map(|l| u64::from(l.next)).sum();
         Timeline {
             tracks: self.tracks,
             events: self.events,
             end_ns,
             dropped: self.dropped,
+            saturated_lanes,
             metrics: self.metrics.snapshot(),
         }
     }
@@ -558,6 +660,81 @@ mod tests {
         let tl = r.finish(2);
         assert_eq!(tl.spans().count(), 1);
         assert_eq!(tl.spans().next().unwrap().end_ns, 1);
+    }
+
+    #[test]
+    fn subscriber_sees_recorded_order_exactly() {
+        let mut r = Recorder::new(1024);
+        let t = r.add_track("n", TrackKind::Node);
+        let stream = r.subscribe(64);
+        let a = r.begin_span(t, 0, "a", SpanKind::Run, SpanMeta::default());
+        r.instant(t, 1, InstantKind::CacheHit, "h", 1);
+        r.sample(t, 2, "depth", 1.0);
+        r.end_span(a, 3, SpanOutcome::Ok);
+        let got = stream.drain();
+        let tl = r.finish(3);
+        assert_eq!(got, tl.events, "stream order == recorded order");
+        assert_eq!(stream.dropped(), 0);
+        assert!(stream.is_empty(), "drain empties the ring");
+    }
+
+    #[test]
+    fn subscriber_ring_drops_oldest_with_accounting() {
+        let mut r = Recorder::new(1024);
+        let t = r.add_track("n", TrackKind::Node);
+        let stream = r.subscribe(2);
+        for i in 0..5 {
+            r.instant(t, i, InstantKind::CacheHit, format!("e{i}"), i);
+        }
+        assert_eq!(stream.dropped(), 3);
+        let got = stream.drain();
+        assert_eq!(got.len(), 2);
+        // Ring keeps the *newest* events.
+        assert!(matches!(&got[0], TimelineEvent::Instant(i) if i.name == "e3"));
+        assert!(matches!(&got[1], TimelineEvent::Instant(i) if i.name == "e4"));
+        // Drops are per-subscriber, not the recorder's.
+        assert_eq!(r.finish(5).dropped, 0);
+    }
+
+    #[test]
+    fn dropped_subscriber_detaches() {
+        let mut r = Recorder::new(16);
+        let t = r.add_track("n", TrackKind::Node);
+        let stream = r.subscribe(4);
+        assert_eq!(r.subscriber_count(), 1);
+        drop(stream);
+        r.instant(t, 0, InstantKind::CacheHit, "h", 1);
+        assert_eq!(r.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn recorder_buffer_overflow_never_reaches_subscribers() {
+        let mut r = Recorder::new(2);
+        let t = r.add_track("x", TrackKind::Resource);
+        let stream = r.subscribe(16);
+        for i in 0..5 {
+            r.instant(t, i, InstantKind::CacheMiss, "m", 1);
+        }
+        // Only the two recorded events were fed; recorder drops are invisible.
+        assert_eq!(stream.drain().len(), 2);
+        assert_eq!(stream.dropped(), 0);
+    }
+
+    #[test]
+    fn saturated_lanes_sum_track_high_water() {
+        let mut r = Recorder::new(64);
+        let t0 = r.add_track("a", TrackKind::Node);
+        let t1 = r.add_track("b", TrackKind::Node);
+        let a = r.begin_span(t0, 0, "a", SpanKind::Run, SpanMeta::default());
+        let b = r.begin_span(t0, 1, "b", SpanKind::Run, SpanMeta::default());
+        r.end_span(a, 2, SpanOutcome::Ok);
+        r.end_span(b, 3, SpanOutcome::Ok);
+        // Lane 0 is reused on t0 afterwards: high water stays 2.
+        let c = r.begin_span(t0, 4, "c", SpanKind::Run, SpanMeta::default());
+        r.end_span(c, 5, SpanOutcome::Ok);
+        let d = r.begin_span(t1, 4, "d", SpanKind::Run, SpanMeta::default());
+        r.end_span(d, 6, SpanOutcome::Ok);
+        assert_eq!(r.finish(6).saturated_lanes, 3);
     }
 
     #[test]

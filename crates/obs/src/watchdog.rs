@@ -1,0 +1,625 @@
+//! Anomaly watchdogs over the live event stream.
+//!
+//! [`Watchdog`] is a deterministic state machine fed by the simulator's
+//! emission sites (the same calls that feed the [`crate::Recorder`]): job
+//! queue/start/finish transitions, per-resource flow starts/ends, cache
+//! lookups and evictions, and periodic queue-depth samples. Four detectors
+//! run over that feed:
+//!
+//! - **Stall**: no dispatch progress (no job start or finish) for at least
+//!   [`WatchdogConfig::stall_ns`] of sim-time while jobs sit runnable in a
+//!   ready queue.
+//! - **Tier saturation**: one bandwidth resource holds at least
+//!   [`WatchdogConfig::saturation_flows`] concurrent flows for a sustained
+//!   [`WatchdogConfig::saturation_ns`].
+//! - **Cache thrash**: within a sliding window, the hit rate collapses
+//!   below a floor while evictions churn.
+//! - **Queue imbalance**: the per-node ready-queue depth gap exceeds a
+//!   threshold at a sampling round.
+//!
+//! Every firing appends a typed [`Diagnosis`] (byte-identical across
+//! same-seed runs) and, when a recorder is attached, an
+//! [`InstantKind::Diagnosis`] instant on a lazily created
+//! [`TrackKind::Diagnosis`] track — lazily, so a run in which nothing fires
+//! records a timeline byte-identical to one with watchdogs disabled.
+//! Detectors are edge-triggered: a condition must clear before the same
+//! detector (for the same subject) fires again.
+//!
+//! All thresholds are integers (ns, counts, percent) so the config keeps
+//! `Eq` and hashes into the engine's config fingerprint deterministically.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::timeline::{InstantKind, Recorder, TrackId, TrackKind};
+
+/// Integer thresholds for the four detectors. `Default` is tuned to stay
+/// silent on healthy small runs (the golden fixtures must not fire) while
+/// catching crafted stalls and thrash scenarios.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatchdogConfig {
+    /// Fire a stall after this many sim-ns without a job start/finish while
+    /// at least one job is queued runnable.
+    pub stall_ns: u64,
+    /// Concurrent flows on one resource that count as saturated.
+    pub saturation_flows: u32,
+    /// How long a resource must stay saturated before firing.
+    pub saturation_ns: u64,
+    /// Sliding-window length for the cache-thrash detector.
+    pub thrash_window_ns: u64,
+    /// Minimum lookups inside the window before the hit rate is judged.
+    pub thrash_min_lookups: u32,
+    /// Fire when the window hit rate is at or below this percentage...
+    pub thrash_max_hit_pct: u32,
+    /// ...and at least this many evictions churned inside the window.
+    pub thrash_min_evictions: u32,
+    /// Fire when `max - min` ready-queue depth across nodes reaches this.
+    pub imbalance_min_gap: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            stall_ns: 500_000_000, // 500 ms
+            saturation_flows: 48,
+            saturation_ns: 100_000_000, // 100 ms
+            thrash_window_ns: 200_000_000, // 200 ms
+            thrash_min_lookups: 16,
+            thrash_max_hit_pct: 25,
+            thrash_min_evictions: 8,
+            imbalance_min_gap: 12,
+        }
+    }
+}
+
+/// What a [`Diagnosis`] is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DiagnosisKind {
+    Stall,
+    TierSaturation,
+    CacheThrash,
+    QueueImbalance,
+}
+
+/// Stable lowercase label for a diagnosis kind.
+pub fn diagnosis_kind_label(k: DiagnosisKind) -> &'static str {
+    match k {
+        DiagnosisKind::Stall => "stall",
+        DiagnosisKind::TierSaturation => "tier-saturation",
+        DiagnosisKind::CacheThrash => "cache-thrash",
+        DiagnosisKind::QueueImbalance => "queue-imbalance",
+    }
+}
+
+/// One watchdog firing. The serialized stream of these is byte-identical
+/// across same-seed runs (everything in it is integer or derived from the
+/// deterministic sim clock).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnosis {
+    /// Sim-time of the firing.
+    pub t_ns: u64,
+    pub kind: DiagnosisKind,
+    /// What is gating progress: a track name (`tier:beegfs`, `node:3`) or
+    /// `"scheduler"` for global stalls.
+    pub subject: String,
+    /// Kind-dependent magnitude (stall gap ns, flow count, hit pct, depth
+    /// gap).
+    pub value: u64,
+    /// Human-readable one-liner (also the timeline instant's name).
+    pub detail: String,
+}
+
+const NOT_SATURATED: u64 = u64::MAX;
+
+/// Serializable dynamic state of a [`Watchdog`] for checkpointing; see
+/// [`Watchdog::state`] / [`Watchdog::restore`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WatchdogState {
+    pub diagnoses: Vec<Diagnosis>,
+    pub track: Option<u32>,
+    pub queued: u32,
+    pub last_progress_ns: u64,
+    pub stall_active: bool,
+    pub flows: Vec<u32>,
+    pub sat_since: Vec<u64>,
+    pub sat_active: Vec<bool>,
+    pub cache_window: Vec<(u64, u8, u32)>,
+    pub thrash_active: bool,
+    pub depths: Vec<u64>,
+    pub imbalance_active: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CacheEvt {
+    Hit = 0,
+    Miss = 1,
+    Evict = 2,
+}
+
+/// The detector state machine. Pure with respect to its inputs: same feed
+/// sequence, same diagnoses.
+#[derive(Debug)]
+pub struct Watchdog {
+    cfg: WatchdogConfig,
+    /// Resource track names, indexed like the feed's `resource` argument.
+    resource_names: Vec<String>,
+    /// Node track names, indexed like the feed's `node` argument.
+    node_names: Vec<String>,
+    track: Option<TrackId>,
+    diagnoses: Vec<Diagnosis>,
+    /// Jobs currently runnable (queued, not started).
+    queued: u32,
+    last_progress_ns: u64,
+    stall_active: bool,
+    /// Active flows per resource.
+    flows: Vec<u32>,
+    /// Since when each resource has been at/above the saturation threshold
+    /// (`NOT_SATURATED` when below).
+    sat_since: Vec<u64>,
+    sat_active: Vec<bool>,
+    /// Sliding window of cache events: `(t_ns, kind, count)`.
+    cache_window: VecDeque<(u64, CacheEvt, u32)>,
+    thrash_active: bool,
+    /// Latest sampled ready-queue depth per node.
+    depths: Vec<u64>,
+    imbalance_active: bool,
+}
+
+impl Watchdog {
+    /// `node_names` / `resource_names` become diagnosis subjects; their
+    /// indices must match the feed calls' `node` / `resource` arguments.
+    pub fn new(cfg: WatchdogConfig, node_names: Vec<String>, resource_names: Vec<String>) -> Self {
+        let n_res = resource_names.len();
+        let n_nodes = node_names.len();
+        Watchdog {
+            cfg,
+            resource_names,
+            node_names,
+            track: None,
+            diagnoses: Vec::new(),
+            queued: 0,
+            last_progress_ns: 0,
+            stall_active: false,
+            flows: vec![0; n_res],
+            sat_since: vec![NOT_SATURATED; n_res],
+            sat_active: vec![false; n_res],
+            cache_window: VecDeque::new(),
+            thrash_active: false,
+            depths: vec![0; n_nodes],
+            imbalance_active: false,
+        }
+    }
+
+    /// All diagnoses so far, in firing order.
+    pub fn diagnoses(&self) -> &[Diagnosis] {
+        &self.diagnoses
+    }
+
+    /// Moves the accumulated diagnoses out.
+    pub fn take_diagnoses(&mut self) -> Vec<Diagnosis> {
+        std::mem::take(&mut self.diagnoses)
+    }
+
+    // ---- feed ----------------------------------------------------------
+
+    pub fn job_queued(&mut self, t_ns: u64, rec: &mut Recorder) {
+        self.queued += 1;
+        // Arrival of the first runnable job re-bases the stall clock: idle
+        // time with an empty queue is not a stall.
+        if self.queued == 1 {
+            self.last_progress_ns = self.last_progress_ns.max(t_ns);
+        }
+        self.check(t_ns, rec);
+    }
+
+    pub fn job_started(&mut self, t_ns: u64, rec: &mut Recorder) {
+        self.queued = self.queued.saturating_sub(1);
+        self.progress(t_ns);
+        self.check(t_ns, rec);
+    }
+
+    /// A job attempt finished (completed or failed) — either way the
+    /// dispatch loop is making progress.
+    pub fn job_finished(&mut self, t_ns: u64, rec: &mut Recorder) {
+        self.progress(t_ns);
+        self.check(t_ns, rec);
+    }
+
+    pub fn flow_started(&mut self, resource: usize, t_ns: u64, rec: &mut Recorder) {
+        if let Some(f) = self.flows.get_mut(resource) {
+            *f += 1;
+        }
+        self.check(t_ns, rec);
+    }
+
+    pub fn flow_ended(&mut self, resource: usize, t_ns: u64, rec: &mut Recorder) {
+        if let Some(f) = self.flows.get_mut(resource) {
+            *f = f.saturating_sub(1);
+        }
+        self.check(t_ns, rec);
+    }
+
+    pub fn cache_lookup(&mut self, hit: bool, t_ns: u64, rec: &mut Recorder) {
+        let kind = if hit { CacheEvt::Hit } else { CacheEvt::Miss };
+        self.cache_window.push_back((t_ns, kind, 1));
+        self.check(t_ns, rec);
+    }
+
+    pub fn cache_evicted(&mut self, count: u32, t_ns: u64, rec: &mut Recorder) {
+        self.cache_window.push_back((t_ns, CacheEvt::Evict, count));
+        self.check(t_ns, rec);
+    }
+
+    /// One sampling round: the latest ready-queue depth of every node.
+    pub fn queue_depths(&mut self, depths: &[u64], t_ns: u64, rec: &mut Recorder) {
+        let n = self.depths.len().min(depths.len());
+        self.depths[..n].copy_from_slice(&depths[..n]);
+        self.check(t_ns, rec);
+    }
+
+    /// Clock tick with no semantic event (sampling cadence) — lets the
+    /// stall and saturation detectors fire while nothing else happens.
+    pub fn tick(&mut self, t_ns: u64, rec: &mut Recorder) {
+        self.check(t_ns, rec);
+    }
+
+    // ---- detectors -----------------------------------------------------
+
+    fn progress(&mut self, t_ns: u64) {
+        self.last_progress_ns = t_ns;
+        self.stall_active = false;
+    }
+
+    fn emit(&mut self, rec: &mut Recorder, d: Diagnosis) {
+        let track = *self
+            .track
+            .get_or_insert_with(|| rec.add_track("watchdog", TrackKind::Diagnosis));
+        rec.instant(track, d.t_ns, InstantKind::Diagnosis, d.detail.clone(), d.value);
+        self.diagnoses.push(d);
+    }
+
+    fn check(&mut self, t_ns: u64, rec: &mut Recorder) {
+        self.check_stall(t_ns, rec);
+        self.check_saturation(t_ns, rec);
+        self.check_thrash(t_ns, rec);
+        self.check_imbalance(t_ns, rec);
+    }
+
+    fn check_stall(&mut self, t_ns: u64, rec: &mut Recorder) {
+        let gap = t_ns.saturating_sub(self.last_progress_ns);
+        if self.queued > 0 && gap >= self.cfg.stall_ns {
+            if !self.stall_active {
+                self.stall_active = true;
+                let d = Diagnosis {
+                    t_ns,
+                    kind: DiagnosisKind::Stall,
+                    subject: "scheduler".to_owned(),
+                    value: gap,
+                    detail: format!(
+                        "stall: {} runnable job(s), no dispatch progress for {:.0} ms",
+                        self.queued,
+                        gap as f64 / 1e6
+                    ),
+                };
+                self.emit(rec, d);
+            }
+        } else if self.queued == 0 {
+            self.stall_active = false;
+        }
+    }
+
+    fn check_saturation(&mut self, t_ns: u64, rec: &mut Recorder) {
+        for r in 0..self.flows.len() {
+            if self.flows[r] >= self.cfg.saturation_flows {
+                if self.sat_since[r] == NOT_SATURATED {
+                    self.sat_since[r] = t_ns;
+                }
+                let held = t_ns.saturating_sub(self.sat_since[r]);
+                if held >= self.cfg.saturation_ns && !self.sat_active[r] {
+                    self.sat_active[r] = true;
+                    let d = Diagnosis {
+                        t_ns,
+                        kind: DiagnosisKind::TierSaturation,
+                        subject: self.resource_names[r].clone(),
+                        value: u64::from(self.flows[r]),
+                        detail: format!(
+                            "tier-saturation: {} holds {} flows for {:.0} ms",
+                            self.resource_names[r],
+                            self.flows[r],
+                            held as f64 / 1e6
+                        ),
+                    };
+                    self.emit(rec, d);
+                }
+            } else {
+                self.sat_since[r] = NOT_SATURATED;
+                self.sat_active[r] = false;
+            }
+        }
+    }
+
+    fn check_thrash(&mut self, t_ns: u64, rec: &mut Recorder) {
+        let horizon = t_ns.saturating_sub(self.cfg.thrash_window_ns);
+        while self.cache_window.front().is_some_and(|&(t, _, _)| t < horizon) {
+            self.cache_window.pop_front();
+        }
+        let (mut hits, mut misses, mut evictions) = (0u64, 0u64, 0u64);
+        for &(_, kind, n) in &self.cache_window {
+            match kind {
+                CacheEvt::Hit => hits += u64::from(n),
+                CacheEvt::Miss => misses += u64::from(n),
+                CacheEvt::Evict => evictions += u64::from(n),
+            }
+        }
+        let lookups = hits + misses;
+        let hit_pct = (hits * 100).checked_div(lookups).unwrap_or(100);
+        let cond = lookups >= u64::from(self.cfg.thrash_min_lookups)
+            && hit_pct <= u64::from(self.cfg.thrash_max_hit_pct)
+            && evictions >= u64::from(self.cfg.thrash_min_evictions);
+        if cond && !self.thrash_active {
+            self.thrash_active = true;
+            let d = Diagnosis {
+                t_ns,
+                kind: DiagnosisKind::CacheThrash,
+                subject: "cache".to_owned(),
+                value: hit_pct,
+                detail: format!(
+                    "cache-thrash: hit rate {hit_pct}% over {lookups} lookups, \
+                     {evictions} evictions in window"
+                ),
+            };
+            self.emit(rec, d);
+        } else if !cond {
+            self.thrash_active = false;
+        }
+    }
+
+    fn check_imbalance(&mut self, t_ns: u64, rec: &mut Recorder) {
+        if self.depths.len() < 2 {
+            return;
+        }
+        let (mut min_d, mut max_d, mut max_node) = (u64::MAX, 0u64, 0usize);
+        for (n, &d) in self.depths.iter().enumerate() {
+            if d < min_d {
+                min_d = d;
+            }
+            if d > max_d {
+                max_d = d;
+                max_node = n;
+            }
+        }
+        let gap = max_d.saturating_sub(min_d);
+        let cond = gap >= u64::from(self.cfg.imbalance_min_gap);
+        if cond && !self.imbalance_active {
+            self.imbalance_active = true;
+            let d = Diagnosis {
+                t_ns,
+                kind: DiagnosisKind::QueueImbalance,
+                subject: self.node_names[max_node].clone(),
+                value: gap,
+                detail: format!(
+                    "queue-imbalance: {} at depth {max_d} vs cluster min {min_d}",
+                    self.node_names[max_node]
+                ),
+            };
+            self.emit(rec, d);
+        } else if !cond {
+            self.imbalance_active = false;
+        }
+    }
+
+    // ---- checkpointing -------------------------------------------------
+
+    /// Captures the dynamic state (config and subject names are rebuilt
+    /// from the run configuration on restore).
+    pub fn state(&self) -> WatchdogState {
+        WatchdogState {
+            diagnoses: self.diagnoses.clone(),
+            track: self.track.map(|t| t.0),
+            queued: self.queued,
+            last_progress_ns: self.last_progress_ns,
+            stall_active: self.stall_active,
+            flows: self.flows.clone(),
+            sat_since: self.sat_since.clone(),
+            sat_active: self.sat_active.clone(),
+            cache_window: self
+                .cache_window
+                .iter()
+                .map(|&(t, k, n)| (t, k as u8, n))
+                .collect(),
+            thrash_active: self.thrash_active,
+            depths: self.depths.clone(),
+            imbalance_active: self.imbalance_active,
+        }
+    }
+
+    /// Overlays a captured [`WatchdogState`] onto a freshly built watchdog
+    /// with the same layout.
+    pub fn restore(&mut self, st: WatchdogState) {
+        self.diagnoses = st.diagnoses;
+        self.track = st.track.map(TrackId);
+        self.queued = st.queued;
+        self.last_progress_ns = st.last_progress_ns;
+        self.stall_active = st.stall_active;
+        self.flows = st.flows;
+        self.sat_since = st.sat_since;
+        self.sat_active = st.sat_active;
+        self.cache_window = st
+            .cache_window
+            .into_iter()
+            .map(|(t, k, n)| {
+                let kind = match k {
+                    0 => CacheEvt::Hit,
+                    1 => CacheEvt::Miss,
+                    _ => CacheEvt::Evict,
+                };
+                (t, kind, n)
+            })
+            .collect();
+        self.thrash_active = st.thrash_active;
+        self.depths = st.depths;
+        self.imbalance_active = st.imbalance_active;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::TimelineEvent;
+
+    fn wd(cfg: WatchdogConfig) -> (Watchdog, Recorder) {
+        let w = Watchdog::new(
+            cfg,
+            vec!["node:0".into(), "node:1".into()],
+            vec!["tier:beegfs".into(), "nic:0".into()],
+        );
+        (w, Recorder::new(4096))
+    }
+
+    #[test]
+    fn stall_fires_once_and_rearms_after_progress() {
+        let cfg = WatchdogConfig { stall_ns: 100, ..WatchdogConfig::default() };
+        let (mut w, mut r) = wd(cfg);
+        w.job_queued(0, &mut r);
+        w.tick(50, &mut r);
+        assert!(w.diagnoses().is_empty());
+        w.tick(100, &mut r);
+        w.tick(150, &mut r); // still stalled: no second firing
+        assert_eq!(w.diagnoses().len(), 1);
+        assert_eq!(w.diagnoses()[0].kind, DiagnosisKind::Stall);
+        assert_eq!(w.diagnoses()[0].t_ns, 100);
+        // Progress re-arms; a second stall fires again.
+        w.job_started(160, &mut r);
+        w.job_queued(170, &mut r);
+        w.tick(280, &mut r);
+        assert_eq!(w.diagnoses().len(), 2);
+    }
+
+    #[test]
+    fn empty_queue_never_stalls() {
+        let cfg = WatchdogConfig { stall_ns: 100, ..WatchdogConfig::default() };
+        let (mut w, mut r) = wd(cfg);
+        w.tick(10_000, &mut r);
+        assert!(w.diagnoses().is_empty());
+        // A job arriving late must not instantly trip on the idle gap.
+        w.job_queued(10_000, &mut r);
+        w.tick(10_050, &mut r);
+        assert!(w.diagnoses().is_empty());
+        w.tick(10_100, &mut r);
+        assert_eq!(w.diagnoses().len(), 1);
+    }
+
+    #[test]
+    fn saturation_requires_sustained_load() {
+        let cfg = WatchdogConfig {
+            saturation_flows: 2,
+            saturation_ns: 100,
+            ..WatchdogConfig::default()
+        };
+        let (mut w, mut r) = wd(cfg);
+        w.flow_started(0, 0, &mut r);
+        w.flow_started(0, 10, &mut r);
+        w.tick(50, &mut r);
+        assert!(w.diagnoses().is_empty(), "not sustained yet");
+        w.tick(110, &mut r);
+        assert_eq!(w.diagnoses().len(), 1);
+        assert_eq!(w.diagnoses()[0].subject, "tier:beegfs");
+        // Dropping below the threshold re-arms.
+        w.flow_ended(0, 120, &mut r);
+        w.flow_started(0, 130, &mut r);
+        w.tick(300, &mut r);
+        assert_eq!(w.diagnoses().len(), 2);
+    }
+
+    #[test]
+    fn thrash_needs_low_hit_rate_and_churn() {
+        let cfg = WatchdogConfig {
+            thrash_window_ns: 1_000,
+            thrash_min_lookups: 4,
+            thrash_max_hit_pct: 50,
+            thrash_min_evictions: 2,
+            ..WatchdogConfig::default()
+        };
+        let (mut w, mut r) = wd(cfg);
+        for t in 0..4 {
+            w.cache_lookup(false, t, &mut r);
+        }
+        assert!(w.diagnoses().is_empty(), "no evictions yet");
+        w.cache_evicted(2, 5, &mut r);
+        assert_eq!(w.diagnoses().len(), 1);
+        assert_eq!(w.diagnoses()[0].kind, DiagnosisKind::CacheThrash);
+        // Window expiry clears the condition; fresh churn re-fires.
+        w.tick(5_000, &mut r);
+        for t in 5_000..5_004 {
+            w.cache_lookup(false, t, &mut r);
+        }
+        w.cache_evicted(2, 5_004, &mut r);
+        assert_eq!(w.diagnoses().len(), 2);
+    }
+
+    #[test]
+    fn imbalance_is_edge_triggered() {
+        let cfg = WatchdogConfig { imbalance_min_gap: 4, ..WatchdogConfig::default() };
+        let (mut w, mut r) = wd(cfg);
+        w.queue_depths(&[6, 1], 10, &mut r);
+        w.queue_depths(&[7, 1], 20, &mut r);
+        assert_eq!(w.diagnoses().len(), 1);
+        assert_eq!(w.diagnoses()[0].subject, "node:0");
+        w.queue_depths(&[2, 1], 30, &mut r);
+        w.queue_depths(&[9, 1], 40, &mut r);
+        assert_eq!(w.diagnoses().len(), 2);
+    }
+
+    #[test]
+    fn firings_land_on_lazy_diagnosis_track() {
+        let cfg = WatchdogConfig { stall_ns: 100, ..WatchdogConfig::default() };
+        let (mut w, mut r) = wd(cfg);
+        assert!(r.tracks().iter().all(|t| t.kind != TrackKind::Diagnosis));
+        w.job_queued(0, &mut r);
+        w.tick(100, &mut r);
+        let tl = r.finish(200);
+        let track = tl
+            .tracks
+            .iter()
+            .position(|t| t.kind == TrackKind::Diagnosis)
+            .expect("diagnosis track created on first firing");
+        let inst: Vec<_> = tl.instants().collect();
+        assert_eq!(inst.len(), 1);
+        assert_eq!(inst[0].kind, InstantKind::Diagnosis);
+        assert_eq!(inst[0].track as usize, track);
+        assert!(matches!(&tl.events[0], TimelineEvent::Instant(_)));
+    }
+
+    #[test]
+    fn silent_watchdog_leaves_recorder_untouched() {
+        let (mut w, mut r) = wd(WatchdogConfig::default());
+        w.job_queued(0, &mut r);
+        w.job_started(10, &mut r);
+        w.flow_started(0, 20, &mut r);
+        w.flow_ended(0, 30, &mut r);
+        w.job_finished(40, &mut r);
+        let tl = r.finish(50);
+        assert_eq!(tl.events.len(), 0);
+        assert!(tl.tracks.is_empty());
+    }
+
+    #[test]
+    fn state_round_trips_mid_stream() {
+        let cfg = WatchdogConfig { stall_ns: 100, ..WatchdogConfig::default() };
+        let (mut w, mut r) = wd(cfg.clone());
+        w.job_queued(0, &mut r);
+        w.tick(100, &mut r);
+        w.job_started(110, &mut r);
+        w.job_queued(120, &mut r);
+
+        let st = w.state();
+        let (mut w2, _) = wd(cfg);
+        w2.restore(st);
+
+        w.tick(250, &mut r);
+        let mut r2 = Recorder::new(4096);
+        w2.tick(250, &mut r2);
+        assert_eq!(w.diagnoses(), w2.diagnoses());
+    }
+}

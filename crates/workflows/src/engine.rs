@@ -221,6 +221,9 @@ pub struct RunResult {
     /// expressed in ([`dfl_iosim::ChaosKind::CoordinatorCrash`]), so a chaos
     /// driver can derive seeded kill points from a golden run's total.
     pub events_dispatched: u64,
+    /// Watchdog diagnoses fired during the run, in firing order (empty
+    /// unless [`ObsConfig::watchdogs`] was configured and a detector fired).
+    pub diagnoses: Vec<dfl_obs::Diagnosis>,
 }
 
 impl RunResult {
@@ -507,9 +510,9 @@ pub struct EngineState {
 /// Static per-run derivations (placement, file sizes, producer graph,
 /// staging file lists) — pure functions of `(spec, cfg)`, recomputed
 /// identically on fresh runs and on resume.
-struct EngineCtx<'a> {
-    spec: &'a WorkflowSpec,
-    cfg: &'a RunConfig,
+pub(crate) struct EngineCtx<'a> {
+    pub(crate) spec: &'a WorkflowSpec,
+    pub(crate) cfg: &'a RunConfig,
     shared: TierRef,
     /// Resolved file sizes: inputs plus declared outputs.
     size_of: HashMap<&'a str, u64>,
@@ -521,7 +524,7 @@ struct EngineCtx<'a> {
 }
 
 impl<'a> EngineCtx<'a> {
-    fn new(spec: &'a WorkflowSpec, cfg: &'a RunConfig) -> Self {
+    pub(crate) fn new(spec: &'a WorkflowSpec, cfg: &'a RunConfig) -> Self {
         let nodes = cfg.cluster.node_count() as u32;
         assert!(nodes > 0);
         let shared = TierRef::shared(cfg.staging.shared);
@@ -560,7 +563,7 @@ impl<'a> EngineCtx<'a> {
 
 /// Builds the simulator, creates the external input files, and submits the
 /// initial job set (stage-0 staging jobs plus first attempts of every task).
-fn init_run(ctx: &EngineCtx) -> (Simulation, EngineState) {
+pub(crate) fn init_run(ctx: &EngineCtx) -> (Simulation, EngineState) {
     let (spec, cfg, shared) = (ctx.spec, ctx.cfg, ctx.shared);
     let mut sim = Simulation::new(
         cfg.cluster.clone(),
@@ -694,7 +697,7 @@ fn stages_complete(sim: &Simulation, ctx: &EngineCtx, st: &EngineState) -> u32 {
 
 /// Whether a pause point should become a checkpoint under the configured
 /// policy.
-fn checkpoint_due(sim: &Simulation, ctx: &EngineCtx, st: &EngineState) -> bool {
+pub(crate) fn checkpoint_due(sim: &Simulation, ctx: &EngineCtx, st: &EngineState) -> bool {
     let Some(c) = ctx.cfg.checkpoint.as_ref() else { return false };
     if c.every_sim_ns.is_some() {
         if let Some(deadline) = st.next_ckpt_ns {
@@ -721,7 +724,11 @@ fn checkpoint_due(sim: &Simulation, ctx: &EngineCtx, st: &EngineState) -> bool {
 /// contains its own checkpoint span, a resumed run never re-records it,
 /// and the recorded byte count (which excludes that span) agrees between a
 /// golden run and a resumed one. Restore emits no spans at all.
-fn take_checkpoint(sim: &mut Simulation, ctx: &EngineCtx, st: &mut EngineState) -> Result<(), SimError> {
+pub(crate) fn take_checkpoint(
+    sim: &mut Simulation,
+    ctx: &EngineCtx,
+    st: &mut EngineState,
+) -> Result<(), SimError> {
     let Some(c) = ctx.cfg.checkpoint.as_ref() else { return Ok(()) };
     let seq = st.ckpt_seq;
     let t_ns = sim.time().ns();
@@ -780,7 +787,7 @@ fn take_checkpoint(sim: &mut Simulation, ctx: &EngineCtx, st: &mut EngineState) 
 
 /// Repairs one batch of failed attempts: lineage recovery of lost inputs,
 /// then a backoff retry per failure (see [`run`] for the full story).
-fn handle_failures(
+pub(crate) fn handle_failures(
     sim: &mut Simulation,
     ctx: &EngineCtx,
     st: &mut EngineState,
@@ -984,7 +991,7 @@ fn handle_failures(
 }
 
 /// Builds the [`RunResult`] from a finished simulator plus engine state.
-fn finalize(mut sim: Simulation, ctx: &EngineCtx, st: &EngineState) -> RunResult {
+pub(crate) fn finalize(mut sim: Simulation, ctx: &EngineCtx, st: &EngineState) -> RunResult {
     // Stage spans from reports: staging jobs are stage 0; retries and
     // recovery re-runs count toward their task's stage.
     let reports = sim.reports();
@@ -1007,6 +1014,7 @@ fn finalize(mut sim: Simulation, ctx: &EngineCtx, st: &EngineState) -> RunResult
     for (&stage, &(start, end)) in &stage_spans {
         sim.record_stage_span(&format!("stage {stage}"), (start * 1e9) as u64, (end * 1e9) as u64);
     }
+    let diagnoses = sim.diagnoses().to_vec();
     let timeline = sim.take_timeline();
 
     RunResult {
@@ -1018,6 +1026,7 @@ fn finalize(mut sim: Simulation, ctx: &EngineCtx, st: &EngineState) -> RunResult
         failure,
         timeline,
         events_dispatched: sim.events_dispatched(),
+        diagnoses,
     }
 }
 

@@ -26,6 +26,7 @@ pub mod genomes;
 pub mod montage;
 pub mod seismic;
 pub mod spec;
+pub mod watch;
 
 pub use checkpoint::{
     config_hash, load_latest, load_manifest, latest_manifest, CheckpointConfig, CheckpointError,
@@ -36,4 +37,5 @@ pub use engine::{
     Staging,
 };
 pub use spec::{FileUse, TaskSpec, WorkflowSpec};
+pub use watch::{run_watched, WatchOptions, WindowSummary};
 pub use dfl_iosim::{ChaosKind, FailureReport, FaultPlan};

@@ -1,0 +1,345 @@
+//! Live run monitoring: a windowed driver around the workflow engine.
+//!
+//! [`run_watched`] executes a workflow exactly like [`engine::run`] — same
+//! incident loop, same checkpoint policy, same final [`RunResult`] — but
+//! additionally pauses the simulator at a fixed sim-time cadence and, at
+//! each window boundary, drains a live [`EventStream`] subscriber, folds
+//! the monitor's completed-task measurements into an incremental
+//! [`LiveDfl`], and hands the caller a [`WindowSummary`]: progress, blame
+//! breakdown, current critical-path head, fresh watchdog diagnoses, and
+//! fault counters. The `datalife watch` dashboard and its `--headless
+//! --jsonl` mode are thin renderers over this stream.
+//!
+//! # Window semantics
+//!
+//! Windows are half-open sim-time intervals `[k·W, (k+1)·W)`. A window's
+//! summary is emitted when the simulator clock first reaches its right
+//! edge; quiet windows (no events) are still emitted, so window indices
+//! are gapless. The run's tail past the last full boundary is emitted as
+//! one final summary with `final_window = true` — that summary's live
+//! analysis folds the *complete* measurement set, so its critical path is
+//! bit-identical to the batch analysis of [`RunResult::measurements`].
+//!
+//! # Blame attribution
+//!
+//! Every span retiring inside a window contributes its full duration to
+//! its `(span kind, track)` bucket — a transfer is blamed on the window in
+//! which it completes (spans are emitted at close time). Buckets sort by
+//! descending busy time; ties break lexicographically, so summaries are
+//! deterministic for a fixed seed.
+
+use dfl_core::analysis::{Blame, BlameEntry, CostModel, LiveDfl, LiveHead};
+use dfl_iosim::sim::{RunOutcome, Simulation};
+use dfl_iosim::SimError;
+use dfl_obs::export::span_kind_label;
+use dfl_obs::{Diagnosis, EventStream, ObsConfig, TimelineEvent};
+use serde::Serialize;
+
+use crate::engine::{
+    checkpoint_due, finalize, handle_failures, init_run, take_checkpoint, EngineCtx, EngineState,
+    RunConfig, RunResult,
+};
+use crate::spec::WorkflowSpec;
+
+/// Tuning for [`run_watched`].
+#[derive(Debug, Clone)]
+pub struct WatchOptions {
+    /// Sim-time window width in ns. One [`WindowSummary`] is emitted per
+    /// window boundary crossed.
+    pub window_ns: u64,
+    /// Ring capacity of the live event subscriber; when a window retires
+    /// more events than this, the oldest are dropped and counted in
+    /// [`WindowSummary::stream_dropped`].
+    pub stream_capacity: usize,
+    /// Cost model for the live critical path.
+    pub cost: CostModel,
+}
+
+impl Default for WatchOptions {
+    fn default() -> Self {
+        WatchOptions {
+            window_ns: 100_000_000, // 100 ms of sim-time
+            stream_capacity: 1 << 16,
+            cost: CostModel::Volume,
+        }
+    }
+}
+
+/// One window's digest of the live stream (serializable — the `--headless
+/// --jsonl` schema is exactly this struct).
+#[derive(Debug, Clone, Serialize)]
+pub struct WindowSummary {
+    /// Gapless window index, starting at 0.
+    pub window: u64,
+    /// Window bounds in sim-time ns (`[t0, t1)`; the final window's `t1`
+    /// is the makespan).
+    pub t0_ns: u64,
+    pub t1_ns: u64,
+    /// True for the closing summary emitted at run completion.
+    pub final_window: bool,
+    /// Workflow tasks whose latest attempt has completed.
+    pub tasks_done: usize,
+    pub tasks_total: usize,
+    /// Timeline events drained from the subscriber this window.
+    pub events: u64,
+    /// Cumulative events dropped at the subscriber's ring (stream
+    /// overflow, not recorder overflow).
+    pub stream_dropped: u64,
+    /// Blame buckets for this window, descending by busy time.
+    pub blame: Vec<BlameEntry>,
+    /// Current critical-path head under the live fold, when the folded
+    /// graph is non-empty.
+    pub head: Option<LiveHead>,
+    /// Watchdog diagnoses that fired during this window.
+    pub diagnoses: Vec<Diagnosis>,
+    /// Fault counters so far (cumulative).
+    pub failed_attempts: u32,
+    pub crashes: u32,
+    /// Bytes moved so far (cumulative).
+    pub moved_bytes: u64,
+}
+
+/// Per-run state of the window loop.
+struct WindowCtx {
+    stream: EventStream,
+    blame: Blame,
+    live: LiveDfl,
+    track_names: Vec<String>,
+    next_window: u64,
+    idx: u64,
+    diag_seen: usize,
+}
+
+impl WindowCtx {
+    fn subject(&self, track: u32) -> String {
+        self.track_names
+            .get(track as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("track:{track}"))
+    }
+}
+
+/// Runs `spec` under `cfg`, invoking `on_window` with a [`WindowSummary`]
+/// at every `opts.window_ns` boundary of sim-time and once more at
+/// completion (see module docs). Observability is forced on (with default
+/// settings) if `cfg.obs` is `None`; everything else — fault handling,
+/// retries, checkpoints — behaves exactly as in [`crate::engine::run`].
+pub fn run_watched(
+    spec: &WorkflowSpec,
+    cfg: &RunConfig,
+    opts: &WatchOptions,
+    mut on_window: impl FnMut(&WindowSummary),
+) -> Result<RunResult, SimError> {
+    assert!(opts.window_ns > 0, "window width must be positive");
+    if let Err(e) = spec.validate() {
+        panic!("invalid workflow spec: {e}");
+    }
+    let mut cfg = cfg.clone();
+    if cfg.obs.is_none() {
+        cfg.obs = Some(ObsConfig::default());
+    }
+    let ctx = EngineCtx::new(spec, &cfg);
+    let (mut sim, mut st) = init_run(&ctx);
+    if cfg.checkpoint.is_some() {
+        take_checkpoint(&mut sim, &ctx, &mut st)?;
+    }
+
+    let stream = sim.subscribe(opts.stream_capacity).expect("observability forced on above");
+    let track_names: Vec<String> = sim
+        .obs()
+        .map(|o| o.rec.tracks().iter().map(|t| t.name.clone()).collect())
+        .unwrap_or_default();
+    let mut w = WindowCtx {
+        stream,
+        blame: Blame::new(),
+        live: LiveDfl::new(opts.cost),
+        track_names,
+        next_window: opts.window_ns,
+        idx: 0,
+        diag_seen: 0,
+    };
+
+    // The engine's incident loop, with window boundaries folded into the
+    // pause schedule. `set_pause_at` is one-shot, so each iteration re-arms
+    // it with the nearest of the next checkpoint deadline and the next
+    // window edge; which one fired is disambiguated by the clock.
+    let ckpt = ctx.cfg.checkpoint.as_ref();
+    if ckpt.is_some_and(|c| c.every_stages.is_some()) {
+        sim.set_pause_on_job_complete(true);
+    }
+    loop {
+        let mut deadline = w.next_window;
+        if ckpt.is_some_and(|c| c.every_sim_ns.is_some()) {
+            if let Some(next) = st.next_ckpt_ns {
+                deadline = deadline.min(next);
+            }
+        }
+        sim.set_pause_at(Some(deadline));
+        match sim.run_to_incident()? {
+            RunOutcome::Completed => break,
+            RunOutcome::Paused => {
+                if checkpoint_due(&sim, &ctx, &st) {
+                    take_checkpoint(&mut sim, &ctx, &mut st)?;
+                }
+                while sim.time().ns() >= w.next_window {
+                    let summary = close_window(&mut w, &sim, &ctx, &st, opts, false);
+                    on_window(&summary);
+                }
+            }
+            RunOutcome::Failures(failures) => {
+                handle_failures(&mut sim, &ctx, &mut st, failures)?;
+                if ckpt.is_some_and(|c| c.on_incident) {
+                    take_checkpoint(&mut sim, &ctx, &mut st)?;
+                }
+            }
+        }
+    }
+
+    // Closing summary over the run's tail; folds the complete measurement
+    // set so the live critical path matches the batch analysis exactly.
+    let summary = close_window(&mut w, &sim, &ctx, &st, opts, true);
+    on_window(&summary);
+
+    Ok(finalize(sim, &ctx, &st))
+}
+
+/// Drains the stream, folds fresh measurements, and builds the summary for
+/// the window ending at `w.next_window` (or at the clock, for the final
+/// window). Advances the window cursor.
+fn close_window(
+    w: &mut WindowCtx,
+    sim: &Simulation,
+    ctx: &EngineCtx,
+    st: &EngineState,
+    opts: &WatchOptions,
+    final_window: bool,
+) -> WindowSummary {
+    let t0 = w.idx * opts.window_ns;
+    let t1 = if final_window { sim.time().ns() } else { w.next_window };
+
+    let drained = w.stream.drain();
+    let events = drained.len() as u64;
+    for ev in &drained {
+        if let TimelineEvent::Span(s) = ev {
+            let subject = w.subject(s.track);
+            w.blame.observe(span_kind_label(s.kind), &subject, s.start_ns, s.end_ns);
+        }
+    }
+
+    // Fold measurements: completed tasks only mid-run (the monitor keeps
+    // `end_ns == start_ns` until a task finishes), everything on the final
+    // window so the fold covers the exact batch input.
+    let set = sim.measurements().expect("engine always attaches a monitor");
+    for f in &set.files {
+        w.live.fold_file(f);
+    }
+    for t in &set.tasks {
+        if final_window || t.end_ns > t.start_ns {
+            let recs: Vec<_> = set.records.iter().filter(|r| r.task == t.task).cloned().collect();
+            w.live.fold_task(t, &recs);
+        }
+    }
+
+    let all_diag = sim.diagnoses();
+    let diagnoses = all_diag[w.diag_seen.min(all_diag.len())..].to_vec();
+    w.diag_seen = all_diag.len();
+
+    let tasks_done = (0..ctx.spec.tasks.len())
+        .filter(|&ti| sim.job_done(st.cur_job_of_task[ti]))
+        .count();
+    let fr = sim.failure_report();
+
+    let summary = WindowSummary {
+        window: w.idx,
+        t0_ns: t0,
+        t1_ns: t1,
+        final_window,
+        tasks_done,
+        tasks_total: ctx.spec.tasks.len(),
+        events,
+        stream_dropped: w.stream.dropped(),
+        blame: w.blame.take_window(),
+        head: w.live.head(),
+        diagnoses,
+        failed_attempts: fr.failed_attempts,
+        crashes: fr.crashes,
+        moved_bytes: fr.total_bytes,
+    };
+    w.idx += 1;
+    w.next_window = w.next_window.saturating_add(opts.window_ns);
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run;
+    use crate::genomes::{self, GenomesConfig};
+    use dfl_core::analysis::critical_path;
+    use dfl_core::DflGraph;
+
+    fn spec() -> WorkflowSpec {
+        genomes::generate(&GenomesConfig::tiny())
+    }
+
+    #[test]
+    fn watched_run_matches_plain_run() {
+        let s = spec();
+        let cfg = RunConfig::default_gpu(2);
+        let plain = run(&s, &cfg).unwrap();
+        let mut summaries = Vec::new();
+        let watched =
+            run_watched(&s, &cfg, &WatchOptions::default(), |w| summaries.push(w.clone()))
+                .unwrap();
+        assert_eq!(plain.makespan_s, watched.makespan_s);
+        assert_eq!(plain.events_dispatched, watched.events_dispatched);
+        assert!(!summaries.is_empty());
+        let last = summaries.last().unwrap();
+        assert!(last.final_window);
+        assert_eq!(last.tasks_done, last.tasks_total);
+    }
+
+    #[test]
+    fn windows_are_gapless_and_ordered() {
+        let s = spec();
+        let mut summaries = Vec::new();
+        let opts = WatchOptions { window_ns: 50_000_000, ..WatchOptions::default() };
+        run_watched(&s, &RunConfig::default_gpu(2), &opts, |w| summaries.push(w.clone()))
+            .unwrap();
+        for (i, w) in summaries.iter().enumerate() {
+            assert_eq!(w.window, i as u64);
+            assert_eq!(w.t0_ns, i as u64 * opts.window_ns);
+            assert!(w.t1_ns >= w.t0_ns);
+        }
+        assert_eq!(summaries.iter().filter(|w| w.final_window).count(), 1);
+    }
+
+    #[test]
+    fn final_window_head_is_bit_identical_to_batch() {
+        let s = spec();
+        let mut last_head = None;
+        let result = run_watched(
+            &s,
+            &RunConfig::default_gpu(2),
+            &WatchOptions::default(),
+            |w| last_head = w.head.clone(),
+        )
+        .unwrap();
+        let g = DflGraph::from_measurements(&result.measurements);
+        let cp = critical_path(&g, &CostModel::Volume);
+        let head = last_head.expect("non-empty run");
+        assert_eq!(head.total_cost.to_bits(), cp.total_cost.to_bits());
+        assert_eq!(head.path_len, cp.vertices.len());
+    }
+
+    #[test]
+    fn blame_covers_run_activity() {
+        let s = spec();
+        let mut total_blame = 0u64;
+        run_watched(&s, &RunConfig::default_gpu(2), &WatchOptions::default(), |w| {
+            total_blame += w.blame.iter().map(|b| b.busy_ns).sum::<u64>();
+        })
+        .unwrap();
+        assert!(total_blame > 0, "a real run retires spans");
+    }
+}

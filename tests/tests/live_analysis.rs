@@ -1,0 +1,174 @@
+//! Differential tests for the incremental (streaming) DFL analysis engine:
+//! folding a run's measurements into [`LiveDfl`] task by task — in *any*
+//! arrival order — must reproduce the batch `critical_path` and
+//! `caterpillar` results bit for bit, on real workflow specs, on
+//! fault/retry runs, and on arbitrary generated DAG runs.
+//!
+//! Also locks down watchdog determinism: the same seed and fault plan
+//! yield a byte-identical serialized `Diagnosis` stream across runs.
+
+use proptest::prelude::*;
+
+use dfl_core::analysis::caterpillar::{caterpillar, CaterpillarRule};
+use dfl_core::analysis::{critical_path, CostModel, CriticalPath, LiveDfl};
+use dfl_core::DflGraph;
+use dfl_iosim::FaultPlan;
+use dfl_obs::{ObsConfig, WatchdogConfig};
+use dfl_trace::MeasurementSet;
+use dfl_workflows::engine::{run, RunConfig, RunResult};
+use dfl_workflows::spec::{FileProduce, FileUse, TaskSpec, WorkflowSpec};
+use dfl_workflows::watch::{run_watched, WatchOptions};
+use dfl_workflows::{ddmd, genomes, seismic};
+
+/// Deterministic Fisher–Yates permutation of `0..n` from an LCG seed, so
+/// every fold order the tests exercise is reproducible.
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    for i in (1..n).rev() {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (s >> 33) as usize % (i + 1);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+fn assert_paths_identical(live: &CriticalPath, batch: &CriticalPath, what: &str) {
+    assert_eq!(live.vertices, batch.vertices, "{what}: path vertices diverge");
+    assert_eq!(live.edges, batch.edges, "{what}: path edges diverge");
+    assert_eq!(
+        live.total_cost.to_bits(),
+        batch.total_cost.to_bits(),
+        "{what}: cost not bit-identical"
+    );
+}
+
+/// Folds `set` into a fresh [`LiveDfl`] with files and tasks delivered in
+/// the order given by `order_seed`, then checks the materialized critical
+/// path and DFL caterpillar against the batch pipeline bit for bit.
+fn assert_live_matches_batch(set: &MeasurementSet, order_seed: u64, what: &str) {
+    let g = DflGraph::from_measurements(set);
+    let batch_cp = critical_path(&g, &CostModel::Volume);
+    let batch_cat = caterpillar(&g, &batch_cp, CaterpillarRule::Dfl);
+
+    let mut live = LiveDfl::new(CostModel::Volume);
+    for &i in &permutation(set.files.len(), order_seed) {
+        live.fold_file(&set.files[i]);
+    }
+    for &i in &permutation(set.tasks.len(), order_seed.wrapping_add(1)) {
+        let t = &set.tasks[i];
+        let recs: Vec<_> = set.records.iter().filter(|r| r.task == t.task).cloned().collect();
+        live.fold_task(t, &recs);
+    }
+
+    assert_paths_identical(live.critical_path(), &batch_cp, what);
+    let live_cat = live.caterpillar(CaterpillarRule::Dfl);
+    assert_eq!(live_cat.spine, batch_cat.spine, "{what}: caterpillar spine diverges");
+    assert_eq!(live_cat.legs, batch_cat.legs, "{what}: caterpillar legs diverge");
+    assert_eq!(live_cat.extended, batch_cat.extended, "{what}: caterpillar extension diverges");
+    assert_eq!(live_cat.edges, batch_cat.edges, "{what}: caterpillar edges diverge");
+}
+
+#[test]
+fn live_matches_batch_on_three_real_workflows() {
+    let specs: Vec<(&str, WorkflowSpec)> = vec![
+        ("genomes", genomes::generate(&genomes::GenomesConfig::tiny())),
+        ("ddmd", ddmd::generate(&ddmd::DdmdConfig::tiny(), ddmd::Pipeline::Original)),
+        ("seismic", seismic::generate(&seismic::SeismicConfig::tiny())),
+    ];
+    for (name, spec) in specs {
+        let r = run(&spec, &RunConfig::default_gpu(2)).expect("clean run completes");
+        for seed in [0, 7, 1234] {
+            assert_live_matches_batch(&r.measurements, seed, name);
+        }
+    }
+}
+
+#[test]
+fn live_matches_batch_on_a_faulted_retry_run() {
+    let spec = genomes::generate(&genomes::GenomesConfig::tiny());
+    let mut cfg = RunConfig::default_gpu(2);
+    cfg.faults = FaultPlan::seeded(5).crash(0, 30_000_000, 50_000_000);
+    let r = run(&spec, &cfg).expect("run recovers via retries");
+    assert!(r.failure.retries >= 1, "the crash must actually cost a retry");
+    for seed in [0, 99] {
+        assert_live_matches_batch(&r.measurements, seed, "genomes+crash");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary generated DAG runs (random compute, volumes, fan-in,
+    /// optional crash + retry) fed to the live engine in an arbitrary
+    /// order always reproduce the batch analysis bit for bit.
+    #[test]
+    fn live_matches_batch_on_generated_dags(
+        tasks in prop::collection::vec((1u64..40, 1u64..8, 0usize..3), 2..10),
+        order_seed in 0u64..u64::MAX,
+        faulted in any::<bool>(),
+    ) {
+        let mut w = WorkflowSpec::new("gen");
+        w.input("f0", 4 << 20);
+        for (i, &(compute_ms, out_mb, fanin)) in tasks.iter().enumerate() {
+            let mut t = TaskSpec::new(&format!("t-{i}"), "t", (i as u32 % 3) + 1)
+                .write(FileProduce::new(&format!("f{}", i + 1), out_mb << 20))
+                .compute_ms(compute_ms);
+            // Read up to `fanin + 1` of the most recent upstream files
+            // (f0 is the external input), forming a random-width DAG.
+            for k in 0..=fanin {
+                if k > i { break; }
+                t = t.read(FileUse::whole(&format!("f{}", i - k)));
+            }
+            w.task(t);
+        }
+        let mut cfg = RunConfig::default_gpu(2);
+        if faulted {
+            cfg.faults = FaultPlan::seeded(order_seed ^ 0x5eed).crash(0, 10_000_000, 20_000_000);
+        }
+        let r = run(&w, &cfg).expect("short downtime always recovers within default retries");
+        assert_live_matches_batch(&r.measurements, order_seed, "generated DAG");
+    }
+}
+
+/// The crafted stall scenario: both nodes down simultaneously for well
+/// past the stall threshold, with jobs runnable — the stall watchdog must
+/// fire at least once.
+fn stall_run() -> RunResult {
+    let spec = genomes::generate(&genomes::GenomesConfig::tiny());
+    let mut cfg = RunConfig::default_gpu(2);
+    cfg.obs = Some(ObsConfig::sampled(20_000_000).with_watchdogs(WatchdogConfig::default()));
+    cfg.faults = FaultPlan::seeded(1)
+        .crash(0, 50_000_000, 1_000_000_000)
+        .crash(1, 50_000_000, 1_000_000_000);
+    run(&spec, &cfg).expect("cluster recovers after the outage")
+}
+
+#[test]
+fn watchdog_diagnosis_stream_is_byte_identical_across_runs() {
+    let a = stall_run();
+    let b = stall_run();
+    assert!(!a.diagnoses.is_empty(), "a 1 s full outage must trip the stall detector");
+    let ja = serde_json::to_string(&a.diagnoses).unwrap();
+    let jb = serde_json::to_string(&b.diagnoses).unwrap();
+    assert_eq!(ja, jb, "diagnosis stream must be deterministic");
+    // The timelines (diagnosis instants included) agree too.
+    let ta = serde_json::to_string(a.timeline.as_ref().unwrap()).unwrap();
+    let tb = serde_json::to_string(b.timeline.as_ref().unwrap()).unwrap();
+    assert_eq!(ta, tb, "timeline with diagnosis track must be deterministic");
+}
+
+#[test]
+fn watched_stall_scenario_emits_diagnoses_in_window_summaries() {
+    let spec = genomes::generate(&genomes::GenomesConfig::tiny());
+    let mut cfg = RunConfig::default_gpu(2);
+    cfg.obs = Some(ObsConfig::sampled(20_000_000).with_watchdogs(WatchdogConfig::default()));
+    cfg.faults = FaultPlan::seeded(1)
+        .crash(0, 50_000_000, 1_000_000_000)
+        .crash(1, 50_000_000, 1_000_000_000);
+    let mut seen = 0usize;
+    let r = run_watched(&spec, &cfg, &WatchOptions::default(), |w| seen += w.diagnoses.len())
+        .unwrap();
+    assert!(seen >= 1, "window summaries must surface the stall diagnosis");
+    assert_eq!(seen, r.diagnoses.len(), "summaries partition the diagnosis stream");
+}

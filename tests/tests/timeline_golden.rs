@@ -109,6 +109,40 @@ fn one_crash_run_matches_golden_chrome_trace() {
     check_golden("timeline_crash.chrome.json", &chrome_trace(tl));
 }
 
+/// Enabling watchdogs must not perturb the recorded timeline at all while
+/// no detector fires: the diagnosis track is created lazily on the first
+/// firing, so a silent run exports byte-identically to the same run with
+/// watchdogs off — which is exactly what the existing fixtures lock down.
+#[test]
+fn watchdogs_enabled_leave_golden_fixtures_unchanged() {
+    let plans = [
+        (FaultPlan::none(), false),
+        (FaultPlan::seeded(7).crash(0, 30_000_000, 50_000_000), true),
+    ];
+    for (faults, crashy) in plans {
+        let mut cfg = RunConfig::default_gpu(2);
+        cfg.obs = Some(
+            ObsConfig::sampled(20_000_000).with_watchdogs(dfl_obs::WatchdogConfig::default()),
+        );
+        cfg.faults = faults;
+        let r = run(&three_jobs(), &cfg).expect("golden scenario completes");
+        assert!(
+            r.diagnoses.is_empty(),
+            "golden scenarios are anomaly-free (50 ms downtime < stall threshold)"
+        );
+        let tl = r.timeline.as_ref().unwrap();
+        let name = if crashy { "timeline_crash.chrome.json" } else { "timeline_clean.chrome.json" };
+        let expected = std::fs::read_to_string(fixture_path(name)).unwrap();
+        assert_eq!(chrome_trace(tl), expected, "{name} perturbed by enabling watchdogs");
+        if !crashy {
+            let ex = std::fs::read_to_string(fixture_path("timeline_clean.jsonl")).unwrap();
+            assert_eq!(jsonl(tl), ex, "jsonl perturbed by enabling watchdogs");
+            let ex = std::fs::read_to_string(fixture_path("timeline_clean.summary.txt")).unwrap();
+            assert_eq!(ascii_summary(tl), ex, "summary perturbed by enabling watchdogs");
+        }
+    }
+}
+
 /// The fixtures aren't just stable strings: re-parse the chrome trace and
 /// make sure what we lock down is structurally valid.
 #[test]
