@@ -98,6 +98,47 @@ fn bench_opportunity_analysis(c: &mut Criterion) {
     group.finish();
 }
 
+/// 100k-vertex scale: one full batch sweep over a 102.5k-vertex layered
+/// DAG, and the incremental engine's single-edit requery on the same
+/// topology (reweight one source task under the Time model, so the edit
+/// genuinely propagates down its cone rather than no-opping).
+fn bench_gcpa_100k(c: &mut Criterion) {
+    use dfl_core::analysis::IncrementalGcpa;
+    use dfl_core::graph::VertexProps;
+    use dfl_core::{EdgeId, VertexId};
+
+    let g = synth_graph(2_500, 20);
+    let mut group = c.benchmark_group("gcpa_100k");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((g.vertex_count() + g.edge_count()) as u64));
+    group.bench_function(BenchmarkId::new("batch", g.vertex_count()), |b| {
+        b.iter(|| critical_path(std::hint::black_box(&g), &CostModel::Volume))
+    });
+
+    let mut eng = IncrementalGcpa::new(CostModel::Time);
+    for i in 0..g.vertex_count() {
+        eng.add_vertex(g.vertex(VertexId(i as u32)).clone(), i as u64);
+    }
+    for i in 0..g.edge_count() {
+        let e = g.edge(EdgeId(i as u32));
+        eng.add_edge(e.src, e.dst, e.dir, e.props);
+    }
+    let _ = eng.critical_path();
+    let mut flip = false;
+    group.bench_function(BenchmarkId::new("incremental_edit", g.vertex_count()), |b| {
+        b.iter(|| {
+            flip = !flip;
+            let life = if flip { 2_000_000 } else { 1_000_000 };
+            eng.set_vertex_props(
+                VertexId(0),
+                VertexProps::Task(TaskProps { lifetime_ns: life, ..Default::default() }),
+            );
+            eng.critical_path().total_cost
+        })
+    });
+    group.finish();
+}
+
 /// The streaming engine: folding a real run's measurements task by task
 /// with a critical-path refresh after every fold (the watch dashboard's
 /// worst case) vs one batch pass over the same set.
@@ -139,6 +180,7 @@ fn bench_live_incremental(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_gcpa,
+    bench_gcpa_100k,
     bench_caterpillar,
     bench_opportunity_analysis,
     bench_live_incremental

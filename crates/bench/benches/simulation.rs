@@ -74,7 +74,7 @@ macro_rules! drain_stress {
             let bytes = 1_000.0 + (i as f64 * 97.0) % 5_000.0;
             let path = vec![tiers[(i % 16) as usize], nics[(i % 64) as usize]];
             let owner = FlowOwner { job: i as u32, tag: FlowTag::LocalRead, background: false };
-            net.start(SimTime(i * 1_000_000), path, bytes, owner);
+            net.start(SimTime(i * 1_000_000), &path, bytes, owner);
         }
         let mut last = SimTime::ZERO;
         while let Some((t, k)) = net.next_completion() {

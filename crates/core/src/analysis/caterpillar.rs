@@ -136,13 +136,12 @@ pub fn caterpillar(g: &DflGraph, path: &CriticalPath, rule: CaterpillarRule) -> 
             // Does this leg produce data on the spine?
             let produces_spine_data = g
                 .out_edges(leg)
-                .iter()
-                .any(|&e| on_spine[g.edge(e).dst.0 as usize]);
+                .any(|e| on_spine[g.edge(e).dst.0 as usize]);
             if !produces_spine_data {
                 continue;
             }
             // Include its input data (distance two) and connecting edges.
-            for &e in g.in_edges(leg) {
+            for e in g.in_edges(leg) {
                 let d = g.edge(e).src;
                 if member[d.0 as usize] {
                     if !leg_mask[d.0 as usize] {

@@ -5,7 +5,12 @@
 //! analysis identifies potential bottlenecks corresponding, respectively, to
 //! storage capacity, transfer volume, and transfer speed."
 
-use crate::graph::{DflGraph, EdgeId, VertexId, VertexProps};
+use crate::graph::{DflGraph, EdgeId, VertexId, VertexKind};
+
+/// Nanoseconds → seconds as a reciprocal multiply: the GCPA sweeps convert
+/// one value per vertex and per edge, and an fdiv per element is measurably
+/// slower than fmul on the hot path.
+const NS_TO_S: f64 = 1.0 / 1e9;
 
 /// A pluggable property under which the critical path is computed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,37 +39,53 @@ pub enum CostModel {
 impl CostModel {
     /// Cost contributed by traversing edge `e`.
     pub fn edge_cost(&self, g: &DflGraph, e: EdgeId) -> f64 {
-        let edge = g.edge(e);
+        self.edge_cost_props(&g.edge(e).props)
+    }
+
+    /// [`CostModel::edge_cost`] over the properties alone — the hot DP
+    /// sweeps call this with an already-fetched property block so the edge
+    /// struct is read at most once per edge.
+    #[inline]
+    pub fn edge_cost_props(&self, props: &crate::props::EdgeProps) -> f64 {
         match self {
-            CostModel::Volume => edge.props.volume as f64,
-            CostModel::Footprint => edge.props.footprint,
-            CostModel::TransferTime => edge.props.transfer_time_s(),
-            CostModel::Time => edge.props.latency_ns as f64 / 1e9,
+            CostModel::Volume => props.volume as f64,
+            CostModel::Footprint => props.footprint,
+            CostModel::TransferTime => props.transfer_time_s(),
+            CostModel::Time => props.latency_ns as f64 * NS_TO_S,
             CostModel::BranchJoin { .. } | CostModel::TaskFanIn => 0.0,
         }
     }
 
     /// Cost contributed by visiting vertex `v`.
+    ///
+    /// Reads only the graph's flat kind/lifetime/degree mirrors, never the
+    /// AoS vertex record, so the per-vertex DP cost stays cache-friendly.
+    #[inline]
     pub fn vertex_cost(&self, g: &DflGraph, v: VertexId) -> f64 {
-        let vertex = g.vertex(v);
         match self {
             CostModel::Volume | CostModel::Footprint | CostModel::TransferTime => 0.0,
-            CostModel::Time => match &vertex.props {
-                VertexProps::Task(t) => t.lifetime_ns as f64 / 1e9,
-                VertexProps::Data(_) => 0.0,
+            CostModel::Time => match g.vertex_kind(v) {
+                VertexKind::Task => g.vlife_raw()[v.0 as usize] as f64 * NS_TO_S,
+                VertexKind::Data => 0.0,
             },
             CostModel::BranchJoin { branch_threshold } => {
                 let mut c = 0.0;
-                if vertex.is_data() && g.out_degree(v) > *branch_threshold {
-                    c += 1.0; // a data branch
-                }
-                if vertex.is_task() && g.in_degree(v) >= 2 {
-                    c += 1.0; // a task join
+                match g.vertex_kind(v) {
+                    VertexKind::Data => {
+                        if g.out_degree(v) > *branch_threshold {
+                            c += 1.0; // a data branch
+                        }
+                    }
+                    VertexKind::Task => {
+                        if g.in_degree(v) >= 2 {
+                            c += 1.0; // a task join
+                        }
+                    }
                 }
                 c
             }
             CostModel::TaskFanIn => {
-                if vertex.is_task() && g.in_degree(v) >= 2 {
+                if g.vertex_kind(v) == VertexKind::Task && g.in_degree(v) >= 2 {
                     1.0
                 } else {
                     0.0
@@ -120,7 +141,7 @@ mod tests {
     #[test]
     fn volume_is_edge_only() {
         let (g, d0, _) = star();
-        let e = g.out_edges(d0)[0];
+        let e = g.out_edges(d0).next().unwrap();
         assert_eq!(CostModel::Volume.edge_cost(&g, e), 100.0);
         assert_eq!(CostModel::Volume.vertex_cost(&g, d0), 0.0);
     }

@@ -50,59 +50,90 @@ pub fn critical_path(g: &DflGraph, cost: &CostModel) -> CriticalPath {
 /// Fallible variant of [`critical_path`], returning
 /// [`GraphError::CycleDetected`] for cyclic graphs.
 pub fn try_critical_path(g: &DflGraph, cost: &CostModel) -> Result<CriticalPath, GraphError> {
-    let order = g.topo_order()?;
-    if order.is_empty() {
+    let n = g.vertex_count();
+    if n == 0 {
         return Ok(CriticalPath { vertices: vec![], edges: vec![], total_cost: 0.0 });
     }
 
-    let n = g.vertex_count();
-    // dist[v] = best cost of a path ending at v (inclusive of v's cost).
-    let mut dist = vec![f64::NEG_INFINITY; n];
-    let mut pred: Vec<Option<(VertexId, EdgeId)>> = vec![None; n];
+    const NONE: u32 = u32::MAX;
 
-    for &v in &order {
-        let vi = v.0 as usize;
-        let vcost = cost.vertex_cost(g, v);
-        if g.in_degree(v) == 0 {
-            dist[vi] = vcost;
-            continue;
-        }
+    // The memoized order also carries the cycle check; computing it is paid
+    // once per graph mutation, not once per analysis.
+    let Some(order) = g.topo_flat() else {
+        return Err(GraphError::CycleDetected);
+    };
+
+    let esrc = g.edge_src_raw();
+    let m = esrc.len();
+
+    // Hoist the cost-model dispatch out of the DP sweep: one sequential pass
+    // fills a flat cost array per edge and seeds dist with the per-vertex
+    // costs (structural models get a zero-filled edge array and vice versa —
+    // calloc, effectively free), so the worklist loop below is pure array
+    // arithmetic with no enum matches and no AoS struct fetches.
+    //
+    // dist[v] starts as v's own vertex cost and is finalized to the best
+    // cost of a path ending at v (inclusive of that vertex cost) when v is
+    // popped; a vertex's dist is only ever read after it is finalized.
+    let ecost: Vec<f64> = if matches!(cost, CostModel::BranchJoin { .. } | CostModel::TaskFanIn) {
+        vec![0.0; m]
+    } else {
+        (0..m as u32).map(|ei| cost.edge_cost_props(&g.edge(EdgeId(ei)).props)).collect()
+    };
+    let mut dist: Vec<f64> =
+        if matches!(cost, CostModel::Volume | CostModel::Footprint | CostModel::TransferTime) {
+            vec![0.0; n]
+        } else {
+            (0..n as u32).map(|vi| cost.vertex_cost(g, VertexId(vi))).collect()
+        };
+    // pred_v/pred_e record the chosen in-edge (NONE for sources); packed in
+    // one word so finalizing a vertex touches one cache line, not two.
+    let mut pred: Vec<u64> = vec![u64::MAX; n];
+
+    // One pass over the memoized order: every predecessor's dist is final
+    // by the time a vertex is visited, and all tie-breaks below are pure id
+    // comparisons, so dist/pred and the endpoint choice are independent of
+    // which valid order the cache holds.
+    // Best endpoint so far (ties to the lowest vertex id).
+    let mut end = 0u32;
+    let mut end_d = f64::NEG_INFINITY;
+    for &vi in order {
         let mut best = f64::NEG_INFINITY;
-        let mut best_pred = None;
-        for &e in g.in_edges(v) {
-            let u = g.edge(e).src;
-            let cand = dist[u.0 as usize] + cost.edge_cost(g, e);
+        let mut best_u = NONE;
+        let mut best_e = NONE;
+        for e in g.in_edges(VertexId(vi)) {
+            let ei = e.0 as usize;
+            let u = esrc[ei];
+            let cand = dist[u as usize] + ecost[ei];
             // Deterministic tie-break: strictly greater, or equal with a
             // lower predecessor id.
-            let better = cand > best
-                || (cand == best
-                    && best_pred.is_some_and(|(bu, _): (VertexId, EdgeId)| u < bu));
-            if better {
+            if cand > best || (cand == best && best_u != NONE && u < best_u) {
                 best = cand;
-                best_pred = Some((u, e));
+                best_u = u;
+                best_e = ei as u32;
             }
         }
-        dist[vi] = best + vcost;
-        pred[vi] = best_pred;
-    }
-
-    // Pick the best endpoint (ties to the lowest id).
-    let mut end = order[0];
-    for &v in &order {
-        let (dv, de) = (dist[v.0 as usize], dist[end.0 as usize]);
-        if dv > de || (dv == de && v < end) {
-            end = v;
+        // Sources (no in-edge chosen) keep their seeded vertex cost.
+        let dv = if best_e == NONE { dist[vi as usize] } else { best + dist[vi as usize] };
+        dist[vi as usize] = dv;
+        pred[vi as usize] = (u64::from(best_u) << 32) | u64::from(best_e);
+        if dv > end_d || (dv == end_d && vi < end) {
+            end_d = dv;
+            end = vi;
         }
     }
+    let end = VertexId(end);
 
     // Backtrack.
     let mut vertices = vec![end];
     let mut edges = Vec::new();
     let mut cur = end;
-    while let Some((u, e)) = pred[cur.0 as usize] {
-        vertices.push(u);
-        edges.push(e);
-        cur = u;
+    while pred[cur.0 as usize] != u64::MAX {
+        let p = pred[cur.0 as usize];
+        let (u, e) = ((p >> 32) as u32, p as u32);
+        vertices.push(VertexId(u));
+        edges.push(EdgeId(e));
+        cur = VertexId(u);
     }
     vertices.reverse();
     edges.reverse();
@@ -145,8 +176,10 @@ pub fn component_critical_paths(g: &DflGraph, cost: &CostModel) -> Vec<CriticalP
         comps.entry(find(&mut parent, i)).or_default().0.push(VertexId(i));
     }
     for (eid, e) in g.edges() {
+        // Every edge source is a vertex, so its root was inserted by the
+        // vertex pass above; or_default keeps this panic-free regardless.
         let root = find(&mut parent, e.src.0);
-        comps.get_mut(&root).expect("edge endpoints are vertices").1.push(eid);
+        comps.entry(root).or_default().1.push(eid);
     }
 
     let mut paths: Vec<CriticalPath> = Vec::new();

@@ -73,8 +73,8 @@ impl ProducerConsumer {
 pub fn producer_consumer_relations(g: &DflGraph) -> Vec<ProducerConsumer> {
     let mut out = Vec::new();
     for d in g.data_vertices() {
-        for &pe in g.in_edges(d) {
-            for &ce in g.out_edges(d) {
+        for pe in g.in_edges(d) {
+            for ce in g.out_edges(d) {
                 out.push(ProducerConsumer {
                     producer: g.edge(pe).src,
                     data: d,

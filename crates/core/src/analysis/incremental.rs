@@ -1,0 +1,504 @@
+//! Incremental GCPA: a critical-path engine that absorbs graph edits and
+//! recomputes only the affected cone (§5.1, made in-situ).
+//!
+//! The batch [`critical_path`](crate::analysis::critical_path::critical_path)
+//! resweeps the whole DAG per query. During a live run the DFL changes by
+//! small deltas — one task's lifetime, a handful of edges — so
+//! [`IncrementalGcpa`] keeps the longest-path DP state (`dist`/`pred`) and a
+//! maintained topological order, and on each edit marks only the edit's
+//! target dirty. A query drains the dirty set in position order; a vertex
+//! whose recomputed distance is bit-identical to before stops the wave, so
+//! the refresh cost is proportional to the cone the edit actually changed.
+//!
+//! Edge inserts that violate the maintained order are repaired with the
+//! Pearce–Kelly restricted double DFS: only vertices whose positions fall
+//! between the new edge's endpoints are discovered and permuted, leaving the
+//! rest of the order (and the DP state outside the cone) untouched.
+//!
+//! # Tie-break keys
+//!
+//! The batch DP breaks cost ties by *canonical* vertex id (the
+//! measurement-order id the post-hoc builder assigns). The engine's own ids
+//! are allocation-order and therefore fold-order dependent, so every vertex
+//! carries an external 64-bit `key` supplied by the caller; ties compare
+//! keys instead of engine ids. A caller that keys vertices in canonical
+//! order (see [`LiveDfl`](crate::analysis::live::LiveDfl)) gets results
+//! bit-identical to the batch DP regardless of fold order.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::analysis::cost::CostModel;
+use crate::graph::{DflGraph, EdgeId, Vertex, VertexId};
+use crate::props::{EdgeProps, FlowDir};
+
+const NONE: u32 = u32::MAX;
+
+/// A critical path in *engine* ids (allocation order). Callers that need
+/// canonical ids translate via the keys they supplied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnginePath {
+    /// Vertices in flow order (source first), as engine [`VertexId`]s.
+    pub vertices: Vec<VertexId>,
+    /// Edges in flow order, as engine [`EdgeId`]s.
+    pub edges: Vec<EdgeId>,
+    /// Total path cost; bit-identical to the batch DP on the same DAG.
+    pub total_cost: f64,
+}
+
+/// Incremental generalized critical path analysis over an owned [`DflGraph`].
+///
+/// See the module docs for the dirty-cone and ordering invariants.
+#[derive(Debug)]
+pub struct IncrementalGcpa {
+    g: DflGraph,
+    model: CostModel,
+    /// Caller-supplied tie-break key per vertex (canonical order).
+    key: Vec<u64>,
+    /// Whether the vertex participates in endpoint selection. Inactive
+    /// vertices (e.g. files whose records were all refolded away) keep
+    /// their DP slots but can never end the reported path.
+    active: Vec<bool>,
+    /// Maintained topological order and its inverse.
+    order: Vec<u32>,
+    pos: Vec<u32>,
+    /// DP state: best path cost ending at v (inclusive of v's vertex cost)
+    /// and the chosen in-edge (NONE for sources).
+    dist: Vec<f64>,
+    pred_v: Vec<u32>,
+    pred_e: Vec<u32>,
+    /// Memoized per-vertex and per-edge costs under `model`.
+    seed: Vec<f64>,
+    ecost: Vec<f64>,
+    /// Dirty worklist, keyed by position at enqueue time (stale entries are
+    /// skipped at pop; Pearce–Kelly re-enqueues anything it moves).
+    dirty: BinaryHeap<Reverse<(u32, u32)>>,
+    in_dirty: Vec<bool>,
+    /// Set when an insert closed a cycle; the next query re-sorts from
+    /// scratch (and panics like the batch DP if the cycle persists).
+    poisoned: bool,
+    /// DFS epoch marks, reused across Pearce–Kelly repairs.
+    mark: Vec<u32>,
+    epoch: u32,
+}
+
+impl IncrementalGcpa {
+    pub fn new(model: CostModel) -> Self {
+        IncrementalGcpa {
+            g: DflGraph::new(),
+            model,
+            key: Vec::new(),
+            active: Vec::new(),
+            order: Vec::new(),
+            pos: Vec::new(),
+            dist: Vec::new(),
+            pred_v: Vec::new(),
+            pred_e: Vec::new(),
+            seed: Vec::new(),
+            ecost: Vec::new(),
+            dirty: BinaryHeap::new(),
+            in_dirty: Vec::new(),
+            poisoned: false,
+            mark: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    /// The engine's cost model.
+    pub fn model(&self) -> CostModel {
+        self.model
+    }
+
+    /// The engine's graph (engine ids; read-only — all mutation goes
+    /// through the edit methods so the DP state stays consistent).
+    pub fn graph(&self) -> &DflGraph {
+        &self.g
+    }
+
+    /// The canonical tie-break key `v` was added with.
+    pub fn key_of(&self, v: VertexId) -> u64 {
+        self.key[v.0 as usize]
+    }
+
+    /// Adds a vertex with its canonical tie-break key. New vertices have no
+    /// edges, so appending to the order keeps it valid and the DP slot is
+    /// exact immediately (`dist = vertex cost`).
+    pub fn add_vertex(&mut self, v: Vertex, key: u64) -> VertexId {
+        let id = self.g.add_vertex(v);
+        let vi = id.0;
+        self.key.push(key);
+        self.active.push(true);
+        self.order.push(vi);
+        self.pos.push(self.order.len() as u32 - 1);
+        self.seed.push(self.model.vertex_cost(&self.g, id));
+        self.dist.push(self.seed[vi as usize]);
+        self.pred_v.push(NONE);
+        self.pred_e.push(NONE);
+        self.in_dirty.push(false);
+        self.mark.push(0);
+        id
+    }
+
+    /// Includes/excludes `v` from endpoint selection.
+    pub fn set_active(&mut self, v: VertexId, active: bool) {
+        self.active[v.0 as usize] = active;
+    }
+
+    /// Replaces `v`'s properties (e.g. a refolded task lifetime) and marks
+    /// the cone dirty.
+    pub fn set_vertex_props(&mut self, v: VertexId, props: crate::graph::VertexProps) {
+        self.g.set_vertex_props(v, props);
+        self.reseed(v.0);
+    }
+
+    /// Adds an edge, repairing the maintained order if the insert runs
+    /// backwards through it.
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId, dir: FlowDir, props: EdgeProps) -> EdgeId {
+        let e = self.g.add_edge(src, dst, dir, props);
+        self.ecost.push(self.model.edge_cost_props(&self.g.edge(e).props));
+        if !self.poisoned && self.pos[src.0 as usize] > self.pos[dst.0 as usize] {
+            self.pearce_kelly(src.0, dst.0);
+        }
+        // Degrees changed at both endpoints (BranchJoin/TaskFanIn vertex
+        // costs read them); the destination additionally gained a relaxation
+        // candidate.
+        self.reseed(src.0);
+        self.reseed(dst.0);
+        self.mark_dirty(dst.0);
+        e
+    }
+
+    /// Unlinks an edge (tombstone; engine edge ids are never reused).
+    /// Removing an edge can never invalidate a topological order, so only
+    /// the DP cone refreshes.
+    pub fn unlink_edge(&mut self, e: EdgeId) {
+        if !self.g.edge_live(e) {
+            return;
+        }
+        let (s, d) = (self.g.edge(e).src, self.g.edge(e).dst);
+        self.g.unlink_edge(e);
+        self.reseed(s.0);
+        self.reseed(d.0);
+        self.mark_dirty(d.0);
+    }
+
+    /// Recomputes `v`'s vertex cost and dirties it if the cost moved.
+    fn reseed(&mut self, vi: u32) {
+        let s = self.model.vertex_cost(&self.g, VertexId(vi));
+        if s.to_bits() != self.seed[vi as usize].to_bits() {
+            self.seed[vi as usize] = s;
+        }
+        // Even an unchanged seed needs a dirty mark when called from an
+        // edge edit (the relaxation set changed); reseed is only ever
+        // called from edits, so always mark.
+        self.mark_dirty(vi);
+    }
+
+    fn mark_dirty(&mut self, vi: u32) {
+        if !self.in_dirty[vi as usize] {
+            self.in_dirty[vi as usize] = true;
+            self.dirty.push(Reverse((self.pos[vi as usize], vi)));
+        }
+    }
+
+    /// Pearce–Kelly order repair for a violating insert `u → v`
+    /// (`pos[u] > pos[v]`): discover the affected region with two
+    /// position-bounded DFS passes, then permute only those slots.
+    fn pearce_kelly(&mut self, u: u32, v: u32) {
+        let ub = self.pos[u as usize];
+        let lb = self.pos[v as usize];
+        self.epoch += 1;
+        let epoch = self.epoch;
+
+        // Forward from v, restricted to pos ≤ ub. Reaching u means the new
+        // edge closed a cycle: poison and let the next query re-sort.
+        let mut fwd: Vec<u32> = Vec::new();
+        let mut stack = vec![v];
+        self.mark[v as usize] = epoch;
+        while let Some(w) = stack.pop() {
+            fwd.push(w);
+            for e in self.g.out_edges(VertexId(w)) {
+                let x = self.g.edge(e).dst.0;
+                if x == u {
+                    self.poisoned = true;
+                    return;
+                }
+                if self.pos[x as usize] <= ub && self.mark[x as usize] != epoch {
+                    self.mark[x as usize] = epoch;
+                    stack.push(x);
+                }
+            }
+        }
+
+        // Backward from u, restricted to pos ≥ lb.
+        let mut bwd: Vec<u32> = Vec::new();
+        stack.push(u);
+        self.mark[u as usize] = epoch;
+        while let Some(w) = stack.pop() {
+            bwd.push(w);
+            for e in self.g.in_edges(VertexId(w)) {
+                let x = self.g.edge(e).src.0;
+                if self.pos[x as usize] >= lb && self.mark[x as usize] != epoch {
+                    self.mark[x as usize] = epoch;
+                    stack.push(x);
+                }
+            }
+        }
+
+        // Permute: the union of both regions' slots, in ascending order,
+        // receives first the backward set then the forward set (each in
+        // their existing relative order).
+        fwd.sort_unstable_by_key(|&w| self.pos[w as usize]);
+        bwd.sort_unstable_by_key(|&w| self.pos[w as usize]);
+        let mut slots: Vec<u32> =
+            bwd.iter().chain(fwd.iter()).map(|&w| self.pos[w as usize]).collect();
+        slots.sort_unstable();
+        for (slot, &w) in slots.iter().zip(bwd.iter().chain(fwd.iter())) {
+            self.order[*slot as usize] = w;
+            self.pos[w as usize] = *slot;
+            // Dirty entries keyed by a stale position would drain out of
+            // order; re-enqueue moved vertices under their new position.
+            if self.in_dirty[w as usize] {
+                self.dirty.push(Reverse((*slot, w)));
+            }
+        }
+    }
+
+    /// Relaxes `v` over its live in-edges under the batch tie-break
+    /// (max cost, then min key; unique keys make this order-independent).
+    fn relax(&self, vi: u32) -> (f64, u32, u32) {
+        let mut best = f64::NEG_INFINITY;
+        let mut best_u = NONE;
+        let mut best_e = NONE;
+        for e in self.g.in_edges(VertexId(vi)) {
+            let ei = e.0 as usize;
+            let u = self.g.edge(e).src.0;
+            let cand = self.dist[u as usize] + self.ecost[ei];
+            if cand > best
+                || (cand == best
+                    && best_u != NONE
+                    && self.key[u as usize] < self.key[best_u as usize])
+            {
+                best = cand;
+                best_u = u;
+                best_e = ei as u32;
+            }
+        }
+        if best_e == NONE {
+            (self.seed[vi as usize], NONE, NONE)
+        } else {
+            (best + self.seed[vi as usize], best_u, best_e)
+        }
+    }
+
+    /// Drains the dirty set in position order. A vertex whose recomputed
+    /// distance is bit-identical stops the wave there (its pred may still
+    /// be updated — path shape can change at equal cost).
+    fn refresh(&mut self) {
+        if self.poisoned {
+            self.resort();
+        }
+        while let Some(Reverse((p, vi))) = self.dirty.pop() {
+            if !self.in_dirty[vi as usize] || p != self.pos[vi as usize] {
+                continue; // stale entry; the live one is elsewhere in the heap
+            }
+            self.in_dirty[vi as usize] = false;
+            let (dv, pu, pe) = self.relax(vi);
+            let changed = dv.to_bits() != self.dist[vi as usize].to_bits();
+            self.dist[vi as usize] = dv;
+            self.pred_v[vi as usize] = pu;
+            self.pred_e[vi as usize] = pe;
+            if changed {
+                let succs: Vec<u32> =
+                    self.g.successors(VertexId(vi)).map(|s| s.0).collect();
+                for s in succs {
+                    self.mark_dirty(s);
+                }
+            }
+        }
+    }
+
+    /// Full re-sort fallback after a suspected cycle: recompute the order
+    /// from scratch and resweep everything.
+    ///
+    /// # Panics
+    /// Panics if the graph is (still) cyclic — mirroring the batch
+    /// [`critical_path`](crate::analysis::critical_path::critical_path).
+    fn resort(&mut self) {
+        let order = self
+            .g
+            .topo_flat()
+            .expect("critical path requires an acyclic graph")
+            .to_vec();
+        for (p, &vi) in order.iter().enumerate() {
+            self.pos[vi as usize] = p as u32;
+        }
+        self.order = order;
+        self.dirty.clear();
+        self.in_dirty.iter_mut().for_each(|b| *b = false);
+        for idx in 0..self.order.len() {
+            let vi = self.order[idx];
+            let (dv, pu, pe) = self.relax(vi);
+            self.dist[vi as usize] = dv;
+            self.pred_v[vi as usize] = pu;
+            self.pred_e[vi as usize] = pe;
+        }
+        self.poisoned = false;
+    }
+
+    /// The current critical path in engine ids, refreshing any pending
+    /// dirty cone first. Empty when no vertex is active.
+    ///
+    /// # Panics
+    /// Panics if the folded graph is cyclic (as the batch DP does).
+    pub fn critical_path(&mut self) -> EnginePath {
+        self.refresh();
+        // Endpoint: max dist, ties to the lowest key — identical to the
+        // batch DP's ascending-id scan under canonical keys.
+        let mut end = NONE;
+        let mut end_d = f64::NEG_INFINITY;
+        for vi in 0..self.dist.len() as u32 {
+            if !self.active[vi as usize] {
+                continue;
+            }
+            let dv = self.dist[vi as usize];
+            if end == NONE
+                || dv > end_d
+                || (dv == end_d && self.key[vi as usize] < self.key[end as usize])
+            {
+                end = vi;
+                end_d = dv;
+            }
+        }
+        if end == NONE {
+            return EnginePath { vertices: vec![], edges: vec![], total_cost: 0.0 };
+        }
+        let mut vertices = vec![VertexId(end)];
+        let mut edges = Vec::new();
+        let mut cur = end;
+        while self.pred_v[cur as usize] != NONE {
+            let (u, e) = (self.pred_v[cur as usize], self.pred_e[cur as usize]);
+            vertices.push(VertexId(u));
+            edges.push(EdgeId(e));
+            cur = u;
+        }
+        vertices.reverse();
+        edges.reverse();
+        EnginePath { vertices, edges, total_cost: end_d }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::critical_path::critical_path;
+    use crate::graph::VertexKind;
+    use crate::graph::VertexProps;
+    use crate::props::{DataProps, TaskProps};
+
+    fn task(name: &str, life: u64) -> Vertex {
+        Vertex {
+            kind: VertexKind::Task,
+            name: name.into(),
+            logical: name.into(),
+            props: VertexProps::Task(TaskProps { lifetime_ns: life, ..Default::default() }),
+        }
+    }
+
+    fn data(name: &str) -> Vertex {
+        Vertex {
+            kind: VertexKind::Data,
+            name: name.into(),
+            logical: name.into(),
+            props: VertexProps::Data(DataProps::default()),
+        }
+    }
+
+    fn vol(volume: u64) -> EdgeProps {
+        EdgeProps { volume, ..Default::default() }
+    }
+
+    /// After every edit, the engine must agree bit-for-bit with a batch
+    /// sweep over its own graph (keys = engine ids here, so canonical and
+    /// engine order coincide).
+    fn assert_matches_batch(eng: &mut IncrementalGcpa) {
+        let model = eng.model();
+        let batch = critical_path(eng.graph(), &model);
+        let inc = eng.critical_path();
+        assert_eq!(inc.vertices, batch.vertices);
+        assert_eq!(inc.edges, batch.edges);
+        assert_eq!(inc.total_cost.to_bits(), batch.total_cost.to_bits());
+    }
+
+    #[test]
+    fn incremental_tracks_edits() {
+        let mut eng = IncrementalGcpa::new(CostModel::Volume);
+        let t0 = eng.add_vertex(task("t0", 10), 0);
+        let d0 = eng.add_vertex(data("d0"), 1);
+        let t1 = eng.add_vertex(task("t1", 20), 2);
+        assert_matches_batch(&mut eng);
+        eng.add_edge(t0, d0, FlowDir::Producer, vol(100));
+        assert_matches_batch(&mut eng);
+        let e = eng.add_edge(d0, t1, FlowDir::Consumer, vol(50));
+        assert_matches_batch(&mut eng);
+        eng.unlink_edge(e);
+        assert_matches_batch(&mut eng);
+    }
+
+    #[test]
+    fn backward_insert_repairs_order() {
+        let mut eng = IncrementalGcpa::new(CostModel::Volume);
+        // Allocation order puts the consumer before its input file, so the
+        // consumer edge runs backwards through the maintained order.
+        let t1 = eng.add_vertex(task("t1", 0), 2);
+        let t0 = eng.add_vertex(task("t0", 0), 0);
+        let d0 = eng.add_vertex(data("d0"), 1);
+        eng.add_edge(t0, d0, FlowDir::Producer, vol(7));
+        eng.add_edge(d0, t1, FlowDir::Consumer, vol(7));
+        assert_matches_batch(&mut eng);
+        assert_eq!(eng.critical_path().total_cost, 14.0);
+        // The repaired order must still topologically sort the chain.
+        let (p0, pd, p1) =
+            (eng.pos[t0.0 as usize], eng.pos[d0.0 as usize], eng.pos[t1.0 as usize]);
+        assert!(p0 < pd && pd < p1, "pos {p0} {pd} {p1}");
+    }
+
+    #[test]
+    fn lifetime_update_moves_the_path() {
+        let mut eng = IncrementalGcpa::new(CostModel::Time);
+        let t0 = eng.add_vertex(task("t0", 1_000_000_000), 0);
+        let d0 = eng.add_vertex(data("d0"), 2);
+        let t1 = eng.add_vertex(task("t1", 1_000_000_000), 1);
+        eng.add_edge(t0, d0, FlowDir::Producer, EdgeProps::default());
+        eng.add_edge(d0, t1, FlowDir::Consumer, EdgeProps::default());
+        let before = eng.critical_path().total_cost;
+        eng.set_vertex_props(
+            t1,
+            VertexProps::Task(TaskProps { lifetime_ns: 5_000_000_000, ..Default::default() }),
+        );
+        assert_matches_batch(&mut eng);
+        assert!(eng.critical_path().total_cost > before);
+    }
+
+    #[test]
+    fn inactive_vertices_cannot_end_the_path() {
+        let mut eng = IncrementalGcpa::new(CostModel::Volume);
+        let t0 = eng.add_vertex(task("t0", 0), 0);
+        let d0 = eng.add_vertex(data("orphan"), 1);
+        let _ = t0;
+        eng.set_active(d0, false);
+        let p = eng.critical_path();
+        assert_eq!(p.vertices, vec![t0]);
+    }
+
+    #[test]
+    fn cycle_panics_like_batch() {
+        let mut eng = IncrementalGcpa::new(CostModel::Volume);
+        let t = eng.add_vertex(task("t", 0), 0);
+        let d = eng.add_vertex(data("d"), 1);
+        eng.add_edge(t, d, FlowDir::Producer, vol(1));
+        eng.add_edge(d, t, FlowDir::Consumer, vol(1));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| eng.critical_path()));
+        assert!(r.is_err(), "cyclic engine graph must panic like the batch DP");
+    }
+}

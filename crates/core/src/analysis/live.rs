@@ -33,16 +33,23 @@
 //! single-pass and deterministic. Entries sort by descending busy time, so
 //! the head of the list is the entity gating progress right now.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use serde::Serialize;
 
 use crate::analysis::caterpillar::{caterpillar, Caterpillar, CaterpillarRule};
 use crate::analysis::cost::CostModel;
-use crate::analysis::critical_path::{critical_path, CriticalPath};
-use crate::graph::DflGraph;
+use crate::analysis::critical_path::CriticalPath;
+use crate::analysis::incremental::{EnginePath, IncrementalGcpa};
+use crate::graph::build::{edge_props_for, logical_path};
+use crate::graph::{DflGraph, EdgeId, Vertex, VertexId, VertexKind, VertexProps};
+use crate::props::{DataProps, FlowDir, TaskProps};
 use dfl_trace::stats::FileRecord;
-use dfl_trace::{MeasurementSet, TaskFileRecord, TaskRecord};
+use dfl_trace::{FileId, FlowKind, MeasurementSet, TaskFileRecord, TaskId, TaskRecord};
+
+/// File keys sort after every task key (tasks precede files in canonical
+/// vertex order).
+const FILE_KEY_BASE: u64 = 1 << 32;
 
 /// Incremental DFL builder with batch-equivalent materialization (see
 /// module docs).
@@ -50,9 +57,29 @@ use dfl_trace::{MeasurementSet, TaskFileRecord, TaskRecord};
 pub struct LiveDfl {
     model: CostModel,
     set: MeasurementSet,
-    /// Result caches, invalidated by any fold.
+    /// Result caches, invalidated by any fold. The graph is the *canonical*
+    /// graph (batch ids), rebuilt on demand for `graph()`/`caterpillar()`;
+    /// the critical path comes from the incremental engine and is already
+    /// translated to canonical ids.
     graph: Option<DflGraph>,
     cp: Option<CriticalPath>,
+    /// The incremental GCPA engine: holds a fold-order twin of the graph
+    /// keyed so its tie-breaks replicate canonical order (see
+    /// [`IncrementalGcpa`] docs), refreshed cone-by-cone per fold.
+    eng: IncrementalGcpa,
+    /// Canonical trace ids → engine vertex ids.
+    task_v: BTreeMap<TaskId, VertexId>,
+    file_v: BTreeMap<FileId, VertexId>,
+    /// The engine edges currently materialized for each task's records
+    /// (unlinked wholesale when the task refolds).
+    task_edges: BTreeMap<TaskId, Vec<EdgeId>>,
+    /// Files referenced by each task's current records (for record-count
+    /// bookkeeping on refold).
+    task_files: BTreeMap<TaskId, Vec<FileId>>,
+    /// Live record count per file: a file vertex participates in endpoint
+    /// selection only while ≥ 1 folded record references it (the batch
+    /// builder materializes exactly those files).
+    file_recs: BTreeMap<FileId, u32>,
 }
 
 /// The current critical path's head: the endpoint vertex the batch DP
@@ -76,6 +103,12 @@ impl LiveDfl {
             set: MeasurementSet { tasks: Vec::new(), files: Vec::new(), records: Vec::new() },
             graph: None,
             cp: None,
+            eng: IncrementalGcpa::new(model),
+            task_v: BTreeMap::new(),
+            file_v: BTreeMap::new(),
+            task_edges: BTreeMap::new(),
+            task_files: BTreeMap::new(),
+            file_recs: BTreeMap::new(),
         }
     }
 
@@ -88,13 +121,83 @@ impl LiveDfl {
                 let cur = &self.set.files[i];
                 if cur.path != f.path || cur.size != f.size || cur.block_size != f.block_size {
                     self.set.files[i] = f.clone();
+                    // Data-vertex properties feed no cost model, so the
+                    // engine graph needs no touch-up; only the canonical
+                    // rebuild caches go stale.
                     self.invalidate();
                 }
             }
             Err(i) => {
                 self.set.files.insert(i, f.clone());
+                self.materialize_file(f.file);
                 self.invalidate();
             }
+        }
+    }
+
+    /// Creates the engine vertex (and pending edges) for a file that just
+    /// joined the file table while records referencing it were already
+    /// folded — the state where the batch builder would first materialize
+    /// it. Unreferenced files get no vertex, exactly like batch.
+    fn materialize_file(&mut self, file: FileId) {
+        if self.file_recs.get(&file).copied().unwrap_or(0) == 0 {
+            return;
+        }
+        debug_assert!(!self.file_v.contains_key(&file), "vertex exists only once referenced+known");
+        let fv = self.add_file_vertex(file);
+        // Connect every folded record that was waiting for this vertex
+        // (records of unknown files add no edges, per the batch skip rule).
+        let waiting: Vec<TaskFileRecord> =
+            self.set.records.iter().filter(|r| r.file == file).cloned().collect();
+        for r in &waiting {
+            self.add_record_edges(r, fv);
+        }
+    }
+
+    /// Adds the engine vertex for a known, referenced file.
+    fn add_file_vertex(&mut self, file: FileId) -> VertexId {
+        let i = self
+            .set
+            .files
+            .binary_search_by_key(&file, |x| x.file)
+            .expect("file table entry exists");
+        let f = &self.set.files[i];
+        let fv = self.eng.add_vertex(
+            Vertex {
+                kind: VertexKind::Data,
+                name: f.path.clone(),
+                logical: logical_path(&f.path),
+                props: VertexProps::Data(DataProps {
+                    size: f.size,
+                    block_size: f.block_size,
+                    instances: 1,
+                    ..Default::default()
+                }),
+            },
+            FILE_KEY_BASE | u64::from(file.0),
+        );
+        self.file_v.insert(file, fv);
+        fv
+    }
+
+    /// Adds one record's producer/consumer engine edges and tracks them
+    /// under the record's task for later retraction.
+    fn add_record_edges(&mut self, r: &TaskFileRecord, fv: VertexId) {
+        let tv = self.task_v[&r.task];
+        let life = self
+            .set
+            .tasks
+            .binary_search_by_key(&r.task, |x| x.task)
+            .map(|i| self.set.tasks[i].lifetime_ns())
+            .unwrap_or(0);
+        let edges = self.task_edges.entry(r.task).or_default();
+        for k in r.flow_kinds() {
+            let props = edge_props_for(r, k, life);
+            let e = match k {
+                FlowKind::Producer => self.eng.add_edge(tv, fv, FlowDir::Producer, props),
+                FlowKind::Consumer => self.eng.add_edge(fv, tv, FlowDir::Consumer, props),
+            };
+            edges.push(e);
         }
     }
 
@@ -118,12 +221,81 @@ impl LiveDfl {
                 .unwrap_or_else(|i| i);
             self.set.records.insert(at, r.clone());
         }
+        self.sync_task(t, records);
         self.invalidate();
+    }
+
+    /// Mirrors one task fold into the engine: refresh the task vertex,
+    /// retract the previous fold's edges and file references, then add the
+    /// new records' edges. Only the touched vertices' cones go dirty.
+    fn sync_task(&mut self, t: &TaskRecord, records: &[TaskFileRecord]) {
+        let props = TaskProps {
+            lifetime_ns: t.lifetime_ns(),
+            start_ns: t.start_ns,
+            end_ns: t.end_ns,
+            instances: 1,
+        };
+        if let Some(&tv) = self.task_v.get(&t.task) {
+            self.eng.set_vertex_props(tv, VertexProps::Task(props));
+        } else {
+            let tv = self.eng.add_vertex(
+                Vertex {
+                    kind: VertexKind::Task,
+                    name: t.name.clone(),
+                    logical: t.logical.clone(),
+                    props: VertexProps::Task(props),
+                },
+                u64::from(t.task.0),
+            );
+            self.task_v.insert(t.task, tv);
+        }
+        // Retract the previous fold: unlink its edges and release its file
+        // references. A file with no remaining references leaves endpoint
+        // selection, exactly as the batch builder would drop its vertex.
+        for e in self.task_edges.remove(&t.task).unwrap_or_default() {
+            self.eng.unlink_edge(e);
+        }
+        for f in self.task_files.remove(&t.task).unwrap_or_default() {
+            let n = self.file_recs.get_mut(&f).expect("referenced file has a count");
+            *n -= 1;
+            if *n == 0 {
+                if let Some(&fv) = self.file_v.get(&f) {
+                    self.eng.set_active(fv, false);
+                }
+            }
+        }
+        // Apply the new fold.
+        let mut files = Vec::with_capacity(records.len());
+        for r in records {
+            files.push(r.file);
+            let n = self.file_recs.entry(r.file).or_insert(0);
+            *n += 1;
+            let newly_referenced = *n == 1;
+            if self.set.files.binary_search_by_key(&r.file, |x| x.file).is_err() {
+                continue; // unknown file: no vertex, no edges (batch skip rule)
+            }
+            let fv = match self.file_v.get(&r.file) {
+                Some(&fv) => {
+                    if newly_referenced {
+                        self.eng.set_active(fv, true);
+                    }
+                    fv
+                }
+                None => self.add_file_vertex(r.file),
+            };
+            self.add_record_edges(r, fv);
+        }
+        self.task_files.insert(t.task, files);
     }
 
     fn invalidate(&mut self) {
         self.graph = None;
         self.cp = None;
+    }
+
+    /// The cost model this live view folds under.
+    pub fn model(&self) -> CostModel {
+        self.model
     }
 
     /// Tasks folded so far.
@@ -152,33 +324,103 @@ impl LiveDfl {
 
     /// The current generalized critical path (memoized until the next
     /// fold). Identical to `critical_path(&from_measurements(set), model)`
-    /// on the same folded state.
+    /// on the same folded state — but computed by the incremental engine,
+    /// which only refreshes the cone the folds since the last query dirtied.
     pub fn critical_path(&mut self) -> &CriticalPath {
         if self.cp.is_none() {
-            if self.graph.is_none() {
-                self.graph = Some(DflGraph::from_measurements(&self.set));
-            }
-            let g = self.graph.as_ref().expect("just built");
-            self.cp = Some(critical_path(g, &self.model));
+            let ep = self.eng.critical_path();
+            self.cp = Some(self.translate(&ep));
         }
-        self.cp.as_ref().expect("just built")
+        self.cp.as_ref().expect("just computed")
+    }
+
+    /// Rewrites an engine path into canonical batch ids: tasks map to their
+    /// rank in the task table, files to task-count + their rank among
+    /// *referenced* files, edges to their position in the batch builder's
+    /// record-order enumeration. O(path + records), no graph rebuild.
+    fn translate(&self, ep: &EnginePath) -> CriticalPath {
+        let t_count = self.set.tasks.len();
+        // Files the batch builder materializes, in canonical (FileId) order.
+        let refd: Vec<FileId> = self
+            .set
+            .files
+            .iter()
+            .map(|f| f.file)
+            .filter(|f| self.file_recs.get(f).copied().unwrap_or(0) > 0)
+            .collect();
+        let vertices: Vec<VertexId> = ep
+            .vertices
+            .iter()
+            .map(|&v| {
+                let key = self.eng.key_of(v);
+                if key < FILE_KEY_BASE {
+                    let t = TaskId(key as u32);
+                    let i = self
+                        .set
+                        .tasks
+                        .binary_search_by_key(&t, |x| x.task)
+                        .expect("task on path is folded");
+                    VertexId(i as u32)
+                } else {
+                    let f = FileId((key - FILE_KEY_BASE) as u32);
+                    let i = refd.binary_search(&f).expect("file on path is referenced");
+                    VertexId((t_count + i) as u32)
+                }
+            })
+            .collect();
+
+        // Batch edge ids are assignment order over records × flow kinds
+        // (skipping files without vertices); walk that enumeration with a
+        // counter and pick out the path's (task, file, kind) triples. Live
+        // folds carry at most one record per (task, file), so the triple
+        // identifies the edge uniquely.
+        let mut want: HashMap<(TaskId, FileId, FlowKind), usize> =
+            HashMap::with_capacity(ep.edges.len());
+        for (i, &e) in ep.edges.iter().enumerate() {
+            let edge = self.eng.graph().edge(e);
+            let (src_key, dst_key) = (self.eng.key_of(edge.src), self.eng.key_of(edge.dst));
+            let triple = match edge.dir {
+                FlowDir::Producer => (
+                    TaskId(src_key as u32),
+                    FileId((dst_key - FILE_KEY_BASE) as u32),
+                    FlowKind::Producer,
+                ),
+                FlowDir::Consumer => (
+                    TaskId(dst_key as u32),
+                    FileId((src_key - FILE_KEY_BASE) as u32),
+                    FlowKind::Consumer,
+                ),
+            };
+            want.insert(triple, i);
+        }
+        let mut edges = vec![EdgeId(0); ep.edges.len()];
+        let mut next_id: u32 = 0;
+        for r in &self.set.records {
+            if refd.binary_search(&r.file).is_err() {
+                continue; // no file vertex: the batch builder adds no edges
+            }
+            for k in r.flow_kinds() {
+                if let Some(&i) = want.get(&(r.task, r.file, k)) {
+                    edges[i] = EdgeId(next_id);
+                }
+                next_id += 1;
+            }
+        }
+        CriticalPath { vertices, edges, total_cost: ep.total_cost }
     }
 
     /// The current DFL caterpillar around the live critical path.
     pub fn caterpillar(&mut self, rule: CaterpillarRule) -> Caterpillar {
-        self.critical_path();
-        let cp = self.cp.clone().expect("just built");
-        caterpillar(self.graph.as_ref().expect("built with cp"), &cp, rule)
+        let cp = self.critical_path().clone();
+        caterpillar(self.graph(), &cp, rule)
     }
 
     /// Where the dominant cost chain currently ends, or `None` while the
     /// folded graph is still empty.
     pub fn head(&mut self) -> Option<LiveHead> {
-        self.critical_path();
-        let cp = self.cp.as_ref().expect("just built");
-        let g = self.graph.as_ref().expect("built with cp");
+        let cp = self.critical_path().clone();
         let &last = cp.vertices.last()?;
-        let v = g.vertex(last);
+        let v = self.graph().vertex(last);
         Some(LiveHead {
             vertex: v.name.clone(),
             kind: if v.is_task() { "task" } else { "data" },
@@ -246,6 +488,7 @@ impl Blame {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::analysis::critical_path::critical_path;
     use dfl_trace::ids::{FileId, TaskId};
 
     fn task(id: u32, name: &str, start: u64, end: u64) -> TaskRecord {

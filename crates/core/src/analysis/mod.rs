@@ -6,6 +6,7 @@ pub mod caterpillar;
 pub mod cost;
 pub mod critical_path;
 pub mod entities;
+pub mod incremental;
 pub mod live;
 pub mod near_critical;
 pub mod patterns;
@@ -16,6 +17,7 @@ pub use advisor::{advise, CoordinationAdvice};
 pub use caterpillar::{Caterpillar, VertexRole};
 pub use cost::CostModel;
 pub use critical_path::{critical_path, CriticalPath};
+pub use incremental::IncrementalGcpa;
 pub use live::{Blame, BlameEntry, LiveDfl, LiveHead};
 pub use near_critical::k_disjoint_paths;
 pub use patterns::{analyze, AnalysisConfig, Opportunity, PatternKind, Remediation};

@@ -45,7 +45,7 @@ pub fn detect(g: &DflGraph, cfg: &AnalysisConfig, ctx: &AnalysisContext) -> Vec<
         if g.in_degree(t) < 2 {
             continue;
         }
-        let volumes: Vec<u64> = g.in_edges(t).iter().map(|&e| g.edge(e).props.volume).collect();
+        let volumes: Vec<u64> = g.in_edges(t).map(|e| g.edge(e).props.volume).collect();
         let total: u64 = volumes.iter().sum();
         let max = volumes.iter().copied().max().unwrap_or(0);
         if total == 0 {

@@ -88,24 +88,27 @@ pub fn detect_inter(g: &DflGraph, cfg: &AnalysisConfig, ctx: &AnalysisContext) -
         // (1) producer-consumer pairs over the same file (pipeline reuse):
         // flagged at composite granularity only when the pair is on the
         // caterpillar, to keep the report focused.
-        if g.in_degree(d) > 0 && !consumers.is_empty() && ctx.on_caterpillar(d) {
-            let p = g.edge(g.in_edges(d)[0]).src;
-            let c = consumers[0];
-            out.push(Opportunity {
-                pattern: PatternKind::InterTaskLocality,
-                subject: Subject::Composite(p, d, c),
-                severity: g.out_volume(d).min(g.in_volume(d)) as f64,
-                evidence: "producer and consumer exchange the same file on the caterpillar".into(),
-                remediations: vec![Remediation::Caching, Remediation::CoScheduling],
-                must_validate: false,
-                on_caterpillar: true,
-            });
+        let first_producer = g.in_edges(d).next();
+        if let (Some(pe), Some(&c)) = (first_producer, consumers.first()) {
+            if ctx.on_caterpillar(d) {
+                let p = g.edge(pe).src;
+                out.push(Opportunity {
+                    pattern: PatternKind::InterTaskLocality,
+                    subject: Subject::Composite(p, d, c),
+                    severity: g.out_volume(d).min(g.in_volume(d)) as f64,
+                    evidence: "producer and consumer exchange the same file on the caterpillar"
+                        .into(),
+                    remediations: vec![Remediation::Caching, Remediation::CoScheduling],
+                    must_validate: false,
+                    on_caterpillar: true,
+                });
+            }
         }
 
         // (2) a logical task re-reads the same data across instances
         // (loops): multiple consumers sharing a logical name.
         let mut by_logical: HashMap<&str, (u32, u64)> = HashMap::new();
-        for &ce in g.out_edges(d) {
+        for ce in g.out_edges(d) {
             let e = g.edge(ce);
             let entry = by_logical.entry(g.vertex(e.dst).logical.as_str()).or_insert((0, 0));
             entry.0 += 1;

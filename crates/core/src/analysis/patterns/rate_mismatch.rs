@@ -16,11 +16,15 @@ pub fn detect(g: &DflGraph, cfg: &AnalysisConfig, ctx: &AnalysisContext) -> Vec<
         if g.in_degree(d) == 0 || g.out_degree(d) == 0 {
             continue;
         }
-        let prod_rate: f64 = g.in_edges(d).iter().map(|&e| g.edge(e).props.data_rate).sum();
+        let prod_rate: f64 = g.in_edges(d).map(|e| g.edge(e).props.data_rate).sum();
         if prod_rate <= 0.0 {
             continue;
         }
-        for &ce in g.out_edges(d) {
+        // The degree guard above ensures a producer edge exists.
+        let Some(first_producer) = g.in_edges(d).next() else {
+            continue;
+        };
+        for ce in g.out_edges(d) {
             let cons = g.edge(ce);
             if cons.props.data_rate <= 0.0 {
                 continue;
@@ -33,7 +37,7 @@ pub fn detect(g: &DflGraph, cfg: &AnalysisConfig, ctx: &AnalysisContext) -> Vec<
             if ratio < cfg.rate_mismatch_ratio {
                 continue;
             }
-            let (p, c) = (g.edge(g.in_edges(d)[0]).src, cons.dst);
+            let (p, c) = (g.edge(first_producer).src, cons.dst);
             out.push(Opportunity {
                 pattern: PatternKind::MismatchedDataRate,
                 subject: Subject::Composite(p, d, c),

@@ -56,7 +56,7 @@ pub fn detect(g: &DflGraph, cfg: &AnalysisConfig, ctx: &AnalysisContext) -> Vec<
 
             // --- Compositions (§5.4) ---
             // Follow each output file of the aggregator to its consumers.
-            for &pe in g.out_edges(t) {
+            for pe in g.out_edges(t) {
                 let d = g.edge(pe).dst;
                 let consumers: Vec<VertexId> = g.successors(d).collect();
                 match consumers.len() {
@@ -108,8 +108,7 @@ pub fn detect(g: &DflGraph, cfg: &AnalysisConfig, ctx: &AnalysisContext) -> Vec<
         // and the subsets together cover roughly the file.
         let fracs: Vec<f64> = g
             .out_edges(d)
-            .iter()
-            .map(|&e| g.edge(e).props.subset_fraction)
+            .map(|e| g.edge(e).props.subset_fraction)
             .collect();
         let all_partial = fracs.iter().all(|&f| f > 0.0 && f < 0.9);
         let coverage: f64 = fracs.iter().sum();

@@ -37,7 +37,10 @@ pub fn logical_path(path: &str) -> String {
     out
 }
 
-fn edge_props_for(rec: &TaskFileRecord, kind: FlowKind, task_lifetime_ns: u64) -> EdgeProps {
+/// Derives one flow edge's properties from a record (shared by the batch
+/// builder and the live incremental engine so both produce identical
+/// property blocks).
+pub(crate) fn edge_props_for(rec: &TaskFileRecord, kind: FlowKind, task_lifetime_ns: u64) -> EdgeProps {
     let lifetime_s = (task_lifetime_ns.max(1)) as f64 / 1e9;
     match kind {
         FlowKind::Consumer => EdgeProps {
@@ -215,8 +218,7 @@ mod tests {
         let d = g.find_vertex("mid.dat").unwrap();
         let half_reader = g
             .out_edges(d)
-            .iter()
-            .map(|&e| g.edge(e))
+            .map(|e| g.edge(e))
             .find(|e| e.props.volume == 1 << 19)
             .unwrap();
         assert!(half_reader.props.subset_fraction < 0.6);
@@ -227,7 +229,7 @@ mod tests {
     fn rates_use_task_lifetime() {
         let g = DflGraph::from_measurements(&pipeline_measurements());
         let p = g.find_vertex("gen-1").unwrap();
-        let e = g.edge(g.out_edges(p)[0]);
+        let e = g.edge(g.out_edges(p).next().unwrap());
         // 1 MiB over 1 ms lifetime = ~1 GiB/s.
         let expect = (1u64 << 20) as f64 / 1e-3;
         assert!((e.props.data_rate - expect).abs() / expect < 1e-6);

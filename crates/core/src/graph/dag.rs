@@ -10,29 +10,43 @@ impl DflGraph {
     /// Errors with [`GraphError::CycleDetected`] if the graph has a cycle
     /// (possible for DFL templates, never for DFL-DAGs).
     pub fn topo_order(&self) -> Result<Vec<VertexId>, GraphError> {
+        self.topo_flat()
+            .map(|o| o.iter().map(|&v| VertexId(v)).collect())
+            .ok_or(GraphError::CycleDetected)
+    }
+
+    /// The memoized flat topological order: computed on first use, reused
+    /// until the next structural mutation (`None` for cyclic graphs). The
+    /// analysis kernels sweep straight over this, so repeated GCPA calls on
+    /// an unchanged graph skip the sort entirely.
+    pub(crate) fn topo_flat(&self) -> Option<&[u32]> {
+        self.topo.get_or_init(|| self.compute_topo_flat()).as_deref()
+    }
+
+    fn compute_topo_flat(&self) -> Option<Vec<u32>> {
+        use std::cmp::Reverse;
         let n = self.vertex_count();
-        let mut indeg: Vec<usize> = (0..n).map(|i| self.in_degree(VertexId(i as u32))).collect();
-        // A binary heap would give O(E log V); for determinism with low
-        // overhead we maintain a sorted ready list via BTreeSet.
-        let mut ready: std::collections::BTreeSet<u32> = (0..n as u32)
+        let mut indeg: Vec<u32> = self.in_deg_raw().to_vec();
+        // Lowest-id-first among ready vertices keeps the order
+        // deterministic; a min-heap over the flat degree array does that
+        // without per-step tree rebalancing.
+        let mut ready: std::collections::BinaryHeap<Reverse<u32>> = (0..n as u32)
             .filter(|&i| indeg[i as usize] == 0)
+            .map(Reverse)
             .collect();
         let mut order = Vec::with_capacity(n);
-        while let Some(&v) = ready.iter().next() {
-            ready.remove(&v);
-            order.push(VertexId(v));
-            for succ in self.successors(VertexId(v)) {
-                indeg[succ.0 as usize] -= 1;
-                if indeg[succ.0 as usize] == 0 {
-                    ready.insert(succ.0);
+        let edst = self.edge_dst_raw();
+        while let Some(Reverse(v)) = ready.pop() {
+            order.push(v);
+            for e in self.out_edges(VertexId(v)) {
+                let succ = edst[e.0 as usize] as usize;
+                indeg[succ] -= 1;
+                if indeg[succ] == 0 {
+                    ready.push(Reverse(succ as u32));
                 }
             }
         }
-        if order.len() == n {
-            Ok(order)
-        } else {
-            Err(GraphError::CycleDetected)
-        }
+        (order.len() == n).then_some(order)
     }
 
     /// Whether the graph is acyclic.

@@ -96,8 +96,10 @@ pub fn average_graphs(graphs: &[DflGraph]) -> Option<AveragedGraph> {
     }
     for ((kind, name), (sum, n)) in life_sum {
         let vid = vkey[&(kind, name)];
-        if let VertexProps::Task(t) = &mut out.vertex_mut(vid).props {
+        if let VertexProps::Task(t) = &out.vertex(vid).props {
+            let mut t = *t;
             t.lifetime_ns = sum / u64::from(n);
+            out.set_vertex_props(vid, VertexProps::Task(t));
         }
     }
 

@@ -5,6 +5,25 @@
 //! one execution's measurements is a **DFL-DAG** (acyclic, since each task
 //! instance is a distinct vertex). Aggregating instances yields a **DFL
 //! template** ([`template`]), which may contain cycles.
+//!
+//! # Memory layout
+//!
+//! Storage is arena/SoA: vertices and edges live in flat `Vec` arenas
+//! addressed by dense integer ids, and adjacency is intrusive singly-linked
+//! lists threaded through parallel `next_out`/`next_in` arrays (one link
+//! slot per edge, head/tail per vertex). Traversal touches only flat arrays
+//! — no per-vertex heap allocation, no hashing — and adjacency lists
+//! preserve edge insertion order, which the critical-path tie-break
+//! contract relies on.
+//!
+//! # Id stability
+//!
+//! [`VertexId`]s and [`EdgeId`]s are assigned densely in insertion order
+//! and are **never reused or renumbered**: [`DflGraph::unlink_edge`]
+//! tombstones an edge (detaching it from adjacency, degrees, and
+//! iteration) without moving any other edge. Serialization compacts
+//! tombstones away, so edge ids are only stable within one in-memory
+//! graph, not across a JSON round trip of a graph with unlinked edges.
 
 pub mod build;
 pub mod dag;
@@ -14,6 +33,9 @@ pub mod template;
 use serde::{Deserialize, Serialize};
 
 use crate::props::{DataProps, EdgeProps, FlowDir, TaskProps};
+
+/// Sentinel terminating intrusive adjacency lists.
+const NIL: u32 = u32::MAX;
 
 /// Dense vertex identifier within one graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -84,13 +106,61 @@ pub struct Edge {
     pub props: EdgeProps,
 }
 
-/// The DFL property graph.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// The DFL property graph (see module docs for the memory layout).
+#[derive(Debug, Clone, Default)]
 pub struct DflGraph {
     vertices: Vec<Vertex>,
     edges: Vec<Edge>,
-    out_edges: Vec<Vec<EdgeId>>,
-    in_edges: Vec<Vec<EdgeId>>,
+    // Per-vertex adjacency list heads/tails, NIL-terminated.
+    first_out: Vec<u32>,
+    last_out: Vec<u32>,
+    first_in: Vec<u32>,
+    last_in: Vec<u32>,
+    // Per-edge successor links for the two lists.
+    next_out: Vec<u32>,
+    next_in: Vec<u32>,
+    // SoA copies of edge endpoints: topology-only traversals (topo sort,
+    // DP sweeps) read these 4-byte entries instead of dragging the full
+    // `Edge` struct (with its property block) through the cache.
+    esrc: Vec<u32>,
+    edst: Vec<u32>,
+    // Live (non-tombstoned) degree counters.
+    out_deg: Vec<u32>,
+    in_deg: Vec<u32>,
+    // SoA mirrors of the cost-relevant vertex fields (kind, task lifetime)
+    // so DP sweeps never page in the full `Vertex` (name/logical strings).
+    // Kept in sync by `add_vertex`/`set_vertex_props`.
+    vkind: Vec<VertexKind>,
+    vlife: Vec<u64>,
+    // Tombstone marks for unlinked edges; `live_edges` counts the rest.
+    dead: Vec<bool>,
+    live_edges: u32,
+    // Memoized topological order (flat ids, lowest-id-first tie-break;
+    // `None` inside = cyclic). Structural mutations reset the cell, so
+    // repeated analyses over an unchanged graph sort once. Thread-safe and
+    // invisible to serialization/equality.
+    topo: std::sync::OnceLock<Option<Vec<u32>>>,
+}
+
+/// Iterator over one vertex's adjacency list (live edges, insertion order).
+#[derive(Clone)]
+pub struct EdgeIter<'a> {
+    next: &'a [u32],
+    cur: u32,
+}
+
+impl Iterator for EdgeIter<'_> {
+    type Item = EdgeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<EdgeId> {
+        if self.cur == NIL {
+            return None;
+        }
+        let e = self.cur;
+        self.cur = self.next[e as usize];
+        Some(EdgeId(e))
+    }
 }
 
 impl DflGraph {
@@ -119,11 +189,37 @@ impl DflGraph {
     }
 
     pub fn add_vertex(&mut self, v: Vertex) -> VertexId {
+        self.topo = std::sync::OnceLock::new();
         let id = VertexId(self.vertices.len() as u32);
+        self.vkind.push(v.kind);
+        self.vlife.push(match &v.props {
+            VertexProps::Task(t) => t.lifetime_ns,
+            VertexProps::Data(_) => 0,
+        });
         self.vertices.push(v);
-        self.out_edges.push(Vec::new());
-        self.in_edges.push(Vec::new());
+        self.first_out.push(NIL);
+        self.last_out.push(NIL);
+        self.first_in.push(NIL);
+        self.last_in.push(NIL);
+        self.out_deg.push(0);
+        self.in_deg.push(0);
         id
+    }
+
+    /// Replaces the properties of `v`. The props kind must match the
+    /// vertex kind (task props on a task vertex, data props on a data
+    /// vertex).
+    ///
+    /// # Panics
+    /// Panics on a kind mismatch.
+    pub fn set_vertex_props(&mut self, v: VertexId, props: VertexProps) {
+        let vi = v.0 as usize;
+        match (&props, self.vkind[vi]) {
+            (VertexProps::Task(t), VertexKind::Task) => self.vlife[vi] = t.lifetime_ns,
+            (VertexProps::Data(_), VertexKind::Data) => {}
+            _ => panic!("vertex props kind must match the vertex kind"),
+        }
+        self.vertices[vi].props = props;
     }
 
     /// Adds a flow edge. Producer edges must run task→data and consumer
@@ -142,65 +238,168 @@ impl DflGraph {
                 assert!(sk == VertexKind::Data && dk == VertexKind::Task, "consumer edges are data→task")
             }
         }
-        let id = EdgeId(self.edges.len() as u32);
+        self.topo = std::sync::OnceLock::new();
+        let id = self.edges.len() as u32;
+        let (s, d) = (src.0 as usize, dst.0 as usize);
         self.edges.push(Edge { src, dst, dir, props });
-        self.out_edges[src.0 as usize].push(id);
-        self.in_edges[dst.0 as usize].push(id);
-        id
+        self.next_out.push(NIL);
+        self.next_in.push(NIL);
+        self.esrc.push(src.0);
+        self.edst.push(dst.0);
+        self.dead.push(false);
+        if self.last_out[s] == NIL {
+            self.first_out[s] = id;
+        } else {
+            self.next_out[self.last_out[s] as usize] = id;
+        }
+        self.last_out[s] = id;
+        if self.last_in[d] == NIL {
+            self.first_in[d] = id;
+        } else {
+            self.next_in[self.last_in[d] as usize] = id;
+        }
+        self.last_in[d] = id;
+        self.out_deg[s] += 1;
+        self.in_deg[d] += 1;
+        self.live_edges += 1;
+        EdgeId(id)
+    }
+
+    /// Tombstones an edge: detaches it from adjacency, degrees, and
+    /// [`DflGraph::edges`] iteration. Its id is retired — never reused —
+    /// and every other vertex/edge id is unaffected. No-op if `e` is
+    /// already unlinked or out of range.
+    pub fn unlink_edge(&mut self, e: EdgeId) {
+        let ei = e.0 as usize;
+        if ei >= self.edges.len() || self.dead[ei] {
+            return;
+        }
+        self.topo = std::sync::OnceLock::new();
+        let (s, d) = (self.edges[ei].src.0 as usize, self.edges[ei].dst.0 as usize);
+        Self::list_remove(&mut self.first_out, &mut self.last_out, &mut self.next_out, s, e.0);
+        Self::list_remove(&mut self.first_in, &mut self.last_in, &mut self.next_in, d, e.0);
+        self.dead[ei] = true;
+        self.out_deg[s] -= 1;
+        self.in_deg[d] -= 1;
+        self.live_edges -= 1;
+    }
+
+    /// Removes `target` from the singly-linked list rooted at `first[v]`
+    /// (O(degree) walk; unlinking is off the hot path).
+    fn list_remove(first: &mut [u32], last: &mut [u32], next: &mut [u32], v: usize, target: u32) {
+        let mut prev = NIL;
+        let mut cur = first[v];
+        while cur != NIL {
+            if cur == target {
+                if prev == NIL {
+                    first[v] = next[cur as usize];
+                } else {
+                    next[prev as usize] = next[cur as usize];
+                }
+                if last[v] == target {
+                    last[v] = prev;
+                }
+                next[cur as usize] = NIL;
+                return;
+            }
+            prev = cur;
+            cur = next[cur as usize];
+        }
+    }
+
+    /// Whether `e` is in range and not tombstoned.
+    pub fn edge_live(&self, e: EdgeId) -> bool {
+        (e.0 as usize) < self.edges.len() && !self.dead[e.0 as usize]
     }
 
     pub fn vertex_count(&self) -> usize {
         self.vertices.len()
     }
 
+    /// Live (non-tombstoned) edge count.
     pub fn edge_count(&self) -> usize {
-        self.edges.len()
+        self.live_edges as usize
     }
 
     pub fn vertex(&self, v: VertexId) -> &Vertex {
         &self.vertices[v.0 as usize]
     }
 
-    pub fn vertex_mut(&mut self, v: VertexId) -> &mut Vertex {
-        &mut self.vertices[v.0 as usize]
+    /// Vertex kind without touching the AoS `Vertex` record.
+    pub fn vertex_kind(&self, v: VertexId) -> VertexKind {
+        self.vkind[v.0 as usize]
+    }
+
+    /// Flat task-lifetime mirror (ns; 0 for data vertices).
+    pub(crate) fn vlife_raw(&self) -> &[u64] {
+        &self.vlife
     }
 
     pub fn edge(&self, e: EdgeId) -> &Edge {
         &self.edges[e.0 as usize]
     }
 
+    /// Mutable edge properties. Endpoints and direction are fixed at
+    /// insertion; only the measured properties may change.
+    pub fn edge_props_mut(&mut self, e: EdgeId) -> &mut EdgeProps {
+        &mut self.edges[e.0 as usize].props
+    }
+
     pub fn vertices(&self) -> impl Iterator<Item = (VertexId, &Vertex)> {
         self.vertices.iter().enumerate().map(|(i, v)| (VertexId(i as u32), v))
     }
 
+    /// Live edges in id (insertion) order.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> {
-        self.edges.iter().enumerate().map(|(i, e)| (EdgeId(i as u32), e))
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !self.dead[i])
+            .map(|(i, e)| (EdgeId(i as u32), e))
     }
 
-    pub fn out_edges(&self, v: VertexId) -> &[EdgeId] {
-        &self.out_edges[v.0 as usize]
+    /// Out-edges of `v` in insertion order.
+    pub fn out_edges(&self, v: VertexId) -> EdgeIter<'_> {
+        EdgeIter { next: &self.next_out, cur: self.first_out[v.0 as usize] }
     }
 
-    pub fn in_edges(&self, v: VertexId) -> &[EdgeId] {
-        &self.in_edges[v.0 as usize]
+    /// In-edges of `v` in insertion order.
+    pub fn in_edges(&self, v: VertexId) -> EdgeIter<'_> {
+        EdgeIter { next: &self.next_in, cur: self.first_in[v.0 as usize] }
     }
 
     pub fn out_degree(&self, v: VertexId) -> usize {
-        self.out_edges[v.0 as usize].len()
+        self.out_deg[v.0 as usize] as usize
     }
 
     pub fn in_degree(&self, v: VertexId) -> usize {
-        self.in_edges[v.0 as usize].len()
+        self.in_deg[v.0 as usize] as usize
+    }
+
+    /// Flat live in-degree counters, indexed by vertex id (for the
+    /// analysis kernels, which seed Kahn worklists straight off this).
+    pub(crate) fn in_deg_raw(&self) -> &[u32] {
+        &self.in_deg
+    }
+
+    /// Flat edge source ids, indexed by edge id (SoA traversal mirror).
+    pub(crate) fn edge_src_raw(&self) -> &[u32] {
+        &self.esrc
+    }
+
+    /// Flat edge destination ids, indexed by edge id.
+    pub(crate) fn edge_dst_raw(&self) -> &[u32] {
+        &self.edst
     }
 
     /// Successor vertex ids of `v`.
     pub fn successors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
-        self.out_edges[v.0 as usize].iter().map(|&e| self.edges[e.0 as usize].dst)
+        self.out_edges(v).map(|e| VertexId(self.edst[e.0 as usize]))
     }
 
     /// Predecessor vertex ids of `v`.
     pub fn predecessors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
-        self.in_edges[v.0 as usize].iter().map(|&e| self.edges[e.0 as usize].src)
+        self.in_edges(v).map(|e| VertexId(self.esrc[e.0 as usize]))
     }
 
     /// All task vertex ids.
@@ -222,12 +421,12 @@ impl DflGraph {
 
     /// Total volume flowing into `v` (sum of in-edge volumes), bytes.
     pub fn in_volume(&self, v: VertexId) -> u64 {
-        self.in_edges(v).iter().map(|&e| self.edge(e).props.volume).sum()
+        self.in_edges(v).map(|e| self.edge(e).props.volume).sum()
     }
 
     /// Total volume flowing out of `v`, bytes.
     pub fn out_volume(&self, v: VertexId) -> u64 {
-        self.out_edges(v).iter().map(|&e| self.edge(e).props.volume).sum()
+        self.out_edges(v).map(|e| self.edge(e).props.volume).sum()
     }
 }
 
@@ -270,6 +469,41 @@ mod tests {
     }
 
     #[test]
+    fn adjacency_preserves_insertion_order() {
+        let (g, [_, d0, t1, t2]) = diamond();
+        let out: Vec<VertexId> = g.successors(d0).collect();
+        assert_eq!(out, vec![t1, t2], "out-edges iterate in insertion order");
+        let eids: Vec<EdgeId> = g.out_edges(d0).collect();
+        assert_eq!(eids, vec![EdgeId(1), EdgeId(2)]);
+    }
+
+    #[test]
+    fn unlink_edge_tombstones_without_renumbering() {
+        let (mut g, [t0, d0, t1, t2]) = diamond();
+        g.unlink_edge(EdgeId(1)); // d0 → t1
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.out_degree(d0), 1);
+        assert_eq!(g.in_degree(t1), 0);
+        assert!(!g.edge_live(EdgeId(1)));
+        // Remaining ids unchanged; iteration skips the tombstone.
+        let ids: Vec<EdgeId> = g.edges().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![EdgeId(0), EdgeId(2)]);
+        assert_eq!(g.successors(d0).collect::<Vec<_>>(), vec![t2]);
+        assert_eq!(g.out_volume(d0), 400);
+        // Double-unlink is a no-op; unlinking the rest empties the lists.
+        g.unlink_edge(EdgeId(1));
+        g.unlink_edge(EdgeId(0));
+        g.unlink_edge(EdgeId(2));
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.out_degree(t0), 0);
+        assert!(g.out_edges(d0).next().is_none() && g.in_edges(d0).next().is_none());
+        // Appending after tombstoning keeps allocating fresh ids.
+        let e = g.add_edge(d0, t1, FlowDir::Consumer, EdgeProps { volume: 7, ..Default::default() });
+        assert_eq!(e, EdgeId(3));
+        assert_eq!(g.successors(d0).collect::<Vec<_>>(), vec![t1]);
+    }
+
+    #[test]
     #[should_panic(expected = "producer edges are task→data")]
     fn bipartite_enforced() {
         let mut g = DflGraph::new();
@@ -288,7 +522,8 @@ mod tests {
 
 impl DflGraph {
     /// Serializes the graph (vertices, edges, properties) to JSON — the
-    /// interchange format for saved lifecycle graphs.
+    /// interchange format for saved lifecycle graphs. Tombstoned edges are
+    /// compacted away (see module docs on id stability).
     pub fn to_json(&self) -> serde_json::Result<String> {
         serde_json::to_string_pretty(self)
     }
@@ -296,6 +531,52 @@ impl DflGraph {
     /// Parses a graph from [`DflGraph::to_json`] output.
     pub fn from_json(s: &str) -> serde_json::Result<Self> {
         serde_json::from_str(s)
+    }
+}
+
+// Adjacency is derived state: serialize only vertices and live edges, and
+// rebuild the intrusive lists on load (this also keeps old saved graphs,
+// which carried explicit adjacency vectors, loadable — unknown fields are
+// ignored).
+impl Serialize for DflGraph {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            (
+                "vertices".to_owned(),
+                serde::Value::Array(self.vertices.iter().map(|v| v.to_value()).collect()),
+            ),
+            (
+                "edges".to_owned(),
+                serde::Value::Array(self.edges().map(|(_, e)| e.to_value()).collect()),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for DflGraph {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let vertices: Vec<Vertex> = serde::de_field(v, "vertices")?;
+        let edges: Vec<Edge> = serde::de_field(v, "edges")?;
+        let mut g = DflGraph::new();
+        for vert in vertices {
+            g.add_vertex(vert);
+        }
+        let n = g.vertex_count() as u32;
+        for e in edges {
+            if e.src.0 >= n || e.dst.0 >= n {
+                return Err(serde::Error::msg("graph edge references a missing vertex"));
+            }
+            let (sk, dk) = (g.vertex(e.src).kind, g.vertex(e.dst).kind);
+            let ok = match e.dir {
+                FlowDir::Producer => sk == VertexKind::Task && dk == VertexKind::Data,
+                FlowDir::Consumer => sk == VertexKind::Data && dk == VertexKind::Task,
+            };
+            if !ok {
+                return Err(serde::Error::msg("graph edge direction does not match vertex kinds"));
+            }
+            g.add_edge(e.src, e.dst, e.dir, e.props);
+        }
+        Ok(g)
     }
 }
 
@@ -315,5 +596,34 @@ mod json_tests {
         assert_eq!(back.vertex(d0).name, "d0");
         // Adjacency rebuilt correctly.
         assert_eq!(back.out_degree(d0), 2);
+    }
+
+    #[test]
+    fn round_trip_compacts_tombstones() {
+        let (mut g, [_, d0, ..]) = diamond();
+        g.unlink_edge(EdgeId(0)); // t0 → d0
+        let back = DflGraph::from_json(&g.to_json().unwrap()).unwrap();
+        assert_eq!(back.edge_count(), 2);
+        assert_eq!(back.in_degree(d0), 0);
+        assert_eq!(back.out_degree(d0), 2);
+    }
+
+    #[test]
+    fn corrupt_edge_is_a_parse_error_not_a_panic() {
+        let json = r#"{
+          "vertices": [
+            {"kind": "Task", "name": "t", "logical": "t",
+             "props": {"Task": {"lifetime_ns": 0, "start_ns": 0, "end_ns": 0, "instances": 1}}}
+          ],
+          "edges": [
+            {"src": 0, "dst": 9, "dir": "Producer",
+             "props": {"volume": 0, "footprint": 0.0, "ops": 0, "latency_ns": 0,
+                       "data_rate": 0.0, "op_rate": 0.0, "blocking_fraction": 0.0,
+                       "mean_distance": 0.0, "locality_fraction": 0.0,
+                       "zero_distance_fraction": 0.0, "reuse_factor": 0.0,
+                       "subset_fraction": 0.0, "instances": 1}}
+          ]
+        }"#;
+        assert!(DflGraph::from_json(json).is_err());
     }
 }

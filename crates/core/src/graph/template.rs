@@ -41,8 +41,11 @@ impl DflGraph {
                 VertexProps::Task(_) => g.add_task(&k.1, &k.1, TaskProps::default()),
                 VertexProps::Data(_) => g.add_data(&k.1, &k.1, DataProps::default()),
             });
-            // Fold this instance's properties into the template vertex.
-            match (&mut g.vertex_mut(tv).props, &v.props) {
+            // Fold this instance's properties into the template vertex
+            // (read-modify-write so the graph's SoA cost mirrors stay
+            // coherent).
+            let mut agg_props = g.vertex(tv).props;
+            match (&mut agg_props, &v.props) {
                 (VertexProps::Task(agg), VertexProps::Task(t)) => {
                     agg.lifetime_ns += t.lifetime_ns;
                     agg.start_ns = if agg.instances == 0 {
@@ -67,6 +70,7 @@ impl DflGraph {
                 }
                 _ => unreachable!("kinds match by construction"),
             }
+            g.set_vertex_props(tv, agg_props);
             mapping.push(tv);
         }
 
@@ -136,7 +140,7 @@ mod tests {
         assert_eq!(props.instances, 3);
         assert_eq!(props.lifetime_ns, 300);
         // Consumer edge volume summed: 3 × 1000.
-        let e = t.graph.edge(t.graph.in_edges(indiv)[0]);
+        let e = t.graph.edge(t.graph.in_edges(indiv).next().unwrap());
         assert_eq!(e.props.volume, 3000);
         assert_eq!(e.props.instances, 3);
     }

@@ -39,7 +39,7 @@ pub fn render_ascii(g: &DflGraph, critical: Option<&CriticalPath>) -> String {
                 VertexKind::Data => format!("({})", v.name),
             };
             let _ = writeln!(s, " {mark} {decorated}");
-            for &e in g.out_edges(id) {
+            for e in g.out_edges(id) {
                 let edge = g.edge(e);
                 let bar_len = 1 + (edge.props.volume as f64 / max_vol as f64 * 20.0) as usize;
                 let _ = writeln!(

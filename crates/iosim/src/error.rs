@@ -52,6 +52,10 @@ pub enum SimError {
     CoordinatorCrash { at_event: u64 },
     /// A snapshot could not be restored (shape mismatch or decode failure).
     Snapshot(String),
+    /// An internal event referenced state that does not exist — the event
+    /// machine's invariants were broken, e.g. by a hand-edited snapshot
+    /// (previously a panic path).
+    CorruptState(&'static str),
 }
 
 impl fmt::Display for SimError {
@@ -81,6 +85,7 @@ impl fmt::Display for SimError {
                 write!(f, "chaos: coordinator killed before dispatch {at_event}")
             }
             SimError::Snapshot(msg) => write!(f, "snapshot restore failed: {msg}"),
+            SimError::CorruptState(what) => write!(f, "corrupt simulator state: {what}"),
         }
     }
 }

@@ -217,12 +217,15 @@ impl FlowNet {
         }
     }
 
-    /// Starts a flow of `bytes` over `path` at time `now`.
+    /// Starts a flow of `bytes` over `path` at time `now`. The path is
+    /// copied into the flow's (recycled) slot, so steady-state churn does
+    /// not allocate: a slot freed by `complete`/`cancel` keeps its `path`
+    /// and `pos` buffers for the next flow through it.
     ///
     /// # Panics
     /// Panics if `path` is empty or `bytes` is not positive — callers handle
     /// zero-byte transfers without entering the flow network.
-    pub fn start(&mut self, now: SimTime, path: Vec<ResourceId>, bytes: f64, owner: FlowOwner) -> FlowKey {
+    pub fn start(&mut self, now: SimTime, path: &[ResourceId], bytes: f64, owner: FlowOwner) -> FlowKey {
         assert!(!path.is_empty());
         assert!(bytes > 0.0);
         let key = FlowKey(self.next_key);
@@ -245,21 +248,26 @@ impl FlowNet {
                 (self.slots.len() - 1) as u32
             }
         };
-        let mut pos = Vec::with_capacity(path.len());
+        {
+            let f = &mut self.slots[slot as usize];
+            f.path.clear();
+            f.pos.clear();
+        }
         for (i, r) in path.iter().enumerate() {
             self.load[r.0 as usize] += 1;
-            pos.push(self.flows_on[r.0 as usize].len() as u32);
+            let p = self.flows_on[r.0 as usize].len() as u32;
             self.flows_on[r.0 as usize].push((slot, i as u32));
+            let f = &mut self.slots[slot as usize];
+            f.path.push(*r);
+            f.pos.push(p);
         }
-        self.collect_affected(&path, slot);
-        let rate = Self::fair_rate(&self.resources, &self.load, &path);
+        self.collect_affected(path, slot);
+        let rate = Self::fair_rate(&self.resources, &self.load, path);
         let t = now.add_secs_ceil(bytes / rate);
         {
             let f = &mut self.slots[slot as usize];
             f.key = key.0;
             f.gen += 1;
-            f.path = path;
-            f.pos = pos;
             f.remaining = bytes;
             f.rate = rate;
             f.owner = owner;
@@ -332,6 +340,11 @@ impl FlowNet {
             }
         }
         self.collect_affected(&path, slot);
+        // Hand the buffers back to the slot so the next flow through it
+        // starts allocation-free.
+        let f = &mut self.slots[slot as usize];
+        f.path = path;
+        f.pos = pos;
         self.free.push(slot);
         self.rerate_affected(now);
         (owner, elapsed, remaining)
@@ -550,14 +563,21 @@ pub mod naive {
             }
         }
 
-        pub fn start(&mut self, now: SimTime, path: Vec<ResourceId>, bytes: f64, owner: FlowOwner) -> FlowKey {
+        pub fn start(&mut self, now: SimTime, path: &[ResourceId], bytes: f64, owner: FlowOwner) -> FlowKey {
             assert!(!path.is_empty());
             assert!(bytes > 0.0);
             let key = FlowKey(self.next_key);
             self.next_key += 1;
             self.active.insert(
                 key.0,
-                NaiveFlow { path, remaining: bytes, rate: 0.0, owner, started: now, synced: now },
+                NaiveFlow {
+                    path: path.to_vec(),
+                    remaining: bytes,
+                    rate: 0.0,
+                    owner,
+                    started: now,
+                    synced: now,
+                },
             );
             self.reprofile(now);
             key
@@ -605,7 +625,7 @@ mod tests {
     fn single_flow_gets_full_capacity() {
         let mut net = FlowNet::new();
         let r = net.add_resource("disk", 100.0);
-        let k = net.start(SimTime::ZERO, vec![r], 200.0, owner());
+        let k = net.start(SimTime::ZERO, &[r], 200.0, owner());
         assert_eq!(net.rate_of(k), Some(100.0));
         let (t, key) = net.next_completion().unwrap();
         assert_eq!(key, k);
@@ -616,8 +636,8 @@ mod tests {
     fn two_flows_share_fairly() {
         let mut net = FlowNet::new();
         let r = net.add_resource("disk", 100.0);
-        let a = net.start(SimTime::ZERO, vec![r], 100.0, owner());
-        let b = net.start(SimTime::ZERO, vec![r], 100.0, owner());
+        let a = net.start(SimTime::ZERO, &[r], 100.0, owner());
+        let b = net.start(SimTime::ZERO, &[r], 100.0, owner());
         assert_eq!(net.rate_of(a), Some(50.0));
         assert_eq!(net.rate_of(b), Some(50.0));
         // Both complete at 2s; lowest key first.
@@ -630,8 +650,8 @@ mod tests {
     fn departure_speeds_up_remaining_flow() {
         let mut net = FlowNet::new();
         let r = net.add_resource("disk", 100.0);
-        let a = net.start(SimTime::ZERO, vec![r], 50.0, owner());
-        let b = net.start(SimTime::ZERO, vec![r], 150.0, owner());
+        let a = net.start(SimTime::ZERO, &[r], 50.0, owner());
+        let b = net.start(SimTime::ZERO, &[r], 150.0, owner());
         // a finishes at 1s (50 bytes at 50 B/s).
         let (t1, k1) = net.next_completion().unwrap();
         assert_eq!(k1, a);
@@ -649,7 +669,7 @@ mod tests {
         let mut net = FlowNet::new();
         let fast = net.add_resource("nic", 1000.0);
         let slow = net.add_resource("wan", 10.0);
-        let k = net.start(SimTime::ZERO, vec![fast, slow], 100.0, owner());
+        let k = net.start(SimTime::ZERO, &[fast, slow], 100.0, owner());
         assert_eq!(net.rate_of(k), Some(10.0));
     }
 
@@ -659,8 +679,8 @@ mod tests {
         let shared = net.add_resource("pfs", 100.0);
         let nic_a = net.add_resource("nicA", 1000.0);
         let nic_b = net.add_resource("nicB", 1000.0);
-        let a = net.start(SimTime::ZERO, vec![shared, nic_a], 100.0, owner());
-        let b = net.start(SimTime::ZERO, vec![shared, nic_b], 100.0, owner());
+        let a = net.start(SimTime::ZERO, &[shared, nic_a], 100.0, owner());
+        let b = net.start(SimTime::ZERO, &[shared, nic_b], 100.0, owner());
         assert_eq!(net.rate_of(a), Some(50.0));
         assert_eq!(net.rate_of(b), Some(50.0));
     }
@@ -669,7 +689,7 @@ mod tests {
     fn complete_returns_elapsed_time() {
         let mut net = FlowNet::new();
         let r = net.add_resource("disk", 100.0);
-        let k = net.start(SimTime::from_secs(1.0), vec![r], 100.0, owner());
+        let k = net.start(SimTime::from_secs(1.0), &[r], 100.0, owner());
         let (t, _) = net.next_completion().unwrap();
         let (_, elapsed) = net.complete(t, k);
         assert_eq!(elapsed, 1_000_000_000);
@@ -686,8 +706,8 @@ mod tests {
     fn cancel_mid_flight_reports_remaining_and_frees_capacity() {
         let mut net = FlowNet::new();
         let r = net.add_resource("disk", 100.0);
-        let a = net.start(SimTime::ZERO, vec![r], 200.0, owner());
-        let b = net.start(SimTime::ZERO, vec![r], 200.0, owner());
+        let a = net.start(SimTime::ZERO, &[r], 200.0, owner());
+        let b = net.start(SimTime::ZERO, &[r], 200.0, owner());
         // After 1s at 50 B/s each, cancel a: 150 bytes unmoved.
         let (_, elapsed, remaining) = net.cancel(SimTime::from_secs(1.0), a);
         assert_eq!(elapsed, 1_000_000_000);
@@ -706,9 +726,9 @@ mod tests {
         let mut net = FlowNet::new();
         let d1 = net.add_resource("disk1", 100.0);
         let d2 = net.add_resource("disk2", 100.0);
-        let a = net.start(SimTime::ZERO, vec![d1], 100.0, owner());
+        let a = net.start(SimTime::ZERO, &[d1], 100.0, owner());
         let before = net.next_completion().unwrap();
-        let b = net.start(SimTime::from_secs(0.25), vec![d2], 100.0, owner());
+        let b = net.start(SimTime::from_secs(0.25), &[d2], 100.0, owner());
         assert_eq!(net.rate_of(a), Some(100.0));
         assert_eq!(net.rate_of(b), Some(100.0));
         // a is still predicted first, at the original time.
@@ -723,10 +743,10 @@ mod tests {
         let mut net = FlowNet::new();
         let pfs = net.add_resource("pfs", 1000.0);
         let slow = net.add_resource("slow", 10.0);
-        let b = net.start(SimTime::ZERO, vec![pfs, slow], 10.0, owner());
+        let b = net.start(SimTime::ZERO, &[pfs, slow], 10.0, owner());
         assert_eq!(net.rate_of(b), Some(10.0));
         let before = net.next_completion().unwrap();
-        net.start(SimTime::from_secs(0.5), vec![pfs], 500.0, owner());
+        net.start(SimTime::from_secs(0.5), &[pfs], 500.0, owner());
         assert_eq!(net.rate_of(b), Some(10.0));
         assert_eq!(net.next_completion().unwrap(), before);
     }
@@ -737,7 +757,7 @@ mod tests {
         // *valid* one must win.
         let mut net = FlowNet::new();
         let r = net.add_resource("disk", 100.0);
-        let a = net.start(SimTime::ZERO, vec![r], 100.0, owner());
+        let a = net.start(SimTime::ZERO, &[r], 100.0, owner());
         // Slow a down: its original 1s prediction is now stale.
         net.set_capacity(SimTime::ZERO, r, 10.0);
         let (t, k) = net.next_completion().unwrap();
@@ -754,7 +774,7 @@ mod tests {
         let mut net = FlowNet::new();
         let r = net.add_resource("disk", 100.0);
         for i in 0..10 {
-            net.start(SimTime::ZERO, vec![r], 100.0 + i as f64, owner());
+            net.start(SimTime::ZERO, &[r], 100.0 + i as f64, owner());
         }
         while let Some((t, k)) = net.next_completion() {
             net.complete(t, k);
@@ -774,7 +794,7 @@ mod capacity_tests {
     fn capacity_change_preserves_progress() {
         let mut net = FlowNet::new();
         let r = net.add_resource("disk", 100.0);
-        let k = net.start(SimTime::ZERO, vec![r], 200.0, FlowOwner { job: 0, tag: crate::breakdown::FlowTag::LocalRead, background: false });
+        let k = net.start(SimTime::ZERO, &[r], 200.0, FlowOwner { job: 0, tag: crate::breakdown::FlowTag::LocalRead, background: false });
         // After 1s at 100 B/s, 100 bytes remain; halve the capacity.
         net.set_capacity(SimTime::from_secs(1.0), r, 50.0);
         assert_eq!(net.rate_of(k), Some(50.0));

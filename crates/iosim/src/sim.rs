@@ -291,7 +291,7 @@ struct Job {
 
 /// An entry in the simulator's event log. Public only for snapshot
 /// transport.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Event {
     Arrive(u32),
     ComputeDone(u32),
@@ -362,11 +362,17 @@ pub struct Simulation {
     res: Resources,
     fs: SimFs,
     cache: Option<CacheState>,
+    /// Per-level read latency (ns), derived from the cache config at
+    /// construction (empty when `cache` is `None`).
+    cache_lat: Vec<u64>,
     cache_origins: CacheOrigins,
     monitor: Option<Monitor>,
     jobs: Vec<Job>,
-    heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
-    events: Vec<Event>,
+    /// Pending events inline in the heap entries (`(time, seq, event)`;
+    /// `Event` is a two-word `Copy` payload, so there is no side event log
+    /// to grow or slab to manage — queue memory is bounded by in-flight
+    /// events). `seq` is unique, so the `Event` ordering is never consulted.
+    heap: BinaryHeap<Reverse<(u64, u64, Event)>>,
     capacity_changes: Vec<(ResourceId, f64)>,
     write_buffering: bool,
     next_seq: u64,
@@ -436,6 +442,13 @@ impl Simulation {
         }
 
         let cache = config.cache.map(CacheState::new);
+        // Per-level read latencies, flattened out of the cache config once —
+        // the read hot path maxes over these instead of cloning the level
+        // table per access.
+        let cache_lat: Vec<u64> = cache
+            .as_ref()
+            .map(|c| c.config().levels.iter().map(|l| l.latency_ns).collect())
+            .unwrap_or_default();
         let cache_levels = match &cache {
             None => Vec::new(),
             Some(c) => c
@@ -475,11 +488,11 @@ impl Simulation {
             res: Resources { shared, node_tier, nic, cache_levels },
             fs: SimFs::new(),
             cache,
+            cache_lat,
             cache_origins: config.cache_origins,
             monitor,
             jobs: Vec::new(),
             heap: BinaryHeap::new(),
-            events: Vec::new(),
             capacity_changes: Vec::new(),
             write_buffering: config.write_buffering,
             next_seq: 0,
@@ -633,9 +646,7 @@ impl Simulation {
     }
 
     fn push_event(&mut self, at: SimTime, ev: Event) {
-        let idx = self.events.len() as u32;
-        self.events.push(ev);
-        self.heap.push(Reverse((at.ns(), self.next_seq, idx)));
+        self.heap.push(Reverse((at.ns(), self.next_seq, ev)));
         self.next_seq += 1;
     }
 
@@ -685,6 +696,7 @@ impl Simulation {
     /// the caller inspects the failures, submits recovery/retry jobs (see
     /// [`Self::resubmit`]), and calls `run_to_incident` again.
     pub fn run_to_incident(&mut self) -> Result<RunOutcome, SimError> {
+        self.validate_tiers()?;
         loop {
             if let Some(e) = self.fatal.take() {
                 return Err(e);
@@ -692,7 +704,7 @@ impl Simulation {
             if !self.pending_failures.is_empty() {
                 return Ok(RunOutcome::Failures(std::mem::take(&mut self.pending_failures)));
             }
-            let heap_next = self.heap.peek().map(|Reverse((t, s, i))| (*t, *s, *i));
+            let heap_next = self.heap.peek().map(|Reverse((t, s, e))| (*t, *s, *e));
             let flow_next = self.net.next_completion();
             // Stop once every job finished and all flows (e.g. buffered
             // write drains) have landed: remaining events can only be
@@ -736,11 +748,10 @@ impl Simulation {
                     self.events_dispatched += 1;
                     self.complete_flow(ft, fk);
                 }
-                (Some(_), _) => {
+                (Some((t, _, ev)), _) => {
                     self.events_dispatched += 1;
-                    let Reverse((t, _, idx)) = self.heap.pop().expect("peeked");
+                    self.heap.pop();
                     self.now = SimTime(t.max(self.now.ns()));
-                    let ev = self.events[idx as usize];
                     self.handle_event(ev);
                 }
                 (None, Some((ft, fk))) => {
@@ -1104,6 +1115,45 @@ impl Simulation {
         self.cluster.tier(kind).expect("tier present on cluster")
     }
 
+    /// Checks a single tier reference against the cluster (kind provisioned,
+    /// node index in range).
+    fn check_tier(&self, tier: TierRef) -> Result<(), SimError> {
+        if !self.cluster.has_tier(tier.kind) {
+            return Err(SimError::NoSuchTier(tier.kind.label().to_owned()));
+        }
+        match tier.node {
+            Some(n) if (n as usize) >= self.cluster.node_count() => Err(SimError::BadNode(n)),
+            _ => Ok(()),
+        }
+    }
+
+    /// Validates every externally supplied tier reference — file replicas
+    /// plus `Write`/`Stage` targets in not-yet-executed actions — so a spec
+    /// naming a tier the cluster does not provide surfaces as
+    /// [`SimError::NoSuchTier`] instead of a panic deep in the run.
+    fn validate_tiers(&self) -> Result<(), SimError> {
+        for i in 0..self.fs.file_count() {
+            for &r in &self.fs.meta(FileIdx(i as u32)).replicas {
+                self.check_tier(r)?;
+            }
+        }
+        for job in &self.jobs {
+            for a in &job.actions {
+                match a {
+                    Action::Write { tier: Some(t), .. } => self.check_tier(*t)?,
+                    Action::Stage { to, from, .. } => {
+                        self.check_tier(*to)?;
+                        if let Some(f) = from {
+                            self.check_tier(*f)?;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Resources along the read path from `tier` to `node`.
     fn read_path(&self, tier: TierRef, node: u32) -> Vec<ResourceId> {
         match (tier.kind.is_node_local(), tier.node) {
@@ -1225,21 +1275,23 @@ impl Simulation {
         let mut launch: Vec<(Vec<ResourceId>, f64, FlowTag)> = Vec::new();
         let mut latency = self.tier_spec(tier.kind).latency_ns;
 
-        let use_cache = self.cache.is_some()
-            && (self.cache_origins == CacheOrigins::All || tier.kind.is_remote());
-        if use_cache && n > 0 {
-            let result = self
-                .cache
-                .as_mut()
-                .expect("cache enabled")
-                .access(j, node, idx.0, off, n);
-            let levels = self.cache.as_ref().unwrap().config().levels.clone();
+        // A cache-less config never enters the cache branch: the access is
+        // bound inside the `if let`, so there is no unwrap to reach.
+        let cache_result = match &mut self.cache {
+            Some(cache)
+                if n > 0 && (self.cache_origins == CacheOrigins::All || tier.kind.is_remote()) =>
+            {
+                Some(cache.access(j, node, idx.0, off, n))
+            }
+            _ => None,
+        };
+        if let Some(result) = cache_result {
             latency = 0;
             for (lvl, &bytes) in result.level_bytes.iter().enumerate() {
                 if bytes == 0 {
                     continue;
                 }
-                latency = latency.max(levels[lvl].latency_ns);
+                latency = latency.max(self.cache_lat[lvl]);
                 let path = match &self.res.cache_levels[lvl] {
                     CacheLevelRes::PerNode(v) => vec![v[node as usize]],
                     CacheLevelRes::Shared(r) => vec![*r, self.res.nic[node as usize]],
@@ -1256,16 +1308,15 @@ impl Simulation {
                 };
                 launch.push((path, bytes as f64, tag));
             }
-            if self.obs.is_some() {
-                for (lvl, &evicted) in result.evictions.iter().enumerate() {
-                    if evicted == 0 {
-                        continue;
-                    }
-                    let r = match &self.res.cache_levels[lvl] {
-                        CacheLevelRes::PerNode(v) => v[node as usize],
-                        CacheLevelRes::Shared(r) => *r,
-                    };
-                    let o = self.obs.as_deref_mut().expect("obs enabled");
+            for (lvl, &evicted) in result.evictions.iter().enumerate() {
+                if evicted == 0 {
+                    continue;
+                }
+                let r = match &self.res.cache_levels[lvl] {
+                    CacheLevelRes::PerNode(v) => v[node as usize],
+                    CacheLevelRes::Shared(r) => *r,
+                };
+                if let Some(o) = self.obs.as_deref_mut() {
                     let track = o.res_track(r);
                     o.cache_evicted(track, evicted, self.now.ns());
                 }
@@ -1344,7 +1395,7 @@ impl Simulation {
             });
             let key = self.net.start(
                 self.now,
-                path,
+                &path,
                 bytes,
                 FlowOwner { job: j, tag, background: true },
             );
@@ -1444,8 +1495,13 @@ impl Simulation {
     fn launch_flows(&mut self, j: u32) {
         let launch = {
             let job = &mut self.jobs[j as usize];
-            let io = job.io.as_mut().expect("pending io");
-            std::mem::take(&mut io.launch)
+            match job.io.as_mut() {
+                Some(io) => std::mem::take(&mut io.launch),
+                None => {
+                    self.fatal = Some(SimError::CorruptState("flow launch with no pending io"));
+                    return;
+                }
+            }
         };
         if launch.is_empty() {
             self.finish_io(j);
@@ -1462,7 +1518,7 @@ impl Simulation {
                 (first, src, dst)
             });
             let key =
-                self.net.start(self.now, path, bytes, FlowOwner { job: j, tag, background: false });
+                self.net.start(self.now, &path, bytes, FlowOwner { job: j, tag, background: false });
             self.flow_bytes.insert(key.0, bytes);
             self.jobs[j as usize].flows.push(key);
             if let (Some((first, src, dst)), Some(o)) = (endpoints, self.obs.as_deref_mut()) {
@@ -1482,7 +1538,10 @@ impl Simulation {
     }
 
     fn finish_io(&mut self, j: u32) {
-        let io = self.jobs[j as usize].io.take().expect("pending io");
+        let Some(io) = self.jobs[j as usize].io.take() else {
+            self.fatal = Some(SimError::CorruptState("io completion with no pending io"));
+            return;
+        };
         let timing = IoTiming::new(io.started.ns(), self.now.since(io.started));
         match io.kind {
             IoKind::Read => {
@@ -1500,8 +1559,12 @@ impl Simulation {
                 }
             }
             IoKind::Stage => {
-                self.fs
-                    .add_replica(io.file, io.stage_to.expect("stage destination"));
+                let Some(to) = io.stage_to else {
+                    self.fatal =
+                        Some(SimError::CorruptState("stage completion with no destination"));
+                    return;
+                };
+                self.fs.add_replica(io.file, to);
             }
         }
         self.advance(j);
@@ -1708,7 +1771,7 @@ impl Simulation {
         }
         let mut config = self.config.clone();
         config.faults = config.faults.without_chaos();
-        let mut heap: Vec<(u64, u64, u32)> = self.heap.iter().map(|Reverse(e)| *e).collect();
+        let mut heap: Vec<(u64, u64, Event)> = self.heap.iter().map(|Reverse(e)| *e).collect();
         heap.sort_unstable();
         Ok(SimSnapshot {
             version: SNAPSHOT_VERSION,
@@ -1747,7 +1810,6 @@ impl Simulation {
                 })
                 .collect(),
             heap,
-            events: self.events.clone(),
             capacity_changes: self.capacity_changes.clone(),
             next_seq: self.next_seq,
             now_ns: self.now.ns(),
@@ -1835,7 +1897,6 @@ impl Simulation {
             .collect();
         sim.jobs = jobs;
         sim.heap = snap.heap.into_iter().map(Reverse).collect();
-        sim.events = snap.events;
         sim.capacity_changes = snap.capacity_changes;
         sim.next_seq = snap.next_seq;
         sim.now = SimTime(snap.now_ns);
@@ -1863,7 +1924,8 @@ impl Simulation {
 }
 
 /// Version tag embedded in every [`SimSnapshot`]; bump on layout changes.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// v2: events inline in `heap` entries (the side `events` log is gone).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Serializable state of one [`Simulation`] job (see [`SimSnapshot`]).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -1913,10 +1975,10 @@ pub struct SimSnapshot {
     pub cache: Option<CacheSnapshot>,
     pub monitor: Option<MonitorState>,
     pub jobs: Vec<JobSnapshot>,
-    /// Pending event-heap entries, sorted ascending (heap order is fully
-    /// determined by content — all entries are distinct).
-    pub heap: Vec<(u64, u64, u32)>,
-    pub events: Vec<Event>,
+    /// Pending event-heap entries `(time, seq, event)`, sorted ascending
+    /// (heap order is fully determined by content — all entries are
+    /// distinct).
+    pub heap: Vec<(u64, u64, Event)>,
     pub capacity_changes: Vec<(ResourceId, f64)>,
     pub next_seq: u64,
     pub now_ns: u64,
@@ -1953,6 +2015,20 @@ mod tests {
         let dur = r.duration_ns() as f64 / 1e9;
         assert!(dur > 0.19 && dur < 0.3, "duration {dur}");
         assert!(r.breakdown.get(FlowTag::SharedRead) > 0);
+    }
+
+    #[test]
+    fn cacheless_config_with_cache_all_origins_reads_fine() {
+        // Regression: `cache_origins: All` with `cache: None` used to steer
+        // reads toward the cache branch, which unwrapped the absent cache
+        // state. The branch must simply be skipped.
+        let config = SimConfig { cache: None, cache_origins: CacheOrigins::All, ..Default::default() };
+        let mut sim = Simulation::new(ClusterSpec::gpu_cluster(1), config);
+        sim.fs_mut().create_external("in.dat", mb(64), TierRef::shared(TierKind::Nfs));
+        let j = sim.submit(JobSpec::new("reader-0", 0).action(Action::read_file("in.dat")));
+        sim.run().unwrap();
+        let r = sim.job_report(j).unwrap();
+        assert!(r.breakdown.get(FlowTag::SharedRead) > 0, "read went through the tier path");
     }
 
     #[test]
@@ -2302,6 +2378,30 @@ mod fault_tests {
             JobSpec::new("s-0", 0).action(Action::stage("ghost", TierRef::node(TierKind::Ssd, 0))),
         );
         assert!(matches!(sim.run(), Err(SimError::MissingFile { .. })));
+    }
+
+    #[test]
+    fn unprovisioned_tier_is_an_error_not_a_panic() {
+        // gpu_cluster provisions no WAN tier: an external file placed there
+        // used to panic inside `tier_spec` on the first read.
+        let mut sim = sim_with(FaultPlan::none());
+        sim.fs_mut().create_external("remote", mb(64), TierRef::shared(TierKind::Wan));
+        sim.submit(JobSpec::new("r-0", 0).action(Action::read_file("remote")));
+        assert_eq!(sim.run().unwrap_err(), SimError::NoSuchTier("wan".into()));
+
+        // Same for a stage action targeting an absent tier...
+        let mut sim = sim_with(FaultPlan::none());
+        sim.fs_mut().create_external("x", mb(1), TierRef::shared(TierKind::Nfs));
+        sim.submit(
+            JobSpec::new("s-0", 0).action(Action::stage("x", TierRef::shared(TierKind::Lustre))),
+        );
+        assert!(matches!(sim.run(), Err(SimError::NoSuchTier(_))));
+
+        // ...and a replica pinned to a node index outside the cluster.
+        let mut sim = sim_with(FaultPlan::none());
+        sim.fs_mut().create_external("y", mb(1), TierRef::node(TierKind::Ssd, 99));
+        sim.submit(JobSpec::new("r-1", 0).action(Action::read_file("y")));
+        assert_eq!(sim.run().unwrap_err(), SimError::BadNode(99));
     }
 
     #[test]

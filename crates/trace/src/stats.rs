@@ -271,6 +271,26 @@ mod tests {
     }
 
     #[test]
+    fn write_only_workload_ratios_are_finite() {
+        // A producer-only record has a zero read footprint; every read-side
+        // ratio must come back 0.0, never NaN/inf from a 0/0 division.
+        let mut r = record_with(0, 4096);
+        assert_eq!(r.read_footprint(), 0.0);
+        assert_eq!(r.read_reuse_factor(), 0.0);
+        assert_eq!(r.read_subset_fraction(), 0.0);
+        assert!(r.read_reuse_factor().is_finite());
+
+        // Zero observed file size (metadata never materialized): subset
+        // fraction and blocking fraction still finite.
+        r.file_size = 0;
+        r.open_span_ns = 0;
+        assert_eq!(r.read_subset_fraction(), 0.0);
+        assert_eq!(r.read_blocking_fraction(), 0.0);
+        assert_eq!(r.write_blocking_fraction(), 0.0);
+        assert!(r.write_footprint().is_finite());
+    }
+
+    #[test]
     fn blocking_fractions() {
         let r = record_with(100, 100);
         assert!((r.read_blocking_fraction() - 0.1).abs() < 1e-9);

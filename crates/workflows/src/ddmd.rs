@@ -316,8 +316,7 @@ mod tests {
         let train = g.find_vertex("train-it0").unwrap();
         let e = g
             .in_edges(train)
-            .iter()
-            .map(|&e| g.edge(e))
+            .map(|e| g.edge(e))
             .find(|e| g.vertex(e.src).name == "combined-it0.h5")
             .unwrap();
         assert!(e.props.reuse_factor > 3.0);

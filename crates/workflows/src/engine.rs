@@ -1342,7 +1342,7 @@ mod tests {
         let r = run(&w, &RunConfig::default_gpu(1)).unwrap();
         let g = dfl_core::DflGraph::from_measurements(&r.measurements);
         let d = g.find_vertex("data").unwrap();
-        let e = g.edge(g.out_edges(d)[0]);
+        let e = g.edge(g.out_edges(d).next().unwrap());
         assert!(e.props.reuse_factor > 3.5, "4 passes ⇒ reuse ≈ 4: {}", e.props.reuse_factor);
         assert_eq!(e.props.volume, 64 << 20);
     }

@@ -67,8 +67,8 @@ proptest! {
                     let path = path_from_bits(&ids, a);
                     // Non-round byte counts exercise the f64 paths.
                     let bytes = 1.0 + b as f64 / 7.0;
-                    let kn = new.start(now, path.clone(), bytes, owner(started as u32));
-                    let ko = old.start(now, path, bytes, owner(started as u32));
+                    let kn = new.start(now, &path, bytes, owner(started as u32));
+                    let ko = old.start(now, &path, bytes, owner(started as u32));
                     prop_assert_eq!(kn, ko);
                     started += 1;
                 }

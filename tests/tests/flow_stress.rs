@@ -31,7 +31,7 @@ fn fifteen_hundred_flow_drain_is_consistent() {
         let bytes = 1_000.0 + (i as f64 * 97.0) % 5_000.0;
         let path = vec![tiers[(i % TIERS) as usize], nics[(i % NICS) as usize]];
         // Staggered arrivals, 1 ms apart, so starts re-rate live flows.
-        net.start(SimTime(i * 1_000_000), path, bytes, owner(i as u32));
+        net.start(SimTime(i * 1_000_000), &path, bytes, owner(i as u32));
     }
     assert_eq!(net.active_count(), FLOWS as usize);
     let mut done = 0u64;

@@ -1,0 +1,193 @@
+//! Differential properties for the incremental GCPA engine under *edit
+//! sequences*: starting from a generated DAG, every interleaving of edge
+//! inserts (including backward inserts that force a Pearce–Kelly order
+//! repair), edge unlinks, and task-weight updates must leave the engine's
+//! critical path bit-identical to a batch DP sweep over the same graph.
+//!
+//! Also holds the 100k-vertex scale smoke test: the flat arena layout and
+//! the incremental engine must both handle a large layered DAG in debug
+//! builds without blowing the time budget.
+
+use proptest::prelude::*;
+
+use dfl_core::analysis::critical_path::critical_path;
+use dfl_core::analysis::{CostModel, IncrementalGcpa};
+use dfl_core::graph::{Vertex, VertexKind, VertexProps};
+use dfl_core::props::{DataProps, EdgeProps, FlowDir, TaskProps};
+
+fn task(name: &str, life: u64) -> Vertex {
+    Vertex {
+        kind: VertexKind::Task,
+        name: name.into(),
+        logical: name.into(),
+        props: VertexProps::Task(TaskProps { lifetime_ns: life, ..Default::default() }),
+    }
+}
+
+fn data(name: &str) -> Vertex {
+    Vertex {
+        kind: VertexKind::Data,
+        name: name.into(),
+        logical: name.into(),
+        props: VertexProps::Data(DataProps::default()),
+    }
+}
+
+fn vol(volume: u64) -> EdgeProps {
+    EdgeProps { volume, ..Default::default() }
+}
+
+/// Engine vs batch over the engine's own graph. Keys are engine ids here,
+/// so the canonical order and the engine order coincide and the comparison
+/// covers vertices, edges, and the exact cost bits.
+fn assert_matches_batch(eng: &mut IncrementalGcpa, what: &str) {
+    let model = eng.model();
+    let batch = critical_path(eng.graph(), &model);
+    let inc = eng.critical_path();
+    assert_eq!(inc.vertices, batch.vertices, "{what}: path vertices diverge");
+    assert_eq!(inc.edges, batch.edges, "{what}: path edges diverge");
+    assert_eq!(
+        inc.total_cost.to_bits(),
+        batch.total_cost.to_bits(),
+        "{what}: cost not bit-identical ({} vs {})",
+        inc.total_cost,
+        batch.total_cost
+    );
+}
+
+/// Deterministic Fisher–Yates permutation of `0..n` from an LCG seed.
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    for i in (1..n).rev() {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (s >> 33) as usize % (i + 1);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random edit sequences on a permutation-ordered DAG. Acyclicity is
+    /// guaranteed by only inserting edges that run forward through a hidden
+    /// logical order (`perm`), while the engine sees them in *allocation*
+    /// order — so a large fraction of inserts run backward through the
+    /// maintained topological order and exercise the Pearce–Kelly repair.
+    #[test]
+    fn edit_sequences_match_batch_bit_for_bit(
+        n in 4usize..14,
+        perm_seed in 0u64..u64::MAX,
+        ops in prop::collection::vec((0u8..4, 0u64..u64::MAX, 1u64..1000), 1..40),
+    ) {
+        let mut eng = IncrementalGcpa::new(CostModel::Volume);
+        // Alternating task/data vertices; `perm` is the hidden logical
+        // order used to keep inserts acyclic.
+        let verts: Vec<_> = (0..n)
+            .map(|i| {
+                let key = i as u64;
+                if i % 2 == 0 {
+                    eng.add_vertex(task(&format!("t{i}"), (i as u64 + 1) * 10), key)
+                } else {
+                    eng.add_vertex(data(&format!("d{i}")), key)
+                }
+            })
+            .collect();
+        let perm = permutation(n, perm_seed);
+        // Candidate edges: forward through `perm`, between opposite kinds
+        // (task->data is a Producer edge, data->task a Consumer edge).
+        let mut candidates = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (u, v) = (perm[i], perm[j]);
+                if u % 2 != v % 2 {
+                    candidates.push((u, v));
+                }
+            }
+        }
+        // n >= 4 with alternating parity guarantees opposite-kind pairs.
+        assert!(!candidates.is_empty());
+
+        let mut live_edges = Vec::new();
+        for (i, &(op, pick, w)) in ops.iter().enumerate() {
+            match op {
+                // Insert a candidate edge (duplicates allowed: the live DFL
+                // layer retracts wholesale, so the engine must tolerate
+                // parallel edges too).
+                0 | 1 => {
+                    let (u, v) = candidates[(pick % candidates.len() as u64) as usize];
+                    let dir = if u % 2 == 0 { FlowDir::Producer } else { FlowDir::Consumer };
+                    let e = eng.add_edge(verts[u], verts[v], dir, vol(w));
+                    live_edges.push(e);
+                }
+                // Unlink a random live edge.
+                2 => {
+                    if !live_edges.is_empty() {
+                        let k = (pick % live_edges.len() as u64) as usize;
+                        eng.unlink_edge(live_edges.swap_remove(k));
+                    }
+                }
+                // Reweight a random task vertex.
+                _ => {
+                    let t = 2 * ((pick as usize / 2) % n.div_ceil(2));
+                    eng.set_vertex_props(
+                        verts[t],
+                        VertexProps::Task(TaskProps { lifetime_ns: w * 7, ..Default::default() }),
+                    );
+                }
+            }
+            assert_matches_batch(&mut eng, &format!("after op {i} ({op})"));
+        }
+    }
+}
+
+/// 100k-vertex scale smoke test: a layered producer/consumer DAG (2.5k
+/// tasks per layer × 20 layers of task+file pairs) built straight into the
+/// engine, queried, edited at a single vertex, and re-queried. Exercises
+/// the arena layout, the memoized topological order, and the dirty-cone
+/// refresh at a size two orders of magnitude above the proptests — and
+/// must stay fast enough for debug-build tier-1 runs.
+#[test]
+fn hundred_k_vertex_graph_smoke() {
+    const WIDTH: usize = 2_500;
+    const DEPTH: usize = 20;
+    let mut eng = IncrementalGcpa::new(CostModel::Volume);
+    let mut key = 0u64;
+    let mut prev_files: Vec<_> = Vec::new();
+    for layer in 0..DEPTH {
+        let mut files = Vec::with_capacity(WIDTH);
+        for i in 0..WIDTH {
+            let t = eng.add_vertex(task(&format!("t{layer}_{i}"), 1_000), key);
+            key += 1;
+            // Consume one file from the previous layer (staggered).
+            if let Some(&f) = prev_files.get((i + layer) % WIDTH.max(1)) {
+                eng.add_edge(f, t, FlowDir::Consumer, vol(64));
+            }
+            let d = eng.add_vertex(data(&format!("d{layer}_{i}")), key);
+            key += 1;
+            eng.add_edge(t, d, FlowDir::Producer, vol(100 + (i as u64 % 37)));
+            files.push(d);
+        }
+        prev_files = files;
+    }
+    assert_eq!(eng.graph().vertex_count(), 2 * WIDTH * DEPTH);
+
+    let p = eng.critical_path();
+    assert_eq!(p.vertices.len(), 2 * DEPTH, "chain spans every layer");
+    assert!(p.total_cost > 0.0);
+
+    // A single-edge reweight must shift only the affected cone and still
+    // agree with a full batch sweep.
+    let before = p.total_cost;
+    let first_task = p.vertices[0];
+    eng.set_vertex_props(
+        first_task,
+        VertexProps::Task(TaskProps { lifetime_ns: 5_000, ..Default::default() }),
+    );
+    let after = eng.critical_path();
+    assert!(after.total_cost >= before, "reweight can only help this path");
+    let batch = critical_path(eng.graph(), &eng.model());
+    assert_eq!(after.vertices, batch.vertices);
+    assert_eq!(after.total_cost.to_bits(), batch.total_cost.to_bits());
+}
