@@ -13,6 +13,7 @@ use dfl_iosim::storage::{TierKind, TierRef};
 use dfl_iosim::time::SimTime;
 use dfl_workflows::engine::{run, RunConfig};
 use dfl_workflows::genomes::{generate, GenomesConfig};
+use dfl_workflows::{FaultPlan, VerifyPolicy};
 
 fn bench_flow_events(c: &mut Criterion) {
     let mut group = c.benchmark_group("des_flow_events");
@@ -183,12 +184,50 @@ fn bench_obs_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cost of the integrity machinery on the end-to-end genomes run:
+/// `verify_off` must track `baseline` (with `VerifyPolicy::Off` and no
+/// corruption in the plan the integrity branch is dead and the run stays
+/// byte-identical); `verify_on_read`/`verify_sample_4` price the checksum
+/// modeling, and `corrupt_recover` prices a full detect → quarantine →
+/// cone-recovery cycle.
+fn bench_fault_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_recovery");
+    group.sample_size(10);
+    let spec = generate(&GenomesConfig::tiny());
+    let policies: [(&str, VerifyPolicy); 4] = [
+        ("baseline", VerifyPolicy::Off),
+        ("verify_off", VerifyPolicy::Off),
+        ("verify_on_read", VerifyPolicy::OnRead),
+        ("verify_sample_4", VerifyPolicy::Sample(4)),
+    ];
+    for (label, verify) in policies {
+        let mut cfg = RunConfig::default_gpu(2);
+        cfg.verify = verify;
+        group.bench_function(label, |b| {
+            b.iter(|| run(std::hint::black_box(&spec), &cfg).unwrap().makespan_s)
+        });
+    }
+    // Detect-and-recover: random write flips under sampled verification
+    // exercise taint propagation, cone quarantine, and lineage re-execution.
+    {
+        let mut cfg = RunConfig::default_gpu(2);
+        cfg.verify = VerifyPolicy::Sample(4);
+        cfg.faults = FaultPlan::seeded(42).corrupt_writes(0.02);
+        cfg.retry.max_attempts = 30;
+        group.bench_function("corrupt_recover", |b| {
+            b.iter(|| run(std::hint::black_box(&spec), &cfg).unwrap().makespan_s)
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_flow_events,
     bench_flow_stress,
     bench_cache_access,
     bench_end_to_end_workflow,
-    bench_obs_overhead
+    bench_obs_overhead,
+    bench_fault_recovery
 );
 criterion_main!(benches);

@@ -31,6 +31,7 @@ use dfl_core::DflGraph;
 use dfl_obs::{diagnosis_kind_label, ObsConfig, WatchdogConfig};
 use dfl_trace::MeasurementSet;
 use dfl_workflows::engine::{resume_latest, run as run_workflow, RunConfig, RunResult};
+use dfl_workflows::VerifyPolicy;
 use dfl_workflows::spec::WorkflowSpec;
 use dfl_workflows::watch::{run_watched, WatchOptions, WindowSummary};
 use dfl_workflows::{belle2, ddmd, genomes, montage, seismic, CheckpointConfig, FaultPlan};
@@ -40,11 +41,12 @@ datalife — data flow lifecycle analysis for distributed workflows
 
 USAGE:
   datalife run <genomes|ddmd|belle2|montage|seismic> [--scale tiny|paper] [--nodes N] [-o FILE]
-               [--faults SPEC] [--retries N] [--trace-out FILE]
+               [--faults SPEC] [--verify POLICY] [--retries N] [--trace-out FILE]
   datalife profile <genomes|ddmd|belle2|montage|seismic> [--scale tiny|paper] [--nodes N]
-               [--trace-out FILE] [--jsonl FILE] [--sample-ms MS] [--faults SPEC] [--retries N]
+               [--trace-out FILE] [--jsonl FILE] [--sample-ms MS] [--faults SPEC]
+               [--verify POLICY] [--retries N]
   datalife watch <genomes|ddmd|belle2|montage|seismic> [--scale tiny|paper] [--nodes N]
-               [--window-ms MS] [--sample-ms MS] [--faults SPEC] [--retries N]
+               [--window-ms MS] [--sample-ms MS] [--faults SPEC] [--verify POLICY] [--retries N]
                [--headless] [--jsonl]
   datalife analyze <measurements.json> [--cost volume|time|branchjoin|fanin]
   datalife rank <measurements.json> [--what pc|data|task]
@@ -54,7 +56,8 @@ USAGE:
   datalife advise <measurements.json>
   datalife casestudy <genomes|ddmd|belle2>
   datalife chaos <genomes|ddmd|belle2|montage|seismic> [--scale tiny|paper] [--nodes N]
-               [--seeds LIST] [--crashes K] [--ckpt-ms MS] [--dir DIR] [--faults SPEC] [--retries N]
+               [--seeds LIST] [--crashes K] [--ckpt-ms MS] [--dir DIR] [--faults SPEC]
+               [--verify POLICY] [--retries N]
 
 `run` simulates the workflow on the paper's Table 2 machines while the DFL
 monitor records lifecycle measurements (written as JSON, default
@@ -66,6 +69,18 @@ measurements.json). The analysis commands consume that JSON.
 bandwidth from 1s to 3s). Failed attempts are retried with exponential
 backoff (--retries, default 3 attempts) after lineage-based recovery of
 any lost intermediate files; the run then prints a failure report.
+
+Silent-corruption faults flip bits without failing the I/O:
+  --faults 'seed=42,corrupt=write@0.001,corrupt=file@mid.dat' --verify on-read
+(0.1% of writes corrupt the stored replica; the first version of mid.dat
+is corrupted outright). --verify turns on checksum checking: 'on-read'
+checks every read, 'on-transfer' checks staging copies, 'sample:N'
+checks every Nth read per task, 'off' (the default) detects nothing —
+corrupt bytes silently taint downstream outputs. A detected corruption
+quarantines the root file's whole forward cone (every downstream file
+and task) and re-runs the minimal producer set; the failure report
+counts corruptions injected/detected, quarantined files/bytes, and
+verified volume, so verify-early vs verify-late is measurable.
 
 `profile` runs the workflow with the observability layer on and prints an
 ASCII timeline summary. --trace-out (default trace.json) writes a
@@ -128,6 +143,10 @@ fn select_workflow(args: &[String]) -> Result<(WorkflowSpec, RunConfig), String>
         Some(s) => Some(s.parse().map_err(|_| format!("bad --retries '{s}'"))?),
         None => None,
     };
+    let verify = match arg_value(args, "--verify") {
+        Some(s) => Some(parse_verify(&s)?),
+        None => None,
+    };
 
     let (spec, mut cfg) = match workflow.as_str() {
         "genomes" => {
@@ -175,7 +194,29 @@ fn select_workflow(args: &[String]) -> Result<(WorkflowSpec, RunConfig), String>
     if let Some(n) = retries {
         cfg.retry.max_attempts = n.max(1);
     }
+    if let Some(v) = verify {
+        cfg.verify = v;
+    }
     Ok((spec, cfg))
+}
+
+fn parse_verify(s: &str) -> Result<VerifyPolicy, String> {
+    match s {
+        "off" => Ok(VerifyPolicy::Off),
+        "on-read" => Ok(VerifyPolicy::OnRead),
+        "on-transfer" => Ok(VerifyPolicy::OnTransfer),
+        other => match other.strip_prefix("sample:") {
+            Some(n) => {
+                let n: u32 =
+                    n.parse().map_err(|_| format!("bad --verify sample count '{n}'"))?;
+                if n == 0 {
+                    return Err("--verify sample:N needs N >= 1".into());
+                }
+                Ok(VerifyPolicy::Sample(n))
+            }
+            None => Err(format!("bad --verify '{other}' (off|on-read|on-transfer|sample:N)")),
+        },
+    }
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
@@ -189,7 +230,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
     let result = run_workflow(&spec, &cfg).map_err(|e| e.to_string())?;
     println!("{}", result.stage_summary());
-    if faults_on {
+    if faults_on || !result.failure.is_clean() {
         println!("{}", result.failure);
     }
     let json = result.measurements.to_json().map_err(|e| e.to_string())?;
@@ -257,6 +298,14 @@ fn render_dashboard(workflow: &str, w: &WindowSummary, recent_diags: &[String]) 
         w.failed_attempts,
         w.crashes
     );
+    if w.wasted_bytes > 0 || w.recovery_bytes > 0 || w.quarantined_files > 0 {
+        println!(
+            "integrity  wasted {:.1} MiB   recovery {:.1} MiB   quarantined {} file(s)",
+            w.wasted_bytes as f64 / (1 << 20) as f64,
+            w.recovery_bytes as f64 / (1 << 20) as f64,
+            w.quarantined_files
+        );
+    }
     match &w.head {
         Some(h) => println!(
             "critical path  {} '{}'  cost {:.3e}  ({} vertices)",

@@ -56,6 +56,10 @@ pub enum SimError {
     /// machine's invariants were broken, e.g. by a hand-edited snapshot
     /// (previously a panic path).
     CorruptState(&'static str),
+    /// Verification detected corrupt data that recovery cannot repair:
+    /// the tainted file has no producer task to re-run (an external input
+    /// was corrupted, or lineage was exhausted).
+    IntegrityViolation { file: String },
 }
 
 impl fmt::Display for SimError {
@@ -86,6 +90,9 @@ impl fmt::Display for SimError {
             }
             SimError::Snapshot(msg) => write!(f, "snapshot restore failed: {msg}"),
             SimError::CorruptState(what) => write!(f, "corrupt simulator state: {what}"),
+            SimError::IntegrityViolation { file } => {
+                write!(f, "integrity violation: {file} corrupt with no producer to re-run")
+            }
         }
     }
 }

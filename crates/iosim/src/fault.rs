@@ -90,6 +90,20 @@ pub struct FaultPlan {
     /// Probability that any single I/O operation (read, write, stage) fails
     /// with a transient error, decided per `(seed, job, op index)`.
     pub io_error_prob: f64,
+    /// Probability that a write silently flips bits in the replica it lands
+    /// on (silent data corruption at rest), decided per `(seed, job, op)`
+    /// with a write-specific salt so it never correlates with `io_op_fails`.
+    pub corrupt_write_prob: f64,
+    /// Probability that a read returns flipped bits without the stored
+    /// replica being corrupt (in-flight corruption; a retry re-reads clean).
+    pub corrupt_read_prob: f64,
+    /// Probability that a stage/transfer corrupts the *destination* replica
+    /// while the source stays clean — replica divergence.
+    pub corrupt_transfer_prob: f64,
+    /// Targeted corruption: the first version written to each listed path
+    /// is silently corrupted (recovery re-writes bump the version and are
+    /// clean), giving tests an exact, schedule-independent injection point.
+    pub corrupt_files: Vec<String>,
     /// Coordinator-level chaos (kills the run, not a node). Excluded from
     /// checkpoint snapshots and config hashes so a resumed run compares
     /// byte-identical to the uninterrupted golden run.
@@ -110,6 +124,10 @@ impl FaultPlan {
             crashes: Vec::new(),
             degradations: Vec::new(),
             io_error_prob: 0.0,
+            corrupt_write_prob: 0.0,
+            corrupt_read_prob: 0.0,
+            corrupt_transfer_prob: 0.0,
+            corrupt_files: Vec::new(),
             chaos: None,
         }
     }
@@ -119,7 +137,18 @@ impl FaultPlan {
         self.crashes.is_empty()
             && self.degradations.is_empty()
             && self.io_error_prob <= 0.0
+            && !self.has_corruption()
             && self.chaos.is_none()
+    }
+
+    /// True when any silent-corruption kind can fire — used (with the
+    /// verify policy) to gate the integrity machinery so corruption-free
+    /// runs stay byte-identical to pre-integrity builds.
+    pub fn has_corruption(&self) -> bool {
+        self.corrupt_write_prob > 0.0
+            || self.corrupt_read_prob > 0.0
+            || self.corrupt_transfer_prob > 0.0
+            || !self.corrupt_files.is_empty()
     }
 
     pub fn seeded(seed: u64) -> Self {
@@ -148,6 +177,34 @@ impl FaultPlan {
         self
     }
 
+    /// Silent bit-flips on writes with probability `prob` per write op.
+    pub fn corrupt_writes(mut self, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "corruption probability in [0,1]");
+        self.corrupt_write_prob = prob;
+        self
+    }
+
+    /// In-flight bit-flips on reads with probability `prob` per read op.
+    pub fn corrupt_reads(mut self, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "corruption probability in [0,1]");
+        self.corrupt_read_prob = prob;
+        self
+    }
+
+    /// Destination-replica corruption on stages with probability `prob` per
+    /// stage op (replica divergence: source stays clean).
+    pub fn corrupt_transfers(mut self, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "corruption probability in [0,1]");
+        self.corrupt_transfer_prob = prob;
+        self
+    }
+
+    /// Targets `path`: its first written version is silently corrupted.
+    pub fn corrupt_file(mut self, path: &str) -> Self {
+        self.corrupt_files.push(path.to_owned());
+        self
+    }
+
     /// Kills the coordinator just before its `at_event`-th dispatch.
     pub fn chaos_crash(mut self, at_event: u64) -> Self {
         self.chaos = Some(ChaosKind::CoordinatorCrash { at_event });
@@ -169,6 +226,39 @@ impl FaultPlan {
         unit_hash(self.seed, u64::from(job), op) < self.io_error_prob
     }
 
+    /// Whether `job`'s `op`-th I/O operation (a write) silently corrupts the
+    /// replica it writes. Same pure `(seed, job, op)` scheme as
+    /// [`io_op_fails`](Self::io_op_fails) with a kind-specific salt, and the
+    /// same op index the error check consumed — corruption plans never
+    /// perturb the transient-error stream or the op counting.
+    pub fn write_corrupts(&self, job: u32, op: u64) -> bool {
+        self.corrupt_write_prob > 0.0
+            && unit_hash(self.seed ^ 0x1b17_f11b_0000_c0de, u64::from(job), op)
+                < self.corrupt_write_prob
+    }
+
+    /// Whether `job`'s `op`-th I/O operation (a read) sees in-flight flipped
+    /// bits (the stored replica stays clean).
+    pub fn read_corrupts(&self, job: u32, op: u64) -> bool {
+        self.corrupt_read_prob > 0.0
+            && unit_hash(self.seed ^ 0x2b17_f11b_0000_c0de, u64::from(job), op)
+                < self.corrupt_read_prob
+    }
+
+    /// Whether `job`'s `op`-th I/O operation (a stage) corrupts the
+    /// destination replica in flight (replica divergence).
+    pub fn transfer_corrupts(&self, job: u32, op: u64) -> bool {
+        self.corrupt_transfer_prob > 0.0
+            && unit_hash(self.seed ^ 0x3b17_f11b_0000_c0de, u64::from(job), op)
+                < self.corrupt_transfer_prob
+    }
+
+    /// Whether `path` is on the targeted-corruption list (its version-1
+    /// write is corrupted).
+    pub fn corrupts_file(&self, path: &str) -> bool {
+        self.corrupt_files.iter().any(|p| p == path)
+    }
+
     /// Parses the CLI mini-syntax: comma-separated `key=value` clauses.
     ///
     /// ```text
@@ -184,6 +274,12 @@ impl FaultPlan {
     ///   `nic:NODE`) to `FACTOR ×` capacity (default: outage) for `DUR`.
     /// * `chaos=crash@EVENT` — kill the coordinator just before dispatch
     ///   number `EVENT` (see [`ChaosKind::CoordinatorCrash`]).
+    /// * `corrupt=write@P` / `corrupt=read@P` / `corrupt=transfer@P` —
+    ///   silent-corruption probability per write / read / stage op.
+    /// * `corrupt=file@PATH` — corrupt the first version written to `PATH`.
+    ///
+    /// [`Display`](fmt::Display) emits the same syntax; `parse(plan.to_string())`
+    /// round-trips every plan (asserted by proptest).
     ///
     /// Errors carry the 1-based clause position (`clause N ('text'): …`),
     /// and plans with duplicate or overlapping down-windows for the same
@@ -289,13 +385,97 @@ impl FaultPlan {
                     event.parse().map_err(|_| format!("bad event index '{event}'"))?;
                 plan.chaos = Some(ChaosKind::CoordinatorCrash { at_event });
             }
+            "corrupt" => {
+                let (kind, arg) = value
+                    .split_once('@')
+                    .ok_or_else(|| format!("corrupt '{value}' is not KIND@ARG"))?;
+                if kind == "file" {
+                    if arg.is_empty() {
+                        return Err("corrupt=file@ needs a path".to_owned());
+                    }
+                    plan.corrupt_files.push(arg.to_owned());
+                    return Ok(());
+                }
+                let p: f64 =
+                    arg.parse().map_err(|_| format!("bad probability '{arg}'"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("corruption probability {p} outside [0,1]"));
+                }
+                match kind {
+                    "write" => plan.corrupt_write_prob = p,
+                    "read" => plan.corrupt_read_prob = p,
+                    "transfer" => plan.corrupt_transfer_prob = p,
+                    other => {
+                        return Err(format!(
+                            "unknown corrupt kind '{other}' (write/read/transfer/file)"
+                        ))
+                    }
+                }
+            }
             other => return Err(format!("unknown fault key '{other}'")),
         }
         Ok(())
     }
 }
 
+/// Renders a plan back into the [`parse`](FaultPlan::parse) mini-syntax.
+/// Times are emitted as exact `{n}ns` integers (not fractional seconds) so
+/// `parse(plan.to_string()) == plan` holds for every representable plan.
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut clauses: Vec<String> = Vec::new();
+        if self.seed != 0 {
+            clauses.push(format!("seed={}", self.seed));
+        }
+        for c in &self.crashes {
+            clauses.push(format!("crash={}@{}ns+{}ns", c.node, c.at_ns, c.down_ns));
+        }
+        for d in &self.degradations {
+            clauses.push(format!(
+                "degrade={}@{}ns+{}ns*{:?}",
+                d.target, d.at_ns, d.duration_ns, d.factor
+            ));
+        }
+        if self.io_error_prob > 0.0 {
+            clauses.push(format!("ioerr={:?}", self.io_error_prob));
+        }
+        if self.corrupt_write_prob > 0.0 {
+            clauses.push(format!("corrupt=write@{:?}", self.corrupt_write_prob));
+        }
+        if self.corrupt_read_prob > 0.0 {
+            clauses.push(format!("corrupt=read@{:?}", self.corrupt_read_prob));
+        }
+        if self.corrupt_transfer_prob > 0.0 {
+            clauses.push(format!("corrupt=transfer@{:?}", self.corrupt_transfer_prob));
+        }
+        for path in &self.corrupt_files {
+            clauses.push(format!("corrupt=file@{path}"));
+        }
+        if let Some(ChaosKind::CoordinatorCrash { at_event }) = self.chaos {
+            clauses.push(format!("chaos=crash@{at_event}"));
+        }
+        f.write_str(&clauses.join(","))
+    }
+}
+
+impl fmt::Display for DegradeTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradeTarget::Tier(t) => match t.node {
+                Some(n) => write!(f, "{}:{n}", t.kind.label()),
+                None => f.write_str(t.kind.label()),
+            },
+            DegradeTarget::Nic(n) => write!(f, "nic:{n}"),
+        }
+    }
+}
+
 fn parse_secs(text: &str) -> Result<u64, String> {
+    // Exact-nanosecond form first ("500000000ns"), used by Display so that
+    // u64 times survive the round-trip without passing through f64.
+    if let Some(ns) = text.strip_suffix("ns") {
+        return ns.parse().map_err(|_| format!("bad time '{text}'"));
+    }
     let text = text.strip_suffix('s').unwrap_or(text);
     let secs: f64 = text.parse().map_err(|_| format!("bad time '{text}'"))?;
     if secs.is_nan() || secs < 0.0 {
@@ -333,6 +513,11 @@ pub enum FailureCause {
     IoError { file: String },
     /// The job tried to access a file whose every replica was lost.
     LostFile { file: String },
+    /// Verification caught corrupt data in `file`. `root` names the stored
+    /// file whose corruption propagated here (the taint root — what lineage
+    /// recovery must re-produce); `None` means an in-flight flip with no
+    /// persistent root, where a plain retry re-reads clean data.
+    CorruptData { file: String, root: Option<String> },
 }
 
 impl fmt::Display for FailureCause {
@@ -341,6 +526,15 @@ impl fmt::Display for FailureCause {
             FailureCause::NodeCrash { node } => write!(f, "node {node} crashed"),
             FailureCause::IoError { file } => write!(f, "transient I/O error on {file}"),
             FailureCause::LostFile { file } => write!(f, "all replicas of {file} lost"),
+            FailureCause::CorruptData { file, root } => {
+                write!(f, "corrupt data detected in {file}")?;
+                if let Some(root) = root {
+                    if root != file {
+                        write!(f, " (root {root})")?;
+                    }
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -390,6 +584,17 @@ pub struct FailureReport {
     pub total_bytes: u64,
     /// Simulated end time of the run.
     pub final_time_ns: u64,
+    /// Silent corruptions injected into stored replicas or in-flight data.
+    pub corruptions_injected: u32,
+    /// Corruptions caught by verification (on read, transfer, or sample).
+    pub corruptions_detected: u32,
+    /// File versions quarantined by taint-cone recovery.
+    pub quarantined_files: u32,
+    /// Bytes of quarantined file versions (the blast radius of late
+    /// detection — what "verify late" cost beyond the re-execution itself).
+    pub quarantined_bytes: u64,
+    /// Bytes whose digests were checked (the "verify early" overhead side).
+    pub verified_bytes: u64,
 }
 
 impl FailureReport {
@@ -403,7 +608,10 @@ impl FailureReport {
 
     /// True when no fault fired.
     pub fn is_clean(&self) -> bool {
-        self.crashes == 0 && self.transient_io_errors == 0 && self.failed_attempts == 0
+        self.crashes == 0
+            && self.transient_io_errors == 0
+            && self.failed_attempts == 0
+            && self.corruptions_injected == 0
     }
 }
 
@@ -435,6 +643,28 @@ impl fmt::Display for FailureReport {
             self.recovery_ns as f64 / 1e9,
             self.recovery_bytes as f64 / MB
         )?;
+        if self.corruptions_injected > 0 || self.corruptions_detected > 0 {
+            writeln!(
+                f,
+                "  corruption        {:>8} injected, {} detected",
+                self.corruptions_injected, self.corruptions_detected
+            )?;
+        }
+        if self.quarantined_files > 0 {
+            writeln!(
+                f,
+                "  quarantined       {:>8} files, {:.1} MiB",
+                self.quarantined_files,
+                self.quarantined_bytes as f64 / MB
+            )?;
+        }
+        if self.verified_bytes > 0 {
+            writeln!(
+                f,
+                "  verified          {:>8.1} MiB",
+                self.verified_bytes as f64 / MB
+            )?;
+        }
         let total = self.total_bytes.max(1) as f64;
         writeln!(
             f,
@@ -468,6 +698,8 @@ pub fn unit_hash(seed: u64, a: u64, b: u64) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    use proptest::prelude::*;
+
     use super::*;
 
     #[test]
@@ -590,5 +822,133 @@ mod tests {
         assert_eq!(r.goodput_bytes(), 50);
         assert!(r.is_clean());
         assert!(r.to_string().contains("goodput"));
+    }
+
+    #[test]
+    fn parse_corrupt_clauses() {
+        let p = FaultPlan::parse(
+            "seed=5,corrupt=write@0.1,corrupt=read@0.2,corrupt=transfer@0.3,\
+             corrupt=file@out/a.dat",
+        )
+        .unwrap();
+        assert_eq!(p.corrupt_write_prob, 0.1);
+        assert_eq!(p.corrupt_read_prob, 0.2);
+        assert_eq!(p.corrupt_transfer_prob, 0.3);
+        assert_eq!(p.corrupt_files, vec!["out/a.dat".to_owned()]);
+        assert!(p.has_corruption());
+        assert!(!p.is_none(), "corruption counts as a fault");
+        assert!(FaultPlan::parse("corrupt=write@1.5").is_err());
+        assert!(FaultPlan::parse("corrupt=bitrot@0.1").is_err());
+        assert!(FaultPlan::parse("corrupt=file@").is_err());
+        assert!(FaultPlan::parse("corrupt=0.1").is_err());
+    }
+
+    #[test]
+    fn corruption_decisions_are_pure_and_kind_independent() {
+        let p = FaultPlan::seeded(11)
+            .io_errors(0.3)
+            .corrupt_writes(0.3)
+            .corrupt_reads(0.3)
+            .corrupt_transfers(0.3);
+        let w: Vec<bool> = (0..128).map(|op| p.write_corrupts(2, op)).collect();
+        let w2: Vec<bool> = (0..128).map(|op| p.write_corrupts(2, op)).collect();
+        assert_eq!(w, w2, "pure function of inputs");
+        let r: Vec<bool> = (0..128).map(|op| p.read_corrupts(2, op)).collect();
+        let t: Vec<bool> = (0..128).map(|op| p.transfer_corrupts(2, op)).collect();
+        let e: Vec<bool> = (0..128).map(|op| p.io_op_fails(2, op)).collect();
+        assert_ne!(w, r, "distinct salts per kind");
+        assert_ne!(w, t);
+        assert_ne!(w, e, "corruption stream never correlates with io errors");
+        // And the error stream is untouched by enabling corruption.
+        let base = FaultPlan::seeded(11).io_errors(0.3);
+        let e2: Vec<bool> = (0..128).map(|op| base.io_op_fails(2, op)).collect();
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn display_round_trips_handwritten_plans() {
+        for text in [
+            "",
+            "seed=42,crash=0@500000000ns+1000000000ns,ioerr=0.001",
+            "seed=7,corrupt=write@0.25,corrupt=file@a.dat,chaos=crash@99",
+            "degrade=nfs@1000000000ns+2000000000ns*0.1",
+            "degrade=nic:1@0ns+1000000000ns*1e-6,corrupt=transfer@1.0",
+            "crash=3@1ns+18446744073709551615ns",
+        ] {
+            let plan = FaultPlan::parse(text).unwrap();
+            let shown = plan.to_string();
+            let reparsed = FaultPlan::parse(&shown).unwrap();
+            assert_eq!(plan, reparsed, "'{text}' -> '{shown}'");
+        }
+        assert_eq!(FaultPlan::none().to_string(), "");
+    }
+
+    fn tier_target(pick: u8, node: u32) -> DegradeTarget {
+        let shared = [TierKind::Nfs, TierKind::Beegfs, TierKind::Lustre, TierKind::Wan];
+        let local = [TierKind::Ssd, TierKind::Ramdisk];
+        match pick % 7 {
+            6 => DegradeTarget::Nic(node),
+            4 | 5 => {
+                DegradeTarget::Tier(TierRef::node(local[usize::from(pick) % 2], node))
+            }
+            k => DegradeTarget::Tier(TierRef::shared(shared[usize::from(k) % 4])),
+        }
+    }
+
+    /// Maps a generated parts-per-million count to a probability that
+    /// survives `{:?}` → `parse` exactly (f64 Debug output round-trips).
+    fn ppm(n: u32) -> f64 {
+        f64::from(n) / 1e6
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn display_parse_round_trip(
+            seed in any::<u64>(),
+            crashes in prop::collection::vec(
+                (0u64..1 << 62, 1u64..1 << 62), 0..4),
+            degrades in prop::collection::vec(
+                (any::<u8>(), 0u32..8, 0u64..1 << 62, 1u64..1 << 62,
+                 1u32..1_000_000), 0..4),
+            // 0 = kind disabled; ioerr stays < 1.0, corruption may hit 1.0.
+            ioerr_ppm in 0u32..1_000_000,
+            cw_ppm in 0u32..1_000_001,
+            cr_ppm in 0u32..1_000_001,
+            ct_ppm in 0u32..1_000_001,
+            files in prop::collection::vec((0u32..8, 0u32..100), 0..3),
+            chaos in prop_oneof![
+                Just(None::<u64>),
+                (0u64..1 << 62).prop_map(Some)],
+        ) {
+            let mut plan = FaultPlan::seeded(seed);
+            // Distinct nodes per crash so the overlap check can't reject.
+            for (i, (at, down)) in crashes.into_iter().enumerate() {
+                plan = plan.crash(i as u32, at, down);
+            }
+            for (pick, node, at, dur, factor_ppm) in degrades {
+                plan = plan.degrade(Degradation {
+                    target: tier_target(pick, node),
+                    at_ns: at,
+                    duration_ns: dur,
+                    factor: ppm(factor_ppm),
+                });
+            }
+            plan.io_error_prob = ppm(ioerr_ppm);
+            plan.corrupt_write_prob = ppm(cw_ppm);
+            plan.corrupt_read_prob = ppm(cr_ppm);
+            plan.corrupt_transfer_prob = ppm(ct_ppm);
+            plan.corrupt_files =
+                files.iter().map(|(d, n)| format!("dir{d}/f{n}.dat")).collect();
+            if let Some(at_event) = chaos {
+                plan = plan.chaos_crash(at_event);
+            }
+            let shown = plan.to_string();
+            match FaultPlan::parse(&shown) {
+                Ok(reparsed) => prop_assert_eq!(&plan, &reparsed, "via '{}'", shown),
+                Err(e) => panic!("'{shown}' failed to reparse: {e}"),
+            }
+        }
     }
 }

@@ -19,6 +19,56 @@ pub struct FileMeta {
     /// Tier instances holding a full copy. The first entry is the original
     /// placement; staging appends replicas.
     pub replicas: Vec<TierRef>,
+    /// Content version: 1 for the first write/external creation, bumped by
+    /// every [`SimFs::create_for_write`] truncation (so a recovery re-write
+    /// is a distinct version with a distinct digest).
+    pub version: u32,
+    /// Deterministic content digest of this version — a seeded 64-bit mix
+    /// of `(path, version, size)`, recomputed as writes grow the file. A
+    /// corrupt replica is one whose (simulated) content no longer matches
+    /// this digest.
+    pub digest: u64,
+    /// Per-replica taint, parallel to `replicas`: `None` = digest matches,
+    /// `Some(root)` = silently corrupted, with `root` naming the stored
+    /// file whose corruption originally propagated here (itself, for a
+    /// direct injection).
+    pub corrupt: Vec<Option<FileIdx>>,
+    /// Set when this file was quarantined; the next verified read of a
+    /// clean re-produced version clears it (and emits a reverify instant).
+    pub pending_reverify: bool,
+}
+
+impl FileMeta {
+    fn fresh(path: &str, size: u64, tier: TierRef) -> Self {
+        FileMeta {
+            path: path.to_owned(),
+            size,
+            replicas: vec![tier],
+            version: 1,
+            digest: content_digest(path, 1, size),
+            corrupt: vec![None],
+            pending_reverify: false,
+        }
+    }
+}
+
+/// The deterministic per-version digest: a pure splitmix64 chain over the
+/// FNV-hashed path, the version, and the size. No external crates; stable
+/// across platforms and runs so snapshots can carry digests verbatim.
+pub fn content_digest(path: &str, version: u32, size: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    let mut s = h ^ (u64::from(version) << 32) ^ size.rotate_left(17);
+    for _ in 0..2 {
+        s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        s = (s ^ (s >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        s = (s ^ (s >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        s ^= s >> 31;
+    }
+    s
 }
 
 /// What a node crash destroyed (see [`SimFs::fail_node`]).
@@ -50,18 +100,16 @@ impl SimFs {
             Some(&idx) => {
                 let f = &mut self.files[idx.0 as usize];
                 f.size = size;
+                f.digest = content_digest(&f.path, f.version, f.size);
                 if !f.replicas.contains(&tier) {
                     f.replicas.push(tier);
+                    f.corrupt.push(None);
                 }
                 idx
             }
             None => {
                 let idx = FileIdx(self.files.len() as u32);
-                self.files.push(FileMeta {
-                    path: path.to_owned(),
-                    size,
-                    replicas: vec![tier],
-                });
+                self.files.push(FileMeta::fresh(path, size, tier));
                 self.by_path.insert(path.to_owned(), idx);
                 idx
             }
@@ -69,17 +117,27 @@ impl SimFs {
     }
 
     /// Creates (or truncates) a file being written by a task on `tier`.
+    /// Truncating away existing content bumps the version: a recovery
+    /// re-write produces a clean new version even if the previous one was
+    /// corrupt. Re-placing a still-empty file (an open-for-write followed
+    /// by the first write's tier choice) keeps its version — there was no
+    /// content to invalidate.
     pub fn create_for_write(&mut self, path: &str, tier: TierRef) -> FileIdx {
         match self.by_path.get(path) {
             Some(&idx) => {
                 let f = &mut self.files[idx.0 as usize];
+                if f.size > 0 {
+                    f.version += 1;
+                }
                 f.size = 0;
                 f.replicas = vec![tier];
+                f.digest = content_digest(&f.path, f.version, f.size);
+                f.corrupt = vec![None];
                 idx
             }
             None => {
                 let idx = FileIdx(self.files.len() as u32);
-                self.files.push(FileMeta { path: path.to_owned(), size: 0, replicas: vec![tier] });
+                self.files.push(FileMeta::fresh(path, 0, tier));
                 self.by_path.insert(path.to_owned(), idx);
                 idx
             }
@@ -98,6 +156,7 @@ impl SimFs {
     pub fn grow(&mut self, idx: FileIdx, bytes: u64) -> u64 {
         let f = &mut self.files[idx.0 as usize];
         f.size += bytes;
+        f.digest = content_digest(&f.path, f.version, f.size);
         f.size
     }
 
@@ -106,7 +165,53 @@ impl SimFs {
         let f = &mut self.files[idx.0 as usize];
         if !f.replicas.contains(&tier) {
             f.replicas.push(tier);
+            f.corrupt.push(None);
         }
+    }
+
+    /// Marks the replica of `idx` on `tier` as silently corrupted, tainted
+    /// by `root` (the stored file whose corruption propagated here; pass
+    /// `idx` itself for a direct injection). No-op if the replica is gone.
+    pub fn mark_corrupt(&mut self, idx: FileIdx, tier: TierRef, root: FileIdx) {
+        let f = &mut self.files[idx.0 as usize];
+        if let Some(pos) = f.replicas.iter().position(|r| *r == tier) {
+            f.corrupt[pos] = Some(root);
+        }
+    }
+
+    /// The taint root of the replica of `idx` on `tier`, if that replica is
+    /// corrupt (`None` = clean or no such replica).
+    pub fn replica_corrupt(&self, idx: FileIdx, tier: TierRef) -> Option<FileIdx> {
+        let f = &self.files[idx.0 as usize];
+        f.replicas
+            .iter()
+            .position(|r| *r == tier)
+            .and_then(|pos| f.corrupt[pos])
+    }
+
+    /// Whether any surviving replica of `idx` is corrupt.
+    pub fn any_corrupt(&self, idx: FileIdx) -> bool {
+        self.files[idx.0 as usize].corrupt.iter().any(Option::is_some)
+    }
+
+    /// Quarantines `idx`: every replica (clean ones included — the digest
+    /// no longer certifies any of them once the version is tainted) is
+    /// dropped, leaving the file lost until a producer re-creates it, and
+    /// `pending_reverify` is set so the re-produced version's first
+    /// verified read is observable. Returns the quarantined bytes (size ×
+    /// replicas dropped).
+    pub fn quarantine(&mut self, idx: FileIdx) -> u64 {
+        let f = &mut self.files[idx.0 as usize];
+        let bytes = f.size * f.replicas.len() as u64;
+        f.replicas.clear();
+        f.corrupt.clear();
+        f.pending_reverify = true;
+        bytes
+    }
+
+    /// Clears `pending_reverify`; true if it was set.
+    pub fn clear_reverify(&mut self, idx: FileIdx) -> bool {
+        std::mem::take(&mut self.files[idx.0 as usize].pending_reverify)
     }
 
     /// The most attractive replica for a reader on `node` (lowest
@@ -136,7 +241,16 @@ impl SimFs {
         let mut loss = NodeLoss::default();
         for (i, f) in self.files.iter_mut().enumerate() {
             let before = f.replicas.len();
-            f.replicas.retain(|r| r.node != Some(node));
+            // Drop replicas and their taint marks in lockstep.
+            let mut pos = 0;
+            while pos < f.replicas.len() {
+                if f.replicas[pos].node == Some(node) {
+                    f.replicas.remove(pos);
+                    f.corrupt.remove(pos);
+                } else {
+                    pos += 1;
+                }
+            }
             let dropped = before - f.replicas.len();
             if dropped > 0 {
                 loss.replicas_lost += dropped as u32;
@@ -268,5 +382,93 @@ mod tests {
         let a = fs.create_external("a", 10, t);
         fs.add_replica(a, t);
         assert_eq!(fs.meta(a).replicas.len(), 1);
+        assert_eq!(fs.meta(a).corrupt.len(), 1);
+    }
+
+    #[test]
+    fn digests_track_path_version_and_size() {
+        let mut fs = SimFs::new();
+        let t = TierRef::shared(TierKind::Nfs);
+        let a = fs.create_for_write("a", t);
+        let d0 = fs.meta(a).digest;
+        fs.grow(a, 100);
+        let d1 = fs.meta(a).digest;
+        assert_ne!(d0, d1, "growth changes the digest");
+        assert_eq!(fs.meta(a).version, 1);
+        fs.create_for_write("a", t);
+        assert_eq!(fs.meta(a).version, 2, "truncation bumps the version");
+        fs.grow(a, 100);
+        assert_ne!(fs.meta(a).digest, d1, "same size, new version, new digest");
+        // The digest is a pure function: replaying the history reproduces it.
+        assert_eq!(fs.meta(a).digest, content_digest("a", 2, 100));
+        let b = fs.create_for_write("b", t);
+        fs.grow(b, 100);
+        assert_ne!(fs.meta(b).digest, fs.meta(a).digest, "path-dependent");
+    }
+
+    #[test]
+    fn corruption_marks_are_per_replica() {
+        let mut fs = SimFs::new();
+        let nfs = TierRef::shared(TierKind::Nfs);
+        let ssd = TierRef::node(TierKind::Ssd, 0);
+        let a = fs.create_external("a", 10, nfs);
+        fs.add_replica(a, ssd);
+        assert!(!fs.any_corrupt(a));
+        fs.mark_corrupt(a, ssd, a);
+        assert_eq!(fs.replica_corrupt(a, ssd), Some(a));
+        assert_eq!(fs.replica_corrupt(a, nfs), None, "source replica stays clean");
+        assert!(fs.any_corrupt(a));
+        // Truncating for a re-write clears taint with the old version.
+        fs.create_for_write("a", ssd);
+        assert!(!fs.any_corrupt(a));
+        assert_eq!(fs.replica_corrupt(a, ssd), None);
+    }
+
+    #[test]
+    fn fail_node_keeps_corruption_in_lockstep() {
+        let mut fs = SimFs::new();
+        let nfs = TierRef::shared(TierKind::Nfs);
+        let shm0 = TierRef::node(TierKind::Ramdisk, 0);
+        let ssd1 = TierRef::node(TierKind::Ssd, 1);
+        let a = fs.create_external("a", 10, shm0);
+        fs.add_replica(a, nfs);
+        fs.add_replica(a, ssd1);
+        fs.mark_corrupt(a, ssd1, a);
+        fs.fail_node(0);
+        assert_eq!(fs.meta(a).replicas, vec![nfs, ssd1]);
+        assert_eq!(fs.replica_corrupt(a, nfs), None);
+        assert_eq!(fs.replica_corrupt(a, ssd1), Some(a), "taint follows its replica");
+    }
+
+    #[test]
+    fn quarantine_drops_all_replicas_and_sets_reverify() {
+        let mut fs = SimFs::new();
+        let nfs = TierRef::shared(TierKind::Nfs);
+        let ssd = TierRef::node(TierKind::Ssd, 0);
+        let a = fs.create_external("a", 10, nfs);
+        fs.add_replica(a, ssd);
+        fs.mark_corrupt(a, ssd, a);
+        assert_eq!(fs.quarantine(a), 20, "both replicas quarantined");
+        assert!(fs.is_lost(a));
+        assert!(!fs.any_corrupt(a));
+        assert!(fs.meta(a).pending_reverify);
+        assert!(fs.clear_reverify(a));
+        assert!(!fs.clear_reverify(a), "one-shot");
+    }
+
+    #[test]
+    fn snapshot_round_trips_integrity_state() {
+        let mut fs = SimFs::new();
+        let nfs = TierRef::shared(TierKind::Nfs);
+        let ssd = TierRef::node(TierKind::Ssd, 0);
+        let a = fs.create_external("a", 10, nfs);
+        fs.add_replica(a, ssd);
+        fs.mark_corrupt(a, ssd, a);
+        let b = fs.create_for_write("b", ssd);
+        fs.quarantine(b);
+        let restored = SimFs::from_snapshot(fs.snapshot());
+        assert_eq!(restored.replica_corrupt(a, ssd), Some(a));
+        assert_eq!(restored.meta(a).digest, fs.meta(a).digest);
+        assert!(restored.meta(b).pending_reverify);
     }
 }

@@ -53,6 +53,12 @@ pub struct SimObs {
     c_crashes: CounterId,
     c_checkpoint_bytes: CounterId,
     c_checkpoint_stalls: CounterId,
+    /// Integrity counters, registered only when the run has verification or
+    /// corruption faults configured — a run without either records a metric
+    /// table byte-identical to builds predating the integrity machinery.
+    c_corruptions_injected: Option<CounterId>,
+    c_corruptions_detected: Option<CounterId>,
+    c_quarantined_bytes: Option<CounterId>,
     h_flow_ms: HistogramId,
     h_queue_wait_ms: HistogramId,
 }
@@ -76,8 +82,10 @@ impl SimObs {
     /// Builds the track layout for a cluster with `node_count` nodes and the
     /// (already fully populated) flow network `net`. Track order is nodes,
     /// then resources in registration order, then stage and fault tracks —
-    /// deterministic because both inputs are.
-    pub fn new(cfg: &ObsConfig, node_count: usize, net: &FlowNet) -> Self {
+    /// deterministic because both inputs are. `integrity` declares whether
+    /// the run can inject or verify corruption: the corruption counters are
+    /// registered only then, keeping integrity-free timelines unchanged.
+    pub fn new(cfg: &ObsConfig, node_count: usize, net: &FlowNet, integrity: bool) -> Self {
         let mut rec = Recorder::new(cfg.max_events);
         let node_tracks = (0..node_count)
             .map(|n| rec.add_track(format!("node:{n}"), TrackKind::Node))
@@ -108,6 +116,11 @@ impl SimObs {
         let c_crashes = rec.metrics.counter("node_crashes");
         let c_checkpoint_bytes = rec.metrics.counter("checkpoint_bytes");
         let c_checkpoint_stalls = rec.metrics.counter("checkpoint_stalls");
+        let c_corruptions_injected =
+            integrity.then(|| rec.metrics.counter("corruptions_injected"));
+        let c_corruptions_detected =
+            integrity.then(|| rec.metrics.counter("corruptions_detected"));
+        let c_quarantined_bytes = integrity.then(|| rec.metrics.counter("quarantined_bytes"));
         // Bucket bounds in ms, log-ish steps from sub-ms to minutes.
         const MS_BOUNDS: [f64; 8] = [0.1, 1.0, 10.0, 100.0, 1_000.0, 10_000.0, 60_000.0, 600_000.0];
         let h_flow_ms = rec.metrics.histogram("flow_duration_ms", &MS_BOUNDS);
@@ -135,6 +148,9 @@ impl SimObs {
             c_crashes,
             c_checkpoint_bytes,
             c_checkpoint_stalls,
+            c_corruptions_injected,
+            c_corruptions_detected,
+            c_quarantined_bytes,
             h_flow_ms,
             h_queue_wait_ms,
         }
@@ -358,6 +374,54 @@ impl SimObs {
         if let Some(wd) = self.watchdog.as_mut() {
             wd.tick(t_ns, &mut self.rec);
         }
+    }
+
+    /// A silent corruption landed in data job `j` wrote or transferred.
+    pub fn corruption_injected(&mut self, j: u32, file: &str, t_ns: u64) {
+        self.rec.instant(
+            self.fault_track,
+            t_ns,
+            InstantKind::CorruptionInjected,
+            file,
+            u64::from(j),
+        );
+        if let Some(c) = self.c_corruptions_injected {
+            self.rec.metrics.inc(c, 1);
+        }
+    }
+
+    /// Verification caught corrupt data in `file` during job `j`'s I/O.
+    pub fn corruption_detected(&mut self, j: u32, file: &str, t_ns: u64) {
+        self.rec.instant(
+            self.fault_track,
+            t_ns,
+            InstantKind::CorruptionDetected,
+            file,
+            u64::from(j),
+        );
+        if let Some(c) = self.c_corruptions_detected {
+            self.rec.metrics.inc(c, 1);
+        }
+        if let Some(wd) = self.watchdog.as_mut() {
+            wd.corruption_detected(t_ns, &mut self.rec);
+        }
+    }
+
+    /// Taint-cone recovery quarantined every replica of `file`.
+    pub fn quarantined(&mut self, file: &str, bytes: u64, t_ns: u64) {
+        self.rec.instant(self.fault_track, t_ns, InstantKind::Quarantine, file, bytes);
+        if let Some(c) = self.c_quarantined_bytes {
+            self.rec.metrics.inc(c, bytes);
+        }
+        if let Some(wd) = self.watchdog.as_mut() {
+            wd.tick(t_ns, &mut self.rec);
+        }
+    }
+
+    /// A previously quarantined file passed its first verified read after
+    /// recovery re-produced it.
+    pub fn reverified(&mut self, file: &str, t_ns: u64) {
+        self.rec.instant(self.fault_track, t_ns, InstantKind::Reverify, file, 0);
     }
 
     /// A checkpoint manifest of `bytes` serialized bytes was written at

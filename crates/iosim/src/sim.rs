@@ -149,6 +149,26 @@ pub enum CacheOrigins {
     All,
 }
 
+/// When reads and transfers check content digests against the filesystem's
+/// recorded values. Verification is not free: it costs extra simulated
+/// latency proportional to the bytes checked (modeling a checksum pass at
+/// ~4 bytes/ns), so "verify everything" vs "verify nothing and pay the
+/// taint cone on detection" is a measurable trade-off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum VerifyPolicy {
+    /// No verification: corruption propagates silently until an external
+    /// check (or nothing) catches it.
+    #[default]
+    Off,
+    /// Every read verifies the replica it is served from.
+    OnRead,
+    /// Every staging transfer verifies the source replica before copying.
+    OnTransfer,
+    /// Every `n`-th read per job verifies (1 behaves like `OnRead`;
+    /// 0 disables, like `Off`). Models spot-checking.
+    Sample(u32),
+}
+
 /// Simulation-wide configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -166,6 +186,10 @@ pub struct SimConfig {
     /// ([`FaultPlan::none`]) injects nothing and leaves the trajectory
     /// byte-identical to a fault-free build.
     pub faults: FaultPlan,
+    /// Content-digest verification on reads/transfers. The default
+    /// ([`VerifyPolicy::Off`]) adds no latency and leaves the trajectory
+    /// byte-identical to builds without the integrity machinery.
+    pub verify: VerifyPolicy,
     /// Observability: record a sim-time timeline (spans, instants, samples)
     /// retrievable via [`Simulation::take_timeline`]. `None` (the default)
     /// disables recording entirely — the run pays one branch per potential
@@ -183,6 +207,7 @@ impl Default for SimConfig {
             cache_origins: CacheOrigins::default(),
             write_buffering: false,
             faults: FaultPlan::none(),
+            verify: VerifyPolicy::Off,
             obs: None,
         }
     }
@@ -252,6 +277,9 @@ pub struct PendingIo {
     pub started: SimTime,
     /// For staging: destination replica.
     pub stage_to: Option<TierRef>,
+    /// The written/staged replica lands corrupt, tainted by this root file
+    /// (decided up front so the outcome is schedule-independent).
+    pub corrupt: Option<FileIdx>,
     /// Flow descriptors awaiting launch (after the latency event).
     pub launch: Vec<(Vec<ResourceId>, f64, FlowTag)>,
 }
@@ -287,6 +315,11 @@ struct Job {
     io_ops: u64,
     /// Bytes this job has moved through the flow network.
     moved_bytes: f64,
+    /// This attempt read corrupt data without verifying it: everything it
+    /// writes from now on is tainted by this root file.
+    taint: Option<FileIdx>,
+    /// Reads issued by this job so far (drives [`VerifyPolicy::Sample`]).
+    reads_seen: u64,
 }
 
 /// An entry in the simulator's event log. Public only for snapshot
@@ -353,6 +386,11 @@ pub struct FaultStats {
     pub wasted_bytes: f64,
     pub recovery_bytes: f64,
     pub total_moved: f64,
+    pub corruptions_injected: u32,
+    pub corruptions_detected: u32,
+    pub quarantined_files: u32,
+    pub quarantined_bytes: u64,
+    pub verified_bytes: u64,
 }
 
 /// The simulator.
@@ -381,6 +419,7 @@ pub struct Simulation {
     ready: Vec<VecDeque<u32>>,
     finished: usize,
     faults: FaultPlan,
+    verify: VerifyPolicy,
     node_up: Vec<bool>,
     /// Original size of each active flow (for wasted-bytes accounting on
     /// cancellation).
@@ -472,12 +511,16 @@ impl Simulation {
         };
 
         let monitor = config.monitor.map(Monitor::new);
+        // Integrity machinery active? Gates the obs-layer corruption
+        // counters so runs without it record byte-identical timelines.
+        let integrity =
+            config.verify != VerifyPolicy::Off || config.faults.has_corruption();
         // The flow network is fully populated at this point, so the track
         // layout (nodes, then resources in registration order) is final.
         let obs = config
             .obs
             .as_ref()
-            .map(|c| Box::new(SimObs::new(c, cluster.node_count(), &net)));
+            .map(|c| Box::new(SimObs::new(c, cluster.node_count(), &net, integrity)));
         let free_cores = cluster.nodes.iter().map(|n| n.cores).collect();
         let ready = (0..cluster.node_count()).map(|_| VecDeque::new()).collect();
         let node_up = vec![true; cluster.node_count()];
@@ -501,6 +544,7 @@ impl Simulation {
             ready,
             finished: 0,
             faults: config.faults,
+            verify: config.verify,
             node_up,
             flow_bytes: HashMap::new(),
             pending_failures: Vec::new(),
@@ -619,6 +663,8 @@ impl Simulation {
             flows: Vec::new(),
             io_ops: 0,
             moved_bytes: 0.0,
+            taint: None,
+            reads_seen: 0,
         });
         self.push_event(SimTime(spec.submit_delay_ns), Event::Arrive(id));
         JobId(id)
@@ -683,6 +729,15 @@ impl Simulation {
     /// restored simulator is disarmed until the driver re-arms it.
     pub fn set_chaos(&mut self, chaos: Option<ChaosKind>) {
         self.chaos = chaos;
+    }
+
+    /// Whether failures raised since the last [`RunOutcome::Failures`]
+    /// return are still undelivered. [`Self::snapshot`] is illegal at such
+    /// a point — recovery actions (e.g. quarantining a running cone job)
+    /// can raise fresh failures mid-handling, and a checkpoint must wait
+    /// for the follow-up incident that delivers them.
+    pub fn has_pending_failures(&self) -> bool {
+        !self.pending_failures.is_empty()
     }
 
     /// Total dispatches so far (heap events + flow completions) — the
@@ -1268,10 +1323,58 @@ impl Simulation {
         let off = offset.unwrap_or_else(|| *self.jobs[j as usize].cursor.get(&idx).unwrap_or(&0));
         let off = off.min(size);
         let n = if len == 0 { size - off } else { len.min(size - off) };
+        let tier = self.fs.best_replica(idx, node);
+
+        // Integrity: decide up front (schedule-independently) whether this
+        // read observes corrupt data — stored on the serving replica, or
+        // flipped in flight — and whether this read verifies its digest.
+        let mut verify_ns = 0;
+        if self.verify != VerifyPolicy::Off || self.faults.has_corruption() {
+            let op = self.jobs[j as usize].io_ops - 1;
+            self.jobs[j as usize].reads_seen += 1;
+            let reads_seen = self.jobs[j as usize].reads_seen;
+            let verified = match self.verify {
+                VerifyPolicy::OnRead => true,
+                VerifyPolicy::Sample(k) if k > 0 => reads_seen % u64::from(k) == 0,
+                _ => false,
+            };
+            let stored_root = self.fs.replica_corrupt(idx, tier);
+            let flipped = self.faults.read_corrupts(j, op);
+            if stored_root.is_some() || flipped {
+                if verified {
+                    let root = stored_root.map(|r| self.fs.meta(r).path.clone());
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.corruption_detected(j, file, self.now.ns());
+                    }
+                    self.stats.corruptions_detected += 1;
+                    self.fail_job(
+                        j,
+                        FailureCause::CorruptData { file: file.to_owned(), root },
+                    );
+                    return;
+                }
+                // Silent: the job consumed bad bytes; everything it writes
+                // from here is tainted. A transient flip with no stored
+                // root conservatively roots the taint at this file.
+                let job = &mut self.jobs[j as usize];
+                if job.taint.is_none() {
+                    job.taint = stored_root.or(Some(idx));
+                }
+            } else if verified {
+                // Clean verified read: pay the checksum pass (~4 bytes/ns).
+                verify_ns = n / 4;
+                self.jobs[j as usize].breakdown.add(FlowTag::Metadata, verify_ns);
+                self.stats.verified_bytes += n;
+                if self.fs.clear_reverify(idx) {
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.reverified(file, self.now.ns());
+                    }
+                }
+            }
+        }
 
         self.ensure_fd(j, idx);
 
-        let tier = self.fs.best_replica(idx, node);
         let mut launch: Vec<(Vec<ResourceId>, f64, FlowTag)> = Vec::new();
         let mut latency = self.tier_spec(tier.kind).latency_ns;
 
@@ -1342,9 +1445,13 @@ impl Simulation {
             len: n,
             started: self.now,
             stage_to: None,
+            corrupt: None,
             launch,
         });
-        self.push_event(self.now.add_ns(latency), Event::IoLatencyDone(j));
+        self.push_event(
+            self.now.add_ns(latency.saturating_add(verify_ns)),
+            Event::IoLatencyDone(j),
+        );
     }
 
     fn do_write(&mut self, j: u32, file: &str, len: u64, tier: Option<TierRef>) {
@@ -1381,6 +1488,37 @@ impl Simulation {
         let dst = self.fs.meta(idx).replicas[0];
         let offset = self.fs.meta(idx).size;
 
+        // Integrity: does this write land corrupt? Either the writer
+        // already consumed bad bytes (taint propagation), or the fault
+        // plan silently flips this write. Decided here — not at flow
+        // completion — so the outcome is schedule-independent. Only a
+        // direct injection on a currently-clean replica counts as a new
+        // corruption (propagation rides the original root's count).
+        let corrupt = if self.faults.has_corruption() || self.jobs[j as usize].taint.is_some() {
+            let op = self.jobs[j as usize].io_ops - 1;
+            match self.jobs[j as usize].taint {
+                Some(root) => Some(root),
+                None => {
+                    let direct = self.faults.write_corrupts(j, op)
+                        || (self.faults.corrupts_file(file)
+                            && self.fs.meta(idx).version == 1);
+                    if direct {
+                        if self.fs.replica_corrupt(idx, dst).is_none() {
+                            self.stats.corruptions_injected += 1;
+                            if let Some(o) = self.obs.as_deref_mut() {
+                                o.corruption_injected(j, file, self.now.ns());
+                            }
+                        }
+                        Some(idx)
+                    } else {
+                        None
+                    }
+                }
+            }
+        } else {
+            None
+        };
+
         if self.write_buffering && len > 0 {
             // Buffered write: the task continues immediately; the drain runs
             // as a background flow accounted to the job.
@@ -1415,6 +1553,9 @@ impl Simulation {
                 );
             }
             self.fs.grow(idx, len);
+            if let Some(root) = corrupt {
+                self.fs.mark_corrupt(idx, dst, root);
+            }
             let job = &mut self.jobs[j as usize];
             if let (Some(ctx), Some(&fd)) = (&job.ctx, job.fds.get(&idx)) {
                 let _ = ctx.write_at(fd, offset, len, IoTiming::new(self.now.ns(), 0));
@@ -1442,6 +1583,7 @@ impl Simulation {
             len,
             started: self.now,
             stage_to: None,
+            corrupt,
             launch,
         });
         self.push_event(self.now.add_ns(latency), Event::IoLatencyDone(j));
@@ -1468,6 +1610,48 @@ impl Simulation {
             self.advance(j);
             return;
         }
+        // Integrity: a transfer either carries stored corruption from the
+        // source replica to the destination, or flips in flight (replica
+        // divergence: the destination lands corrupt while the source stays
+        // clean). `OnTransfer` checks the source digest before copying.
+        let mut verify_ns = 0;
+        let mut corrupt = None;
+        if self.verify != VerifyPolicy::Off || self.faults.has_corruption() {
+            let op = self.jobs[j as usize].io_ops - 1;
+            let stored_root = self.fs.replica_corrupt(idx, src);
+            let flipped = self.faults.transfer_corrupts(j, op);
+            if flipped && stored_root.is_none() {
+                self.stats.corruptions_injected += 1;
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.corruption_injected(j, file, self.now.ns());
+                }
+            }
+            if self.verify == VerifyPolicy::OnTransfer {
+                if stored_root.is_some() || flipped {
+                    let root = stored_root.map(|r| self.fs.meta(r).path.clone());
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.corruption_detected(j, file, self.now.ns());
+                    }
+                    self.stats.corruptions_detected += 1;
+                    self.fail_job(
+                        j,
+                        FailureCause::CorruptData { file: file.to_owned(), root },
+                    );
+                    return;
+                }
+                verify_ns = size / 4;
+                self.jobs[j as usize].breakdown.add(FlowTag::Metadata, verify_ns);
+                self.stats.verified_bytes += size;
+                if self.fs.clear_reverify(idx) {
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.reverified(file, self.now.ns());
+                    }
+                }
+            } else {
+                corrupt = stored_root.or(if flipped { Some(idx) } else { None });
+            }
+        }
+
         let mut path = self.read_path(src, node);
         for r in self.read_path(to, node) {
             if !path.contains(&r) {
@@ -1477,7 +1661,8 @@ impl Simulation {
         let latency = self
             .tier_spec(src.kind)
             .latency_ns
-            .max(self.tier_spec(to.kind).latency_ns);
+            .max(self.tier_spec(to.kind).latency_ns)
+            .saturating_add(verify_ns);
 
         let job = &mut self.jobs[j as usize];
         job.io = Some(PendingIo {
@@ -1487,6 +1672,7 @@ impl Simulation {
             len: size,
             started: self.now,
             stage_to: Some(to),
+            corrupt,
             launch: vec![(path, size as f64, tag)],
         });
         self.push_event(self.now.add_ns(latency), Event::IoLatencyDone(j));
@@ -1553,6 +1739,10 @@ impl Simulation {
             }
             IoKind::Write => {
                 self.fs.grow(io.file, io.len);
+                if let Some(root) = io.corrupt {
+                    let dst = self.fs.meta(io.file).replicas[0];
+                    self.fs.mark_corrupt(io.file, dst, root);
+                }
                 let job = &mut self.jobs[j as usize];
                 if let (Some(ctx), Some(&fd)) = (&job.ctx, job.fds.get(&io.file)) {
                     let _ = ctx.write_at(fd, io.offset, io.len, timing);
@@ -1565,6 +1755,9 @@ impl Simulation {
                     return;
                 };
                 self.fs.add_replica(io.file, to);
+                if let Some(root) = io.corrupt {
+                    self.fs.mark_corrupt(io.file, to, root);
+                }
             }
         }
         self.advance(j);
@@ -1593,6 +1786,52 @@ impl Simulation {
         let idx = self.capacity_changes.len() as u32;
         self.capacity_changes.push((resource, capacity));
         self.push_event(SimTime(at_ns), Event::CapacityChange(idx));
+    }
+
+    // ---- integrity / quarantine ----
+
+    /// Whether any replica of `path` is currently corrupt.
+    pub fn file_corrupt(&self, path: &str) -> bool {
+        self.fs.lookup(path).is_some_and(|i| self.fs.any_corrupt(i))
+    }
+
+    /// Quarantines `path`: every replica (clean or corrupt — once one
+    /// replica diverges none can be trusted without re-verification) is
+    /// taken out of service and the file is flagged for re-verification on
+    /// its next verified read. Returns the bytes quarantined; no-op for
+    /// unknown or already-empty files.
+    pub fn quarantine_file(&mut self, path: &str) -> u64 {
+        let Some(idx) = self.fs.lookup(path) else { return 0 };
+        if self.fs.meta(idx).replicas.is_empty() {
+            return 0;
+        }
+        let bytes = self.fs.quarantine(idx);
+        self.stats.quarantined_files += 1;
+        self.stats.quarantined_bytes += bytes;
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.quarantined(path, bytes, self.now.ns());
+        }
+        bytes
+    }
+
+    /// Fails a running job attempt that sits inside a taint cone (its
+    /// in-progress work consumed data rooted at `root`). Returns `false`
+    /// when the job is not currently running — completed or failed
+    /// attempts are the coordination layer's problem (re-execution).
+    pub fn quarantine_job(&mut self, id: JobId, root: &str) -> bool {
+        match self.jobs.get(id.0 as usize) {
+            Some(job) if job.state == JobState::Running => {
+                self.fail_job(
+                    id.0,
+                    FailureCause::CorruptData {
+                        file: root.to_owned(),
+                        root: Some(root.to_owned()),
+                    },
+                );
+                true
+            }
+            _ => false,
+        }
     }
 
     // ---- observability ----
@@ -1747,6 +1986,11 @@ impl Simulation {
             recovery_bytes: self.stats.recovery_bytes.round() as u64,
             total_bytes: self.stats.total_moved.round() as u64,
             final_time_ns: self.now.ns(),
+            corruptions_injected: self.stats.corruptions_injected,
+            corruptions_detected: self.stats.corruptions_detected,
+            quarantined_files: self.stats.quarantined_files,
+            quarantined_bytes: self.stats.quarantined_bytes,
+            verified_bytes: self.stats.verified_bytes,
         }
     }
 
@@ -1807,6 +2051,8 @@ impl Simulation {
                     flows: job.flows.iter().map(|k| k.0).collect(),
                     io_ops: job.io_ops,
                     moved_bytes: job.moved_bytes,
+                    taint: job.taint,
+                    reads_seen: job.reads_seen,
                 })
                 .collect(),
             heap,
@@ -1893,6 +2139,8 @@ impl Simulation {
                 flows: js.flows.into_iter().map(FlowKey).collect(),
                 io_ops: js.io_ops,
                 moved_bytes: js.moved_bytes,
+                taint: js.taint,
+                reads_seen: js.reads_seen,
             })
             .collect();
         sim.jobs = jobs;
@@ -1925,7 +2173,9 @@ impl Simulation {
 
 /// Version tag embedded in every [`SimSnapshot`]; bump on layout changes.
 /// v2: events inline in `heap` entries (the side `events` log is gone).
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// v3: integrity fields — file digests/corruption state, job taint and
+/// read counters, pending-I/O corruption outcome, corruption stats.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Serializable state of one [`Simulation`] job (see [`SimSnapshot`]).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -1954,6 +2204,8 @@ pub struct JobSnapshot {
     pub flows: Vec<u64>,
     pub io_ops: u64,
     pub moved_bytes: f64,
+    pub taint: Option<FileIdx>,
+    pub reads_seen: u64,
 }
 
 /// Complete serializable state of a [`Simulation`] at a quiescent point.

@@ -76,6 +76,10 @@ pub fn instant_kind_label(k: InstantKind) -> &'static str {
         InstantKind::CapacityChange => "capacity-change",
         InstantKind::IoError => "io-error",
         InstantKind::Diagnosis => "diagnosis",
+        InstantKind::CorruptionInjected => "corruption-injected",
+        InstantKind::CorruptionDetected => "corruption-detected",
+        InstantKind::Quarantine => "quarantine",
+        InstantKind::Reverify => "reverify",
     }
 }
 

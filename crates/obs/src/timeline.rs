@@ -92,6 +92,14 @@ pub enum InstantKind {
     IoError,
     /// A watchdog diagnosis (stall, saturation, thrash, imbalance) fired.
     Diagnosis,
+    /// A silent corruption was injected into stored or in-flight data.
+    CorruptionInjected,
+    /// Checksum verification caught corrupt data.
+    CorruptionDetected,
+    /// A tainted file version was quarantined (all replicas dropped).
+    Quarantine,
+    /// A re-produced version of a quarantined file passed verification.
+    Reverify,
 }
 
 /// Optional structured payload attached to a span at open time.

@@ -56,6 +56,12 @@ pub struct WatchdogConfig {
     pub thrash_min_evictions: u32,
     /// Fire when `max - min` ready-queue depth across nodes reaches this.
     pub imbalance_min_gap: u32,
+    /// Sliding-window length for the corruption-storm detector.
+    pub storm_window_ns: u64,
+    /// Fire when at least this many corruption detections land inside the
+    /// window (a burst usually means one tainted producer fanning out, not
+    /// independent bit-flips).
+    pub storm_min_detections: u32,
 }
 
 impl Default for WatchdogConfig {
@@ -69,6 +75,8 @@ impl Default for WatchdogConfig {
             thrash_max_hit_pct: 25,
             thrash_min_evictions: 8,
             imbalance_min_gap: 12,
+            storm_window_ns: 1_000_000_000, // 1 s
+            storm_min_detections: 3,
         }
     }
 }
@@ -80,6 +88,9 @@ pub enum DiagnosisKind {
     TierSaturation,
     CacheThrash,
     QueueImbalance,
+    /// A burst of corruption detections inside one window — the signature
+    /// of a tainted producer fanning out through its consumers.
+    CorruptionStorm,
 }
 
 /// Stable lowercase label for a diagnosis kind.
@@ -89,6 +100,7 @@ pub fn diagnosis_kind_label(k: DiagnosisKind) -> &'static str {
         DiagnosisKind::TierSaturation => "tier-saturation",
         DiagnosisKind::CacheThrash => "cache-thrash",
         DiagnosisKind::QueueImbalance => "queue-imbalance",
+        DiagnosisKind::CorruptionStorm => "corruption-storm",
     }
 }
 
@@ -128,6 +140,8 @@ pub struct WatchdogState {
     pub thrash_active: bool,
     pub depths: Vec<u64>,
     pub imbalance_active: bool,
+    pub corruption_window: Vec<u64>,
+    pub storm_active: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,6 +178,9 @@ pub struct Watchdog {
     /// Latest sampled ready-queue depth per node.
     depths: Vec<u64>,
     imbalance_active: bool,
+    /// Sliding window of corruption-detection times.
+    corruption_window: VecDeque<u64>,
+    storm_active: bool,
 }
 
 impl Watchdog {
@@ -188,6 +205,8 @@ impl Watchdog {
             thrash_active: false,
             depths: vec![0; n_nodes],
             imbalance_active: false,
+            corruption_window: VecDeque::new(),
+            storm_active: false,
         }
     }
 
@@ -258,6 +277,12 @@ impl Watchdog {
         self.check(t_ns, rec);
     }
 
+    /// Verification caught corrupt data at `t_ns`.
+    pub fn corruption_detected(&mut self, t_ns: u64, rec: &mut Recorder) {
+        self.corruption_window.push_back(t_ns);
+        self.check(t_ns, rec);
+    }
+
     /// Clock tick with no semantic event (sampling cadence) — lets the
     /// stall and saturation detectors fire while nothing else happens.
     pub fn tick(&mut self, t_ns: u64, rec: &mut Recorder) {
@@ -284,6 +309,32 @@ impl Watchdog {
         self.check_saturation(t_ns, rec);
         self.check_thrash(t_ns, rec);
         self.check_imbalance(t_ns, rec);
+        self.check_storm(t_ns, rec);
+    }
+
+    fn check_storm(&mut self, t_ns: u64, rec: &mut Recorder) {
+        let horizon = t_ns.saturating_sub(self.cfg.storm_window_ns);
+        while self.corruption_window.front().is_some_and(|&t| t < horizon) {
+            self.corruption_window.pop_front();
+        }
+        let detections = self.corruption_window.len() as u64;
+        let cond = detections >= u64::from(self.cfg.storm_min_detections);
+        if cond && !self.storm_active {
+            self.storm_active = true;
+            let d = Diagnosis {
+                t_ns,
+                kind: DiagnosisKind::CorruptionStorm,
+                subject: "integrity".to_owned(),
+                value: detections,
+                detail: format!(
+                    "corruption-storm: {detections} detections within {:.0} ms",
+                    self.cfg.storm_window_ns as f64 / 1e6
+                ),
+            };
+            self.emit(rec, d);
+        } else if !cond {
+            self.storm_active = false;
+        }
     }
 
     fn check_stall(&mut self, t_ns: u64, rec: &mut Recorder) {
@@ -431,6 +482,8 @@ impl Watchdog {
             thrash_active: self.thrash_active,
             depths: self.depths.clone(),
             imbalance_active: self.imbalance_active,
+            corruption_window: self.corruption_window.iter().copied().collect(),
+            storm_active: self.storm_active,
         }
     }
 
@@ -460,6 +513,8 @@ impl Watchdog {
         self.thrash_active = st.thrash_active;
         self.depths = st.depths;
         self.imbalance_active = st.imbalance_active;
+        self.corruption_window = st.corruption_window.into();
+        self.storm_active = st.storm_active;
     }
 }
 
@@ -568,6 +623,31 @@ mod tests {
         assert_eq!(w.diagnoses()[0].subject, "node:0");
         w.queue_depths(&[2, 1], 30, &mut r);
         w.queue_depths(&[9, 1], 40, &mut r);
+        assert_eq!(w.diagnoses().len(), 2);
+    }
+
+    #[test]
+    fn corruption_storm_fires_on_burst_and_rearms() {
+        let cfg = WatchdogConfig {
+            storm_window_ns: 1_000,
+            storm_min_detections: 3,
+            ..WatchdogConfig::default()
+        };
+        let (mut w, mut r) = wd(cfg);
+        w.corruption_detected(0, &mut r);
+        w.corruption_detected(100, &mut r);
+        assert!(w.diagnoses().is_empty(), "two detections are not a storm");
+        w.corruption_detected(200, &mut r);
+        assert_eq!(w.diagnoses().len(), 1);
+        assert_eq!(w.diagnoses()[0].kind, DiagnosisKind::CorruptionStorm);
+        assert_eq!(w.diagnoses()[0].value, 3);
+        w.corruption_detected(300, &mut r); // still active: no second firing
+        assert_eq!(w.diagnoses().len(), 1);
+        // Window expiry clears the condition; a fresh burst re-fires.
+        w.tick(10_000, &mut r);
+        for t in [10_100, 10_200, 10_300] {
+            w.corruption_detected(t, &mut r);
+        }
         assert_eq!(w.diagnoses().len(), 2);
     }
 

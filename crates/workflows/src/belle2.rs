@@ -166,6 +166,7 @@ pub fn run_config(cfg: &Belle2Config, access: DataAccess, nodes: usize) -> crate
         write_buffering: false,
         monitor: dfl_trace::MonitorConfig::default(),
         faults: dfl_iosim::FaultPlan::none(),
+        verify: dfl_iosim::sim::VerifyPolicy::Off,
         retry: crate::engine::RetryPolicy::default(),
         obs: None,
         checkpoint: None,

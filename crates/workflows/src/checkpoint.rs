@@ -28,7 +28,11 @@ use crate::spec::WorkflowSpec;
 /// Manifest schema version; bumped on incompatible layout changes. A
 /// manifest carrying any other version is rejected with
 /// [`CheckpointError::VersionMismatch`] before its payload is interpreted.
-pub const MANIFEST_VERSION: u32 = 1;
+///
+/// v2: integrity support — the embedded [`SimSnapshot`] carries per-replica
+/// corruption roots, job taint, and verification counters, and `RunConfig`
+/// (hashed into `config_hash`) gained the `verify` policy.
+pub const MANIFEST_VERSION: u32 = 2;
 
 /// When the engine writes checkpoint manifests. Independently of the
 /// triggers below, a run with checkpointing enabled writes a baseline

@@ -12,9 +12,10 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use dfl_iosim::breakdown::{Breakdown, FlowTag};
 use dfl_iosim::cache::CacheConfig;
 use dfl_iosim::cluster::ClusterSpec;
-use dfl_iosim::fault::{unit_hash, FailureReport, FaultPlan, JobFailure};
+use dfl_iosim::fault::{unit_hash, FailureCause, FailureReport, FaultPlan, JobFailure};
 use dfl_iosim::sim::{
     Action, CacheOrigins, JobId, JobReport, JobSpec, JobState, RunOutcome, SimConfig, Simulation,
+    VerifyPolicy,
 };
 use dfl_iosim::storage::{TierKind, TierRef};
 use dfl_iosim::SimError;
@@ -27,6 +28,58 @@ use crate::checkpoint::{
     CheckpointManifest, MANIFEST_VERSION,
 };
 use crate::spec::{TaskSpec, WorkflowSpec};
+use crate::taint::taint_cone;
+
+/// Everything a workflow run can fail with, as one typed error.
+///
+/// Invalid specs and unusable configurations used to panic inside the
+/// engine; they now surface as [`EngineError::InvalidSpec`] so callers
+/// (CLI, services, tests) can report them without catching unwinds.
+/// Simulator and checkpoint errors pass through transparently — the
+/// `Display` text of a wrapped [`SimError`] is unchanged, so substring
+/// matching on e.g. chaos kills keeps working.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Simulator-level failure: retries exhausted, chaos kill, integrity
+    /// violation, snapshot trouble.
+    Sim(SimError),
+    /// Checkpoint validation or I/O failure on resume.
+    Checkpoint(CheckpointError),
+    /// The spec or run configuration cannot be executed as given.
+    InvalidSpec(String),
+    /// An engine-internal invariant broke — a bug, not a user error.
+    Internal(&'static str),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Sim(e) => write!(f, "{e}"),
+            EngineError::Checkpoint(e) => write!(f, "{e}"),
+            EngineError::InvalidSpec(m) => write!(f, "{m}"),
+            EngineError::Internal(m) => write!(f, "engine invariant violated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<SimError> for EngineError {
+    fn from(e: SimError) -> Self {
+        EngineError::Sim(e)
+    }
+}
+
+impl From<CheckpointError> for EngineError {
+    fn from(e: CheckpointError) -> Self {
+        match e {
+            // Unwrap the checkpoint layer's sim passthrough so callers can
+            // match simulator errors uniformly.
+            CheckpointError::Sim(s) => EngineError::Sim(s),
+            other => EngineError::Checkpoint(other),
+        }
+    }
+}
 
 /// Task-to-node assignment policy.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -152,6 +205,13 @@ pub struct RunConfig {
     /// Deterministic fault injection; [`FaultPlan::none`] (the default)
     /// leaves the run byte-identical to a fault-free one.
     pub faults: FaultPlan,
+    /// Checksum verification policy. [`VerifyPolicy::Off`] (the default)
+    /// skips all digest checks and keeps fault-free runs byte-identical to
+    /// pre-integrity builds; any other policy charges simulated verification
+    /// latency and turns silent corruption into detected
+    /// [`FailureCause::CorruptData`] incidents the engine repairs through
+    /// taint-cone recovery.
+    pub verify: VerifyPolicy,
     /// How failed attempts are retried.
     pub retry: RetryPolicy,
     /// Timeline recording. `None` (the default) disables observability
@@ -178,6 +238,7 @@ impl RunConfig {
             write_buffering: false,
             monitor: dfl_trace::MonitorConfig::default(),
             faults: FaultPlan::none(),
+            verify: VerifyPolicy::Off,
             retry: RetryPolicy::default(),
             obs: None,
             checkpoint: None,
@@ -195,6 +256,7 @@ impl RunConfig {
             write_buffering: false,
             monitor: dfl_trace::MonitorConfig::default(),
             faults: FaultPlan::none(),
+            verify: VerifyPolicy::Off,
             retry: RetryPolicy::default(),
             obs: None,
             checkpoint: None,
@@ -257,14 +319,11 @@ fn place_tasks(placement: &Placement, tasks: &[crate::spec::TaskSpec], nodes: u3
                     Some(g) => g % nodes,
                     None => (idx as u32) % nodes,
                 },
-                Placement::LeastLoaded => {
-                    let (node, _) = load
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|&(i, &l)| (l, i))
-                        .expect("at least one node");
-                    node as u32
-                }
+                Placement::LeastLoaded => load
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(i, &l)| (l, i))
+                    .map_or(0, |(node, _)| node as u32),
                 Placement::Explicit(v) => v[idx],
             };
             load[node as usize] += 1;
@@ -320,7 +379,9 @@ fn task_actions(
     for r in &t.reads {
         actions.push(Action::Open { file: r.file.clone(), write: false });
         let total = if r.bytes == 0 {
-            size_of[r.file.as_str()].saturating_sub(r.offset)
+            // Whole-file read: validated specs declare every read file, so a
+            // miss can only mean an unvalidated caller — treat as empty.
+            size_of.get(r.file.as_str()).copied().unwrap_or(0).saturating_sub(r.offset)
         } else {
             r.bytes
         };
@@ -390,8 +451,56 @@ fn file_lost(sim: &Simulation, path: &str) -> bool {
     sim.fs().lookup(path).is_some_and(|idx| sim.fs().is_lost(idx))
 }
 
-/// Runs `spec` under `cfg`. Panics if the spec fails validation (programmer
-/// error in a generator); returns simulator errors otherwise.
+/// Rejects specs and configurations the engine cannot execute, before any
+/// simulator state is built. Every check here used to be a panic or an
+/// out-of-bounds index deep inside the run.
+pub(crate) fn validate_run(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<(), EngineError> {
+    spec.validate()
+        .map_err(|e| EngineError::InvalidSpec(format!("invalid workflow spec: {e}")))?;
+    if cfg.cluster.node_count() == 0 {
+        return Err(EngineError::InvalidSpec("cluster has zero nodes".into()));
+    }
+    if cfg.staging.shared.is_node_local() {
+        return Err(EngineError::InvalidSpec(format!(
+            "staging.shared must be a shared tier, got node-local {:?}",
+            cfg.staging.shared
+        )));
+    }
+    for kind in [cfg.staging.stage_inputs, cfg.staging.intermediates_local]
+        .into_iter()
+        .flatten()
+    {
+        if !kind.is_node_local() {
+            return Err(EngineError::InvalidSpec(format!(
+                "staging tier {kind:?} is not node-local"
+            )));
+        }
+        if !cfg.cluster.has_tier(kind) {
+            return Err(EngineError::InvalidSpec(format!(
+                "staging tier {kind:?} missing from cluster"
+            )));
+        }
+    }
+    if let Placement::Explicit(v) = &cfg.placement {
+        if v.len() != spec.tasks.len() {
+            return Err(EngineError::InvalidSpec(format!(
+                "explicit placement lists {} nodes for {} tasks",
+                v.len(),
+                spec.tasks.len()
+            )));
+        }
+        if let Some(&n) = v.iter().find(|&&n| (n as usize) >= cfg.cluster.node_count()) {
+            return Err(EngineError::InvalidSpec(format!(
+                "explicit placement node {n} out of range"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Runs `spec` under `cfg`. Invalid specs and configurations are typed
+/// [`EngineError::InvalidSpec`] errors; simulator failures pass through as
+/// [`EngineError::Sim`].
 ///
 /// # Fault handling
 ///
@@ -407,10 +516,8 @@ fn file_lost(sim: &Simulation, path: &str) -> bool {
 /// after the [`RetryPolicy`] backoff, depending on those recovery jobs.
 /// Inputs that survive on a shared tier are simply re-read — no recovery
 /// job is scheduled for them.
-pub fn run(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, SimError> {
-    if let Err(e) = spec.validate() {
-        panic!("invalid workflow spec: {e}");
-    }
+pub fn run(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, EngineError> {
+    validate_run(spec, cfg)?;
     let ctx = EngineCtx::new(spec, cfg);
     let (mut sim, mut st) = init_run(&ctx);
     if cfg.checkpoint.is_some() {
@@ -440,36 +547,36 @@ pub fn resume_from(
     spec: &WorkflowSpec,
     cfg: &RunConfig,
     manifest: CheckpointManifest,
-) -> Result<RunResult, CheckpointError> {
+) -> Result<RunResult, EngineError> {
     if manifest.version != MANIFEST_VERSION {
         return Err(CheckpointError::VersionMismatch {
             found: manifest.version,
             expected: MANIFEST_VERSION,
-        });
+        }
+        .into());
     }
     let expected = config_hash(spec, cfg);
     if manifest.config_hash != expected {
         return Err(CheckpointError::HashMismatch {
             manifest: manifest.config_hash,
             config: expected,
-        });
+        }
+        .into());
     }
-    if let Err(e) = spec.validate() {
-        panic!("invalid workflow spec: {e}");
-    }
+    validate_run(spec, cfg)?;
     let ctx = EngineCtx::new(spec, cfg);
     let mut sim = Simulation::restore(manifest.sim)?;
     // Snapshots are chaos-free by construction; re-arm the kill switch from
     // the *offered* config so a chaos driver can schedule further crashes.
     sim.set_chaos(cfg.faults.chaos);
     let mut st = manifest.engine;
-    drive(&mut sim, &ctx, &mut st).map_err(CheckpointError::Sim)?;
+    drive(&mut sim, &ctx, &mut st)?;
     Ok(finalize(sim, &ctx, &st))
 }
 
 /// [`resume_from`] the highest-sequence manifest in the configured
 /// checkpoint directory.
-pub fn resume_latest(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, CheckpointError> {
+pub fn resume_latest(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, EngineError> {
     let dir = cfg.checkpoint.as_ref().map(|c| c.dir.clone());
     let manifest = load_latest(&dir.ok_or(CheckpointError::NoCheckpointConfig)?)?;
     resume_from(spec, cfg, manifest)
@@ -573,6 +680,7 @@ pub(crate) fn init_run(ctx: &EngineCtx) -> (Simulation, EngineState) {
             cache_origins: cfg.cache_origins,
             write_buffering: cfg.write_buffering,
             faults: cfg.faults.clone(),
+            verify: cfg.verify,
             obs: cfg.obs.clone(),
         },
     );
@@ -657,7 +765,7 @@ pub(crate) fn init_run(ctx: &EngineCtx) -> (Simulation, EngineState) {
 /// failed-attempt batch and taking checkpoints at the configured pause
 /// points. Shared verbatim between fresh runs and resumed ones — resuming
 /// is just re-entering this loop with restored state.
-fn drive(sim: &mut Simulation, ctx: &EngineCtx, st: &mut EngineState) -> Result<(), SimError> {
+fn drive(sim: &mut Simulation, ctx: &EngineCtx, st: &mut EngineState) -> Result<(), EngineError> {
     let ckpt = ctx.cfg.checkpoint.as_ref();
     if ckpt.is_some_and(|c| c.every_stages.is_some()) {
         sim.set_pause_on_job_complete(true);
@@ -675,7 +783,11 @@ fn drive(sim: &mut Simulation, ctx: &EngineCtx, st: &mut EngineState) -> Result<
             }
             RunOutcome::Failures(failures) => {
                 handle_failures(sim, ctx, st, failures)?;
-                if ckpt.is_some_and(|c| c.on_incident) {
+                // Quarantining a running cone job raises fresh failures
+                // that haven't been delivered yet; a snapshot is only
+                // legal at a quiescent point, so defer to the follow-up
+                // incident (which takes its own on-incident checkpoint).
+                if ckpt.is_some_and(|c| c.on_incident) && !sim.has_pending_failures() {
                     take_checkpoint(sim, ctx, st)?;
                 }
             }
@@ -792,7 +904,7 @@ pub(crate) fn handle_failures(
     ctx: &EngineCtx,
     st: &mut EngineState,
     failures: Vec<JobFailure>,
-) -> Result<(), SimError> {
+) -> Result<(), EngineError> {
     let (spec, cfg, shared) = (ctx.spec, ctx.cfg, ctx.shared);
     let (size_of, producers) = (&ctx.size_of, &ctx.producers);
     let (node_for, staged_files) = (&ctx.node_for, &ctx.staged_files);
@@ -819,14 +931,57 @@ pub(crate) fn handle_failures(
                 *a
             };
             if n >= cfg.retry.max_attempts {
-                return Err(SimError::RetriesExhausted { job: f.name.clone(), attempts: n });
+                return Err(SimError::RetriesExhausted { job: f.name.clone(), attempts: n }.into());
             }
             if let Some(budget) = cfg.retry.stage_budget {
                 let stage = kind.task().map_or(0, |ti| spec.tasks[ti].stage);
                 let c = stage_retries.entry(stage).or_insert(0);
                 *c += 1;
                 if *c > budget {
-                    return Err(SimError::RetriesExhausted { job: f.name.clone(), attempts: n });
+                    return Err(
+                        SimError::RetriesExhausted { job: f.name.clone(), attempts: n }.into()
+                    );
+                }
+            }
+
+            // Integrity recovery: a verified read caught corrupt data whose
+            // root is a *persisted* file version, possibly written many hops
+            // upstream of the detection point. Everything forward-reachable
+            // from the root in the DFL-G — files and tasks alike — may carry
+            // the taint, so quarantine the whole cone: dropping the poisoned
+            // replicas turns each suspect file into an ordinary lost file,
+            // which the lineage walk below then repairs from the minimal
+            // producer set. In-flight attempts inside the cone are failed
+            // (their incidents surface next pause), and already-completed
+            // cone tasks are queued for re-execution.
+            let mut cone_rerun: Vec<usize> = Vec::new();
+            if let FailureCause::CorruptData { root: Some(root), .. } = &f.cause {
+                let reproducible =
+                    producers.get(root.as_str()).is_some_and(|p| !p.is_empty());
+                if !reproducible && sim.file_corrupt(root) {
+                    // The corrupt root is an external input with a truly
+                    // corrupt stored replica: nothing can regenerate it, so
+                    // recovery is impossible.
+                    return Err(SimError::IntegrityViolation { file: root.clone() }.into());
+                }
+                let cone = taint_cone(spec, root);
+                for fp in &cone.files {
+                    // An unreproducible root whose stored replicas all
+                    // check out was only mis-rooted by an in-flight flip on
+                    // an unverified read: keep it in service and repair the
+                    // cone below it.
+                    if reproducible || fp != root {
+                        sim.quarantine_file(fp);
+                    }
+                }
+                for &ct in &cone.tasks {
+                    let cj = cur_job_of_task[ct];
+                    if sim.quarantine_job(cj, root) {
+                        continue; // running attempt now fails on its own
+                    }
+                    if sim.job_done(cj) {
+                        cone_rerun.push(ct);
+                    }
                 }
             }
 
@@ -834,14 +989,28 @@ pub(crate) fn handle_failures(
             // longer has any replica, re-run the minimal (transitive)
             // producer set. Surviving inputs need no recovery. Staging jobs
             // read external inputs, which live on a shared tier and cannot
-            // be lost — nothing to repair there.
+            // be lost — nothing to repair there. Quarantined taint-cone
+            // tasks seed the same walk: their inputs were just dropped, so
+            // the walk re-runs them plus whatever upstream producers are
+            // needed to rebuild their inputs.
             let mut rerun_deps: Vec<JobId> = Vec::new();
-            if let Some(ti) = kind.task() {
+            {
                 let mut needed: BTreeSet<usize> = BTreeSet::new();
                 let mut work: Vec<&str> = Vec::new();
-                for r in &spec.tasks[ti].reads {
-                    if file_lost(sim, &r.file) {
-                        work.push(&r.file);
+                if let Some(ti) = kind.task() {
+                    for r in &spec.tasks[ti].reads {
+                        if file_lost(sim, &r.file) {
+                            work.push(&r.file);
+                        }
+                    }
+                }
+                for &ct in &cone_rerun {
+                    if needed.insert(ct) {
+                        for r in &spec.tasks[ct].reads {
+                            if file_lost(sim, &r.file) {
+                                work.push(&r.file);
+                            }
+                        }
                     }
                 }
                 while let Some(fpath) = work.pop() {
@@ -888,12 +1057,14 @@ pub(crate) fn handle_failures(
                     pending_rerun.insert(p, id);
                     *n_recovery += 1;
                 }
-                for r in &spec.tasks[ti].reads {
-                    if file_lost(sim, &r.file) {
-                        for p in producers.get(r.file.as_str()).into_iter().flatten() {
-                            if let Some(&rj) = pending_rerun.get(p) {
-                                if !sim.job_done(rj) && !rerun_deps.contains(&rj) {
-                                    rerun_deps.push(rj);
+                if let Some(ti) = kind.task() {
+                    for r in &spec.tasks[ti].reads {
+                        if file_lost(sim, &r.file) {
+                            for p in producers.get(r.file.as_str()).into_iter().flatten() {
+                                if let Some(&rj) = pending_rerun.get(p) {
+                                    if !sim.job_done(rj) && !rerun_deps.contains(&rj) {
+                                        rerun_deps.push(rj);
+                                    }
                                 }
                             }
                         }
@@ -907,12 +1078,18 @@ pub(crate) fn handle_failures(
             let delay = sim.time().ns() + cfg.retry.delay_ns(cfg.faults.seed, u64::from(root), n);
             let retry = match kind {
                 JobKind::Staging(node) => {
-                    let kind_tier = cfg.staging.stage_inputs.expect("staging job exists");
+                    let kind_tier = cfg
+                        .staging
+                        .stage_inputs
+                        .ok_or(EngineError::Internal("staging retry without a staging config"))?;
+                    let files = staged_files
+                        .get(&node)
+                        .ok_or(EngineError::Internal("staging retry for a node with no inputs"))?;
                     let mut j = JobSpec::new(&format!("staging-{node}~r{n}"), node)
                         .logical("staging")
                         .delay_ns(delay);
                     for a in staging_actions(
-                        &staged_files[&node],
+                        files,
                         node,
                         kind_tier,
                         shared,
@@ -1021,7 +1198,9 @@ pub(crate) fn finalize(mut sim: Simulation, ctx: &EngineCtx, st: &EngineState) -
         makespan_s: sim.time().secs(),
         stage_spans,
         total_breakdown: sim.total_breakdown(),
-        measurements: sim.measurements().expect("monitor attached"),
+        // The engine always attaches a monitor; an absent measurement set
+        // can only mean a caller bypassed `init_run`, so degrade to empty.
+        measurements: sim.measurements().unwrap_or_default(),
         reports,
         failure,
         timeline,
@@ -1128,11 +1307,39 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid workflow spec")]
-    fn invalid_spec_panics() {
+    fn invalid_spec_is_typed_error_not_panic() {
+        // Regression: reading an undeclared file used to panic inside
+        // `run`; it must now surface as a typed `InvalidSpec`.
         let mut w = WorkflowSpec::new("bad");
         w.task(TaskSpec::new("t-0", "t", 1).read(FileUse::whole("ghost")));
-        let _ = run(&w, &RunConfig::default_gpu(1));
+        match run(&w, &RunConfig::default_gpu(1)) {
+            Err(EngineError::InvalidSpec(m)) => {
+                assert!(m.contains("invalid workflow spec"), "got: {m}")
+            }
+            other => panic!("expected InvalidSpec, got {:?}", other.map(|r| r.makespan_s)),
+        }
+    }
+
+    #[test]
+    fn zero_node_cluster_is_typed_error_not_panic() {
+        // Regression: a zero-node cluster used to trip an `assert!` in
+        // `EngineCtx::new` (and before that, a modulo-by-zero in
+        // placement).
+        match run(&two_stage(), &RunConfig::default_gpu(0)) {
+            Err(EngineError::InvalidSpec(m)) => assert!(m.contains("zero nodes"), "got: {m}"),
+            other => panic!("expected InvalidSpec, got {:?}", other.map(|r| r.makespan_s)),
+        }
+    }
+
+    #[test]
+    fn explicit_placement_length_mismatch_is_typed_error() {
+        // Regression: a short `Placement::Explicit` vector used to
+        // panic-index inside `place_tasks`.
+        let mut cfg = RunConfig::default_gpu(2);
+        cfg.placement = Placement::Explicit(vec![0]);
+        assert!(matches!(run(&two_stage(), &cfg), Err(EngineError::InvalidSpec(_))));
+        cfg.placement = Placement::Explicit(vec![0, 9]);
+        assert!(matches!(run(&two_stage(), &cfg), Err(EngineError::InvalidSpec(_))));
     }
 
     #[test]
@@ -1167,7 +1374,7 @@ mod tests {
         cfg.retry = RetryPolicy::none();
         let err = run(&two_stage(), &cfg).unwrap_err();
         assert!(
-            matches!(err, SimError::RetriesExhausted { attempts: 1, .. }),
+            matches!(err, EngineError::Sim(SimError::RetriesExhausted { attempts: 1, .. })),
             "unexpected error: {err}"
         );
     }
@@ -1278,7 +1485,9 @@ mod tests {
             let mut chaos_cfg = cfg.clone();
             chaos_cfg.faults = chaos_cfg.faults.chaos_crash(at_event);
             match run(&spec, &chaos_cfg) {
-                Err(SimError::CoordinatorCrash { at_event: e }) => assert_eq!(e, at_event),
+                Err(EngineError::Sim(SimError::CoordinatorCrash { at_event: e })) => {
+                    assert_eq!(e, at_event)
+                }
                 other => panic!("expected coordinator crash, got {other:?}"),
             }
             // The dead coordinator left manifests behind; a fresh one picks
@@ -1301,7 +1510,7 @@ mod tests {
         let mut drifted = cfg.clone();
         drifted.retry.max_attempts += 1;
         match resume_from(&spec, &drifted, manifest) {
-            Err(CheckpointError::HashMismatch { .. }) => {}
+            Err(EngineError::Checkpoint(CheckpointError::HashMismatch { .. })) => {}
             other => panic!("expected HashMismatch, got {:?}", other.map(|r| r.makespan_s)),
         }
 

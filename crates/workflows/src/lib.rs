@@ -26,6 +26,7 @@ pub mod genomes;
 pub mod montage;
 pub mod seismic;
 pub mod spec;
+pub mod taint;
 pub mod watch;
 
 pub use checkpoint::{
@@ -33,9 +34,11 @@ pub use checkpoint::{
     CheckpointManifest, MANIFEST_VERSION,
 };
 pub use engine::{
-    resume_from, resume_latest, run, EngineState, Placement, RetryPolicy, RunConfig, RunResult,
-    Staging,
+    resume_from, resume_latest, run, EngineError, EngineState, Placement, RetryPolicy, RunConfig,
+    RunResult, Staging,
 };
 pub use spec::{FileUse, TaskSpec, WorkflowSpec};
+pub use taint::{taint_cone, TaintCone};
 pub use watch::{run_watched, WatchOptions, WindowSummary};
+pub use dfl_iosim::sim::VerifyPolicy;
 pub use dfl_iosim::{ChaosKind, FailureReport, FaultPlan};

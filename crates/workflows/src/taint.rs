@@ -1,0 +1,185 @@
+//! Taint-cone computation for integrity recovery.
+//!
+//! When a persistently corrupt file version is detected (possibly many hops
+//! downstream of the write that corrupted it), every file and task that is
+//! forward-reachable from the corruption root must be treated as suspect:
+//! consumers may have read flipped bytes before any verification ran, and
+//! their outputs transitively carry the taint. This module builds the
+//! workflow's DFL-G (the same arena graph the analysis layer uses) and
+//! answers "what is downstream of this file?" with a breadth-first sweep
+//! over producer/consumer edges.
+
+use std::collections::BTreeSet;
+
+use dfl_core::props::{DataProps, EdgeProps, FlowDir, TaskProps};
+use dfl_core::{DflGraph, VertexId, VertexKind};
+
+use crate::spec::WorkflowSpec;
+
+/// Forward-reachable set from a corruption root: every file version that may
+/// hold tainted bytes and every task whose execution consumed (or may
+/// consume) them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TaintCone {
+    /// Paths of all suspect files, including the root itself.
+    pub files: BTreeSet<String>,
+    /// Spec indices of all tasks downstream of the root.
+    pub tasks: BTreeSet<usize>,
+}
+
+impl TaintCone {
+    /// Total number of suspect vertices (files + tasks).
+    pub fn len(&self) -> usize {
+        self.files.len() + self.tasks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty() && self.tasks.is_empty()
+    }
+}
+
+/// Builds the bipartite task/data graph for `spec`.
+///
+/// Data vertices are named by file path; task vertices by task name. Producer
+/// edges run task→data for each write, consumer edges data→task for each
+/// read. External inputs become data vertices with no producer.
+pub fn spec_graph(spec: &WorkflowSpec) -> DflGraph {
+    let mut g = DflGraph::new();
+    let data_vertex = |g: &mut DflGraph, path: &str, size: u64| -> VertexId {
+        match g.find_vertex(path) {
+            Some(v) => v,
+            None => g.add_data(path, path, DataProps { size, ..DataProps::default() }),
+        }
+    };
+    for input in &spec.inputs {
+        data_vertex(&mut g, &input.path, input.size);
+    }
+    for task in &spec.tasks {
+        let tv = g.add_task(&task.name, &task.logical, TaskProps {
+            lifetime_ns: task.compute_ns,
+            instances: 1,
+            ..TaskProps::default()
+        });
+        for r in &task.reads {
+            let dv = data_vertex(&mut g, &r.file, r.bytes);
+            g.add_edge(dv, tv, FlowDir::Consumer, EdgeProps {
+                volume: r.bytes,
+                ops: u64::from(r.ops.max(1)),
+                ..EdgeProps::default()
+            });
+        }
+        for w in &task.writes {
+            let dv = data_vertex(&mut g, &w.file, w.bytes);
+            g.add_edge(tv, dv, FlowDir::Producer, EdgeProps {
+                volume: w.bytes,
+                ops: u64::from(w.ops.max(1)),
+                ..EdgeProps::default()
+            });
+        }
+    }
+    g
+}
+
+/// Computes the forward-reachable taint cone of `root` (a file path) over the
+/// spec's DFL-G. Returns an empty cone if the root is unknown to the spec.
+pub fn taint_cone(spec: &WorkflowSpec, root: &str) -> TaintCone {
+    let g = spec_graph(spec);
+    let mut cone = TaintCone::default();
+    let Some(start) = g.find_vertex(root) else {
+        return cone;
+    };
+    // Task vertices map back to spec indices by name.
+    let mut task_idx = std::collections::HashMap::new();
+    for (i, t) in spec.tasks.iter().enumerate() {
+        task_idx.insert(t.name.as_str(), i);
+    }
+    let mut seen = vec![false; g.vertex_count()];
+    let mut queue = std::collections::VecDeque::new();
+    seen[start.0 as usize] = true;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        match g.vertex_kind(v) {
+            VertexKind::Data => {
+                cone.files.insert(g.vertex(v).name.clone());
+            }
+            VertexKind::Task => {
+                if let Some(&i) = task_idx.get(g.vertex(v).name.as_str()) {
+                    cone.tasks.insert(i);
+                }
+            }
+        }
+        for s in g.successors(v) {
+            if !seen[s.0 as usize] {
+                seen[s.0 as usize] = true;
+                queue.push_back(s);
+            }
+        }
+    }
+    cone
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FileProduce, FileUse, TaskSpec};
+
+    fn chain_spec() -> WorkflowSpec {
+        // in.dat → t0 → a.dat → t1 → b.dat → t2 → c.dat
+        //                  └────────→ t3 → d.dat   (side branch off a.dat)
+        let mut spec = WorkflowSpec::new("chain");
+        spec.input("in.dat", 1 << 20);
+        spec.task(
+            TaskSpec::new("t0", "gen", 0)
+                .read(FileUse::whole("in.dat"))
+                .write(FileProduce::new("a.dat", 1 << 20)),
+        );
+        spec.task(
+            TaskSpec::new("t1", "xform", 1)
+                .read(FileUse::whole("a.dat"))
+                .write(FileProduce::new("b.dat", 1 << 20)),
+        );
+        spec.task(
+            TaskSpec::new("t2", "sink", 2)
+                .read(FileUse::whole("b.dat"))
+                .write(FileProduce::new("c.dat", 1 << 20)),
+        );
+        spec.task(
+            TaskSpec::new("t3", "side", 2)
+                .read(FileUse::whole("a.dat"))
+                .write(FileProduce::new("d.dat", 1 << 20)),
+        );
+        spec
+    }
+
+    #[test]
+    fn cone_from_intermediate_covers_downstream_only() {
+        let spec = chain_spec();
+        let cone = taint_cone(&spec, "a.dat");
+        let files: Vec<&str> = cone.files.iter().map(String::as_str).collect();
+        assert_eq!(files, ["a.dat", "b.dat", "c.dat", "d.dat"]);
+        assert_eq!(cone.tasks.iter().copied().collect::<Vec<_>>(), [1, 2, 3]);
+    }
+
+    #[test]
+    fn cone_from_leaf_is_just_the_leaf() {
+        let spec = chain_spec();
+        let cone = taint_cone(&spec, "c.dat");
+        assert_eq!(cone.files.iter().map(String::as_str).collect::<Vec<_>>(), ["c.dat"]);
+        assert!(cone.tasks.is_empty());
+        assert_eq!(cone.len(), 1);
+    }
+
+    #[test]
+    fn cone_of_unknown_root_is_empty() {
+        let spec = chain_spec();
+        assert!(taint_cone(&spec, "nope.dat").is_empty());
+    }
+
+    #[test]
+    fn cone_from_input_covers_everything() {
+        let spec = chain_spec();
+        let cone = taint_cone(&spec, "in.dat");
+        assert_eq!(cone.files.len(), 5);
+        assert_eq!(cone.tasks.len(), 4);
+    }
+}

@@ -30,14 +30,13 @@
 
 use dfl_core::analysis::{Blame, BlameEntry, CostModel, LiveDfl, LiveHead};
 use dfl_iosim::sim::{RunOutcome, Simulation};
-use dfl_iosim::SimError;
 use dfl_obs::export::span_kind_label;
 use dfl_obs::{Diagnosis, EventStream, ObsConfig, TimelineEvent};
 use serde::Serialize;
 
 use crate::engine::{
-    checkpoint_due, finalize, handle_failures, init_run, take_checkpoint, EngineCtx, EngineState,
-    RunConfig, RunResult,
+    checkpoint_due, finalize, handle_failures, init_run, take_checkpoint, validate_run, EngineCtx,
+    EngineError, EngineState, RunConfig, RunResult,
 };
 use crate::spec::WorkflowSpec;
 
@@ -97,6 +96,13 @@ pub struct WindowSummary {
     pub crashes: u32,
     /// Bytes moved so far (cumulative).
     pub moved_bytes: u64,
+    /// Bytes of failed attempts' traffic so far (cumulative) — work that
+    /// did not survive, corruption-quarantined bytes included.
+    pub wasted_bytes: u64,
+    /// Bytes moved by lineage-recovery re-runs so far (cumulative).
+    pub recovery_bytes: u64,
+    /// File versions quarantined by integrity recovery so far (cumulative).
+    pub quarantined_files: u32,
 }
 
 /// Per-run state of the window loop.
@@ -129,11 +135,11 @@ pub fn run_watched(
     cfg: &RunConfig,
     opts: &WatchOptions,
     mut on_window: impl FnMut(&WindowSummary),
-) -> Result<RunResult, SimError> {
-    assert!(opts.window_ns > 0, "window width must be positive");
-    if let Err(e) = spec.validate() {
-        panic!("invalid workflow spec: {e}");
+) -> Result<RunResult, EngineError> {
+    if opts.window_ns == 0 {
+        return Err(EngineError::InvalidSpec("watch window width must be positive".into()));
     }
+    validate_run(spec, cfg)?;
     let mut cfg = cfg.clone();
     if cfg.obs.is_none() {
         cfg.obs = Some(ObsConfig::default());
@@ -144,7 +150,9 @@ pub fn run_watched(
         take_checkpoint(&mut sim, &ctx, &mut st)?;
     }
 
-    let stream = sim.subscribe(opts.stream_capacity).expect("observability forced on above");
+    let stream = sim
+        .subscribe(opts.stream_capacity)
+        .ok_or(EngineError::Internal("observability forced on, but no recorder attached"))?;
     let track_names: Vec<String> = sim
         .obs()
         .map(|o| o.rec.tracks().iter().map(|t| t.name.clone()).collect())
@@ -229,7 +237,7 @@ fn close_window(
     // Fold measurements: completed tasks only mid-run (the monitor keeps
     // `end_ns == start_ns` until a task finishes), everything on the final
     // window so the fold covers the exact batch input.
-    let set = sim.measurements().expect("engine always attaches a monitor");
+    let set = sim.measurements().unwrap_or_default();
     for f in &set.files {
         w.live.fold_file(f);
     }
@@ -264,6 +272,9 @@ fn close_window(
         failed_attempts: fr.failed_attempts,
         crashes: fr.crashes,
         moved_bytes: fr.total_bytes,
+        wasted_bytes: fr.wasted_bytes,
+        recovery_bytes: fr.recovery_bytes,
+        quarantined_files: fr.quarantined_files,
     };
     w.idx += 1;
     w.next_window = w.next_window.saturating_add(opts.window_ns);

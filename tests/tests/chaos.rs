@@ -22,7 +22,7 @@ use dfl_iosim::{FaultPlan, TierKind};
 use dfl_workflows::checkpoint::{load_latest, load_manifest, latest_manifest, CheckpointConfig};
 use dfl_workflows::engine::{resume_from, resume_latest, run, Placement, RunConfig, RunResult, Staging};
 use dfl_workflows::spec::{FileProduce, FileUse, TaskSpec, WorkflowSpec};
-use dfl_workflows::CheckpointError;
+use dfl_workflows::{CheckpointError, EngineError};
 
 /// Three stages with cross-node data dependencies and enough compute that
 /// crash points land mid-stage: two producers (one per node), a consumer
@@ -189,7 +189,7 @@ fn resume_refuses_mismatched_config_hash() {
     let mut drifted = cfg.clone();
     drifted.staging = Staging::all_shared(TierKind::Beegfs);
     match resume_from(&spec, &drifted, manifest) {
-        Err(CheckpointError::HashMismatch { manifest, config }) => {
+        Err(EngineError::Checkpoint(CheckpointError::HashMismatch { manifest, config })) => {
             assert_ne!(manifest, config);
         }
         other => panic!("expected HashMismatch, got {:?}", other.map(|r| r.makespan_s)),
@@ -200,7 +200,7 @@ fn resume_refuses_mismatched_config_hash() {
     let mut spec2 = workload();
     spec2.input("extra.dat", 1 << 20);
     match resume_from(&spec2, &cfg, manifest) {
-        Err(CheckpointError::HashMismatch { .. }) => {}
+        Err(EngineError::Checkpoint(CheckpointError::HashMismatch { .. })) => {}
         other => panic!("expected HashMismatch, got {:?}", other.map(|r| r.makespan_s)),
     }
     let _ = std::fs::remove_dir_all(&dir);
@@ -216,10 +216,10 @@ fn manifest_version_gate_rejects_future_versions() {
 
     let path = latest_manifest(&dir).unwrap();
     let text = std::fs::read_to_string(&path).unwrap();
-    assert!(text.starts_with("{\"version\":1,"), "manifest leads with its version");
-    std::fs::write(&path, text.replacen("{\"version\":1,", "{\"version\":42,", 1)).unwrap();
+    assert!(text.starts_with("{\"version\":2,"), "manifest leads with its version");
+    std::fs::write(&path, text.replacen("{\"version\":2,", "{\"version\":42,", 1)).unwrap();
     match load_manifest(&path) {
-        Err(CheckpointError::VersionMismatch { found: 42, expected: 1 }) => {}
+        Err(CheckpointError::VersionMismatch { found: 42, expected: 2 }) => {}
         other => panic!("expected VersionMismatch, got {:?}", other.map(|m| m.seq)),
     }
     let _ = std::fs::remove_dir_all(&dir);

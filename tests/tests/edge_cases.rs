@@ -7,7 +7,7 @@ use dfl_iosim::breakdown::FlowTag;
 use dfl_iosim::cache::CacheConfig;
 use dfl_iosim::sim::{Action, CacheOrigins, JobSpec, SimConfig, Simulation};
 use dfl_iosim::{ClusterSpec, TierKind, TierRef};
-use dfl_workflows::engine::{run, RunConfig, Staging};
+use dfl_workflows::engine::{run, EngineError, RunConfig, Staging};
 use dfl_workflows::spec::{FileUse, TaskSpec, WorkflowSpec};
 
 #[test]
@@ -94,15 +94,19 @@ fn zero_compute_workflow_is_pure_io() {
 }
 
 #[test]
-fn staging_tier_missing_from_cluster_panics() {
+fn staging_tier_missing_from_cluster_is_typed_error() {
     let mut w = WorkflowSpec::new("x");
     w.input("in", 1024);
     w.task(TaskSpec::new("t-0", "t", 1).read(FileUse::whole("in")));
     let mut cfg = RunConfig::default_gpu(1);
     cfg.staging = Staging::staged(TierKind::Beegfs, TierKind::Ramdisk);
     cfg.cluster.tiers.retain(|t| t.kind != TierKind::Ramdisk);
-    let result = std::panic::catch_unwind(|| run(&w, &cfg));
-    assert!(result.is_err(), "missing staging tier must be rejected loudly");
+    match run(&w, &cfg) {
+        Err(EngineError::InvalidSpec(msg)) => {
+            assert!(msg.contains("staging"), "{msg}");
+        }
+        other => panic!("missing staging tier must be rejected loudly, got {other:?}"),
+    }
 }
 
 #[test]

@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 use proptest::prelude::*;
 
 use dfl_iosim::{FaultPlan, SimError, TierKind};
-use dfl_workflows::engine::{run, Placement, RetryPolicy, RunConfig, RunResult, Staging};
+use dfl_workflows::engine::{run, EngineError, Placement, RetryPolicy, RunConfig, RunResult, Staging};
 use dfl_workflows::spec::{FileProduce, FileUse, TaskSpec, WorkflowSpec};
 
 /// Two producers on different nodes write node-local intermediates; one
@@ -122,7 +122,7 @@ fn retries_exhausted_surfaces_as_error() {
     cfg.faults = FaultPlan::seeded(3).crash(0, 300_000_000, 100_000_000);
     cfg.retry = RetryPolicy::none();
     match run(&diamond(), &cfg) {
-        Err(SimError::RetriesExhausted { job, attempts: 1 }) => {
+        Err(EngineError::Sim(SimError::RetriesExhausted { job, attempts: 1 })) => {
             assert_eq!(job, "cons-0");
         }
         other => panic!("expected RetriesExhausted, got {other:?}"),
@@ -137,8 +137,8 @@ fn stage_budget_caps_retries() {
     cfg.retry.max_attempts = 50;
     cfg.retry.stage_budget = Some(2);
     match run(&diamond(), &cfg) {
-        Err(SimError::RetriesExhausted { .. }) => {}
-        Err(SimError::Deadlock { .. }) => {} // retries queue on the dead node
+        Err(EngineError::Sim(SimError::RetriesExhausted { .. })) => {}
+        Err(EngineError::Sim(SimError::Deadlock { .. })) => {} // retries queue on the dead node
         other => panic!("expected exhaustion or deadlock, got {other:?}"),
     }
 }

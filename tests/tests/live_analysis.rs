@@ -172,3 +172,59 @@ fn watched_stall_scenario_emits_diagnoses_in_window_summaries() {
     assert!(seen >= 1, "window summaries must surface the stall diagnosis");
     assert_eq!(seen, r.diagnoses.len(), "summaries partition the diagnosis stream");
 }
+
+/// Window summaries carry the integrity ledger (wasted/recovery bytes and
+/// quarantined-file counts) through their serialized JSONL schema, and a
+/// cone-recovery run surfaces nonzero values in the final window.
+#[test]
+fn window_summaries_surface_integrity_accounting_in_jsonl() {
+    let mut w = WorkflowSpec::new("chain");
+    w.input("in.dat", 8 << 20);
+    w.task(
+        TaskSpec::new("t0", "gen", 1)
+            .read(FileUse::whole("in.dat"))
+            .write(FileProduce::new("a.dat", 8 << 20))
+            .compute_ms(20),
+    );
+    w.task(
+        TaskSpec::new("t1", "xform", 2)
+            .read(FileUse::whole("a.dat").ops(1))
+            .write(FileProduce::new("b.dat", 8 << 20))
+            .compute_ms(20),
+    );
+    w.task(
+        TaskSpec::new("t2", "sink", 3)
+            .read(FileUse::whole("b.dat").ops(3))
+            .write(FileProduce::new("c.dat", 4 << 20))
+            .compute_ms(20),
+    );
+    let mut cfg = RunConfig::default_gpu(2);
+    cfg.verify = dfl_workflows::VerifyPolicy::Sample(3);
+    cfg.faults = FaultPlan::seeded(5).corrupt_file("a.dat");
+    cfg.retry.max_attempts = 10;
+
+    let mut lines = Vec::new();
+    let r = run_watched(&w, &cfg, &WatchOptions::default(), |w| {
+        lines.push(serde_json::to_string(w).expect("window summary serializes"));
+    })
+    .unwrap();
+    assert!(r.failure.quarantined_files > 0, "{}", r.failure);
+
+    let summaries: Vec<serde_json::Value> =
+        lines.iter().map(|l| serde_json::from_str(l).unwrap()).collect();
+    assert!(!summaries.is_empty());
+    for s in &summaries {
+        for key in ["wasted_bytes", "recovery_bytes", "quarantined_files", "moved_bytes"] {
+            assert!(s[key].as_u64().is_some(), "missing or mistyped {key}: {s:?}");
+        }
+    }
+    // The ledger is cumulative: the final window reports the whole run.
+    let last = summaries.last().unwrap();
+    assert_eq!(last["final_window"], serde_json::Value::Bool(true));
+    assert_eq!(last["wasted_bytes"].as_u64().unwrap(), r.failure.wasted_bytes);
+    assert_eq!(last["recovery_bytes"].as_u64().unwrap(), r.failure.recovery_bytes);
+    assert_eq!(
+        last["quarantined_files"].as_u64().unwrap(),
+        u64::from(r.failure.quarantined_files)
+    );
+}
