@@ -1,0 +1,44 @@
+//! Interleaved A/B timing of the 1024-job shared-tier scenario at two
+//! shard counts. Alternating the legs rep-by-rep cancels the slow
+//! frequency/allocator drift a long bench suite suffers on a shared box,
+//! which the grouped criterion runs cannot.
+
+use dfl_iosim::cluster::ClusterSpec;
+use dfl_iosim::shard::ShardPlan;
+use dfl_iosim::sim::{Action, JobSpec, SimConfig, Simulation};
+use dfl_iosim::storage::{TierKind, TierRef};
+
+fn scenario(shards: u32) -> u64 {
+    let cluster = ClusterSpec::gpu_cluster(32);
+    let plan = ShardPlan::partition(cluster.node_count(), shards).unwrap();
+    let mut sim = Simulation::new_sharded(cluster, SimConfig::default(), plan).unwrap();
+    for i in 0..1024usize {
+        let file = format!("in{i}");
+        sim.fs_mut().create_external(&file, (1 << 20) + (i as u64) * 4096, TierRef::shared(TierKind::Beegfs));
+        sim.submit(JobSpec::new(&format!("j-{i}"), (i % 32) as u32).action(Action::read_file(&file)));
+    }
+    sim.run().unwrap();
+    sim.time().ns()
+}
+
+fn main() {
+    let reps: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(15);
+    let mut a = Vec::new(); // shards=1
+    let mut b = Vec::new(); // shards=4
+    let mut end = (0, 0);
+    for _ in 0..reps {
+        let t = std::time::Instant::now();
+        end.0 = scenario(1);
+        a.push(t.elapsed().as_nanos() as u64);
+        let t = std::time::Instant::now();
+        end.1 = scenario(4);
+        b.push(t.elapsed().as_nanos() as u64);
+    }
+    assert_eq!(end.0, end.1, "shard counts must agree on the answer");
+    a.sort_unstable();
+    b.sort_unstable();
+    let med = |v: &[u64]| v[v.len() / 2] as f64 / 1e6;
+    let min = |v: &[u64]| v[0] as f64 / 1e6;
+    println!("shards=1: median {:8.3} ms  min {:8.3} ms", med(&a), min(&a));
+    println!("shards=4: median {:8.3} ms  min {:8.3} ms", med(&b), min(&b));
+}

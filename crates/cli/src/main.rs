@@ -41,13 +41,13 @@ datalife — data flow lifecycle analysis for distributed workflows
 
 USAGE:
   datalife run <genomes|ddmd|belle2|montage|seismic> [--scale tiny|paper] [--nodes N] [-o FILE]
-               [--faults SPEC] [--verify POLICY] [--retries N] [--trace-out FILE]
+               [--faults SPEC] [--verify POLICY] [--retries N] [--trace-out FILE] [--shards K]
   datalife profile <genomes|ddmd|belle2|montage|seismic> [--scale tiny|paper] [--nodes N]
                [--trace-out FILE] [--jsonl FILE] [--sample-ms MS] [--faults SPEC]
-               [--verify POLICY] [--retries N]
+               [--verify POLICY] [--retries N] [--shards K]
   datalife watch <genomes|ddmd|belle2|montage|seismic> [--scale tiny|paper] [--nodes N]
                [--window-ms MS] [--sample-ms MS] [--faults SPEC] [--verify POLICY] [--retries N]
-               [--headless] [--jsonl]
+               [--headless] [--jsonl] [--shards K]
   datalife analyze <measurements.json> [--cost volume|time|branchjoin|fanin]
   datalife rank <measurements.json> [--what pc|data|task]
   datalife caterpillar <measurements.json> [--cost volume|time|branchjoin|fanin]
@@ -57,7 +57,7 @@ USAGE:
   datalife casestudy <genomes|ddmd|belle2>
   datalife chaos <genomes|ddmd|belle2|montage|seismic> [--scale tiny|paper] [--nodes N]
                [--seeds LIST] [--crashes K] [--ckpt-ms MS] [--dir DIR] [--faults SPEC]
-               [--verify POLICY] [--retries N]
+               [--verify POLICY] [--retries N] [--shards K]
 
 `run` simulates the workflow on the paper's Table 2 machines while the DFL
 monitor records lifecycle measurements (written as JSON, default
@@ -107,7 +107,12 @@ verifies the final result — makespan, job reports, failure report, and
 exported timeline — is byte-identical to the golden run. --ckpt-ms sets
 the checkpoint cadence in sim-time milliseconds (default 50); manifests
 go to --dir (default a per-process temp directory). Exits nonzero if any
-seed diverges.";
+seed diverges.
+
+--shards K partitions the event core by node domain into K shards
+(default 1; DFL_SHARDS sets the default when the flag is absent). Every
+observable — measurements, timelines, checkpoints, failure reports — is
+byte-identical at any K; the knob only changes performance.";
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
@@ -145,6 +150,15 @@ fn select_workflow(args: &[String]) -> Result<(WorkflowSpec, RunConfig), String>
     };
     let verify = match arg_value(args, "--verify") {
         Some(s) => Some(parse_verify(&s)?),
+        None => None,
+    };
+    // Event-core shard count; output is byte-identical at any value, so
+    // this is purely a performance knob. DFL_SHARDS is the CI-matrix
+    // override; an explicit --shards wins.
+    let shards: Option<u32> = match arg_value(args, "--shards")
+        .or_else(|| std::env::var("DFL_SHARDS").ok())
+    {
+        Some(s) => Some(s.parse().map_err(|_| format!("bad --shards '{s}'"))?),
         None => None,
     };
 
@@ -196,6 +210,9 @@ fn select_workflow(args: &[String]) -> Result<(WorkflowSpec, RunConfig), String>
     }
     if let Some(v) = verify {
         cfg.verify = v;
+    }
+    if let Some(k) = shards {
+        cfg.shards = k;
     }
     Ok((spec, cfg))
 }

@@ -9,7 +9,7 @@
 //!
 //! # Incremental algorithm
 //!
-//! The engine maintains three auxiliary structures so that topology events
+//! The engine maintains auxiliary structures so that topology events
 //! (`start`, `complete`, `set_capacity`) cost `O(affected)` instead of
 //! `O(all flows)`:
 //!
@@ -18,11 +18,18 @@
 //! * **a resource → flows inverted index** (`flows_on[r]`), so the set of
 //!   flows whose rate *might* change is the union of the index entries of
 //!   the touched resources — never the whole network;
-//! * **a lazy-invalidation binary heap** of predicted completion times keyed
-//!   `(time, key, generation)`. Only re-rated flows push a fresh entry; a
-//!   flow's `generation` counter invalidates its older entries, which are
-//!   discarded when they surface at the top of the heap. `next_completion`
-//!   is therefore `O(log n)` amortized instead of a linear scan.
+//! * **a group-coverage lazy heap**: every topology event gathers the flows
+//!   whose rate actually changed into one fresh *group* and pushes a single
+//!   heap entry — the group's earliest predicted completion — instead of one
+//!   entry per flow. A heap entry `(t, key, slot, slot_gen, group, group_gen)`
+//!   is *valid* while `slot_gen` matches the slot; when it surfaces stale but
+//!   its group is still live, the group's current minimum is recomputed and
+//!   re-pushed (a *refresh*). The invariant that makes this sound: a slot's
+//!   group membership changes **only** together with a `gen` bump (re-rate or
+//!   removal), so a live group's members always carry current rates and
+//!   predictions. `next_completion` is `O(log n)` amortized with `O(group)`
+//!   refreshes, and hot paths that re-rate a thousand flows per event do one
+//!   heap push instead of a thousand.
 //!
 //! A flow's `remaining` bytes are *materialized* (advanced to the current
 //! time) only when its rate actually changes value. Because progress is
@@ -43,7 +50,7 @@ use crate::breakdown::FlowTag;
 use crate::time::SimTime;
 
 /// Index of a bandwidth resource.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ResourceId(pub u32);
 
 /// A capacity-limited resource (bytes per second).
@@ -67,26 +74,123 @@ pub struct FlowOwner {
     pub background: bool,
 }
 
-/// Slab slot for one flow. Slots are recycled through a free list; `gen`
-/// is bumped on every re-rate *and* on removal, so a heap entry is valid
-/// exactly when its generation matches the slot's current one.
+/// Sentinel for "slot belongs to no coverage group" (free slots).
+const NO_GROUP: u32 = u32::MAX;
+
+/// Inline capacity of [`Tiny`]. Simulator paths cross at most six resources
+/// (the longest is a staging union of two three-hop read paths), so the hot
+/// loop never leaves the slot's cache lines; longer paths from external
+/// callers spill to the heap and stay correct.
+const TINY: usize = 6;
+
+/// Fixed-capacity inline vector with heap spill — path storage for a slot.
+/// Rerating reads every affected flow's path once per topology event, so
+/// keeping the common short path inside the slot (instead of behind a `Vec`
+/// pointer) removes one dependent cache miss per flow per event.
+#[derive(Debug, Clone, Default)]
+struct Tiny<T: Copy + Default> {
+    len: u32,
+    buf: [T; TINY],
+    /// Boxed so the rare spill costs one pointer (8 B) in every slot
+    /// instead of an inline `Vec` (24 B) — the double indirection only
+    /// ever taxes the already-slow long-path case.
+    #[allow(clippy::box_collection)]
+    spill: Option<Box<Vec<T>>>,
+}
+
+impl<T: Copy + Default> Tiny<T> {
+    fn clear(&mut self) {
+        self.len = 0;
+        self.spill = None;
+    }
+
+    fn push(&mut self, v: T) {
+        let l = self.len as usize;
+        if l < TINY {
+            self.buf[l] = v;
+        } else {
+            let spill =
+                self.spill.get_or_insert_with(|| Box::new(self.buf.to_vec()));
+            spill.push(v);
+        }
+        self.len += 1;
+    }
+
+    fn as_slice(&self) -> &[T] {
+        match &self.spill {
+            Some(spill) => spill,
+            None => &self.buf[..self.len as usize],
+        }
+    }
+
+    fn set(&mut self, i: usize, v: T) {
+        match &mut self.spill {
+            Some(spill) => spill[i] = v,
+            None => self.buf[i] = v,
+        }
+    }
+}
+
+impl<T: Copy + Default> FromIterator<T> for Tiny<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut t = Tiny::default();
+        for v in iter {
+            t.push(v);
+        }
+        t
+    }
+}
+
+/// Rerate-hot state of one flow slot. Every topology event sweeps the
+/// *entire* affected set reading exactly these fields, so they are packed
+/// into one 56-byte struct (one cache line) separate from the cold tail in
+/// [`Slot`]; with a thousand concurrent flows the split roughly halves the
+/// per-event memory traffic. Stored in `FlowNet::hot`, parallel to `slots`.
 #[derive(Debug)]
-struct Slot {
-    /// External key (monotone, never reused — the determinism tie-break).
-    key: u64,
-    gen: u64,
-    /// Epoch marker for O(1) dedup while collecting affected flows.
-    mark: u64,
-    path: Vec<ResourceId>,
-    /// `pos[i]` = this slot's position inside `flows_on[path[i]]`.
-    pos: Vec<u32>,
+struct Hot {
     /// Bytes left as of `synced` (the flow's last rate change).
     remaining: f64,
     rate: f64,
-    owner: FlowOwner,
-    started: SimTime,
+    /// Predicted completion (ns) under the current rate — always equal to
+    /// `synced.add_secs_ceil(remaining / rate)` for live slots, so it is
+    /// recomputed (not serialized) on snapshot restore.
+    pred: u64,
+    /// Bumped on every re-rate *and* on removal, so a heap entry is valid
+    /// exactly when its generation matches the slot's current one.
+    gen: u64,
+    /// External key (monotone, never reused — the determinism tie-break).
+    key: u64,
     /// Time at which `remaining` was last materialized.
     synced: SimTime,
+    /// Coverage group this slot belongs to, and its position in the group's
+    /// member list (for O(1) unlink).
+    group: u32,
+    gpos: u32,
+}
+
+/// Cold tail of a flow slot — touched `O(1)` times per flow lifetime
+/// (start/remove), never by the per-event rerate sweep. Slots are recycled
+/// through a free list shared with their [`Hot`] and path entries.
+#[derive(Debug)]
+struct Slot {
+    /// `pos[i]` = this slot's position inside `flows_on[path[i]]`.
+    pos: Tiny<u32>,
+    /// Original size of the flow in bytes (constant for its lifetime).
+    total: f64,
+    owner: FlowOwner,
+    started: SimTime,
+}
+
+/// A coverage group: the set of flows re-rated together by one topology
+/// event. Exactly one heap entry is pushed per group creation; when that
+/// entry goes stale the group's current minimum is recomputed lazily.
+/// `gen` is bumped when the group empties, invalidating its heap entries;
+/// emptied groups (and their member buffers) are recycled through a free
+/// list so steady-state churn does not allocate.
+#[derive(Debug)]
+struct Group {
+    gen: u64,
+    members: Vec<u32>,
 }
 
 /// The flow network: resources plus active flows.
@@ -99,23 +203,46 @@ pub struct FlowNet {
     resources: Vec<Resource>,
     /// `load[r]` = number of active path crossings of resource `r`.
     load: Vec<u32>,
+    /// Cached fair share `capacity[r] / load[r]` — the identical division
+    /// every flow on `r` would perform, done once per load/capacity change
+    /// instead of once per affected flow (bit-identical by construction:
+    /// same operands, same rounding). `+inf` while `r` is idle; derived
+    /// state, rebuilt on restore.
+    share: Vec<f64>,
     /// `flows_on[r]` = `(slot, path index)` of each active crossing of `r`;
     /// the path index lets a swap-remove patch the moved entry's `pos`.
     flows_on: Vec<Vec<(u32, u32)>>,
+    /// Rerate-hot slot state (see [`Hot`]), parallel to `slots`.
+    hot: Vec<Hot>,
+    /// `paths[s]` = slot `s`'s resource path — read by every rerate, kept
+    /// out of both [`Hot`] (too big) and [`Slot`] (too cold).
+    paths: Vec<Tiny<ResourceId>>,
     slots: Vec<Slot>,
+    /// `marks[s]` = epoch marker for slot `s` — O(1) dedup while collecting
+    /// affected flows. Kept outside [`Slot`] so the dedup sweep touches a
+    /// dense array instead of one cache line per (much larger) slot.
+    marks: Vec<u64>,
     free: Vec<u32>,
     key_to_slot: HashMap<u64, u32>,
     next_key: u64,
     epoch: u64,
     /// Scratch list of affected slots (kept to reuse its allocation).
     affected: Vec<u32>,
-    /// Min-heap of predicted completions (lazy invalidation).
+    /// Scratch list of slots whose rate changed this event (they migrate
+    /// into one fresh group together).
+    regroup: Vec<u32>,
+    /// Coverage-group slab plus free list of emptied groups.
+    groups: Vec<Group>,
+    gfree: Vec<u32>,
+    /// Min-heap of group-coverage completion predictions (lazy refresh).
     heap: RefCell<BinaryHeap<HeapEntry>>,
 }
 
-/// Heap entry: `(predicted completion ns, key, slot, generation)` — ordered
-/// by time then key, matching the lowest-key tie-break.
-type HeapEntry = Reverse<(u64, u64, u32, u64)>;
+/// Heap entry: `(predicted completion ns, key, slot, slot gen, group,
+/// group gen)` — ordered by time then key, matching the lowest-key
+/// tie-break. Valid while `slot gen` matches; refreshable while `group
+/// gen` matches.
+type HeapEntry = Reverse<(u64, u64, u32, u64, u32, u64)>;
 
 impl FlowNet {
     pub fn new() -> Self {
@@ -128,6 +255,7 @@ impl FlowNet {
         let id = ResourceId(self.resources.len() as u32);
         self.resources.push(Resource { name: name.to_owned(), capacity });
         self.load.push(0);
+        self.share.push(f64::INFINITY);
         self.flows_on.push(Vec::new());
         id
     }
@@ -150,19 +278,26 @@ impl FlowNet {
         self.key_to_slot.len()
     }
 
-    /// Fair-share rate of a path under the current load counts.
-    fn fair_rate(resources: &[Resource], load: &[u32], path: &[ResourceId]) -> f64 {
+    /// Fair-share rate of a path under the current load counts: the minimum
+    /// of the cached per-resource shares.
+    fn fair_rate(share: &[f64], path: &[ResourceId]) -> f64 {
         let mut rate = f64::INFINITY;
         for r in path {
-            let share = resources[r.0 as usize].capacity / load[r.0 as usize] as f64;
-            rate = rate.min(share);
+            rate = rate.min(share[r.0 as usize]);
         }
         assert!(rate.is_finite(), "flows must traverse at least one resource");
         rate
     }
 
+    /// Refreshes the cached share of resource `r` after a load or capacity
+    /// change.
+    #[inline]
+    fn refresh_share(&mut self, r: usize) {
+        self.share[r] = self.resources[r].capacity / self.load[r] as f64;
+    }
+
     /// Advances a flow's `remaining` to `now` at its current rate.
-    fn materialize(f: &mut Slot, now: SimTime) {
+    fn materialize(f: &mut Hot, now: SimTime) {
         let dt = now.since(f.synced) as f64 / 1e9;
         if dt > 0.0 {
             f.remaining = (f.remaining - f.rate * dt).max(0.0);
@@ -177,43 +312,138 @@ impl FlowNet {
         self.affected.clear();
         for r in path {
             for &(slot, _) in &self.flows_on[r.0 as usize] {
-                if slot == exclude || self.slots[slot as usize].mark == self.epoch {
+                if slot == exclude || self.marks[slot as usize] == self.epoch {
                     continue;
                 }
-                self.slots[slot as usize].mark = self.epoch;
+                self.marks[slot as usize] = self.epoch;
                 self.affected.push(slot);
             }
         }
     }
 
+    /// Unlinks a slot from its coverage group (swap-remove with back-pointer
+    /// patch). A group that empties bumps its generation — invalidating its
+    /// heap entries — and returns to the free list with its member buffer.
+    fn unlink_group(&mut self, slot: u32) {
+        let gid = self.hot[slot as usize].group;
+        if gid == NO_GROUP {
+            return;
+        }
+        self.hot[slot as usize].group = NO_GROUP;
+        let g = &mut self.groups[gid as usize];
+        let p = self.hot[slot as usize].gpos as usize;
+        g.members.swap_remove(p);
+        if let Some(&moved) = g.members.get(p) {
+            self.hot[moved as usize].gpos = p as u32;
+        }
+        if g.members.is_empty() {
+            g.gen += 1;
+            self.gfree.push(gid);
+        }
+    }
+
     /// Recomputes the rate of every flow in `self.affected`; flows whose
-    /// rate actually changed value are materialized at `now` and get a
-    /// fresh heap entry. Flows whose rate is unchanged (bottleneck
-    /// elsewhere) are left untouched — their heap entry stays valid.
-    fn rerate_affected(&mut self, now: SimTime) {
-        let heap = self.heap.get_mut();
+    /// rate actually changed value are materialized at `now`, migrated into
+    /// one fresh coverage group together with `extra` (the slot a `start`
+    /// just created, if any), and the group's minimum prediction is pushed
+    /// as a single heap entry. Flows whose rate is unchanged (bottleneck
+    /// elsewhere) are left untouched — their group coverage stays valid.
+    fn rerate_affected(&mut self, now: SimTime, extra: Option<u32>) {
+        self.regroup.clear();
         for i in 0..self.affected.len() {
             let slot = self.affected[i];
-            let f = &mut self.slots[slot as usize];
-            let new_rate = Self::fair_rate(&self.resources, &self.load, &f.path);
+            let new_rate = Self::fair_rate(&self.share, self.paths[slot as usize].as_slice());
+            let f = &mut self.hot[slot as usize];
             if new_rate.to_bits() != f.rate.to_bits() {
                 Self::materialize(f, now);
                 f.rate = new_rate;
                 f.gen += 1;
-                let t = f.synced.add_secs_ceil(f.remaining / f.rate);
-                heap.push(Reverse((t.0, f.key, slot, f.gen)));
+                f.pred = f.synced.add_secs_ceil(f.remaining / f.rate).0;
+                self.regroup.push(slot);
             }
         }
+        if let Some(s) = extra {
+            self.regroup.push(s);
+        }
+        if self.regroup.is_empty() {
+            return;
+        }
+        // Fast path: the re-rated set swallows one old group whole — the
+        // common shape when every active flow shares one bottleneck — so the
+        // group is retired wholesale (clear + gen bump + free, exactly the
+        // state the member-by-member unlink would reach) instead of paying a
+        // swap-remove and back-pointer patch per member.
+        let mut gid0 = NO_GROUP;
+        let mut grouped = 0usize;
+        let mut uniform = true;
+        for &slot in &self.regroup {
+            let gid = self.hot[slot as usize].group;
+            if gid == NO_GROUP {
+                continue;
+            }
+            if gid0 == NO_GROUP {
+                gid0 = gid;
+            } else if gid != gid0 {
+                uniform = false;
+                break;
+            }
+            grouped += 1;
+        }
+        if uniform && gid0 != NO_GROUP && grouped == self.groups[gid0 as usize].members.len() {
+            let g = &mut self.groups[gid0 as usize];
+            g.members.clear();
+            g.gen += 1;
+            self.gfree.push(gid0);
+        } else {
+            for i in 0..self.regroup.len() {
+                let slot = self.regroup[i];
+                self.unlink_group(slot);
+            }
+        }
+        let gid = match self.gfree.pop() {
+            Some(g) => g,
+            None => {
+                self.groups.push(Group { gen: 0, members: Vec::new() });
+                (self.groups.len() - 1) as u32
+            }
+        };
+        let ggen = self.groups[gid as usize].gen;
+        let mut best = (u64::MAX, u64::MAX, 0u32, 0u64);
+        for (i, &slot) in self.regroup.iter().enumerate() {
+            let f = &mut self.hot[slot as usize];
+            f.group = gid;
+            f.gpos = i as u32;
+            if (f.pred, f.key) < (best.0, best.1) {
+                best = (f.pred, f.key, slot, f.gen);
+            }
+        }
+        // Swap the scratch list in as the group's member buffer (and adopt
+        // the group's recycled empty buffer as next event's scratch).
+        let recycled = std::mem::take(&mut self.groups[gid as usize].members);
+        debug_assert!(recycled.is_empty());
+        self.groups[gid as usize].members = std::mem::replace(&mut self.regroup, recycled);
+        let heap = self.heap.get_mut();
+        heap.push(Reverse((best.0, best.1, best.2, best.3, gid, ggen)));
         // Bound heap growth: stale entries are normally discarded lazily by
         // `next_completion`, but a long run of re-rates between polls could
-        // otherwise pile them up.
-        if heap.len() > 2 * self.key_to_slot.len() + 64 {
-            let slots = &self.slots;
-            let live: Vec<_> = heap
-                .drain()
-                .filter(|Reverse((_, _, slot, gen))| slots[*slot as usize].gen == *gen)
-                .collect();
-            heap.extend(live);
+        // otherwise pile them up. Rebuild to exactly one entry per live
+        // group — a deterministic function of the current network state.
+        let live_groups = self.groups.len() - self.gfree.len();
+        if heap.len() > 2 * live_groups + 64 {
+            heap.clear();
+            for (gid, g) in self.groups.iter().enumerate() {
+                if g.members.is_empty() {
+                    continue;
+                }
+                let mut best = (u64::MAX, u64::MAX, 0u32, 0u64);
+                for &m in &g.members {
+                    let f = &self.hot[m as usize];
+                    if (f.pred, f.key) < (best.0, best.1) {
+                        best = (f.pred, f.key, m, f.gen);
+                    }
+                }
+                heap.push(Reverse((best.0, best.1, best.2, best.3, gid as u32, g.gen)));
+            }
         }
     }
 
@@ -233,51 +463,50 @@ impl FlowNet {
         let slot = match self.free.pop() {
             Some(s) => s,
             None => {
-                self.slots.push(Slot {
-                    key: 0,
-                    gen: 0,
-                    mark: 0,
-                    path: Vec::new(),
-                    pos: Vec::new(),
+                self.marks.push(0);
+                self.hot.push(Hot {
                     remaining: 0.0,
                     rate: 0.0,
-                    owner,
-                    started: now,
+                    pred: 0,
+                    gen: 0,
+                    key: 0,
                     synced: now,
+                    group: NO_GROUP,
+                    gpos: 0,
                 });
+                self.paths.push(Tiny::default());
+                self.slots.push(Slot { pos: Tiny::default(), total: 0.0, owner, started: now });
                 (self.slots.len() - 1) as u32
             }
         };
-        {
-            let f = &mut self.slots[slot as usize];
-            f.path.clear();
-            f.pos.clear();
-        }
+        self.paths[slot as usize].clear();
+        self.slots[slot as usize].pos.clear();
         for (i, r) in path.iter().enumerate() {
             self.load[r.0 as usize] += 1;
+            self.refresh_share(r.0 as usize);
             let p = self.flows_on[r.0 as usize].len() as u32;
             self.flows_on[r.0 as usize].push((slot, i as u32));
-            let f = &mut self.slots[slot as usize];
-            f.path.push(*r);
-            f.pos.push(p);
+            self.paths[slot as usize].push(*r);
+            self.slots[slot as usize].pos.push(p);
         }
         self.collect_affected(path, slot);
-        let rate = Self::fair_rate(&self.resources, &self.load, path);
+        let rate = Self::fair_rate(&self.share, path);
         let t = now.add_secs_ceil(bytes / rate);
         {
-            let f = &mut self.slots[slot as usize];
-            f.key = key.0;
-            f.gen += 1;
+            let f = &mut self.hot[slot as usize];
             f.remaining = bytes;
             f.rate = rate;
-            f.owner = owner;
-            f.started = now;
+            f.pred = t.0;
+            f.gen += 1;
+            f.key = key.0;
             f.synced = now;
-            let gen = f.gen;
-            self.heap.get_mut().push(Reverse((t.0, key.0, slot, gen)));
+            let c = &mut self.slots[slot as usize];
+            c.total = bytes;
+            c.owner = owner;
+            c.started = now;
         }
         self.key_to_slot.insert(key.0, slot);
-        self.rerate_affected(now);
+        self.rerate_affected(now, Some(slot));
         key
     }
 
@@ -285,74 +514,98 @@ impl FlowNet {
     /// the lowest key for determinism.
     pub fn next_completion(&self) -> Option<(SimTime, FlowKey)> {
         let mut heap = self.heap.borrow_mut();
-        while let Some(&Reverse((t, key, slot, gen))) = heap.peek() {
-            if self.slots[slot as usize].gen == gen {
+        while let Some(&Reverse((t, key, slot, sgen, gid, ggen))) = heap.peek() {
+            if self.hot[slot as usize].gen == sgen {
                 return Some((SimTime(t), FlowKey(key)));
             }
             heap.pop();
+            // The cached minimum went stale, but its group may still be
+            // live: recompute the minimum over the group's *current*
+            // members (whose rates and predictions are always current —
+            // membership only changes together with a gen bump) and push a
+            // fresh, valid entry.
+            let g = &self.groups[gid as usize];
+            if g.gen == ggen && !g.members.is_empty() {
+                let mut best = (u64::MAX, u64::MAX, 0u32, 0u64);
+                for &m in &g.members {
+                    let f = &self.hot[m as usize];
+                    if (f.pred, f.key) < (best.0, best.1) {
+                        best = (f.pred, f.key, m, f.gen);
+                    }
+                }
+                heap.push(Reverse((best.0, best.1, best.2, best.3, gid, ggen)));
+            }
         }
         None
     }
 
-    /// Completes and removes flow `key` at `now`; returns its owner and the
-    /// time the flow spent active (ns).
-    pub fn complete(&mut self, now: SimTime, key: FlowKey) -> (FlowOwner, u64) {
+    /// Completes and removes flow `key` at `now`; returns its owner, the
+    /// time the flow spent active (ns), and its original size in bytes.
+    pub fn complete(&mut self, now: SimTime, key: FlowKey) -> (FlowOwner, u64, f64) {
         let rate = self.rate_of(key).expect("flow exists");
-        let (owner, elapsed, remaining) = self.remove(now, key);
+        let (owner, elapsed, remaining, total) = self.remove(now, key);
         // Slack scales with rate: one rate-quantum of rounding plus a byte.
         debug_assert!(
             remaining <= rate * 1e-6 + 1.0,
             "flow completed with {remaining} bytes left"
         );
         let _ = (rate, remaining);
-        (owner, elapsed)
+        (owner, elapsed, total)
     }
 
     /// Cancels and removes flow `key` at `now` (the owning job failed).
-    /// Returns the owner, the time the flow spent active (ns), and the
-    /// bytes it had *not* yet moved — callers subtract from the flow's
-    /// original size to account wasted transfer.
-    pub fn cancel(&mut self, now: SimTime, key: FlowKey) -> (FlowOwner, u64, f64) {
+    /// Returns the owner, the time the flow spent active (ns), the bytes it
+    /// had *not* yet moved, and its original size — callers subtract to
+    /// account wasted transfer.
+    pub fn cancel(&mut self, now: SimTime, key: FlowKey) -> (FlowOwner, u64, f64, f64) {
         self.remove(now, key)
     }
 
     /// Shared removal path for completion and cancellation.
-    fn remove(&mut self, now: SimTime, key: FlowKey) -> (FlowOwner, u64, f64) {
+    fn remove(&mut self, now: SimTime, key: FlowKey) -> (FlowOwner, u64, f64, f64) {
         let slot = self.key_to_slot.remove(&key.0).expect("flow exists");
-        let f = &mut self.slots[slot as usize];
+        let f = &mut self.hot[slot as usize];
         Self::materialize(f, now);
         f.gen += 1; // invalidate any heap entries for this flow
-        let owner = f.owner;
-        let elapsed = now.since(f.started);
         let remaining = f.remaining;
-        let path = std::mem::take(&mut f.path);
-        let pos = std::mem::take(&mut f.pos);
+        let c = &self.slots[slot as usize];
+        let owner = c.owner;
+        let elapsed = now.since(c.started);
+        let total = c.total;
+        let path = std::mem::take(&mut self.paths[slot as usize]);
+        let pos = std::mem::take(&mut self.slots[slot as usize].pos);
+        self.unlink_group(slot);
         // Unlink from every resource; swap-remove keeps the lists dense and
         // patches the moved entry's back-pointer.
-        for (i, r) in path.iter().enumerate() {
+        for (i, r) in path.as_slice().iter().enumerate() {
             let ri = r.0 as usize;
             self.load[ri] -= 1;
-            let p = pos[i] as usize;
+            self.refresh_share(ri);
+            let p = pos.as_slice()[i] as usize;
             let list = &mut self.flows_on[ri];
             list.swap_remove(p);
             if let Some(&(moved_slot, moved_idx)) = list.get(p) {
-                self.slots[moved_slot as usize].pos[moved_idx as usize] = p as u32;
+                self.slots[moved_slot as usize].pos.set(moved_idx as usize, p as u32);
             }
         }
-        self.collect_affected(&path, slot);
+        self.collect_affected(path.as_slice(), slot);
         // Hand the buffers back to the slot so the next flow through it
         // starts allocation-free.
-        let f = &mut self.slots[slot as usize];
-        f.path = path;
-        f.pos = pos;
+        self.paths[slot as usize] = path;
+        self.slots[slot as usize].pos = pos;
         self.free.push(slot);
-        self.rerate_affected(now);
-        (owner, elapsed, remaining)
+        self.rerate_affected(now, None);
+        (owner, elapsed, remaining, total)
     }
 
     /// Current rate of a flow, bytes/sec (for tests/inspection).
     pub fn rate_of(&self, key: FlowKey) -> Option<f64> {
-        self.key_to_slot.get(&key.0).map(|&s| self.slots[s as usize].rate)
+        self.key_to_slot.get(&key.0).map(|&s| self.hot[s as usize].rate)
+    }
+
+    /// Original size of a flow in bytes (None once completed/cancelled).
+    pub fn bytes_of(&self, key: FlowKey) -> Option<f64> {
+        self.key_to_slot.get(&key.0).map(|&s| self.slots[s as usize].total)
     }
 
     /// Changes a resource's capacity at time `now` (failure/straggler
@@ -366,18 +619,20 @@ impl FlowNet {
     pub fn set_capacity(&mut self, now: SimTime, id: ResourceId, capacity: f64) {
         assert!(capacity > 0.0, "capacity must stay positive");
         self.resources[id.0 as usize].capacity = capacity;
+        self.refresh_share(id.0 as usize);
         self.collect_affected(&[id], u32::MAX);
-        self.rerate_affected(now);
+        self.rerate_affected(now, None);
     }
 
     /// Captures the complete engine state — slots (including recycled ones,
     /// whose generation counters keep stale heap entries invalid), free
-    /// list, inverted index, and the lazy completion heap — so a restored
-    /// network replays the exact same completions, tie-breaks, and heap
-    /// compactions as one that was never serialized. Floats travel as
-    /// IEEE-754 bit patterns.
+    /// list, inverted index, coverage groups, and the lazy completion heap —
+    /// so a restored network replays the exact same completions, tie-breaks,
+    /// and heap compactions as one that was never serialized. Floats travel
+    /// as IEEE-754 bit patterns; per-slot predictions and group back-links
+    /// are derived on restore.
     pub fn snapshot(&self) -> FlowNetSnapshot {
-        let mut heap: Vec<(u64, u64, u32, u64)> =
+        let mut heap: Vec<(u64, u64, u32, u64, u32, u64)> =
             self.heap.borrow().iter().map(|Reverse(e)| *e).collect();
         heap.sort_unstable();
         FlowNetSnapshot {
@@ -391,66 +646,115 @@ impl FlowNet {
             slots: self
                 .slots
                 .iter()
-                .map(|s| SlotSnapshot {
-                    key: s.key,
-                    gen: s.gen,
-                    mark: s.mark,
-                    path: s.path.iter().map(|r| r.0).collect(),
-                    pos: s.pos.clone(),
-                    remaining_bits: s.remaining.to_bits(),
-                    rate_bits: s.rate.to_bits(),
+                .enumerate()
+                .map(|(i, s)| SlotSnapshot {
+                    key: self.hot[i].key,
+                    gen: self.hot[i].gen,
+                    mark: self.marks[i],
+                    path: self.paths[i].as_slice().iter().map(|r| r.0).collect(),
+                    pos: s.pos.as_slice().to_vec(),
+                    remaining_bits: self.hot[i].remaining.to_bits(),
+                    total_bits: s.total.to_bits(),
+                    rate_bits: self.hot[i].rate.to_bits(),
                     owner: s.owner,
                     started_ns: s.started.ns(),
-                    synced_ns: s.synced.ns(),
+                    synced_ns: self.hot[i].synced.ns(),
                 })
                 .collect(),
             free: self.free.clone(),
             next_key: self.next_key,
             epoch: self.epoch,
+            groups: self.groups.iter().map(|g| (g.gen, g.members.clone())).collect(),
+            gfree: self.gfree.clone(),
             heap,
         }
     }
 
     /// Rebuilds a network from a [`FlowNet::snapshot`]. The `key → slot`
-    /// index is derived (every slot not on the free list is live).
+    /// index, slot → group back-links, and per-slot completion predictions
+    /// are derived (every slot not on the free list is live; `pred` is a
+    /// pure function of the bit-restored `synced`/`remaining`/`rate`).
     pub fn from_snapshot(snap: FlowNetSnapshot) -> Self {
+        let marks: Vec<u64> = snap.slots.iter().map(|s| s.mark).collect();
+        let mut hot: Vec<Hot> = snap
+            .slots
+            .iter()
+            .map(|s| Hot {
+                remaining: f64::from_bits(s.remaining_bits),
+                rate: f64::from_bits(s.rate_bits),
+                pred: 0,
+                gen: s.gen,
+                key: s.key,
+                synced: SimTime(s.synced_ns),
+                group: NO_GROUP,
+                gpos: 0,
+            })
+            .collect();
+        let paths: Vec<Tiny<ResourceId>> = snap
+            .slots
+            .iter()
+            .map(|s| s.path.iter().map(|&r| ResourceId(r)).collect())
+            .collect();
         let slots: Vec<Slot> = snap
             .slots
             .into_iter()
             .map(|s| Slot {
-                key: s.key,
-                gen: s.gen,
-                mark: s.mark,
-                path: s.path.into_iter().map(ResourceId).collect(),
-                pos: s.pos,
-                remaining: f64::from_bits(s.remaining_bits),
-                rate: f64::from_bits(s.rate_bits),
+                pos: s.pos.into_iter().collect(),
+                total: f64::from_bits(s.total_bits),
                 owner: s.owner,
                 started: SimTime(s.started_ns),
-                synced: SimTime(s.synced_ns),
             })
             .collect();
         let free_set: std::collections::HashSet<u32> = snap.free.iter().copied().collect();
-        let key_to_slot = slots
+        let key_to_slot: HashMap<u64, u32> = hot
             .iter()
             .enumerate()
             .filter(|(i, _)| !free_set.contains(&(*i as u32)))
-            .map(|(i, s)| (s.key, i as u32))
+            .map(|(i, h)| (h.key, i as u32))
+            .collect();
+        for (i, h) in hot.iter_mut().enumerate() {
+            if !free_set.contains(&(i as u32)) {
+                h.pred = h.synced.add_secs_ceil(h.remaining / h.rate).0;
+            }
+        }
+        let groups: Vec<Group> = snap
+            .groups
+            .into_iter()
+            .map(|(gen, members)| Group { gen, members })
+            .collect();
+        for (gid, g) in groups.iter().enumerate() {
+            for (i, &m) in g.members.iter().enumerate() {
+                hot[m as usize].group = gid as u32;
+                hot[m as usize].gpos = i as u32;
+            }
+        }
+        let resources: Vec<Resource> = snap
+            .resources
+            .into_iter()
+            .map(|(name, bits)| Resource { name, capacity: f64::from_bits(bits) })
+            .collect();
+        let share: Vec<f64> = resources
+            .iter()
+            .zip(&snap.load)
+            .map(|(r, &l)| r.capacity / l as f64)
             .collect();
         FlowNet {
-            resources: snap
-                .resources
-                .into_iter()
-                .map(|(name, bits)| Resource { name, capacity: f64::from_bits(bits) })
-                .collect(),
+            resources,
             load: snap.load,
+            share,
             flows_on: snap.flows_on,
+            hot,
+            paths,
             slots,
+            marks,
             free: snap.free,
             key_to_slot,
             next_key: snap.next_key,
             epoch: snap.epoch,
             affected: Vec::new(),
+            regroup: Vec::new(),
+            groups,
+            gfree: snap.gfree,
             heap: RefCell::new(snap.heap.into_iter().map(Reverse).collect()),
         }
     }
@@ -465,6 +769,7 @@ pub struct SlotSnapshot {
     pub path: Vec<u32>,
     pub pos: Vec<u32>,
     pub remaining_bits: u64,
+    pub total_bits: u64,
     pub rate_bits: u64,
     pub owner: FlowOwner,
     pub started_ns: u64,
@@ -483,9 +788,14 @@ pub struct FlowNetSnapshot {
     pub free: Vec<u32>,
     pub next_key: u64,
     pub epoch: u64,
-    /// Heap entries `(time, key, slot, gen)` sorted ascending; stale
-    /// entries are preserved so lazy-invalidation behavior is unchanged.
-    pub heap: Vec<(u64, u64, u32, u64)>,
+    /// Coverage groups as `(generation, member slots)` in slab order,
+    /// including recycled (empty) groups so generation counters survive.
+    pub groups: Vec<(u64, Vec<u32>)>,
+    pub gfree: Vec<u32>,
+    /// Heap entries `(time, key, slot, slot gen, group, group gen)` sorted
+    /// ascending; stale entries are preserved so lazy-refresh behavior is
+    /// unchanged.
+    pub heap: Vec<(u64, u64, u32, u64, u32, u64)>,
 }
 
 /// Naive full-recompute reference model.
@@ -686,14 +996,17 @@ mod tests {
     }
 
     #[test]
-    fn complete_returns_elapsed_time() {
+    fn complete_returns_elapsed_time_and_bytes() {
         let mut net = FlowNet::new();
         let r = net.add_resource("disk", 100.0);
         let k = net.start(SimTime::from_secs(1.0), &[r], 100.0, owner());
+        assert_eq!(net.bytes_of(k), Some(100.0));
         let (t, _) = net.next_completion().unwrap();
-        let (_, elapsed) = net.complete(t, k);
+        let (_, elapsed, bytes) = net.complete(t, k);
         assert_eq!(elapsed, 1_000_000_000);
+        assert_eq!(bytes, 100.0);
         assert_eq!(net.active_count(), 0);
+        assert_eq!(net.bytes_of(k), None);
     }
 
     #[test]
@@ -709,9 +1022,10 @@ mod tests {
         let a = net.start(SimTime::ZERO, &[r], 200.0, owner());
         let b = net.start(SimTime::ZERO, &[r], 200.0, owner());
         // After 1s at 50 B/s each, cancel a: 150 bytes unmoved.
-        let (_, elapsed, remaining) = net.cancel(SimTime::from_secs(1.0), a);
+        let (_, elapsed, remaining, total) = net.cancel(SimTime::from_secs(1.0), a);
         assert_eq!(elapsed, 1_000_000_000);
         assert_eq!(remaining, 150.0);
+        assert_eq!(total, 200.0);
         // b gets the full disk back: 150 left at 100 B/s ⇒ done at 2.5s.
         assert_eq!(net.rate_of(b), Some(100.0));
         let (t, k) = net.next_completion().unwrap();
@@ -739,7 +1053,7 @@ mod tests {
     fn unchanged_rate_keeps_prediction_stable() {
         // b's bottleneck is its private slow disk; sharing the fat pfs link
         // with a new flow does not change b's rate, so b must not be
-        // re-rated (rate value identical, no new heap entry needed).
+        // re-rated (rate value identical, group coverage stays valid).
         let mut net = FlowNet::new();
         let pfs = net.add_resource("pfs", 1000.0);
         let slow = net.add_resource("slow", 10.0);
@@ -770,6 +1084,53 @@ mod tests {
     }
 
     #[test]
+    fn group_refresh_finds_surviving_member() {
+        // Two flows re-rated together share one coverage entry whose cached
+        // minimum is flow a; completing a must surface b via a group
+        // refresh, not lose it.
+        let mut net = FlowNet::new();
+        let r = net.add_resource("disk", 100.0);
+        let a = net.start(SimTime::ZERO, &[r], 50.0, owner());
+        let b = net.start(SimTime::ZERO, &[r], 150.0, owner());
+        let (t1, k1) = net.next_completion().unwrap();
+        assert_eq!(k1, a);
+        net.complete(t1, a);
+        // b was re-rated by the departure, so it sits in a fresh group; its
+        // completion must still be found.
+        let (t2, k2) = net.next_completion().unwrap();
+        assert_eq!(k2, b);
+        assert_eq!(t2, SimTime::from_secs(2.0));
+        net.complete(t2, b);
+        assert_eq!(net.next_completion(), None);
+    }
+
+    #[test]
+    fn group_refresh_after_member_migrates() {
+        // a and b start together on the shared disk (one group). A later
+        // capacity change on a second resource crossing only b migrates b
+        // into a new group; the old group's cached minimum may go stale and
+        // must refresh to the surviving member.
+        let mut net = FlowNet::new();
+        let disk = net.add_resource("disk", 100.0);
+        let wan = net.add_resource("wan", 1000.0);
+        let a = net.start(SimTime::ZERO, &[disk], 100.0, owner());
+        let b = net.start(SimTime::ZERO, &[disk, wan], 100.0, owner());
+        // Both at 50 B/s; a wins the tie (lower key) at 2s.
+        assert_eq!(net.next_completion().unwrap().1, a);
+        // Throttle the wan so only b is re-rated (migrates groups).
+        net.set_capacity(SimTime::from_secs(1.0), wan, 10.0);
+        assert_eq!(net.rate_of(b), Some(10.0));
+        // a still completes first at its original prediction.
+        let (t, k) = net.next_completion().unwrap();
+        assert_eq!((t, k), (SimTime::from_secs(2.0), a));
+        net.complete(t, a);
+        // b: 50 bytes left at 1s, then 10 B/s ⇒ 6s... after a departs at 2s
+        // b is re-rated to min(100, 10) = 10, unchanged value ⇒ no re-rate.
+        let (_, k) = net.next_completion().unwrap();
+        assert_eq!(k, b);
+    }
+
+    #[test]
     fn load_index_consistent_after_churn() {
         let mut net = FlowNet::new();
         let r = net.add_resource("disk", 100.0);
@@ -783,6 +1144,35 @@ mod tests {
         assert_eq!(net.load[r.0 as usize], 0);
         assert!(net.flows_on[r.0 as usize].is_empty());
         assert_eq!(net.next_completion(), None);
+        // All groups emptied back onto the free list.
+        assert_eq!(net.groups.len(), net.gfree.len());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_completions() {
+        let mut net = FlowNet::new();
+        let disk = net.add_resource("disk", 100.0);
+        let wan = net.add_resource("wan", 25.0);
+        net.start(SimTime::ZERO, &[disk], 120.0, owner());
+        net.start(SimTime::ZERO, &[disk, wan], 80.0, owner());
+        net.start(SimTime::from_secs(0.5), &[wan], 40.0, owner());
+        net.set_capacity(SimTime::from_secs(0.75), disk, 60.0);
+        let snap = net.snapshot();
+        let mut restored = FlowNet::from_snapshot(snap);
+        loop {
+            let a = net.next_completion();
+            let b = restored.next_completion();
+            assert_eq!(a, b);
+            match a {
+                Some((t, k)) => {
+                    let x = net.complete(t, k);
+                    let y = restored.complete(t, k);
+                    assert_eq!(x.1, y.1);
+                    assert_eq!(x.2.to_bits(), y.2.to_bits());
+                }
+                None => break,
+            }
+        }
     }
 }
 

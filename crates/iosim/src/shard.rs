@@ -1,0 +1,158 @@
+//! Event-core sharding: node/resource domain partitioning.
+//!
+//! A [`ShardPlan`] assigns every cluster node — and with it the node's
+//! local tiers, NIC, per-node cache levels, and the jobs placed on it — to
+//! one shard. Shard `0` additionally owns every *shared* resource (shared
+//! tiers, cluster-wide cache levels), so fair-share arithmetic over shared
+//! resources always runs on exactly one owner. The simulator keeps one
+//! event `BinaryHeap` per shard and dispatches by merging the shard heads
+//! in canonical `(time, seq)` order; because `(time, seq)` pairs are
+//! globally unique and assigned identically at any shard count, the merged
+//! dispatch sequence — and therefore every downstream observable — is
+//! byte-identical to the single-heap run by construction.
+//!
+//! Between cross-shard interactions the dispatcher holds a *conservative
+//! window*: having picked shard `s`, it keeps draining `s`'s heap without
+//! re-scanning the others while `s`'s head stays below the earliest foreign
+//! event (the window horizon). Pushes into foreign shards tighten the
+//! horizon exactly, so the fast path never reorders the canonical merge.
+//! [`ShardStats`] counts those windows and the barrier crossings between
+//! them — the direct measure of how much cross-shard coupling a workload
+//! has.
+
+use serde::{Deserialize, Serialize};
+
+/// Assignment of cluster nodes to event-core shards.
+///
+/// Nodes are partitioned into contiguous blocks (node order is the
+/// placement order everywhere else in the simulator, so contiguous blocks
+/// keep co-placed pipelines on one shard). The plan is validated at
+/// construction: at least one shard, and no more shards than nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardPlan {
+    shards: u32,
+    /// `of_node[n]` = shard owning node `n`.
+    of_node: Vec<u32>,
+}
+
+impl ShardPlan {
+    /// The trivial plan: every node on shard 0 (the classic single event
+    /// loop).
+    pub fn single(nodes: usize) -> Self {
+        ShardPlan { shards: 1, of_node: vec![0; nodes] }
+    }
+
+    /// Partitions `nodes` into `shards` contiguous blocks, the first
+    /// `nodes % shards` blocks one node larger. Errors when `shards` is 0
+    /// or exceeds the node count (an empty shard would never own anything).
+    pub fn partition(nodes: usize, shards: u32) -> Result<Self, String> {
+        if shards == 0 {
+            return Err("shard plan needs at least one shard".into());
+        }
+        if shards as usize > nodes.max(1) {
+            return Err(format!("{shards} shards for {nodes} nodes: shards must not exceed nodes"));
+        }
+        let k = shards as usize;
+        let base = nodes / k;
+        let extra = nodes % k;
+        let mut of_node = Vec::with_capacity(nodes);
+        for s in 0..k {
+            let len = base + usize::from(s < extra);
+            of_node.extend(std::iter::repeat_n(s as u32, len));
+        }
+        debug_assert_eq!(of_node.len(), nodes);
+        Ok(ShardPlan { shards, of_node })
+    }
+
+    /// Number of shards in the plan.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Number of nodes the plan covers.
+    pub fn node_count(&self) -> usize {
+        self.of_node.len()
+    }
+
+    /// Shard owning node `n`; nodes outside the plan (defensive: e.g. a
+    /// fault aimed past the cluster, surfaced later as a typed error) fall
+    /// back to the shared shard 0.
+    pub fn shard_of_node(&self, n: u32) -> u32 {
+        self.of_node.get(n as usize).copied().unwrap_or(0)
+    }
+}
+
+/// Dispatch-side sharding counters (runtime observability; plan-dependent,
+/// so deliberately *not* part of snapshots — restored runs start fresh).
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// Conservative windows opened (maximal same-shard dispatch runs).
+    pub windows: u64,
+    /// Dispatches that crossed from one shard to another (window barriers).
+    pub barrier_crossings: u64,
+    /// Events dispatched per shard (heap events and flow completions,
+    /// attributed to the owning job's shard).
+    pub dispatched: Vec<u64>,
+    /// Shard of the most recent dispatch (the open window's owner).
+    pub current: Option<u32>,
+}
+
+impl ShardStats {
+    pub fn new(shards: u32) -> Self {
+        ShardStats { dispatched: vec![0; shards as usize], ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_plan_maps_everything_to_shard_zero() {
+        let p = ShardPlan::single(5);
+        assert_eq!(p.shards(), 1);
+        assert_eq!(p.node_count(), 5);
+        for n in 0..5 {
+            assert_eq!(p.shard_of_node(n), 0);
+        }
+    }
+
+    #[test]
+    fn partition_is_contiguous_and_balanced() {
+        let p = ShardPlan::partition(10, 4).unwrap();
+        assert_eq!(p.shards(), 4);
+        // 10 = 3 + 3 + 2 + 2, contiguous blocks.
+        let got: Vec<u32> = (0..10).map(|n| p.shard_of_node(n)).collect();
+        assert_eq!(got, vec![0, 0, 0, 1, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn partition_exact_division() {
+        let p = ShardPlan::partition(8, 4).unwrap();
+        let got: Vec<u32> = (0..8).map(|n| p.shard_of_node(n)).collect();
+        assert_eq!(got, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn invalid_plans_rejected() {
+        assert!(ShardPlan::partition(4, 0).is_err());
+        assert!(ShardPlan::partition(4, 5).is_err());
+        // One node, one shard is the smallest valid plan.
+        assert!(ShardPlan::partition(1, 1).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_node_falls_back_to_shard_zero() {
+        let p = ShardPlan::partition(4, 2).unwrap();
+        assert_eq!(p.shard_of_node(99), 0);
+    }
+
+    #[test]
+    fn stats_track_window_shape() {
+        let mut st = ShardStats::new(2);
+        assert_eq!(st.dispatched, vec![0, 0]);
+        st.windows += 1;
+        st.current = Some(1);
+        assert_eq!(st.current, Some(1));
+    }
+}

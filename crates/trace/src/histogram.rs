@@ -14,9 +14,7 @@
 //!    first *granule* index, so all tasks touching a file keep the same
 //!    subset of locations at any given resolution.
 
-use std::collections::BTreeMap;
-
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::block::MIN_BLOCK;
 use crate::sampling::SpatialSampler;
@@ -68,6 +66,42 @@ pub enum AccessKind {
     Write,
 }
 
+/// Ordered block-index → stats storage.
+///
+/// Semantically an ordered map, stored as a key-sorted `Vec` because the
+/// dominant access pattern — one sequential whole-file operation filling a
+/// contiguous index range — turns into a single bulk splice instead of one
+/// tree insertion per block. Serializes exactly like the `BTreeMap` it
+/// replaced (an array of `[key, value]` pairs in key order), so snapshots
+/// and measurement exports are unchanged.
+#[derive(Debug, Clone, Default)]
+struct BlockMap(Vec<(u64, BlockStats)>);
+
+impl Serialize for BlockMap {
+    fn to_value(&self) -> Value {
+        self.0.to_value()
+    }
+}
+
+impl Deserialize for BlockMap {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let mut pairs: Vec<(u64, BlockStats)> = Deserialize::from_value(v)?;
+        // Normalize hand-edited input to the ordered-map invariant the hot
+        // path relies on: sorted unique keys, last duplicate winning (the
+        // same outcome as collecting the pairs into a `BTreeMap`).
+        pairs.sort_by_key(|&(k, _)| k);
+        pairs.dedup_by(|later, kept| {
+            if later.0 == kept.0 {
+                kept.1 = later.1;
+                true
+            } else {
+                false
+            }
+        });
+        Ok(BlockMap(pairs))
+    }
+}
+
 /// A bounded block histogram for one task-file pair.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BlockHistogram {
@@ -80,7 +114,7 @@ pub struct BlockHistogram {
     /// Maximum number of tracked locations before coarsening.
     max_locations: u32,
     sampler: SpatialSampler,
-    blocks: BTreeMap<u64, BlockStats>,
+    blocks: BlockMap,
 }
 
 impl BlockHistogram {
@@ -97,7 +131,7 @@ impl BlockHistogram {
             granule: block_size,
             max_locations,
             sampler,
-            blocks: BTreeMap::new(),
+            blocks: BlockMap::default(),
         }
     }
 
@@ -111,7 +145,7 @@ impl BlockHistogram {
 
     /// Number of tracked locations (bounded by `max_locations`).
     pub fn tracked_locations(&self) -> usize {
-        self.blocks.len()
+        self.blocks.0.len()
     }
 
     /// Whether the block starting at `idx * block_size` is tracked under the
@@ -133,6 +167,17 @@ impl BlockHistogram {
         }
         let first = offset / self.block_size;
         let last = (offset + len - 1) / self.block_size;
+        // All stored keys in [first, last] sit in `blocks[lo..hi)`; every
+        // stored key is tracked (insertions are sampled, coarsening
+        // re-filters), so a single merge cursor pairs them with the index
+        // walk below.
+        let lo = self.blocks.0.partition_point(|&(k, _)| k < first);
+        let hi = lo + self.blocks.0[lo..].partition_point(|&(k, _)| k <= last);
+        let mut cur = lo;
+        // Blocks not yet tracked, gathered in index order and spliced in
+        // afterwards: touching a fresh range costs one bulk move instead of
+        // one ordered insertion per block.
+        let mut fresh: Vec<(u64, BlockStats)> = Vec::new();
         for idx in first..=last {
             if !self.tracked(idx, self.block_size) {
                 continue;
@@ -140,10 +185,13 @@ impl BlockHistogram {
             let blk_start = idx * self.block_size;
             let blk_end = blk_start + self.block_size;
             let span = (offset + len).min(blk_end) - offset.max(blk_start);
-            let entry = self.blocks.entry(idx).or_insert_with(|| BlockStats {
-                first_ns: now_ns,
-                ..BlockStats::default()
-            });
+            let entry = if cur < hi && self.blocks.0[cur].0 == idx {
+                cur += 1;
+                &mut self.blocks.0[cur - 1].1
+            } else {
+                fresh.push((idx, BlockStats { first_ns: now_ns, ..BlockStats::default() }));
+                &mut fresh.last_mut().expect("just pushed").1
+            };
             match kind {
                 AccessKind::Read => {
                     entry.reads += 1;
@@ -161,7 +209,25 @@ impl BlockHistogram {
                 entry.repeat_hits += 1;
             }
         }
-        while self.blocks.len() > self.max_locations as usize {
+        if !fresh.is_empty() {
+            if lo == hi {
+                // Nothing tracked in the range yet: contiguous insertion.
+                self.blocks.0.splice(lo..lo, fresh);
+            } else {
+                // Interleave the new entries with the surviving range.
+                let mut merged = Vec::with_capacity(hi - lo + fresh.len());
+                let mut f = fresh.into_iter().peekable();
+                for &old in &self.blocks.0[lo..hi] {
+                    while f.peek().is_some_and(|n| n.0 < old.0) {
+                        merged.push(f.next().expect("peeked"));
+                    }
+                    merged.push(old);
+                }
+                merged.extend(f);
+                self.blocks.0.splice(lo..hi, merged);
+            }
+        }
+        while self.blocks.0.len() > self.max_locations as usize {
             self.coarsen();
         }
     }
@@ -172,20 +238,23 @@ impl BlockHistogram {
     /// tasks converge on the same set).
     pub fn coarsen(&mut self) {
         let new_size = self.block_size * 2;
-        let mut merged: BTreeMap<u64, BlockStats> = BTreeMap::new();
-        for (idx, stats) in std::mem::take(&mut self.blocks) {
+        let old = std::mem::take(&mut self.blocks.0);
+        // Keys are sorted, so merged indices arrive non-decreasing and pair
+        // merging is a single in-order pass.
+        let mut merged: Vec<(u64, BlockStats)> = Vec::with_capacity(old.len() / 2 + 1);
+        for (idx, stats) in old {
             let new_idx = idx / 2;
             let granule_idx = new_idx * (new_size / self.granule);
             if !self.sampler.tracks(granule_idx) {
                 continue;
             }
-            merged
-                .entry(new_idx)
-                .and_modify(|s| s.merge(&stats))
-                .or_insert(stats);
+            match merged.last_mut() {
+                Some(tail) if tail.0 == new_idx => tail.1.merge(&stats),
+                _ => merged.push((new_idx, stats)),
+            }
         }
         self.block_size = new_size;
-        self.blocks = merged;
+        self.blocks.0 = merged;
     }
 
     /// Coarsens until the block size reaches `target` (a power-of-two
@@ -200,20 +269,18 @@ impl BlockHistogram {
 
     /// Iterates tracked `(block_index, stats)` pairs in index order.
     pub fn iter_sorted(&self) -> Vec<(u64, BlockStats)> {
-        let mut v: Vec<_> = self.blocks.iter().map(|(&k, &s)| (k, s)).collect();
-        v.sort_unstable_by_key(|&(k, _)| k);
-        v
+        self.blocks.0.clone()
     }
 
     /// Estimated number of *unique* blocks read, scaled for sampling.
     pub fn unique_blocks_read_est(&self) -> f64 {
-        let n = self.blocks.values().filter(|s| s.reads > 0).count();
+        let n = self.blocks.0.iter().filter(|(_, s)| s.reads > 0).count();
         n as f64 * self.sampler.scale()
     }
 
     /// Estimated number of unique blocks written, scaled for sampling.
     pub fn unique_blocks_written_est(&self) -> f64 {
-        let n = self.blocks.values().filter(|s| s.writes > 0).count();
+        let n = self.blocks.0.iter().filter(|(_, s)| s.writes > 0).count();
         n as f64 * self.sampler.scale()
     }
 
@@ -223,9 +290,10 @@ impl BlockHistogram {
         // accurate for files smaller than one block.
         let covered: u64 = self
             .blocks
-            .values()
-            .filter(|s| s.reads > 0)
-            .map(|s| s.bytes_read.min(self.block_size))
+            .0
+            .iter()
+            .filter(|(_, s)| s.reads > 0)
+            .map(|(_, s)| s.bytes_read.min(self.block_size))
             .sum();
         covered as f64 * self.sampler.scale()
     }
@@ -234,20 +302,21 @@ impl BlockHistogram {
     pub fn footprint_written_est(&self) -> f64 {
         let covered: u64 = self
             .blocks
-            .values()
-            .filter(|s| s.writes > 0)
-            .map(|s| s.bytes_written.min(self.block_size))
+            .0
+            .iter()
+            .filter(|(_, s)| s.writes > 0)
+            .map(|(_, s)| s.bytes_written.min(self.block_size))
             .sum();
         covered as f64 * self.sampler.scale()
     }
 
     /// Mean accesses per touched block — an intra-task reuse indicator.
     pub fn mean_accesses_per_block(&self) -> f64 {
-        if self.blocks.is_empty() {
+        if self.blocks.0.is_empty() {
             return 0.0;
         }
-        let total: u64 = self.blocks.values().map(|s| s.reads + s.writes).sum();
-        total as f64 / self.blocks.len() as f64
+        let total: u64 = self.blocks.0.iter().map(|(_, s)| s.reads + s.writes).sum();
+        total as f64 / self.blocks.0.len() as f64
     }
 }
 
@@ -334,6 +403,62 @@ mod tests {
         let mut h = hist(4096, 16);
         h.record(AccessKind::Read, 0, 0, 0, false);
         assert_eq!(h.tracked_locations(), 0);
+    }
+
+    #[test]
+    fn interleaved_inserts_stay_sorted() {
+        // Touch even blocks, then a range spanning them: the new odd blocks
+        // must interleave with the existing even entries in key order.
+        let mut h = hist(4096, 1024);
+        for i in [0u64, 2, 4, 6] {
+            h.record(AccessKind::Read, i * 4096, 4096, i, false);
+        }
+        h.record(AccessKind::Write, 0, 8 * 4096, 10, false);
+        let blocks = h.iter_sorted();
+        let keys: Vec<u64> = blocks.iter().map(|&(k, _)| k).collect();
+        assert_eq!(keys, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(blocks[2].1.reads, 1);
+        assert_eq!(blocks[2].1.writes, 1);
+        assert_eq!(blocks[3].1.reads, 0);
+        assert_eq!(blocks[3].1.writes, 1);
+        // Pre-existing blocks keep their original first-access stamp.
+        assert_eq!(blocks[2].1.first_ns, 2);
+        assert_eq!(blocks[3].1.first_ns, 10);
+    }
+
+    #[test]
+    fn serde_round_trip_matches_map_shape() {
+        let mut h = hist(4096, 1024);
+        h.record(AccessKind::Read, 0, 3 * 4096, 7, false);
+        let v = serde::Serialize::to_value(&h);
+        // Blocks serialize as an array of [key, stats] pairs in key order —
+        // the same wire shape as the ordered map this storage replaced.
+        let blocks = v["blocks"].as_array().expect("blocks array");
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0][0].as_u64(), Some(0));
+        assert_eq!(blocks[2][0].as_u64(), Some(2));
+        let back: BlockHistogram = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back.iter_sorted(), h.iter_sorted());
+        assert_eq!(back.block_size(), h.block_size());
+    }
+
+    #[test]
+    fn deserialize_normalizes_unsorted_input() {
+        let mut h = hist(4096, 1024);
+        h.record(AccessKind::Read, 0, 2 * 4096, 7, false);
+        let mut v = serde::Serialize::to_value(&h);
+        if let serde::Value::Object(fields) = &mut v {
+            for (k, val) in fields.iter_mut() {
+                if k == "blocks" {
+                    if let serde::Value::Array(pairs) = val {
+                        pairs.reverse();
+                    }
+                }
+            }
+        }
+        let back: BlockHistogram = serde::Deserialize::from_value(&v).unwrap();
+        let keys: Vec<u64> = back.iter_sorted().iter().map(|&(k, _)| k).collect();
+        assert_eq!(keys, vec![0, 1], "hand-edited order is re-sorted on restore");
     }
 
     #[test]

@@ -13,6 +13,7 @@ use dfl_iosim::breakdown::{Breakdown, FlowTag};
 use dfl_iosim::cache::CacheConfig;
 use dfl_iosim::cluster::ClusterSpec;
 use dfl_iosim::fault::{unit_hash, FailureCause, FailureReport, FaultPlan, JobFailure};
+use dfl_iosim::shard::ShardPlan;
 use dfl_iosim::sim::{
     Action, CacheOrigins, JobId, JobReport, JobSpec, JobState, RunOutcome, SimConfig, Simulation,
     VerifyPolicy,
@@ -223,6 +224,12 @@ pub struct RunConfig {
     /// [`CheckpointManifest`]s that [`resume_from`] can continue from after
     /// a coordinator crash, byte-identical to an uninterrupted run.
     pub checkpoint: Option<CheckpointConfig>,
+    /// Event-core shard count (see [`dfl_iosim::shard::ShardPlan`]). The
+    /// dispatch order — and therefore every observable, checkpoint, and
+    /// timeline — is byte-identical at any shard count, so this is purely a
+    /// performance knob; it is canonicalized out of the checkpoint config
+    /// hash, and a manifest may be resumed under a different shard count.
+    pub shards: u32,
 }
 
 impl RunConfig {
@@ -242,6 +249,7 @@ impl RunConfig {
             retry: RetryPolicy::default(),
             obs: None,
             checkpoint: None,
+            shards: 1,
         }
     }
 
@@ -260,6 +268,7 @@ impl RunConfig {
             retry: RetryPolicy::default(),
             obs: None,
             checkpoint: None,
+            shards: 1,
         }
     }
 }
@@ -460,6 +469,9 @@ pub(crate) fn validate_run(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<(), E
     if cfg.cluster.node_count() == 0 {
         return Err(EngineError::InvalidSpec("cluster has zero nodes".into()));
     }
+    if let Err(e) = ShardPlan::partition(cfg.cluster.node_count(), cfg.shards) {
+        return Err(EngineError::InvalidSpec(format!("invalid shard count: {e}")));
+    }
     if cfg.staging.shared.is_node_local() {
         return Err(EngineError::InvalidSpec(format!(
             "staging.shared must be a shared tier, got node-local {:?}",
@@ -539,10 +551,11 @@ pub fn run(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, EngineErro
 ///
 /// `cfg` must be the run's original configuration, checkpoint cadence
 /// included so future checkpoints land at the original points. Only the
-/// chaos clause and the checkpoint directory are excluded from the hash —
-/// a crash-killed run may resume with its kill switch still armed (or
-/// disarmed), but any other config drift is a typed
-/// [`CheckpointError::HashMismatch`], never a silently wrong answer.
+/// chaos clause, the checkpoint directory, and the shard count are excluded
+/// from the hash — a crash-killed run may resume with its kill switch still
+/// armed (or disarmed) and under a different shard count, but any other
+/// config drift is a typed [`CheckpointError::HashMismatch`], never a
+/// silently wrong answer.
 pub fn resume_from(
     spec: &WorkflowSpec,
     cfg: &RunConfig,
@@ -565,7 +578,13 @@ pub fn resume_from(
     }
     validate_run(spec, cfg)?;
     let ctx = EngineCtx::new(spec, cfg);
-    let mut sim = Simulation::restore(manifest.sim)?;
+    // Snapshots are shard-invariant (per-node cursors), so a manifest may be
+    // resumed under any shard count that fits the cluster — the plan is
+    // rebuilt from the *offered* config, and a plan that does not fit fails
+    // with a typed error instead of a wrong answer.
+    let plan = ShardPlan::partition(cfg.cluster.node_count(), cfg.shards)
+        .expect("shard count validated by validate_run");
+    let mut sim = Simulation::restore_sharded(manifest.sim, plan)?;
     // Snapshots are chaos-free by construction; re-arm the kill switch from
     // the *offered* config so a chaos driver can schedule further crashes.
     sim.set_chaos(cfg.faults.chaos);
@@ -672,7 +691,9 @@ impl<'a> EngineCtx<'a> {
 /// initial job set (stage-0 staging jobs plus first attempts of every task).
 pub(crate) fn init_run(ctx: &EngineCtx) -> (Simulation, EngineState) {
     let (spec, cfg, shared) = (ctx.spec, ctx.cfg, ctx.shared);
-    let mut sim = Simulation::new(
+    let plan = ShardPlan::partition(cfg.cluster.node_count(), cfg.shards)
+        .expect("shard count validated by validate_run");
+    let mut sim = Simulation::new_sharded(
         cfg.cluster.clone(),
         SimConfig {
             monitor: Some(cfg.monitor.clone()),
@@ -683,7 +704,9 @@ pub(crate) fn init_run(ctx: &EngineCtx) -> (Simulation, EngineState) {
             verify: cfg.verify,
             obs: cfg.obs.clone(),
         },
-    );
+        plan,
+    )
+    .expect("shard plan sized to the cluster it partitions");
     for i in &spec.inputs {
         sim.fs_mut().create_external(&i.path, i.size, shared);
     }

@@ -15,3 +15,61 @@ pub fn quick_run(spec: &WorkflowSpec, nodes: usize) -> RunResult {
 pub fn assert_same_measurements(a: &MeasurementSet, b: &MeasurementSet) {
     assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
 }
+
+/// Seed matrix from an environment variable: `var` as a comma-separated
+/// `u64` list (whitespace and empty items tolerated), falling back to
+/// `default` when unset. This is how CI fans one suite out over seeds —
+/// `DFL_FAULT_SEEDS`, `DFL_CHAOS_SEEDS`, `DFL_CORRUPT_SEEDS`, and
+/// `DFL_SHARD_SEEDS` all parse through here.
+///
+/// # Panics
+/// Panics (failing the calling test loudly) when the variable is set but
+/// contains a non-integer item — a typo'd matrix should never silently
+/// shrink coverage.
+pub fn seed_matrix(var: &str, default: &str) -> Vec<u64> {
+    let raw = std::env::var(var).unwrap_or_else(|_| default.to_owned());
+    raw.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().unwrap_or_else(|_| panic!("{var} must be a u64 list, got '{s}'")))
+        .collect()
+}
+
+/// Event-core shard count for suites that honour the `DFL_SHARDS` CI
+/// matrix leg (default 1). Because sharding is byte-invariant, any suite
+/// can run under any count without changing its assertions.
+pub fn env_shards() -> u32 {
+    std::env::var("DFL_SHARDS")
+        .ok()
+        .map(|s| s.trim().parse().unwrap_or_else(|_| panic!("DFL_SHARDS must be a u32, got '{s}'")))
+        .unwrap_or(1)
+}
+
+/// [`env_shards`] clamped to a fixture's node count. A plan wider than the
+/// cluster is a typed error by design, so small fixtures join the
+/// `DFL_SHARDS` matrix at their maximum width instead of failing to start.
+pub fn env_shards_for(nodes: usize) -> u32 {
+    env_shards().min(nodes as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seed_matrix;
+
+    #[test]
+    fn seed_matrix_parses_env_default_and_overrides() {
+        // Defaults apply when the variable is unset.
+        assert_eq!(seed_matrix("DFL_TEST_SEEDS_UNSET", "1,42,7"), vec![1, 42, 7]);
+        // Whitespace and empty items are tolerated; order is preserved.
+        std::env::set_var("DFL_TEST_SEEDS_SET", " 20260806, 3 ,,11 ");
+        assert_eq!(seed_matrix("DFL_TEST_SEEDS_SET", "1"), vec![20260806, 3, 11]);
+        std::env::remove_var("DFL_TEST_SEEDS_SET");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a u64 list")]
+    fn seed_matrix_rejects_non_integer_items() {
+        std::env::set_var("DFL_TEST_SEEDS_BAD", "1,banana");
+        let _ = seed_matrix("DFL_TEST_SEEDS_BAD", "1");
+    }
+}

@@ -62,6 +62,7 @@ fn workload() -> WorkflowSpec {
 /// stage boundaries, incidents) writing into `dir`.
 fn chaos_cfg(seed: u64, dir: &std::path::Path) -> RunConfig {
     let mut cfg = RunConfig::default_gpu(2);
+    cfg.shards = dfl_tests::env_shards_for(2);
     cfg.placement = Placement::RoundRobin;
     cfg.staging = Staging::local_intermediates(TierKind::Beegfs, TierKind::Ramdisk);
     cfg.faults = FaultPlan::seeded(seed).crash(0, 250_000_000, 80_000_000).io_errors(0.005);
@@ -145,10 +146,7 @@ fn crash_resume_run(spec: &WorkflowSpec, cfg: &RunConfig, points: &[u64]) -> (Ru
 /// each crash resumed from disk, final outcome byte-identical to golden.
 #[test]
 fn chaos_crash_resume_matches_golden_across_seeds() {
-    let seeds =
-        std::env::var("DFL_CHAOS_SEEDS").unwrap_or_else(|_| "1,2,3,7,11,42,1234,20260806".into());
-    for seed in seeds.split(',').filter(|s| !s.is_empty()) {
-        let seed: u64 = seed.trim().parse().expect("DFL_CHAOS_SEEDS is a u64 list");
+    for seed in dfl_tests::seed_matrix("DFL_CHAOS_SEEDS", "1,2,3,7,11,42,1234,20260806") {
         let dir = fresh_dir(&format!("seed{seed}"));
         let spec = workload();
         let cfg = chaos_cfg(seed, &dir);
@@ -216,10 +214,10 @@ fn manifest_version_gate_rejects_future_versions() {
 
     let path = latest_manifest(&dir).unwrap();
     let text = std::fs::read_to_string(&path).unwrap();
-    assert!(text.starts_with("{\"version\":2,"), "manifest leads with its version");
-    std::fs::write(&path, text.replacen("{\"version\":2,", "{\"version\":42,", 1)).unwrap();
+    assert!(text.starts_with("{\"version\":3,"), "manifest leads with its version");
+    std::fs::write(&path, text.replacen("{\"version\":3,", "{\"version\":42,", 1)).unwrap();
     match load_manifest(&path) {
-        Err(CheckpointError::VersionMismatch { found: 42, expected: 2 }) => {}
+        Err(CheckpointError::VersionMismatch { found: 42, expected: 3 }) => {}
         other => panic!("expected VersionMismatch, got {:?}", other.map(|m| m.seq)),
     }
     let _ = std::fs::remove_dir_all(&dir);

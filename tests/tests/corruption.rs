@@ -51,6 +51,7 @@ fn chain() -> WorkflowSpec {
 
 fn chain_cfg() -> RunConfig {
     let mut cfg = RunConfig::default_gpu(2);
+    cfg.shards = dfl_tests::env_shards_for(2);
     cfg.placement = Placement::RoundRobin;
     cfg
 }
@@ -241,9 +242,7 @@ fn corrupt_run(seed: u64) -> RunResult {
 #[test]
 fn corruption_suite_is_deterministic_across_seeds() {
     let clean = run(&chain(), &chain_cfg()).unwrap();
-    let seeds = std::env::var("DFL_CORRUPT_SEEDS").unwrap_or_else(|_| "1,42,7,20260806".into());
-    for seed in seeds.split(',').filter(|s| !s.is_empty()) {
-        let seed: u64 = seed.trim().parse().expect("DFL_CORRUPT_SEEDS is a u64 list");
+    for seed in dfl_tests::seed_matrix("DFL_CORRUPT_SEEDS", "1,42,7,20260806") {
         let a = corrupt_run(seed);
         let b = corrupt_run(seed);
         assert_eq!(a.failure, b.failure, "seed {seed}");

@@ -46,6 +46,7 @@ fn diamond() -> WorkflowSpec {
 /// m0.dat but not m1.dat.
 fn diamond_cfg() -> RunConfig {
     let mut cfg = RunConfig::default_gpu(2);
+    cfg.shards = dfl_tests::env_shards_for(2);
     cfg.placement = Placement::RoundRobin;
     cfg.staging = Staging::local_intermediates(TierKind::Beegfs, TierKind::Ramdisk);
     cfg
@@ -157,9 +158,7 @@ fn seeded_run(seed: u64) -> RunResult {
 /// measurement JSON.
 #[test]
 fn fault_suite_is_deterministic_across_seeds() {
-    let seeds = std::env::var("DFL_FAULT_SEEDS").unwrap_or_else(|_| "1,42,7".into());
-    for seed in seeds.split(',').filter(|s| !s.is_empty()) {
-        let seed: u64 = seed.trim().parse().expect("DFL_FAULT_SEEDS is a u64 list");
+    for seed in dfl_tests::seed_matrix("DFL_FAULT_SEEDS", "1,42,7") {
         let a = seeded_run(seed);
         let b = seeded_run(seed);
         assert_eq!(a.failure, b.failure, "seed {seed}");
@@ -190,9 +189,7 @@ fn seeded_run_obs(seed: u64) -> RunResult {
 /// same `DFL_FAULT_SEEDS` matrix as the failure-report suite.
 #[test]
 fn fault_timelines_are_byte_identical_across_seeds() {
-    let seeds = std::env::var("DFL_FAULT_SEEDS").unwrap_or_else(|_| "1,42,7".into());
-    for seed in seeds.split(',').filter(|s| !s.is_empty()) {
-        let seed: u64 = seed.trim().parse().expect("DFL_FAULT_SEEDS is a u64 list");
+    for seed in dfl_tests::seed_matrix("DFL_FAULT_SEEDS", "1,42,7") {
         let a = seeded_run_obs(seed);
         let b = seeded_run_obs(seed);
         let (ta, tb) = (a.timeline.as_ref().unwrap(), b.timeline.as_ref().unwrap());

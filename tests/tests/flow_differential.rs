@@ -76,7 +76,7 @@ proptest! {
                     let nn = new.next_completion();
                     prop_assert_eq!(nn, old.next_completion());
                     if let Some((t, k)) = nn {
-                        let (_, elapsed_new) = new.complete(t, k);
+                        let (_, elapsed_new, _) = new.complete(t, k);
                         let (_, elapsed_old) = old.complete(t, k);
                         prop_assert_eq!(elapsed_new, elapsed_old);
                         now = SimTime(now.0.max(t.0));

@@ -1,0 +1,303 @@
+//! Shard-count invariance: the differential harness for the sharded event
+//! core.
+//!
+//! The sharded dispatcher merges per-shard heaps in canonical `(t, seq)`
+//! order, so every observable — `RunResult`, `Breakdown`, measurement JSON,
+//! and both timeline export formats — must be *byte-identical* at any shard
+//! count. This suite proves it by running every built-in workflow (genomes,
+//! ddmd, belle2, montage, seismic) across shards ∈ {1, 2, 4, 8}, under
+//! clean, fault-injected, and silent-corruption plans, plus chaos
+//! crash+resume runs whose kill points land mid-window and whose resumes
+//! deliberately switch shard counts.
+//!
+//! Honours `DFL_SHARD_SEEDS` (comma-separated, default "1,42,20260806") so
+//! CI can sweep the fault/corruption legs in a matrix.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+
+use dfl_iosim::fault::unit_hash;
+use dfl_iosim::{FaultPlan, SimError};
+use dfl_workflows::checkpoint::load_latest;
+use dfl_workflows::engine::{resume_from, resume_latest, run, RunConfig, RunResult};
+use dfl_workflows::spec::WorkflowSpec;
+use dfl_workflows::{
+    belle2, ddmd, genomes, montage, seismic, CheckpointConfig, CheckpointError, EngineError,
+    VerifyPolicy,
+};
+
+/// Shard counts every scenario is swept over (1 is the oracle).
+const SHARD_COUNTS: [u32; 4] = [1, 2, 4, 8];
+/// Node count — at least [`SHARD_COUNTS`]'s maximum so every plan fits.
+const NODES: usize = 8;
+
+/// One built-in workflow at tiny scale with its canonical run config.
+fn builtin(which: usize) -> (&'static str, WorkflowSpec, RunConfig) {
+    match which {
+        0 => {
+            let c = genomes::GenomesConfig::tiny();
+            ("genomes", genomes::generate(&c), RunConfig::default_gpu(NODES))
+        }
+        1 => {
+            let c = ddmd::DdmdConfig::tiny();
+            (
+                "ddmd",
+                ddmd::generate(&c, ddmd::Pipeline::Original),
+                RunConfig::default_gpu(NODES),
+            )
+        }
+        2 => {
+            let c = belle2::Belle2Config::tiny();
+            let rc = belle2::run_config(&c, belle2::DataAccess::Cached, NODES);
+            ("belle2", belle2::generate(&c, belle2::DataAccess::Cached), rc)
+        }
+        3 => {
+            let c = montage::MontageConfig::tiny();
+            ("montage", montage::generate(&c), RunConfig::default_gpu(NODES))
+        }
+        _ => {
+            let c = seismic::SeismicConfig::tiny();
+            ("seismic", seismic::generate(&c), RunConfig::default_gpu(NODES))
+        }
+    }
+}
+
+/// Everything a consumer can observe about a finished run. Floats travel as
+/// their `Debug` rendering (round-trip exact in Rust), timelines as the
+/// literal bytes of both export formats, measurements as canonical JSON —
+/// equality here *is* byte-identity.
+type Outcome = Box<(String, Vec<(String, u64, u64, bool)>, String, String, String, String, u64)>;
+
+fn outcome(r: &RunResult) -> Outcome {
+    let tl = r.timeline.as_ref().expect("obs enabled");
+    Box::new((
+        format!("{:.9}/{:?}/{:?}", r.makespan_s, r.stage_spans, r.total_breakdown),
+        r.reports.iter().map(|j| (j.name.clone(), j.start_ns, j.end_ns, j.failed)).collect(),
+        format!("{:?}", r.failure),
+        r.measurements.to_json().expect("measurements serialize"),
+        dfl_obs::chrome_trace(tl),
+        dfl_obs::jsonl(tl),
+        r.events_dispatched,
+    ))
+}
+
+/// Runs `spec` under `cfg` at shard count `k` (observability forced on so
+/// timelines are comparable); errors are folded into the outcome so a
+/// deterministic failure must also be byte-identical across shard counts.
+fn run_at(spec: &WorkflowSpec, cfg: &RunConfig, k: u32) -> Result<Outcome, String> {
+    let mut cfg = cfg.clone();
+    cfg.shards = k;
+    if cfg.obs.is_none() {
+        cfg.obs = Some(dfl_obs::ObsConfig::sampled(20_000_000));
+    }
+    run(spec, &cfg).map(|r| outcome(&r)).map_err(|e| e.to_string())
+}
+
+#[test]
+fn builtin_workflows_byte_identical_across_shard_counts() {
+    for which in 0..5 {
+        let (name, spec, cfg) = builtin(which);
+        let oracle = run_at(&spec, &cfg, 1);
+        for &k in &SHARD_COUNTS[1..] {
+            assert_eq!(run_at(&spec, &cfg, k), oracle, "{name}: shards={k} diverged from shards=1");
+        }
+    }
+}
+
+#[test]
+fn fault_plans_shard_invariant_across_seeds() {
+    for seed in dfl_tests::seed_matrix("DFL_SHARD_SEEDS", "1,42,20260806") {
+        for which in 0..5 {
+            let (name, spec, mut cfg) = builtin(which);
+            cfg.faults = FaultPlan::seeded(seed).crash(1, 50_000_000, 30_000_000).io_errors(0.004);
+            cfg.retry.max_attempts = 30;
+            let oracle = run_at(&spec, &cfg, 1);
+            for &k in &SHARD_COUNTS[1..] {
+                assert_eq!(
+                    run_at(&spec, &cfg, k),
+                    oracle,
+                    "{name} seed {seed}: faulted run diverged at shards={k}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corruption_plans_shard_invariant_across_seeds() {
+    for seed in dfl_tests::seed_matrix("DFL_SHARD_SEEDS", "1,42,20260806") {
+        for which in 0..5 {
+            let (name, spec, mut cfg) = builtin(which);
+            cfg.faults = FaultPlan::seeded(seed).corrupt_writes(0.01);
+            cfg.verify = VerifyPolicy::OnRead;
+            cfg.retry.max_attempts = 30;
+            let oracle = run_at(&spec, &cfg, 1);
+            for &k in &SHARD_COUNTS[1..] {
+                assert_eq!(
+                    run_at(&spec, &cfg, k),
+                    oracle,
+                    "{name} seed {seed}: corruption run diverged at shards={k}"
+                );
+            }
+        }
+    }
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dfl-shard-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Checkpointing config for the crash+resume leg.
+fn ckpt_cfg(base: &RunConfig, dir: &std::path::Path) -> RunConfig {
+    let mut cfg = base.clone();
+    cfg.obs = Some(dfl_obs::ObsConfig::sampled(20_000_000));
+    cfg.checkpoint = Some(CheckpointConfig::to_dir(dir).every_sim_ns(5_000_000).every_stages(1));
+    cfg
+}
+
+/// Seeded kill points strictly inside the dispatch range. Dispatch windows
+/// are maximal same-shard runs, so interior points land mid-window.
+fn kill_points(seed: u64, total_events: u64) -> Vec<u64> {
+    assert!(total_events > 4, "golden run too short to crash inside");
+    let mut pts: BTreeSet<u64> = BTreeSet::new();
+    let mut i = 0u64;
+    while pts.len() < 3 && i < 64 {
+        let f = unit_hash(seed ^ 0x5aad_dead_beef, i, total_events);
+        pts.insert((1 + (f * (total_events - 2) as f64) as u64).min(total_events - 1));
+        i += 1;
+    }
+    pts.into_iter().collect()
+}
+
+/// Kills the coordinator at each point in turn, resuming from the latest
+/// manifest under a rotating shard count — every resume may restore a
+/// snapshot written at a *different* count.
+fn crash_resume_rotating(
+    spec: &WorkflowSpec,
+    cfg: &RunConfig,
+    points: &[u64],
+    counts: &[u32],
+) -> (RunResult, usize) {
+    let mut kills = 0usize;
+    let mut armed = cfg.clone();
+    armed.shards = counts[0];
+    armed.faults = armed.faults.chaos_crash(points[0]);
+    let mut res = run(spec, &armed).map_err(|e| e.to_string());
+    loop {
+        match res {
+            Ok(r) => return (r, kills),
+            Err(msg) => {
+                assert!(msg.contains("chaos"), "only the planned kill may fail the run: {msg}");
+                kills += 1;
+                let mut next = cfg.clone();
+                next.shards = counts[kills % counts.len()];
+                if kills < points.len() {
+                    next.faults = next.faults.chaos_crash(points[kills]);
+                }
+                res = resume_latest(spec, &next).map_err(|e| e.to_string());
+            }
+        }
+    }
+}
+
+/// Crash+resume at mid-window kill points, resuming under rotating shard
+/// counts — the final answer must equal the uninterrupted single-shard
+/// golden run byte for byte.
+#[test]
+fn crash_resume_mid_window_rotating_shard_counts_matches_golden() {
+    for seed in dfl_tests::seed_matrix("DFL_SHARD_SEEDS", "1,42,20260806") {
+        let (_, spec, base) = builtin(0);
+        let golden_cfg = ckpt_cfg(&base, &fresh_dir(&format!("golden-{seed}")));
+        let golden = run(&spec, &golden_cfg).expect("golden run completes");
+        let golden_out = outcome(&golden);
+        let pts = kill_points(seed, golden.events_dispatched);
+        assert!(pts.len() >= 3, "seed {seed}: {pts:?}");
+
+        let cfg = ckpt_cfg(&base, &fresh_dir(&format!("rot-{seed}")));
+        let (r, kills) = crash_resume_rotating(&spec, &cfg, &pts, &[4, 2, 8, 1]);
+        assert!(kills >= 1, "seed {seed}: at least one kill must fire");
+        assert_eq!(outcome(&r), golden_out, "seed {seed}: crash+resume diverged from golden");
+    }
+}
+
+/// Regression: a manifest embedding a snapshot from an older
+/// `SNAPSHOT_VERSION` must be refused with a typed error, not misread.
+#[test]
+fn resume_rejects_old_snapshot_version() {
+    let (_, spec, base) = builtin(0);
+    let dir = fresh_dir("oldsnap");
+    let cfg = ckpt_cfg(&base, &dir);
+    run(&spec, &cfg).expect("checkpointed run completes");
+    let mut manifest = load_latest(&dir).expect("manifest on disk");
+    manifest.sim.version -= 1;
+    match resume_from(&spec, &cfg, manifest) {
+        Err(EngineError::Sim(SimError::Snapshot(msg))) => {
+            assert!(msg.contains("version"), "{msg}");
+        }
+        other => panic!("expected typed snapshot-version rejection, got {other:?}"),
+    }
+}
+
+/// Regression: a manifest from an older `MANIFEST_VERSION` is refused
+/// before its payload is interpreted.
+#[test]
+fn resume_rejects_old_manifest_version() {
+    let (_, spec, base) = builtin(0);
+    let dir = fresh_dir("oldmanifest");
+    let cfg = ckpt_cfg(&base, &dir);
+    run(&spec, &cfg).expect("checkpointed run completes");
+    let mut manifest = load_latest(&dir).expect("manifest on disk");
+    manifest.version = 2;
+    match resume_from(&spec, &cfg, manifest) {
+        Err(EngineError::Checkpoint(CheckpointError::VersionMismatch { found: 2, .. })) => {}
+        other => panic!("expected typed manifest-version rejection, got {other:?}"),
+    }
+}
+
+/// Regression: resuming under a shard count the cluster cannot host fails
+/// with a typed error (never a remap to garbage); a count that *does* fit
+/// remaps deterministically (covered by the rotating crash+resume test).
+#[test]
+fn resume_rejects_unsatisfiable_shard_count() {
+    let (_, spec, base) = builtin(0);
+    let dir = fresh_dir("badshards");
+    let cfg = ckpt_cfg(&base, &dir);
+    run(&spec, &cfg).expect("checkpointed run completes");
+    let manifest = load_latest(&dir).expect("manifest on disk");
+    let mut bad = cfg.clone();
+    bad.shards = NODES as u32 + 1;
+    match resume_from(&spec, &bad, manifest) {
+        Err(EngineError::InvalidSpec(msg)) => {
+            assert!(msg.contains("invalid shard count"), "{msg}");
+        }
+        other => panic!("expected typed shard-count rejection, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    /// Randomized sweep: any workflow, any shard count in range, any fault
+    /// seed — `shards=k` must match the `shards=1` oracle byte for byte.
+    #[test]
+    fn random_workflow_seed_and_shards_match_single(
+        which in 0usize..5,
+        k in 2u32..9,
+        seed in 1u64..1_000_000,
+        faulty in 0u8..2,
+    ) {
+        let (name, spec, mut cfg) = builtin(which);
+        if faulty == 1 {
+            cfg.faults = FaultPlan::seeded(seed).io_errors(0.004);
+            cfg.retry.max_attempts = 30;
+        }
+        prop_assert_eq!(
+            run_at(&spec, &cfg, k),
+            run_at(&spec, &cfg, 1),
+            "{} seed {} shards {} diverged", name, seed, k
+        );
+    }
+}

@@ -346,7 +346,14 @@ macro_rules! ser_de_tuple {
         }
     )+};
 }
-ser_de_tuple!((0 A), (0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
+ser_de_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+);
 
 // Maps serialize as arrays of [key, value] pairs so non-string keys work.
 impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
