@@ -1,0 +1,150 @@
+//! `serve_storm` — admission-control benchmarks for the analysis daemon.
+//!
+//! A storm of concurrent TCP clients submits jobs to a workers=0 daemon
+//! (admission and durable ledgering only — the storm measures the control
+//! plane, not workflow execution). Each client times its own
+//! submit-to-reply round trip; the reported ns/iter is the p99 of those
+//! latencies, via `Bencher::iter_custom`.
+//!
+//! Both benches also assert the admission contract on every reply:
+//! at capacity the daemon sheds with typed `rejected{reason:"capacity"}`
+//! lines (never silently), and every `accepted` job is durable — the
+//! ledger reopened from disk after shutdown holds exactly the accepted
+//! set, so a `kill -9` after any accept loses nothing.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dfl_serve::{Client, Daemon, Ledger, NetServer, Request, ServeConfig};
+
+const CLIENTS: usize = 1000;
+
+fn fresh_daemon(tag: &str, queue_cap: usize) -> (Arc<Daemon>, NetServer, PathBuf) {
+    let dir =
+        std::env::temp_dir().join(format!("dfl-bench-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut cfg = ServeConfig::new(&dir);
+    cfg.workers = 0; // admission only: the storm measures the control plane
+    cfg.queue_cap = queue_cap;
+    let daemon = Arc::new(Daemon::start(cfg).unwrap());
+    let server = NetServer::start(daemon.clone(), &dir).unwrap();
+    (daemon, server, dir)
+}
+
+/// One storm: `CLIENTS` TCP connections, all submitting one job at the
+/// same instant, each timing its own submit→reply round trip. Returns
+/// `(latency, reply)` per client.
+///
+/// Connections are established sequentially first — a simultaneous SYN
+/// flood would overflow the listener's accept backlog and turn kernel
+/// connection resets into bogus measurements. The burst the bench
+/// measures is the submit burst over 1000 established sessions, which is
+/// what hits the daemon's admission path.
+fn storm(addr: &str) -> Vec<(Duration, String)> {
+    let clients: Vec<Client> = (0..CLIENTS)
+        .map(|_| {
+            let mut client = None;
+            for _ in 0..200 {
+                match Client::connect(addr) {
+                    Ok(c) => {
+                        client = Some(c);
+                        break;
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                }
+            }
+            client.expect("connect to storm daemon")
+        })
+        .collect();
+
+    let barrier = Arc::new(std::sync::Barrier::new(CLIENTS));
+    let handles: Vec<_> = clients
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut client)| {
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                let mut req = Request::new("submit");
+                req.workflow = Some("smoke".into());
+                req.tenant = Some(format!("tenant-{}", i % 8));
+                let line = req.to_line();
+                barrier.wait();
+                let t0 = Instant::now();
+                let reply = client.roundtrip(&line).expect("submit reply");
+                (t0.elapsed(), reply)
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+/// Splits storm replies into (accepted, capacity-shed) counts, panicking
+/// on anything outside the typed vocabulary.
+fn tally(results: &[(Duration, String)]) -> (usize, usize) {
+    let mut accepted = 0;
+    let mut shed = 0;
+    for (_, reply) in results {
+        if reply.contains("\"type\":\"accepted\"") {
+            accepted += 1;
+        } else if reply.contains("\"type\":\"rejected\"") && reply.contains("\"capacity\"") {
+            shed += 1;
+        } else {
+            panic!("untyped storm reply: {reply}");
+        }
+    }
+    (accepted, shed)
+}
+
+fn p99(results: &[(Duration, String)]) -> Duration {
+    let mut lat: Vec<Duration> = results.iter().map(|(d, _)| *d).collect();
+    lat.sort();
+    lat[(lat.len() - 1) * 99 / 100]
+}
+
+/// The durable half of "zero accepted-job losses": after daemon shutdown
+/// the on-disk ledger must hold exactly the accepted jobs.
+fn assert_ledger_holds(dir: &std::path::Path, accepted: usize) {
+    let ledger = Ledger::open(dir).unwrap();
+    assert_eq!(ledger.jobs().len(), accepted, "ledger lost accepted jobs");
+}
+
+fn one_storm(tag: &str, queue_cap: usize, expect_accept: usize) -> Duration {
+    let (daemon, server, dir) = fresh_daemon(tag, queue_cap);
+    let results = storm(&server.endpoints.tcp);
+    let (accepted, shed) = tally(&results);
+    assert_eq!(accepted, expect_accept, "accepted != capacity");
+    assert_eq!(accepted + shed, CLIENTS, "a submit went unanswered");
+    let p = p99(&results);
+    daemon.shutdown();
+    assert_ledger_holds(&dir, accepted);
+    let _ = std::fs::remove_dir_all(&dir);
+    p
+}
+
+fn bench_serve_storm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_storm");
+    group.sample_size(10);
+
+    // 1000 clients, queue sized to take them all: p99 submit-to-accept.
+    group.bench_function("p99_submit_to_accept_1000_clients", |b| {
+        b.iter_custom(|iters| {
+            (0..iters).map(|_| one_storm("p99", CLIENTS, CLIENTS)).sum()
+        })
+    });
+
+    // Same storm at 2x overload: half accepted, half typed capacity
+    // shedding; p99 over all replies (accepts and sheds).
+    group.bench_function("p99_submit_2x_overload", |b| {
+        b.iter_custom(|iters| {
+            (0..iters).map(|_| one_storm("overload", CLIENTS / 2, CLIENTS / 2)).sum()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(serve, bench_serve_storm);
+criterion_main!(serve);

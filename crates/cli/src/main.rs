@@ -15,8 +15,9 @@
 //! writes the measurement set as JSON; the other commands analyze such a
 //! file, mirroring the original DataLife collector/analyzer split.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use dfl_core::analysis::caterpillar::{caterpillar, CaterpillarRule};
 use dfl_core::analysis::cost::CostModel;
@@ -29,12 +30,13 @@ use dfl_core::viz::render_ascii;
 use dfl_core::viz::sankey::{SankeyDiagram, SankeyOptions};
 use dfl_core::DflGraph;
 use dfl_obs::{diagnosis_kind_label, ObsConfig, WatchdogConfig};
+use dfl_serve::{Client, Daemon, NetServer, Request, ServeConfig};
 use dfl_trace::MeasurementSet;
 use dfl_workflows::engine::{resume_latest, run as run_workflow, RunConfig, RunResult};
 use dfl_workflows::VerifyPolicy;
 use dfl_workflows::spec::WorkflowSpec;
 use dfl_workflows::watch::{run_watched, WatchOptions, WindowSummary};
-use dfl_workflows::{belle2, ddmd, genomes, montage, seismic, CheckpointConfig, FaultPlan};
+use dfl_workflows::{belle2, catalog, ddmd, genomes, CheckpointConfig, FaultPlan};
 
 const USAGE: &str = "\
 datalife — data flow lifecycle analysis for distributed workflows
@@ -58,6 +60,10 @@ USAGE:
   datalife chaos <genomes|ddmd|belle2|montage|seismic> [--scale tiny|paper] [--nodes N]
                [--seeds LIST] [--crashes K] [--ckpt-ms MS] [--dir DIR] [--faults SPEC]
                [--verify POLICY] [--retries N] [--shards K]
+  datalife chaos <workflow> --serve [--scale tiny|paper] [--nodes N] [--seed N]
+               [--crashes K] [--ckpt-ms MS] [--dir DIR]
+  datalife serve [--dir DIR] [--workers N] [--queue-cap N] [--ckpt-ms MS] [--window-ms MS]
+               [--abort-on-chaos]
 
 `run` simulates the workflow on the paper's Table 2 machines while the DFL
 monitor records lifecycle measurements (written as JSON, default
@@ -109,10 +115,65 @@ the checkpoint cadence in sim-time milliseconds (default 50); manifests
 go to --dir (default a per-process temp directory). Exits nonzero if any
 seed diverges.
 
+`chaos --serve` chaoses the daemon instead of the in-process engine: it
+runs one golden job through a real `datalife serve` child process, then
+for each of --crashes seeded dispatch points starts a fresh daemon with
+--abort-on-chaos, submits the job with the kill switch armed, watches the
+process die mid-job (`kill -9` semantics: no destructors, no flushes),
+restarts the daemon on the same state directory, and requires the
+recovered result file — report plus both timeline exports — to be
+byte-identical to the golden one.
+
+`serve` starts the analysis daemon: JSON Lines over TCP (loopback,
+ephemeral port) and a Unix socket, endpoints published in
+<dir>/endpoint.json. Submitted jobs are durably ledgered before they are
+acknowledged, run on --workers threads under per-tenant fair-share
+scheduling, and survive `kill -9` via checkpoint resume on restart. See
+README for the request/response schema.
+
 --shards K partitions the event core by node domain into K shards
 (default 1; DFL_SHARDS sets the default when the flag is absent). Every
 observable — measurements, timelines, checkpoints, failure reports — is
-byte-identical at any K; the knob only changes performance.";
+byte-identical at any K; the knob only changes performance.
+
+Exit codes: 0 success; 1 runtime failure; 2 usage error (unknown
+command/workflow, bad flag); 3 chaos divergence (a recovered run was not
+byte-identical to its golden run).";
+
+/// Typed CLI failure, mapped to the process exit code: usage errors exit
+/// 2, runtime failures 1, chaos divergence 3 (success is 0).
+#[derive(Debug)]
+enum CliError {
+    Usage(String),
+    Runtime(String),
+    Divergence(String),
+}
+
+impl CliError {
+    fn code(&self) -> u8 {
+        match self {
+            CliError::Runtime(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::Divergence(_) => 3,
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError::Runtime(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> CliError {
+        CliError::Runtime(msg.into())
+    }
+}
+
+fn usage_err(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
@@ -136,20 +197,23 @@ fn load(path: &str) -> Result<DflGraph, String> {
 
 /// Builds the spec + run configuration shared by `run` and `profile`:
 /// workflow selection, scale, node count, fault plan, and retry policy.
-fn select_workflow(args: &[String]) -> Result<(WorkflowSpec, RunConfig), String> {
-    let workflow = args.first().ok_or("missing workflow name")?;
-    let paper_scale = arg_value(args, "--scale").as_deref() == Some("paper");
+fn select_workflow(args: &[String]) -> Result<(WorkflowSpec, RunConfig), CliError> {
+    let workflow = args.first().ok_or_else(|| usage_err("missing workflow name"))?;
+    let scale = match arg_value(args, "--scale") {
+        Some(s) => catalog::Scale::parse(&s).map_err(usage_err)?,
+        None => catalog::Scale::Tiny,
+    };
     let nodes: usize = arg_value(args, "--nodes").and_then(|v| v.parse().ok()).unwrap_or(2);
     let faults = match arg_value(args, "--faults") {
-        Some(s) => Some(FaultPlan::parse(&s).map_err(|e| format!("bad --faults: {e}"))?),
+        Some(s) => Some(FaultPlan::parse(&s).map_err(|e| usage_err(format!("bad --faults: {e}")))?),
         None => None,
     };
     let retries: Option<u32> = match arg_value(args, "--retries") {
-        Some(s) => Some(s.parse().map_err(|_| format!("bad --retries '{s}'"))?),
+        Some(s) => Some(s.parse().map_err(|_| usage_err(format!("bad --retries '{s}'")))?),
         None => None,
     };
     let verify = match arg_value(args, "--verify") {
-        Some(s) => Some(parse_verify(&s)?),
+        Some(s) => Some(parse_verify(&s).map_err(usage_err)?),
         None => None,
     };
     // Event-core shard count; output is byte-identical at any value, so
@@ -158,50 +222,11 @@ fn select_workflow(args: &[String]) -> Result<(WorkflowSpec, RunConfig), String>
     let shards: Option<u32> = match arg_value(args, "--shards")
         .or_else(|| std::env::var("DFL_SHARDS").ok())
     {
-        Some(s) => Some(s.parse().map_err(|_| format!("bad --shards '{s}'"))?),
+        Some(s) => Some(s.parse().map_err(|_| usage_err(format!("bad --shards '{s}'")))?),
         None => None,
     };
 
-    let (spec, mut cfg) = match workflow.as_str() {
-        "genomes" => {
-            let c = if paper_scale {
-                genomes::GenomesConfig::default()
-            } else {
-                genomes::GenomesConfig::tiny()
-            };
-            (genomes::generate(&c), RunConfig::default_gpu(nodes))
-        }
-        "ddmd" => {
-            let c = if paper_scale { ddmd::DdmdConfig::default() } else { ddmd::DdmdConfig::tiny() };
-            (ddmd::generate(&c, ddmd::Pipeline::Original), RunConfig::default_gpu(nodes))
-        }
-        "belle2" => {
-            let c = if paper_scale {
-                belle2::Belle2Config::default()
-            } else {
-                belle2::Belle2Config::tiny()
-            };
-            let rc = belle2::run_config(&c, belle2::DataAccess::Cached, nodes);
-            (belle2::generate(&c, belle2::DataAccess::Cached), rc)
-        }
-        "montage" => {
-            let c = if paper_scale {
-                montage::MontageConfig::default()
-            } else {
-                montage::MontageConfig::tiny()
-            };
-            (montage::generate(&c), RunConfig::default_gpu(nodes))
-        }
-        "seismic" => {
-            let c = if paper_scale {
-                seismic::SeismicConfig::default()
-            } else {
-                seismic::SeismicConfig::tiny()
-            };
-            (seismic::generate(&c), RunConfig::default_gpu(nodes))
-        }
-        w => return Err(format!("unknown workflow '{w}'")),
-    };
+    let (spec, mut cfg) = catalog::build(workflow, scale, nodes).map_err(usage_err)?;
     if let Some(p) = faults {
         cfg.faults = p;
     }
@@ -236,7 +261,7 @@ fn parse_verify(s: &str) -> Result<VerifyPolicy, String> {
     }
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
+fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let out = arg_value(args, "-o").unwrap_or_else(|| "measurements.json".into());
     let trace_out = arg_value(args, "--trace-out");
     let (spec, mut cfg) = select_workflow(args)?;
@@ -266,11 +291,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_profile(args: &[String]) -> Result<(), String> {
+fn cmd_profile(args: &[String]) -> Result<(), CliError> {
     let trace_out = arg_value(args, "--trace-out").unwrap_or_else(|| "trace.json".into());
     let jsonl_out = arg_value(args, "--jsonl");
     let sample_ms: u64 = match arg_value(args, "--sample-ms") {
-        Some(s) => s.parse().map_err(|_| format!("bad --sample-ms '{s}'"))?,
+        Some(s) => s.parse().map_err(|_| usage_err(format!("bad --sample-ms '{s}'")))?,
         None => 100,
     };
     let (spec, mut cfg) = select_workflow(args)?;
@@ -347,18 +372,18 @@ fn render_dashboard(workflow: &str, w: &WindowSummary, recent_diags: &[String]) 
     println!("events: {} this window, {} dropped at subscriber", w.events, w.stream_dropped);
 }
 
-fn cmd_watch(args: &[String]) -> Result<(), String> {
+fn cmd_watch(args: &[String]) -> Result<(), CliError> {
     let headless = args.iter().any(|a| a == "--headless");
     let jsonl = args.iter().any(|a| a == "--jsonl");
     let window_ms: u64 = match arg_value(args, "--window-ms") {
-        Some(s) => s.parse().map_err(|_| format!("bad --window-ms '{s}'"))?,
+        Some(s) => s.parse().map_err(|_| usage_err(format!("bad --window-ms '{s}'")))?,
         None => 100,
     };
     if window_ms == 0 {
-        return Err("--window-ms must be positive".into());
+        return Err(usage_err("--window-ms must be positive"));
     }
     let sample_ms: u64 = match arg_value(args, "--sample-ms") {
-        Some(s) => s.parse().map_err(|_| format!("bad --sample-ms '{s}'"))?,
+        Some(s) => s.parse().map_err(|_| usage_err(format!("bad --sample-ms '{s}'")))?,
         None => 20,
     };
     let workflow = args.first().cloned().unwrap_or_default();
@@ -428,8 +453,8 @@ fn cmd_watch(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_analyze(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("missing measurements file")?;
+fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
+    let path = args.first().ok_or_else(|| usage_err("missing measurements file"))?;
     let g = load(path)?;
     let cost = parse_cost(args);
     println!(
@@ -448,8 +473,8 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_html(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("missing measurements file")?;
+fn cmd_html(args: &[String]) -> Result<(), CliError> {
+    let path = args.first().ok_or_else(|| usage_err("missing measurements file"))?;
     let g = load(path)?;
     let cp = critical_path(&g, &CostModel::Volume);
     let out = arg_value(args, "-o").unwrap_or_else(|| "lifecycle.html".into());
@@ -458,8 +483,8 @@ fn cmd_html(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_advise(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("missing measurements file")?;
+fn cmd_advise(args: &[String]) -> Result<(), CliError> {
+    let path = args.first().ok_or_else(|| usage_err("missing measurements file"))?;
     let g = load(path)?;
     let ops = analyze(&g, &AnalysisConfig::default());
     let advice = dfl_core::analysis::advise(&g, &ops);
@@ -497,8 +522,8 @@ rationale:");
     Ok(())
 }
 
-fn cmd_rank(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("missing measurements file")?;
+fn cmd_rank(args: &[String]) -> Result<(), CliError> {
+    let path = args.first().ok_or_else(|| usage_err("missing measurements file"))?;
     let g = load(path)?;
     match arg_value(args, "--what").as_deref() {
         Some("data") => println!("{}", rank_data_vertices(&g, DataMetric::TotalVolume)),
@@ -508,8 +533,8 @@ fn cmd_rank(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_caterpillar(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("missing measurements file")?;
+fn cmd_caterpillar(args: &[String]) -> Result<(), CliError> {
+    let path = args.first().ok_or_else(|| usage_err("missing measurements file"))?;
     let g = load(path)?;
     let cost = parse_cost(args);
     let cp = critical_path(&g, &cost);
@@ -534,8 +559,8 @@ fn cmd_caterpillar(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_sankey(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("missing measurements file")?;
+fn cmd_sankey(args: &[String]) -> Result<(), CliError> {
+    let path = args.first().ok_or_else(|| usage_err("missing measurements file"))?;
     let g = load(path)?;
     let cp = critical_path(&g, &CostModel::Volume);
     let s = SankeyDiagram::from_graph(
@@ -548,7 +573,7 @@ fn cmd_sankey(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_casestudy(args: &[String]) -> Result<(), String> {
+fn cmd_casestudy(args: &[String]) -> Result<(), CliError> {
     match args.first().map(String::as_str) {
         Some("genomes") => {
             let spec = genomes::generate(&genomes::GenomesConfig::default());
@@ -576,7 +601,7 @@ fn cmd_casestudy(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
-        other => Err(format!("unknown case study {other:?} (genomes|ddmd|belle2)")),
+        other => Err(usage_err(format!("unknown case study {other:?} (genomes|ddmd|belle2)"))),
     }
 }
 
@@ -598,22 +623,25 @@ fn run_fingerprint(r: &RunResult) -> (String, String, String, u64) {
 /// checkpoints on (the golden run), then per seed kill the coordinator at
 /// seeded dispatch indices, resume from the latest manifest after each
 /// kill, and require the final outcome to be byte-identical to golden.
-fn cmd_chaos(args: &[String]) -> Result<(), String> {
+fn cmd_chaos(args: &[String]) -> Result<(), CliError> {
+    if args.iter().any(|a| a == "--serve") {
+        return cmd_chaos_serve(args);
+    }
     let seeds: Vec<u64> = arg_value(args, "--seeds")
         .unwrap_or_else(|| "1,42,7".into())
         .split(',')
         .filter(|s| !s.is_empty())
-        .map(|s| s.trim().parse::<u64>().map_err(|_| format!("bad --seeds entry '{s}'")))
+        .map(|s| s.trim().parse::<u64>().map_err(|_| usage_err(format!("bad --seeds entry '{s}'"))))
         .collect::<Result<_, _>>()?;
     if seeds.is_empty() {
-        return Err("--seeds must name at least one seed".into());
+        return Err(usage_err("--seeds must name at least one seed"));
     }
     let crashes: usize = match arg_value(args, "--crashes") {
-        Some(s) => s.parse().map_err(|_| format!("bad --crashes '{s}'"))?,
+        Some(s) => s.parse().map_err(|_| usage_err(format!("bad --crashes '{s}'")))?,
         None => 3,
     };
     let ckpt_ms: u64 = match arg_value(args, "--ckpt-ms") {
-        Some(s) => s.parse().map_err(|_| format!("bad --ckpt-ms '{s}'"))?,
+        Some(s) => s.parse().map_err(|_| usage_err(format!("bad --ckpt-ms '{s}'")))?,
         None => 50,
     };
     // A user-named --dir is left on disk (with the final run's manifests)
@@ -639,7 +667,7 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
         let golden_fp = run_fingerprint(&golden);
         let total = golden.events_dispatched;
         if total < 4 {
-            return Err(format!("workflow dispatches only {total} events, too short for chaos"));
+            return Err(format!("workflow dispatches only {total} events, too short for chaos").into());
         }
 
         // Seeded, strictly-ascending crash points inside the dispatch range.
@@ -663,7 +691,7 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
                 Ok(r) => break r,
                 Err(msg) => {
                     if !msg.contains("chaos") {
-                        return Err(format!("seed {seed}: unplanned failure: {msg}"));
+                        return Err(format!("seed {seed}: unplanned failure: {msg}").into());
                     }
                     kills += 1;
                     let mut next = cfg.clone();
@@ -687,17 +715,262 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
         let _ = std::fs::remove_dir_all(&dir);
     }
     if diverged > 0 {
-        return Err(format!("{diverged}/{} seeds diverged from the golden run", seeds.len()));
+        return Err(CliError::Divergence(format!(
+            "{diverged}/{} seeds diverged from the golden run",
+            seeds.len()
+        )));
     }
     println!("all {} seeds byte-identical to the golden run", seeds.len());
     Ok(())
+}
+
+/// Starts the analysis daemon and blocks until a client sends `shutdown`.
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let dir = PathBuf::from(arg_value(args, "--dir").unwrap_or_else(|| "serve-state".into()));
+    let mut cfg = ServeConfig::new(&dir);
+    if let Some(s) = arg_value(args, "--workers") {
+        cfg.workers = s.parse().map_err(|_| usage_err(format!("bad --workers '{s}'")))?;
+    }
+    if let Some(s) = arg_value(args, "--queue-cap") {
+        cfg.queue_cap = s.parse().map_err(|_| usage_err(format!("bad --queue-cap '{s}'")))?;
+    }
+    if let Some(s) = arg_value(args, "--ckpt-ms") {
+        cfg.ckpt_ms = s.parse().map_err(|_| usage_err(format!("bad --ckpt-ms '{s}'")))?;
+    }
+    if let Some(s) = arg_value(args, "--window-ms") {
+        cfg.window_ms = s.parse().map_err(|_| usage_err(format!("bad --window-ms '{s}'")))?;
+    }
+    cfg.abort_on_chaos = args.iter().any(|a| a == "--abort-on-chaos");
+
+    let daemon = Arc::new(Daemon::start(cfg)?);
+    let server = NetServer::start(daemon.clone(), &dir)?;
+    println!(
+        "datalife serve: tcp {} unix {} (state in {})",
+        server.endpoints.tcp,
+        server.endpoints.sock,
+        dir.display()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.wait();
+    daemon.shutdown();
+    println!("datalife serve: drained and stopped");
+    Ok(())
+}
+
+/// A spawned `datalife serve` child; killed on drop so a failing harness
+/// never leaks daemons.
+struct ServeChild(std::process::Child);
+
+impl Drop for ServeChild {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Spawns `datalife serve --dir <dir>` as a real child process (one
+/// worker, so job execution order is deterministic) and waits until it
+/// answers `ping`.
+fn spawn_serve(dir: &Path, ckpt_ms: u64, abort_on_chaos: bool) -> Result<(ServeChild, Client), CliError> {
+    // A stale endpoint file from a killed daemon must not be mistaken for
+    // the new daemon's endpoints.
+    let _ = std::fs::remove_file(dir.join("endpoint.json"));
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("serve")
+        .arg("--dir")
+        .arg(dir)
+        .args(["--workers", "1", "--ckpt-ms", &ckpt_ms.to_string()])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null());
+    if abort_on_chaos {
+        cmd.arg("--abort-on-chaos");
+    }
+    let mut child = cmd.spawn().map_err(|e| format!("spawn datalife serve: {e}"))?;
+    for _ in 0..400 {
+        if let Some(status) = child.try_wait().map_err(|e| e.to_string())? {
+            return Err(format!("datalife serve exited during startup: {status}").into());
+        }
+        if let Ok(mut client) = Client::connect_dir(dir) {
+            if client.roundtrip(&Request::new("ping").to_line()).is_ok() {
+                return Ok((ServeChild(child), client));
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    let _ = child.kill();
+    Err("datalife serve did not come up within 10s".into())
+}
+
+/// Runs one job on an already-connected daemon to its terminal state,
+/// returning `(state, detail)` from the terminal `job` line.
+fn stream_job(client: &mut Client, job: u64) -> Result<(String, String), CliError> {
+    let mut req = Request::new("stream");
+    req.job = Some(job);
+    let lines = client.stream_to_end(&req.to_line())?;
+    let last = lines.last().expect("stream_to_end returns the terminal line");
+    let v: serde_json::Value = serde_json::from_str(last).map_err(|e| format!("bad terminal line: {e}"))?;
+    Ok((
+        v["state"].as_str().unwrap_or("?").to_owned(),
+        v["detail"].as_str().unwrap_or("").to_owned(),
+    ))
+}
+
+/// Daemon-level chaos: kill -9 a real `datalife serve` process at seeded
+/// dispatch points mid-job and require the recovered result file (report
+/// plus both timeline exports) to be byte-identical to a golden,
+/// uninterrupted daemon run.
+fn cmd_chaos_serve(args: &[String]) -> Result<(), CliError> {
+    let workflow = match args.first() {
+        Some(w) if !w.starts_with('-') => w.clone(),
+        _ => "genomes".into(),
+    };
+    let scale = arg_value(args, "--scale").unwrap_or_else(|| "tiny".into());
+    let nodes: u64 = match arg_value(args, "--nodes") {
+        Some(s) => s.parse().map_err(|_| usage_err(format!("bad --nodes '{s}'")))?,
+        None => 2,
+    };
+    let seed: u64 = match arg_value(args, "--seed") {
+        Some(s) => s.parse().map_err(|_| usage_err(format!("bad --seed '{s}'")))?,
+        None => 3,
+    };
+    let crashes: usize = match arg_value(args, "--crashes") {
+        Some(s) => s.parse().map_err(|_| usage_err(format!("bad --crashes '{s}'")))?,
+        None => 3,
+    };
+    let ckpt_ms: u64 = match arg_value(args, "--ckpt-ms") {
+        Some(s) => s.parse().map_err(|_| usage_err(format!("bad --ckpt-ms '{s}'")))?,
+        None => 25,
+    };
+    let named_dir = arg_value(args, "--dir").map(PathBuf::from);
+    let keep_dir = named_dir.is_some();
+    let root = named_dir.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("datalife-chaos-serve-{}", std::process::id()))
+    });
+
+    let mut submit = Request::new("submit");
+    submit.workflow = Some(workflow.clone());
+    submit.scale = Some(scale);
+    submit.nodes = Some(nodes);
+    submit.seed = Some(seed);
+
+    // Golden: one uninterrupted run through a real daemon process.
+    let golden_dir = root.join("golden");
+    let _ = std::fs::remove_dir_all(&golden_dir);
+    std::fs::create_dir_all(&golden_dir).map_err(|e| e.to_string())?;
+    let (child, mut client) = spawn_serve(&golden_dir, ckpt_ms, false)?;
+    let job = accepted_job(&client.roundtrip(&submit.to_line())?)?;
+    let (state, detail) = stream_job(&mut client, job)?;
+    if state != "done" {
+        return Err(format!("golden job ended '{state}' ({detail}), expected done").into());
+    }
+    let _ = client.roundtrip(&Request::new("shutdown").to_line());
+    drop(child);
+    let golden = result_file(&golden_dir, job)?;
+    let total = result_events(&golden)?;
+    if total < 4 {
+        return Err(format!("workflow dispatches only {total} events, too short for chaos").into());
+    }
+
+    // Seeded, strictly-ascending kill points inside the dispatch range
+    // (the same spread the in-process chaos driver uses).
+    let mut points = std::collections::BTreeSet::new();
+    let mut i = 0u64;
+    while points.len() < crashes && i < 64 + 4 * crashes as u64 {
+        let f = dfl_iosim::fault::unit_hash(seed ^ 0xc4a0_5eed, i, total);
+        points.insert((1 + (f * (total - 2) as f64) as u64).min(total - 1));
+        i += 1;
+    }
+
+    let mut diverged = 0usize;
+    for &point in &points {
+        let dir = root.join(format!("kill-at-{point}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+
+        // Arm the kill switch and watch the daemon die mid-job. The abort
+        // happens at the exact dispatch index, with no destructors and no
+        // flushes — kill -9 semantics.
+        let (child, mut client) = spawn_serve(&dir, ckpt_ms, true)?;
+        let mut armed = submit.clone();
+        armed.chaos_at = Some(point);
+        // The reply can be lost if the kill lands first; a fresh state dir
+        // always allocates job 0.
+        let job = client
+            .roundtrip(&armed.to_line())
+            .ok()
+            .and_then(|l| accepted_job(&l).ok())
+            .unwrap_or(0);
+        let mut child = child;
+        let status = child.0.wait().map_err(|e| e.to_string())?;
+        if status.success() {
+            return Err(format!("daemon exited cleanly at kill point {point}; expected abort").into());
+        }
+
+        // Restart on the same state directory: recovery must finish the
+        // job byte-identically.
+        let (child, mut client) = spawn_serve(&dir, ckpt_ms, false)?;
+        let (state, detail) = stream_job(&mut client, job)?;
+        if state != "done" {
+            return Err(format!("recovered job ended '{state}' ({detail}) at kill point {point}").into());
+        }
+        let _ = client.roundtrip(&Request::new("shutdown").to_line());
+        drop(child);
+
+        let recovered = result_file(&dir, job)?;
+        let ok = recovered == golden;
+        println!(
+            "kill -9 at dispatch {point}/{total}: {}",
+            if ok { "PASS — recovered result byte-identical" } else { "FAIL — recovered result diverges" }
+        );
+        if !ok {
+            diverged += 1;
+        }
+    }
+    if !keep_dir {
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    if diverged > 0 {
+        return Err(CliError::Divergence(format!(
+            "{diverged}/{} daemon kill points diverged from the golden run",
+            points.len()
+        )));
+    }
+    println!(
+        "all {} daemon kill points recovered byte-identical to the golden run",
+        points.len()
+    );
+    Ok(())
+}
+
+/// Extracts the job id from an `accepted` reply line.
+fn accepted_job(line: &str) -> Result<u64, CliError> {
+    let v: serde_json::Value = serde_json::from_str(line).map_err(|e| format!("bad reply: {e}"))?;
+    if v["type"].as_str() != Some("accepted") {
+        return Err(format!("submit not accepted: {line}").into());
+    }
+    v["job"].as_u64().ok_or_else(|| "accepted reply without job id".into())
+}
+
+/// Reads a job's result file (report + both timeline exports, one JSON
+/// document) — the byte-compared artifact.
+fn result_file(dir: &Path, job: u64) -> Result<Vec<u8>, CliError> {
+    let path = dir.join(format!("job-{job}-result.json"));
+    std::fs::read(&path).map_err(|e| format!("read {}: {e}", path.display()).into())
+}
+
+fn result_events(bytes: &[u8]) -> Result<u64, CliError> {
+    let text = std::str::from_utf8(bytes).map_err(|e| format!("result not UTF-8: {e}"))?;
+    let v: serde_json::Value = serde_json::from_str(text).map_err(|e| format!("bad result JSON: {e}"))?;
+    v["events_dispatched"].as_u64().ok_or_else(|| "result without events_dispatched".into())
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let rest = &args[1..];
     let result = match cmd.as_str() {
@@ -712,17 +985,24 @@ fn main() -> ExitCode {
         "advise" => cmd_advise(rest),
         "casestudy" => cmd_casestudy(rest),
         "chaos" => cmd_chaos(rest),
+        "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
         }
-        other => Err(format!("unknown command '{other}'")),
+        other => Err(usage_err(format!("unknown command '{other}'"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
-            ExitCode::FAILURE
+            match &e {
+                // Usage mistakes get the full usage text; runtime failures
+                // and divergences just the message.
+                CliError::Usage(msg) => eprintln!("error: {msg}\n\n{USAGE}"),
+                CliError::Runtime(msg) => eprintln!("error: {msg}"),
+                CliError::Divergence(msg) => eprintln!("divergence: {msg}"),
+            }
+            ExitCode::from(e.code())
         }
     }
 }

@@ -15,9 +15,9 @@ fn tmpdir(name: &str) -> PathBuf {
 }
 
 #[test]
-fn no_args_prints_usage_and_fails() {
+fn no_args_prints_usage_and_exits_2() {
     let out = datalife().output().unwrap();
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
 }
 
@@ -29,9 +29,9 @@ fn help_succeeds() {
 }
 
 #[test]
-fn unknown_command_fails_with_message() {
+fn unknown_command_is_a_usage_error() {
     let out = datalife().arg("bogus").output().unwrap();
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command 'bogus'"));
 }
 
@@ -138,7 +138,7 @@ fn faulted_run_prints_report_and_is_deterministic() {
     );
 
     let bad = datalife().args(["run", "genomes", "--faults", "crash=99"]).output().unwrap();
-    assert!(!bad.status.success());
+    assert_eq!(bad.status.code(), Some(2), "bad flag value is a usage error");
     assert!(String::from_utf8_lossy(&bad.stderr).contains("bad --faults"));
 
     std::fs::remove_dir_all(&dir).ok();
@@ -253,15 +253,15 @@ fn profile_emits_summary_and_deterministic_trace() {
 }
 
 #[test]
-fn analyze_missing_file_fails_cleanly() {
+fn analyze_missing_file_is_a_runtime_error() {
     let out = datalife().args(["analyze", "/nonexistent/zzz.json"]).output().unwrap();
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }
 
 #[test]
-fn run_unknown_workflow_fails() {
+fn run_unknown_workflow_is_a_usage_error() {
     let out = datalife().args(["run", "fusion"]).output().unwrap();
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown workflow"));
 }

@@ -1,0 +1,188 @@
+//! Black-box tests of `datalife serve` as a real operating-system process:
+//! submit over TCP, kill -9 the daemon mid-flight, restart it on the same
+//! state directory, and require the recovered result to be byte-identical
+//! to an uninterrupted run's.
+//!
+//! The in-process daemon tests live in `tests/tests/serve_robustness.rs`;
+//! this file covers what only a real process can: SIGKILL delivery, abort
+//! with no destructors, endpoint discovery across restarts, and the
+//! `chaos --serve` driver's exit codes.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+use dfl_serve::{Client, Request};
+
+fn datalife() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_datalife"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("datalife-serve-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Kills the child on drop so a failing assertion never leaks a daemon.
+struct Guard(Child);
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Spawns `datalife serve` on `dir` and waits until it answers `ping`.
+fn spawn_serve(dir: &Path, abort_on_chaos: bool) -> (Guard, Client) {
+    let _ = std::fs::remove_file(dir.join("endpoint.json"));
+    let mut cmd = datalife();
+    cmd.args(["serve", "--dir"])
+        .arg(dir)
+        .args(["--workers", "1", "--ckpt-ms", "10"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    if abort_on_chaos {
+        cmd.arg("--abort-on-chaos");
+    }
+    let mut child = cmd.spawn().expect("spawn datalife serve");
+    for _ in 0..400 {
+        if let Some(status) = child.try_wait().unwrap() {
+            panic!("daemon exited during startup: {status}");
+        }
+        if let Ok(mut c) = Client::connect_dir(dir) {
+            if c.roundtrip(&Request::new("ping").to_line()).is_ok() {
+                return (Guard(child), c);
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    panic!("daemon did not come up within 10s");
+}
+
+fn submit_genomes() -> Request {
+    let mut r = Request::new("submit");
+    r.workflow = Some("genomes".into());
+    r.scale = Some("tiny".into());
+    r.nodes = Some(2);
+    r.seed = Some(7);
+    r
+}
+
+fn accepted_job(line: &str) -> u64 {
+    let v: serde_json::Value = serde_json::from_str(line).unwrap();
+    assert_eq!(v["type"].as_str(), Some("accepted"), "{line}");
+    v["job"].as_u64().unwrap()
+}
+
+/// Streams the job to its terminal line and asserts it ended `done`.
+fn stream_to_done(client: &mut Client, job: u64) {
+    let mut req = Request::new("stream");
+    req.job = Some(job);
+    let lines = client.stream_to_end(&req.to_line()).unwrap();
+    let v: serde_json::Value = serde_json::from_str(lines.last().unwrap()).unwrap();
+    assert_eq!(v["state"].as_str(), Some("done"), "{lines:?}");
+}
+
+fn shutdown(dir: &Path, guard: Guard) {
+    let mut c = Client::connect_dir(dir).unwrap();
+    let _ = c.roundtrip(&Request::new("shutdown").to_line());
+    let mut guard = guard;
+    let status = guard.0.wait().unwrap();
+    assert!(status.success(), "clean shutdown exits 0, got {status}");
+}
+
+fn result_bytes(dir: &Path, job: u64) -> Vec<u8> {
+    std::fs::read(dir.join(format!("job-{job}-result.json"))).unwrap()
+}
+
+/// One golden daemon run; returns the result bytes and the dispatch count
+/// (for seeding kill points).
+fn golden_run(dir: &Path) -> (Vec<u8>, u64) {
+    let (guard, mut client) = spawn_serve(dir, false);
+    let job = accepted_job(&client.roundtrip(&submit_genomes().to_line()).unwrap());
+    stream_to_done(&mut client, job);
+    shutdown(dir, guard);
+    let bytes = result_bytes(dir, job);
+    let v: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&bytes).unwrap()).unwrap();
+    (bytes, v["events_dispatched"].as_u64().unwrap())
+}
+
+/// Real SIGKILL at an arbitrary instant after the accept: whatever state
+/// the daemon dies in (job queued, running, or already done), a restart
+/// on the same directory converges to the same result bytes.
+#[test]
+fn sigkill_after_accept_recovers_byte_identical() {
+    let golden_dir = tmpdir("sigkill-golden");
+    let (golden, _) = golden_run(&golden_dir);
+
+    let dir = tmpdir("sigkill");
+    let (guard, mut client) = spawn_serve(&dir, false);
+    let job = accepted_job(&client.roundtrip(&submit_genomes().to_line()).unwrap());
+    // The accept is durable (write-ahead ledger), so SIGKILL right now —
+    // mid-job on a debug build — must not lose the job.
+    let mut guard = guard;
+    guard.0.kill().unwrap();
+    let _ = guard.0.wait();
+    drop(guard);
+
+    let (guard, mut client) = spawn_serve(&dir, false);
+    stream_to_done(&mut client, job);
+    shutdown(&dir, guard);
+    assert_eq!(result_bytes(&dir, job), golden, "recovered result diverges from golden");
+
+    std::fs::remove_dir_all(&golden_dir).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Deterministic kill: `--abort-on-chaos` + `chaos_at` aborts the daemon
+/// at an exact dispatch index (no destructors, no flushes); restart
+/// resumes from checkpoints to a byte-identical result.
+#[test]
+fn abort_at_seeded_dispatch_recovers_byte_identical() {
+    let golden_dir = tmpdir("abort-golden");
+    let (golden, total) = golden_run(&golden_dir);
+    assert!(total > 4, "workflow too short to kill mid-run");
+
+    let dir = tmpdir("abort");
+    let (guard, mut client) = spawn_serve(&dir, true);
+    let mut req = submit_genomes();
+    req.chaos_at = Some(total / 2);
+    // The reply can be lost if the abort lands first; job 0 is the only
+    // job a fresh state dir can allocate.
+    let job = client
+        .roundtrip(&req.to_line())
+        .ok()
+        .map(|l| accepted_job(&l))
+        .unwrap_or(0);
+    let mut guard = guard;
+    let status = guard.0.wait().unwrap();
+    assert!(!status.success(), "daemon must die at the armed dispatch, got {status}");
+    drop(guard);
+
+    let (guard, mut client) = spawn_serve(&dir, false);
+    stream_to_done(&mut client, job);
+    shutdown(&dir, guard);
+    assert_eq!(result_bytes(&dir, job), golden, "recovered result diverges from golden");
+
+    std::fs::remove_dir_all(&golden_dir).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The CLI driver wraps the same harness: exit 0 and a PASS line per
+/// seeded kill point.
+#[test]
+fn chaos_serve_driver_passes_and_exits_zero() {
+    let dir = tmpdir("driver");
+    let out = datalife()
+        .args(["chaos", "genomes", "--serve", "--crashes", "2", "--seed", "5", "--dir"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout: {stdout}\nstderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.matches("PASS — recovered result byte-identical").count() >= 2, "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,733 @@
+//! The daemon core: admission control, worker pool, crash recovery.
+//!
+//! A [`Daemon`] owns a write-ahead [`Ledger`], a [`FairQueue`], and a pool
+//! of worker threads driving jobs through the workflow engine's controlled
+//! loop ([`dfl_workflows::run_controlled`]). The transport layer (`net`)
+//! and in-process tests both talk to it through [`Daemon::handle`], one
+//! parsed request at a time.
+//!
+//! # Crash safety
+//!
+//! Every externally visible transition is written to the ledger *before*
+//! it is acknowledged: a submit is `accepted` only once its `Queued`
+//! record is durable, a worker marks `Running` before dispatching, and
+//! results are written to their own file (atomic rename) before the `Done`
+//! transition lands. [`Daemon::start`] therefore recovers from `kill -9`
+//! at any instant: `Queued` jobs re-enter the queue, `Running` jobs resume
+//! from their latest readable checkpoint manifest (torn ones skipped with
+//! typed warnings), and the deterministic engine makes the recovered
+//! result byte-identical to an uninterrupted run's.
+//!
+//! # Isolation
+//!
+//! Jobs run under `catch_unwind`: a panicking worker closure becomes a
+//! typed `failed` job, not a dead daemon. An armed chaos fault
+//! ([`crate::proto::Request::chaos_at`]) kills only the job — unless
+//! [`ServeConfig::abort_on_chaos`] is set, in which case the whole process
+//! aborts at the exact dispatch index, which is how the chaos harness
+//! produces real `kill -9`s at seeded points.
+
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+use dfl_iosim::SimError;
+use dfl_obs::{chrome_trace, jsonl, MetricsRegistry, MetricsSnapshot, ObsConfig};
+use dfl_workflows::{
+    catalog, resume_controlled, run_controlled, CheckpointConfig, CheckpointError,
+    ControlledOptions, ControlledOutcome, EngineError, PreemptCause, RunResult, StepControl,
+    WatchOptions, WindowSummary,
+};
+use serde::{Number, Value};
+
+use crate::ledger::{JobRecord, JobState, Ledger};
+use crate::proto::{resp, RejectReason, Request};
+use crate::sched::FairQueue;
+
+/// Daemon tuning.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Where the ledger, per-job checkpoints, result files, and transport
+    /// endpoints live. The daemon's whole durable state is this directory.
+    pub state_dir: PathBuf,
+    /// Admission queue capacity; submits beyond it are shed with
+    /// `rejected{reason:"capacity"}`.
+    pub queue_cap: usize,
+    /// Worker threads. Zero is allowed (admission and queueing only — jobs
+    /// wait for a restart with workers; tests use this to exercise
+    /// admission deterministically).
+    pub workers: usize,
+    /// Per-job checkpoint cadence in sim-time ms.
+    pub ckpt_ms: u64,
+    /// Per-job stream window width in sim-time ms.
+    pub window_ms: u64,
+    /// Abort the whole process (as if `kill -9`ed) when a job's armed
+    /// chaos fault fires — the deterministic crash injector behind
+    /// `datalife chaos --serve`. Off: the chaos kill strands the job in
+    /// `running` (the daemon survives; restart recovers the job).
+    pub abort_on_chaos: bool,
+}
+
+impl ServeConfig {
+    pub fn new(state_dir: impl Into<PathBuf>) -> Self {
+        ServeConfig {
+            state_dir: state_dir.into(),
+            queue_cap: 64,
+            workers: 2,
+            ckpt_ms: 25,
+            window_ms: 100,
+            abort_on_chaos: false,
+        }
+    }
+}
+
+/// One message to a `stream` subscriber.
+enum StreamMsg {
+    Line(String),
+    /// Terminal line; the subscriber loop ends after emitting it.
+    End(String),
+}
+
+/// Mutable daemon state, one mutex.
+struct Core {
+    ledger: Ledger,
+    queue: FairQueue,
+    /// Jobs currently on a worker.
+    running: HashSet<u64>,
+    /// Cancellation flags polled by running jobs at pause points.
+    cancel: HashSet<u64>,
+    draining: bool,
+    shutdown: bool,
+    subs: HashMap<u64, Vec<SyncSender<StreamMsg>>>,
+    metrics: MetricsRegistry,
+}
+
+impl Core {
+    fn count(&mut self, name: &str, by: u64) {
+        let id = self.metrics.counter(name);
+        self.metrics.inc(id, by);
+    }
+
+    fn gauges(&mut self) {
+        let q = self.queue.len() as f64;
+        let r = self.running.len() as f64;
+        let id = self.metrics.gauge("serve_queue_depth");
+        self.metrics.set(id, q);
+        let id = self.metrics.gauge("serve_running");
+        self.metrics.set(id, r);
+    }
+
+    /// Sends the terminal line to (and drops) all subscribers of `job`.
+    fn end_streams(&mut self, job: u64, line: &str) {
+        for tx in self.subs.remove(&job).unwrap_or_default() {
+            let _ = tx.try_send(StreamMsg::End(line.to_owned()));
+        }
+    }
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    core: Mutex<Core>,
+    cv: Condvar,
+}
+
+/// The analysis daemon. See the module docs.
+pub struct Daemon {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Daemon {
+    /// Opens the state directory, recovers any jobs interrupted by a
+    /// previous death, and spawns the worker pool.
+    pub fn start(cfg: ServeConfig) -> Result<Daemon, String> {
+        let ledger = Ledger::open(&cfg.state_dir)?;
+        let mut core = Core {
+            ledger,
+            queue: FairQueue::new(),
+            running: HashSet::new(),
+            cancel: HashSet::new(),
+            draining: false,
+            shutdown: false,
+            subs: HashMap::new(),
+            metrics: MetricsRegistry::new(),
+        };
+        // Pre-register every instrument so snapshot order is stable from
+        // the first stats call.
+        for name in [
+            "serve_submitted",
+            "serve_accepted",
+            "serve_rejected_capacity",
+            "serve_rejected_deadline",
+            "serve_rejected_bad_request",
+            "serve_rejected_draining",
+            "serve_completed",
+            "serve_failed",
+            "serve_cancelled",
+            "serve_deadline_preempted",
+            "serve_parked",
+            "serve_recovered",
+            "serve_panics",
+            "serve_chaos_crashes",
+            "serve_torn_manifests",
+            "serve_stream_dropped",
+        ] {
+            core.metrics.counter(name);
+        }
+        core.metrics.gauge("serve_queue_depth");
+        core.metrics.gauge("serve_running");
+
+        // Recovery: everything the previous incarnation left queued or
+        // running goes back on the queue; `run_one` decides fresh-vs-resume
+        // per job from its checkpoint directory.
+        let interrupted: Vec<(String, u64, JobState)> = core
+            .ledger
+            .jobs()
+            .iter()
+            .filter(|j| j.state.needs_recovery())
+            .map(|j| (j.tenant.clone(), j.id, j.state))
+            .collect();
+        for (tenant, id, state) in &interrupted {
+            core.queue.push(tenant, *id);
+            if *state == JobState::Running {
+                core.count("serve_recovered", 1);
+                core.ledger.set_state(*id, JobState::Queued, "recovered: queued for resume");
+            }
+        }
+        if !interrupted.is_empty() {
+            core.ledger.commit()?;
+        }
+        core.gauges();
+
+        let inner = Arc::new(Inner { cfg: cfg.clone(), core: Mutex::new(core), cv: Condvar::new() });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("dfl-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Ok(Daemon { inner, workers: Mutex::new(workers) })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Core> {
+        self.inner.core.lock().unwrap()
+    }
+
+    /// Parses and handles one request line. Returns `true` when the client
+    /// asked the daemon to shut down (the transport layer stops serving).
+    pub fn handle_line(&self, line: &str, emit: &mut dyn FnMut(String)) -> bool {
+        match Request::parse(line) {
+            Ok(req) => self.handle(req, emit),
+            Err(e) => {
+                emit(resp::error(&e));
+                false
+            }
+        }
+    }
+
+    /// Handles one parsed request, emitting response lines. `stream`
+    /// blocks in here, pumping window lines until the job is terminal.
+    pub fn handle(&self, req: Request, emit: &mut dyn FnMut(String)) -> bool {
+        match req.op.as_str() {
+            "ping" => emit(resp::pong()),
+            "submit" => emit(self.submit(&req)),
+            "status" => emit(self.status(req.job)),
+            "cancel" => emit(self.cancel(req.job)),
+            "stats" => {
+                let c = self.lock();
+                emit(resp::stats(&c.metrics.snapshot()));
+            }
+            "drain" => {
+                self.drain();
+                emit(resp::ok("drained"));
+            }
+            "shutdown" => {
+                self.drain();
+                emit(resp::ok("shutdown"));
+                return true;
+            }
+            "stream" => self.stream(req.job, emit),
+            other => emit(resp::error(&format!("unknown op '{other}'"))),
+        }
+        false
+    }
+
+    /// Convenience for tests: handles one line, collecting every emitted
+    /// response line.
+    pub fn request(&self, line: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        self.handle_line(line, &mut |l| out.push(l));
+        out
+    }
+
+    /// Current metrics.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.lock().metrics.snapshot()
+    }
+
+    /// Admission: every check produces a typed rejection; a job is
+    /// `accepted` only after its ledger record is durable.
+    fn submit(&self, req: &Request) -> String {
+        let mut c = self.lock();
+        c.count("serve_submitted", 1);
+        let reject = |c: &mut Core, r: RejectReason, d: &str| {
+            c.count(&format!("serve_rejected_{}", r.label()), 1);
+            resp::rejected(r, d)
+        };
+        if c.draining || c.shutdown {
+            return reject(&mut c, RejectReason::Draining, "daemon is draining");
+        }
+        if req.deadline_ms == Some(0) {
+            return reject(
+                &mut c,
+                RejectReason::Deadline,
+                "deadline already exhausted at admission (zero sim-time budget)",
+            );
+        }
+        let Some(workflow) = req.workflow.clone() else {
+            return reject(&mut c, RejectReason::BadRequest, "submit requires a workflow");
+        };
+        let scale = req.scale.clone().unwrap_or_else(|| "tiny".into());
+        if let Err(e) = catalog::Scale::parse(&scale) {
+            return reject(&mut c, RejectReason::BadRequest, &e);
+        }
+        if !catalog::WORKFLOWS.contains(&workflow.as_str()) {
+            return reject(
+                &mut c,
+                RejectReason::BadRequest,
+                &format!("unknown workflow '{workflow}'"),
+            );
+        }
+        if c.queue.len() >= self.inner.cfg.queue_cap {
+            return reject(
+                &mut c,
+                RejectReason::Capacity,
+                &format!("admission queue at capacity ({})", self.inner.cfg.queue_cap),
+            );
+        }
+        let tenant = req.tenant.clone().unwrap_or_else(|| "anon".into());
+        let id = c.ledger.alloc_id();
+        c.ledger.push(JobRecord {
+            id,
+            tenant: tenant.clone(),
+            workflow,
+            scale,
+            nodes: req.nodes.unwrap_or(2).clamp(1, 64),
+            seed: req.seed.unwrap_or(0),
+            deadline_ms: req.deadline_ms,
+            chaos_at: req.chaos_at,
+            panic: req.panic.unwrap_or(false),
+            state: JobState::Queued,
+            detail: String::new(),
+        });
+        // Write-ahead: the accept reply exists only if this commit did.
+        if let Err(e) = c.ledger.commit() {
+            return resp::error(&format!("ledger write failed: {e}"));
+        }
+        c.queue.push(&tenant, id);
+        c.count("serve_accepted", 1);
+        c.gauges();
+        self.inner.cv.notify_all();
+        resp::accepted(id)
+    }
+
+    fn status(&self, job: Option<u64>) -> String {
+        let c = self.lock();
+        match job.and_then(|id| c.ledger.get(id)) {
+            Some(j) => resp::job(j.id, j.state.label(), &j.detail, &j.tenant),
+            None => resp::error("unknown job"),
+        }
+    }
+
+    fn cancel(&self, job: Option<u64>) -> String {
+        let mut c = self.lock();
+        let Some(rec) = job.and_then(|id| c.ledger.get(id)).cloned() else {
+            return resp::error("unknown job");
+        };
+        match rec.state {
+            // Worker dispatch holds the same lock, so `Queued` here means
+            // the job really is still in the queue.
+            JobState::Queued if c.queue.remove(rec.id) => {
+                c.ledger.set_state(rec.id, JobState::Cancelled, "cancelled before dispatch");
+                if let Err(e) = c.ledger.commit() {
+                    return resp::error(&format!("ledger write failed: {e}"));
+                }
+                c.count("serve_cancelled", 1);
+                c.gauges();
+                let line =
+                    resp::job(rec.id, "cancelled", "cancelled before dispatch", &rec.tenant);
+                c.end_streams(rec.id, &line);
+                line
+            }
+            JobState::Queued | JobState::Running => {
+                // Preempted at the job's next pause point via the control
+                // callback; the state is parked, not discarded.
+                c.cancel.insert(rec.id);
+                resp::job(rec.id, rec.state.label(), "cancel requested", &rec.tenant)
+            }
+            terminal => resp::job(rec.id, terminal.label(), &rec.detail, &rec.tenant),
+        }
+    }
+
+    /// Blocks pumping `window` lines for `job` until it reaches a terminal
+    /// state (or was already terminal).
+    fn stream(&self, job: Option<u64>, emit: &mut dyn FnMut(String)) {
+        let rx: Receiver<StreamMsg> = {
+            let mut c = self.lock();
+            let Some(rec) = job.and_then(|id| c.ledger.get(id)).cloned() else {
+                emit(resp::error("unknown job"));
+                return;
+            };
+            match rec.state {
+                JobState::Queued | JobState::Running => {
+                    let (tx, rx) = sync_channel(256);
+                    c.subs.entry(rec.id).or_default().push(tx);
+                    rx
+                }
+                terminal => {
+                    emit(resp::job(rec.id, terminal.label(), &rec.detail, &rec.tenant));
+                    return;
+                }
+            }
+        };
+        loop {
+            match rx.recv() {
+                Ok(StreamMsg::Line(l)) => emit(l),
+                Ok(StreamMsg::End(l)) => {
+                    emit(l);
+                    return;
+                }
+                // Sender dropped without a terminal line (chaos kill path):
+                // report the job's current state and stop.
+                Err(_) => {
+                    emit(self.status(job));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Graceful drain: stop admitting, preempt running jobs at their next
+    /// pause point (their state parks in checkpoint manifests), and return
+    /// once the pool is idle. Queued and parked jobs stay in the ledger
+    /// for a later restart to pick up.
+    pub fn drain(&self) {
+        let mut c = self.lock();
+        c.draining = true;
+        self.inner.cv.notify_all();
+        while !c.running.is_empty() {
+            c = self.inner.cv.wait(c).unwrap();
+        }
+    }
+
+    /// Drains, stops the workers, and joins them.
+    pub fn shutdown(&self) {
+        self.drain();
+        {
+            let mut c = self.lock();
+            c.shutdown = true;
+            self.inner.cv.notify_all();
+        }
+        for h in self.workers.lock().unwrap().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        let rec: JobRecord = {
+            let mut c = inner.core.lock().unwrap();
+            loop {
+                if c.shutdown {
+                    return;
+                }
+                if !c.draining {
+                    if let Some((_tenant, id)) = c.queue.pop() {
+                        c.ledger.set_state(id, JobState::Running, "running");
+                        if let Err(e) = c.ledger.commit() {
+                            eprintln!("serve: ledger write failed: {e}");
+                        }
+                        c.running.insert(id);
+                        c.gauges();
+                        break c.ledger.get(id).expect("queued job has a record").clone();
+                    }
+                }
+                c = inner.cv.wait(c).unwrap();
+            }
+        };
+        run_one(inner, &rec);
+    }
+}
+
+/// Runs one job start-to-terminal-state, with panic isolation.
+fn run_one(inner: &Arc<Inner>, rec: &JobRecord) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| execute(inner, rec)));
+    let mut c = inner.core.lock().unwrap();
+    c.running.remove(&rec.id);
+    c.cancel.remove(&rec.id);
+    let (state, detail) = match outcome {
+        Ok(Ok(done)) => done,
+        Ok(Err(e)) => {
+            if let EngineError::Sim(SimError::CoordinatorCrash { at_event }) = &e {
+                // The armed chaos fault fired and `abort_on_chaos` is off:
+                // model the kill without dying. The ledger keeps saying
+                // `running` — exactly what a real `kill -9` leaves behind —
+                // so a restarted daemon recovers the job by resume.
+                c.count("serve_chaos_crashes", 1);
+                c.gauges();
+                c.end_streams(
+                    rec.id,
+                    &resp::job(
+                        rec.id,
+                        JobState::Running.label(),
+                        &format!("chaos kill at dispatch {at_event}; restart to recover"),
+                        &rec.tenant,
+                    ),
+                );
+                self_notify(inner);
+                return;
+            }
+            (JobState::Failed, format!("engine error: {e}"))
+        }
+        Err(panic) => {
+            c.count("serve_panics", 1);
+            (JobState::Failed, format!("worker panic: {}", panic_message(&panic)))
+        }
+    };
+    match state {
+        JobState::Done => c.count("serve_completed", 1),
+        JobState::Failed => c.count("serve_failed", 1),
+        JobState::Cancelled => c.count("serve_cancelled", 1),
+        JobState::Deadline => c.count("serve_deadline_preempted", 1),
+        JobState::Running => c.count("serve_parked", 1),
+        JobState::Queued => {}
+    }
+    c.ledger.set_state(rec.id, state, &detail);
+    if let Err(e) = c.ledger.commit() {
+        eprintln!("serve: ledger write failed: {e}");
+    }
+    c.gauges();
+    c.end_streams(rec.id, &resp::job(rec.id, state.label(), &detail, &rec.tenant));
+    self_notify(inner);
+}
+
+fn self_notify(inner: &Arc<Inner>) {
+    inner.cv.notify_all();
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+/// Builds the job's `(spec, config)` from the catalog and drives it under
+/// the controlled loop, resuming from checkpoints when the job directory
+/// already has them (recovery). Returns the terminal `(state, detail)`.
+fn execute(inner: &Arc<Inner>, rec: &JobRecord) -> Result<(JobState, String), EngineError> {
+    if rec.panic {
+        panic!("injected worker panic (submit had panic=true)");
+    }
+    let scale = catalog::Scale::parse(&rec.scale).map_err(EngineError::InvalidSpec)?;
+    let (spec, mut cfg) =
+        catalog::build(&rec.workflow, scale, rec.nodes as usize).map_err(EngineError::InvalidSpec)?;
+    cfg.faults = cfg.faults.clone().seed(rec.seed);
+    cfg.obs = Some(ObsConfig::default());
+    let job_dir = inner.cfg.state_dir.join(format!("job-{}", rec.id));
+    cfg.checkpoint =
+        Some(CheckpointConfig::to_dir(&job_dir).every_sim_ns(inner.cfg.ckpt_ms.max(1) * 1_000_000));
+    let opts = ControlledOptions {
+        watch: WatchOptions {
+            window_ns: inner.cfg.window_ms.max(1) * 1_000_000,
+            ..WatchOptions::default()
+        },
+        deadline_ns: rec.deadline_ms.map(|ms| ms * 1_000_000),
+    };
+
+    let id = rec.id;
+    let on_window = |w: &WindowSummary| push_window(inner, id, w);
+    let control = || {
+        let c = inner.core.lock().unwrap();
+        if c.shutdown || c.draining || c.cancel.contains(&id) {
+            StepControl::Preempt
+        } else {
+            StepControl::Continue
+        }
+    };
+
+    // Fresh vs resume: a previous incarnation's checkpoints make this a
+    // recovery. Chaos is armed only on fresh runs — a resumed simulator
+    // must not re-fire the kill it already died from.
+    let has_ckpts = std::fs::read_dir(&job_dir)
+        .map(|d| d.filter_map(|e| e.ok()).count() > 0)
+        .unwrap_or(false);
+    let outcome = if has_ckpts {
+        match resume_controlled(&spec, &cfg, &opts, on_window, control) {
+            Ok((outcome, torn)) => {
+                if !torn.is_empty() {
+                    let mut c = inner.core.lock().unwrap();
+                    c.count("serve_torn_manifests", torn.len() as u64);
+                    for t in &torn {
+                        eprintln!("serve: job {id}: {t}");
+                    }
+                }
+                outcome
+            }
+            // Every manifest torn (killed during the very first write):
+            // nothing usable, restart the deterministic run from scratch.
+            Err(EngineError::Checkpoint(
+                CheckpointError::AllTorn { torn, .. },
+            )) => {
+                {
+                    let mut c = inner.core.lock().unwrap();
+                    c.count("serve_torn_manifests", torn.len() as u64);
+                }
+                let _ = std::fs::remove_dir_all(&job_dir);
+                run_fresh(inner, rec, &spec, &cfg, &opts)?
+            }
+            Err(e) => return Err(e),
+        }
+    } else {
+        run_fresh(inner, rec, &spec, &cfg, &opts)?
+    };
+
+    match outcome {
+        ControlledOutcome::Completed(r) => {
+            write_result(inner, rec, &r).map_err(|e| {
+                eprintln!("serve: job {id}: result write failed: {e}");
+                EngineError::InvalidSpec(format!("result write failed: {e}"))
+            })?;
+            Ok((JobState::Done, format!("ok: makespan {:.4}s", r.makespan_s)))
+        }
+        ControlledOutcome::Preempted { cause: PreemptCause::Deadline, sim_time_ns, .. } => {
+            Ok((
+                JobState::Deadline,
+                format!("deadline preempted at {sim_time_ns}ns; attempt ledger parked"),
+            ))
+        }
+        ControlledOutcome::Preempted {
+            cause: PreemptCause::Control,
+            sim_time_ns,
+            parked_seq,
+            ..
+        } => {
+            let cancelled = inner.core.lock().unwrap().cancel.contains(&id);
+            let seq = parked_seq.map_or_else(|| "-".into(), |s| s.to_string());
+            if cancelled {
+                Ok((
+                    JobState::Cancelled,
+                    format!("cancelled at {sim_time_ns}ns (parked manifest seq {seq})"),
+                ))
+            } else {
+                // Drain/shutdown: park as `running` so a restart resumes it.
+                Ok((
+                    JobState::Running,
+                    format!("parked for drain at {sim_time_ns}ns (manifest seq {seq})"),
+                ))
+            }
+        }
+    }
+}
+
+/// Runs a job from scratch, arming its chaos fault (if any) and honoring
+/// `abort_on_chaos` — the deterministic stand-in for `kill -9`.
+fn run_fresh(
+    inner: &Arc<Inner>,
+    rec: &JobRecord,
+    spec: &dfl_workflows::WorkflowSpec,
+    cfg: &dfl_workflows::RunConfig,
+    opts: &ControlledOptions,
+) -> Result<ControlledOutcome, EngineError> {
+    let mut cfg = cfg.clone();
+    if let Some(at) = rec.chaos_at {
+        cfg.faults = cfg.faults.chaos_crash(at);
+    }
+    let id = rec.id;
+    let on_window = |w: &WindowSummary| push_window(inner, id, w);
+    let control = || {
+        let c = inner.core.lock().unwrap();
+        if c.shutdown || c.draining || c.cancel.contains(&id) {
+            StepControl::Preempt
+        } else {
+            StepControl::Continue
+        }
+    };
+    match run_controlled(spec, &cfg, opts, on_window, control) {
+        Err(EngineError::Sim(SimError::CoordinatorCrash { .. })) if inner.cfg.abort_on_chaos => {
+            // Die exactly like kill -9: no unwinding, no ledger write, no
+            // flush. The restart proves recovery.
+            std::process::abort();
+        }
+        other => other,
+    }
+}
+
+fn push_window(inner: &Arc<Inner>, job: u64, w: &WindowSummary) {
+    let mut c = inner.core.lock().unwrap();
+    let Some(subs) = c.subs.get_mut(&job) else { return };
+    let line = resp::window(job, w);
+    let mut dropped = 0u64;
+    subs.retain(|tx| match tx.try_send(StreamMsg::Line(line.clone())) {
+        Ok(()) => true,
+        Err(TrySendError::Full(_)) => {
+            // Slow consumer: drop the line, keep the subscription, count it.
+            dropped += 1;
+            true
+        }
+        Err(TrySendError::Disconnected(_)) => false,
+    });
+    if dropped > 0 {
+        c.count("serve_stream_dropped", dropped);
+    }
+}
+
+/// Writes `job-{id}-result.json` (atomic rename): the job's fingerprint —
+/// reports plus *both* timeline exports — used by the chaos harness to
+/// prove recovered runs byte-identical to uninterrupted ones. The makespan
+/// travels as IEEE-754 bits so the comparison is exact, not formatted.
+fn write_result(inner: &Arc<Inner>, rec: &JobRecord, r: &RunResult) -> Result<(), String> {
+    let n = |x: u64| Value::Number(Number::U64(x));
+    let s = |x: &str| Value::String(x.to_owned());
+    let reports = Value::Array(
+        r.reports
+            .iter()
+            .map(|j| {
+                Value::Array(vec![s(&j.name), n(j.end_ns), Value::Bool(j.failed)])
+            })
+            .collect(),
+    );
+    let timeline = r.timeline.as_ref().ok_or("job ran without a timeline")?;
+    let v = Value::Object(
+        [
+            ("job".to_owned(), n(rec.id)),
+            ("workflow".to_owned(), s(&rec.workflow)),
+            ("scale".to_owned(), s(&rec.scale)),
+            ("nodes".to_owned(), n(rec.nodes)),
+            ("seed".to_owned(), n(rec.seed)),
+            ("makespan_bits".to_owned(), n(r.makespan_s.to_bits())),
+            ("events_dispatched".to_owned(), n(r.events_dispatched)),
+            ("reports".to_owned(), reports),
+            ("chrome_trace".to_owned(), s(&chrome_trace(timeline))),
+            ("jsonl".to_owned(), s(&jsonl(timeline))),
+        ]
+        .into_iter()
+        .collect(),
+    );
+    let json = serde_json::to_string(&v).map_err(|e| e.to_string())?;
+    let path = inner.cfg.state_dir.join(format!("job-{}-result.json", rec.id));
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, json).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, &path).map_err(|e| format!("rename {}: {e}", path.display()))?;
+    Ok(())
+}

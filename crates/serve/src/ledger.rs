@@ -1,0 +1,215 @@
+//! Write-ahead job ledger: the daemon's crash-durable source of truth.
+//!
+//! Every job transition (admitted, running, done, failed, cancelled,
+//! preempted) rewrites `jobs.json` in the daemon state directory with the
+//! same atomic temp-file + rename discipline as `CheckpointManifest` — a
+//! `kill -9` at any instant leaves either the previous or the next ledger,
+//! never a torn one. A submit is acknowledged `accepted` only *after* its
+//! `Queued` record hits disk, so an accepted job can never be lost: on
+//! restart, [`Ledger::load`] hands recovery every job that was queued or
+//! running when the daemon died.
+//!
+//! Records store the full submit parameters, not derived state — recovery
+//! rebuilds the `(spec, config)` pair through the workflow catalog, which
+//! hashes identically to the original submission's and therefore accepts
+//! the job's on-disk checkpoint manifests.
+
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+/// Job lifecycle states as persisted in the ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Admitted, waiting for a worker. Recovered by re-enqueueing.
+    Queued,
+    /// On a worker. Recovered by resuming from the job's latest manifest.
+    Running,
+    /// Completed; the result file is on disk (written before this state).
+    Done,
+    /// Typed failure — engine error or isolated worker panic.
+    Failed,
+    /// Cancelled by the client (queued: dropped; running: preempted).
+    Cancelled,
+    /// Preempted by its sim-time deadline; attempt ledger parked in the
+    /// job's checkpoint manifests.
+    Deadline,
+}
+
+impl JobState {
+    pub fn label(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+            JobState::Deadline => "deadline",
+        }
+    }
+
+    /// States recovery must pick back up after a crash.
+    pub fn needs_recovery(self) -> bool {
+        matches!(self, JobState::Queued | JobState::Running)
+    }
+}
+
+/// One job's durable record: the submit parameters plus current state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobRecord {
+    pub id: u64,
+    pub tenant: String,
+    pub workflow: String,
+    pub scale: String,
+    pub nodes: u64,
+    pub seed: u64,
+    pub deadline_ms: Option<u64>,
+    pub chaos_at: Option<u64>,
+    pub panic: bool,
+    pub state: JobState,
+    /// Human-readable outcome detail (error message, preemption note, …).
+    pub detail: String,
+}
+
+/// The on-disk ledger: all job records, plus the id counter high-water
+/// mark so recovered daemons never reuse an id.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LedgerState {
+    pub next_id: u64,
+    pub jobs: Vec<JobRecord>,
+}
+
+/// Handle over `<state_dir>/jobs.json`.
+#[derive(Debug)]
+pub struct Ledger {
+    path: PathBuf,
+    state: LedgerState,
+}
+
+impl Ledger {
+    /// Opens (or initializes) the ledger in `state_dir`.
+    pub fn open(state_dir: &Path) -> Result<Ledger, String> {
+        std::fs::create_dir_all(state_dir)
+            .map_err(|e| format!("create {}: {e}", state_dir.display()))?;
+        let path = state_dir.join("jobs.json");
+        let state = match std::fs::read_to_string(&path) {
+            Ok(text) => serde_json::from_str(&text)
+                .map_err(|e| format!("corrupt job ledger {}: {e}", path.display()))?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => LedgerState::default(),
+            Err(e) => return Err(format!("read {}: {e}", path.display())),
+        };
+        Ok(Ledger { path, state })
+    }
+
+    /// Allocates the next job id (durable once the caller commits).
+    pub fn alloc_id(&mut self) -> u64 {
+        let id = self.state.next_id;
+        self.state.next_id += 1;
+        id
+    }
+
+    pub fn jobs(&self) -> &[JobRecord] {
+        &self.state.jobs
+    }
+
+    pub fn get(&self, id: u64) -> Option<&JobRecord> {
+        self.state.jobs.iter().find(|j| j.id == id)
+    }
+
+    /// Appends a record. Not durable until [`Ledger::commit`].
+    pub fn push(&mut self, rec: JobRecord) {
+        debug_assert!(self.get(rec.id).is_none(), "duplicate job id {}", rec.id);
+        self.state.jobs.push(rec);
+    }
+
+    /// Updates a record's state + detail. Not durable until
+    /// [`Ledger::commit`].
+    pub fn set_state(&mut self, id: u64, state: JobState, detail: &str) {
+        if let Some(j) = self.state.jobs.iter_mut().find(|j| j.id == id) {
+            j.state = state;
+            j.detail = detail.to_owned();
+        }
+    }
+
+    /// Writes the ledger atomically (temp file + rename). The write-ahead
+    /// contract: callers commit *before* externalizing the transition
+    /// (acknowledging a submit, reporting a completion).
+    pub fn commit(&self) -> Result<(), String> {
+        let json = serde_json::to_string(&self.state).map_err(|e| e.to_string())?;
+        let tmp = self.path.with_extension("json.tmp");
+        std::fs::write(&tmp, json).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &self.path)
+            .map_err(|e| format!("rename {}: {e}", self.path.display()))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, state: JobState) -> JobRecord {
+        JobRecord {
+            id,
+            tenant: "t".into(),
+            workflow: "smoke".into(),
+            scale: "tiny".into(),
+            nodes: 2,
+            seed: 0,
+            deadline_ms: None,
+            chaos_at: None,
+            panic: false,
+            state,
+            detail: String::new(),
+        }
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dfl-ledger-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn ledger_survives_reopen_with_states_and_id_highwater() {
+        let dir = tmp("reopen");
+        let mut l = Ledger::open(&dir).unwrap();
+        let a = l.alloc_id();
+        l.push(rec(a, JobState::Queued));
+        let b = l.alloc_id();
+        l.push(rec(b, JobState::Queued));
+        l.set_state(a, JobState::Running, "");
+        l.set_state(b, JobState::Done, "ok");
+        l.commit().unwrap();
+
+        let mut l2 = Ledger::open(&dir).unwrap();
+        assert_eq!(l2.get(a).unwrap().state, JobState::Running);
+        assert_eq!(l2.get(b).unwrap().state, JobState::Done);
+        assert!(l2.get(a).unwrap().state.needs_recovery());
+        assert!(!l2.get(b).unwrap().state.needs_recovery());
+        assert_eq!(l2.alloc_id(), 2, "ids never reused after recovery");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn commit_is_atomic_rename() {
+        let dir = tmp("atomic");
+        let mut l = Ledger::open(&dir).unwrap();
+        let id = l.alloc_id();
+        l.push(rec(id, JobState::Queued));
+        l.commit().unwrap();
+        assert!(dir.join("jobs.json").exists());
+        assert!(!dir.join("jobs.json.tmp").exists(), "temp file renamed away");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_ledger_is_a_typed_error() {
+        let dir = tmp("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("jobs.json"), "{torn").unwrap();
+        let err = Ledger::open(&dir).unwrap_err();
+        assert!(err.contains("corrupt job ledger"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,37 @@
+//! # dfl-serve — a crash-safe, multi-tenant analysis daemon
+//!
+//! `datalife serve` turns the one-shot workflow engine into a long-lived
+//! service: clients submit named catalog workflows over a JSON Lines
+//! protocol (TCP loopback or Unix socket) and the daemon runs them on a
+//! worker pool with
+//!
+//! - **admission control** — a bounded per-tenant fair-share queue; load
+//!   beyond capacity is shed with typed `rejected` replies, never
+//!   silently ([`proto::RejectReason`]);
+//! - **per-job deadlines and cancellation** — both preempt through the
+//!   engine's pause-at checkpoint path, parking the attempt ledger in a
+//!   manifest instead of killing the run;
+//! - **crash safety** — a write-ahead job [`ledger`] (atomic rename) plus
+//!   per-job checkpoint manifests make `kill -9` at any instant
+//!   recoverable: on restart, interrupted jobs resume and finish
+//!   byte-identical to uninterrupted runs (the `datalife chaos --serve`
+//!   harness proves it at seeded kill points);
+//! - **isolation** — worker panics become typed job failures, not daemon
+//!   deaths;
+//! - **fair-share scheduling** — the FlowNet `capacity/load` max-min
+//!   discipline applied to worker slots via virtual-time accounting
+//!   ([`sched::FairQueue`]);
+//! - **graceful drain** — stop admitting, park in-flight work at
+//!   checkpoints, acknowledge when idle.
+
+pub mod daemon;
+pub mod ledger;
+pub mod net;
+pub mod proto;
+pub mod sched;
+
+pub use daemon::{Daemon, ServeConfig};
+pub use ledger::{JobRecord, JobState, Ledger};
+pub use net::{Client, Endpoints, NetServer};
+pub use proto::{resp, RejectReason, Request};
+pub use sched::FairQueue;

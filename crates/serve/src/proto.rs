@@ -1,0 +1,214 @@
+//! The `datalife serve` wire protocol: JSON Lines over TCP or a Unix
+//! socket.
+//!
+//! Every request is one JSON object on one line; every response is one (or,
+//! for `stream`, many) JSON object(s) on one line each. Requests are a flat
+//! object with an `op` discriminator; unknown fields are ignored, absent
+//! optional fields default. Responses carry a `type` discriminator.
+//!
+//! ## Requests
+//!
+//! | op        | fields                                                        |
+//! |-----------|---------------------------------------------------------------|
+//! | `submit`  | `workflow`, [`tenant`], [`scale`], [`nodes`], [`seed`], [`deadline_ms`], [`chaos_at`], [`panic`] |
+//! | `status`  | `job`                                                         |
+//! | `cancel`  | `job`                                                         |
+//! | `stream`  | `job` — responds with `window` lines, then a terminal line    |
+//! | `stats`   | —                                                             |
+//! | `drain`   | — stop admitting, park in-flight jobs, then acknowledge       |
+//! | `ping`    | —                                                             |
+//!
+//! ## Responses
+//!
+//! `{"type":"accepted","job":N}` · `{"type":"rejected","reason":R,"detail":D}`
+//! · `{"type":"job","job":N,"state":S,...}` · `{"type":"window",...}` ·
+//! `{"type":"stats",...}` · `{"type":"error","detail":D}` — see README for
+//! the full schema. Rejection reasons are closed vocabulary:
+//! [`RejectReason`]. A submit is only `accepted` *after* the job has been
+//! durably recorded in the write-ahead ledger.
+
+use serde::{Deserialize, Number, Serialize, Value};
+
+/// One parsed request line. Flat by design: the vendored serde derives
+/// handle absent fields by deserializing `Option` from `Null`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    pub op: String,
+    /// Catalog workflow name (`submit`).
+    pub workflow: Option<String>,
+    /// Tenant for fair-share scheduling; defaults to `"anon"`.
+    pub tenant: Option<String>,
+    /// `tiny` (default) or `paper`.
+    pub scale: Option<String>,
+    /// Cluster nodes to simulate on (default 2).
+    pub nodes: Option<u64>,
+    /// Fault-plan seed (default 0 = unseeded base plan).
+    pub seed: Option<u64>,
+    /// Sim-time budget in ms. `0` (or any value the job has already
+    /// exceeded on admission) is rejected with reason `deadline`; a run
+    /// reaching it mid-flight is preempted at a checkpoint, not killed.
+    pub deadline_ms: Option<u64>,
+    /// Arm the deterministic coordinator-kill switch at this dispatch
+    /// index (the `datalife chaos --serve` harness; with
+    /// `--abort-on-chaos` the daemon dies as if `kill -9`ed).
+    pub chaos_at: Option<u64>,
+    /// Make the worker thread panic instead of running the job — exercises
+    /// panic isolation. Typed `failed` state, daemon keeps serving.
+    pub panic: Option<bool>,
+    /// Job id for `status` / `cancel` / `stream`.
+    pub job: Option<u64>,
+}
+
+impl Request {
+    pub fn new(op: &str) -> Request {
+        Request {
+            op: op.into(),
+            workflow: None,
+            tenant: None,
+            scale: None,
+            nodes: None,
+            seed: None,
+            deadline_ms: None,
+            chaos_at: None,
+            panic: None,
+            job: None,
+        }
+    }
+
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        serde_json::from_str(line).map_err(|e| format!("bad request: {e}"))
+    }
+
+    /// The request as one JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("request serializes")
+    }
+}
+
+/// Why a submit was refused. Closed vocabulary so clients can match on it;
+/// rendered in the `reason` field of a `rejected` response. Every refused
+/// submit gets one of these — the daemon never sheds silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Admission queue is at capacity (load shedding).
+    Capacity,
+    /// Deadline is zero or already exhausted at admission.
+    Deadline,
+    /// Unknown workflow/scale or malformed field.
+    BadRequest,
+    /// The daemon is draining and admits nothing new.
+    Draining,
+}
+
+impl RejectReason {
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectReason::Capacity => "capacity",
+            RejectReason::Deadline => "deadline",
+            RejectReason::BadRequest => "bad_request",
+            RejectReason::Draining => "draining",
+        }
+    }
+}
+
+/// Builders for the response lines. Responses are hand-assembled
+/// [`Value`] objects (not derived) so the `type` discriminator and field
+/// order are stable wire schema, independent of struct layout.
+pub mod resp {
+    use super::*;
+
+    fn obj(fields: Vec<(&str, Value)>) -> String {
+        let v = Value::Object(fields.into_iter().map(|(k, x)| (k.to_owned(), x)).collect());
+        serde_json::to_string(&v).expect("response serializes")
+    }
+
+    fn s(x: &str) -> Value {
+        Value::String(x.to_owned())
+    }
+
+    fn n(x: u64) -> Value {
+        Value::Number(Number::U64(x))
+    }
+
+    pub fn accepted(job: u64) -> String {
+        obj(vec![("type", s("accepted")), ("job", n(job))])
+    }
+
+    pub fn rejected(reason: RejectReason, detail: &str) -> String {
+        obj(vec![
+            ("type", s("rejected")),
+            ("reason", s(reason.label())),
+            ("detail", s(detail)),
+        ])
+    }
+
+    pub fn error(detail: &str) -> String {
+        obj(vec![("type", s("error")), ("detail", s(detail))])
+    }
+
+    pub fn pong() -> String {
+        obj(vec![("type", s("pong"))])
+    }
+
+    pub fn ok(what: &str) -> String {
+        obj(vec![("type", s("ok")), ("what", s(what))])
+    }
+
+    /// `status` response / `stream` terminal line.
+    pub fn job(job: u64, state: &str, detail: &str, tenant: &str) -> String {
+        obj(vec![
+            ("type", s("job")),
+            ("job", n(job)),
+            ("state", s(state)),
+            ("detail", s(detail)),
+            ("tenant", s(tenant)),
+        ])
+    }
+
+    /// One streamed window: the serialized [`dfl_workflows::WindowSummary`]
+    /// wrapped with the discriminator and job id.
+    pub fn window(job: u64, summary: &impl Serialize) -> String {
+        obj(vec![("type", s("window")), ("job", n(job)), ("summary", summary.to_value())])
+    }
+
+    pub fn stats(metrics: &impl Serialize) -> String {
+        obj(vec![("type", s("stats")), ("metrics", metrics.to_value())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips_and_tolerates_missing_fields() {
+        let mut r = Request::new("submit");
+        r.workflow = Some("smoke".into());
+        r.deadline_ms = Some(250);
+        let line = r.to_line();
+        assert_eq!(Request::parse(&line).unwrap(), r);
+
+        // Minimal hand-written client line: absent optionals default.
+        let r = Request::parse(r#"{"op":"ping"}"#).unwrap();
+        assert_eq!(r.op, "ping");
+        assert_eq!(r.workflow, None);
+        assert_eq!(r.job, None);
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse(r#"{"workflow":"smoke"}"#).is_err(), "op is mandatory");
+    }
+
+    #[test]
+    fn responses_carry_type_discriminators() {
+        let v: Value = serde_json::from_str(&resp::accepted(7)).unwrap();
+        assert_eq!(v["type"].as_str(), Some("accepted"));
+        assert_eq!(v["job"].as_u64(), Some(7));
+        let v: Value =
+            serde_json::from_str(&resp::rejected(RejectReason::Capacity, "queue full")).unwrap();
+        assert_eq!(v["reason"].as_str(), Some("capacity"));
+    }
+}

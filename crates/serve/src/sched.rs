@@ -1,0 +1,195 @@
+//! Per-tenant fair-share admission queue.
+//!
+//! The discipline is the FlowNet max-min fair share from
+//! `dfl_iosim::flow` transplanted from link bandwidth to worker slots: at
+//! every scheduling decision each *active* tenant (one with queued work)
+//! holds an equal share of the pool, `share = capacity / load`, regardless
+//! of how many jobs it has buffered. FlowNet realizes that share by
+//! progressive filling over rates; a job queue realizes it over *time*
+//! with virtual-time accounting: each tenant carries a virtual clock,
+//! dispatching charges the clock one quantum, and the scheduler always
+//! serves the active tenant with the smallest clock. Over any interval
+//! where a set of tenants stays active, each receives the same number of
+//! worker dispatches (±1) — the discrete shadow of `capacity / load`.
+//!
+//! Two standard guards keep the accounting honest:
+//!
+//! - **Re-activation clamp** — a tenant returning from idle has its clock
+//!   advanced to the minimum active clock, so banked idle time cannot be
+//!   spent as a burst (the same reason FlowNet recomputes shares from
+//!   *current* load instead of historical usage).
+//! - **FIFO within tenant** — a tenant's own jobs never reorder.
+//!
+//! Determinism: ties on virtual time break by tenant name, so a given
+//! submission sequence always dispatches in the same order.
+
+use std::collections::VecDeque;
+
+/// One dispatch quantum on a tenant's virtual clock. Any positive constant
+/// works (equal shares); fixed-point leaves headroom for weighted shares.
+const QUANTUM: u64 = 1 << 16;
+
+#[derive(Debug)]
+struct Tenant {
+    name: String,
+    /// Virtual clock: quanta charged to this tenant so far, clamped on
+    /// re-activation.
+    vtime: u64,
+    /// FIFO of queued job ids.
+    jobs: VecDeque<u64>,
+}
+
+/// The queue. Admission capacity is enforced by the caller (the daemon
+/// rejects with `capacity` before pushing); this structure only orders
+/// what was admitted.
+#[derive(Debug, Default)]
+pub struct FairQueue {
+    tenants: Vec<Tenant>,
+    len: usize,
+}
+
+impl FairQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queued jobs across all tenants.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn min_active_vtime(&self) -> Option<u64> {
+        self.tenants.iter().filter(|t| !t.jobs.is_empty()).map(|t| t.vtime).min()
+    }
+
+    /// Enqueues `job` for `tenant`.
+    pub fn push(&mut self, tenant: &str, job: u64) {
+        let floor = self.min_active_vtime();
+        let t = match self.tenants.iter_mut().find(|t| t.name == tenant) {
+            Some(t) => t,
+            None => {
+                self.tenants.push(Tenant {
+                    name: tenant.to_owned(),
+                    vtime: 0,
+                    jobs: VecDeque::new(),
+                });
+                self.tenants.last_mut().unwrap()
+            }
+        };
+        if t.jobs.is_empty() {
+            // Going active: clamp the clock so idle time is not banked.
+            if let Some(floor) = floor {
+                t.vtime = t.vtime.max(floor);
+            }
+        }
+        t.jobs.push_back(job);
+        self.len += 1;
+    }
+
+    /// Dispatches the next job: FIFO head of the active tenant with the
+    /// smallest virtual clock (ties by tenant name), charging that tenant
+    /// one quantum.
+    pub fn pop(&mut self) -> Option<(String, u64)> {
+        let t = self
+            .tenants
+            .iter_mut()
+            .filter(|t| !t.jobs.is_empty())
+            .min_by(|a, b| a.vtime.cmp(&b.vtime).then_with(|| a.name.cmp(&b.name)))?;
+        let job = t.jobs.pop_front().expect("active tenant has a job");
+        t.vtime += QUANTUM;
+        self.len -= 1;
+        Some((t.name.clone(), job))
+    }
+
+    /// Removes a queued job (client cancellation before dispatch). Returns
+    /// false if the job is not queued (already dispatched or unknown).
+    pub fn remove(&mut self, job: u64) -> bool {
+        for t in &mut self.tenants {
+            if let Some(i) = t.jobs.iter().position(|&j| j == job) {
+                t.jobs.remove(i);
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_tenants_split_dispatches_evenly() {
+        // A floods 8 jobs before B submits 4: with both active, dispatches
+        // alternate instead of draining A's backlog first.
+        let mut q = FairQueue::new();
+        for j in 0..8 {
+            q.push("a", j);
+        }
+        for j in 8..12 {
+            q.push("b", j);
+        }
+        let order: Vec<String> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(
+            order,
+            ["a", "b", "a", "b", "a", "b", "a", "b", "a", "a", "a", "a"],
+            "equal shares while both are active, remainder after b drains"
+        );
+    }
+
+    #[test]
+    fn fifo_within_tenant() {
+        let mut q = FairQueue::new();
+        for j in [3, 1, 2] {
+            q.push("a", j);
+        }
+        let jobs: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, j)| j)).collect();
+        assert_eq!(jobs, [3, 1, 2], "submission order, not id order");
+    }
+
+    #[test]
+    fn reactivated_tenant_cannot_spend_banked_idle_time() {
+        let mut q = FairQueue::new();
+        // A works alone for a while, accumulating vtime.
+        for j in 0..6 {
+            q.push("a", j);
+        }
+        for _ in 0..4 {
+            q.pop();
+        }
+        // B joins fresh; its clock is clamped to A's, not zero — so it
+        // cannot monopolize the pool to "catch up".
+        for j in 10..14 {
+            q.push("b", j);
+        }
+        let order: Vec<String> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        let b_burst = order.iter().take_while(|t| *t == "b").count();
+        assert!(b_burst <= 1, "no catch-up burst: {order:?}");
+    }
+
+    #[test]
+    fn remove_cancels_only_queued_jobs() {
+        let mut q = FairQueue::new();
+        q.push("a", 0);
+        q.push("a", 1);
+        assert!(q.remove(1));
+        assert!(!q.remove(1), "already removed");
+        assert_eq!(q.pop(), Some(("a".into(), 0)));
+        assert!(!q.remove(0), "already dispatched");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_tenant_name_for_determinism() {
+        let mut q = FairQueue::new();
+        q.push("zeta", 0);
+        q.push("alpha", 1);
+        assert_eq!(q.pop().unwrap().0, "alpha");
+        assert_eq!(q.pop().unwrap().0, "zeta");
+    }
+}

@@ -1,0 +1,147 @@
+//! Workflow catalog: one place that maps a workflow *name* to a ready
+//! `(WorkflowSpec, RunConfig)` pair.
+//!
+//! The CLI (`datalife run <name>`), the serve daemon (`{"op":"submit",
+//! "workflow":"<name>"}`), and the benches all accept workflows by name;
+//! routing them through this module guarantees they agree on what a name
+//! means — which matters for the daemon, whose crash recovery rebuilds a
+//! job's spec from the name recorded in its ledger and relies on the
+//! rebuilt `(spec, config)` hashing identically to the original
+//! submission's.
+
+use crate::engine::RunConfig;
+use crate::spec::{FileProduce, FileUse, TaskSpec, WorkflowSpec};
+use crate::{belle2, ddmd, genomes, montage, seismic};
+
+/// Workflow size: the paper-scale configuration or the down-scaled fixture
+/// every test/CI path uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Tiny,
+    Paper,
+}
+
+impl Scale {
+    /// Parses `tiny` / `paper` (the CLI `--scale` vocabulary).
+    pub fn parse(s: &str) -> Result<Scale, String> {
+        match s {
+            "tiny" => Ok(Scale::Tiny),
+            "paper" => Ok(Scale::Paper),
+            other => Err(format!("unknown scale '{other}' (tiny|paper)")),
+        }
+    }
+}
+
+/// Every workflow name [`build`] accepts, in catalog order.
+pub const WORKFLOWS: &[&str] =
+    &["genomes", "ddmd", "belle2", "montage", "seismic", "smoke"];
+
+/// The `smoke` micro-workflow: a three-task pipeline that simulates in
+/// well under a millisecond of wall time. It exists for paths that need a
+/// *real* engine run but thousands of them — the serve storm bench, the CI
+/// daemon smoke job — where even a tiny paper workflow is too heavy.
+fn smoke_spec() -> WorkflowSpec {
+    let mut w = WorkflowSpec::new("smoke");
+    w.input("smoke-in.dat", 4 << 20);
+    let gen = w.task(
+        TaskSpec::new("gen-0", "gen", 1)
+            .read(FileUse::whole("smoke-in.dat"))
+            .write(FileProduce::new("smoke-mid.dat", 2 << 20))
+            .compute_ms(5),
+    );
+    w.task(
+        TaskSpec::new("sum-0", "sum", 2)
+            .read(FileUse::whole("smoke-mid.dat"))
+            .write(FileProduce::new("smoke-out.dat", 1 << 20))
+            .compute_ms(5)
+            .after(gen),
+    );
+    w
+}
+
+/// Builds the `(spec, config)` pair for a named workflow at a scale and
+/// node count. This is the single source of truth behind `datalife run`,
+/// `datalife serve` submissions, and daemon crash recovery.
+pub fn build(
+    name: &str,
+    scale: Scale,
+    nodes: usize,
+) -> Result<(WorkflowSpec, RunConfig), String> {
+    let paper = scale == Scale::Paper;
+    let pair = match name {
+        "genomes" => {
+            let c = if paper {
+                genomes::GenomesConfig::default()
+            } else {
+                genomes::GenomesConfig::tiny()
+            };
+            (genomes::generate(&c), RunConfig::default_gpu(nodes))
+        }
+        "ddmd" => {
+            let c = if paper { ddmd::DdmdConfig::default() } else { ddmd::DdmdConfig::tiny() };
+            (ddmd::generate(&c, ddmd::Pipeline::Original), RunConfig::default_gpu(nodes))
+        }
+        "belle2" => {
+            let c = if paper {
+                belle2::Belle2Config::default()
+            } else {
+                belle2::Belle2Config::tiny()
+            };
+            let rc = belle2::run_config(&c, belle2::DataAccess::Cached, nodes);
+            (belle2::generate(&c, belle2::DataAccess::Cached), rc)
+        }
+        "montage" => {
+            let c = if paper {
+                montage::MontageConfig::default()
+            } else {
+                montage::MontageConfig::tiny()
+            };
+            (montage::generate(&c), RunConfig::default_gpu(nodes))
+        }
+        "seismic" => {
+            let c = if paper {
+                seismic::SeismicConfig::default()
+            } else {
+                seismic::SeismicConfig::tiny()
+            };
+            (seismic::generate(&c), RunConfig::default_gpu(nodes))
+        }
+        "smoke" => (smoke_spec(), RunConfig::default_gpu(nodes)),
+        w => return Err(format!("unknown workflow '{w}'")),
+    };
+    Ok(pair)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_catalog_entry_builds_and_runs_at_tiny_scale() {
+        for name in WORKFLOWS {
+            let (spec, cfg) = build(name, Scale::Tiny, 2).unwrap();
+            let r = crate::engine::run(&spec, &cfg)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(r.makespan_s > 0.0, "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_typed_errors() {
+        assert!(build("nope", Scale::Tiny, 2).is_err());
+        assert!(Scale::parse("huge").is_err());
+        assert_eq!(Scale::parse("paper").unwrap(), Scale::Paper);
+    }
+
+    #[test]
+    fn repeated_builds_hash_identically() {
+        // Daemon recovery rebuilds (spec, cfg) from the ledger name and
+        // must land on the same config hash as the original submission.
+        let (s1, c1) = build("smoke", Scale::Tiny, 2).unwrap();
+        let (s2, c2) = build("smoke", Scale::Tiny, 2).unwrap();
+        assert_eq!(
+            crate::checkpoint::config_hash(&s1, &c1),
+            crate::checkpoint::config_hash(&s2, &c2)
+        );
+    }
+}

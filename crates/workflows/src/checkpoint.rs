@@ -125,6 +125,25 @@ pub struct CheckpointManifest {
     pub sim: SimSnapshot,
 }
 
+/// A manifest file that was present but unreadable — torn by a crash
+/// mid-write (truncation) or corrupted afterwards (trailing garbage).
+/// Tolerant loading ([`load_latest_tolerant`]) skips such files and falls
+/// back to the previous good manifest, surfacing what it skipped as typed
+/// warnings instead of failing the whole resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornManifest {
+    /// The unreadable manifest file.
+    pub path: PathBuf,
+    /// Why it could not be loaded (I/O or parse detail).
+    pub reason: String,
+}
+
+impl fmt::Display for TornManifest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "torn manifest {} skipped: {}", self.path.display(), self.reason)
+    }
+}
+
 /// Why a checkpoint could not be written, read, or resumed from.
 #[derive(Debug)]
 pub enum CheckpointError {
@@ -134,6 +153,9 @@ pub enum CheckpointError {
     Parse(String),
     /// The manifest's schema version is not [`MANIFEST_VERSION`].
     VersionMismatch { found: u32, expected: u32 },
+    /// Every `manifest-*.json` in the directory is torn — there is no good
+    /// manifest to fall back to.
+    AllTorn { dir: PathBuf, torn: Vec<TornManifest> },
     /// The manifest was produced by a different `(spec, config)` pair than
     /// the one offered for resume — resuming would silently compute a
     /// wrong answer, so it is refused instead.
@@ -158,6 +180,12 @@ impl fmt::Display for CheckpointError {
                 f,
                 "manifest config hash {manifest:#018x} does not match the \
                  offered configuration ({config:#018x}); refusing to resume"
+            ),
+            CheckpointError::AllTorn { dir, torn } => write!(
+                f,
+                "all {} manifest(s) in {} are torn; nothing to resume from",
+                torn.len(),
+                dir.display()
             ),
             CheckpointError::NoManifest(dir) => {
                 write!(f, "no manifest-*.json in {}", dir.display())
@@ -242,10 +270,10 @@ pub fn load_manifest(path: &Path) -> Result<CheckpointManifest, CheckpointError>
         .map_err(|e| CheckpointError::Parse(format!("{}: {}", path.display(), e.0)))
 }
 
-/// Path of the highest-sequence manifest in `dir`, if any.
-pub fn latest_manifest(dir: &Path) -> Result<PathBuf, CheckpointError> {
+/// Every `manifest-{seq}.json` in `dir`, sorted by descending sequence.
+fn manifest_paths_desc(dir: &Path) -> Result<Vec<(u64, PathBuf)>, CheckpointError> {
     let entries = std::fs::read_dir(dir).map_err(|e| CheckpointError::Io(e.to_string()))?;
-    let mut best: Option<(u64, PathBuf)> = None;
+    let mut found = Vec::new();
     for entry in entries {
         let entry = entry.map_err(|e| CheckpointError::Io(e.to_string()))?;
         let name = entry.file_name();
@@ -257,16 +285,60 @@ pub fn latest_manifest(dir: &Path) -> Result<PathBuf, CheckpointError> {
         else {
             continue;
         };
-        if best.as_ref().is_none_or(|(b, _)| seq > *b) {
-            best = Some((seq, entry.path()));
-        }
+        found.push((seq, entry.path()));
     }
-    best.map(|(_, p)| p).ok_or_else(|| CheckpointError::NoManifest(dir.to_path_buf()))
+    found.sort_by_key(|&(seq, _)| std::cmp::Reverse(seq));
+    Ok(found)
 }
 
-/// Loads the highest-sequence manifest in `dir`.
+/// Path of the highest-sequence manifest in `dir`, if any.
+pub fn latest_manifest(dir: &Path) -> Result<PathBuf, CheckpointError> {
+    manifest_paths_desc(dir)?
+        .into_iter()
+        .next()
+        .map(|(_, p)| p)
+        .ok_or_else(|| CheckpointError::NoManifest(dir.to_path_buf()))
+}
+
+/// Loads the highest-sequence manifest in `dir`, failing on the first
+/// unreadable file. Strict by design — use [`load_latest_tolerant`] when a
+/// torn top manifest should fall back to the previous good one.
 pub fn load_latest(dir: &Path) -> Result<CheckpointManifest, CheckpointError> {
     load_manifest(&latest_manifest(dir)?)
+}
+
+/// Loads the highest-sequence *readable* manifest in `dir`.
+///
+/// Atomic rename makes a torn top manifest unlikely, but not impossible: a
+/// crash on a filesystem that reorders the data flush behind the rename, a
+/// partial copy between machines, or post-hoc corruption can all leave the
+/// highest-sequence file truncated or carrying trailing garbage. Failing
+/// the whole resume over it would discard every earlier good checkpoint, so
+/// this walks manifests in descending sequence, skips any that fail to read
+/// or parse, and returns the first good one along with a typed
+/// [`TornManifest`] warning per skipped file.
+///
+/// A [`CheckpointError::VersionMismatch`] is *not* skipped: an intact
+/// manifest from an incompatible build is a configuration problem, and
+/// silently resuming from an older sequence would mask it.
+pub fn load_latest_tolerant(
+    dir: &Path,
+) -> Result<(CheckpointManifest, Vec<TornManifest>), CheckpointError> {
+    let candidates = manifest_paths_desc(dir)?;
+    if candidates.is_empty() {
+        return Err(CheckpointError::NoManifest(dir.to_path_buf()));
+    }
+    let mut torn = Vec::new();
+    for (_, path) in candidates {
+        match load_manifest(&path) {
+            Ok(m) => return Ok((m, torn)),
+            Err(e @ (CheckpointError::Io(_) | CheckpointError::Parse(_))) => {
+                torn.push(TornManifest { path, reason: e.to_string() });
+            }
+            Err(hard) => return Err(hard),
+        }
+    }
+    Err(CheckpointError::AllTorn { dir: dir.to_path_buf(), torn })
 }
 
 #[cfg(test)]
@@ -307,6 +379,94 @@ mod tests {
         std::fs::write(dir.join("other.json"), "{}").unwrap();
         let p = latest_manifest(&dir).unwrap();
         assert!(p.ends_with("manifest-000012.json"), "{}", p.display());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A real manifest written to `dir` by running a tiny workflow with a
+    /// t=0 checkpoint, returned as (path, text) for mutation by the torn
+    /// tests.
+    fn write_real_manifest(dir: &Path) -> (PathBuf, String) {
+        use crate::spec::{FileProduce, FileUse, TaskSpec};
+        let mut spec = crate::spec::WorkflowSpec::new("torn");
+        spec.input("in.dat", 1 << 20);
+        spec.task(
+            TaskSpec::new("t0", "t", 1)
+                .read(FileUse::whole("in.dat"))
+                .write(FileProduce::new("out.dat", 1 << 20))
+                .compute_ms(10),
+        );
+        let mut cfg = RunConfig::default_gpu(1);
+        cfg.checkpoint = Some(CheckpointConfig::to_dir(dir));
+        crate::engine::run(&spec, &cfg).unwrap();
+        let path = latest_manifest(dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        (path, text)
+    }
+
+    #[test]
+    fn tolerant_load_skips_truncated_and_garbage_manifests() {
+        let dir = std::env::temp_dir().join(format!("dfl-ckpt-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let (good_path, text) = write_real_manifest(&dir);
+        let good_seq: u64 = good_path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(|n| n.strip_prefix("manifest-"))
+            .and_then(|n| n.strip_suffix(".json"))
+            .and_then(|s| s.parse().ok())
+            .unwrap();
+
+        // A truncated higher-sequence manifest (crash mid-write) ...
+        let torn_a = dir.join(format!("manifest-{:06}.json", good_seq + 1));
+        std::fs::write(&torn_a, &text[..text.len() / 2]).unwrap();
+        // ... and an even higher one with trailing garbage.
+        let torn_b = dir.join(format!("manifest-{:06}.json", good_seq + 2));
+        std::fs::write(&torn_b, format!("{text}garbage-after-close")).unwrap();
+
+        // Strict load fails on the torn top manifest.
+        assert!(matches!(load_latest(&dir), Err(CheckpointError::Parse(_))));
+
+        // Tolerant load falls back to the good one, warning per skip in
+        // descending-sequence order.
+        let (m, torn) = load_latest_tolerant(&dir).unwrap();
+        assert_eq!(m.seq, good_seq);
+        assert_eq!(m.version, MANIFEST_VERSION);
+        let skipped: Vec<_> = torn.iter().map(|t| t.path.clone()).collect();
+        assert_eq!(skipped, vec![torn_b, torn_a]);
+        for t in &torn {
+            assert!(!t.reason.is_empty(), "{t}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tolerant_load_reports_all_torn() {
+        let dir = std::env::temp_dir().join(format!("dfl-ckpt-alltorn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("manifest-000000.json"), "{\"version\": 3,").unwrap();
+        std::fs::write(dir.join("manifest-000001.json"), "not json at all").unwrap();
+        match load_latest_tolerant(&dir) {
+            Err(CheckpointError::AllTorn { torn, .. }) => assert_eq!(torn.len(), 2),
+            other => panic!("expected AllTorn, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tolerant_load_keeps_version_mismatch_hard() {
+        let dir = std::env::temp_dir().join(format!("dfl-ckpt-tolver-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Intact manifest from an incompatible build must not be skipped
+        // over in favour of an older sequence.
+        std::fs::write(dir.join("manifest-000000.json"), "{\"version\": 3}").unwrap();
+        std::fs::write(dir.join("manifest-000001.json"), "{\"version\": 999}").unwrap();
+        match load_latest_tolerant(&dir) {
+            Err(CheckpointError::VersionMismatch { found: 999, .. }) => {}
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -25,8 +25,8 @@ use dfl_trace::MeasurementSet;
 use serde::{Deserialize, Serialize};
 
 use crate::checkpoint::{
-    config_hash, load_latest, write_manifest, AttemptRecord, CheckpointConfig, CheckpointError,
-    CheckpointManifest, MANIFEST_VERSION,
+    config_hash, load_latest_tolerant, write_manifest, AttemptRecord, CheckpointConfig,
+    CheckpointError, CheckpointManifest, TornManifest, MANIFEST_VERSION,
 };
 use crate::spec::{TaskSpec, WorkflowSpec};
 use crate::taint::taint_cone;
@@ -561,6 +561,21 @@ pub fn resume_from(
     cfg: &RunConfig,
     manifest: CheckpointManifest,
 ) -> Result<RunResult, EngineError> {
+    let (mut sim, mut st) = restore_for_resume(spec, cfg, manifest)?;
+    let ctx = EngineCtx::new(spec, cfg);
+    drive(&mut sim, &ctx, &mut st)?;
+    Ok(finalize(sim, &ctx, &st))
+}
+
+/// The shared front half of every resume path: validate the manifest
+/// version and config hash, rebuild the simulator from the snapshot under
+/// the *offered* shard plan, and re-arm chaos. The caller supplies its own
+/// drive loop (the batch incident loop, or the watch/serve windowed one).
+pub(crate) fn restore_for_resume(
+    spec: &WorkflowSpec,
+    cfg: &RunConfig,
+    manifest: CheckpointManifest,
+) -> Result<(Simulation, EngineState), EngineError> {
     if manifest.version != MANIFEST_VERSION {
         return Err(CheckpointError::VersionMismatch {
             found: manifest.version,
@@ -577,7 +592,6 @@ pub fn resume_from(
         .into());
     }
     validate_run(spec, cfg)?;
-    let ctx = EngineCtx::new(spec, cfg);
     // Snapshots are shard-invariant (per-node cursors), so a manifest may be
     // resumed under any shard count that fits the cluster — the plan is
     // rebuilt from the *offered* config, and a plan that does not fit fails
@@ -588,17 +602,30 @@ pub fn resume_from(
     // Snapshots are chaos-free by construction; re-arm the kill switch from
     // the *offered* config so a chaos driver can schedule further crashes.
     sim.set_chaos(cfg.faults.chaos);
-    let mut st = manifest.engine;
-    drive(&mut sim, &ctx, &mut st)?;
-    Ok(finalize(sim, &ctx, &st))
+    Ok((sim, manifest.engine))
 }
 
-/// [`resume_from`] the highest-sequence manifest in the configured
-/// checkpoint directory.
-pub fn resume_latest(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, EngineError> {
+/// [`resume_from`] the highest-sequence *readable* manifest in the
+/// configured checkpoint directory, returning a typed [`TornManifest`]
+/// warning for every torn (truncated / trailing-garbage) manifest that was
+/// skipped on the way to a good one. Recovery paths that answer to a user —
+/// the CLI, the serve daemon — surface the warnings; determinism is
+/// unaffected because any good manifest resumes byte-identically.
+pub fn resume_latest_with_warnings(
+    spec: &WorkflowSpec,
+    cfg: &RunConfig,
+) -> Result<(RunResult, Vec<TornManifest>), EngineError> {
     let dir = cfg.checkpoint.as_ref().map(|c| c.dir.clone());
-    let manifest = load_latest(&dir.ok_or(CheckpointError::NoCheckpointConfig)?)?;
-    resume_from(spec, cfg, manifest)
+    let (manifest, torn) =
+        load_latest_tolerant(&dir.ok_or(CheckpointError::NoCheckpointConfig)?)?;
+    Ok((resume_from(spec, cfg, manifest)?, torn))
+}
+
+/// [`resume_from`] the highest-sequence readable manifest in the configured
+/// checkpoint directory. Torn manifests are skipped (see
+/// [`resume_latest_with_warnings`] to observe which).
+pub fn resume_latest(spec: &WorkflowSpec, cfg: &RunConfig) -> Result<RunResult, EngineError> {
+    resume_latest_with_warnings(spec, cfg).map(|(r, _)| r)
 }
 
 /// The engine's dynamic bookkeeping, parallel to the simulator's job table:
@@ -1518,6 +1545,37 @@ mod tests {
             let resumed = resume_latest(&spec, &cfg).unwrap();
             assert_eq!(golden_out, outcome(&resumed), "crash at event {at_event}");
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_latest_skips_torn_top_manifest() {
+        let spec = two_stage();
+        let dir = ckpt_dir("torn-resume");
+        let mut cfg = RunConfig::default_gpu(2);
+        cfg.obs = Some(ObsConfig::sampled(10_000_000));
+        cfg.checkpoint = Some(CheckpointConfig::to_dir(&dir).every_sim_ns(30_000_000));
+        let golden = run(&spec, &cfg).unwrap();
+        let golden_out = outcome(&golden);
+
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut chaos_cfg = cfg.clone();
+        chaos_cfg.faults = chaos_cfg.faults.chaos_crash(golden.events_dispatched / 2);
+        assert!(run(&spec, &chaos_cfg).is_err());
+
+        // Tear the newest manifest as a crash mid-write would: truncate it.
+        let top = crate::checkpoint::latest_manifest(&dir).unwrap();
+        let text = std::fs::read_to_string(&top).unwrap();
+        assert!(text.len() > 2, "need a real manifest to tear");
+        std::fs::write(&top, &text[..text.len() / 3]).unwrap();
+
+        // Resume skips the torn file, warns about it, and still finishes
+        // byte-identical to the golden run (any good manifest resumes
+        // deterministically).
+        let (resumed, torn) = resume_latest_with_warnings(&spec, &cfg).unwrap();
+        assert_eq!(torn.len(), 1, "exactly the torn top manifest is skipped");
+        assert_eq!(torn[0].path, top);
+        assert_eq!(golden_out, outcome(&resumed));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -19,6 +19,7 @@
 //! ```
 
 pub mod belle2;
+pub mod catalog;
 pub mod checkpoint;
 pub mod ddmd;
 pub mod engine;
@@ -30,15 +31,18 @@ pub mod taint;
 pub mod watch;
 
 pub use checkpoint::{
-    config_hash, load_latest, load_manifest, latest_manifest, CheckpointConfig, CheckpointError,
-    CheckpointManifest, MANIFEST_VERSION,
+    config_hash, load_latest, load_latest_tolerant, load_manifest, latest_manifest,
+    CheckpointConfig, CheckpointError, CheckpointManifest, TornManifest, MANIFEST_VERSION,
 };
 pub use engine::{
-    resume_from, resume_latest, run, EngineError, EngineState, Placement, RetryPolicy, RunConfig,
-    RunResult, Staging,
+    resume_from, resume_latest, resume_latest_with_warnings, run, EngineError, EngineState,
+    Placement, RetryPolicy, RunConfig, RunResult, Staging,
 };
 pub use spec::{FileUse, TaskSpec, WorkflowSpec};
 pub use taint::{taint_cone, TaintCone};
-pub use watch::{run_watched, WatchOptions, WindowSummary};
+pub use watch::{
+    resume_controlled, run_controlled, run_watched, ControlledOptions, ControlledOutcome,
+    PreemptCause, StepControl, WatchOptions, WindowSummary,
+};
 pub use dfl_iosim::sim::VerifyPolicy;
 pub use dfl_iosim::{ChaosKind, FailureReport, FaultPlan};

@@ -34,9 +34,10 @@ use dfl_obs::export::span_kind_label;
 use dfl_obs::{Diagnosis, EventStream, ObsConfig, TimelineEvent};
 use serde::Serialize;
 
+use crate::checkpoint::{load_latest_tolerant, CheckpointError, TornManifest};
 use crate::engine::{
-    checkpoint_due, finalize, handle_failures, init_run, take_checkpoint, validate_run, EngineCtx,
-    EngineError, EngineState, RunConfig, RunResult,
+    checkpoint_due, finalize, handle_failures, init_run, restore_for_resume, take_checkpoint,
+    validate_run, EngineCtx, EngineError, EngineState, RunConfig, RunResult,
 };
 use crate::spec::WorkflowSpec;
 
@@ -134,9 +135,81 @@ pub fn run_watched(
     spec: &WorkflowSpec,
     cfg: &RunConfig,
     opts: &WatchOptions,
-    mut on_window: impl FnMut(&WindowSummary),
+    on_window: impl FnMut(&WindowSummary),
 ) -> Result<RunResult, EngineError> {
-    if opts.window_ns == 0 {
+    let copts = ControlledOptions { watch: opts.clone(), deadline_ns: None };
+    match run_controlled(spec, cfg, &copts, on_window, || StepControl::Continue)? {
+        ControlledOutcome::Completed(r) => Ok(*r),
+        ControlledOutcome::Preempted { .. } => {
+            Err(EngineError::Internal("uncontrolled watch can never preempt"))
+        }
+    }
+}
+
+/// What the controller wants at a pause point of a controlled run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepControl {
+    /// Keep running to the next pause point.
+    Continue,
+    /// Stop now: park the state in a checkpoint and return
+    /// [`ControlledOutcome::Preempted`].
+    Preempt,
+}
+
+/// Why a controlled run was preempted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum PreemptCause {
+    /// The sim-time deadline in [`ControlledOptions::deadline_ns`] was
+    /// reached.
+    Deadline,
+    /// The control callback asked for it (cancellation, drain, …).
+    Control,
+}
+
+/// Tuning for [`run_controlled`] / [`resume_controlled`].
+#[derive(Debug, Clone)]
+pub struct ControlledOptions {
+    pub watch: WatchOptions,
+    /// Absolute sim-time deadline (ns). When the clock reaches it, the run
+    /// is checkpointed and preempted with [`PreemptCause::Deadline`]
+    /// instead of being killed — no completed attempt is lost.
+    pub deadline_ns: Option<u64>,
+}
+
+/// How a controlled run ended.
+#[derive(Debug)]
+pub enum ControlledOutcome {
+    /// Ran to completion; identical to what [`run_watched`] returns.
+    Completed(Box<RunResult>),
+    /// Stopped early at a quiescent pause point. When the run has a
+    /// checkpoint policy, the full paused state (attempt ledger included)
+    /// was parked in manifest `parked_seq` and [`resume_controlled`] can
+    /// continue it; without one, the work is abandoned.
+    Preempted {
+        cause: PreemptCause,
+        /// Sim time at preemption.
+        sim_time_ns: u64,
+        tasks_done: usize,
+        tasks_total: usize,
+        /// Sequence of the manifest holding the parked state, if any.
+        parked_seq: Option<u64>,
+    },
+}
+
+/// [`run_watched`] plus preemption: `control` is polled at every pause
+/// point (window edges and checkpoint deadlines) and may stop the run;
+/// `opts.deadline_ns` preempts it when the sim clock reaches the deadline.
+/// Preemption goes through the checkpoint path — the state is parked in a
+/// manifest, not discarded — which is how the serve daemon implements
+/// cancellation, per-job deadlines, and graceful drain.
+pub fn run_controlled(
+    spec: &WorkflowSpec,
+    cfg: &RunConfig,
+    opts: &ControlledOptions,
+    on_window: impl FnMut(&WindowSummary),
+    control: impl FnMut() -> StepControl,
+) -> Result<ControlledOutcome, EngineError> {
+    if opts.watch.window_ns == 0 {
         return Err(EngineError::InvalidSpec("watch window width must be positive".into()));
     }
     validate_run(spec, cfg)?;
@@ -149,55 +222,146 @@ pub fn run_watched(
     if cfg.checkpoint.is_some() {
         take_checkpoint(&mut sim, &ctx, &mut st)?;
     }
+    drive_controlled(sim, &ctx, st, opts, on_window, control)
+}
 
+/// Resumes the highest-sequence *readable* manifest in the configured
+/// checkpoint directory and continues it under the controlled loop —
+/// the serve daemon's kill-9 recovery path. Torn manifests are skipped
+/// with typed warnings exactly as in
+/// [`crate::engine::resume_latest_with_warnings`]; windows restart aligned
+/// to the restored sim clock, so summaries emitted after resume carry the
+/// window indices an uninterrupted run would have used.
+pub fn resume_controlled(
+    spec: &WorkflowSpec,
+    cfg: &RunConfig,
+    opts: &ControlledOptions,
+    on_window: impl FnMut(&WindowSummary),
+    control: impl FnMut() -> StepControl,
+) -> Result<(ControlledOutcome, Vec<TornManifest>), EngineError> {
+    if opts.watch.window_ns == 0 {
+        return Err(EngineError::InvalidSpec("watch window width must be positive".into()));
+    }
+    let mut cfg = cfg.clone();
+    if cfg.obs.is_none() {
+        cfg.obs = Some(ObsConfig::default());
+    }
+    let dir = cfg.checkpoint.as_ref().map(|c| c.dir.clone());
+    let (manifest, torn) =
+        load_latest_tolerant(&dir.ok_or(CheckpointError::NoCheckpointConfig)?)?;
+    let (sim, st) = restore_for_resume(spec, &cfg, manifest)?;
+    let ctx = EngineCtx::new(spec, &cfg);
+    let outcome = drive_controlled(sim, &ctx, st, opts, on_window, control)?;
+    Ok((outcome, torn))
+}
+
+/// The windowed incident loop shared by fresh and resumed controlled runs.
+fn drive_controlled(
+    mut sim: Simulation,
+    ctx: &EngineCtx,
+    mut st: EngineState,
+    opts: &ControlledOptions,
+    mut on_window: impl FnMut(&WindowSummary),
+    mut control: impl FnMut() -> StepControl,
+) -> Result<ControlledOutcome, EngineError> {
+    let wopts = &opts.watch;
     let stream = sim
-        .subscribe(opts.stream_capacity)
+        .subscribe(wopts.stream_capacity)
         .ok_or(EngineError::Internal("observability forced on, but no recorder attached"))?;
     let track_names: Vec<String> = sim
         .obs()
         .map(|o| o.rec.tracks().iter().map(|t| t.name.clone()).collect())
         .unwrap_or_default();
+    // Align the window cursor to the (possibly restored) sim clock so a
+    // resumed run picks up at the window an uninterrupted run would be in.
+    let start_idx = sim.time().ns() / wopts.window_ns;
     let mut w = WindowCtx {
         stream,
         blame: Blame::new(),
-        live: LiveDfl::new(opts.cost),
+        live: LiveDfl::new(wopts.cost),
         track_names,
-        next_window: opts.window_ns,
-        idx: 0,
-        diag_seen: 0,
+        next_window: (start_idx + 1).saturating_mul(wopts.window_ns),
+        idx: start_idx,
+        diag_seen: sim.diagnoses().len(),
     };
 
-    // The engine's incident loop, with window boundaries folded into the
-    // pause schedule. `set_pause_at` is one-shot, so each iteration re-arms
-    // it with the nearest of the next checkpoint deadline and the next
-    // window edge; which one fired is disambiguated by the clock.
+    // Parks the paused state in a manifest (when checkpointing is on) and
+    // reports the preemption. `fresh_seq` is the sequence of a checkpoint
+    // taken at this very pause, which already holds the parked state.
+    let park = |sim: &mut Simulation,
+                st: &mut EngineState,
+                cause: PreemptCause,
+                fresh_seq: Option<u64>|
+     -> Result<ControlledOutcome, EngineError> {
+        let parked_seq = match fresh_seq {
+            Some(seq) => Some(seq),
+            None if ctx.cfg.checkpoint.is_some() => {
+                let seq = st.ckpt_seq;
+                take_checkpoint(sim, ctx, st)?;
+                Some(seq)
+            }
+            None => None,
+        };
+        let tasks_done = (0..ctx.spec.tasks.len())
+            .filter(|&ti| sim.job_done(st.cur_job_of_task[ti]))
+            .count();
+        Ok(ControlledOutcome::Preempted {
+            cause,
+            sim_time_ns: sim.time().ns(),
+            tasks_done,
+            tasks_total: ctx.spec.tasks.len(),
+            parked_seq,
+        })
+    };
+
+    // The engine's incident loop, with window boundaries and the job
+    // deadline folded into the pause schedule. `set_pause_at` is one-shot,
+    // so each iteration re-arms it with the nearest of the next checkpoint
+    // deadline, the next window edge, and the deadline; which one fired is
+    // disambiguated by the clock.
     let ckpt = ctx.cfg.checkpoint.as_ref();
     if ckpt.is_some_and(|c| c.every_stages.is_some()) {
         sim.set_pause_on_job_complete(true);
     }
     loop {
+        // A restored run may already sit past its deadline; preempt before
+        // dispatching anything further.
+        if opts.deadline_ns.is_some_and(|d| sim.time().ns() >= d) {
+            return park(&mut sim, &mut st, PreemptCause::Deadline, None);
+        }
         let mut deadline = w.next_window;
         if ckpt.is_some_and(|c| c.every_sim_ns.is_some()) {
             if let Some(next) = st.next_ckpt_ns {
                 deadline = deadline.min(next);
             }
         }
+        if let Some(d) = opts.deadline_ns {
+            deadline = deadline.min(d);
+        }
         sim.set_pause_at(Some(deadline));
         match sim.run_to_incident()? {
             RunOutcome::Completed => break,
             RunOutcome::Paused => {
-                if checkpoint_due(&sim, &ctx, &st) {
-                    take_checkpoint(&mut sim, &ctx, &mut st)?;
+                let mut fresh_seq = None;
+                if checkpoint_due(&sim, ctx, &st) {
+                    fresh_seq = Some(st.ckpt_seq);
+                    take_checkpoint(&mut sim, ctx, &mut st)?;
                 }
                 while sim.time().ns() >= w.next_window {
-                    let summary = close_window(&mut w, &sim, &ctx, &st, opts, false);
+                    let summary = close_window(&mut w, &sim, ctx, &st, wopts, false);
                     on_window(&summary);
+                }
+                if opts.deadline_ns.is_some_and(|d| sim.time().ns() >= d) {
+                    return park(&mut sim, &mut st, PreemptCause::Deadline, fresh_seq);
+                }
+                if control() == StepControl::Preempt {
+                    return park(&mut sim, &mut st, PreemptCause::Control, fresh_seq);
                 }
             }
             RunOutcome::Failures(failures) => {
-                handle_failures(&mut sim, &ctx, &mut st, failures)?;
-                if ckpt.is_some_and(|c| c.on_incident) {
-                    take_checkpoint(&mut sim, &ctx, &mut st)?;
+                handle_failures(&mut sim, ctx, &mut st, failures)?;
+                if ckpt.is_some_and(|c| c.on_incident) && !sim.has_pending_failures() {
+                    take_checkpoint(&mut sim, ctx, &mut st)?;
                 }
             }
         }
@@ -205,10 +369,10 @@ pub fn run_watched(
 
     // Closing summary over the run's tail; folds the complete measurement
     // set so the live critical path matches the batch analysis exactly.
-    let summary = close_window(&mut w, &sim, &ctx, &st, opts, true);
+    let summary = close_window(&mut w, &sim, ctx, &st, wopts, true);
     on_window(&summary);
 
-    Ok(finalize(sim, &ctx, &st))
+    Ok(ControlledOutcome::Completed(Box::new(finalize(sim, ctx, &st))))
 }
 
 /// Drains the stream, folds fresh measurements, and builds the summary for
@@ -291,6 +455,120 @@ mod tests {
 
     fn spec() -> WorkflowSpec {
         genomes::generate(&GenomesConfig::tiny())
+    }
+
+    fn ckpt_cfg(tag: &str) -> (RunConfig, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("dfl-watch-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = RunConfig::default_gpu(2);
+        cfg.checkpoint =
+            Some(crate::checkpoint::CheckpointConfig::to_dir(&dir).every_sim_ns(30_000_000));
+        (cfg, dir)
+    }
+
+    #[test]
+    fn deadline_preempts_then_resume_completes_identically() {
+        let s = spec();
+        let (cfg, dir) = ckpt_cfg("deadline");
+        let opts = ControlledOptions { watch: WatchOptions::default(), deadline_ns: None };
+        let golden = match run_controlled(&s, &cfg, &opts, |_| {}, || StepControl::Continue)
+            .unwrap()
+        {
+            ControlledOutcome::Completed(r) => r,
+            other => panic!("golden run preempted: {other:?}"),
+        };
+
+        // Same run with a mid-run sim-time deadline: preempted, attempt
+        // ledger parked in a manifest.
+        let _ = std::fs::remove_dir_all(&dir);
+        let deadline = (golden.makespan_s * 1e9 / 2.0) as u64;
+        let dopts =
+            ControlledOptions { watch: WatchOptions::default(), deadline_ns: Some(deadline) };
+        let (cause, parked) =
+            match run_controlled(&s, &cfg, &dopts, |_| {}, || StepControl::Continue).unwrap() {
+                ControlledOutcome::Preempted { cause, sim_time_ns, parked_seq, .. } => {
+                    assert!(sim_time_ns >= deadline, "preempted at {sim_time_ns}");
+                    (cause, parked_seq)
+                }
+                ControlledOutcome::Completed(_) => panic!("deadline did not preempt"),
+            };
+        assert_eq!(cause, PreemptCause::Deadline);
+        let parked = parked.expect("checkpoint policy parks the state");
+        let m = crate::checkpoint::load_latest(&dir).unwrap();
+        assert_eq!(m.seq, parked);
+        assert!(!m.ledger.is_empty(), "attempt ledger preserved across preemption");
+
+        // Resuming the parked state runs the job to the same answer.
+        let (out, torn) =
+            resume_controlled(&s, &cfg, &opts, |_| {}, || StepControl::Continue).unwrap();
+        assert!(torn.is_empty());
+        match out {
+            ControlledOutcome::Completed(r) => {
+                assert_eq!(golden.makespan_s, r.makespan_s);
+                assert_eq!(golden.events_dispatched, r.events_dispatched);
+                let pairs = |r: &RunResult| -> Vec<(String, u64, bool)> {
+                    r.reports.iter().map(|j| (j.name.clone(), j.end_ns, j.failed)).collect()
+                };
+                assert_eq!(pairs(&golden), pairs(&r));
+            }
+            other => panic!("resume preempted: {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn control_preempt_parks_and_windows_align_after_resume() {
+        let s = spec();
+        let (cfg, dir) = ckpt_cfg("cancel");
+        let wopts = WatchOptions { window_ns: 20_000_000, ..WatchOptions::default() };
+        let opts = ControlledOptions { watch: wopts, deadline_ns: None };
+
+        // Preempt via the control callback after the second window closes.
+        let windows = std::cell::Cell::new(0u64);
+        let mut last_idx = None;
+        let out = run_controlled(
+            &s,
+            &cfg,
+            &opts,
+            |w| {
+                windows.set(windows.get() + 1);
+                last_idx = Some(w.window);
+            },
+            || if windows.get() >= 2 { StepControl::Preempt } else { StepControl::Continue },
+        )
+        .unwrap();
+        let preempt_t = match out {
+            ControlledOutcome::Preempted { cause, sim_time_ns, parked_seq, .. } => {
+                assert_eq!(cause, PreemptCause::Control);
+                assert!(parked_seq.is_some());
+                sim_time_ns
+            }
+            ControlledOutcome::Completed(_) => panic!("control preempt ignored"),
+        };
+
+        // Resume: the first window index seen continues the pre-preempt
+        // numbering instead of restarting at zero.
+        let pre_idx = last_idx.unwrap();
+        let mut first_resumed = None;
+        let (out, _) = resume_controlled(
+            &s,
+            &cfg,
+            &opts,
+            |w| {
+                if first_resumed.is_none() {
+                    first_resumed = Some(w.window);
+                }
+            },
+            || StepControl::Continue,
+        )
+        .unwrap();
+        assert!(matches!(out, ControlledOutcome::Completed(_)));
+        let first = first_resumed.expect("resumed run emits windows");
+        assert!(
+            first > pre_idx,
+            "windows continue past the preempt point (pre {pre_idx}, resumed {first}, t={preempt_t})"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

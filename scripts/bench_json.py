@@ -110,7 +110,8 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("-o", "--out", default=str(REPO / "BENCH_datalife.json"))
     ap.add_argument("--bench", action="append", dest="benches",
-                    help="bench target to run (repeatable); default: simulation analysis")
+                    help="bench target to run (repeatable); "
+                         "default: simulation analysis serve")
     ap.add_argument("--from-file", help="parse saved bench output instead of running cargo")
     ap.add_argument("--repeat", type=int, default=3,
                     help="how many times to run the suite (median taken per bench)")
@@ -121,7 +122,7 @@ def main():
     if args.from_file:
         runs = [parse(Path(args.from_file).read_text())]
     else:
-        benches = args.benches or ["simulation", "analysis"]
+        benches = args.benches or ["simulation", "analysis", "serve"]
         runs = [parse(run_benches(benches)) for _ in range(max(1, args.repeat))]
 
     records = aggregate(runs, git_rev())

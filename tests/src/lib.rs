@@ -24,15 +24,23 @@ pub fn assert_same_measurements(a: &MeasurementSet, b: &MeasurementSet) {
 ///
 /// # Panics
 /// Panics (failing the calling test loudly) when the variable is set but
-/// contains a non-integer item — a typo'd matrix should never silently
-/// shrink coverage.
+/// contains a non-integer item, or when it is set and yields no seeds at
+/// all (e.g. `DFL_FAULT_SEEDS=" , "`) — a typo'd matrix should never
+/// silently shrink coverage, and an empty one would make every seeded
+/// suite pass vacuously.
 pub fn seed_matrix(var: &str, default: &str) -> Vec<u64> {
-    let raw = std::env::var(var).unwrap_or_else(|_| default.to_owned());
-    raw.split(',')
+    let from_env = std::env::var(var).ok();
+    let raw = from_env.clone().unwrap_or_else(|| default.to_owned());
+    let seeds: Vec<u64> = raw
+        .split(',')
         .map(str::trim)
         .filter(|s| !s.is_empty())
         .map(|s| s.parse().unwrap_or_else(|_| panic!("{var} must be a u64 list, got '{s}'")))
-        .collect()
+        .collect();
+    if seeds.is_empty() && from_env.is_some() {
+        panic!("{var} is set but contains no seeds (got '{raw}'); refusing to run zero-seed suites");
+    }
+    seeds
 }
 
 /// Event-core shard count for suites that honour the `DFL_SHARDS` CI
@@ -71,5 +79,27 @@ mod tests {
     fn seed_matrix_rejects_non_integer_items() {
         std::env::set_var("DFL_TEST_SEEDS_BAD", "1,banana");
         let _ = seed_matrix("DFL_TEST_SEEDS_BAD", "1");
+    }
+
+    #[test]
+    #[should_panic(expected = "contains no seeds")]
+    fn seed_matrix_rejects_set_but_empty_list() {
+        // A var set to only separators/whitespace must not silently yield
+        // zero seeds (every seeded suite would pass vacuously).
+        std::env::set_var("DFL_TEST_SEEDS_EMPTY", " , ,");
+        let _ = seed_matrix("DFL_TEST_SEEDS_EMPTY", "1");
+    }
+
+    #[test]
+    #[should_panic(expected = "DFL_SHARDS must be a u32")]
+    fn env_shards_rejects_non_integer() {
+        std::env::set_var("DFL_SHARDS", "4x");
+        let r = std::panic::catch_unwind(super::env_shards);
+        std::env::remove_var("DFL_SHARDS");
+        // Re-panic outside the guard so the var is cleaned up for other
+        // tests in this process either way.
+        if let Err(p) = r {
+            std::panic::resume_unwind(p);
+        }
     }
 }

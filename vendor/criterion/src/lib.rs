@@ -97,6 +97,33 @@ impl Bencher {
         self.mean_ns = start.elapsed().as_nanos() as f64 / target as f64;
         self.iters = target;
     }
+
+    /// Criterion's `iter_custom`: the closure runs `iters` iterations and
+    /// returns the duration it measured for them. For benchmarks that must
+    /// time a sub-region (excluding setup/teardown) or report a derived
+    /// quantity such as a latency percentile — return `percentile * iters`
+    /// and the harness prints the percentile as ns/iter.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        if self.test_mode {
+            std_black_box(f(1));
+            self.mean_ns = 0.0;
+            self.iters = 1;
+            return;
+        }
+        // Warm up one batch at a time to estimate per-iteration cost.
+        let mut warm = Duration::ZERO;
+        let mut warm_iters = 0u64;
+        let warm_start = Instant::now();
+        while (warm_start.elapsed() < WARMUP || warm_iters == 0) && warm_iters < 1_000 {
+            warm += f(1);
+            warm_iters += 1;
+        }
+        let est = (warm.as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let target = ((MEASURE.as_nanos() as f64 / est) as u64).clamp(1, 10_000_000);
+        let spent = f(target);
+        self.mean_ns = spent.as_nanos() as f64 / target as f64;
+        self.iters = target;
+    }
 }
 
 /// A named group of related benchmarks.
