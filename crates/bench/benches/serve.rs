@@ -124,6 +124,47 @@ fn one_storm(tag: &str, queue_cap: usize, expect_accept: usize) -> Duration {
     p
 }
 
+/// Polls `GET /metrics` on the scrape listener in a tight loop until told
+/// to stop — a deliberately hostile Prometheus scraper (real ones poll
+/// every few seconds) hammering the daemon lock while the storm runs.
+fn spawn_scraper(addr: String, stop: Arc<std::sync::atomic::AtomicBool>) -> std::thread::JoinHandle<u64> {
+    std::thread::spawn(move || {
+        use std::io::{Read, Write};
+        let mut scrapes = 0u64;
+        while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+            let Ok(mut s) = std::net::TcpStream::connect(&addr) else { continue };
+            let _ = write!(s, "GET /metrics HTTP/1.1\r\nHost: bench\r\n\r\n");
+            let mut page = String::new();
+            if s.read_to_string(&mut page).is_ok() && page.contains("serve_accepted") {
+                scrapes += 1;
+            }
+        }
+        scrapes
+    })
+}
+
+/// The storm with a concurrent scraper: measures what metrics exposition
+/// costs the admission hot path. The CI perf gate holds this bench's p99
+/// within 5% of the unscraped `serve_storm` baseline.
+fn one_storm_scraped(tag: &str) -> Duration {
+    let (daemon, server, dir) = fresh_daemon(tag, CLIENTS);
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let scrape_addr = server.endpoints.metrics.clone().expect("scrape endpoint published");
+    let scraper = spawn_scraper(scrape_addr, stop.clone());
+    let results = storm(&server.endpoints.tcp);
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let scrapes = scraper.join().unwrap();
+    assert!(scrapes > 0, "the scraper never got a page out");
+    let (accepted, shed) = tally(&results);
+    assert_eq!(accepted, CLIENTS, "accepted != capacity");
+    assert_eq!(shed, 0);
+    let p = p99(&results);
+    daemon.shutdown();
+    assert_ledger_holds(&dir, accepted);
+    let _ = std::fs::remove_dir_all(&dir);
+    p
+}
+
 fn bench_serve_storm(c: &mut Criterion) {
     let mut group = c.benchmark_group("serve_storm");
     group.sample_size(10);
@@ -146,5 +187,18 @@ fn bench_serve_storm(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(serve, bench_serve_storm);
+fn bench_serve_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_metrics");
+    group.sample_size(10);
+
+    // The full-acceptance storm under continuous Prometheus scraping: the
+    // observability layer's overhead on the submit-to-accept p99.
+    group.bench_function("p99_submit_under_scrape_1000_clients", |b| {
+        b.iter_custom(|iters| (0..iters).map(|_| one_storm_scraped("scraped")).sum())
+    });
+
+    group.finish();
+}
+
+criterion_group!(serve, bench_serve_storm, bench_serve_metrics);
 criterion_main!(serve);

@@ -30,7 +30,7 @@ use dfl_core::viz::render_ascii;
 use dfl_core::viz::sankey::{SankeyDiagram, SankeyOptions};
 use dfl_core::DflGraph;
 use dfl_obs::{diagnosis_kind_label, ObsConfig, WatchdogConfig};
-use dfl_serve::{Client, Daemon, NetServer, Request, ServeConfig};
+use dfl_serve::{Client, Daemon, Endpoints, NetServer, Request, ServeConfig};
 use dfl_trace::MeasurementSet;
 use dfl_workflows::engine::{resume_latest, run as run_workflow, RunConfig, RunResult};
 use dfl_workflows::VerifyPolicy;
@@ -63,7 +63,8 @@ USAGE:
   datalife chaos <workflow> --serve [--scale tiny|paper] [--nodes N] [--seed N]
                [--crashes K] [--ckpt-ms MS] [--dir DIR]
   datalife serve [--dir DIR] [--workers N] [--queue-cap N] [--ckpt-ms MS] [--window-ms MS]
-               [--abort-on-chaos]
+               [--abort-on-chaos] [--metrics-addr HOST:PORT]
+  datalife top [--dir DIR | --addr HOST:PORT] [--interval-ms MS] [--once] [--jsonl]
 
 `run` simulates the workflow on the paper's Table 2 machines while the DFL
 monitor records lifecycle measurements (written as JSON, default
@@ -128,8 +129,17 @@ byte-identical to the golden one.
 ephemeral port) and a Unix socket, endpoints published in
 <dir>/endpoint.json. Submitted jobs are durably ledgered before they are
 acknowledged, run on --workers threads under per-tenant fair-share
-scheduling, and survive `kill -9` via checkpoint resume on restart. See
-README for the request/response schema.
+scheduling, and survive `kill -9` via checkpoint resume on restart. The
+daemon also serves a Prometheus text-exposition page at
+http://<metrics-addr>/metrics (--metrics-addr, default an ephemeral
+loopback port published in endpoint.json). See README for the
+request/response schema.
+
+`top` is the live daemon dashboard: it polls the `metrics` request every
+--interval-ms (default 1000) and redraws an ANSI screen — queue/worker
+picture, per-tenant scheduler accounting, latency quantiles, recent
+health diagnoses. --once renders a single frame and exits; --jsonl
+prints the raw metrics reply lines instead (machine-readable).
 
 --shards K partitions the event core by node domain into K shards
 (default 1; DFL_SHARDS sets the default when the flag is absent). Every
@@ -741,13 +751,15 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         cfg.window_ms = s.parse().map_err(|_| usage_err(format!("bad --window-ms '{s}'")))?;
     }
     cfg.abort_on_chaos = args.iter().any(|a| a == "--abort-on-chaos");
+    let metrics_addr = arg_value(args, "--metrics-addr").unwrap_or_else(|| "127.0.0.1:0".into());
 
     let daemon = Arc::new(Daemon::start(cfg)?);
-    let server = NetServer::start(daemon.clone(), &dir)?;
+    let server = NetServer::start_with_metrics(daemon.clone(), &dir, &metrics_addr)?;
     println!(
-        "datalife serve: tcp {} unix {} (state in {})",
+        "datalife serve: tcp {} unix {} metrics http://{}/metrics (state in {})",
         server.endpoints.tcp,
         server.endpoints.sock,
+        server.endpoints.metrics.as_deref().unwrap_or("-"),
         dir.display()
     );
     use std::io::Write as _;
@@ -756,6 +768,134 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     daemon.shutdown();
     println!("datalife serve: drained and stopped");
     Ok(())
+}
+
+/// Live daemon dashboard: polls the wall-clock `metrics` request and
+/// redraws an ANSI screen every --interval-ms (or emits the raw reply
+/// lines with --jsonl). --once renders one frame and exits.
+fn cmd_top(args: &[String]) -> Result<(), CliError> {
+    let jsonl = args.iter().any(|a| a == "--jsonl");
+    let once = args.iter().any(|a| a == "--once");
+    let interval_ms: u64 = match arg_value(args, "--interval-ms") {
+        Some(s) => s.parse().map_err(|_| usage_err(format!("bad --interval-ms '{s}'")))?,
+        None => 1000,
+    };
+    let addr = match (arg_value(args, "--addr"), arg_value(args, "--dir")) {
+        (Some(a), _) => a,
+        (None, dir) => {
+            let dir = dir.unwrap_or_else(|| "serve-state".into());
+            Endpoints::load(Path::new(&dir))?.tcp
+        }
+    };
+    let mut client = Client::connect(&addr)?;
+    let req = Request::new("metrics").to_line();
+    loop {
+        let line = client.roundtrip(&req)?;
+        if jsonl {
+            println!("{line}");
+        } else {
+            let v: serde_json::Value =
+                serde_json::from_str(&line).map_err(|e| format!("bad metrics reply: {e}"))?;
+            render_top(&addr, &v);
+        }
+        if once {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(50)));
+    }
+}
+
+/// One `datalife top` frame (ANSI clear + home, then ~a screenful).
+fn render_top(addr: &str, v: &serde_json::Value) {
+    let u = |k: &str| v.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+    let c = |k: &str| {
+        v.get("counters").and_then(|cs| cs.get(k)).and_then(|x| x.as_u64()).unwrap_or(0)
+    };
+    print!("\x1b[2J\x1b[H");
+    println!(
+        "datalife top — {addr}   up {:.1}s   workers {}   queue {}   running {}{}",
+        u("uptime_ms") as f64 / 1e3,
+        u("workers"),
+        u("queue_depth"),
+        u("running"),
+        if v.get("draining").and_then(|x| x.as_bool()) == Some(true) { "   [draining]" } else { "" },
+    );
+    println!(
+        "jobs       accepted {}  done {}  failed {}  cancelled {}  deadline {}  recovered {}",
+        c("serve_accepted"),
+        c("serve_completed"),
+        c("serve_failed"),
+        c("serve_cancelled"),
+        c("serve_deadline_preempted"),
+        c("serve_recovered"),
+    );
+    println!(
+        "admission  submitted {}  shed: capacity {}  deadline {}  bad {}  draining {}",
+        c("serve_submitted"),
+        c("serve_rejected_capacity"),
+        c("serve_rejected_deadline"),
+        c("serve_rejected_bad_request"),
+        c("serve_rejected_draining"),
+    );
+    println!(
+        "io         ledger commits {}  connections {}  malformed {}  scrapes {}  panics {}",
+        c("serve_ledger_commits"),
+        c("serve_connections"),
+        c("serve_malformed"),
+        c("serve_scrapes"),
+        c("serve_panics"),
+    );
+    println!("latency         {:>12} {:>12} {:>12} {:>8}", "p50", "p99", "mean", "n");
+    for (label, key, unit) in [
+        ("submit", "submit_us", "µs"),
+        ("ledger commit", "ledger_commit_us", "µs"),
+        ("job wall", "job_wall_ms", "ms"),
+    ] {
+        let h = v.get("latency").and_then(|l| l.get(key));
+        let f = |k: &str| h.and_then(|h| h.get(k)).and_then(|x| x.as_f64()).unwrap_or(0.0);
+        let n = h.and_then(|h| h.get("count")).and_then(|x| x.as_u64()).unwrap_or(0);
+        println!(
+            "  {label:<13} {:>10.1}{unit} {:>10.1}{unit} {:>10.1}{unit} {n:>8}",
+            f("p50"),
+            f("p99"),
+            f("mean"),
+        );
+    }
+    println!("tenant               queued  running  vtime_lag  dispatched");
+    let tenants = v.get("tenants").and_then(|x| x.as_array());
+    match tenants {
+        Some(ts) if !ts.is_empty() => {
+            for t in ts {
+                let g = |k: &str| t.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+                println!(
+                    "  {:<18} {:>6} {:>8} {:>10} {:>11}",
+                    t.get("name").and_then(|x| x.as_str()).unwrap_or("?"),
+                    g("queued"),
+                    g("running"),
+                    g("vtime_lag"),
+                    g("dispatched"),
+                );
+            }
+        }
+        _ => println!("  (no tenants yet)"),
+    }
+    let diags = v.get("diagnoses").and_then(|x| x.as_array());
+    let count = diags.map_or(0, |d| d.len());
+    println!("health diagnoses ({count} recent):");
+    match diags {
+        Some(ds) if !ds.is_empty() => {
+            for d in ds.iter().rev().take(5) {
+                println!(
+                    "  {:>10.3}s  {:<18} {}  — {}",
+                    d.get("t_ms").and_then(|x| x.as_u64()).unwrap_or(0) as f64 / 1e3,
+                    d.get("kind").and_then(|x| x.as_str()).unwrap_or("?"),
+                    d.get("subject").and_then(|x| x.as_str()).unwrap_or("?"),
+                    d.get("detail").and_then(|x| x.as_str()).unwrap_or(""),
+                );
+            }
+        }
+        _ => println!("  none"),
+    }
 }
 
 /// A spawned `datalife serve` child; killed on drop so a failing harness
@@ -986,6 +1126,7 @@ fn main() -> ExitCode {
         "casestudy" => cmd_casestudy(rest),
         "chaos" => cmd_chaos(rest),
         "serve" => cmd_serve(rest),
+        "top" => cmd_top(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;

@@ -171,6 +171,59 @@ fn abort_at_seeded_dispatch_recovers_byte_identical() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// One hand-rolled HTTP exchange against the daemon's scrape listener.
+fn http_get(addr: &str, path: &str) -> (String, String) {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).expect("connect scrape listener");
+    write!(s, "GET {path} HTTP/1.1\r\nHost: {addr}\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).unwrap(); // Connection: close ends the read
+    let (head, body) = raw.split_once("\r\n\r\n").expect("http header/body split");
+    (head.to_owned(), body.to_owned())
+}
+
+/// A real `datalife serve` process publishes its scrape endpoint and
+/// serves valid Prometheus exposition over plain HTTP; `datalife top
+/// --once --jsonl` polls the same daemon through the endpoint file.
+#[test]
+fn scrape_endpoint_and_top_read_a_live_daemon() {
+    let dir = tmpdir("scrape");
+    let (guard, mut client) = spawn_serve(&dir, false);
+    let mut req = Request::new("submit");
+    req.workflow = Some("smoke".into());
+    req.tenant = Some("acme".into());
+    let job = accepted_job(&client.roundtrip(&req.to_line()).unwrap());
+    stream_to_done(&mut client, job);
+
+    let ep = dfl_serve::Endpoints::load(&dir).expect("endpoint file");
+    let addr = ep.metrics.expect("daemon publishes its scrape address");
+    let (head, body) = http_get(&addr, "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+    assert!(body.contains("# TYPE serve_accepted counter"), "{body}");
+    assert!(body.contains("\nserve_accepted 1\n") || body.starts_with("serve_accepted 1\n"));
+    assert!(body.contains("serve_tenant_dispatched{tenant=\"acme\"} 1"), "{body}");
+    assert!(body.contains("serve_submit_us_bucket{le=\"+Inf\"} 1"), "{body}");
+    let (head, _) = http_get(&addr, "/other");
+    assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+    // `top --once --jsonl` emits exactly the typed metrics reply.
+    let out = datalife()
+        .args(["top", "--once", "--jsonl", "--dir"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let line = String::from_utf8(out.stdout).unwrap();
+    let v: serde_json::Value = serde_json::from_str(line.trim()).expect("one JSON line");
+    assert_eq!(v["type"].as_str(), Some("metrics"));
+    assert_eq!(v["counters"]["serve_completed"].as_u64(), Some(1));
+    assert_eq!(v["tenants"][0]["name"].as_str(), Some("acme"));
+
+    shutdown(&dir, guard);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The CLI driver wraps the same harness: exit 0 and a PASS line per
 /// seeded kill point.
 #[test]

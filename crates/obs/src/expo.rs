@@ -1,0 +1,212 @@
+//! Prometheus text-exposition rendering (format 0.0.4) for a
+//! [`MetricsSnapshot`] — hand-rolled, no client library per the dependency
+//! policy.
+//!
+//! The registry itself stays label-unaware: instrument names are opaque
+//! strings, and snapshots keep the exact schema embedded in golden timeline
+//! exports. Labels ride *inside* the name via the [`labeled`] convention
+//! (`base{key="escaped"}`), which this writer understands: it splits the
+//! name back into base + label set, emits one `# TYPE` line per base, and
+//! merges the `le` label into existing braces for histogram buckets.
+//!
+//! Rendering order is snapshot order (= registration order), so two
+//! identical registries expose byte-identical pages.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsSnapshot;
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline must be backslash-escaped inside the quotes.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Composes a labeled instrument name: `base{key="value",...}` with values
+/// escaped. With no labels the base is returned unchanged. Registering
+/// `labeled("serve_tenant_queued", &[("tenant", name)])` yields one
+/// instrument per tenant that scrapes as a labeled Prometheus sample.
+pub fn labeled(base: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return base.to_owned();
+    }
+    let mut out = String::with_capacity(base.len() + 16 * labels.len());
+    out.push_str(base);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Splits a (possibly labeled) instrument name into `(base, inner_labels)`
+/// where `inner_labels` is the text between the braces, still escaped.
+fn split_name(name: &str) -> (&str, Option<&str>) {
+    match name.find('{') {
+        Some(open) if name.ends_with('}') => {
+            (&name[..open], Some(&name[open + 1..name.len() - 1]))
+        }
+        _ => (name, None),
+    }
+}
+
+/// Formats a sample value: integral floats print without a fraction (the
+/// common case for counts), everything else via the shortest `{}` float
+/// form Prometheus accepts.
+fn fmt_value(v: f64) -> String {
+    if v.is_infinite() {
+        return if v > 0.0 { "+Inf".into() } else { "-Inf".into() };
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Emits `# TYPE base kind` the first time `base` is seen. Labeled
+/// instruments sharing a base (per-tenant gauges) get a single TYPE line.
+fn type_line(out: &mut String, seen: &mut HashSet<String>, base: &str, kind: &str) {
+    if seen.insert(base.to_owned()) {
+        let _ = writeln!(out, "# TYPE {base} {kind}");
+    }
+}
+
+/// Joins optional inner labels with one extra `k="v"` pair (for `le`).
+fn join_labels(inner: Option<&str>, extra: &str) -> String {
+    match inner {
+        Some(l) if !l.is_empty() => format!("{{{l},{extra}}}"),
+        _ => format!("{{{extra}}}"),
+    }
+}
+
+/// Renders the whole snapshot as a Prometheus text-exposition page.
+pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut seen = HashSet::new();
+
+    for c in &snap.counters {
+        let (base, _) = split_name(&c.name);
+        type_line(&mut out, &mut seen, base, "counter");
+        let _ = writeln!(out, "{} {}", c.name, c.value);
+    }
+    for g in &snap.gauges {
+        let (base, _) = split_name(&g.name);
+        type_line(&mut out, &mut seen, base, "gauge");
+        let _ = writeln!(out, "{} {}", g.name, fmt_value(g.value));
+    }
+    for h in &snap.histograms {
+        let (base, inner) = split_name(&h.name);
+        type_line(&mut out, &mut seen, base, "histogram");
+        let mut cum = 0u64;
+        for (i, &n) in h.counts.iter().enumerate() {
+            cum += n;
+            let le = if i < h.bounds.len() {
+                fmt_value(h.bounds[i])
+            } else {
+                "+Inf".to_owned()
+            };
+            let lbl = join_labels(inner, &format!("le=\"{le}\""));
+            let _ = writeln!(out, "{base}_bucket{lbl} {cum}");
+        }
+        let suffix = inner.map_or(String::new(), |l| format!("{{{l}}}"));
+        let _ = writeln!(out, "{base}_sum{suffix} {}", fmt_value(h.sum));
+        let _ = writeln!(out, "{base}_count{suffix} {}", h.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{exponential_buckets, MetricsRegistry};
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label_value(r"a\b"), r"a\\b");
+        assert_eq!(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label_value("two\nlines"), "two\\nlines");
+    }
+
+    #[test]
+    fn labeled_composes_and_roundtrips_through_split() {
+        let name = labeled("serve_tenant_queued", &[("tenant", "ac\"me\\co")]);
+        assert_eq!(name, "serve_tenant_queued{tenant=\"ac\\\"me\\\\co\"}");
+        let (base, inner) = split_name(&name);
+        assert_eq!(base, "serve_tenant_queued");
+        assert_eq!(inner, Some("tenant=\"ac\\\"me\\\\co\""));
+        assert_eq!(labeled("plain", &[]), "plain");
+    }
+
+    #[test]
+    fn counters_and_gauges_expose_with_one_type_line_per_base() {
+        let mut m = MetricsRegistry::new();
+        let a = m.counter("jobs");
+        m.inc(a, 3);
+        let g1 = m.gauge(&labeled("queued", &[("tenant", "a")]));
+        let g2 = m.gauge(&labeled("queued", &[("tenant", "b")]));
+        m.set(g1, 2.0);
+        m.set(g2, 0.5);
+        let page = prometheus_text(&m.snapshot());
+        assert!(page.contains("# TYPE jobs counter\njobs 3\n"));
+        assert_eq!(page.matches("# TYPE queued gauge").count(), 1);
+        assert!(page.contains("queued{tenant=\"a\"} 2\n"));
+        assert!(page.contains("queued{tenant=\"b\"} 0.5\n"));
+    }
+
+    #[test]
+    fn histograms_expose_cumulative_buckets_sum_count() {
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram("lat_us", &exponential_buckets(10.0, 10.0, 3));
+        for v in [5.0, 50.0, 50_000.0] {
+            m.observe(h, v);
+        }
+        let page = prometheus_text(&m.snapshot());
+        assert!(page.contains("# TYPE lat_us histogram"));
+        assert!(page.contains("lat_us_bucket{le=\"10\"} 1\n"));
+        assert!(page.contains("lat_us_bucket{le=\"100\"} 2\n"));
+        assert!(page.contains("lat_us_bucket{le=\"1000\"} 2\n"));
+        assert!(page.contains("lat_us_bucket{le=\"+Inf\"} 3\n"), "page:\n{page}");
+        assert!(page.contains("lat_us_sum 50055\n"));
+        assert!(page.contains("lat_us_count 3\n"));
+    }
+
+    #[test]
+    fn labeled_histogram_merges_le_into_braces() {
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram(&labeled("wall_ms", &[("tenant", "x")]), &[1.0]);
+        m.observe(h, 0.5);
+        let page = prometheus_text(&m.snapshot());
+        assert!(page.contains("wall_ms_bucket{tenant=\"x\",le=\"1\"} 1\n"));
+        assert!(page.contains("wall_ms_bucket{tenant=\"x\",le=\"+Inf\"} 1\n"));
+        assert!(page.contains("wall_ms_sum{tenant=\"x\"} 0.5\n"));
+        assert!(page.contains("wall_ms_count{tenant=\"x\"} 1\n"));
+    }
+
+    #[test]
+    fn page_is_deterministic_for_identical_registries() {
+        let build = || {
+            let mut m = MetricsRegistry::new();
+            let c = m.counter("a");
+            m.inc(c, 1);
+            let h = m.histogram("h", &[1.0, 2.0]);
+            m.observe(h, 1.5);
+            prometheus_text(&m.snapshot())
+        };
+        assert_eq!(build(), build());
+    }
+}

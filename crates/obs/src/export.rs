@@ -80,6 +80,9 @@ pub fn instant_kind_label(k: InstantKind) -> &'static str {
         InstantKind::CorruptionDetected => "corruption-detected",
         InstantKind::Quarantine => "quarantine",
         InstantKind::Reverify => "reverify",
+        InstantKind::LedgerCommit => "ledger-commit",
+        InstantKind::Shed => "shed",
+        InstantKind::Window => "window",
     }
 }
 

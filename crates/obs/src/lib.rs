@@ -20,13 +20,16 @@
 //! per potential emission site and allocates nothing.
 
 pub mod export;
+pub mod expo;
 pub mod metrics;
 pub mod timeline;
 pub mod watchdog;
 
 pub use export::{ascii_summary, chrome_trace, jsonl};
+pub use expo::{escape_label_value, labeled, prometheus_text};
 pub use metrics::{
-    CounterId, GaugeId, HistogramId, MetricsRegistry, MetricsSnapshot, RegistryState,
+    exponential_buckets, CounterId, GaugeId, HistogramId, MetricsRegistry, MetricsSnapshot,
+    RegistryState,
 };
 pub use timeline::{
     EventStream, InstantKind, Recorder, RecorderState, Sample, Span, SpanHandle, SpanKind,

@@ -65,6 +65,51 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimated value at quantile `q` (0.0..=1.0) by linear interpolation
+    /// within the containing bucket. The first bucket interpolates from 0
+    /// (latencies are non-negative); the overflow bucket is clamped to the
+    /// observed `max` since it has no upper edge. Empty histograms report 0.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = cum + c;
+            if (next as f64) >= rank && c > 0 {
+                if i >= self.bounds.len() {
+                    return self.max;
+                }
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let hi = self.bounds[i];
+                let into = (rank - cum as f64) / c as f64;
+                return (lo + (hi - lo) * into).min(self.max).max(self.min);
+            }
+            cum = next;
+        }
+        self.max
+    }
+}
+
+/// `count` ascending bucket upper edges starting at `start`, each `factor`
+/// times the previous — the standard shape for wall-clock latencies that
+/// span µs to seconds, where the fixed linear sim-time bounds would dump
+/// everything into one bucket. The registry appends its usual implicit
+/// overflow bucket on top.
+pub fn exponential_buckets(start: f64, factor: f64, count: usize) -> Vec<f64> {
+    assert!(start > 0.0, "exponential buckets must start above 0");
+    assert!(factor > 1.0, "exponential bucket factor must exceed 1");
+    assert!(count >= 1, "need at least one bucket edge");
+    let mut edges = Vec::with_capacity(count);
+    let mut edge = start;
+    for _ in 0..count {
+        edges.push(edge);
+        edge *= factor;
+    }
+    edges
 }
 
 /// Deterministic snapshot of a whole registry, in registration order.
@@ -319,5 +364,72 @@ mod tests {
     #[should_panic(expected = "ascend")]
     fn unsorted_bounds_rejected() {
         MetricsRegistry::new().histogram("bad", &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn exponential_buckets_cover_microseconds_to_seconds() {
+        // 50µs doubling 15 times reaches ~1.6s: a µs–s latency range that
+        // fixed ms-scale sim bounds would collapse into one bucket.
+        let edges = exponential_buckets(50.0, 2.0, 16);
+        assert_eq!(edges.len(), 16);
+        assert_eq!(edges[0], 50.0);
+        assert_eq!(edges[1], 100.0);
+        assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must ascend");
+        assert!(edges[15] > 1_000_000.0, "top edge must exceed one second in µs");
+        // Registry accepts them directly as caller-supplied bounds.
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram("submit_us", &edges);
+        for v in [10.0, 50.0, 51.0, 99.0, 5_000_000.0] {
+            m.observe(h, v);
+        }
+        let s = m.snapshot();
+        let hs = s.histogram("submit_us").unwrap();
+        // `< bound` partition (edges upper-inclusive): 10,50 → b0; 51,99 → b1;
+        // 5s → overflow.
+        assert_eq!(hs.counts[0], 2);
+        assert_eq!(hs.counts[1], 2);
+        assert_eq!(hs.counts[16], 1, "beyond the top edge lands in overflow");
+        assert_eq!(hs.count, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "start above 0")]
+    fn exponential_buckets_reject_zero_start() {
+        exponential_buckets(0.0, 2.0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn exponential_buckets_reject_shrinking_factor() {
+        exponential_buckets(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram("lat", &exponential_buckets(1.0, 2.0, 8));
+        // 100 observations uniformly in bucket (4, 8].
+        for i in 0..100 {
+            m.observe(h, 4.0 + 4.0 * (i as f64 + 0.5) / 100.0);
+        }
+        let s = m.snapshot();
+        let hs = s.histogram("lat").unwrap();
+        let p50 = hs.quantile(0.5);
+        assert!((4.0..=8.0).contains(&p50), "p50 {p50} outside its bucket");
+        assert!((p50 - 6.0).abs() < 0.2, "p50 {p50} should sit mid-bucket");
+        assert!(hs.quantile(0.99) <= hs.max);
+        assert_eq!(hs.quantile(0.0).max(hs.min), hs.quantile(0.0));
+    }
+
+    #[test]
+    fn quantile_handles_overflow_and_empty() {
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram("lat", &[1.0, 2.0]);
+        assert_eq!(m.snapshot().histogram("lat").unwrap().quantile(0.99), 0.0);
+        m.observe(h, 50.0); // overflow bucket only
+        let s = m.snapshot();
+        let hs = s.histogram("lat").unwrap();
+        assert_eq!(hs.quantile(0.5), 50.0, "overflow bucket clamps to max");
+        assert_eq!(hs.quantile(1.0), 50.0);
     }
 }

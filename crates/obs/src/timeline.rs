@@ -100,6 +100,12 @@ pub enum InstantKind {
     Quarantine,
     /// A re-produced version of a quarantined file passed verification.
     Reverify,
+    /// A write-ahead ledger commit hit disk (value: latency in µs).
+    LedgerCommit,
+    /// An admission request was shed (value: queue depth at rejection).
+    Shed,
+    /// A progress window / checkpoint boundary was reached.
+    Window,
 }
 
 /// Optional structured payload attached to a span at open time.

@@ -27,15 +27,20 @@
 //! aborts at the exact dispatch index, which is how the chaos harness
 //! produces real `kill -9`s at seeded points.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use dfl_iosim::SimError;
-use dfl_obs::{chrome_trace, jsonl, MetricsRegistry, MetricsSnapshot, ObsConfig};
+use dfl_obs::timeline::SpanOutcome;
+use dfl_obs::{
+    chrome_trace, exponential_buckets, jsonl, labeled, prometheus_text, HistogramId,
+    MetricsRegistry, MetricsSnapshot, ObsConfig,
+};
 use dfl_workflows::{
     catalog, resume_controlled, run_controlled, CheckpointConfig, CheckpointError,
     ControlledOptions, ControlledOutcome, EngineError, PreemptCause, RunResult, StepControl,
@@ -43,9 +48,14 @@ use dfl_workflows::{
 };
 use serde::{Number, Value};
 
+use crate::health::{Health, HealthConfig, HealthDiagnosis, HealthSample, TenantObs};
 use crate::ledger::{JobRecord, JobState, Ledger};
+use crate::obs::ServeObs;
 use crate::proto::{resp, RejectReason, Request};
 use crate::sched::FairQueue;
+
+/// Bounded ring of recent health diagnoses kept for `metrics` replies.
+const DIAG_RING: usize = 64;
 
 /// Daemon tuning.
 #[derive(Debug, Clone)]
@@ -69,6 +79,13 @@ pub struct ServeConfig {
     /// `datalife chaos --serve`. Off: the chaos kill strands the job in
     /// `running` (the daemon survives; restart recovers the job).
     pub abort_on_chaos: bool,
+    /// Wall-clock health watchdog thresholds (queue-stall, shed-spike,
+    /// ledger-latency, tenant-starvation).
+    pub health: HealthConfig,
+    /// Health monitor poll cadence in wall ms. `0` disables the monitor
+    /// thread; detectors can still be driven deterministically via
+    /// [`Daemon::health_tick`] (what the tests do).
+    pub health_poll_ms: u64,
 }
 
 impl ServeConfig {
@@ -80,6 +97,8 @@ impl ServeConfig {
             ckpt_ms: 25,
             window_ms: 100,
             abort_on_chaos: false,
+            health: HealthConfig::default(),
+            health_poll_ms: 200,
         }
     }
 }
@@ -103,6 +122,30 @@ struct Core {
     shutdown: bool,
     subs: HashMap<u64, Vec<SyncSender<StreamMsg>>>,
     metrics: MetricsRegistry,
+    /// Wall-clock lifecycle recorder (spans/instants; never sim state).
+    obs: ServeObs,
+    /// Edge-triggered wall-clock health detectors.
+    health: Health,
+    /// Recent diagnoses, surfaced in `metrics` replies.
+    diags: VecDeque<HealthDiagnosis>,
+    /// Cumulative capacity sheds (shed-spike detector input).
+    sheds: u64,
+    /// Worst ledger commit latency (µs) since the last health tick.
+    max_commit_us: u64,
+    /// Wall ms of the most recent dispatch (0 = none yet).
+    last_dispatch_ms: u64,
+    /// Per-tenant wall ms of last dispatch (or first enqueue if never
+    /// served) — the starvation detector's waiting-since clock.
+    tenant_wait: HashMap<String, u64>,
+    /// Ledger-derived durable-state gauges, seeded by replay at start and
+    /// maintained incrementally after.
+    jobs_completed: u64,
+    jobs_recovered: u64,
+    /// Open client connections (gauge backing store).
+    conns_open: u64,
+    h_submit_us: HistogramId,
+    h_commit_us: HistogramId,
+    h_job_wall_ms: HistogramId,
 }
 
 impl Core {
@@ -111,13 +154,49 @@ impl Core {
         self.metrics.inc(id, by);
     }
 
+    fn set_gauge(&mut self, name: &str, value: f64) {
+        let id = self.metrics.gauge(name);
+        self.metrics.set(id, value);
+    }
+
     fn gauges(&mut self) {
         let q = self.queue.len() as f64;
         let r = self.running.len() as f64;
-        let id = self.metrics.gauge("serve_queue_depth");
-        self.metrics.set(id, q);
-        let id = self.metrics.gauge("serve_running");
-        self.metrics.set(id, r);
+        self.set_gauge("serve_queue_depth", q);
+        self.set_gauge("serve_running", r);
+        self.set_gauge("serve_jobs_total", self.ledger.jobs().len() as f64);
+        self.set_gauge("serve_jobs_completed", self.jobs_completed as f64);
+        self.set_gauge("serve_jobs_recovered", self.jobs_recovered as f64);
+        self.set_gauge("serve_connections_open", self.conns_open as f64);
+        // Per-tenant scheduler picture as labeled gauges (the label rides
+        // inside the instrument name; the Prometheus writer splits it out).
+        let mut running_by: HashMap<String, u64> = HashMap::new();
+        for id in &self.running {
+            if let Some(rec) = self.ledger.get(*id) {
+                *running_by.entry(rec.tenant.clone()).or_insert(0) += 1;
+            }
+        }
+        for st in self.queue.tenant_stats() {
+            let l = |base: &str| labeled(base, &[("tenant", &st.name)]);
+            self.set_gauge(&l("serve_tenant_queued"), st.queued as f64);
+            self.set_gauge(&l("serve_tenant_vtime_lag"), st.vtime_lag as f64);
+            self.set_gauge(&l("serve_tenant_dispatched"), st.dispatched as f64);
+            let running = running_by.get(&st.name).copied().unwrap_or(0);
+            self.set_gauge(&l("serve_tenant_running"), running as f64);
+        }
+    }
+
+    /// The write-ahead commit, timed: every ledger write feeds the commit
+    /// latency histogram, the wall timeline, and the slow-commit detector.
+    fn commit_ledger(&mut self) -> Result<(), String> {
+        let t = Instant::now();
+        let r = self.ledger.commit();
+        let us = t.elapsed().as_micros() as u64;
+        self.metrics.observe(self.h_commit_us, us as f64);
+        self.count("serve_ledger_commits", 1);
+        self.obs.ledger_commit(us);
+        self.max_commit_us = self.max_commit_us.max(us);
+        r
     }
 
     /// Sends the terminal line to (and drops) all subscribers of `job`.
@@ -126,6 +205,43 @@ impl Core {
             let _ = tx.try_send(StreamMsg::End(line.to_owned()));
         }
     }
+}
+
+/// Runs every health detector against the daemon's current wall-clock
+/// state, recording fired diagnoses (counter + timeline instant + ring).
+fn tick_health(c: &mut Core, workers: usize) -> Vec<HealthDiagnosis> {
+    let now_ms = c.obs.now_ms();
+    let tenants = c
+        .queue
+        .tenant_stats()
+        .into_iter()
+        .map(|st| TenantObs {
+            waiting_since_ms: c.tenant_wait.get(&st.name).copied().unwrap_or(0),
+            name: st.name,
+            queued: st.queued,
+        })
+        .collect();
+    let sample = HealthSample {
+        now_ms,
+        queue_depth: c.queue.len(),
+        running: c.running.len(),
+        workers,
+        draining: c.draining,
+        sheds: c.sheds,
+        max_commit_us: std::mem::take(&mut c.max_commit_us),
+        last_dispatch_ms: c.last_dispatch_ms,
+        tenants,
+    };
+    let fired = c.health.tick(&sample);
+    for d in &fired {
+        c.count("serve_diagnoses", 1);
+        c.obs.diagnosis(d);
+        c.diags.push_back(d.clone());
+        while c.diags.len() > DIAG_RING {
+            c.diags.pop_front();
+        }
+    }
+    fired
 }
 
 struct Inner {
@@ -145,18 +261,9 @@ impl Daemon {
     /// previous death, and spawns the worker pool.
     pub fn start(cfg: ServeConfig) -> Result<Daemon, String> {
         let ledger = Ledger::open(&cfg.state_dir)?;
-        let mut core = Core {
-            ledger,
-            queue: FairQueue::new(),
-            running: HashSet::new(),
-            cancel: HashSet::new(),
-            draining: false,
-            shutdown: false,
-            subs: HashMap::new(),
-            metrics: MetricsRegistry::new(),
-        };
         // Pre-register every instrument so snapshot order is stable from
         // the first stats call.
+        let mut metrics = MetricsRegistry::new();
         for name in [
             "serve_submitted",
             "serve_accepted",
@@ -174,11 +281,80 @@ impl Daemon {
             "serve_chaos_crashes",
             "serve_torn_manifests",
             "serve_stream_dropped",
+            "serve_ledger_commits",
+            "serve_diagnoses",
+            "serve_connections",
+            "serve_malformed",
+            "serve_scrapes",
         ] {
-            core.metrics.counter(name);
+            metrics.counter(name);
         }
-        core.metrics.gauge("serve_queue_depth");
-        core.metrics.gauge("serve_running");
+        for name in [
+            "serve_queue_depth",
+            "serve_running",
+            "serve_jobs_total",
+            "serve_jobs_completed",
+            "serve_jobs_recovered",
+            "serve_connections_open",
+            "serve_uptime_ms",
+        ] {
+            metrics.gauge(name);
+        }
+        // Wall-clock latencies span µs to seconds — exponential edges, not
+        // the linear sim-time bounds (which would land everything in one
+        // bucket).
+        let h_submit_us = metrics.histogram("serve_submit_us", &exponential_buckets(50.0, 2.0, 16));
+        let h_commit_us =
+            metrics.histogram("serve_ledger_commit_us", &exponential_buckets(50.0, 2.0, 16));
+        let h_job_wall_ms =
+            metrics.histogram("serve_job_wall_ms", &exponential_buckets(1.0, 2.0, 20));
+
+        let mut core = Core {
+            ledger,
+            queue: FairQueue::new(),
+            running: HashSet::new(),
+            cancel: HashSet::new(),
+            draining: false,
+            shutdown: false,
+            subs: HashMap::new(),
+            metrics,
+            obs: ServeObs::new(),
+            health: Health::new(cfg.health.clone()),
+            diags: VecDeque::new(),
+            sheds: 0,
+            max_commit_us: 0,
+            last_dispatch_ms: 0,
+            tenant_wait: HashMap::new(),
+            jobs_completed: 0,
+            jobs_recovered: 0,
+            conns_open: 0,
+            h_submit_us,
+            h_commit_us,
+            h_job_wall_ms,
+        };
+
+        // Metrics replay: counters describing durable state are rebuilt
+        // from the ledger, so a restart (including after `kill -9`) does
+        // not zero the history of work already on disk.
+        let mut by_state = [0u64; 6];
+        for j in core.ledger.jobs() {
+            let i = match j.state {
+                JobState::Queued => 0,
+                JobState::Running => 1,
+                JobState::Done => 2,
+                JobState::Failed => 3,
+                JobState::Cancelled => 4,
+                JobState::Deadline => 5,
+            };
+            by_state[i] += 1;
+        }
+        let total: u64 = by_state.iter().sum();
+        core.count("serve_accepted", total);
+        core.count("serve_completed", by_state[2]);
+        core.count("serve_failed", by_state[3]);
+        core.count("serve_cancelled", by_state[4]);
+        core.count("serve_deadline_preempted", by_state[5]);
+        core.jobs_completed = by_state[2];
 
         // Recovery: everything the previous incarnation left queued or
         // running goes back on the queue; `run_one` decides fresh-vs-resume
@@ -192,18 +368,22 @@ impl Daemon {
             .collect();
         for (tenant, id, state) in &interrupted {
             core.queue.push(tenant, *id);
+            core.obs.job_queued(*id, tenant);
+            let now_ms = core.obs.now_ms();
+            core.tenant_wait.entry(tenant.clone()).or_insert(now_ms);
             if *state == JobState::Running {
                 core.count("serve_recovered", 1);
+                core.jobs_recovered += 1;
                 core.ledger.set_state(*id, JobState::Queued, "recovered: queued for resume");
             }
         }
         if !interrupted.is_empty() {
-            core.ledger.commit()?;
+            core.commit_ledger()?;
         }
         core.gauges();
 
         let inner = Arc::new(Inner { cfg: cfg.clone(), core: Mutex::new(core), cv: Condvar::new() });
-        let workers = (0..cfg.workers)
+        let mut workers: Vec<JoinHandle<()>> = (0..cfg.workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
@@ -212,6 +392,15 @@ impl Daemon {
                     .expect("spawn worker")
             })
             .collect();
+        if cfg.health_poll_ms > 0 {
+            let inner = Arc::clone(&inner);
+            workers.push(
+                std::thread::Builder::new()
+                    .name("dfl-serve-health".to_owned())
+                    .spawn(move || health_loop(&inner))
+                    .expect("spawn health monitor"),
+            );
+        }
         Ok(Daemon { inner, workers: Mutex::new(workers) })
     }
 
@@ -225,6 +414,7 @@ impl Daemon {
         match Request::parse(line) {
             Ok(req) => self.handle(req, emit),
             Err(e) => {
+                self.lock().count("serve_malformed", 1);
                 emit(resp::error(&e));
                 false
             }
@@ -242,6 +432,12 @@ impl Daemon {
             "stats" => {
                 let c = self.lock();
                 emit(resp::stats(&c.metrics.snapshot()));
+            }
+            "metrics" => emit(self.metrics_reply()),
+            "trace" => {
+                let c = self.lock();
+                let tl = c.obs.timeline(&c.metrics);
+                emit(resp::trace(&chrome_trace(&tl), &jsonl(&tl)));
             }
             "drain" => {
                 self.drain();
@@ -271,14 +467,131 @@ impl Daemon {
         self.lock().metrics.snapshot()
     }
 
+    /// The Prometheus text-exposition page (what `GET /metrics` on the
+    /// scrape listener serves).
+    pub fn prometheus(&self) -> String {
+        let mut c = self.lock();
+        c.count("serve_scrapes", 1);
+        let up = c.obs.now_ms() as f64;
+        c.set_gauge("serve_uptime_ms", up);
+        c.gauges();
+        prometheus_text(&c.metrics.snapshot())
+    }
+
+    /// The typed wall-clock `metrics` reply (what `datalife top` polls):
+    /// queue/worker picture, per-tenant scheduler accounting, latency
+    /// quantiles, raw counters/gauges, and recent health diagnoses.
+    pub fn metrics_reply(&self) -> String {
+        let mut c = self.lock();
+        let up = c.obs.now_ms();
+        c.set_gauge("serve_uptime_ms", up as f64);
+        c.gauges();
+        let n = |x: u64| Value::Number(Number::U64(x));
+        let f = |x: f64| Value::Number(Number::F64(x));
+        let s = |x: &str| Value::String(x.to_owned());
+        let mut running_by: HashMap<String, u64> = HashMap::new();
+        for id in &c.running {
+            if let Some(rec) = c.ledger.get(*id) {
+                *running_by.entry(rec.tenant.clone()).or_insert(0) += 1;
+            }
+        }
+        let tenants = Value::Array(
+            c.queue
+                .tenant_stats()
+                .into_iter()
+                .map(|st| {
+                    Value::Object(vec![
+                        ("name".to_owned(), s(&st.name)),
+                        ("queued".to_owned(), n(st.queued as u64)),
+                        (
+                            "running".to_owned(),
+                            n(running_by.get(&st.name).copied().unwrap_or(0)),
+                        ),
+                        ("vtime_lag".to_owned(), n(st.vtime_lag)),
+                        ("dispatched".to_owned(), n(st.dispatched)),
+                    ])
+                })
+                .collect(),
+        );
+        let snap = c.metrics.snapshot();
+        let hist = |name: &str| {
+            let h = snap.histogram(name).expect("pre-registered histogram");
+            Value::Object(vec![
+                ("p50".to_owned(), f(h.quantile(0.5))),
+                ("p99".to_owned(), f(h.quantile(0.99))),
+                ("mean".to_owned(), f(h.mean())),
+                ("max".to_owned(), f(h.max)),
+                ("count".to_owned(), n(h.count)),
+            ])
+        };
+        let latency = Value::Object(vec![
+            ("submit_us".to_owned(), hist("serve_submit_us")),
+            ("ledger_commit_us".to_owned(), hist("serve_ledger_commit_us")),
+            ("job_wall_ms".to_owned(), hist("serve_job_wall_ms")),
+        ]);
+        let counters =
+            Value::Object(snap.counters.iter().map(|x| (x.name.clone(), n(x.value))).collect());
+        let gauges =
+            Value::Object(snap.gauges.iter().map(|x| (x.name.clone(), f(x.value))).collect());
+        let diagnoses = Value::Array(c.diags.iter().map(|d| d.to_value()).collect());
+        resp::metrics(vec![
+            ("uptime_ms", n(up)),
+            ("queue_depth", n(c.queue.len() as u64)),
+            ("running", n(c.running.len() as u64)),
+            ("workers", n(self.inner.cfg.workers as u64)),
+            ("draining", Value::Bool(c.draining)),
+            ("tenants", tenants),
+            ("latency", latency),
+            ("counters", counters),
+            ("gauges", gauges),
+            ("diagnoses", diagnoses),
+        ])
+    }
+
+    /// Runs the health detectors once against current wall-clock state —
+    /// exactly what the monitor thread does every poll. Public so tests
+    /// (with `health_poll_ms: 0`) drive detection deterministically.
+    pub fn health_tick(&self) -> Vec<HealthDiagnosis> {
+        let mut c = self.lock();
+        tick_health(&mut c, self.inner.cfg.workers)
+    }
+
+    /// Transport hook: a client connection opened.
+    pub fn conn_opened(&self) {
+        let mut c = self.lock();
+        c.count("serve_connections", 1);
+        c.conns_open += 1;
+        let v = c.conns_open as f64;
+        c.set_gauge("serve_connections_open", v);
+    }
+
+    /// Transport hook: a client connection closed.
+    pub fn conn_closed(&self) {
+        let mut c = self.lock();
+        c.conns_open = c.conns_open.saturating_sub(1);
+        let v = c.conns_open as f64;
+        c.set_gauge("serve_connections_open", v);
+    }
+
     /// Admission: every check produces a typed rejection; a job is
     /// `accepted` only after its ledger record is durable.
     fn submit(&self, req: &Request) -> String {
+        let t_submit = Instant::now();
         let mut c = self.lock();
         c.count("serve_submitted", 1);
+        let workers = self.inner.cfg.workers;
         let reject = |c: &mut Core, r: RejectReason, d: &str| {
             c.count(&format!("serve_rejected_{}", r.label()), 1);
-            resp::rejected(r, d)
+            let depth = c.queue.len() as u64;
+            // Only load sheds carry a back-off hint: a bad request will be
+            // just as bad in 250ms.
+            let hint = matches!(r, RejectReason::Capacity | RejectReason::Draining)
+                .then(|| retry_after_hint(depth, workers));
+            if r == RejectReason::Capacity {
+                c.sheds += 1;
+            }
+            c.obs.shed(r.label(), depth);
+            resp::rejected(r, d, depth, hint)
         };
         if c.draining || c.shutdown {
             return reject(&mut c, RejectReason::Draining, "daemon is draining");
@@ -327,11 +640,17 @@ impl Daemon {
             detail: String::new(),
         });
         // Write-ahead: the accept reply exists only if this commit did.
-        if let Err(e) = c.ledger.commit() {
+        if let Err(e) = c.commit_ledger() {
             return resp::error(&format!("ledger write failed: {e}"));
         }
         c.queue.push(&tenant, id);
         c.count("serve_accepted", 1);
+        c.obs.job_queued(id, &tenant);
+        let now_ms = c.obs.now_ms();
+        c.tenant_wait.entry(tenant).or_insert(now_ms);
+        let us = t_submit.elapsed().as_micros() as f64;
+        let h = c.h_submit_us;
+        c.metrics.observe(h, us);
         c.gauges();
         self.inner.cv.notify_all();
         resp::accepted(id)
@@ -355,10 +674,11 @@ impl Daemon {
             // the job really is still in the queue.
             JobState::Queued if c.queue.remove(rec.id) => {
                 c.ledger.set_state(rec.id, JobState::Cancelled, "cancelled before dispatch");
-                if let Err(e) = c.ledger.commit() {
+                if let Err(e) = c.commit_ledger() {
                     return resp::error(&format!("ledger write failed: {e}"));
                 }
                 c.count("serve_cancelled", 1);
+                c.obs.job_dequeued(rec.id);
                 c.gauges();
                 let line =
                     resp::job(rec.id, "cancelled", "cancelled before dispatch", &rec.tenant);
@@ -449,12 +769,17 @@ fn worker_loop(inner: &Arc<Inner>) {
                     return;
                 }
                 if !c.draining {
-                    if let Some((_tenant, id)) = c.queue.pop() {
+                    if let Some((tenant, id)) = c.queue.pop() {
                         c.ledger.set_state(id, JobState::Running, "running");
-                        if let Err(e) = c.ledger.commit() {
+                        if let Err(e) = c.commit_ledger() {
                             eprintln!("serve: ledger write failed: {e}");
                         }
                         c.running.insert(id);
+                        c.obs.job_dispatched(id, &tenant);
+                        // `.max(1)`: 0 is the "never dispatched" sentinel.
+                        let now_ms = c.obs.now_ms().max(1);
+                        c.last_dispatch_ms = now_ms;
+                        c.tenant_wait.insert(tenant, now_ms);
                         c.gauges();
                         break c.ledger.get(id).expect("queued job has a record").clone();
                     }
@@ -481,6 +806,7 @@ fn run_one(inner: &Arc<Inner>, rec: &JobRecord) {
                 // `running` — exactly what a real `kill -9` leaves behind —
                 // so a restarted daemon recovers the job by resume.
                 c.count("serve_chaos_crashes", 1);
+                c.obs.job_finished(rec.id, SpanOutcome::Cancelled);
                 c.gauges();
                 c.end_streams(
                     rec.id,
@@ -509,8 +835,20 @@ fn run_one(inner: &Arc<Inner>, rec: &JobRecord) {
         JobState::Running => c.count("serve_parked", 1),
         JobState::Queued => {}
     }
+    let span_outcome = match state {
+        JobState::Done => SpanOutcome::Ok,
+        JobState::Failed => SpanOutcome::Failed,
+        _ => SpanOutcome::Cancelled,
+    };
+    if let Some(wall_ms) = c.obs.job_finished(rec.id, span_outcome) {
+        let h = c.h_job_wall_ms;
+        c.metrics.observe(h, wall_ms);
+    }
+    if state == JobState::Done {
+        c.jobs_completed += 1;
+    }
     c.ledger.set_state(rec.id, state, &detail);
-    if let Err(e) = c.ledger.commit() {
+    if let Err(e) = c.commit_ledger() {
         eprintln!("serve: ledger write failed: {e}");
     }
     c.gauges();
@@ -520,6 +858,35 @@ fn run_one(inner: &Arc<Inner>, rec: &JobRecord) {
 
 fn self_notify(inner: &Arc<Inner>) {
     inner.cv.notify_all();
+}
+
+/// The health monitor thread: run every detector each poll, park on the
+/// condvar between polls so shutdown wakes (and ends) it promptly.
+fn health_loop(inner: &Arc<Inner>) {
+    let poll = Duration::from_millis(inner.cfg.health_poll_ms.max(1));
+    let mut c = inner.core.lock().unwrap();
+    loop {
+        if c.shutdown {
+            return;
+        }
+        let fired = tick_health(&mut c, inner.cfg.workers);
+        for d in &fired {
+            eprintln!("serve: health: {} {} ({})", d.kind.label(), d.subject, d.detail);
+        }
+        let (guard, _) = inner.cv.wait_timeout(c, poll).unwrap();
+        c = guard;
+    }
+}
+
+/// Back-off hint for shed clients (ms): a rough queue-drain estimate
+/// (~250ms of daemon work per queued job, split across the pool), clamped
+/// to a sane band. With no workers nothing drains until a restart, so the
+/// hint is just "a while".
+fn retry_after_hint(queue_depth: u64, workers: usize) -> u64 {
+    if workers == 0 {
+        return 1000;
+    }
+    ((queue_depth * 250) / workers as u64).clamp(100, 5000)
 }
 
 fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
@@ -675,6 +1042,9 @@ fn run_fresh(
 
 fn push_window(inner: &Arc<Inner>, job: u64, w: &WindowSummary) {
     let mut c = inner.core.lock().unwrap();
+    if let Some(tenant) = c.ledger.get(job).map(|r| r.tenant.clone()) {
+        c.obs.window(job, &tenant);
+    }
     let Some(subs) = c.subs.get_mut(&job) else { return };
     let line = resp::window(job, w);
     let mut dropped = 0u64;

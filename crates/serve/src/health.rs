@@ -1,0 +1,382 @@
+//! Wall-clock daemon health watchdogs.
+//!
+//! The sim-time watchdogs in `dfl_obs::watchdog` diagnose anomalies inside
+//! a deterministic run; this module ports their *edge-triggered* idiom to
+//! the daemon's wall clock: a detector fires once when its condition
+//! becomes true and re-arms only after the condition clears, so a
+//! persistent pathology produces one diagnosis, not one per poll. All
+//! thresholds are integers and every decision is a pure function of a
+//! [`HealthSample`], so tests drive the detectors with synthetic clocks —
+//! no sleeping, no real daemon required.
+//!
+//! Detectors:
+//!
+//! - **queue-stall** — jobs are queued, workers exist, nothing is running,
+//!   and no dispatch has happened for `stall_ms`.
+//! - **shed-spike** — more than `shed_spike` capacity sheds landed within
+//!   the last `shed_window_ms` (sliding window over cumulative counts).
+//! - **ledger-slow** — a ledger commit since the last tick took at least
+//!   `ledger_slow_us`.
+//! - **tenant-starvation** — a tenant has queued work and got no dispatch
+//!   for `starve_ms` while the scheduler *was* dispatching for others
+//!   (distinguishes starvation from a global stall).
+
+use std::collections::{HashSet, VecDeque};
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Integer thresholds for the wall-clock detectors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthConfig {
+    /// Queue-stall: ms without any dispatch while work is queued.
+    pub stall_ms: u64,
+    /// Shed-spike sliding window width in ms.
+    pub shed_window_ms: u64,
+    /// Sheds within the window that count as a spike.
+    pub shed_spike: u64,
+    /// Ledger commit latency (µs) that counts as slow.
+    pub ledger_slow_us: u64,
+    /// Tenant-starvation: ms a tenant waits with queued work while other
+    /// tenants are being served.
+    pub starve_ms: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            stall_ms: 5_000,
+            shed_window_ms: 1_000,
+            shed_spike: 100,
+            ledger_slow_us: 250_000,
+            starve_ms: 10_000,
+        }
+    }
+}
+
+/// Closed vocabulary of wall-clock diagnoses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HealthKind {
+    QueueStall,
+    ShedSpike,
+    LedgerSlow,
+    TenantStarvation,
+}
+
+impl HealthKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            HealthKind::QueueStall => "queue-stall",
+            HealthKind::ShedSpike => "shed-spike",
+            HealthKind::LedgerSlow => "ledger-slow",
+            HealthKind::TenantStarvation => "tenant-starvation",
+        }
+    }
+}
+
+/// One typed wall-clock diagnosis, surfaced in the `metrics` reply and on
+/// the daemon's health timeline track.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthDiagnosis {
+    /// Wall ms since daemon start.
+    pub t_ms: u64,
+    pub kind: HealthKind,
+    /// What the diagnosis is about (`"queue"`, `"admission"`, `"ledger"`,
+    /// or a tenant name).
+    pub subject: String,
+    /// Kind-dependent magnitude (ms stalled, sheds in window, µs latency).
+    pub value: u64,
+    pub detail: String,
+}
+
+impl HealthDiagnosis {
+    /// The diagnosis as a JSON object for the `metrics` reply.
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("t_ms".to_owned(), Value::Number(serde::Number::U64(self.t_ms))),
+            ("kind".to_owned(), Value::String(self.kind.label().to_owned())),
+            ("subject".to_owned(), Value::String(self.subject.clone())),
+            ("value".to_owned(), Value::Number(serde::Number::U64(self.value))),
+            ("detail".to_owned(), Value::String(self.detail.clone())),
+        ])
+    }
+}
+
+/// One tenant's queue-wait picture at sample time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantObs {
+    pub name: String,
+    pub queued: usize,
+    /// Wall ms (since daemon start) the tenant has been waiting since: its
+    /// last dispatch, or its first enqueue if it was never served.
+    pub waiting_since_ms: u64,
+}
+
+/// Everything the detectors look at, captured under the daemon lock.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HealthSample {
+    /// Wall ms since daemon start.
+    pub now_ms: u64,
+    pub queue_depth: usize,
+    pub running: usize,
+    pub workers: usize,
+    pub draining: bool,
+    /// Cumulative capacity sheds since daemon start.
+    pub sheds: u64,
+    /// Worst ledger commit latency (µs) observed since the previous tick.
+    pub max_commit_us: u64,
+    /// Wall ms of the most recent dispatch (0 = none yet; treated as
+    /// daemon start, which is what a never-dispatching daemon stalls from).
+    pub last_dispatch_ms: u64,
+    pub tenants: Vec<TenantObs>,
+}
+
+/// The edge-triggered detector state machine.
+#[derive(Debug, Default)]
+pub struct Health {
+    cfg: HealthConfig,
+    /// Latched (kind, subject) pairs: fired and not yet cleared.
+    latched: HashSet<(HealthKind, String)>,
+    /// Shed-spike sliding window of (t_ms, shed-count delta).
+    shed_window: VecDeque<(u64, u64)>,
+    last_sheds: u64,
+}
+
+impl Health {
+    pub fn new(cfg: HealthConfig) -> Health {
+        Health { cfg, ..Health::default() }
+    }
+
+    /// Latch helper: returns true exactly when the condition transitions
+    /// false→true for this (kind, subject); clears the latch when false.
+    fn edge(&mut self, kind: HealthKind, subject: &str, condition: bool) -> bool {
+        let key = (kind, subject.to_owned());
+        if condition {
+            self.latched.insert(key)
+        } else {
+            self.latched.remove(&key);
+            false
+        }
+    }
+
+    /// Runs every detector against one sample, returning newly fired
+    /// diagnoses (empty while conditions persist or stay clear).
+    pub fn tick(&mut self, s: &HealthSample) -> Vec<HealthDiagnosis> {
+        let mut out = Vec::new();
+
+        // Queue-stall: work waits, the pool could serve it, nothing moves.
+        let stalled_for = s.now_ms.saturating_sub(s.last_dispatch_ms);
+        let stall = s.queue_depth > 0
+            && s.workers > 0
+            && s.running == 0
+            && !s.draining
+            && stalled_for >= self.cfg.stall_ms;
+        if self.edge(HealthKind::QueueStall, "queue", stall) {
+            out.push(HealthDiagnosis {
+                t_ms: s.now_ms,
+                kind: HealthKind::QueueStall,
+                subject: "queue".into(),
+                value: stalled_for,
+                detail: format!(
+                    "{} queued, no dispatch for {stalled_for}ms with {} idle workers",
+                    s.queue_depth, s.workers
+                ),
+            });
+        }
+
+        // Shed-spike: slide the window, then test the windowed sum.
+        let delta = s.sheds.saturating_sub(self.last_sheds);
+        self.last_sheds = s.sheds;
+        if delta > 0 {
+            self.shed_window.push_back((s.now_ms, delta));
+        }
+        let horizon = s.now_ms.saturating_sub(self.cfg.shed_window_ms);
+        while self.shed_window.front().is_some_and(|&(t, _)| t < horizon) {
+            self.shed_window.pop_front();
+        }
+        let windowed: u64 = self.shed_window.iter().map(|&(_, n)| n).sum();
+        let spike = windowed >= self.cfg.shed_spike;
+        if self.edge(HealthKind::ShedSpike, "admission", spike) {
+            out.push(HealthDiagnosis {
+                t_ms: s.now_ms,
+                kind: HealthKind::ShedSpike,
+                subject: "admission".into(),
+                value: windowed,
+                detail: format!(
+                    "{windowed} capacity sheds within {}ms",
+                    self.cfg.shed_window_ms
+                ),
+            });
+        }
+
+        // Ledger-slow: worst commit since the previous tick. The "since
+        // last tick" framing self-clears once commits are fast again.
+        let slow = s.max_commit_us >= self.cfg.ledger_slow_us;
+        if self.edge(HealthKind::LedgerSlow, "ledger", slow) {
+            out.push(HealthDiagnosis {
+                t_ms: s.now_ms,
+                kind: HealthKind::LedgerSlow,
+                subject: "ledger".into(),
+                value: s.max_commit_us,
+                detail: format!("ledger commit took {}µs", s.max_commit_us),
+            });
+        }
+
+        // Tenant-starvation: someone waits while the scheduler serves
+        // others. A global dispatch within the starve horizon is what
+        // separates this from a queue-stall.
+        let others_advancing =
+            s.last_dispatch_ms > 0 && s.now_ms.saturating_sub(s.last_dispatch_ms) < self.cfg.starve_ms;
+        for t in &s.tenants {
+            let waited = s.now_ms.saturating_sub(t.waiting_since_ms);
+            let starving = t.queued > 0 && others_advancing && waited >= self.cfg.starve_ms;
+            if self.edge(HealthKind::TenantStarvation, &t.name, starving) {
+                out.push(HealthDiagnosis {
+                    t_ms: s.now_ms,
+                    kind: HealthKind::TenantStarvation,
+                    subject: t.name.clone(),
+                    value: waited,
+                    detail: format!(
+                        "tenant '{}' has {} queued jobs and no dispatch for {waited}ms",
+                        t.name, t.queued
+                    ),
+                });
+            }
+        }
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HealthConfig {
+        HealthConfig {
+            stall_ms: 100,
+            shed_window_ms: 50,
+            shed_spike: 10,
+            ledger_slow_us: 1_000,
+            starve_ms: 200,
+        }
+    }
+
+    fn sample(now_ms: u64) -> HealthSample {
+        HealthSample { now_ms, workers: 2, ..HealthSample::default() }
+    }
+
+    #[test]
+    fn queue_stall_fires_once_and_rearms_after_clearing() {
+        let mut h = Health::new(cfg());
+        let mut s = sample(150);
+        s.queue_depth = 3;
+        s.last_dispatch_ms = 10;
+        let d = h.tick(&s);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].kind, HealthKind::QueueStall);
+        assert_eq!(d[0].value, 140);
+        // Persisting condition: no re-fire.
+        s.now_ms = 300;
+        assert!(h.tick(&s).is_empty(), "edge-triggered: fire once");
+        // A dispatch clears it; the next stall fires again.
+        s.last_dispatch_ms = 400;
+        s.now_ms = 410;
+        assert!(h.tick(&s).is_empty());
+        s.now_ms = 600;
+        assert_eq!(h.tick(&s).len(), 1, "re-armed after the condition cleared");
+    }
+
+    #[test]
+    fn queue_stall_needs_idle_pool_and_live_daemon() {
+        let mut h = Health::new(cfg());
+        let mut s = sample(500);
+        s.queue_depth = 3;
+        // Running jobs: the pool is busy, not stalled.
+        s.running = 1;
+        assert!(h.tick(&s).is_empty());
+        // Draining: parked on purpose.
+        s.running = 0;
+        s.draining = true;
+        assert!(h.tick(&s).is_empty());
+        // Zero workers: queueing-only mode, not a stall.
+        s.draining = false;
+        s.workers = 0;
+        assert!(h.tick(&s).is_empty());
+    }
+
+    #[test]
+    fn shed_spike_uses_a_sliding_window() {
+        let mut h = Health::new(cfg());
+        // 6 sheds at t=10, 6 more at t=30: 12 in the 50ms window → spike.
+        let mut s = sample(10);
+        s.sheds = 6;
+        assert!(h.tick(&s).is_empty());
+        s.now_ms = 30;
+        s.sheds = 12;
+        let d = h.tick(&s);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].kind, HealthKind::ShedSpike);
+        assert_eq!(d[0].value, 12);
+        // Window slides past both bursts: condition clears, re-arms.
+        s.now_ms = 200;
+        assert!(h.tick(&s).is_empty());
+        s.now_ms = 210;
+        s.sheds = 24;
+        assert_eq!(h.tick(&s).len(), 1, "a fresh burst fires again");
+    }
+
+    #[test]
+    fn slow_ledger_commit_is_diagnosed_and_self_clears() {
+        let mut h = Health::new(cfg());
+        let mut s = sample(20);
+        s.max_commit_us = 5_000;
+        let d = h.tick(&s);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].kind, HealthKind::LedgerSlow);
+        assert_eq!(d[0].value, 5_000);
+        // Next tick reports fast commits: cleared; a new slow one re-fires.
+        s.now_ms = 40;
+        s.max_commit_us = 10;
+        assert!(h.tick(&s).is_empty());
+        s.now_ms = 60;
+        s.max_commit_us = 9_000;
+        assert_eq!(h.tick(&s).len(), 1);
+    }
+
+    #[test]
+    fn starvation_requires_other_tenants_to_advance() {
+        let mut h = Health::new(cfg());
+        let mut s = sample(500);
+        s.queue_depth = 2;
+        s.tenants = vec![TenantObs { name: "slow".into(), queued: 2, waiting_since_ms: 100 }];
+        // Nobody dispatched recently → global stall territory, not starvation.
+        s.last_dispatch_ms = 0;
+        s.running = 1; // pool busy, so no stall either
+        assert!(h.tick(&s).is_empty());
+        // Another tenant just got served while 'slow' kept waiting 400ms.
+        s.last_dispatch_ms = 490;
+        let d = h.tick(&s);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].kind, HealthKind::TenantStarvation);
+        assert_eq!(d[0].subject, "slow");
+        assert_eq!(d[0].value, 400);
+        // Edge-triggered per tenant.
+        s.now_ms = 600;
+        s.last_dispatch_ms = 590;
+        assert!(h.tick(&s).is_empty());
+    }
+
+    #[test]
+    fn diagnosis_serializes_with_labeled_kind() {
+        let d = HealthDiagnosis {
+            t_ms: 7,
+            kind: HealthKind::ShedSpike,
+            subject: "admission".into(),
+            value: 42,
+            detail: "x".into(),
+        };
+        let v = d.to_value();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("shed-spike"));
+        assert_eq!(v.get("value").unwrap().as_u64(), Some(42));
+    }
+}

@@ -22,16 +22,26 @@
 //!   discipline applied to worker slots via virtual-time accounting
 //!   ([`sched::FairQueue`]);
 //! - **graceful drain** — stop admitting, park in-flight work at
-//!   checkpoints, acknowledge when idle.
+//!   checkpoints, acknowledge when idle;
+//! - **wall-clock observability** — every subsystem feeds a metrics
+//!   registry exposed as a typed `metrics` reply and a Prometheus scrape
+//!   page, job lifecycles are traced as wall-clock spans ([`obs`]), and
+//!   edge-triggered watchdogs turn bad shapes (queue stall, shed spike,
+//!   slow commits, tenant starvation) into typed diagnoses ([`health`]) —
+//!   all without perturbing the deterministic sim results.
 
 pub mod daemon;
+pub mod health;
 pub mod ledger;
 pub mod net;
+pub mod obs;
 pub mod proto;
 pub mod sched;
 
 pub use daemon::{Daemon, ServeConfig};
+pub use health::{Health, HealthConfig, HealthDiagnosis, HealthKind, HealthSample, TenantObs};
 pub use ledger::{JobRecord, JobState, Ledger};
 pub use net::{Client, Endpoints, NetServer};
+pub use obs::ServeObs;
 pub use proto::{resp, RejectReason, Request};
-pub use sched::FairQueue;
+pub use sched::{FairQueue, TenantStat};

@@ -30,6 +30,9 @@ pub struct Endpoints {
     pub tcp: String,
     /// Unix socket path.
     pub sock: String,
+    /// HTTP address of the Prometheus scrape listener (`GET /metrics`).
+    /// `Option` so endpoint files from older daemons still parse.
+    pub metrics: Option<String>,
 }
 
 impl Endpoints {
@@ -49,20 +52,35 @@ pub struct NetServer {
 }
 
 impl NetServer {
-    /// Binds TCP (loopback, ephemeral port) and the Unix socket
-    /// `<state_dir>/serve.sock`, publishes `endpoint.json`, and starts
-    /// accepting.
+    /// Binds TCP (loopback, ephemeral port), the Unix socket
+    /// `<state_dir>/serve.sock`, and an ephemeral scrape listener;
+    /// publishes `endpoint.json`, and starts accepting.
     pub fn start(daemon: Arc<Daemon>, state_dir: &Path) -> Result<NetServer, String> {
+        NetServer::start_with_metrics(daemon, state_dir, "127.0.0.1:0")
+    }
+
+    /// [`NetServer::start`] with an explicit scrape-listener address (the
+    /// `serve --metrics-addr` flag — a fixed port for a real Prometheus
+    /// scrape config).
+    pub fn start_with_metrics(
+        daemon: Arc<Daemon>,
+        state_dir: &Path,
+        metrics_addr: &str,
+    ) -> Result<NetServer, String> {
         let tcp = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind tcp: {e}"))?;
         let tcp_addr: SocketAddr = tcp.local_addr().map_err(|e| e.to_string())?;
         let sock_path = state_dir.join("serve.sock");
         let _ = std::fs::remove_file(&sock_path); // stale socket from a kill -9
         let unix = UnixListener::bind(&sock_path)
             .map_err(|e| format!("bind {}: {e}", sock_path.display()))?;
+        let scrape = TcpListener::bind(metrics_addr)
+            .map_err(|e| format!("bind metrics {metrics_addr}: {e}"))?;
+        let scrape_addr: SocketAddr = scrape.local_addr().map_err(|e| e.to_string())?;
 
         let endpoints = Endpoints {
             tcp: tcp_addr.to_string(),
             sock: sock_path.display().to_string(),
+            metrics: Some(scrape_addr.to_string()),
         };
         write_endpoint_file(state_dir, &endpoints)?;
 
@@ -70,9 +88,10 @@ impl NetServer {
         spawn_accept_loop("dfl-serve-tcp", daemon.clone(), shutdown_tx.clone(), move || {
             tcp.accept().ok().map(|(s, _)| Conn::Tcp(s))
         });
-        spawn_accept_loop("dfl-serve-unix", daemon, shutdown_tx, move || {
+        spawn_accept_loop("dfl-serve-unix", daemon.clone(), shutdown_tx, move || {
             unix.accept().ok().map(|(s, _)| Conn::Unix(s))
         });
+        spawn_metrics_loop(daemon, scrape);
         Ok(NetServer { endpoints, shutdown_rx })
     }
 
@@ -132,8 +151,67 @@ fn spawn_accept_loop(
         .expect("spawn accept loop");
 }
 
+/// The Prometheus scrape front end: one thread accepting, one short-lived
+/// thread per HTTP exchange.
+fn spawn_metrics_loop(daemon: Arc<Daemon>, listener: TcpListener) {
+    std::thread::Builder::new()
+        .name("dfl-serve-metrics".to_owned())
+        .spawn(move || {
+            while let Ok((stream, _)) = listener.accept() {
+                let daemon = daemon.clone();
+                let _ = std::thread::Builder::new()
+                    .name("dfl-serve-scrape".to_owned())
+                    .spawn(move || serve_scrape(stream, &daemon));
+            }
+        })
+        .expect("spawn metrics listener");
+}
+
+/// One HTTP exchange, hand-rolled over `std::net` (no HTTP dependency):
+/// `GET /metrics` gets the Prometheus text page, anything else a 404. One
+/// response per connection (`Connection: close`) — scrapers reconnect
+/// every poll, which is the Prometheus norm.
+fn serve_scrape(stream: TcpStream, daemon: &Daemon) {
+    let Ok(read) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read);
+    let mut writer = stream;
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain the request headers; nothing in them changes the answer.
+    loop {
+        let mut h = String::new();
+        match reader.read_line(&mut h) {
+            Ok(0) => break,
+            Ok(_) if h == "\r\n" || h == "\n" => break,
+            Ok(_) => {}
+            Err(_) => return,
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, ctype, body) = if method == "GET" && path == "/metrics" {
+        ("200 OK", "text/plain; version=0.0.4; charset=utf-8", daemon.prometheus())
+    } else {
+        ("404 Not Found", "text/plain; charset=utf-8", "only GET /metrics is served\n".to_owned())
+    };
+    let _ = write!(
+        writer,
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = writer.flush();
+}
+
 /// One client session: request line in, response line(s) out.
 fn serve_conn(conn: Conn, daemon: &Daemon, shutdown_tx: &SyncSender<()>) {
+    daemon.conn_opened();
+    serve_session(conn, daemon, shutdown_tx);
+    daemon.conn_closed();
+}
+
+fn serve_session(conn: Conn, daemon: &Daemon, shutdown_tx: &SyncSender<()>) {
     let Ok((reader, mut writer)) = conn.split() else { return };
     for line in reader.lines() {
         let Ok(line) = line else { break };

@@ -1,0 +1,226 @@
+//! Wall-clock job-lifecycle tracing for the daemon.
+//!
+//! # The clock split
+//!
+//! The daemon runs two observability layers that must never touch:
+//!
+//! - **Sim-time** (`dfl_obs` inside each job): the deterministic timeline
+//!   the engine records while simulating; it is part of the job's result
+//!   fingerprint and byte-compared by the chaos harness.
+//! - **Wall-clock** (this module): what the *daemon* did and when, in real
+//!   nanoseconds since daemon start — submit→queued→running→terminal spans
+//!   per job, ledger-commit and shed instants, health diagnoses.
+//!
+//! The zero-perturbation rule: nothing here may flow into sim-time state
+//! or the job result files. The wall recorder lives in the daemon core,
+//! reuses the `dfl_obs` timeline/exporter machinery (tracks, spans,
+//! Chrome-trace export), and is only read out through the `metrics` and
+//! `trace` requests.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use dfl_obs::timeline::{
+    InstantKind, Recorder, SpanHandle, SpanKind, SpanMeta, SpanOutcome, Timeline, TrackId,
+    TrackKind,
+};
+use dfl_obs::MetricsRegistry;
+
+use crate::health::HealthDiagnosis;
+
+/// Event budget for the daemon's wall recorder. Long-lived daemons saturate
+/// it eventually; the recorder then counts drops instead of growing.
+const WALL_EVENTS: usize = 1 << 16;
+
+/// The daemon's wall-clock recorder: one monotonic clock, one track per
+/// tenant (lazily), plus fixed admission / ledger / health tracks.
+pub struct ServeObs {
+    t0: Instant,
+    rec: Recorder,
+    admission: TrackId,
+    ledger: TrackId,
+    health: TrackId,
+    tenant_tracks: HashMap<String, TrackId>,
+    /// Open `Queued` span per queued job.
+    queued: HashMap<u64, SpanHandle>,
+    /// Open `Run` span per running job, with its dispatch wall-time.
+    running: HashMap<u64, (SpanHandle, u64)>,
+}
+
+impl ServeObs {
+    pub fn new() -> ServeObs {
+        let mut rec = Recorder::new(WALL_EVENTS);
+        let admission = rec.add_track("admission", TrackKind::Resource);
+        let ledger = rec.add_track("ledger", TrackKind::Resource);
+        let health = rec.add_track("health", TrackKind::Diagnosis);
+        ServeObs {
+            t0: Instant::now(),
+            rec,
+            admission,
+            ledger,
+            health,
+            tenant_tracks: HashMap::new(),
+            queued: HashMap::new(),
+            running: HashMap::new(),
+        }
+    }
+
+    /// Wall nanoseconds since daemon start.
+    pub fn now_ns(&self) -> u64 {
+        self.t0.elapsed().as_nanos() as u64
+    }
+
+    /// Wall milliseconds since daemon start.
+    pub fn now_ms(&self) -> u64 {
+        self.t0.elapsed().as_millis() as u64
+    }
+
+    fn tenant_track(&mut self, tenant: &str) -> TrackId {
+        if let Some(&t) = self.tenant_tracks.get(tenant) {
+            return t;
+        }
+        let t = self.rec.add_track(format!("tenant:{tenant}"), TrackKind::Node);
+        self.tenant_tracks.insert(tenant.to_owned(), t);
+        t
+    }
+
+    /// A job entered the queue (admission or recovery re-enqueue): opens
+    /// its `Queued` span on the tenant's track.
+    pub fn job_queued(&mut self, job: u64, tenant: &str) {
+        let track = self.tenant_track(tenant);
+        let now = self.now_ns();
+        let meta = SpanMeta { job: Some(job as u32), ..SpanMeta::default() };
+        let h = self.rec.begin_span(track, now, format!("job-{job}"), SpanKind::Queued, meta);
+        self.queued.insert(job, h);
+    }
+
+    /// A worker picked the job up: closes `Queued`, opens `Run`.
+    pub fn job_dispatched(&mut self, job: u64, tenant: &str) {
+        let now = self.now_ns();
+        if let Some(h) = self.queued.remove(&job) {
+            self.rec.end_span(h, now, SpanOutcome::Ok);
+        }
+        let track = self.tenant_track(tenant);
+        let meta = SpanMeta { job: Some(job as u32), ..SpanMeta::default() };
+        let h = self.rec.begin_span(track, now, format!("job-{job}"), SpanKind::Run, meta);
+        self.running.insert(job, (h, now));
+    }
+
+    /// A queued job left the queue without dispatch (cancelled).
+    pub fn job_dequeued(&mut self, job: u64) {
+        let now = self.now_ns();
+        if let Some(h) = self.queued.remove(&job) {
+            self.rec.end_span(h, now, SpanOutcome::Cancelled);
+        }
+    }
+
+    /// The job reached a terminal (or parked) state; returns its wall run
+    /// time in ms when it had been dispatched.
+    pub fn job_finished(&mut self, job: u64, outcome: SpanOutcome) -> Option<f64> {
+        let now = self.now_ns();
+        let (h, dispatched_ns) = self.running.remove(&job)?;
+        self.rec.end_span(h, now, outcome);
+        Some(now.saturating_sub(dispatched_ns) as f64 / 1e6)
+    }
+
+    /// An admission request was shed; `value` is the queue depth at
+    /// rejection.
+    pub fn shed(&mut self, reason: &str, queue_depth: u64) {
+        let now = self.now_ns();
+        self.rec.instant(self.admission, now, InstantKind::Shed, reason, queue_depth);
+    }
+
+    /// A ledger commit hit disk, taking `us` microseconds.
+    pub fn ledger_commit(&mut self, us: u64) {
+        let now = self.now_ns();
+        self.rec.instant(self.ledger, now, InstantKind::LedgerCommit, "commit", us);
+    }
+
+    /// A running job emitted a progress window.
+    pub fn window(&mut self, job: u64, tenant: &str) {
+        let now = self.now_ns();
+        let track = self.tenant_track(tenant);
+        self.rec.instant(track, now, InstantKind::Window, format!("job-{job}"), job);
+    }
+
+    /// A health watchdog fired.
+    pub fn diagnosis(&mut self, d: &HealthDiagnosis) {
+        let now = self.now_ns();
+        self.rec.instant(
+            self.health,
+            now,
+            InstantKind::Diagnosis,
+            format!("{}: {}", d.kind.label(), d.subject),
+            d.value,
+        );
+    }
+
+    /// Non-consuming export: clones the recorder state (open spans close as
+    /// `Cancelled` in the copy only) and embeds the daemon's live metrics
+    /// registry, so the exported timeline is self-describing.
+    pub fn timeline(&self, metrics: &MetricsRegistry) -> Timeline {
+        let mut copy = Recorder::from_state(self.rec.state());
+        copy.metrics.restore(&metrics.state());
+        copy.finish(self.now_ns())
+    }
+}
+
+impl Default for ServeObs {
+    fn default() -> Self {
+        ServeObs::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfl_obs::chrome_trace;
+
+    #[test]
+    fn lifecycle_spans_close_in_order_and_export() {
+        let mut o = ServeObs::new();
+        o.job_queued(1, "acme");
+        o.job_dispatched(1, "acme");
+        o.window(1, "acme");
+        let wall = o.job_finished(1, SpanOutcome::Ok);
+        assert!(wall.is_some());
+        o.shed("capacity", 64);
+        o.ledger_commit(120);
+        let tl = o.timeline(&MetricsRegistry::new());
+        let spans: Vec<_> = tl.spans().collect();
+        assert_eq!(spans.len(), 2, "queued + run");
+        assert!(spans.iter().any(|s| s.kind == SpanKind::Queued));
+        assert!(spans.iter().any(|s| s.kind == SpanKind::Run));
+        let kinds: Vec<InstantKind> = tl.instants().map(|i| i.kind).collect();
+        assert!(kinds.contains(&InstantKind::Window));
+        assert!(kinds.contains(&InstantKind::Shed));
+        assert!(kinds.contains(&InstantKind::LedgerCommit));
+        let trace = chrome_trace(&tl);
+        assert!(trace.contains("tenant:acme"));
+        assert!(trace.contains("job-1"));
+    }
+
+    #[test]
+    fn timeline_export_does_not_consume_open_spans() {
+        let mut o = ServeObs::new();
+        o.job_queued(7, "t");
+        let tl = o.timeline(&MetricsRegistry::new());
+        assert_eq!(tl.spans().count(), 1, "open span closes in the copy");
+        // The live recorder still holds the open span: dispatch works.
+        o.job_dispatched(7, "t");
+        assert!(o.job_finished(7, SpanOutcome::Ok).is_some());
+        let tl = o.timeline(&MetricsRegistry::new());
+        assert_eq!(tl.spans().count(), 2);
+    }
+
+    #[test]
+    fn cancelled_before_dispatch_ends_queued_span() {
+        let mut o = ServeObs::new();
+        o.job_queued(3, "t");
+        o.job_dequeued(3);
+        let tl = o.timeline(&MetricsRegistry::new());
+        let s: Vec<_> = tl.spans().collect();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].outcome, SpanOutcome::Cancelled);
+    }
+}

@@ -15,17 +15,23 @@
 //! | `cancel`  | `job`                                                         |
 //! | `stream`  | `job` — responds with `window` lines, then a terminal line    |
 //! | `stats`   | —                                                             |
+//! | `metrics` | — wall-clock daemon snapshot: tenants, latencies, diagnoses   |
+//! | `trace`   | — wall-clock job-lifecycle timeline (Chrome trace + JSONL)    |
 //! | `drain`   | — stop admitting, park in-flight jobs, then acknowledge       |
 //! | `ping`    | —                                                             |
 //!
 //! ## Responses
 //!
-//! `{"type":"accepted","job":N}` · `{"type":"rejected","reason":R,"detail":D}`
+//! `{"type":"accepted","job":N}` ·
+//! `{"type":"rejected","reason":R,"detail":D,"queue_depth":N,"retry_after_ms":N}`
 //! · `{"type":"job","job":N,"state":S,...}` · `{"type":"window",...}` ·
-//! `{"type":"stats",...}` · `{"type":"error","detail":D}` — see README for
+//! `{"type":"stats",...}` · `{"type":"metrics",...}` · `{"type":"trace",...}`
+//! · `{"type":"error","detail":D}` — see README for
 //! the full schema. Rejection reasons are closed vocabulary:
 //! [`RejectReason`]. A submit is only `accepted` *after* the job has been
-//! durably recorded in the write-ahead ledger.
+//! durably recorded in the write-ahead ledger. Shed replies carry the
+//! queue depth at rejection and a back-off hint (`retry_after_ms`, only on
+//! `capacity`/`draining`) so storm clients can pace their retries.
 
 use serde::{Deserialize, Number, Serialize, Value};
 
@@ -135,12 +141,26 @@ pub mod resp {
         obj(vec![("type", s("accepted")), ("job", n(job))])
     }
 
-    pub fn rejected(reason: RejectReason, detail: &str) -> String {
-        obj(vec![
+    /// A shed/refused submit. `queue_depth` is the admission queue depth
+    /// at rejection; `retry_after_ms` (present only when the daemon can
+    /// usefully hint — capacity and draining sheds) tells a well-behaved
+    /// client how long to back off before resubmitting.
+    pub fn rejected(
+        reason: RejectReason,
+        detail: &str,
+        queue_depth: u64,
+        retry_after_ms: Option<u64>,
+    ) -> String {
+        let mut fields = vec![
             ("type", s("rejected")),
             ("reason", s(reason.label())),
             ("detail", s(detail)),
-        ])
+            ("queue_depth", n(queue_depth)),
+        ];
+        if let Some(ms) = retry_after_ms {
+            fields.push(("retry_after_ms", n(ms)));
+        }
+        obj(fields)
     }
 
     pub fn error(detail: &str) -> String {
@@ -175,6 +195,24 @@ pub mod resp {
     pub fn stats(metrics: &impl Serialize) -> String {
         obj(vec![("type", s("stats")), ("metrics", metrics.to_value())])
     }
+
+    /// The wall-clock `metrics` snapshot; the daemon assembles the fields
+    /// (uptime, queue, tenants, latency quantiles, counters, diagnoses).
+    pub fn metrics(fields: Vec<(&str, Value)>) -> String {
+        let mut all = vec![("type", s("metrics"))];
+        all.extend(fields);
+        obj(all)
+    }
+
+    /// The wall-clock daemon timeline, in both export formats (mirrors the
+    /// per-job result file's `chrome_trace`/`jsonl` field names).
+    pub fn trace(chrome: &str, events: &str) -> String {
+        obj(vec![
+            ("type", s("trace")),
+            ("chrome_trace", s(chrome)),
+            ("jsonl", s(events)),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -207,8 +245,30 @@ mod tests {
         let v: Value = serde_json::from_str(&resp::accepted(7)).unwrap();
         assert_eq!(v["type"].as_str(), Some("accepted"));
         assert_eq!(v["job"].as_u64(), Some(7));
-        let v: Value =
-            serde_json::from_str(&resp::rejected(RejectReason::Capacity, "queue full")).unwrap();
+        let v: Value = serde_json::from_str(&resp::rejected(
+            RejectReason::Capacity,
+            "queue full",
+            64,
+            Some(250),
+        ))
+        .unwrap();
         assert_eq!(v["reason"].as_str(), Some("capacity"));
+    }
+
+    #[test]
+    fn shed_reply_roundtrips_queue_depth_and_retry_hint() {
+        let line = resp::rejected(RejectReason::Capacity, "queue full", 64, Some(250));
+        let v: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(v["type"].as_str(), Some("rejected"));
+        assert_eq!(v["reason"].as_str(), Some("capacity"));
+        assert_eq!(v["queue_depth"].as_u64(), Some(64), "depth rides the shed reply");
+        assert_eq!(v["retry_after_ms"].as_u64(), Some(250), "back-off hint present");
+
+        // Reasons that carry no useful back-off omit the hint rather than
+        // sending a bogus zero.
+        let line = resp::rejected(RejectReason::BadRequest, "unknown workflow", 3, None);
+        let v: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(v["queue_depth"].as_u64(), Some(3));
+        assert!(v.get("retry_after_ms").is_none(), "no hint field at all");
     }
 }

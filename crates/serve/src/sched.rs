@@ -37,6 +37,21 @@ struct Tenant {
     vtime: u64,
     /// FIFO of queued job ids.
     jobs: VecDeque<u64>,
+    /// Total dispatches charged to this tenant (observability only).
+    dispatched: u64,
+}
+
+/// Read-only view of one tenant's scheduler accounting, for the daemon's
+/// wall-clock metrics. `vtime_lag` is the tenant's clock minus the minimum
+/// active clock: 0 means next in line, one quantum per dispatch it is
+/// "ahead" of the most-starved active tenant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantStat {
+    pub name: String,
+    pub queued: usize,
+    pub vtime: u64,
+    pub vtime_lag: u64,
+    pub dispatched: u64,
 }
 
 /// The queue. Admission capacity is enforced by the caller (the daemon
@@ -76,6 +91,7 @@ impl FairQueue {
                     name: tenant.to_owned(),
                     vtime: 0,
                     jobs: VecDeque::new(),
+                    dispatched: 0,
                 });
                 self.tenants.last_mut().unwrap()
             }
@@ -101,8 +117,26 @@ impl FairQueue {
             .min_by(|a, b| a.vtime.cmp(&b.vtime).then_with(|| a.name.cmp(&b.name)))?;
         let job = t.jobs.pop_front().expect("active tenant has a job");
         t.vtime += QUANTUM;
+        t.dispatched += 1;
         self.len -= 1;
         Some((t.name.clone(), job))
+    }
+
+    /// Per-tenant accounting snapshot in first-seen order (deterministic
+    /// for a given submission sequence). Includes idle tenants — their
+    /// history is part of the fairness picture.
+    pub fn tenant_stats(&self) -> Vec<TenantStat> {
+        let floor = self.min_active_vtime().unwrap_or(0);
+        self.tenants
+            .iter()
+            .map(|t| TenantStat {
+                name: t.name.clone(),
+                queued: t.jobs.len(),
+                vtime: t.vtime,
+                vtime_lag: t.vtime.saturating_sub(floor),
+                dispatched: t.dispatched,
+            })
+            .collect()
     }
 
     /// Removes a queued job (client cancellation before dispatch). Returns
@@ -191,5 +225,30 @@ mod tests {
         q.push("alpha", 1);
         assert_eq!(q.pop().unwrap().0, "alpha");
         assert_eq!(q.pop().unwrap().0, "zeta");
+    }
+
+    #[test]
+    fn tenant_stats_report_lag_and_dispatch_counts() {
+        let mut q = FairQueue::new();
+        for j in 0..4 {
+            q.push("a", j);
+        }
+        for _ in 0..2 {
+            q.pop();
+        }
+        q.push("b", 10);
+        let stats = q.tenant_stats();
+        assert_eq!(stats.len(), 2);
+        let a = stats.iter().find(|s| s.name == "a").unwrap();
+        let b = stats.iter().find(|s| s.name == "b").unwrap();
+        assert_eq!((a.queued, a.dispatched), (2, 2));
+        assert_eq!((b.queued, b.dispatched), (1, 0));
+        // b joined clamped to a's clock, so both sit at the active floor.
+        assert_eq!(a.vtime_lag, 0);
+        assert_eq!(b.vtime_lag, 0);
+        q.pop(); // serves one of them, putting it one quantum ahead
+        let stats = q.tenant_stats();
+        let ahead = stats.iter().find(|s| s.vtime_lag > 0).unwrap();
+        assert_eq!(ahead.vtime_lag, 1 << 16, "one quantum ahead of the floor");
     }
 }

@@ -422,6 +422,56 @@ fn tenants_share_the_pool_fairly_under_backlog() {
 }
 
 #[test]
+fn metrics_rebuild_from_ledger_replay_after_crash_restart() {
+    // Two completed jobs and one killed mid-run give the ledger a mixed
+    // history to replay.
+    let dir = state_dir("replay-metrics");
+    let d = daemon(&dir, |_| {});
+    for seed in [1, 2] {
+        let job = accept(&d, &submit("smoke", |r| r.seed = Some(seed)));
+        assert_eq!(run_to_end(&d, job).0, "done");
+    }
+    let killed = accept(
+        &d,
+        &submit("genomes", |r| {
+            r.seed = Some(3);
+            r.chaos_at = Some(8);
+        }),
+    );
+    let lines = d.request(&stream_line(killed));
+    assert!(lines.last().unwrap().contains("chaos kill"), "{lines:?}");
+    d.shutdown();
+
+    // Restart without workers: recovery re-queues the killed job and the
+    // durable-state counters/gauges must match the ledger ground truth —
+    // not start from zero — before anything new runs.
+    let d = daemon(&dir, |c| c.workers = 0);
+    let snap = d.snapshot();
+    assert_eq!(snap.counter("serve_accepted"), 3, "all ledgered jobs replayed");
+    assert_eq!(snap.counter("serve_completed"), 2);
+    assert_eq!(snap.counter("serve_recovered"), 1);
+    assert_eq!(snap.gauge("serve_jobs_total"), Some(3.0));
+    assert_eq!(snap.gauge("serve_jobs_completed"), Some(2.0));
+    assert_eq!(snap.gauge("serve_jobs_recovered"), Some(1.0));
+    assert_eq!(snap.gauge("serve_queue_depth"), Some(1.0));
+    d.shutdown();
+
+    // The recovery commit demoted the job to queued, so a further restart
+    // replays it as ordinary backlog — recovered stays 0, nothing double
+    // counts — and finishing it moves the completed gauge, not accepted.
+    let d = daemon(&dir, |c| c.workers = 1);
+    assert_eq!(d.snapshot().counter("serve_recovered"), 0);
+    assert_eq!(run_to_end(&d, killed).0, "done");
+    let snap = d.snapshot();
+    assert_eq!(snap.counter("serve_accepted"), 3);
+    assert_eq!(snap.counter("serve_completed"), 3);
+    assert_eq!(snap.gauge("serve_jobs_completed"), Some(3.0));
+    assert_eq!(snap.gauge("serve_queue_depth"), Some(0.0));
+    d.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn tcp_and_unix_transports_serve_the_protocol() {
     let dir = state_dir("net");
     std::fs::create_dir_all(&dir).unwrap();
